@@ -1,0 +1,177 @@
+//! Control-flow graph: successors, predecessors and reverse postorder.
+
+use optimist_ir::{BlockId, Function};
+
+/// The control-flow graph of a function.
+///
+/// Blocks unreachable from the entry appear in the edge tables but not in the
+/// reverse postorder; dataflow analyses iterate over the reverse postorder
+/// and therefore ignore them.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, block) in func.blocks() {
+            if let Some(term) = block.terminator() {
+                for s in term.successors() {
+                    succs[bid.index()].push(s);
+                    preds[s.index()].push(bid);
+                }
+            }
+        }
+
+        // Iterative postorder DFS from the entry.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        state[func.entry().index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let rpo = postorder;
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Reachable blocks in reverse postorder (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.index()].map(|i| i as usize)
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{Cmp, FunctionBuilder, RegClass};
+
+    /// entry -> (b1 | b2) -> b3, plus an unreachable b4.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.add_param(RegClass::Int, "x");
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        let b4 = b.new_block();
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Lt, x, zero);
+        b.branch(c, b1, b2);
+        b.switch_to(b1);
+        b.jump(b3);
+        b.switch_to(b2);
+        b.jump(b3);
+        b.switch_to(b3);
+        b.ret(None);
+        b.switch_to(b4);
+        b.ret(None);
+        b.finish()
+    }
+
+    use optimist_ir::Function;
+
+    #[test]
+    fn edges_are_symmetric() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        for (bid, _) in f.blocks() {
+            for s in cfg.succs(bid) {
+                assert!(cfg.preds(*s).contains(&bid));
+            }
+        }
+        assert_eq!(cfg.succs(BlockId::new(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId::new(3)).len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], f.entry());
+        // join comes after both arms
+        let j = cfg.rpo_index(BlockId::new(3)).unwrap();
+        assert!(j > cfg.rpo_index(BlockId::new(1)).unwrap());
+        assert!(j > cfg.rpo_index(BlockId::new(2)).unwrap());
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(BlockId::new(4)));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FunctionBuilder::new("l");
+        let x = b.add_param(RegClass::Int, "x");
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(body);
+        b.switch_to(body);
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, zero);
+        b.branch(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.succs(body).contains(&body));
+        assert!(cfg.preds(body).contains(&body));
+    }
+}

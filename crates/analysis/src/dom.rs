@@ -1,0 +1,179 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use optimist_ir::{BlockId, Function};
+
+/// Immediate-dominator tree for the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; the entry maps to itself.
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Dominators {
+    /// Compute dominators using the "engineered" iterative algorithm of
+    /// Cooper, Harvey & Kennedy (*A Simple, Fast Dominance Algorithm*, 2001).
+    pub fn new(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.num_blocks();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = func.entry();
+        idom[entry.index()] = Some(entry);
+
+        let rpo = cfg.rpo();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.index()] {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.index()]?;
+        if d == b {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive: every block dominates itself).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.index()].is_none() || self.rpo_index[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{Cmp, FunctionBuilder, RegClass};
+
+    /// entry(0) -> b1 -> b2 -> b4
+    ///          \-> b3 ------/   (b4 join)
+    fn branchy() -> (optimist_ir::Function, Vec<BlockId>) {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        let b4 = b.new_block();
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Lt, x, zero);
+        b.branch(c, b1, b3);
+        b.switch_to(b1);
+        b.jump(b2);
+        b.switch_to(b2);
+        b.jump(b4);
+        b.switch_to(b3);
+        b.jump(b4);
+        b.switch_to(b4);
+        b.ret(None);
+        (b.finish(), vec![b1, b2, b3, b4])
+    }
+
+    #[test]
+    fn straightline_chain() {
+        let mut b = FunctionBuilder::new("f");
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.jump(b2);
+        b.switch_to(b2);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        assert_eq!(dom.idom(b2), Some(b1));
+        assert_eq!(dom.idom(b1), Some(f.entry()));
+        assert_eq!(dom.idom(f.entry()), None);
+        assert!(dom.dominates(f.entry(), b2));
+    }
+
+    #[test]
+    fn join_dominated_by_branch_point_only() {
+        let (f, bs) = branchy();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let (b1, b2, b3, b4) = (bs[0], bs[1], bs[2], bs[3]);
+        assert_eq!(dom.idom(b4), Some(f.entry()));
+        assert!(!dom.dominates(b1, b4));
+        assert!(!dom.dominates(b3, b4));
+        assert!(dom.dominates(b1, b2));
+        assert!(dom.dominates(b4, b4));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, zero);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        assert!(dom.dominates(head, body));
+        assert!(!dom.dominates(body, head));
+        assert_eq!(dom.idom(exit), Some(head));
+    }
+}

@@ -1,0 +1,219 @@
+//! Natural-loop detection and per-block nesting depth.
+//!
+//! The paper estimates spill costs as "the number of loads and stores that
+//! would have to be inserted, weighted by the loop nesting depth of each
+//! insertion point". The depth computed here is that weight's exponent.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use optimist_ir::{BlockId, Function};
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: Vec<BlockId>,
+}
+
+/// All natural loops of a function plus per-block nesting depth.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Find the natural loops of `func`.
+    ///
+    /// A back edge is an edge `s → h` where `h` dominates `s`; the natural
+    /// loop of that edge is `h` plus every block that reaches `s` without
+    /// passing through `h`. Loops sharing a header are merged. A block's
+    /// depth is the number of distinct loop bodies containing it.
+    pub fn new(func: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        let n = func.num_blocks();
+        let mut body_sets: Vec<(BlockId, Vec<bool>)> = Vec::new();
+
+        for &s in cfg.rpo() {
+            for &h in cfg.succs(s) {
+                if !dom.dominates(h, s) {
+                    continue;
+                }
+                // Natural loop of back edge s -> h.
+                let entry = body_sets.iter_mut().find(|(hdr, _)| *hdr == h);
+                let members: &mut Vec<bool> = match entry {
+                    Some((_, m)) => m,
+                    None => {
+                        body_sets.push((h, vec![false; n]));
+                        &mut body_sets.last_mut().expect("just pushed").1
+                    }
+                };
+                members[h.index()] = true;
+                let mut work = Vec::new();
+                if !members[s.index()] {
+                    members[s.index()] = true;
+                    work.push(s);
+                }
+                while let Some(b) = work.pop() {
+                    for &p in cfg.preds(b) {
+                        if cfg.is_reachable(p) && !members[p.index()] {
+                            members[p.index()] = true;
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut depth = vec![0u32; n];
+        let mut loops = Vec::with_capacity(body_sets.len());
+        for (header, members) in body_sets {
+            let mut body = Vec::new();
+            for (i, &inside) in members.iter().enumerate() {
+                if inside {
+                    depth[i] += 1;
+                    body.push(BlockId::new(i as u32));
+                }
+            }
+            loops.push(Loop { header, body });
+        }
+
+        LoopInfo { loops, depth }
+    }
+
+    /// The loops found, one per distinct header.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// The deepest nesting level in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{Cmp, FunctionBuilder, RegClass};
+
+    /// Build a doubly nested loop:
+    /// entry -> outer_head -> inner_head -> inner_body -> inner_head
+    ///            ^                 |
+    ///            |            outer_latch <- inner exit
+    ///          exit
+    fn nested() -> (optimist_ir::Function, [BlockId; 5]) {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let oh = b.new_block();
+        let ih = b.new_block();
+        let ib = b.new_block();
+        let ol = b.new_block();
+        let ex = b.new_block();
+        b.jump(oh);
+
+        b.switch_to(oh);
+        let z1 = b.int(0);
+        let c1 = b.cmp_i(Cmp::Gt, x, z1);
+        b.branch(c1, ih, ex);
+
+        b.switch_to(ih);
+        let z2 = b.int(0);
+        let c2 = b.cmp_i(Cmp::Gt, x, z2);
+        b.branch(c2, ib, ol);
+
+        b.switch_to(ib);
+        b.jump(ih);
+
+        b.switch_to(ol);
+        b.jump(oh);
+
+        b.switch_to(ex);
+        b.ret(None);
+        (b.finish(), [oh, ih, ib, ol, ex])
+    }
+
+    fn analyze(f: &optimist_ir::Function) -> LoopInfo {
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(f, &cfg);
+        LoopInfo::new(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let (f, [oh, ih, ib, ol, ex]) = nested();
+        let li = analyze(&f);
+        assert_eq!(li.loops().len(), 2);
+        assert_eq!(li.depth(f.entry()), 0);
+        assert_eq!(li.depth(oh), 1);
+        assert_eq!(li.depth(ol), 1);
+        assert_eq!(li.depth(ih), 2);
+        assert_eq!(li.depth(ib), 2);
+        assert_eq!(li.depth(ex), 0);
+        assert_eq!(li.max_depth(), 2);
+    }
+
+    #[test]
+    fn no_loops_in_straightline_code() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let li = analyze(&b.finish());
+        assert!(li.loops().is_empty());
+        assert_eq!(li.max_depth(), 0);
+    }
+
+    #[test]
+    fn self_loop_depth() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(body);
+        b.switch_to(body);
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, z);
+        b.branch(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let li = analyze(&f);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.depth(body), 1);
+        assert_eq!(li.depth(exit), 0);
+    }
+
+    #[test]
+    fn two_backedges_same_header_merge() {
+        // while-loop with a `continue`: two latches, one header, depth 1.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let mid = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, z);
+        b.branch(c, mid, exit);
+        b.switch_to(mid);
+        let c2 = b.cmp_i(Cmp::Lt, x, z);
+        b.branch(c2, head, latch); // continue edge
+        b.switch_to(latch);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let li = analyze(&f);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.depth(head), 1);
+        assert_eq!(li.depth(mid), 1);
+        assert_eq!(li.depth(latch), 1);
+    }
+}

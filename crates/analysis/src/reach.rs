@@ -1,0 +1,305 @@
+//! Reaching-definitions analysis.
+//!
+//! Each definition point of each virtual register gets a *def-site* id;
+//! the analysis computes which def sites reach the top of each block. The
+//! [`renumber`](crate::renumber) pass uses this to join defs and uses into
+//! webs (the paper's live ranges).
+
+use crate::bitset::DenseBitSet;
+use crate::cfg::Cfg;
+use optimist_ir::{BlockId, Function, VReg};
+
+/// Where a definition comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSiteKind {
+    /// An ordinary instruction def at `(block, inst)`.
+    Inst {
+        /// The defining block.
+        block: BlockId,
+        /// Index of the defining instruction within the block.
+        inst: usize,
+    },
+    /// A parameter, implicitly defined on function entry.
+    Param,
+    /// A synthetic definition at entry for registers that may be used before
+    /// being defined on some path. This keeps every use reachable by at least
+    /// one def so web construction is total.
+    Uninit,
+}
+
+/// One definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// The register being defined.
+    pub vreg: VReg,
+    /// What kind of definition this is.
+    pub kind: DefSiteKind,
+}
+
+/// Reaching definitions for a function.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    sites: Vec<DefSite>,
+    /// Def-site ids reaching the top of each block.
+    reach_in: Vec<DenseBitSet>,
+    /// For each vreg, the ids of all its def sites.
+    sites_of_vreg: Vec<Vec<u32>>,
+}
+
+impl ReachingDefs {
+    /// Compute reaching definitions for `func`.
+    pub fn new(func: &Function, cfg: &Cfg) -> Self {
+        let nb = func.num_blocks();
+        let nv = func.num_vregs();
+
+        // Enumerate def sites: params and uninit pseudo-defs first (they
+        // behave as defs at the top of the entry block), then instruction
+        // defs in program order.
+        let mut sites: Vec<DefSite> = Vec::new();
+        let mut sites_of_vreg: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        let push = |sites: &mut Vec<DefSite>,
+                        sites_of_vreg: &mut Vec<Vec<u32>>,
+                        site: DefSite| {
+            let id = sites.len() as u32;
+            sites_of_vreg[site.vreg.index()].push(id);
+            sites.push(site);
+            id
+        };
+
+        let mut entry_defs: Vec<u32> = Vec::new();
+        for &p in func.params() {
+            let id = push(
+                &mut sites,
+                &mut sites_of_vreg,
+                DefSite {
+                    vreg: p,
+                    kind: DefSiteKind::Param,
+                },
+            );
+            entry_defs.push(id);
+        }
+        // Synthetic uninit defs for every non-param register. Registers that
+        // are in fact always defined before use simply have this pseudo-def
+        // killed on every path to their uses.
+        for v in 0..nv {
+            let vreg = VReg::new(v as u32);
+            if func.params().contains(&vreg) {
+                continue;
+            }
+            let id = push(
+                &mut sites,
+                &mut sites_of_vreg,
+                DefSite {
+                    vreg,
+                    kind: DefSiteKind::Uninit,
+                },
+            );
+            entry_defs.push(id);
+        }
+        for (bid, block) in func.blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Some(d) = inst.def() {
+                    push(
+                        &mut sites,
+                        &mut sites_of_vreg,
+                        DefSite {
+                            vreg: d,
+                            kind: DefSiteKind::Inst { block: bid, inst: i },
+                        },
+                    );
+                }
+            }
+        }
+
+        let ns = sites.len();
+
+        // gen/kill per block over def-site ids.
+        let mut gen = vec![DenseBitSet::new(ns); nb];
+        let mut kill = vec![DenseBitSet::new(ns); nb];
+        let mut site_cursor = entry_defs.len(); // inst sites start here
+        for (bid, block) in func.blocks() {
+            let bi = bid.index();
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    let id = site_cursor;
+                    site_cursor += 1;
+                    // This def kills every other def of d and generates itself.
+                    for &other in &sites_of_vreg[d.index()] {
+                        gen[bi].remove(other as usize);
+                        kill[bi].insert(other as usize);
+                    }
+                    kill[bi].remove(id);
+                    gen[bi].insert(id);
+                }
+            }
+        }
+
+        let mut reach_in = vec![DenseBitSet::new(ns); nb];
+        let mut reach_out = vec![DenseBitSet::new(ns); nb];
+        // Entry block starts with param + uninit defs reaching in.
+        for &id in &entry_defs {
+            reach_in[func.entry().index()].insert(id as usize);
+        }
+
+        let mut changed = true;
+        let mut tmp = DenseBitSet::new(ns);
+        while changed {
+            changed = false;
+            for &b in cfg.rpo() {
+                let bi = b.index();
+                for &p in cfg.preds(b) {
+                    tmp.copy_from(&reach_out[p.index()]);
+                    if reach_in[bi].union_with(&tmp) {
+                        changed = true;
+                    }
+                }
+                tmp.copy_from(&reach_in[bi]);
+                tmp.subtract(&kill[bi]);
+                tmp.union_with(&gen[bi]);
+                if tmp != reach_out[bi] {
+                    reach_out[bi].copy_from(&tmp);
+                    changed = true;
+                }
+            }
+        }
+
+        ReachingDefs {
+            sites,
+            reach_in,
+            sites_of_vreg,
+        }
+    }
+
+    /// All def sites, indexed by id.
+    pub fn sites(&self) -> &[DefSite] {
+        &self.sites
+    }
+
+    /// Ids of def sites reaching the top of `b`.
+    pub fn reach_in(&self, b: BlockId) -> &DenseBitSet {
+        &self.reach_in[b.index()]
+    }
+
+    /// Ids of all def sites of `v`.
+    pub fn sites_of(&self, v: VReg) -> &[u32] {
+        &self.sites_of_vreg[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{Cmp, FunctionBuilder, Imm, RegClass};
+
+    #[test]
+    fn two_defs_merge_at_join() {
+        // x defined in both arms; both defs reach the join.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        let a1 = b.new_block();
+        let a2 = b.new_block();
+        let j = b.new_block();
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, p, z);
+        b.branch(c, a1, a2);
+        b.switch_to(a1);
+        b.load_imm(x, Imm::Int(1));
+        b.jump(j);
+        b.switch_to(a2);
+        b.load_imm(x, Imm::Int(2));
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::new(&f, &cfg);
+
+        let reaching_x: Vec<_> = rd
+            .reach_in(j)
+            .iter()
+            .filter(|&id| rd.sites()[id].vreg == x)
+            .map(|id| rd.sites()[id].kind)
+            .collect();
+        // Both instruction defs reach; the uninit pseudo-def is killed on
+        // both paths.
+        assert_eq!(reaching_x.len(), 2);
+        assert!(reaching_x
+            .iter()
+            .all(|k| matches!(k, DefSiteKind::Inst { .. })));
+    }
+
+    #[test]
+    fn redefinition_kills_previous() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        b.load_imm(x, Imm::Int(2));
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::new(&f, &cfg);
+        let reaching_x: Vec<_> = rd
+            .reach_in(next)
+            .iter()
+            .filter(|&id| rd.sites()[id].vreg == x)
+            .collect();
+        assert_eq!(reaching_x.len(), 1);
+        match rd.sites()[reaching_x[0]].kind {
+            DefSiteKind::Inst { inst, .. } => assert_eq!(inst, 1),
+            k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn param_def_reaches_entry() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::new(&f, &cfg);
+        let kinds: Vec<_> = rd
+            .reach_in(f.entry())
+            .iter()
+            .map(|id| rd.sites()[id].kind)
+            .collect();
+        assert!(kinds.contains(&DefSiteKind::Param));
+    }
+
+    #[test]
+    fn conditionally_defined_use_sees_uninit() {
+        // x defined only on one path; uninit def must reach the use.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        let arm = b.new_block();
+        let j = b.new_block();
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, p, z);
+        b.branch(c, arm, j);
+        b.switch_to(arm);
+        b.load_imm(x, Imm::Int(1));
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::new(&f, &cfg);
+        let kinds: Vec<_> = rd
+            .reach_in(j)
+            .iter()
+            .filter(|&id| rd.sites()[id].vreg == x)
+            .map(|id| rd.sites()[id].kind)
+            .collect();
+        assert!(kinds.contains(&DefSiteKind::Uninit));
+        assert!(kinds.iter().any(|k| matches!(k, DefSiteKind::Inst { .. })));
+    }
+}

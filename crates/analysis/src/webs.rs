@@ -1,0 +1,326 @@
+//! Chaitin's *renumber* phase: split virtual registers into def-use webs.
+//!
+//! A *web* joins every definition that can reach a common use. After
+//! renumbering, each web has its own virtual register, so one register is
+//! one live range — the unit the allocator colors and spills. Spill code
+//! inserted by the allocator introduces new short registers; renumbering the
+//! rewritten function again naturally yields the paper's "several shorter
+//! live ranges, one for each definition or use".
+
+use crate::cfg::Cfg;
+use crate::reach::{DefSiteKind, ReachingDefs};
+use optimist_ir::{Function, VReg, VRegData};
+use std::collections::HashMap;
+
+/// Statistics returned by [`renumber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenumberStats {
+    /// Number of virtual registers before renumbering.
+    pub vregs_before: usize,
+    /// Number of webs (= virtual registers = live ranges) after.
+    pub webs: usize,
+}
+
+/// A plain union-find over `usize` ids.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+/// Rewrite `func` so every def-use web has a distinct virtual register.
+///
+/// Returns statistics (web count = the paper's "live ranges" column).
+pub fn renumber(func: &mut Function) -> RenumberStats {
+    let vregs_before = func.num_vregs();
+    let cfg = Cfg::new(func);
+    let rd = ReachingDefs::new(func, &cfg);
+    let sites = rd.sites().to_vec();
+    let ns = sites.len();
+
+    // Map (block, inst) -> def site id for instruction defs.
+    let mut inst_site: HashMap<(u32, usize), u32> = HashMap::new();
+    // Pseudo-def site id per vreg (param or uninit).
+    let mut pseudo_site: Vec<Option<u32>> = vec![None; vregs_before];
+    for (id, site) in sites.iter().enumerate() {
+        match site.kind {
+            DefSiteKind::Inst { block, inst } => {
+                inst_site.insert((block.index() as u32, inst), id as u32);
+            }
+            DefSiteKind::Param | DefSiteKind::Uninit => {
+                pseudo_site[site.vreg.index()] = Some(id as u32);
+            }
+        }
+    }
+
+    let mut uf = UnionFind::new(ns);
+
+    // Pass 1: union all defs that reach a common use.
+    // Within a block we track the single locally-dominating def per vreg;
+    // before any local def, the reach-in set applies.
+    let mut uses = Vec::new();
+    for &b in cfg.rpo() {
+        let mut local_def: HashMap<u32, u32> = HashMap::new(); // vreg -> site
+        // Group reach-in sites by vreg lazily.
+        let mut reach_by_vreg: HashMap<u32, Vec<u32>> = HashMap::new();
+        for id in rd.reach_in(b).iter() {
+            reach_by_vreg
+                .entry(sites[id].vreg.index() as u32)
+                .or_default()
+                .push(id as u32);
+        }
+        for (i, inst) in func.block(b).insts.iter().enumerate() {
+            uses.clear();
+            inst.uses_into(&mut uses);
+            for &u in &uses {
+                let key = u.index() as u32;
+                if let Some(&d) = local_def.get(&key) {
+                    // Single dominating local def: nothing to merge with it
+                    // beyond itself, but the use belongs to d's web.
+                    let _ = d;
+                } else if let Some(ids) = reach_by_vreg.get(&key) {
+                    for w in ids.windows(2) {
+                        uf.union(w[0] as usize, w[1] as usize);
+                    }
+                }
+            }
+            if let Some(d) = inst.def() {
+                let id = inst_site[&(b.index() as u32, i)];
+                local_def.insert(d.index() as u32, id);
+            }
+        }
+    }
+
+    // Pass 2: assign a fresh vreg per web root and rewrite occurrences.
+    let old_vregs: Vec<VRegData> = (0..vregs_before)
+        .map(|i| func.vreg(VReg::new(i as u32)).clone())
+        .collect();
+    let mut new_table: Vec<VRegData> = Vec::new();
+    let mut web_vreg: HashMap<usize, VReg> = HashMap::new();
+    let site_owner: Vec<VReg> = sites.iter().map(|s| s.vreg).collect();
+    let vreg_for_site = move |uf: &mut UnionFind,
+                                  new_table: &mut Vec<VRegData>,
+                                  web_vreg: &mut HashMap<usize, VReg>,
+                                  site: usize|
+          -> VReg {
+        let root = uf.find(site);
+        *web_vreg.entry(root).or_insert_with(|| {
+            let data = old_vregs[site_owner[root].index()].clone();
+            let v = VReg::new(new_table.len() as u32);
+            new_table.push(data);
+            v
+        })
+    };
+
+    // Rewrite params first so they keep low indices.
+    let new_params: Vec<VReg> = func
+        .params()
+        .to_vec()
+        .iter()
+        .map(|p| {
+            let site = pseudo_site[p.index()].expect("param has pseudo site") as usize;
+            vreg_for_site(&mut uf, &mut new_table, &mut web_vreg, site)
+        })
+        .collect();
+
+    let block_ids: Vec<_> = func.block_ids().collect();
+    for b in block_ids {
+        let reachable = cfg.is_reachable(b);
+        let mut local_def: HashMap<u32, u32> = HashMap::new();
+        let mut reach_rep: HashMap<u32, u32> = HashMap::new(); // vreg -> representative site
+        if reachable {
+            for id in rd.reach_in(b).iter() {
+                reach_rep
+                    .entry(sites[id].vreg.index() as u32)
+                    .or_insert(id as u32);
+            }
+        }
+        let num_insts = func.block(b).insts.len();
+        for i in 0..num_insts {
+            // Resolve the def site first (needed after rewriting uses).
+            let def_site = func.block(b).insts[i]
+                .def()
+                .map(|_| inst_site[&(b.index() as u32, i)]);
+
+            let inst = &mut func.block_mut(b).insts[i];
+            // Temporarily move out to satisfy the borrow checker.
+            let mut tmp = inst.clone();
+            tmp.map_uses(|u| {
+                let key = u.index() as u32;
+                let site = local_def
+                    .get(&key)
+                    .or_else(|| reach_rep.get(&key))
+                    .copied()
+                    // Unreachable code, or a use with no reaching def at all:
+                    // fall back to the pseudo-def of the original register.
+                    .unwrap_or_else(|| pseudo_site[u.index()].unwrap_or(0));
+                vreg_for_site(&mut uf, &mut new_table, &mut web_vreg, site as usize)
+            });
+            if let Some(site) = def_site {
+                let old_vreg = tmp.def().expect("def site implies def");
+                local_def.insert(old_vreg.index() as u32, site);
+                tmp.map_def(|_| vreg_for_site(&mut uf, &mut new_table, &mut web_vreg, site as usize));
+            }
+            *inst = tmp;
+        }
+    }
+
+    func.set_params(new_params);
+    let webs = new_table.len();
+    func.set_vreg_table(new_table);
+
+    RenumberStats { vregs_before, webs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, Cmp, FunctionBuilder, Imm, RegClass};
+
+    #[test]
+    fn disjoint_lifetimes_split_into_two_webs() {
+        // x = 1; use x; x = 2; use x  — two independent live ranges.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        let s = b.new_vreg(RegClass::Int, "s");
+        b.load_imm(x, Imm::Int(1));
+        b.copy(s, x);
+        b.load_imm(x, Imm::Int(2));
+        b.copy(s, x);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let stats = renumber(&mut f);
+        // x splits in two. s also splits: its first def is killed by the
+        // second before any use, so it forms a (dead) web of its own.
+        assert_eq!(stats.vregs_before, 2);
+        assert_eq!(stats.webs, 4);
+        let s1 = f.block(f.entry()).insts[1].def().unwrap();
+        let s2 = f.block(f.entry()).insts[3].def().unwrap();
+        assert_ne!(s1, s2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn defs_merging_at_join_stay_one_web() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        let a1 = b.new_block();
+        let a2 = b.new_block();
+        let j = b.new_block();
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, p, z);
+        b.branch(c, a1, a2);
+        b.switch_to(a1);
+        b.load_imm(x, Imm::Int(1));
+        b.jump(j);
+        b.switch_to(a2);
+        b.load_imm(x, Imm::Int(2));
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        renumber(&mut f);
+        verify_function(&f).unwrap();
+        // The two defs of x feed one use: they must share a register.
+        let d1 = f.block(a1).insts[0].def().unwrap();
+        let d2 = f.block(a2).insts[0].def().unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn renumber_is_idempotent() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        let s = b.new_vreg(RegClass::Int, "s");
+        b.load_imm(x, Imm::Int(1));
+        b.copy(s, x);
+        b.load_imm(x, Imm::Int(2));
+        b.copy(s, x);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let first = renumber(&mut f);
+        let second = renumber(&mut f);
+        assert_eq!(first.webs, second.webs);
+        assert_eq!(second.vregs_before, first.webs);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn params_remain_params() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let q = b.add_param(RegClass::Float, "q");
+        let _ = q;
+        b.ret(Some(p));
+        let mut f = b.finish();
+        renumber(&mut f);
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.class_of(f.params()[0]), RegClass::Int);
+        assert_eq!(f.class_of(f.params()[1]), RegClass::Float);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_variable_is_one_web() {
+        // i = 0; while (i < n) i = i + 1; return i
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.int(1);
+        b.bin(optimist_ir::BinOp::AddI, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        renumber(&mut f);
+        verify_function(&f).unwrap();
+        // The init def and the increment def must share one register.
+        let init_def = f.block(f.entry()).insts[0].def().unwrap();
+        let inc_def = f.block(body).insts[1].def().unwrap();
+        assert_eq!(init_def, inc_def);
+    }
+}

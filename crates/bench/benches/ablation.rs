@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **optimism** on/off (= Briggs vs. Chaitin) — spill counts, not time,
+//!   are the interesting output; Criterion measures the time side while the
+//!   bench prints the static side once per subject.
+//! * **coalescing** on/off — the build phase's iterate-to-fixpoint
+//!   coalescing loop is a large fraction of allocation time.
+//! * **scalar optimizer** on/off — how much register pressure the
+//!   CSE/LICM pipeline adds (and what it costs to allocate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimist_machine::Target;
+use optimist_regalloc::{allocate, AllocatorConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let subjects = [("SVD", "SVD"), ("EULER", "DISSIP"), ("LINPACK", "DMXPY")];
+
+    // Print the static ablation table once (visible with --nocapture-style
+    // bench output).
+    println!("\nstatic ablation (registers spilled):");
+    println!(
+        "{:<8} | {:>9} {:>9} | {:>12} {:>12} {:>8}",
+        "routine", "chaitin", "briggs", "no-coalesce", "no-optimizer", "remat"
+    );
+    for (prog, name) in subjects {
+        let p = optimist_workloads::program(prog).expect("program");
+        let opt_m = optimist::compile_optimized(&p.source).expect("compiles");
+        let raw_m = optimist::frontend::compile(&p.source).expect("compiles");
+        let f_opt = opt_m.function(name).expect("routine").clone();
+        let f_raw = raw_m.function(name).expect("routine").clone();
+
+        let chaitin = allocate(&f_opt, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
+        let briggs = allocate(&f_opt, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let mut nc = AllocatorConfig::briggs(Target::rt_pc());
+        nc.coalesce = optimist_regalloc::CoalesceMode::Off;
+        let no_coalesce = allocate(&f_opt, &nc).unwrap();
+        let no_opt = allocate(&f_raw, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let mut rm = AllocatorConfig::briggs(Target::rt_pc());
+        rm.rematerialize = true;
+        let remat = allocate(&f_opt, &rm).unwrap();
+        println!(
+            "{:<8} | {:>9} {:>9} | {:>12} {:>12} {:>8}",
+            name,
+            chaitin.stats.registers_spilled,
+            briggs.stats.registers_spilled,
+            no_coalesce.stats.registers_spilled,
+            no_opt.stats.registers_spilled,
+            remat.stats.registers_spilled,
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation");
+    for (prog, name) in subjects {
+        let p = optimist_workloads::program(prog).expect("program");
+        let m = optimist::compile_optimized(&p.source).expect("compiles");
+        let f = m.function(name).expect("routine").clone();
+
+        let briggs = AllocatorConfig::briggs(Target::rt_pc());
+        let mut no_coalesce = briggs.clone();
+        no_coalesce.coalesce = optimist_regalloc::CoalesceMode::Off;
+
+        group.bench_function(BenchmarkId::new("coalesce-on", name), |b| {
+            b.iter(|| allocate(&f, &briggs).expect("allocates"));
+        });
+        group.bench_function(BenchmarkId::new("coalesce-off", name), |b| {
+            b.iter(|| allocate(&f, &no_coalesce).expect("allocates"));
+        });
+    }
+
+    // Optimizer cost itself.
+    for (prog, name) in subjects {
+        let p = optimist_workloads::program(prog).expect("program");
+        group.bench_function(BenchmarkId::new("optimizer", name), |b| {
+            b.iter(|| {
+                let mut m = optimist::frontend::compile(&p.source).expect("compiles");
+                optimist::opt::optimize_module(&mut m);
+                m
+            });
+        });
+        let _ = name;
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end allocation time, Chaitin vs. Briggs, over representative
+//! corpus routines — the paper's §3.3 claim: "the time required for the two
+//! methods appears to be quite similar".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimist_machine::Target;
+use optimist_regalloc::{allocate, AllocatorConfig};
+
+fn bench_allocators(c: &mut Criterion) {
+    let subjects = [
+        ("LINPACK", "DAXPY"),
+        ("LINPACK", "DGEFA"),
+        ("LINPACK", "DMXPY"),
+        ("SVD", "SVD"),
+        ("SIMPLEX", "SIMPLEX"),
+        ("EULER", "DISSIP"),
+        ("CEDETA", "HSSIAN"),
+    ];
+    let mut group = c.benchmark_group("allocate");
+    for (prog, name) in subjects {
+        let p = optimist_workloads::program(prog).expect("program exists");
+        let m = optimist::compile_optimized(&p.source).expect("compiles");
+        let f = m.function(name).expect("routine exists").clone();
+        for (label, cfg) in [
+            ("chaitin", AllocatorConfig::chaitin(Target::rt_pc())),
+            ("briggs", AllocatorConfig::briggs(Target::rt_pc())),
+        ] {
+            group.bench_function(BenchmarkId::new(label, name), |b| {
+                b.iter(|| allocate(&f, &cfg).expect("allocates"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_allocators
+}
+criterion_main!(benches);

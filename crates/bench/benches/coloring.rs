@@ -1,0 +1,74 @@
+//! Pure graph-coloring comparison on random graphs: Chaitin's simplify,
+//! the optimistic simplify+select, and the Matula–Beck smallest-last
+//! ordering, across a density sweep. Supports the paper's §2.2 claim that
+//! the optimistic method is a strictly stronger coloring heuristic, and
+//! §3.3's linearity argument for the bucket structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimist_ir::RegClass;
+use optimist_machine::Target;
+use optimist_regalloc::{select, simplify, smallest_last_order, Heuristic, InterferenceGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: usize, density: f64, seed: u64) -> InterferenceGraph {
+    let mut g = InterferenceGraph::new(vec![RegClass::Int; n]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(density) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let target = Target::custom("bench", 16, 8);
+    let n = 600;
+
+    let mut group = c.benchmark_group("coloring");
+    for &density in &[0.01, 0.03, 0.06] {
+        let g = random_graph(n, density, 42);
+        let costs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 37) as f64).collect();
+
+        group.bench_function(BenchmarkId::new("chaitin", format!("d{density}")), |b| {
+            b.iter(|| {
+                let out = simplify(&g, &costs, &target, Heuristic::ChaitinPessimistic);
+                select(&g, &out.stack, &target)
+            });
+        });
+        group.bench_function(BenchmarkId::new("briggs", format!("d{density}")), |b| {
+            b.iter(|| {
+                let out = simplify(&g, &costs, &target, Heuristic::BriggsOptimistic);
+                select(&g, &out.stack, &target)
+            });
+        });
+        group.bench_function(BenchmarkId::new("matula", format!("d{density}")), |b| {
+            b.iter(|| {
+                let order = smallest_last_order(&g);
+                select(&g, &order, &target)
+            });
+        });
+    }
+    group.finish();
+
+    // Scaling check for the Matula-Beck bucket structure: roughly linear in
+    // edges at fixed density.
+    let mut scale = c.benchmark_group("matula_scaling");
+    for &n in &[250usize, 500, 1000, 2000] {
+        let g = random_graph(n, 0.02, 7);
+        scale.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| smallest_last_order(g));
+        });
+    }
+    scale.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_coloring
+}
+criterion_main!(benches);

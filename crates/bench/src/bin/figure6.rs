@@ -1,0 +1,90 @@
+//! Regenerates the paper's **Figure 6** — the quicksort study: compile the
+//! non-recursive quicksort for 16, 14, 12, 10 and 8 integer registers under
+//! both allocators and report spilled registers, spill cost, object size,
+//! and (simulated) running time for each.
+//!
+//! The paper sorted 200,000 integers on a real RT/PC; we sort the same
+//! count on the simulator and convert cycles to seconds at the nominal
+//! clock so the table reads like the original.
+//!
+//! Usage: `cargo run --release -p optimist-bench --bin figure6 [--quick] [N]`
+
+use optimist_bench::{cycles_to_seconds, pct_cell, quick_flag, thousands};
+use optimist_machine::{size, Target};
+use optimist_regalloc::{allocate, AllocatorConfig};
+use optimist_sim::{run_allocated, AllocatedModule, ExecOptions, Scalar};
+use std::collections::HashMap;
+
+fn main() {
+    let quick = quick_flag();
+    let n: i64 = std::env::args()
+        .skip(1)
+        .find(|a| a != "--quick")
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if quick { 5_000 } else { 200_000 });
+
+    let program = optimist_workloads::program("QUICKSORT").expect("corpus");
+    let module = optimist::compile_optimized(&program.source).expect("compiles");
+    let qsort = module.function("QSORT").expect("exists");
+
+    println!("quicksort of {} integers\n", thousands(n as u64));
+    println!(
+        "{:>5} | {:>4} {:>4} {:>4} | {:>10} {:>10} {:>4} | {:>6} {:>6} {:>4} | {:>7} {:>7} {:>4}",
+        "Regs", "Old", "New", "Pct", "Old", "New", "Pct", "Old", "New", "Pct", "Old", "New", "Pct"
+    );
+    println!(
+        "{:>5} | {:^16} | {:^27} | {:^19} | {:^20}",
+        "", "Registers Spilled", "Spill Cost", "Object Size", "Running Time (s)"
+    );
+    println!("{}", "-".repeat(97));
+
+    for regs in [16usize, 14, 12, 10, 8] {
+        let target = Target::with_int_regs(regs);
+        let old_cfg = AllocatorConfig::chaitin(target.clone());
+        let new_cfg = AllocatorConfig::briggs(target.clone());
+        let old = allocate(qsort, &old_cfg).expect("old allocates");
+        let new = allocate(qsort, &new_cfg).expect("new allocates");
+
+        // Whole-program dynamic run under each allocation.
+        let run_with = |cfg: &AllocatorConfig| -> u64 {
+            let allocs: HashMap<_, _> = module
+                .functions()
+                .iter()
+                .map(|f| (f.name().to_string(), allocate(f, cfg).expect("allocates")))
+                .collect();
+            let am = AllocatedModule::new(&module, &allocs, &cfg.target);
+            let r = run_allocated(&am, "QMAIN", &[Scalar::Int(n)], &ExecOptions::default())
+                .expect("runs");
+            assert_eq!(r.ret, Some(Scalar::Int(0)), "k={regs}: not sorted");
+            r.cycles
+        };
+        let old_cycles = run_with(&old_cfg);
+        let new_cycles = run_with(&new_cfg);
+
+        println!(
+            "{:>5} | {:>4} {:>4} {:>4} | {:>10} {:>10} {:>4} | {:>6} {:>6} {:>4} | {:>7.1} {:>7.1} {:>4}",
+            regs,
+            old.stats.registers_spilled,
+            new.stats.registers_spilled,
+            pct_cell(
+                old.stats.registers_spilled as f64,
+                new.stats.registers_spilled as f64
+            ),
+            thousands(old.stats.spill_cost as u64),
+            thousands(new.stats.spill_cost as u64),
+            pct_cell(old.stats.spill_cost, new.stats.spill_cost),
+            size::function_size(&old.func),
+            size::function_size(&new.func),
+            pct_cell(
+                size::function_size(&old.func) as f64,
+                size::function_size(&new.func) as f64
+            ),
+            cycles_to_seconds(old_cycles),
+            cycles_to_seconds(new_cycles),
+            pct_cell(old_cycles as f64, new_cycles as f64),
+        );
+    }
+    println!(
+        "\n(RT/PC conventions prevented the paper from going below 8 registers; same here.)"
+    );
+}

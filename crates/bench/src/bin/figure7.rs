@@ -1,0 +1,116 @@
+//! Regenerates the paper's **Figure 7** — CPU time for the allocator's
+//! phases, per Build–Simplify–Color pass, for DQRDC, SVD, GRADNT and
+//! HSSIAN, under both allocators. The parenthesized numbers in the spill
+//! rows are the live ranges spilled that pass, as in the paper.
+//!
+//! The paper's times were CPU-seconds on a 60 Hz-clock machine; ours are
+//! wall-clock milliseconds on the host. The shape to reproduce: build
+//! dominates, simplify and color are cheap, Chaitin's color cells are empty
+//! on spilling passes, and the second pass's simplify is much faster than
+//! the first.
+//!
+//! Usage: `cargo run --release -p optimist-bench --bin figure7`
+
+use optimist_machine::Target;
+use optimist_regalloc::{allocate, AllocatorConfig, PassRecord};
+
+const ROUTINES: &[(&str, &str)] = &[
+    ("CEDETA", "DQRDC"),
+    ("SVD", "SVD"),
+    ("CEDETA", "GRADNT"),
+    ("CEDETA", "HSSIAN"),
+];
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn spill_cell(p: &PassRecord) -> String {
+    if p.spilled > 0 {
+        format!("({}) {}", p.spilled, ms(p.times.spill))
+    } else {
+        String::new()
+    }
+}
+
+fn main() {
+    let target = Target::rt_pc();
+
+    // Allocate each routine with both heuristics, collecting pass records.
+    let mut columns: Vec<(String, Vec<PassRecord>, Vec<PassRecord>)> = Vec::new();
+    for (prog, routine) in ROUTINES {
+        let p = optimist_workloads::program(prog).expect("program exists");
+        let m = optimist::compile_optimized(&p.source).expect("compiles");
+        let f = m.function(routine).expect("routine exists");
+        let old = allocate(f, &AllocatorConfig::chaitin(target.clone())).expect("old");
+        let new = allocate(f, &AllocatorConfig::briggs(target.clone())).expect("new");
+        columns.push((routine.to_string(), old.passes, new.passes));
+    }
+
+    let max_passes = columns
+        .iter()
+        .map(|(_, o, n)| o.len().max(n.len()))
+        .max()
+        .unwrap_or(1);
+
+    // Header.
+    print!("{:<10}", "Phase");
+    for (name, _, _) in &columns {
+        print!(" | {:^21}", name);
+    }
+    println!();
+    print!("{:<10}", "(ms)");
+    for _ in &columns {
+        print!(" | {:>10} {:>10}", "Old", "New");
+    }
+    println!();
+    let width = 10 + columns.len() * 25;
+    println!("{}", "-".repeat(width));
+
+    for pass in 0..max_passes {
+        for (label, get) in [
+            ("Build", 0usize),
+            ("Simplify", 1),
+            ("Color", 2),
+            ("Spill", 3),
+        ] {
+            print!("{label:<10}");
+            for (_, old, new) in &columns {
+                let cell = |passes: &Vec<PassRecord>| -> String {
+                    match passes.get(pass) {
+                        None => String::new(),
+                        Some(p) => match get {
+                            0 => ms(p.times.build),
+                            1 => ms(p.times.simplify),
+                            2 => {
+                                if p.times.color.is_zero() {
+                                    String::new() // Chaitin skipped it (Figure 7's blanks)
+                                } else {
+                                    ms(p.times.color)
+                                }
+                            }
+                            _ => spill_cell(p),
+                        },
+                    }
+                };
+                print!(" | {:>10} {:>10}", cell(old), cell(new));
+            }
+            println!();
+        }
+        println!("{}", "-".repeat(width));
+    }
+
+    // Totals row.
+    print!("{:<10}", "Total");
+    for (_, old, new) in &columns {
+        let total = |passes: &[PassRecord]| -> std::time::Duration {
+            passes
+                .iter()
+                .map(|p| p.times.build + p.times.simplify + p.times.color + p.times.spill)
+                .sum()
+        };
+        print!(" | {:>10} {:>10}", ms(total(old)), ms(total(new)));
+    }
+    println!();
+    println!("\n(spill cells show the pass's spilled-range count in parentheses, as in the paper)");
+}

@@ -1,0 +1,204 @@
+//! Abstract syntax for FT.
+
+/// Scalar types. `REAL` and `DOUBLE PRECISION` are both 64-bit floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Real,
+}
+
+/// One declared array bound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dim {
+    /// `*` — assumed size (parameters only, last dimension only).
+    Star,
+    /// An explicit bound expression (constant for locals; any integer
+    /// expression — typically another parameter — for parameters).
+    Expr(Expr),
+}
+
+/// One name in a type-declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type.
+    pub ty: Type,
+    /// Variable name (uppercased).
+    pub name: String,
+    /// Array bounds, if an array.
+    pub dims: Option<Vec<Dim>>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `.LT.`
+    Lt,
+    /// `.LE.`
+    Le,
+    /// `.GT.`
+    Gt,
+    /// `.GE.`
+    Ge,
+    /// `.EQ.`
+    Eq,
+    /// `.NE.`
+    Ne,
+    /// `.AND.`
+    And,
+    /// `.OR.`
+    Or,
+}
+
+impl BinKind {
+    /// True for the six relational operators.
+    pub fn is_relational(self) -> bool {
+        matches!(
+            self,
+            BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::Eq | BinKind::Ne
+        )
+    }
+
+    /// True for `.AND.` / `.OR.`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinKind::And | BinKind::Or)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal.
+    RealLit(f64),
+    /// A scalar variable (or the function's own name inside a FUNCTION).
+    Var(String),
+    /// `name(e, …)` — an array element, an intrinsic, or a function call;
+    /// disambiguated during semantic analysis.
+    Index {
+        /// The array/function name (uppercased).
+        name: String,
+        /// Subscripts or arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `.NOT.`
+    Not(Box<Expr>),
+    /// `base ** exp` with a literal non-negative integer exponent.
+    Pow {
+        /// The base expression.
+        base: Box<Expr>,
+        /// The literal exponent.
+        exp: u32,
+    },
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable (possibly the function result name).
+    Var(String),
+    /// An array element.
+    Element {
+        /// Array name.
+        name: String,
+        /// Subscripts.
+        args: Vec<Expr>,
+    },
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `target = expr`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Block `IF`/`ELSEIF`/`ELSE`/`ENDIF` (a logical `IF (c) stmt` is
+    /// desugared into this form by the parser).
+    If {
+        /// Conditions and their arms, in order (`IF`, then each `ELSEIF`).
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `ELSE` arm, if present.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `DO var = from, to [, step] … ENDDO` (or the labeled form).
+    Do {
+        /// Loop variable (an integer scalar).
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Limit.
+        to: Expr,
+        /// Step (defaults to 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `GOTO label`
+    Goto(u32),
+    /// `CALL name(args)`
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `RETURN` (and `STOP`, which FT treats as return).
+    Return,
+    /// `CONTINUE` — no operation (often just a label carrier).
+    Continue,
+}
+
+/// A statement with its optional numeric label and source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Numeric statement label, if any.
+    pub label: Option<u32>,
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// A program unit: one `SUBROUTINE` or `FUNCTION`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// True for `FUNCTION`, false for `SUBROUTINE`.
+    pub is_function: bool,
+    /// Unit name (uppercased).
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// Type declarations.
+    pub decls: Vec<Decl>,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the header.
+    pub line: u32,
+}

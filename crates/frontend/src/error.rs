@@ -1,0 +1,49 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling FT source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line the error was detected on (0 = unknown).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Create an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line_when_known() {
+        assert_eq!(
+            CompileError::new(3, "unexpected token").to_string(),
+            "line 3: unexpected token"
+        );
+        assert_eq!(CompileError::new(0, "oops").to_string(), "oops");
+    }
+}

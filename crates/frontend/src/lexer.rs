@@ -1,0 +1,425 @@
+//! Line-oriented lexer for FT.
+//!
+//! FT is free-form: `!` starts a trailing comment, a line whose first
+//! non-blank character is `C `, `c `, or `*` is a full-line comment (the
+//! FORTRAN convention), and a trailing `&` continues the statement on the
+//! next line. Identifiers and keywords are case-insensitive and are
+//! uppercased here.
+
+use crate::error::CompileError;
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, uppercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (decimal point or E/D exponent).
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `.LT.`
+    Lt,
+    /// `.LE.`
+    Le,
+    /// `.GT.`
+    Gt,
+    /// `.GE.`
+    Ge,
+    /// `.EQ.`
+    Eq,
+    /// `.NE.`
+    Ne,
+    /// `.AND.`
+    And,
+    /// `.OR.`
+    Or,
+    /// `.NOT.`
+    Not,
+}
+
+/// One logical source line: its 1-based line number and its tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// 1-based number of the (first) physical line.
+    pub number: u32,
+    /// The tokens on the logical line.
+    pub toks: Vec<Tok>,
+}
+
+/// Tokenize FT source into logical lines.
+///
+/// # Errors
+///
+/// Returns an error for malformed numbers, unknown `.XX.` operators, or
+/// stray characters.
+pub fn lex(source: &str) -> Result<Vec<Line>, CompileError> {
+    // Fold continuations into logical lines first.
+    let mut logical: Vec<(u32, String)> = Vec::new();
+    let mut pending: Option<(u32, String)> = None;
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let mut text = raw.to_string();
+        if let Some(pos) = text.find('!') {
+            text.truncate(pos);
+        }
+        if pending.is_none() {
+            // Full-line comments follow the FORTRAN fixed-form rule: the
+            // marker must be in *column 1*. (`C` elsewhere is an ordinary
+            // identifier — e.g. a Givens cosine named C.)
+            let mut chars = text.chars();
+            match chars.next() {
+                Some('*') => continue,
+                Some('C' | 'c') => {
+                    let next = chars.next();
+                    if next.is_none() || next == Some(' ') || next == Some('\t') {
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let trimmed = text.trim_start();
+        if trimmed.is_empty()
+            && pending.is_none() {
+                continue;
+            }
+        let continued = trimmed.trim_end().ends_with('&');
+        let mut content = trimmed.trim_end().to_string();
+        if continued {
+            content.pop();
+        }
+        match pending.take() {
+            None => {
+                if continued {
+                    pending = Some((lineno, content));
+                } else if !content.trim().is_empty() {
+                    logical.push((lineno, content));
+                }
+            }
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&content);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        if !acc.trim().is_empty() {
+            logical.push((start, acc));
+        }
+    }
+
+    let mut lines = Vec::with_capacity(logical.len());
+    for (number, text) in logical {
+        let toks = lex_line(&text, number)?;
+        if !toks.is_empty() {
+            lines.push(Line { number, toks });
+        }
+    }
+    Ok(lines)
+}
+
+const DOT_OPS: &[(&str, Tok)] = &[
+    ("LT", Tok::Lt),
+    ("LE", Tok::Le),
+    ("GT", Tok::Gt),
+    ("GE", Tok::Ge),
+    ("EQ", Tok::Eq),
+    ("NE", Tok::Ne),
+    ("AND", Tok::And),
+    ("OR", Tok::Or),
+    ("NOT", Tok::Not),
+    ("TRUE", Tok::Int(1)),
+    ("FALSE", Tok::Int(0)),
+];
+
+/// If `s[i..]` starts a `.XX.` operator, return it and the consumed length.
+fn dot_op(s: &[u8], i: usize) -> Option<(Tok, usize)> {
+    debug_assert_eq!(s[i], b'.');
+    let mut j = i + 1;
+    while j < s.len() && s[j].is_ascii_alphabetic() {
+        j += 1;
+    }
+    if j > i + 1 && j < s.len() && s[j] == b'.' {
+        let word = std::str::from_utf8(&s[i + 1..j]).ok()?.to_ascii_uppercase();
+        for (name, tok) in DOT_OPS {
+            if word == *name {
+                return Some((tok.clone(), j + 1 - i));
+            }
+        }
+    }
+    None
+}
+
+fn lex_line(text: &str, lineno: u32) -> Result<Vec<Tok>, CompileError> {
+    let s = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < s.len() {
+        let c = s[i];
+        match c {
+            b' ' | b'\t' => i += 1,
+            b'(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            b',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            b'=' => {
+                toks.push(Tok::Assign);
+                i += 1;
+            }
+            b'+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            b'/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            b'*' => {
+                if i + 1 < s.len() && s[i + 1] == b'*' {
+                    toks.push(Tok::StarStar);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Star);
+                    i += 1;
+                }
+            }
+            b'.' => {
+                if let Some((tok, len)) = dot_op(s, i) {
+                    toks.push(tok);
+                    i += len;
+                } else if i + 1 < s.len() && s[i + 1].is_ascii_digit() {
+                    let (tok, len) = lex_number(s, i, lineno)?;
+                    toks.push(tok);
+                    i += len;
+                } else {
+                    return Err(CompileError::new(lineno, "unexpected `.`"));
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, len) = lex_number(s, i, lineno)?;
+                toks.push(tok);
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < s.len() && (s[j].is_ascii_alphanumeric() || s[j] == b'_') {
+                    j += 1;
+                }
+                let word = std::str::from_utf8(&s[i..j])
+                    .expect("ascii slice")
+                    .to_ascii_uppercase();
+                toks.push(Tok::Ident(word));
+                i = j;
+            }
+            other => {
+                return Err(CompileError::new(
+                    lineno,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Lex a numeric literal starting at `s[i]` (a digit or a dot-digit).
+/// Handles `123`, `1.5`, `.5`, `1E3`, `2.5D-4`. A trailing `.` followed by
+/// a relational word (`1.EQ.`) is *not* swallowed into the number.
+fn lex_number(s: &[u8], i: usize, lineno: u32) -> Result<(Tok, usize), CompileError> {
+    let mut j = i;
+    let mut is_real = false;
+    while j < s.len() && s[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j < s.len() && s[j] == b'.' && dot_op(s, j).is_none() {
+        is_real = true;
+        j += 1;
+        while j < s.len() && s[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    if j < s.len() && matches!(s[j], b'E' | b'e' | b'D' | b'd') {
+        // Exponent: must be followed by [+|-]digits to count.
+        let mut k = j + 1;
+        if k < s.len() && (s[k] == b'+' || s[k] == b'-') {
+            k += 1;
+        }
+        if k < s.len() && s[k].is_ascii_digit() {
+            is_real = true;
+            j = k;
+            while j < s.len() && s[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let text = std::str::from_utf8(&s[i..j]).expect("ascii slice");
+    if is_real {
+        let normalized = text.replace(['D', 'd'], "E");
+        let v: f64 = normalized
+            .parse()
+            .map_err(|_| CompileError::new(lineno, format!("bad real literal `{text}`")))?;
+        Ok((Tok::Real(v), j - i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| CompileError::new(lineno, format!("bad integer literal `{text}`")))?;
+        Ok((Tok::Int(v), j - i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1, "expected one logical line");
+        lines.into_iter().next().unwrap().toks
+    }
+
+    #[test]
+    fn idents_are_uppercased() {
+        assert_eq!(
+            toks("call Foo(x)"),
+            vec![
+                Tok::Ident("CALL".into()),
+                Tok::Ident("FOO".into()),
+                Tok::LParen,
+                Tok::Ident("X".into()),
+                Tok::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("1.5"), vec![Tok::Real(1.5)]);
+        assert_eq!(toks(".5"), vec![Tok::Real(0.5)]);
+        assert_eq!(toks("1E3"), vec![Tok::Real(1000.0)]);
+        assert_eq!(toks("2.5D-1"), vec![Tok::Real(0.25)]);
+        assert_eq!(toks("7."), vec![Tok::Real(7.0)]);
+    }
+
+    #[test]
+    fn dot_operators() {
+        assert_eq!(
+            toks("a .lt. b .and. .not. c"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Lt,
+                Tok::Ident("B".into()),
+                Tok::And,
+                Tok::Not,
+                Tok::Ident("C".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_adjacent_to_dot_op() {
+        // The classic FORTRAN ambiguity: `1.EQ.N`.
+        assert_eq!(
+            toks("1.EQ.N"),
+            vec![Tok::Int(1), Tok::Eq, Tok::Ident("N".into())]
+        );
+        // But `1.5.LT.X` still parses the real.
+        assert_eq!(
+            toks("1.5.LT.X"),
+            vec![Tok::Real(1.5), Tok::Lt, Tok::Ident("X".into())]
+        );
+    }
+
+    #[test]
+    fn star_star() {
+        assert_eq!(
+            toks("x**2 * y"),
+            vec![
+                Tok::Ident("X".into()),
+                Tok::StarStar,
+                Tok::Int(2),
+                Tok::Star,
+                Tok::Ident("Y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let lines = lex("C full line comment\n* another\n  x = 1 ! trailing\n\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 3);
+        assert_eq!(lines[0].toks.len(), 3);
+    }
+
+    #[test]
+    fn call_is_not_a_comment() {
+        let lines = lex("CALL F(1)").unwrap();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let lines = lex("x = 1 + &\n    2").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 1);
+        assert_eq!(
+            lines[0].toks,
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn logical_constants() {
+        assert_eq!(toks(".TRUE."), vec![Tok::Int(1)]);
+        assert_eq!(toks(".FALSE."), vec![Tok::Int(0)]);
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_line() {
+        let err = lex("  x = $\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains('$'));
+    }
+}

@@ -1,0 +1,102 @@
+#![warn(missing_docs)]
+
+//! # optimist-frontend
+//!
+//! A front end for **FT**, a FORTRAN-77-flavoured mini language, compiling
+//! to [`optimist_ir`]. The paper's register allocator lived inside the IRⁿ
+//! FORTRAN compiler; FT lets this reproduction express the paper's benchmark
+//! routines (LINPACK, SVD, quicksort, …) as source code rather than
+//! hand-built IR.
+//!
+//! ## The FT language
+//!
+//! ```fortran
+//! SUBROUTINE DAXPY(N, DA, DX, DY)
+//!   INTEGER N, I
+//!   REAL DA, DX(*), DY(*)
+//!   IF (N .LE. 0) RETURN
+//!   DO I = 1, N
+//!     DY(I) = DY(I) + DA*DX(I)
+//!   ENDDO
+//! END
+//! ```
+//!
+//! * Free-form lines (a modernization of FORTRAN's fixed columns); `!`
+//!   comments, `C`/`*` full-line comments, `&` continuation.
+//! * `SUBROUTINE` and `FUNCTION` units; a function's result is assigned to
+//!   its own name.
+//! * `INTEGER` (64-bit) and `REAL`/`DOUBLE PRECISION` (both 64-bit float).
+//!   Undeclared names follow the classic implicit rule: `I`–`N` integer,
+//!   everything else real.
+//! * Arrays: 1-based, column-major, 1-D or 2-D; parameter arrays may use an
+//!   assumed bound (`DX(*)`, `A(LDA,*)`). Passing `A(I,J)` to an array
+//!   parameter passes the address of that element (how LINPACK walks
+//!   sub-columns).
+//! * `DO`/`ENDDO` and labeled `DO 10 … 10 CONTINUE` loops, `IF`/`ELSEIF`/
+//!   `ELSE`/`ENDIF`, logical `IF`, `GOTO`, numeric labels, `CALL`, `RETURN`.
+//! * Intrinsics: `ABS IABS DABS SQRT DSQRT MOD MIN MAX MIN0 MAX0 AMIN1 AMAX1
+//!   DMIN1 DMAX1 SIGN DSIGN ISIGN FLOAT REAL DBLE INT IFIX IDINT`.
+//! * `X**n` for literal non-negative integer exponents.
+//!
+//! ### Deviations from FORTRAN-77 (documented in DESIGN.md)
+//!
+//! Scalar parameters are passed **by value** and results are returned by
+//! value (`FUNCTION`s); there is no aliasing of scalars through the call.
+//! This matches what the IRⁿ optimizer achieved interprocedurally and keeps
+//! scalars in registers, which is the regime the paper's data comes from.
+//! Arrays are genuinely by reference. There is no I/O (the paper's compiler
+//! had none either — footnote 6), no CHARACTER/COMPLEX/LOGICAL variables,
+//! and no COMMON or EQUIVALENCE.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = "
+//! FUNCTION TWICE(X)
+//!   REAL TWICE, X
+//!   TWICE = X + X
+//! END
+//! ";
+//! let module = optimist_frontend::compile(src)?;
+//! assert!(module.function("TWICE").is_some());
+//! # Ok::<(), optimist_frontend::CompileError>(())
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod sema;
+
+pub use error::CompileError;
+
+use optimist_ir::Module;
+
+/// Compile FT source text into an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] (with a line number) for lexical, syntactic,
+/// or semantic problems.
+pub fn compile(source: &str) -> Result<Module, CompileError> {
+    let units = parser::parse(source)?;
+    let annotated = sema::analyze(&units)?;
+    lower::lower(&annotated)
+}
+
+/// Compile and verify, panicking with a readable message on failure.
+/// Convenience for tests and the workload corpus (whose sources are fixed).
+///
+/// # Panics
+///
+/// Panics if `source` does not compile or produces invalid IR.
+pub fn compile_or_panic(source: &str) -> Module {
+    match compile(source) {
+        Ok(m) => match optimist_ir::verify_module(&m) {
+            Ok(()) => m,
+            Err(e) => panic!("frontend produced invalid IR: {e}"),
+        },
+        Err(e) => panic!("FT compilation failed: {e}"),
+    }
+}

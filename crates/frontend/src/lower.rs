@@ -1,0 +1,1118 @@
+//! Lowering from the FT AST to `optimist_ir`.
+//!
+//! Scalars live in virtual registers (one mutable register per variable;
+//! the allocator's renumber pass later splits them into live ranges).
+//! Local arrays live in frame slots; parameter arrays arrive as addresses.
+//! Column-major, 1-based indexing: `A(i,j)` is at `((i-1) + (j-1)*ld) * 8`
+//! bytes from the base. Constant subscripts fold into the addressing-mode
+//! displacement.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::sema::{const_int, Analyzed, ParamKind, Signature, SymKind, UnitInfo};
+use std::collections::HashMap;
+
+use optimist_ir::{
+    Addr, BinOp, BlockId, Cmp, FrameSlot, FunctionBuilder, Module, RegClass, UnOp, VReg,
+};
+
+/// Lower all analyzed units into an IR [`Module`].
+///
+/// # Errors
+///
+/// Reports type errors (e.g. `.AND.` on reals, real subscripts) and other
+/// conditions only visible during lowering.
+pub fn lower(a: &Analyzed<'_>) -> Result<Module, CompileError> {
+    let mut module = Module::new();
+    for (unit, info) in a.units.iter().zip(&a.infos) {
+        let func = LowerUnit::new(unit, info, &a.sigs)?.run()?;
+        module.add_function(func);
+    }
+    Ok(module)
+}
+
+fn class_of(ty: Type) -> RegClass {
+    match ty {
+        Type::Integer => RegClass::Int,
+        Type::Real => RegClass::Float,
+    }
+}
+
+/// What a name lowers to.
+#[derive(Debug, Clone)]
+enum Place {
+    /// A scalar in a register.
+    Reg(VReg, Type),
+    /// A local array in a frame slot; `dims` are its constant bounds.
+    LocalArray {
+        slot: FrameSlot,
+        dims: Vec<i64>,
+        ty: Type,
+    },
+    /// A parameter array: a base address plus the stride (in elements) of
+    /// the second subscript, when 2-D.
+    ParamArray {
+        base: VReg,
+        stride2: Option<Stride>,
+        ndims: usize,
+        ty: Type,
+    },
+}
+
+/// The second-subscript stride of a 2-D parameter array.
+#[derive(Debug, Clone, Copy)]
+enum Stride {
+    Const(i64),
+    Reg(VReg),
+}
+
+struct LowerUnit<'a> {
+    unit: &'a Unit,
+    info: &'a UnitInfo,
+    sigs: &'a HashMap<String, Signature>,
+    b: FunctionBuilder,
+    places: HashMap<String, Place>,
+    result: Option<(VReg, Type)>,
+    labels: HashMap<u32, BlockId>,
+}
+
+impl<'a> LowerUnit<'a> {
+    fn new(
+        unit: &'a Unit,
+        info: &'a UnitInfo,
+        sigs: &'a HashMap<String, Signature>,
+    ) -> Result<Self, CompileError> {
+        let mut b = FunctionBuilder::new(unit.name.clone());
+        let mut places = HashMap::new();
+
+        // Parameters, in order.
+        for p in &unit.params {
+            let sym = &info.symbols[p];
+            match &sym.kind {
+                SymKind::Array { dims, .. } => {
+                    let base = b.add_param(RegClass::Int, p.clone());
+                    places.insert(
+                        p.clone(),
+                        Place::ParamArray {
+                            base,
+                            stride2: None, // filled in below, after all params exist
+                            ndims: dims.len(),
+                            ty: sym.ty,
+                        },
+                    );
+                }
+                _ => {
+                    let v = b.add_param(class_of(sym.ty), p.clone());
+                    places.insert(p.clone(), Place::Reg(v, sym.ty));
+                }
+            }
+        }
+
+        let result = if unit.is_function {
+            let ty = info.symbols[&unit.name].ty;
+            let v = b.new_vreg(class_of(ty), format!("{}.result", unit.name));
+            b.set_ret_class(Some(class_of(ty)));
+            Some((v, ty))
+        } else {
+            None
+        };
+
+        let mut this = LowerUnit {
+            unit,
+            info,
+            sigs,
+            b,
+            places,
+            result,
+            labels: HashMap::new(),
+        };
+
+        // Local arrays: frame slots. Parameter 2-D arrays: evaluate the
+        // leading dimension once at entry (it may be a parameter like LDA).
+        for (name, sym) in &info.symbols {
+            if let SymKind::Array { dims, is_param } = &sym.kind {
+                if *is_param {
+                    if dims.len() == 2 {
+                        let stride2 = match &dims[0] {
+                            Dim::Star => {
+                                return Err(CompileError::new(
+                                    unit.line,
+                                    format!("`{name}`: first bound of a 2-D array cannot be `*`"),
+                                ))
+                            }
+                            Dim::Expr(e) => match const_int(e) {
+                                Some(c) => Stride::Const(c),
+                                None => {
+                                    let (v, ty) = this.lower_expr(e, unit.line)?;
+                                    let v = this.coerce(v, ty, Type::Integer);
+                                    Stride::Reg(v)
+                                }
+                            },
+                        };
+                        match this.places.get_mut(name) {
+                            Some(Place::ParamArray { stride2: s, .. }) => *s = Some(stride2),
+                            _ => unreachable!("param array has a place"),
+                        }
+                    }
+                } else {
+                    let dims: Vec<i64> = dims
+                        .iter()
+                        .map(|d| match d {
+                            Dim::Expr(e) => const_int(e).expect("sema checked const bounds"),
+                            Dim::Star => unreachable!("sema rejects local `*`"),
+                        })
+                        .collect();
+                    let size = dims.iter().product::<i64>().max(0) as u64 * 8;
+                    let slot = this.b.new_slot(size, name.clone());
+                    this.places.insert(
+                        name.clone(),
+                        Place::LocalArray {
+                            slot,
+                            dims,
+                            ty: sym.ty,
+                        },
+                    );
+                }
+            }
+        }
+
+        Ok(this)
+    }
+
+    fn run(mut self) -> Result<optimist_ir::Function, CompileError> {
+        let body = &self.unit.body;
+        self.lower_stmts(body)?;
+        if !self.b.is_terminated() {
+            self.emit_return();
+        }
+        // Unreachable leftovers (e.g. a fresh block after a trailing GOTO)
+        // still need a terminator for the verifier.
+        let empties: Vec<BlockId> = self
+            .b
+            .func()
+            .blocks()
+            .filter(|(_, blk)| blk.insts.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        for e in empties {
+            self.b.switch_to(e);
+            self.emit_return();
+        }
+        Ok(self.b.finish())
+    }
+
+    fn emit_return(&mut self) {
+        match self.result {
+            Some((v, _)) => self.b.ret(Some(v)),
+            None => self.b.ret(None),
+        }
+    }
+
+    fn err(&self, line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError::new(line, msg.into())
+    }
+
+    /// The register of a scalar variable, creating locals on first touch.
+    fn scalar(&mut self, name: &str) -> (VReg, Type) {
+        if let Some((v, ty)) = self.result {
+            if name == self.unit.name {
+                return (v, ty);
+            }
+        }
+        if let Some(Place::Reg(v, ty)) = self.places.get(name) {
+            return (*v, *ty);
+        }
+        let ty = self.info.symbols[name].ty;
+        let v = self.b.new_vreg(class_of(ty), name);
+        self.places.insert(name.to_string(), Place::Reg(v, ty));
+        (v, ty)
+    }
+
+    fn label_block(&mut self, label: u32) -> BlockId {
+        if let Some(&bb) = self.labels.get(&label) {
+            return bb;
+        }
+        let bb = self.b.new_block();
+        self.labels.insert(label, bb);
+        bb
+    }
+
+    fn coerce(&mut self, v: VReg, from: Type, to: Type) -> VReg {
+        match (from, to) {
+            (Type::Integer, Type::Real) => self.b.unv(UnOp::IntToFloat, v),
+            (Type::Real, Type::Integer) => self.b.unv(UnOp::FloatToInt, v),
+            _ => v,
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        if let Some(l) = s.label {
+            let bb = self.label_block(l);
+            if !self.b.is_terminated() {
+                self.b.jump(bb);
+            }
+            self.b.switch_to(bb);
+        } else if self.b.is_terminated() {
+            // Unreachable statement after GOTO/RETURN: lower into a fresh
+            // block anyway (it may be jumped to later via a label deeper in).
+            let nb = self.b.new_block();
+            self.b.switch_to(nb);
+        }
+
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                let (v, vty) = self.lower_expr(value, s.line)?;
+                match target {
+                    LValue::Var(name) => {
+                        let (dst, dty) = self.scalar(name);
+                        let v = self.coerce(v, vty, dty);
+                        self.b.copy(dst, v);
+                    }
+                    LValue::Element { name, args } => {
+                        let ety = self.array_type(name);
+                        let v = self.coerce(v, vty, ety);
+                        let addr = self.element_addr(name, args, s.line)?;
+                        self.b.store(v, addr);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::If { arms, els } => {
+                let join = self.b.new_block();
+                for (cond, body) in arms {
+                    let c = self.lower_cond(cond, s.line)?;
+                    let then_bb = self.b.new_block();
+                    let next_bb = self.b.new_block();
+                    self.b.branch(c, then_bb, next_bb);
+                    self.b.switch_to(then_bb);
+                    self.lower_stmts(body)?;
+                    if !self.b.is_terminated() {
+                        self.b.jump(join);
+                    }
+                    self.b.switch_to(next_bb);
+                }
+                if let Some(body) = els {
+                    self.lower_stmts(body)?;
+                }
+                if !self.b.is_terminated() {
+                    self.b.jump(join);
+                }
+                self.b.switch_to(join);
+                Ok(())
+            }
+            StmtKind::Do {
+                var,
+                from,
+                to,
+                step,
+                body,
+            } => self.lower_do(var, from, to, step.as_ref(), body, s.line),
+            StmtKind::Goto(l) => {
+                let bb = self.label_block(*l);
+                self.b.jump(bb);
+                Ok(())
+            }
+            StmtKind::Call { name, args } => {
+                let sig = self.sigs[name].clone();
+                let arg_regs = self.lower_args(name, &sig, args, s.line)?;
+                self.b.call(None, name.clone(), arg_regs);
+                Ok(())
+            }
+            StmtKind::Return => {
+                self.emit_return();
+                Ok(())
+            }
+            StmtKind::Continue => Ok(()),
+        }
+    }
+
+    fn lower_do(
+        &mut self,
+        var: &str,
+        from: &Expr,
+        to: &Expr,
+        step: Option<&Expr>,
+        body: &[Stmt],
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let (iv, ity) = self.scalar(var);
+        debug_assert_eq!(ity, Type::Integer);
+
+        let (f, fty) = self.lower_expr(from, line)?;
+        let f = self.coerce(f, fty, Type::Integer);
+        self.b.copy(iv, f);
+
+        // Limit and step are evaluated once, per FORTRAN semantics.
+        let (tv, tty) = self.lower_expr(to, line)?;
+        let tv0 = self.coerce(tv, tty, Type::Integer);
+        let limit = self.b.new_vreg(RegClass::Int, format!("{var}.limit"));
+        self.b.copy(limit, tv0);
+
+        let step_const = step.map_or(Some(1), const_int);
+        let step_reg = match step {
+            None => self.b.int(1),
+            Some(e) => {
+                let (sv, sty) = self.lower_expr(e, line)?;
+                let sv = self.coerce(sv, sty, Type::Integer);
+                let s = self.b.new_vreg(RegClass::Int, format!("{var}.step"));
+                self.b.copy(s, sv);
+                s
+            }
+        };
+
+        let head = self.b.new_block();
+        let body_bb = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.jump(head);
+
+        self.b.switch_to(head);
+        let cond = match step_const {
+            Some(c) if c >= 0 => self.b.cmp_i(Cmp::Le, iv, limit),
+            Some(_) => self.b.cmp_i(Cmp::Ge, iv, limit),
+            None => {
+                // Direction unknown at compile time:
+                // (step >= 0 .AND. i <= limit) .OR. (step < 0 .AND. i >= limit)
+                let zero = self.b.int(0);
+                let up = self.b.cmp_i(Cmp::Ge, step_reg, zero);
+                let le = self.b.cmp_i(Cmp::Le, iv, limit);
+                let down = self.b.cmp_i(Cmp::Lt, step_reg, zero);
+                let ge = self.b.cmp_i(Cmp::Ge, iv, limit);
+                let a = self.b.binv(BinOp::And, up, le);
+                let c = self.b.binv(BinOp::And, down, ge);
+                self.b.binv(BinOp::Or, a, c)
+            }
+        };
+        self.b.branch(cond, body_bb, exit);
+
+        self.b.switch_to(body_bb);
+        self.lower_stmts(body)?;
+        if !self.b.is_terminated() {
+            self.b.bin(BinOp::AddI, iv, iv, step_reg);
+            self.b.jump(head);
+        }
+        self.b.switch_to(exit);
+        Ok(())
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn lower_cond(&mut self, e: &Expr, line: u32) -> Result<VReg, CompileError> {
+        let (v, ty) = self.lower_expr(e, line)?;
+        if ty != Type::Integer {
+            return Err(self.err(line, "condition must be logical/integer-valued"));
+        }
+        Ok(v)
+    }
+
+    fn array_type(&self, name: &str) -> Type {
+        match &self.places[name] {
+            Place::LocalArray { ty, .. } | Place::ParamArray { ty, .. } => *ty,
+            Place::Reg(..) => unreachable!("sema guarantees `{name}` is an array"),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr, line: u32) -> Result<(VReg, Type), CompileError> {
+        match e {
+            Expr::IntLit(v) => Ok((self.b.int(*v), Type::Integer)),
+            Expr::RealLit(v) => Ok((self.b.float(*v), Type::Real)),
+            Expr::Var(name) => Ok(self.scalar(name)),
+            Expr::Neg(x) => {
+                let (v, ty) = self.lower_expr(x, line)?;
+                let r = match ty {
+                    Type::Integer => self.b.unv(UnOp::NegI, v),
+                    Type::Real => self.b.unv(UnOp::NegF, v),
+                };
+                Ok((r, ty))
+            }
+            Expr::Not(x) => {
+                let (v, ty) = self.lower_expr(x, line)?;
+                if ty != Type::Integer {
+                    return Err(self.err(line, ".NOT. requires a logical/integer operand"));
+                }
+                Ok((self.b.unv(UnOp::Not, v), Type::Integer))
+            }
+            Expr::Pow { base, exp } => {
+                let (v, ty) = self.lower_expr(base, line)?;
+                Ok((self.lower_pow(v, ty, *exp), ty))
+            }
+            Expr::Bin { op, lhs, rhs } => self.lower_bin(*op, lhs, rhs, line),
+            Expr::Index { name, args } => {
+                if let Some(place) = self.places.get(name) {
+                    if !matches!(place, Place::Reg(..)) {
+                        let ty = self.array_type(name);
+                        let addr = self.element_addr(name, args, line)?;
+                        let dst = self.b.new_vreg(class_of(ty), format!("{name}.elt"));
+                        self.b.load(dst, addr);
+                        return Ok((dst, ty));
+                    }
+                }
+                if crate::sema::is_intrinsic(name) {
+                    return self.lower_intrinsic(name, args, line);
+                }
+                // A user function call.
+                let sig = self.sigs[name].clone();
+                let ret = sig.ret.expect("sema checked function-ness");
+                let arg_regs = self.lower_args(name, &sig, args, line)?;
+                let dst = self.b.new_vreg(class_of(ret), format!("{name}.ret"));
+                self.b.call(Some(dst), name.clone(), arg_regs);
+                Ok((dst, ret))
+            }
+        }
+    }
+
+    fn lower_pow(&mut self, v: VReg, ty: Type, exp: u32) -> VReg {
+        match exp {
+            0 => match ty {
+                Type::Integer => self.b.int(1),
+                Type::Real => self.b.float(1.0),
+            },
+            _ => {
+                let op = match ty {
+                    Type::Integer => BinOp::MulI,
+                    Type::Real => BinOp::MulF,
+                };
+                let mut acc = v;
+                for _ in 1..exp {
+                    acc = self.b.binv(op, acc, v);
+                }
+                acc
+            }
+        }
+    }
+
+    fn lower_bin(
+        &mut self,
+        op: BinKind,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<(VReg, Type), CompileError> {
+        let (lv, lty) = self.lower_expr(lhs, line)?;
+        let (rv, rty) = self.lower_expr(rhs, line)?;
+
+        if op.is_logical() {
+            if lty != Type::Integer || rty != Type::Integer {
+                return Err(self.err(line, ".AND./.OR. require logical/integer operands"));
+            }
+            let o = match op {
+                BinKind::And => BinOp::And,
+                BinKind::Or => BinOp::Or,
+                _ => unreachable!(),
+            };
+            return Ok((self.b.binv(o, lv, rv), Type::Integer));
+        }
+
+        // Numeric promotion.
+        let common = if lty == Type::Real || rty == Type::Real {
+            Type::Real
+        } else {
+            Type::Integer
+        };
+        let lv = self.coerce(lv, lty, common);
+        let rv = self.coerce(rv, rty, common);
+
+        if op.is_relational() {
+            let cmp = match op {
+                BinKind::Lt => Cmp::Lt,
+                BinKind::Le => Cmp::Le,
+                BinKind::Gt => Cmp::Gt,
+                BinKind::Ge => Cmp::Ge,
+                BinKind::Eq => Cmp::Eq,
+                BinKind::Ne => Cmp::Ne,
+                _ => unreachable!(),
+            };
+            let r = match common {
+                Type::Integer => self.b.cmp_i(cmp, lv, rv),
+                Type::Real => self.b.cmp_f(cmp, lv, rv),
+            };
+            return Ok((r, Type::Integer));
+        }
+
+        let o = match (op, common) {
+            (BinKind::Add, Type::Integer) => BinOp::AddI,
+            (BinKind::Sub, Type::Integer) => BinOp::SubI,
+            (BinKind::Mul, Type::Integer) => BinOp::MulI,
+            (BinKind::Div, Type::Integer) => BinOp::DivI,
+            (BinKind::Add, Type::Real) => BinOp::AddF,
+            (BinKind::Sub, Type::Real) => BinOp::SubF,
+            (BinKind::Mul, Type::Real) => BinOp::MulF,
+            (BinKind::Div, Type::Real) => BinOp::DivF,
+            _ => unreachable!("logical/relational handled above"),
+        };
+        Ok((self.b.binv(o, lv, rv), common))
+    }
+
+    fn lower_args(
+        &mut self,
+        name: &str,
+        sig: &Signature,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Vec<VReg>, CompileError> {
+        let mut regs = Vec::with_capacity(args.len());
+        for (param, arg) in sig.params.iter().zip(args) {
+            match param {
+                ParamKind::Scalar(ty) => {
+                    let (v, vty) = self.lower_expr(arg, line)?;
+                    regs.push(self.coerce(v, vty, *ty));
+                }
+                ParamKind::Array(_) => {
+                    let addr_reg = match arg {
+                        Expr::Var(n) => self.array_base(n),
+                        Expr::Index { name: n, args } => {
+                            let addr = self.element_addr(n, args, line)?;
+                            self.addr_to_vreg(addr)
+                        }
+                        _ => {
+                            return Err(self.err(
+                                line,
+                                format!("`{name}` expects an array argument"),
+                            ))
+                        }
+                    };
+                    regs.push(addr_reg);
+                }
+            }
+        }
+        Ok(regs)
+    }
+
+    /// Base address of an array as a register.
+    fn array_base(&mut self, name: &str) -> VReg {
+        match self.places[name].clone() {
+            Place::LocalArray { slot, .. } => {
+                let v = self.b.new_vreg(RegClass::Int, format!("{name}.addr"));
+                self.b.frame_addr(v, slot);
+                v
+            }
+            Place::ParamArray { base, .. } => base,
+            Place::Reg(..) => unreachable!("sema guarantees `{name}` is an array"),
+        }
+    }
+
+    /// Materialize an address into a register (for passing subarrays).
+    fn addr_to_vreg(&mut self, addr: Addr) -> VReg {
+        match addr {
+            Addr::Reg { base, offset } => {
+                if offset == 0 {
+                    base
+                } else {
+                    let off = self.b.int(offset);
+                    self.b.binv(BinOp::AddI, base, off)
+                }
+            }
+            Addr::Frame { slot, offset } => {
+                let v = self.b.new_vreg(RegClass::Int, "addr");
+                self.b.frame_addr(v, slot);
+                if offset == 0 {
+                    v
+                } else {
+                    let off = self.b.int(offset);
+                    self.b.binv(BinOp::AddI, v, off)
+                }
+            }
+            Addr::Global { .. } => unreachable!("FT does not produce globals"),
+        }
+    }
+
+    /// Compute the address of `name(args…)`.
+    ///
+    /// The linear element offset is `(i1-1) + (i2-1)*stride2`; constant
+    /// subscripts fold into the displacement.
+    fn element_addr(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Addr, CompileError> {
+        let place = self.places[name].clone();
+        let (strides, base): (Vec<Stride>, Option<FrameSlot>) = match &place {
+            Place::LocalArray { slot, dims, .. } => {
+                let mut s = vec![Stride::Const(1)];
+                if dims.len() == 2 {
+                    s.push(Stride::Const(dims[0]));
+                }
+                (s, Some(*slot))
+            }
+            Place::ParamArray { stride2, ndims, .. } => {
+                let mut s = vec![Stride::Const(1)];
+                if *ndims == 2 {
+                    s.push(stride2.expect("2-D param array has stride"));
+                }
+                (s, None)
+            }
+            Place::Reg(..) => unreachable!("sema guarantees `{name}` is an array"),
+        };
+
+        // Accumulate constant and dynamic element offsets.
+        let mut const_elems: i64 = 0;
+        let mut dynamic: Option<VReg> = None;
+        for (idx, stride) in args.iter().zip(&strides) {
+            match (const_int(idx), stride) {
+                (Some(c), Stride::Const(s)) => {
+                    const_elems += (c - 1) * s;
+                }
+                (Some(c), Stride::Reg(sv)) => {
+                    if c != 1 {
+                        let cm1 = self.b.int(c - 1);
+                        let t = self.b.binv(BinOp::MulI, *sv, cm1);
+                        dynamic = Some(self.add_dyn(dynamic, t));
+                    }
+                }
+                (None, stride) => {
+                    let (v, vty) = self.lower_expr(idx, line)?;
+                    if vty != Type::Integer {
+                        return Err(self.err(line, "array subscripts must be integers"));
+                    }
+                    match stride {
+                        Stride::Const(s) => {
+                            let t = if *s == 1 {
+                                v
+                            } else {
+                                let sc = self.b.int(*s);
+                                self.b.binv(BinOp::MulI, v, sc)
+                            };
+                            dynamic = Some(self.add_dyn(dynamic, t));
+                            const_elems -= s;
+                        }
+                        Stride::Reg(sv) => {
+                            let one = self.b.int(1);
+                            let vm1 = self.b.binv(BinOp::SubI, v, one);
+                            let t = self.b.binv(BinOp::MulI, vm1, *sv);
+                            dynamic = Some(self.add_dyn(dynamic, t));
+                        }
+                    }
+                }
+            }
+        }
+
+        let byte_off = const_elems * 8;
+        match (dynamic, base, &place) {
+            (None, Some(slot), _) => Ok(Addr::Frame {
+                slot,
+                offset: byte_off,
+            }),
+            (None, None, Place::ParamArray { base, .. }) => Ok(Addr::Reg {
+                base: *base,
+                offset: byte_off,
+            }),
+            (Some(d), base_slot, _) => {
+                let eight = self.b.int(8);
+                let dbytes = self.b.binv(BinOp::MulI, d, eight);
+                let base_reg = match (base_slot, &place) {
+                    (Some(slot), _) => {
+                        let v = self.b.new_vreg(RegClass::Int, format!("{name}.addr"));
+                        self.b.frame_addr(v, slot);
+                        v
+                    }
+                    (None, Place::ParamArray { base, .. }) => *base,
+                    _ => unreachable!(),
+                };
+                let sum = self.b.binv(BinOp::AddI, base_reg, dbytes);
+                Ok(Addr::Reg {
+                    base: sum,
+                    offset: byte_off,
+                })
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn add_dyn(&mut self, acc: Option<VReg>, term: VReg) -> VReg {
+        match acc {
+            None => term,
+            Some(a) => self.b.binv(BinOp::AddI, a, term),
+        }
+    }
+
+    // -- intrinsics ----------------------------------------------------------
+
+    fn lower_intrinsic(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<(VReg, Type), CompileError> {
+        let expect_args = |n: usize| -> Result<(), CompileError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(CompileError::new(
+                    line,
+                    format!("intrinsic `{name}` takes {n} argument(s), {} given", args.len()),
+                ))
+            }
+        };
+
+        match name {
+            "ABS" | "IABS" | "DABS" => {
+                expect_args(1)?;
+                let (v, ty) = self.lower_expr(&args[0], line)?;
+                let ty = match name {
+                    "IABS" => Type::Integer,
+                    "DABS" => Type::Real,
+                    _ => ty,
+                };
+                let v = self.coerce_known(v, &args[0], ty, line)?;
+                let r = match ty {
+                    Type::Integer => self.b.unv(UnOp::AbsI, v),
+                    Type::Real => self.b.unv(UnOp::AbsF, v),
+                };
+                Ok((r, ty))
+            }
+            "SQRT" | "DSQRT" => {
+                expect_args(1)?;
+                let (v, ty) = self.lower_expr(&args[0], line)?;
+                let v = self.coerce(v, ty, Type::Real);
+                Ok((self.b.unv(UnOp::SqrtF, v), Type::Real))
+            }
+            "MOD" | "AMOD" | "DMOD" => {
+                expect_args(2)?;
+                let (a, aty) = self.lower_expr(&args[0], line)?;
+                let (b2, bty) = self.lower_expr(&args[1], line)?;
+                let real = name != "MOD" || aty == Type::Real || bty == Type::Real;
+                if real {
+                    let a = self.coerce(a, aty, Type::Real);
+                    let b2 = self.coerce(b2, bty, Type::Real);
+                    // a - AINT(a/b)*b
+                    let q = self.b.binv(BinOp::DivF, a, b2);
+                    let qi = self.b.unv(UnOp::FloatToInt, q);
+                    let qf = self.b.unv(UnOp::IntToFloat, qi);
+                    let m = self.b.binv(BinOp::MulF, qf, b2);
+                    Ok((self.b.binv(BinOp::SubF, a, m), Type::Real))
+                } else {
+                    Ok((self.b.binv(BinOp::RemI, a, b2), Type::Integer))
+                }
+            }
+            "MIN" | "MAX" | "MIN0" | "MAX0" | "AMIN1" | "AMAX1" | "DMIN1" | "DMAX1" => {
+                if args.len() < 2 {
+                    return Err(self.err(line, format!("`{name}` needs at least 2 arguments")));
+                }
+                let is_min = name.starts_with("MIN") || name.starts_with("AMIN") || name.starts_with("DMIN");
+                let forced = match name {
+                    "MIN0" | "MAX0" => Some(Type::Integer),
+                    "AMIN1" | "AMAX1" | "DMIN1" | "DMAX1" => Some(Type::Real),
+                    _ => None,
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                let mut common = Type::Integer;
+                for a in args {
+                    let (v, ty) = self.lower_expr(a, line)?;
+                    if ty == Type::Real {
+                        common = Type::Real;
+                    }
+                    vals.push((v, ty));
+                }
+                let common = forced.unwrap_or(common);
+                let op = match (is_min, common) {
+                    (true, Type::Integer) => BinOp::MinI,
+                    (false, Type::Integer) => BinOp::MaxI,
+                    (true, Type::Real) => BinOp::MinF,
+                    (false, Type::Real) => BinOp::MaxF,
+                };
+                let mut acc = {
+                    let (v, ty) = vals[0];
+                    self.coerce(v, ty, common)
+                };
+                for &(v, ty) in &vals[1..] {
+                    let v = self.coerce(v, ty, common);
+                    acc = self.b.binv(op, acc, v);
+                }
+                Ok((acc, common))
+            }
+            "SIGN" | "ISIGN" | "DSIGN" => {
+                expect_args(2)?;
+                let (a, aty) = self.lower_expr(&args[0], line)?;
+                let (s, sty) = self.lower_expr(&args[1], line)?;
+                let ty = match name {
+                    "ISIGN" => Type::Integer,
+                    "DSIGN" => Type::Real,
+                    _ => aty,
+                };
+                let a = self.coerce(a, aty, ty);
+                let s = self.coerce(s, sty, ty);
+                // r = |a|, negated when s < 0.
+                let mag = match ty {
+                    Type::Integer => self.b.unv(UnOp::AbsI, a),
+                    Type::Real => self.b.unv(UnOp::AbsF, a),
+                };
+                let r = self.b.new_vreg(class_of(ty), "sign");
+                self.b.copy(r, mag);
+                let cond = match ty {
+                    Type::Integer => {
+                        let z = self.b.int(0);
+                        self.b.cmp_i(Cmp::Lt, s, z)
+                    }
+                    Type::Real => {
+                        let z = self.b.float(0.0);
+                        self.b.cmp_f(Cmp::Lt, s, z)
+                    }
+                };
+                let neg_bb = self.b.new_block();
+                let join = self.b.new_block();
+                self.b.branch(cond, neg_bb, join);
+                self.b.switch_to(neg_bb);
+                let n = match ty {
+                    Type::Integer => self.b.unv(UnOp::NegI, mag),
+                    Type::Real => self.b.unv(UnOp::NegF, mag),
+                };
+                self.b.copy(r, n);
+                self.b.jump(join);
+                self.b.switch_to(join);
+                Ok((r, ty))
+            }
+            "FLOAT" | "REAL" | "DBLE" | "SNGL" => {
+                expect_args(1)?;
+                let (v, ty) = self.lower_expr(&args[0], line)?;
+                Ok((self.coerce(v, ty, Type::Real), Type::Real))
+            }
+            "INT" | "IFIX" | "IDINT" => {
+                expect_args(1)?;
+                let (v, ty) = self.lower_expr(&args[0], line)?;
+                Ok((self.coerce(v, ty, Type::Integer), Type::Integer))
+            }
+            other => Err(self.err(line, format!("intrinsic `{other}` is not implemented"))),
+        }
+    }
+
+    /// Coerce `v` (lowered from `arg`) to `ty`, erroring only on genuinely
+    /// impossible conversions (none today — kept for future value checks).
+    fn coerce_known(
+        &mut self,
+        v: VReg,
+        _arg: &Expr,
+        ty: Type,
+        _line: u32,
+    ) -> Result<VReg, CompileError> {
+        let from = match self.b.func().class_of(v) {
+            RegClass::Int => Type::Integer,
+            RegClass::Float => Type::Real,
+        };
+        Ok(self.coerce(v, from, ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use optimist_ir::verify_module;
+
+    fn ok(src: &str) -> optimist_ir::Module {
+        let m = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+        verify_module(&m).unwrap_or_else(|e| panic!("invalid IR: {e}\n{m}"));
+        m
+    }
+
+    #[test]
+    fn daxpy_compiles_and_verifies() {
+        let m = ok("
+SUBROUTINE DAXPY(N, DA, DX, DY)
+  INTEGER N, I
+  REAL DA, DX(*), DY(*)
+  IF (N .LE. 0) RETURN
+  DO I = 1, N
+    DY(I) = DY(I) + DA*DX(I)
+  ENDDO
+END
+");
+        let f = m.function("DAXPY").unwrap();
+        assert_eq!(f.params().len(), 4);
+        assert!(f.num_insts() > 8);
+    }
+
+    #[test]
+    fn function_result_returned() {
+        let m = ok("
+FUNCTION TWICE(X)
+  REAL TWICE, X
+  TWICE = X + X
+END
+");
+        let f = m.function("TWICE").unwrap();
+        assert_eq!(f.ret_class(), Some(optimist_ir::RegClass::Float));
+    }
+
+    #[test]
+    fn local_array_constant_index_folds_to_frame_addressing() {
+        let m = ok("
+SUBROUTINE F()
+  REAL A(10)
+  A(3) = 1.5
+  X = A(3)
+END
+");
+        let f = m.function("F").unwrap();
+        // Constant subscripts become frame-relative addressing: no MulI.
+        let has_mul = f
+            .insts()
+            .any(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::MulI, .. }));
+        assert!(!has_mul, "constant index should fold:\n{f}");
+    }
+
+    #[test]
+    fn two_dimensional_column_major() {
+        let m = ok("
+SUBROUTINE F(A, LDA, I, J)
+  INTEGER LDA, I, J
+  REAL A(LDA, *)
+  A(I, J) = 0.0
+END
+");
+        assert!(m.function("F").is_some());
+    }
+
+    #[test]
+    fn labeled_do_with_goto() {
+        ok("
+SUBROUTINE F(N)
+  INTEGER N, I, K
+  K = 0
+  DO 10 I = 1, N
+    K = K + I
+    IF (K .GT. 100) GOTO 20
+10 CONTINUE
+20 CONTINUE
+END
+");
+    }
+
+    #[test]
+    fn intrinsics_lower() {
+        ok("
+SUBROUTINE F(X, Y, I, J)
+  REAL X, Y
+  INTEGER I, J
+  A = ABS(X)
+  B = SQRT(X*X + Y*Y)
+  K = MOD(I, J)
+  C = AMAX1(X, Y, 2.0)
+  D = SIGN(X, Y)
+  M = MIN0(I, J)
+  E = FLOAT(I)
+  L = INT(X)
+END
+");
+    }
+
+    #[test]
+    fn subarray_argument_passes_element_address() {
+        ok("
+SUBROUTINE INNER(V)
+  REAL V(*)
+  V(1) = 0.0
+END
+SUBROUTINE OUTER(A, LDA, K)
+  INTEGER LDA, K
+  REAL A(LDA, *)
+  CALL INNER(A(K, K))
+END
+");
+    }
+
+    #[test]
+    fn call_function_in_expression() {
+        ok("
+FUNCTION SQ(X)
+  REAL SQ, X
+  SQ = X*X
+END
+SUBROUTINE F(Y)
+  REAL Y
+  Z = SQ(Y) + SQ(Y + 1.0)
+END
+");
+    }
+
+    #[test]
+    fn integer_division_stays_integer() {
+        let m = ok("
+SUBROUTINE F(I, J)
+  INTEGER I, J, K
+  K = I / J
+END
+");
+        let f = m.function("F").unwrap();
+        let has_idiv = f
+            .insts()
+            .any(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::DivI, .. }));
+        assert!(has_idiv);
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        let m = ok("
+SUBROUTINE F(I)
+  INTEGER I
+  X = I + 2.5
+END
+");
+        let f = m.function("F").unwrap();
+        let has_cvt = f.insts().any(|(_, _, i)| {
+            matches!(i, optimist_ir::Inst::Un { op: optimist_ir::UnOp::IntToFloat, .. })
+        });
+        assert!(has_cvt);
+    }
+
+    #[test]
+    fn pow_expands_to_multiplies() {
+        let m = ok("
+SUBROUTINE F(X)
+  REAL X
+  Y = X**3
+END
+");
+        let f = m.function("F").unwrap();
+        let muls = f
+            .insts()
+            .filter(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::MulF, .. }))
+            .count();
+        assert_eq!(muls, 2);
+    }
+
+    #[test]
+    fn do_with_negative_step() {
+        ok("
+SUBROUTINE F(N)
+  INTEGER N, I, K
+  K = 0
+  DO I = N, 1, -1
+    K = K + I
+  ENDDO
+END
+");
+    }
+
+    #[test]
+    fn nested_if_in_do() {
+        ok("
+SUBROUTINE F(N)
+  INTEGER N, I, K
+  K = 0
+  DO I = 1, N
+    IF (MOD(I, 2) .EQ. 0) THEN
+      K = K + I
+    ELSE
+      K = K - I
+    ENDIF
+  ENDDO
+END
+");
+    }
+
+    #[test]
+    fn trailing_goto_gets_valid_ir() {
+        ok("
+SUBROUTINE F(N)
+  INTEGER N
+10 N = N - 1
+  IF (N .GT. 0) GOTO 10
+  GOTO 20
+20 CONTINUE
+END
+");
+    }
+}

@@ -1,0 +1,959 @@
+//! Recursive-descent parser for FT.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{lex, Line, Tok};
+
+/// Parse FT source into program units.
+///
+/// # Errors
+///
+/// Returns the first syntax error, with its source line.
+pub fn parse(source: &str) -> Result<Vec<Unit>, CompileError> {
+    let lines = lex(source)?;
+    let mut p = Parser { lines, pos: 0 };
+    let mut units = Vec::new();
+    while !p.at_end() {
+        units.push(p.parse_unit()?);
+    }
+    Ok(units)
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+/// What ends a statement block.
+enum BlockEnd {
+    /// A line starting with one of these (normalized) keywords.
+    Keywords(&'static [&'static str]),
+    /// A statement carrying this label (the statement itself belongs to the
+    /// block — the labeled-`DO` convention).
+    Label(u32),
+}
+
+/// Cursor over the tokens of one line.
+struct Cur<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cur<'a> {
+    fn new(line: &'a Line) -> Self {
+        Cur {
+            toks: &line.toks,
+            i: 0,
+            line: line.number,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn peek2(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i + 1)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == word) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), CompileError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(w)) => Ok(w.clone()),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn require_end(&self) -> Result<(), CompileError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing tokens: {:?}", &self.toks[self.i..])))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(self.line, message)
+    }
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
+    }
+
+    fn current(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    /// First keyword of a line, with the label stripped and two-word forms
+    /// (`END IF`, `ELSE IF`, `END DO`, `GO TO`) normalized to one word.
+    fn line_keyword(line: &Line) -> Option<String> {
+        let mut i = 0;
+        if matches!(line.toks.first(), Some(Tok::Int(_))) {
+            i = 1;
+        }
+        let first = match line.toks.get(i) {
+            Some(Tok::Ident(w)) => w.as_str(),
+            _ => return None,
+        };
+        let second = match line.toks.get(i + 1) {
+            Some(Tok::Ident(w)) => Some(w.as_str()),
+            _ => None,
+        };
+        // An assignment like `IF = 3` starts with `=` after the ident.
+        if matches!(line.toks.get(i + 1), Some(Tok::Assign)) {
+            return Some("=".to_string());
+        }
+        let norm = match (first, second) {
+            ("END", Some("IF")) => "ENDIF",
+            ("END", Some("DO")) => "ENDDO",
+            ("ELSE", Some("IF")) => "ELSEIF",
+            ("GO", Some("TO")) => "GOTO",
+            ("DOUBLE", Some("PRECISION")) => "REAL",
+            (w, _) => w,
+        };
+        Some(norm.to_string())
+    }
+
+    fn parse_unit(&mut self) -> Result<Unit, CompileError> {
+        let line = self
+            .current()
+            .ok_or_else(|| CompileError::new(0, "expected a program unit"))?
+            .clone();
+        self.pos += 1;
+        let mut cur = Cur::new(&line);
+
+        // Optional result-type prefix: `INTEGER FUNCTION F(...)`.
+        let mut result_type: Option<Type> = None;
+        if let Some(Tok::Ident(w)) = cur.peek() {
+            let ty = match w.as_str() {
+                "INTEGER" => Some(Type::Integer),
+                "REAL" => Some(Type::Real),
+                "DOUBLE" => Some(Type::Real),
+                _ => None,
+            };
+            if ty.is_some() && matches!(cur.peek2(), Some(Tok::Ident(w2)) if w2 == "FUNCTION" || w2 == "PRECISION")
+            {
+                cur.next();
+                cur.eat_ident("PRECISION");
+                result_type = ty;
+            }
+        }
+
+        let is_function = if cur.eat_ident("SUBROUTINE") {
+            false
+        } else if cur.eat_ident("FUNCTION") {
+            true
+        } else {
+            return Err(cur.err("expected SUBROUTINE or FUNCTION"));
+        };
+        let name = cur.expect_ident()?;
+        let mut params = Vec::new();
+        if matches!(cur.peek(), Some(Tok::LParen)) {
+            cur.next();
+            if !matches!(cur.peek(), Some(Tok::RParen)) {
+                loop {
+                    params.push(cur.expect_ident()?);
+                    match cur.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RParen) => break,
+                        other => return Err(cur.err(format!("expected , or ), found {other:?}"))),
+                    }
+                }
+            } else {
+                cur.next();
+            }
+        }
+        cur.require_end()?;
+
+        let mut decls = Vec::new();
+        if let Some(ty) = result_type {
+            decls.push(Decl {
+                ty,
+                name: name.clone(),
+                dims: None,
+                line: line.number,
+            });
+        }
+
+        let mut body = Vec::new();
+        loop {
+            let kw = match self.current() {
+                None => return Err(CompileError::new(0, format!("missing END for unit {name}"))),
+                Some(l) => Self::line_keyword(l),
+            };
+            match kw.as_deref() {
+                Some("END") => {
+                    self.pos += 1;
+                    break;
+                }
+                Some("INTEGER") | Some("REAL") => {
+                    let l = self.lines[self.pos].clone();
+                    self.pos += 1;
+                    self.parse_decl_line(&l, &mut decls)?;
+                }
+                _ => {
+                    let before = self.pos;
+                    let mut stmts = self.parse_block(&BlockEnd::Keywords(&["END"]))?;
+                    if self.pos == before {
+                        let l = &self.lines[self.pos];
+                        return Err(CompileError::new(
+                            l.number,
+                            format!("unexpected `{}`", Self::line_keyword(l).unwrap_or_default()),
+                        ));
+                    }
+                    body.append(&mut stmts);
+                }
+            }
+        }
+
+        Ok(Unit {
+            is_function,
+            name,
+            params,
+            decls,
+            body,
+            line: line.number,
+        })
+    }
+
+    fn parse_decl_line(&mut self, line: &Line, decls: &mut Vec<Decl>) -> Result<(), CompileError> {
+        let mut cur = Cur::new(line);
+        let ty = match cur.next() {
+            Some(Tok::Ident(w)) if w == "INTEGER" => Type::Integer,
+            Some(Tok::Ident(w)) if w == "REAL" => Type::Real,
+            Some(Tok::Ident(w)) if w == "DOUBLE" => {
+                if !cur.eat_ident("PRECISION") {
+                    return Err(cur.err("expected PRECISION after DOUBLE"));
+                }
+                Type::Real
+            }
+            other => return Err(cur.err(format!("expected type keyword, found {other:?}"))),
+        };
+        loop {
+            let name = cur.expect_ident()?;
+            let mut dims = None;
+            if matches!(cur.peek(), Some(Tok::LParen)) {
+                cur.next();
+                let mut ds = Vec::new();
+                loop {
+                    if matches!(cur.peek(), Some(Tok::Star)) {
+                        cur.next();
+                        ds.push(Dim::Star);
+                    } else {
+                        ds.push(Dim::Expr(parse_expr(&mut cur)?));
+                    }
+                    match cur.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RParen) => break,
+                        other => {
+                            return Err(cur.err(format!("expected , or ) in dims, found {other:?}")))
+                        }
+                    }
+                }
+                if ds.len() > 2 {
+                    return Err(cur.err("FT supports at most 2-dimensional arrays"));
+                }
+                dims = Some(ds);
+            }
+            decls.push(Decl {
+                ty,
+                name,
+                dims,
+                line: line.number,
+            });
+            match cur.next() {
+                Some(Tok::Comma) => continue,
+                None => break,
+                other => return Err(cur.err(format!("expected , in declaration, found {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse statements until the block end is reached. The terminating
+    /// keyword line is *not* consumed; a terminating labeled statement *is*
+    /// (and is included in the block).
+    fn parse_block(&mut self, end: &BlockEnd) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        loop {
+            let line = match self.current() {
+                None => match end {
+                    BlockEnd::Keywords(ks) => {
+                        return Err(CompileError::new(
+                            0,
+                            format!("unexpected end of input; expected one of {ks:?}"),
+                        ))
+                    }
+                    BlockEnd::Label(l) => {
+                        return Err(CompileError::new(
+                            0,
+                            format!("unexpected end of input; expected statement labeled {l}"),
+                        ))
+                    }
+                },
+                Some(l) => l.clone(),
+            };
+            if let BlockEnd::Keywords(ks) = end {
+                if let Some(kw) = Self::line_keyword(&line) {
+                    // Any block-structural keyword ends this block; the
+                    // caller decides whether it was the right one.
+                    if ks.contains(&kw.as_str())
+                        || ["ELSE", "ELSEIF", "ENDIF", "ENDDO", "END"].contains(&kw.as_str())
+                    {
+                        return Ok(stmts);
+                    }
+                }
+            }
+            let stmt = self.parse_stmt(&line)?;
+            let got_label = stmt.label;
+            stmts.push(stmt);
+            if let BlockEnd::Label(l) = end {
+                if got_label == Some(*l) {
+                    return Ok(stmts);
+                }
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self, line: &Line) -> Result<Stmt, CompileError> {
+        self.pos += 1;
+        let mut cur = Cur::new(line);
+        let label = match cur.peek() {
+            Some(Tok::Int(l)) => {
+                let l = *l;
+                cur.next();
+                u32::try_from(l)
+                    .ok()
+                    .filter(|l| *l > 0)
+                    .map(Some)
+                    .ok_or_else(|| cur.err(format!("bad statement label {l}")))?
+            }
+            _ => None,
+        };
+        let kind = self.parse_stmt_kind(&mut cur)?;
+        Ok(Stmt {
+            label,
+            line: line.number,
+            kind,
+        })
+    }
+
+    fn parse_stmt_kind(&mut self, cur: &mut Cur<'_>) -> Result<StmtKind, CompileError> {
+        // Two-word forms first.
+        if matches!(cur.peek(), Some(Tok::Ident(w)) if w == "GO")
+            && matches!(cur.peek2(), Some(Tok::Ident(w)) if w == "TO")
+        {
+            cur.next();
+            cur.next();
+            return self.parse_goto_tail(cur);
+        }
+        let head = match cur.peek() {
+            Some(Tok::Ident(w)) => w.clone(),
+            _ => return Err(cur.err("expected a statement")),
+        };
+        // `IF = …`, `DO = …` etc. are assignments to oddly-named variables;
+        // only treat keywords as keywords when not followed by `=`.
+        let is_assign = matches!(cur.peek2(), Some(Tok::Assign))
+            && !matches!(cur.peek2(), Some(Tok::LParen));
+        match head.as_str() {
+            "IF" if !is_assign => {
+                cur.next();
+                self.parse_if(cur)
+            }
+            "DO" if !is_assign => {
+                cur.next();
+                self.parse_do(cur)
+            }
+            "GOTO" if !is_assign => {
+                cur.next();
+                self.parse_goto_tail(cur)
+            }
+            "CALL" if !is_assign => {
+                cur.next();
+                let name = cur.expect_ident()?;
+                let mut args = Vec::new();
+                if matches!(cur.peek(), Some(Tok::LParen)) {
+                    cur.next();
+                    if matches!(cur.peek(), Some(Tok::RParen)) {
+                        cur.next();
+                    } else {
+                        loop {
+                            args.push(parse_expr(cur)?);
+                            match cur.next() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                other => {
+                                    return Err(
+                                        cur.err(format!("expected , or ), found {other:?}"))
+                                    )
+                                }
+                            }
+                        }
+                    }
+                }
+                cur.require_end()?;
+                Ok(StmtKind::Call { name, args })
+            }
+            "RETURN" | "STOP" if !is_assign => {
+                cur.next();
+                cur.require_end()?;
+                Ok(StmtKind::Return)
+            }
+            "CONTINUE" if !is_assign => {
+                cur.next();
+                cur.require_end()?;
+                Ok(StmtKind::Continue)
+            }
+            _ => {
+                // Assignment.
+                let name = cur.expect_ident()?;
+                let target = if matches!(cur.peek(), Some(Tok::LParen)) {
+                    cur.next();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(parse_expr(cur)?);
+                        match cur.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return Err(cur.err(format!("expected , or ), found {other:?}")))
+                            }
+                        }
+                    }
+                    LValue::Element { name, args }
+                } else {
+                    LValue::Var(name)
+                };
+                cur.expect(&Tok::Assign, "`=`")?;
+                let value = parse_expr(cur)?;
+                cur.require_end()?;
+                Ok(StmtKind::Assign { target, value })
+            }
+        }
+    }
+
+    fn parse_goto_tail(&mut self, cur: &mut Cur<'_>) -> Result<StmtKind, CompileError> {
+        match cur.next() {
+            Some(Tok::Int(l)) if *l > 0 => {
+                cur.require_end()?;
+                Ok(StmtKind::Goto(*l as u32))
+            }
+            other => Err(cur.err(format!("expected label after GOTO, found {other:?}"))),
+        }
+    }
+
+    fn parse_if(&mut self, cur: &mut Cur<'_>) -> Result<StmtKind, CompileError> {
+        cur.expect(&Tok::LParen, "`(` after IF")?;
+        let cond = parse_expr(cur)?;
+        cur.expect(&Tok::RParen, "`)` after IF condition")?;
+
+        if cur.eat_ident("THEN") {
+            cur.require_end()?;
+            // Block IF.
+            let mut arms = Vec::new();
+            let mut els = None;
+            let mut current_cond = cond;
+            loop {
+                let body = self.parse_block(&BlockEnd::Keywords(&["ELSE", "ELSEIF", "ENDIF"]))?;
+                arms.push((current_cond, body));
+                let line = self
+                    .current()
+                    .ok_or_else(|| CompileError::new(0, "missing ENDIF"))?
+                    .clone();
+                let kw = Self::line_keyword(&line).unwrap_or_default();
+                match kw.as_str() {
+                    "ENDIF" => {
+                        self.pos += 1;
+                        break;
+                    }
+                    "ELSEIF" => {
+                        self.pos += 1;
+                        let mut c2 = Cur::new(&line);
+                        // skip ELSEIF or ELSE IF
+                        c2.eat_ident("ELSEIF");
+                        if c2.eat_ident("ELSE") {
+                            c2.eat_ident("IF");
+                        }
+                        c2.expect(&Tok::LParen, "`(` after ELSEIF")?;
+                        current_cond = parse_expr(&mut c2)?;
+                        c2.expect(&Tok::RParen, "`)` after ELSEIF condition")?;
+                        if !c2.eat_ident("THEN") {
+                            return Err(c2.err("expected THEN after ELSEIF (…)"));
+                        }
+                        c2.require_end()?;
+                    }
+                    "ELSE" => {
+                        self.pos += 1;
+                        let body = self.parse_block(&BlockEnd::Keywords(&["ENDIF"]))?;
+                        let line = self
+                            .current()
+                            .ok_or_else(|| CompileError::new(0, "missing ENDIF"))?
+                            .clone();
+                        if Self::line_keyword(&line).as_deref() != Some("ENDIF") {
+                            return Err(CompileError::new(line.number, "expected ENDIF"));
+                        }
+                        self.pos += 1;
+                        els = Some(body);
+                        break;
+                    }
+                    other => {
+                        return Err(CompileError::new(
+                            line.number,
+                            format!("expected ELSE/ELSEIF/ENDIF, found {other}"),
+                        ))
+                    }
+                }
+            }
+            Ok(StmtKind::If { arms, els })
+        } else {
+            // Logical IF: the rest of the line is a single simple statement.
+            let inner = self.parse_stmt_kind(cur)?;
+            if matches!(inner, StmtKind::If { .. } | StmtKind::Do { .. }) {
+                return Err(cur.err("logical IF cannot contain IF or DO"));
+            }
+            Ok(StmtKind::If {
+                arms: vec![(
+                    cond,
+                    vec![Stmt {
+                        label: None,
+                        line: cur.line,
+                        kind: inner,
+                    }],
+                )],
+                els: None,
+            })
+        }
+    }
+
+    fn parse_do(&mut self, cur: &mut Cur<'_>) -> Result<StmtKind, CompileError> {
+        // `DO 10 I = …` or `DO I = …`.
+        let mut end_label = None;
+        if let Some(Tok::Int(l)) = cur.peek() {
+            end_label = Some(*l as u32);
+            cur.next();
+        }
+        let var = cur.expect_ident()?;
+        cur.expect(&Tok::Assign, "`=` in DO")?;
+        let from = parse_expr(cur)?;
+        cur.expect(&Tok::Comma, "`,` in DO")?;
+        let to = parse_expr(cur)?;
+        let step = if matches!(cur.peek(), Some(Tok::Comma)) {
+            cur.next();
+            Some(parse_expr(cur)?)
+        } else {
+            None
+        };
+        cur.require_end()?;
+
+        let body = match end_label {
+            Some(l) => self.parse_block(&BlockEnd::Label(l))?,
+            None => {
+                let body = self.parse_block(&BlockEnd::Keywords(&["ENDDO"]))?;
+                let line = self
+                    .current()
+                    .ok_or_else(|| CompileError::new(0, "missing ENDDO"))?
+                    .clone();
+                if Self::line_keyword(&line).as_deref() != Some("ENDDO") {
+                    return Err(CompileError::new(line.number, "expected ENDDO"));
+                }
+                self.pos += 1;
+                body
+            }
+        };
+        Ok(StmtKind::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+fn parse_expr(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    parse_or(cur)
+}
+
+fn parse_or(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let mut lhs = parse_and(cur)?;
+    while matches!(cur.peek(), Some(Tok::Or)) {
+        cur.next();
+        let rhs = parse_and(cur)?;
+        lhs = Expr::Bin {
+            op: BinKind::Or,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_and(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let mut lhs = parse_not(cur)?;
+    while matches!(cur.peek(), Some(Tok::And)) {
+        cur.next();
+        let rhs = parse_not(cur)?;
+        lhs = Expr::Bin {
+            op: BinKind::And,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_not(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    if matches!(cur.peek(), Some(Tok::Not)) {
+        cur.next();
+        Ok(Expr::Not(Box::new(parse_not(cur)?)))
+    } else {
+        parse_rel(cur)
+    }
+}
+
+fn parse_rel(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let lhs = parse_add(cur)?;
+    let op = match cur.peek() {
+        Some(Tok::Lt) => BinKind::Lt,
+        Some(Tok::Le) => BinKind::Le,
+        Some(Tok::Gt) => BinKind::Gt,
+        Some(Tok::Ge) => BinKind::Ge,
+        Some(Tok::Eq) => BinKind::Eq,
+        Some(Tok::Ne) => BinKind::Ne,
+        _ => return Ok(lhs),
+    };
+    cur.next();
+    let rhs = parse_add(cur)?;
+    Ok(Expr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    })
+}
+
+fn parse_add(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let mut lhs = match cur.peek() {
+        Some(Tok::Minus) => {
+            cur.next();
+            Expr::Neg(Box::new(parse_mul(cur)?))
+        }
+        Some(Tok::Plus) => {
+            cur.next();
+            parse_mul(cur)?
+        }
+        _ => parse_mul(cur)?,
+    };
+    loop {
+        let op = match cur.peek() {
+            Some(Tok::Plus) => BinKind::Add,
+            Some(Tok::Minus) => BinKind::Sub,
+            _ => return Ok(lhs),
+        };
+        cur.next();
+        let rhs = parse_mul(cur)?;
+        lhs = Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+    }
+}
+
+fn parse_mul(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let mut lhs = parse_pow(cur)?;
+    loop {
+        let op = match cur.peek() {
+            Some(Tok::Star) => BinKind::Mul,
+            Some(Tok::Slash) => BinKind::Div,
+            _ => return Ok(lhs),
+        };
+        cur.next();
+        let rhs = parse_pow(cur)?;
+        lhs = Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+    }
+}
+
+fn parse_pow(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    let base = parse_primary(cur)?;
+    if matches!(cur.peek(), Some(Tok::StarStar)) {
+        cur.next();
+        let exp = match cur.next() {
+            Some(Tok::Int(n)) if *n >= 0 => *n as u32,
+            other => {
+                return Err(cur.err(format!(
+                    "`**` requires a literal non-negative integer exponent, found {other:?}"
+                )))
+            }
+        };
+        return Ok(Expr::Pow {
+            base: Box::new(base),
+            exp,
+        });
+    }
+    Ok(base)
+}
+
+fn parse_primary(cur: &mut Cur<'_>) -> Result<Expr, CompileError> {
+    match cur.next() {
+        Some(Tok::Int(v)) => Ok(Expr::IntLit(*v)),
+        Some(Tok::Real(v)) => Ok(Expr::RealLit(*v)),
+        Some(Tok::LParen) => {
+            let e = parse_expr(cur)?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            Ok(e)
+        }
+        Some(Tok::Minus) => Ok(Expr::Neg(Box::new(parse_primary(cur)?))),
+        Some(Tok::Ident(name)) => {
+            let name = name.clone();
+            if matches!(cur.peek(), Some(Tok::LParen)) {
+                cur.next();
+                let mut args = Vec::new();
+                if matches!(cur.peek(), Some(Tok::RParen)) {
+                    cur.next();
+                } else {
+                    loop {
+                        args.push(parse_expr(cur)?);
+                        match cur.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return Err(cur.err(format!("expected , or ), found {other:?}")))
+                            }
+                        }
+                    }
+                }
+                Ok(Expr::Index { name, args })
+            } else {
+                Ok(Expr::Var(name))
+            }
+        }
+        other => Err(cur.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Unit {
+        let units = parse(src).unwrap();
+        assert_eq!(units.len(), 1);
+        units.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn subroutine_header_and_decls() {
+        let u = parse_one(
+            "SUBROUTINE DAXPY(N, DA, DX, DY)\n INTEGER N, I\n REAL DA, DX(*), DY(*)\nEND\n",
+        );
+        assert!(!u.is_function);
+        assert_eq!(u.name, "DAXPY");
+        assert_eq!(u.params, vec!["N", "DA", "DX", "DY"]);
+        assert_eq!(u.decls.len(), 5);
+        assert_eq!(u.decls[3].name, "DX");
+        assert_eq!(u.decls[3].dims, Some(vec![Dim::Star]));
+    }
+
+    #[test]
+    fn typed_function_header() {
+        let u = parse_one("INTEGER FUNCTION IDAMAX(N, DX)\nIDAMAX = 1\nEND\n");
+        assert!(u.is_function);
+        assert_eq!(u.name, "IDAMAX");
+        // The prefix type becomes a declaration of the function name.
+        assert_eq!(u.decls[0].name, "IDAMAX");
+        assert_eq!(u.decls[0].ty, Type::Integer);
+    }
+
+    #[test]
+    fn double_precision_function_header() {
+        let u = parse_one("DOUBLE PRECISION FUNCTION EPSLON(X)\nEPSLON = X\nEND\n");
+        assert_eq!(u.decls[0].ty, Type::Real);
+    }
+
+    #[test]
+    fn assignment_and_expressions() {
+        let u = parse_one("SUBROUTINE F()\nX = -A*B + C/D**2\nEND\n");
+        match &u.body[0].kind {
+            StmtKind::Assign { target, value } => {
+                assert_eq!(*target, LValue::Var("X".into()));
+                // -(A*B) + C/(D**2)
+                match value {
+                    Expr::Bin { op: BinKind::Add, .. } => {}
+                    other => panic!("wrong tree: {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_enddo_loop() {
+        let u = parse_one("SUBROUTINE F(N)\nINTEGER N,I\nDO I = 1, N\n X = X + 1.0\nENDDO\nEND\n");
+        match &u.body[0].kind {
+            StmtKind::Do { var, step, body, .. } => {
+                assert_eq!(var, "I");
+                assert!(step.is_none());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_do_continue() {
+        let u = parse_one(
+            "SUBROUTINE F(N)\nINTEGER N,I\nDO 10 I = 1, N, 2\n X = X + 1.0\n10 CONTINUE\nEND\n",
+        );
+        match &u.body[0].kind {
+            StmtKind::Do { step, body, .. } => {
+                assert!(step.is_some());
+                assert_eq!(body.len(), 2);
+                assert_eq!(body[1].label, Some(10));
+                assert_eq!(body[1].kind, StmtKind::Continue);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_if_elseif_else() {
+        let u = parse_one(
+            "SUBROUTINE F(X)\nREAL X\nIF (X .GT. 0.0) THEN\n Y = 1.0\nELSEIF (X .LT. 0.0) THEN\n Y = -1.0\nELSE\n Y = 0.0\nENDIF\nEND\n",
+        );
+        match &u.body[0].kind {
+            StmtKind::If { arms, els } => {
+                assert_eq!(arms.len(), 2);
+                assert!(els.is_some());
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_two_words_and_end_if() {
+        let u = parse_one(
+            "SUBROUTINE F(X)\nREAL X\nIF (X .GT. 0.0) THEN\n Y = 1.0\nELSE IF (X .LT. 0.0) THEN\n Y = 2.0\nEND IF\nEND\n",
+        );
+        match &u.body[0].kind {
+            StmtKind::If { arms, els } => {
+                assert_eq!(arms.len(), 2);
+                assert!(els.is_none());
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_if_desugars() {
+        let u = parse_one("SUBROUTINE F(N)\nINTEGER N\nIF (N .LE. 0) RETURN\nEND\n");
+        match &u.body[0].kind {
+            StmtKind::If { arms, els } => {
+                assert_eq!(arms.len(), 1);
+                assert!(els.is_none());
+                assert_eq!(arms[0].1[0].kind, StmtKind::Return);
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let u = parse_one("SUBROUTINE F()\n10 X = X + 1.0\nGO TO 10\nEND\n");
+        assert_eq!(u.body[0].label, Some(10));
+        assert_eq!(u.body[1].kind, StmtKind::Goto(10));
+    }
+
+    #[test]
+    fn call_with_array_element_arg() {
+        let u = parse_one("SUBROUTINE F(A)\nREAL A(*)\nCALL G(A(3), 2.5)\nEND\n");
+        match &u.body[0].kind {
+            StmtKind::Call { name, args } => {
+                assert_eq!(name, "G");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[0], Expr::Index { .. }));
+            }
+            other => panic!("expected CALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loops_parse() {
+        let u = parse_one(
+            "SUBROUTINE F(N)\nINTEGER N,I,J\nDO I = 1, N\n DO J = 1, N\n  X = X + 1.0\n ENDDO\nENDDO\nEND\n",
+        );
+        match &u.body[0].kind {
+            StmtKind::Do { body, .. } => match &body[0].kind {
+                StmtKind::Do { body, .. } => assert_eq!(body.len(), 1),
+                other => panic!("expected inner DO, got {other:?}"),
+            },
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_units() {
+        let units = parse("SUBROUTINE A()\nEND\nSUBROUTINE B()\nEND\n").unwrap();
+        assert_eq!(units.len(), 2);
+    }
+
+    #[test]
+    fn missing_end_reports_error() {
+        let err = parse("SUBROUTINE F()\nX = 1.0\n").unwrap_err();
+        assert!(err.message.contains("END") || err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn array_assignment_target() {
+        let u = parse_one("SUBROUTINE F(A)\nREAL A(10)\nA(3) = 1.5\nEND\n");
+        match &u.body[0].kind {
+            StmtKind::Assign { target, .. } => {
+                assert!(matches!(target, LValue::Element { .. }));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_requires_literal_exponent() {
+        let err = parse("SUBROUTINE F(X,N)\nY = X**N\nEND\n").unwrap_err();
+        assert!(err.message.contains("exponent"));
+    }
+}

@@ -1,0 +1,663 @@
+//! Semantic analysis: symbol tables, implicit typing, signatures, and
+//! structural checks.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use std::collections::{HashMap, HashSet};
+
+/// How a parameter is passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// By value (all scalars).
+    Scalar(Type),
+    /// By reference (all arrays).
+    Array(Type),
+}
+
+/// A unit's externally visible signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// True for `FUNCTION` units.
+    pub is_function: bool,
+    /// Result type for functions.
+    pub ret: Option<Type>,
+    /// Parameter kinds, in order.
+    pub params: Vec<ParamKind>,
+}
+
+/// What a name means inside a unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymKind {
+    /// A scalar variable (parameter or local).
+    Scalar,
+    /// An array.
+    Array {
+        /// Declared bounds.
+        dims: Vec<Dim>,
+        /// True if a parameter (passed as an address).
+        is_param: bool,
+    },
+    /// The function's own result variable.
+    Result,
+}
+
+/// A resolved symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    /// The value type.
+    pub ty: Type,
+    /// Scalar / array / function result.
+    pub kind: SymKind,
+}
+
+/// Per-unit analysis results.
+#[derive(Debug, Clone)]
+pub struct UnitInfo {
+    /// All names used in the unit (declared or implicitly typed).
+    pub symbols: HashMap<String, Symbol>,
+}
+
+/// Whole-program analysis results.
+#[derive(Debug)]
+pub struct Analyzed<'a> {
+    /// The units, in source order.
+    pub units: &'a [Unit],
+    /// Per-unit info, parallel to `units`.
+    pub infos: Vec<UnitInfo>,
+    /// Unit signatures by name.
+    pub sigs: HashMap<String, Signature>,
+}
+
+/// Names FT treats as intrinsic functions.
+pub const INTRINSICS: &[&str] = &[
+    "ABS", "IABS", "DABS", "SQRT", "DSQRT", "MOD", "AMOD", "DMOD", "MIN", "MAX", "MIN0", "MAX0",
+    "AMIN1", "AMAX1", "DMIN1", "DMAX1", "SIGN", "ISIGN", "DSIGN", "FLOAT", "REAL", "DBLE", "SNGL",
+    "INT", "IFIX", "IDINT",
+];
+
+/// True if `name` is an FT intrinsic.
+pub fn is_intrinsic(name: &str) -> bool {
+    INTRINSICS.contains(&name)
+}
+
+/// The classic implicit rule: `I`–`N` integer, otherwise real.
+pub fn implicit_type(name: &str) -> Type {
+    match name.as_bytes().first() {
+        Some(c) if (b'I'..=b'N').contains(c) => Type::Integer,
+        _ => Type::Real,
+    }
+}
+
+/// Analyze all units of a program.
+///
+/// # Errors
+///
+/// Reports duplicate declarations, malformed array bounds, unknown callees,
+/// arity mismatches on array references, undefined `GOTO` labels, and
+/// non-integer `DO` variables.
+pub fn analyze(units: &[Unit]) -> Result<Analyzed<'_>, CompileError> {
+    let mut sigs: HashMap<String, Signature> = HashMap::new();
+
+    // Pass 1: declarations and signatures.
+    let mut infos = Vec::with_capacity(units.len());
+    for unit in units {
+        let info = analyze_declarations(unit)?;
+        let params = unit
+            .params
+            .iter()
+            .map(|p| {
+                let sym = info.symbols.get(p).expect("params are registered");
+                match &sym.kind {
+                    SymKind::Array { .. } => ParamKind::Array(sym.ty),
+                    _ => ParamKind::Scalar(sym.ty),
+                }
+            })
+            .collect();
+        let ret = if unit.is_function {
+            Some(
+                info.symbols
+                    .get(&unit.name)
+                    .expect("function result registered")
+                    .ty,
+            )
+        } else {
+            None
+        };
+        if sigs
+            .insert(
+                unit.name.clone(),
+                Signature {
+                    is_function: unit.is_function,
+                    ret,
+                    params,
+                },
+            )
+            .is_some()
+        {
+            return Err(CompileError::new(
+                unit.line,
+                format!("duplicate unit `{}`", unit.name),
+            ));
+        }
+        infos.push(info);
+    }
+
+    // Pass 2: body checks (which may also register implicit scalars).
+    for (unit, info) in units.iter().zip(&mut infos) {
+        check_body(unit, info, &sigs)?;
+    }
+
+    Ok(Analyzed { units, infos, sigs })
+}
+
+fn analyze_declarations(unit: &Unit) -> Result<UnitInfo, CompileError> {
+    let mut symbols: HashMap<String, Symbol> = HashMap::new();
+
+    for d in &unit.decls {
+        let is_param = unit.params.contains(&d.name);
+        let kind = match &d.dims {
+            None => {
+                if unit.is_function && d.name == unit.name {
+                    SymKind::Result
+                } else {
+                    SymKind::Scalar
+                }
+            }
+            Some(dims) => {
+                for (i, dim) in dims.iter().enumerate() {
+                    match dim {
+                        Dim::Star => {
+                            if !is_param {
+                                return Err(CompileError::new(
+                                    d.line,
+                                    format!("local array `{}` cannot use assumed size `*`", d.name),
+                                ));
+                            }
+                            if i + 1 != dims.len() {
+                                return Err(CompileError::new(
+                                    d.line,
+                                    "`*` is only allowed as the last bound",
+                                ));
+                            }
+                        }
+                        Dim::Expr(e) => {
+                            if !is_param && const_int(e).is_none() {
+                                return Err(CompileError::new(
+                                    d.line,
+                                    format!(
+                                        "local array `{}` needs constant bounds",
+                                        d.name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                SymKind::Array {
+                    dims: dims.clone(),
+                    is_param,
+                }
+            }
+        };
+        // Allow the redundant-but-common `INTEGER N` after `SUBROUTINE F(N)`
+        // only once; a second declaration of the same name is an error.
+        if symbols
+            .insert(d.name.clone(), Symbol { ty: d.ty, kind })
+            .is_some()
+        {
+            return Err(CompileError::new(
+                d.line,
+                format!("`{}` declared twice", d.name),
+            ));
+        }
+    }
+
+    // Parameters not declared get implicit scalar types.
+    for p in &unit.params {
+        symbols.entry(p.clone()).or_insert_with(|| Symbol {
+            ty: implicit_type(p),
+            kind: SymKind::Scalar,
+        });
+    }
+    // The function result, if undeclared.
+    if unit.is_function {
+        symbols.entry(unit.name.clone()).or_insert_with(|| Symbol {
+            ty: implicit_type(&unit.name),
+            kind: SymKind::Result,
+        });
+        // A declared result must actually be a Result, not an array.
+        match &symbols[&unit.name].kind {
+            SymKind::Scalar => {
+                let ty = symbols[&unit.name].ty;
+                symbols.insert(
+                    unit.name.clone(),
+                    Symbol {
+                        ty,
+                        kind: SymKind::Result,
+                    },
+                );
+            }
+            SymKind::Array { .. } => {
+                return Err(CompileError::new(
+                    unit.line,
+                    format!("function `{}` cannot be an array", unit.name),
+                ));
+            }
+            SymKind::Result => {}
+        }
+    }
+
+    Ok(UnitInfo { symbols })
+}
+
+/// Evaluate a constant integer expression (literals, unary minus, and the
+/// four arithmetic operators).
+pub fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::IntLit(v) => Some(*v),
+        Expr::Neg(x) => const_int(x).map(|v| -v),
+        Expr::Bin { op, lhs, rhs } => {
+            let (a, b) = (const_int(lhs)?, const_int(rhs)?);
+            match op {
+                BinKind::Add => Some(a + b),
+                BinKind::Sub => Some(a - b),
+                BinKind::Mul => Some(a * b),
+                BinKind::Div if b != 0 => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn collect_labels(stmts: &[Stmt], labels: &mut HashSet<u32>) {
+    for s in stmts {
+        if let Some(l) = s.label {
+            labels.insert(l);
+        }
+        match &s.kind {
+            StmtKind::If { arms, els } => {
+                for (_, body) in arms {
+                    collect_labels(body, labels);
+                }
+                if let Some(body) = els {
+                    collect_labels(body, labels);
+                }
+            }
+            StmtKind::Do { body, .. } => collect_labels(body, labels),
+            _ => {}
+        }
+    }
+}
+
+struct BodyChecker<'a> {
+    info: &'a mut UnitInfo,
+    sigs: &'a HashMap<String, Signature>,
+    labels: HashSet<u32>,
+}
+
+impl BodyChecker<'_> {
+    fn err(&self, line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError::new(line, msg.into())
+    }
+
+    /// Register an implicit scalar if the name is unknown.
+    fn touch_scalar(&mut self, name: &str) {
+        self.info.symbols.entry(name.to_string()).or_insert_with(|| Symbol {
+            ty: implicit_type(name),
+            kind: SymKind::Scalar,
+        });
+    }
+
+    fn check_expr(&mut self, e: &Expr, line: u32) -> Result<(), CompileError> {
+        match e {
+            Expr::IntLit(_) | Expr::RealLit(_) => Ok(()),
+            Expr::Var(name) => {
+                if let Some(sym) = self.info.symbols.get(name) {
+                    if matches!(sym.kind, SymKind::Array { .. }) {
+                        return Err(self.err(
+                            line,
+                            format!("array `{name}` used without subscripts"),
+                        ));
+                    }
+                } else {
+                    self.touch_scalar(name);
+                }
+                Ok(())
+            }
+            Expr::Index { name, args } => {
+                let ndims = match self.info.symbols.get(name) {
+                    Some(Symbol {
+                        kind: SymKind::Array { dims, .. },
+                        ..
+                    }) => Some(dims.len()),
+                    Some(_) => {
+                        return Err(
+                            self.err(line, format!("`{name}` is not an array or function"))
+                        )
+                    }
+                    None => None,
+                };
+                match ndims {
+                    Some(ndims) => {
+                        for a in args {
+                            self.check_expr(a, line)?;
+                        }
+                        if ndims != args.len() {
+                            return Err(self.err(
+                                line,
+                                format!(
+                                    "array `{name}` has {ndims} dimension(s), {} subscript(s) given",
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        if is_intrinsic(name) {
+                            if args.is_empty() {
+                                return Err(
+                                    self.err(line, format!("intrinsic `{name}` needs arguments"))
+                                );
+                            }
+                            for a in args {
+                                self.check_expr(a, line)?;
+                            }
+                            return Ok(());
+                        }
+                        match self.sigs.get(name).cloned() {
+                            Some(sig) if sig.is_function => {
+                                self.check_call_args(name, &sig, args, line)
+                            }
+                            Some(_) => Err(self.err(
+                                line,
+                                format!("`{name}` is a SUBROUTINE; use CALL"),
+                            )),
+                            None => Err(self.err(line, format!("unknown function `{name}`"))),
+                        }
+                    }
+                }
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.check_expr(lhs, line)?;
+                self.check_expr(rhs, line)
+            }
+            Expr::Neg(x) | Expr::Not(x) => self.check_expr(x, line),
+            Expr::Pow { base, .. } => self.check_expr(base, line),
+        }
+    }
+
+    fn check_call_args(
+        &mut self,
+        name: &str,
+        sig: &Signature,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<(), CompileError> {
+        if sig.params.len() != args.len() {
+            return Err(self.err(
+                line,
+                format!(
+                    "`{name}` takes {} argument(s), {} given",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        for (param, arg) in sig.params.iter().zip(args) {
+            match param {
+                ParamKind::Array(_) => {
+                    // An array argument must be an array name or an array
+                    // element (subarray base, LINPACK-style).
+                    let ok = match arg {
+                        Expr::Var(n) | Expr::Index { name: n, .. } => matches!(
+                            self.info.symbols.get(n),
+                            Some(Symbol {
+                                kind: SymKind::Array { .. },
+                                ..
+                            })
+                        ),
+                        _ => false,
+                    };
+                    if !ok {
+                        return Err(self.err(
+                            line,
+                            format!("`{name}` expects an array here; pass an array or element"),
+                        ));
+                    }
+                    // An element reference has its subscripts checked.
+                    if let Expr::Index { .. } = arg {
+                        self.check_expr(arg, line)?;
+                    }
+                }
+                ParamKind::Scalar(_) => self.check_expr(arg, line)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                self.check_expr(value, s.line)?;
+                match target {
+                    LValue::Var(name) => {
+                        if let Some(sym) = self.info.symbols.get(name) {
+                            if matches!(sym.kind, SymKind::Array { .. }) {
+                                return Err(self.err(
+                                    s.line,
+                                    format!("cannot assign to whole array `{name}`"),
+                                ));
+                            }
+                        } else {
+                            self.touch_scalar(name);
+                        }
+                        Ok(())
+                    }
+                    LValue::Element { name, args } => {
+                        for a in args {
+                            self.check_expr(a, s.line)?;
+                        }
+                        match self.info.symbols.get(name) {
+                            Some(Symbol {
+                                kind: SymKind::Array { dims, .. },
+                                ..
+                            }) => {
+                                if dims.len() != args.len() {
+                                    return Err(self.err(
+                                        s.line,
+                                        format!("wrong number of subscripts for `{name}`"),
+                                    ));
+                                }
+                                Ok(())
+                            }
+                            _ => Err(self.err(s.line, format!("`{name}` is not an array"))),
+                        }
+                    }
+                }
+            }
+            StmtKind::If { arms, els } => {
+                for (cond, body) in arms {
+                    self.check_expr(cond, s.line)?;
+                    self.check_stmts(body)?;
+                }
+                if let Some(body) = els {
+                    self.check_stmts(body)?;
+                }
+                Ok(())
+            }
+            StmtKind::Do {
+                var,
+                from,
+                to,
+                step,
+                body,
+            } => {
+                self.touch_scalar(var);
+                let sym = &self.info.symbols[var];
+                if sym.ty != Type::Integer || !matches!(sym.kind, SymKind::Scalar) {
+                    return Err(self.err(s.line, format!("DO variable `{var}` must be an integer scalar")));
+                }
+                self.check_expr(from, s.line)?;
+                self.check_expr(to, s.line)?;
+                if let Some(st) = step {
+                    self.check_expr(st, s.line)?;
+                }
+                self.check_stmts(body)
+            }
+            StmtKind::Goto(l) => {
+                if self.labels.contains(l) {
+                    Ok(())
+                } else {
+                    Err(self.err(s.line, format!("GOTO to undefined label {l}")))
+                }
+            }
+            StmtKind::Call { name, args } => {
+                match self.sigs.get(name).cloned() {
+                    Some(sig) if !sig.is_function => self.check_call_args(name, &sig, args, s.line),
+                    Some(_) => Err(self.err(s.line, format!("`{name}` is a FUNCTION, not a SUBROUTINE"))),
+                    None => Err(self.err(s.line, format!("unknown subroutine `{name}`"))),
+                }
+            }
+            StmtKind::Return | StmtKind::Continue => Ok(()),
+        }
+    }
+}
+
+fn check_body(
+    unit: &Unit,
+    info: &mut UnitInfo,
+    sigs: &HashMap<String, Signature>,
+) -> Result<(), CompileError> {
+    let mut labels = HashSet::new();
+    collect_labels(&unit.body, &mut labels);
+    let mut checker = BodyChecker { info, sigs, labels };
+    checker.check_stmts(&unit.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<(), CompileError> {
+        let units = parse(src)?;
+        analyze(&units).map(|_| ())
+    }
+
+    #[test]
+    fn implicit_rule() {
+        assert_eq!(implicit_type("I"), Type::Integer);
+        assert_eq!(implicit_type("N"), Type::Integer);
+        assert_eq!(implicit_type("KOUNT"), Type::Integer);
+        assert_eq!(implicit_type("X"), Type::Real);
+        assert_eq!(implicit_type("ALPHA"), Type::Real);
+    }
+
+    #[test]
+    fn undeclared_names_are_implicit() {
+        analyze_src("SUBROUTINE F()\nX = 1.0\nJ = 2\nEND\n").unwrap();
+    }
+
+    #[test]
+    fn array_arity_checked() {
+        let e = analyze_src("SUBROUTINE F(A)\nREAL A(10)\nX = A(1,2)\nEND\n").unwrap_err();
+        assert!(e.message.contains("dimension"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let e = analyze_src("SUBROUTINE F()\nX = GHOST(1.0)\nEND\n").unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn subroutine_in_expression_rejected() {
+        let e = analyze_src("SUBROUTINE S()\nEND\nSUBROUTINE F()\nX = S()\nEND\n").unwrap_err();
+        assert!(e.message.contains("CALL"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e =
+            analyze_src("SUBROUTINE S(A,B)\nEND\nSUBROUTINE F()\nCALL S(1.0)\nEND\n").unwrap_err();
+        assert!(e.message.contains("argument"));
+    }
+
+    #[test]
+    fn array_param_needs_array_argument() {
+        let e = analyze_src(
+            "SUBROUTINE S(A)\nREAL A(*)\nEND\nSUBROUTINE F()\nCALL S(1.0)\nEND\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("array"));
+    }
+
+    #[test]
+    fn array_element_is_fine_as_array_argument() {
+        analyze_src(
+            "SUBROUTINE S(A)\nREAL A(*)\nEND\nSUBROUTINE F(B)\nREAL B(10)\nCALL S(B(3))\nEND\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn goto_undefined_label() {
+        let e = analyze_src("SUBROUTINE F()\nGOTO 99\nEND\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn do_variable_must_be_integer() {
+        let e = analyze_src("SUBROUTINE F()\nDO X = 1, 3\nENDDO\nEND\n").unwrap_err();
+        assert!(e.message.contains("integer"));
+    }
+
+    #[test]
+    fn local_array_needs_constant_bounds() {
+        let e = analyze_src("SUBROUTINE F()\nREAL A(N)\nEND\n").unwrap_err();
+        assert!(e.message.contains("constant"));
+    }
+
+    #[test]
+    fn star_bound_only_on_params() {
+        let e = analyze_src("SUBROUTINE F()\nREAL A(*)\nEND\n").unwrap_err();
+        assert!(e.message.contains("assumed size"));
+    }
+
+    #[test]
+    fn duplicate_declaration() {
+        let e = analyze_src("SUBROUTINE F()\nREAL X\nINTEGER X\nEND\n").unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn function_signature_collected() {
+        let units = parse("FUNCTION IDAMAX(N)\nIDAMAX = N\nEND\n").unwrap();
+        let a = analyze(&units).unwrap();
+        let sig = &a.sigs["IDAMAX"];
+        assert!(sig.is_function);
+        assert_eq!(sig.ret, Some(Type::Integer)); // implicit I rule
+    }
+
+    #[test]
+    fn const_int_folds() {
+        use crate::ast::Expr::*;
+        let e = Bin {
+            op: BinKind::Mul,
+            lhs: Box::new(IntLit(3)),
+            rhs: Box::new(IntLit(4)),
+        };
+        assert_eq!(const_int(&e), Some(12));
+        assert_eq!(const_int(&Neg(Box::new(IntLit(5)))), Some(-5));
+        assert_eq!(const_int(&Var("N".into())), None);
+    }
+}

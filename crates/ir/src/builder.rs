@@ -1,0 +1,249 @@
+//! A convenience builder for constructing [`Function`]s imperatively.
+
+use crate::func::{BlockId, FrameSlot, Function, VReg};
+use crate::inst::{Addr, BinOp, Cmp, Imm, Inst, RegClass, UnOp};
+use crate::module::GlobalId;
+
+/// Builds a [`Function`] one instruction at a time.
+///
+/// The builder keeps a *current block*; instruction helpers append to it.
+/// Use [`switch_to`](FunctionBuilder::switch_to) to move between blocks.
+///
+/// ```
+/// use optimist_ir::{FunctionBuilder, RegClass, BinOp, Imm};
+///
+/// let mut b = FunctionBuilder::new("inc");
+/// let x = b.add_param(RegClass::Int, "x");
+/// let one = b.new_vreg(RegClass::Int, "one");
+/// b.load_imm(one, Imm::Int(1));
+/// let r = b.new_vreg(RegClass::Int, "r");
+/// b.bin(BinOp::AddI, r, x, one);
+/// b.ret(Some(r));
+/// let f = b.finish();
+/// assert_eq!(f.num_insts(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given name. The current block is
+    /// the entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        let func = Function::new(name);
+        let current = func.entry();
+        FunctionBuilder { func, current }
+    }
+
+    /// Finish and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Read-only access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Declare a parameter.
+    pub fn add_param(&mut self, class: RegClass, name: impl Into<String>) -> VReg {
+        self.func.add_param(class, name)
+    }
+
+    /// Set the return-value class.
+    pub fn set_ret_class(&mut self, class: Option<RegClass>) {
+        self.func.set_ret_class(class);
+    }
+
+    /// Create a fresh virtual register.
+    pub fn new_vreg(&mut self, class: RegClass, name: impl Into<String>) -> VReg {
+        self.func.new_vreg(class, name)
+    }
+
+    /// Create a fresh frame slot.
+    pub fn new_slot(&mut self, size: u64, name: impl Into<String>) -> FrameSlot {
+        self.func.new_slot(size, name, false)
+    }
+
+    /// Create a fresh block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.new_block()
+    }
+
+    /// Make `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Append an arbitrary instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.func.block_mut(self.current).insts.push(inst);
+    }
+
+    /// Append `dst <- src`.
+    pub fn copy(&mut self, dst: VReg, src: VReg) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Append `dst <- imm`.
+    pub fn load_imm(&mut self, dst: VReg, imm: Imm) {
+        self.push(Inst::LoadImm { dst, imm });
+    }
+
+    /// Create a fresh register holding `imm`.
+    pub fn imm(&mut self, imm: Imm) -> VReg {
+        let dst = self.new_vreg(imm.class(), "c");
+        self.load_imm(dst, imm);
+        dst
+    }
+
+    /// Create a fresh integer register holding `v`.
+    pub fn int(&mut self, v: i64) -> VReg {
+        self.imm(Imm::Int(v))
+    }
+
+    /// Create a fresh float register holding `v`.
+    pub fn float(&mut self, v: f64) -> VReg {
+        self.imm(Imm::Float(v))
+    }
+
+    /// Append `dst <- op src`.
+    pub fn un(&mut self, op: UnOp, dst: VReg, src: VReg) {
+        self.push(Inst::Un { op, dst, src });
+    }
+
+    /// Append `dst <- lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: VReg, lhs: VReg, rhs: VReg) {
+        self.push(Inst::Bin { op, dst, lhs, rhs });
+    }
+
+    /// Fresh-destination binary op; returns the result register.
+    pub fn binv(&mut self, op: BinOp, lhs: VReg, rhs: VReg) -> VReg {
+        let dst = self.new_vreg(op.result_class(), "t");
+        self.bin(op, dst, lhs, rhs);
+        dst
+    }
+
+    /// Fresh-destination unary op; returns the result register.
+    pub fn unv(&mut self, op: UnOp, src: VReg) -> VReg {
+        let dst = self.new_vreg(op.result_class(), "t");
+        self.un(op, dst, src);
+        dst
+    }
+
+    /// Fresh-destination integer compare.
+    pub fn cmp_i(&mut self, cmp: Cmp, lhs: VReg, rhs: VReg) -> VReg {
+        self.binv(BinOp::CmpI(cmp), lhs, rhs)
+    }
+
+    /// Fresh-destination float compare.
+    pub fn cmp_f(&mut self, cmp: Cmp, lhs: VReg, rhs: VReg) -> VReg {
+        self.binv(BinOp::CmpF(cmp), lhs, rhs)
+    }
+
+    /// Append `dst <- [addr]`.
+    pub fn load(&mut self, dst: VReg, addr: Addr) {
+        self.push(Inst::Load { dst, addr });
+    }
+
+    /// Append `[addr] <- src`.
+    pub fn store(&mut self, src: VReg, addr: Addr) {
+        self.push(Inst::Store { src, addr });
+    }
+
+    /// Append `dst <- &slot`.
+    pub fn frame_addr(&mut self, dst: VReg, slot: FrameSlot) {
+        self.push(Inst::FrameAddr { dst, slot });
+    }
+
+    /// Append `dst <- &global`.
+    pub fn global_addr(&mut self, dst: VReg, global: GlobalId) {
+        self.push(Inst::GlobalAddr { dst, global });
+    }
+
+    /// Append a call.
+    pub fn call(&mut self, dst: Option<VReg>, callee: impl Into<String>, args: Vec<VReg>) {
+        self.push(Inst::Call {
+            dst,
+            callee: callee.into(),
+            args,
+        });
+    }
+
+    /// Append an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.push(Inst::Jump { target });
+    }
+
+    /// Append a conditional branch.
+    pub fn branch(&mut self, cond: VReg, if_true: BlockId, if_false: BlockId) {
+        self.push(Inst::Branch {
+            cond,
+            if_true,
+            if_false,
+        });
+    }
+
+    /// Append a return.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        self.push(Inst::Ret { value });
+    }
+
+    /// True if the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.func.block(self.current).terminator().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn builds_a_diamond_cfg() {
+        let mut b = FunctionBuilder::new("diamond");
+        let x = b.add_param(RegClass::Int, "x");
+        b.set_ret_class(Some(RegClass::Int));
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, zero);
+        let r = b.new_vreg(RegClass::Int, "r");
+        b.branch(c, then_bb, else_bb);
+
+        b.switch_to(then_bb);
+        let one = b.int(1);
+        b.copy(r, one);
+        b.jump(join);
+
+        b.switch_to(else_bb);
+        let m1 = b.int(-1);
+        b.copy(r, m1);
+        b.jump(join);
+
+        b.switch_to(join);
+        b.ret(Some(r));
+
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 4);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn imm_helpers_pick_classes() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.int(3);
+        let x = b.float(1.5);
+        assert_eq!(b.func().class_of(i), RegClass::Int);
+        assert_eq!(b.func().class_of(x), RegClass::Float);
+    }
+}

@@ -1,0 +1,112 @@
+//! Textual rendering of IR, for debugging and golden tests.
+
+use crate::func::Function;
+use crate::inst::Inst;
+use crate::module::Module;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Copy { dst, src } => write!(f, "{dst} = copy {src}"),
+            Inst::LoadImm { dst, imm } => write!(f, "{dst} = imm {imm}"),
+            Inst::Un { op, dst, src } => write!(f, "{dst} = {op} {src}"),
+            Inst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Inst::Load { dst, addr } => write!(f, "{dst} = load {addr}"),
+            Inst::Store { src, addr } => write!(f, "store {src}, {addr}"),
+            Inst::FrameAddr { dst, slot } => write!(f, "{dst} = frameaddr {slot}"),
+            Inst::GlobalAddr { dst, global } => write!(f, "{dst} = globaladdr {global}"),
+            Inst::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Jump { target } => write!(f, "jump {target}"),
+            Inst::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => write!(f, "branch {cond}, {if_true}, {if_false}"),
+            Inst::Ret { value } => match value {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}:{}", self.class_of(*p))?;
+        }
+        write!(f, ")")?;
+        if let Some(rc) = self.ret_class() {
+            write!(f, " -> {rc}")?;
+        }
+        writeln!(f, " {{")?;
+        for s in 0..self.num_slots() {
+            let slot = crate::FrameSlot::new(s as u32);
+            let data = self.slot(slot);
+            if data.is_spill {
+                writeln!(f, "    slot {slot} = {} bytes (spill)", data.size)?;
+            } else {
+                writeln!(f, "    slot {slot} = {} bytes", data.size)?;
+            }
+        }
+        for (bid, block) in self.blocks() {
+            writeln!(f, "{bid}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in self.globals() {
+            writeln!(f, "global {} [{} bytes]", g.name, g.size)?;
+        }
+        for (i, func) in self.functions().iter().enumerate() {
+            if i > 0 || !self.globals().is_empty() {
+                writeln!(f)?;
+            }
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, RegClass};
+
+    #[test]
+    fn function_renders_readably() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        b.set_ret_class(Some(RegClass::Int));
+        let t = b.binv(BinOp::MulI, x, x);
+        b.ret(Some(t));
+        let s = b.finish().to_string();
+        assert!(s.contains("func f(v0:int) -> int {"));
+        assert!(s.contains("v1 = mul.i v0, v0"));
+        assert!(s.contains("ret v1"));
+    }
+}

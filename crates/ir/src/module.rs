@@ -1,0 +1,148 @@
+//! Modules and global data blocks.
+
+use crate::func::Function;
+use std::fmt;
+
+/// A module-level data block (the FT front end uses these for COMMON-style
+/// shared arrays and for data exchanged between a driver and its routines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name of the block.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Identifier for a [`Global`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(u32);
+
+impl GlobalId {
+    /// Create an id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        GlobalId(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A compilation unit: a set of functions plus global data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    funcs: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Add a function; returns its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.funcs.push(f);
+        self.funcs.len() - 1
+    }
+
+    /// Add a global data block of `size` bytes.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        let id = GlobalId::new(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+        });
+        id
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// Mutable access to all functions.
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.funcs
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name() == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.funcs.iter_mut().find(|f| f.name() == name)
+    }
+
+    /// Replace the function with the same name (panics if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function with `f`'s name exists.
+    pub fn replace_function(&mut self, f: Function) {
+        let slot = self
+            .funcs
+            .iter_mut()
+            .find(|g| g.name() == f.name())
+            .unwrap_or_else(|| panic!("no function named {}", f.name()));
+        *slot = f;
+    }
+
+    /// All globals.
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// Metadata for one global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Look up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        m.add_function(Function::new("a"));
+        m.add_function(Function::new("b"));
+        let g = m.add_global("data", 64);
+        assert!(m.function("a").is_some());
+        assert!(m.function("c").is_none());
+        assert_eq!(m.global(g).size, 64);
+        assert_eq!(m.global_by_name("data"), Some(g));
+        assert_eq!(m.global_by_name("nope"), None);
+    }
+
+    #[test]
+    fn replace_function_swaps_body() {
+        let mut m = Module::new();
+        m.add_function(Function::new("f"));
+        let mut f2 = Function::new("f");
+        f2.new_vreg(crate::RegClass::Int, "x");
+        m.replace_function(f2);
+        assert_eq!(m.function("f").unwrap().num_vregs(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cycle-cost model.
+//!
+//! The paper's dynamic measurements (Figure 5's last column, Figure 6's
+//! running times) were wall-clock runs on RT/PC hardware where "floating
+//! point instructions dominate the execution time". This model reproduces
+//! that character: FP operations are expensive relative to integer ALU ops,
+//! and memory traffic (including spill code) costs real cycles.
+
+use optimist_ir::{BinOp, Inst, UnOp};
+
+/// Per-operation cycle costs. All fields are public so experiments can build
+/// variant models; [`CycleModel::rt_pc`] is the calibrated default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Register-register copy.
+    pub copy: u64,
+    /// Load an immediate.
+    pub load_imm: u64,
+    /// Simple integer ALU op (add, sub, logic, shifts, compares, min/max).
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide / remainder.
+    pub int_div: u64,
+    /// Float add/sub/compare/abs/neg (coprocessor round trip).
+    pub fp_alu: u64,
+    /// Float multiply.
+    pub fp_mul: u64,
+    /// Float divide.
+    pub fp_div: u64,
+    /// Float square root.
+    pub fp_sqrt: u64,
+    /// Int↔float conversion.
+    pub fp_cvt: u64,
+    /// Memory load.
+    pub load: u64,
+    /// Memory store.
+    pub store: u64,
+    /// Address materialization (frame/global).
+    pub lea: u64,
+    /// Unconditional jump.
+    pub jump: u64,
+    /// Conditional branch, taken.
+    pub branch_taken: u64,
+    /// Conditional branch, not taken.
+    pub branch_not_taken: u64,
+    /// Fixed call overhead (linkage).
+    pub call_base: u64,
+    /// Additional cost per call argument.
+    pub call_per_arg: u64,
+    /// Return.
+    pub ret: u64,
+}
+
+impl CycleModel {
+    /// An RT/PC-flavoured cost model (1 cycle ≈ one 170ns ROMP cycle).
+    pub fn rt_pc() -> Self {
+        CycleModel {
+            copy: 1,
+            load_imm: 1,
+            int_alu: 1,
+            int_mul: 4,
+            int_div: 19,
+            fp_alu: 6,
+            fp_mul: 9,
+            fp_div: 25,
+            fp_sqrt: 40,
+            fp_cvt: 5,
+            load: 2,
+            store: 2,
+            lea: 1,
+            jump: 1,
+            branch_taken: 2,
+            branch_not_taken: 1,
+            call_base: 8,
+            call_per_arg: 1,
+            ret: 1,
+        }
+    }
+
+    /// Cycles for one executed instruction. For branches, pass whether the
+    /// branch was taken.
+    pub fn cost(&self, inst: &Inst, branch_taken: bool) -> u64 {
+        match inst {
+            Inst::Copy { .. } => self.copy,
+            Inst::LoadImm { .. } => self.load_imm,
+            Inst::Un { op, .. } => match op {
+                UnOp::NegI | UnOp::Not | UnOp::AbsI => self.int_alu,
+                UnOp::NegF | UnOp::AbsF => self.fp_alu,
+                UnOp::SqrtF => self.fp_sqrt,
+                UnOp::IntToFloat | UnOp::FloatToInt => self.fp_cvt,
+            },
+            Inst::Bin { op, .. } => match op {
+                BinOp::MulI => self.int_mul,
+                BinOp::DivI | BinOp::RemI => self.int_div,
+                BinOp::AddF | BinOp::SubF | BinOp::MinF | BinOp::MaxF | BinOp::CmpF(_) => {
+                    self.fp_alu
+                }
+                BinOp::MulF => self.fp_mul,
+                BinOp::DivF => self.fp_div,
+                _ => self.int_alu,
+            },
+            Inst::Load { .. } => self.load,
+            Inst::Store { .. } => self.store,
+            Inst::FrameAddr { .. } | Inst::GlobalAddr { .. } => self.lea,
+            Inst::Call { args, .. } => self.call_base + self.call_per_arg * args.len() as u64,
+            Inst::Jump { .. } => self.jump,
+            Inst::Branch { .. } => {
+                if branch_taken {
+                    self.branch_taken
+                } else {
+                    self.branch_not_taken
+                }
+            }
+            Inst::Ret { .. } => self.ret,
+        }
+    }
+}
+
+impl Default for CycleModel {
+    /// Defaults to [`CycleModel::rt_pc`].
+    fn default() -> Self {
+        CycleModel::rt_pc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{Addr, VReg};
+
+    #[test]
+    fn fp_dominates_int() {
+        let m = CycleModel::rt_pc();
+        assert!(m.fp_mul > m.int_alu);
+        assert!(m.fp_div > m.fp_mul);
+        assert!(m.fp_sqrt > m.fp_div);
+    }
+
+    #[test]
+    fn memory_costs_more_than_alu() {
+        let m = CycleModel::rt_pc();
+        assert!(m.load > m.int_alu);
+        assert!(m.store > m.int_alu);
+    }
+
+    #[test]
+    fn branch_cost_depends_on_direction() {
+        let m = CycleModel::rt_pc();
+        let b = Inst::Branch {
+            cond: VReg::new(0),
+            if_true: optimist_ir::BlockId::new(0),
+            if_false: optimist_ir::BlockId::new(0),
+        };
+        assert_eq!(m.cost(&b, true), m.branch_taken);
+        assert_eq!(m.cost(&b, false), m.branch_not_taken);
+    }
+
+    #[test]
+    fn spill_code_costs_memory_cycles() {
+        let m = CycleModel::rt_pc();
+        let ld = Inst::Load {
+            dst: VReg::new(0),
+            addr: Addr::Frame {
+                slot: optimist_ir::FrameSlot::new(0),
+                offset: 0,
+            },
+        };
+        assert_eq!(m.cost(&ld, false), m.load);
+    }
+}

@@ -1,0 +1,327 @@
+//! Local (per-block) common-subexpression elimination by value numbering.
+//!
+//! Each virtual register carries a *version* that bumps on redefinition;
+//! an expression key is its opcode plus versioned operands. A recomputation
+//! whose key is already in the block's table becomes a copy of the earlier
+//! result. Loads participate too, keyed additionally on a memory version
+//! that bumps at every store and call.
+
+use crate::is_pure;
+use optimist_ir::{Addr, BinOp, Cmp, Function, Imm, Inst, UnOp, VReg};
+use std::collections::HashMap;
+
+/// A versioned operand: (register, version at time of use).
+type Vop = (u32, u32);
+
+/// Expression keys. `Imm` is keyed on bits so `0.0` and `-0.0` stay apart.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Imm(u8, u64),
+    Un(UnOp, Vop),
+    Bin(BinOp2, Vop, Vop),
+    FrameAddr(u32),
+    GlobalAddr(u32),
+    Load(AddrKey, u32), // address key + memory version
+}
+
+/// `BinOp` with the `Cmp` payload flattened so it can derive `Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BinOp2(u8, Option<Cmp>);
+
+fn binop_key(op: BinOp) -> BinOp2 {
+    use BinOp::*;
+    match op {
+        AddI => BinOp2(0, None),
+        SubI => BinOp2(1, None),
+        MulI => BinOp2(2, None),
+        DivI => BinOp2(3, None),
+        RemI => BinOp2(4, None),
+        And => BinOp2(5, None),
+        Or => BinOp2(6, None),
+        Xor => BinOp2(7, None),
+        Shl => BinOp2(8, None),
+        Shr => BinOp2(9, None),
+        MinI => BinOp2(10, None),
+        MaxI => BinOp2(11, None),
+        AddF => BinOp2(12, None),
+        SubF => BinOp2(13, None),
+        MulF => BinOp2(14, None),
+        DivF => BinOp2(15, None),
+        MinF => BinOp2(16, None),
+        MaxF => BinOp2(17, None),
+        CmpI(c) => BinOp2(18, Some(c)),
+        CmpF(c) => BinOp2(19, Some(c)),
+    }
+}
+
+/// True for operators where `a op b == b op a`; operands are sorted so the
+/// two orders share a value number.
+fn commutative(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(
+        op,
+        AddI | MulI | And | Or | Xor | MinI | MaxI | AddF | MulF | MinF | MaxF
+    )
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum AddrKey {
+    Reg(Vop, i64),
+    Frame(u32, i64),
+    Global(u32, i64),
+}
+
+/// Run local CSE over every block. Returns the number of instructions
+/// replaced by copies.
+pub fn local_cse(func: &mut Function) -> usize {
+    let nv = func.num_vregs();
+    let mut replaced = 0usize;
+
+    let block_ids: Vec<_> = func.block_ids().collect();
+    for b in block_ids {
+        let mut version: Vec<u32> = vec![0; nv];
+        let mut memory_version: u32 = 0;
+        let mut table: HashMap<Key, VReg> = HashMap::new();
+
+        let vop = |version: &Vec<u32>, v: VReg| -> Vop { (v.index() as u32, version[v.index()]) };
+
+        let insts = &mut func.block_mut(b).insts;
+        for inst in insts.iter_mut() {
+            // Build the expression key, if this instruction is eligible.
+            let key: Option<Key> = match inst {
+                Inst::LoadImm { imm, .. } => Some(match imm {
+                    Imm::Int(v) => Key::Imm(0, *v as u64),
+                    Imm::Float(v) => Key::Imm(1, v.to_bits()),
+                }),
+                Inst::Un { op, src, .. } => Some(Key::Un(*op, vop(&version, *src))),
+                Inst::Bin { op, lhs, rhs, .. } => {
+                    let (mut a, mut b2) = (vop(&version, *lhs), vop(&version, *rhs));
+                    if commutative(*op) && b2 < a {
+                        std::mem::swap(&mut a, &mut b2);
+                    }
+                    Some(Key::Bin(binop_key(*op), a, b2))
+                }
+                Inst::FrameAddr { slot, .. } => Some(Key::FrameAddr(slot.index() as u32)),
+                Inst::GlobalAddr { global, .. } => Some(Key::GlobalAddr(global.index() as u32)),
+                Inst::Load { addr, .. } => {
+                    let ak = match addr {
+                        Addr::Reg { base, offset } => AddrKey::Reg(vop(&version, *base), *offset),
+                        Addr::Frame { slot, offset } => {
+                            AddrKey::Frame(slot.index() as u32, *offset)
+                        }
+                        Addr::Global { global, offset } => {
+                            AddrKey::Global(global.index() as u32, *offset)
+                        }
+                    };
+                    Some(Key::Load(ak, memory_version))
+                }
+                _ => None,
+            };
+
+            // Effects: stores and calls invalidate memory.
+            if matches!(inst, Inst::Store { .. } | Inst::Call { .. }) {
+                memory_version += 1;
+            }
+
+            let def = inst.def();
+            if let (Some(key), Some(dst)) = (key, def) {
+                match table.get(&key) {
+                    Some(&prev) if prev != dst => {
+                        *inst = Inst::Copy { dst, src: prev };
+                        replaced += 1;
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Record the value. Copies are value-transparent:
+                        // don't record (coalescing handles them), but do
+                        // bump the destination version below.
+                        if is_pure(inst) || matches!(inst, Inst::Load { .. }) {
+                            table.insert(key, dst);
+                        }
+                    }
+                }
+            }
+
+            if let Some(d) = def {
+                version[d.index()] += 1;
+                // Any table entry whose *result* register got clobbered is
+                // stale. (Operand staleness is handled by versioned keys.)
+                table.retain(|_, &mut r| r != d);
+                // ...but the instruction we just recorded defines d and is
+                // current; re-insert it.
+                if let Some(key) = rebuild_key(inst, &version, memory_version) {
+                    if is_pure(inst) || matches!(inst, Inst::Load { .. }) {
+                        table.insert(key, d);
+                    }
+                }
+            }
+        }
+    }
+    replaced
+}
+
+/// Key for the *current* instruction after its def bumped versions —
+/// operands use pre-def versions except self-references, which make the
+/// expression unkeyable (e.g. `i = i + 1`).
+fn rebuild_key(inst: &Inst, version: &[u32], memory_version: u32) -> Option<Key> {
+    let def = inst.def()?;
+    if inst.uses().contains(&def) {
+        return None; // self-referential: value differs every execution
+    }
+    let vop = |v: VReg| -> Vop { (v.index() as u32, version[v.index()]) };
+    match inst {
+        Inst::LoadImm { imm, .. } => Some(match imm {
+            Imm::Int(v) => Key::Imm(0, *v as u64),
+            Imm::Float(v) => Key::Imm(1, v.to_bits()),
+        }),
+        Inst::Un { op, src, .. } => Some(Key::Un(*op, vop(*src))),
+        Inst::Bin { op, lhs, rhs, .. } => {
+            let (mut a, mut b) = (vop(*lhs), vop(*rhs));
+            if commutative(*op) && b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            Some(Key::Bin(binop_key(*op), a, b))
+        }
+        Inst::FrameAddr { slot, .. } => Some(Key::FrameAddr(slot.index() as u32)),
+        Inst::GlobalAddr { global, .. } => Some(Key::GlobalAddr(global.index() as u32)),
+        Inst::Load { addr, .. } => {
+            let ak = match addr {
+                Addr::Reg { base, offset } => AddrKey::Reg(vop(*base), *offset),
+                Addr::Frame { slot, offset } => AddrKey::Frame(slot.index() as u32, *offset),
+                Addr::Global { global, offset } => AddrKey::Global(global.index() as u32, *offset),
+            };
+            Some(Key::Load(ak, memory_version))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, FunctionBuilder, RegClass};
+
+    #[test]
+    fn duplicate_computation_becomes_copy() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let t1 = b.binv(BinOp::MulI, x, x);
+        let t2 = b.binv(BinOp::MulI, x, x);
+        let r = b.binv(BinOp::AddI, t1, t2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 1);
+        let copies = f.insts().filter(|(_, _, i)| i.is_copy()).count();
+        assert_eq!(copies, 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn commutative_operands_share_a_value() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let y = b.add_param(RegClass::Int, "y");
+        let t1 = b.binv(BinOp::AddI, x, y);
+        let t2 = b.binv(BinOp::AddI, y, x);
+        let r = b.binv(BinOp::MulI, t1, t2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 1);
+    }
+
+    #[test]
+    fn non_commutative_orders_stay_distinct() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let y = b.add_param(RegClass::Int, "y");
+        let t1 = b.binv(BinOp::SubI, x, y);
+        let t2 = b.binv(BinOp::SubI, y, x);
+        let r = b.binv(BinOp::AddI, t1, t2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn redefined_operand_blocks_reuse() {
+        // t1 = x + 1 ; x = 0 ; t2 = x + 1  — t2 must not reuse t1.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let one = b.int(1);
+        let t1 = b.new_vreg(RegClass::Int, "t1");
+        b.bin(BinOp::AddI, t1, x, one);
+        b.load_imm(x, optimist_ir::Imm::Int(0));
+        let t2 = b.new_vreg(RegClass::Int, "t2");
+        b.bin(BinOp::AddI, t2, x, one);
+        let r = b.binv(BinOp::AddI, t1, t2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn load_reused_until_store() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        let slot = b.new_slot(8, "a");
+        let v1 = b.new_vreg(RegClass::Float, "v1");
+        b.load(v1, Addr::Frame { slot, offset: 0 });
+        let v2 = b.new_vreg(RegClass::Float, "v2");
+        b.load(v2, Addr::Frame { slot, offset: 0 });
+        // store invalidates
+        b.store(v1, Addr::Frame { slot, offset: 0 });
+        let v3 = b.new_vreg(RegClass::Float, "v3");
+        b.load(v3, Addr::Frame { slot, offset: 0 });
+        let t = b.binv(BinOp::AddF, v2, v3);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 1, "only the pre-store load is reused");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn call_invalidates_loads() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        let slot = b.new_slot(8, "a");
+        let v1 = b.new_vreg(RegClass::Float, "v1");
+        b.load(v1, Addr::Frame { slot, offset: 0 });
+        b.call(None, "g", vec![]);
+        let v2 = b.new_vreg(RegClass::Float, "v2");
+        b.load(v2, Addr::Frame { slot, offset: 0 });
+        let t = b.binv(BinOp::AddF, v1, v2);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn self_increment_never_cached() {
+        // i = i + 1 twice must remain two additions.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let i = b.add_param(RegClass::Int, "i");
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        b.bin(BinOp::AddI, i, i, one);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn duplicate_immediates_fold() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(42);
+        let c = b.int(42);
+        let r = b.binv(BinOp::AddI, a, c);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(local_cse(&mut f), 1);
+    }
+}

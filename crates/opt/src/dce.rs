@@ -1,0 +1,113 @@
+//! Dead-code elimination: remove pure instructions whose results are never
+//! used, iterating until nothing changes (removing one dead instruction can
+//! kill the uses that kept another alive).
+
+use crate::is_pure;
+use optimist_ir::Function;
+
+/// Remove dead pure instructions. Returns how many were deleted.
+pub fn dce(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let nv = func.num_vregs();
+        let mut used = vec![false; nv];
+        for (_, _, inst) in func.insts() {
+            for u in inst.uses() {
+                used[u.index()] = true;
+            }
+        }
+
+        let mut removed = 0;
+        func.rewrite_blocks(|_, insts| {
+            insts
+                .into_iter()
+                .filter(|inst| {
+                    let dead = is_pure(inst)
+                        && inst
+                            .def()
+                            .is_some_and(|d| !used[d.index()]);
+                    if dead {
+                        removed += 1;
+                    }
+                    !dead
+                })
+                .collect()
+        });
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, BinOp, FunctionBuilder, Imm, RegClass};
+
+    #[test]
+    fn unused_value_removed() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let dead = b.binv(BinOp::AddI, x, x);
+        let _ = dead;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(dce(&mut f), 1);
+        assert_eq!(f.num_insts(), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn chains_die_transitively() {
+        // a = 1; c = a + a; (both dead)
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let a = b.int(1);
+        let c = b.binv(BinOp::AddI, a, a);
+        let _ = c;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(dce(&mut f), 2);
+    }
+
+    #[test]
+    fn stores_and_calls_survive() {
+        let mut b = FunctionBuilder::new("f");
+        let slot = b.new_slot(8, "s");
+        let v = b.int(3);
+        b.store(v, optimist_ir::Addr::Frame { slot, offset: 0 });
+        b.call(None, "g", vec![]);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(dce(&mut f), 0);
+        assert_eq!(f.num_insts(), 4);
+    }
+
+    #[test]
+    fn loads_are_not_removed() {
+        // Loads are kept even when unused: the conservative choice (a load
+        // from a bad address would trap in the simulator, and removing it
+        // would change behaviour).
+        let mut b = FunctionBuilder::new("f");
+        let slot = b.new_slot(8, "s");
+        let v = b.new_vreg(RegClass::Float, "v");
+        b.load(v, optimist_ir::Addr::Frame { slot, offset: 0 });
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn live_through_ret_survives() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let v = b.new_vreg(RegClass::Int, "v");
+        b.load_imm(v, Imm::Int(9));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(dce(&mut f), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Constant folding and algebraic simplification.
+//!
+//! Within each block, immediate values are tracked per register version;
+//! binary/unary operations over two known constants fold to a `LoadImm`,
+//! and a handful of safe algebraic identities (`x+0`, `x*1`, `x-0`,
+//! `x*0` for integers) collapse to copies or constants. Floating-point
+//! folding computes exactly what the simulator would (same `f64`
+//! semantics), so results are bit-identical.
+
+use optimist_ir::{BinOp, Cmp, Function, Imm, Inst, UnOp, VReg};
+
+/// Fold constants. Returns the number of instructions simplified.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let nv = func.num_vregs();
+    let mut simplified = 0usize;
+
+    let block_ids: Vec<_> = func.block_ids().collect();
+    for b in block_ids {
+        // Known constant per register, invalidated on redefinition.
+        let mut known: Vec<Option<Imm>> = vec![None; nv];
+        let insts = &mut func.block_mut(b).insts;
+        for inst in insts.iter_mut() {
+            let new_inst: Option<Inst> = match inst {
+                Inst::Un { op, dst, src } => {
+                    known[src.index()].and_then(|imm| fold_un(*op, imm)).map(|imm| Inst::LoadImm {
+                        dst: *dst,
+                        imm,
+                    })
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    let (kl, kr) = (known[lhs.index()], known[rhs.index()]);
+                    match (kl, kr) {
+                        (Some(a), Some(bv)) => {
+                            fold_bin(*op, a, bv).map(|imm| Inst::LoadImm { dst: *dst, imm })
+                        }
+                        _ => algebraic(*op, *dst, *lhs, *rhs, kl, kr),
+                    }
+                }
+                _ => None,
+            };
+            if let Some(n) = new_inst {
+                *inst = n;
+                simplified += 1;
+            }
+            // Update knowledge.
+            if let Some(d) = inst.def() {
+                known[d.index()] = match inst {
+                    Inst::LoadImm { imm, .. } => Some(*imm),
+                    Inst::Copy { src, .. } => known[src.index()],
+                    _ => None,
+                };
+            }
+        }
+    }
+    simplified
+}
+
+fn fold_un(op: UnOp, x: Imm) -> Option<Imm> {
+    Some(match (op, x) {
+        (UnOp::NegI, Imm::Int(v)) => Imm::Int(v.wrapping_neg()),
+        (UnOp::AbsI, Imm::Int(v)) => Imm::Int(v.wrapping_abs()),
+        (UnOp::Not, Imm::Int(v)) => Imm::Int(i64::from(v == 0)),
+        (UnOp::NegF, Imm::Float(v)) => Imm::Float(-v),
+        (UnOp::AbsF, Imm::Float(v)) => Imm::Float(v.abs()),
+        (UnOp::SqrtF, Imm::Float(v)) => Imm::Float(v.sqrt()),
+        (UnOp::IntToFloat, Imm::Int(v)) => Imm::Float(v as f64),
+        (UnOp::FloatToInt, Imm::Float(v)) => Imm::Int(v.trunc() as i64),
+        _ => return None,
+    })
+}
+
+fn fold_bin(op: BinOp, a: Imm, b: Imm) -> Option<Imm> {
+    use BinOp::*;
+    Some(match (op, a, b) {
+        (AddI, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.wrapping_add(y)),
+        (SubI, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.wrapping_sub(y)),
+        (MulI, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.wrapping_mul(y)),
+        // Division folds only when it cannot trap.
+        (DivI, Imm::Int(x), Imm::Int(y)) if y != 0 => Imm::Int(x.wrapping_div(y)),
+        (RemI, Imm::Int(x), Imm::Int(y)) if y != 0 => Imm::Int(x.wrapping_rem(y)),
+        (MinI, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.min(y)),
+        (MaxI, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.max(y)),
+        (And, Imm::Int(x), Imm::Int(y)) => Imm::Int(((x as u64) & (y as u64)) as i64),
+        (Or, Imm::Int(x), Imm::Int(y)) => Imm::Int(((x as u64) | (y as u64)) as i64),
+        (Xor, Imm::Int(x), Imm::Int(y)) => Imm::Int(((x as u64) ^ (y as u64)) as i64),
+        (Shl, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.wrapping_shl(y as u32)),
+        (Shr, Imm::Int(x), Imm::Int(y)) => Imm::Int(x.wrapping_shr(y as u32)),
+        (AddF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x + y),
+        (SubF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x - y),
+        (MulF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x * y),
+        (DivF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x / y),
+        (MinF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x.min(y)),
+        (MaxF, Imm::Float(x), Imm::Float(y)) => Imm::Float(x.max(y)),
+        (CmpI(c), Imm::Int(x), Imm::Int(y)) => Imm::Int(i64::from(cmp_i(c, x, y))),
+        (CmpF(c), Imm::Float(x), Imm::Float(y)) => Imm::Int(i64::from(cmp_f(c, x, y))),
+        _ => return None,
+    })
+}
+
+fn cmp_i(c: Cmp, a: i64, b: i64) -> bool {
+    match c {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }
+}
+
+fn cmp_f(c: Cmp, a: f64, b: f64) -> bool {
+    match c {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }
+}
+
+/// Integer algebraic identities with one known operand. Float identities
+/// are deliberately omitted (`x + 0.0` is not an identity for `-0.0`, and
+/// `x * 0.0` is wrong for NaN/∞).
+fn algebraic(
+    op: BinOp,
+    dst: VReg,
+    lhs: VReg,
+    rhs: VReg,
+    kl: Option<Imm>,
+    kr: Option<Imm>,
+) -> Option<Inst> {
+    use BinOp::*;
+    let li = matches!(kl, Some(Imm::Int(_))).then(|| match kl {
+        Some(Imm::Int(v)) => v,
+        _ => unreachable!(),
+    });
+    let ri = matches!(kr, Some(Imm::Int(_))).then(|| match kr {
+        Some(Imm::Int(v)) => v,
+        _ => unreachable!(),
+    });
+    match (op, li, ri) {
+        (AddI, Some(0), _) => Some(Inst::Copy { dst, src: rhs }),
+        (AddI, _, Some(0)) | (SubI, _, Some(0)) => Some(Inst::Copy { dst, src: lhs }),
+        (MulI, Some(1), _) => Some(Inst::Copy { dst, src: rhs }),
+        (MulI, _, Some(1)) | (DivI, _, Some(1)) => Some(Inst::Copy { dst, src: lhs }),
+        (MulI, Some(0), _) | (MulI, _, Some(0)) => Some(Inst::LoadImm {
+            dst,
+            imm: Imm::Int(0),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, FunctionBuilder, RegClass};
+
+    #[test]
+    fn constant_addition_folds() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.int(2);
+        let y = b.int(3);
+        let t = b.binv(BinOp::AddI, x, y);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 1);
+        let folded = f
+            .insts()
+            .any(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(5), .. }));
+        assert!(folded);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn chain_folds_transitively() {
+        // (2*3) + 4 folds completely in one pass.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let two = b.int(2);
+        let three = b.int(3);
+        let m = b.binv(BinOp::MulI, two, three);
+        let four = b.int(4);
+        let s = b.binv(BinOp::AddI, m, four);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 2);
+        assert!(f
+            .insts()
+            .any(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(10), .. })));
+    }
+
+    #[test]
+    fn division_by_zero_never_folds() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.int(5);
+        let z = b.int(0);
+        let t = b.binv(BinOp::DivI, x, z);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 0, "the trap must be preserved");
+    }
+
+    #[test]
+    fn identities_collapse_to_copies() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let zero = b.int(0);
+        let one = b.int(1);
+        let t1 = b.binv(BinOp::AddI, p, zero); // p
+        let t2 = b.binv(BinOp::MulI, t1, one); // p
+        let t3 = b.binv(BinOp::MulI, t2, zero); // 0
+        b.ret(Some(t3));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 3);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // x + 0.0 must stay: it normalizes -0.0 to 0.0.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        let p = b.add_param(RegClass::Float, "p");
+        let zero = b.float(0.0);
+        let t = b.binv(BinOp::AddF, p, zero);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+
+    #[test]
+    fn redefinition_invalidates_knowledge() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(7));
+        b.copy(x, p); // x no longer 7
+        let y = b.int(1);
+        let t = b.binv(BinOp::AddI, x, y);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+
+    #[test]
+    fn float_constants_fold_bit_exactly() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        let x = b.float(4.0 / 3.0);
+        let one = b.float(1.0);
+        let t = b.binv(BinOp::SubF, x, one);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        assert_eq!(fold_constants(&mut f), 1);
+        let expect = (4.0f64 / 3.0) - 1.0;
+        assert!(f.insts().any(|(_, _, i)| matches!(
+            i,
+            Inst::LoadImm { imm: Imm::Float(v), .. } if v.to_bits() == expect.to_bits()
+        )));
+    }
+}

@@ -1,0 +1,284 @@
+//! Dominator-scoped global common-subexpression elimination.
+//!
+//! A pure computation in block `B` is available in every block `B`
+//! dominates. Without SSA, soundness is delicate — an operand could be
+//! redefined on a path between the two occurrences — so the pass restricts
+//! itself to expressions whose operands *and* destination are defined
+//! exactly once in the function. The FT front end makes every expression
+//! temporary single-def, so address arithmetic, immediates, and repeated
+//! subexpressions over parameters all qualify. Reusing a dominating value
+//! extends its live range across blocks (often across whole loop nests),
+//! reproducing the long-live-range pressure of the paper's optimizer.
+
+use crate::is_pure;
+use optimist_ir::{BinOp, Cmp, Function, Imm, Inst, UnOp, VReg};
+use std::collections::HashMap;
+
+use optimist_analysis::{Cfg, Dominators};
+
+/// Expression key over single-def operands (no versions needed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Imm(u8, u64),
+    Un(UnOp, u32),
+    Bin(u8, Option<Cmp>, u32, u32),
+    FrameAddr(u32),
+    GlobalAddr(u32),
+}
+
+fn binop_tag(op: BinOp) -> (u8, Option<Cmp>) {
+    use BinOp::*;
+    match op {
+        AddI => (0, None),
+        SubI => (1, None),
+        MulI => (2, None),
+        DivI => (3, None),
+        RemI => (4, None),
+        And => (5, None),
+        Or => (6, None),
+        Xor => (7, None),
+        Shl => (8, None),
+        Shr => (9, None),
+        MinI => (10, None),
+        MaxI => (11, None),
+        AddF => (12, None),
+        SubF => (13, None),
+        MulF => (14, None),
+        DivF => (15, None),
+        MinF => (16, None),
+        MaxF => (17, None),
+        CmpI(c) => (18, Some(c)),
+        CmpF(c) => (19, Some(c)),
+    }
+}
+
+fn commutative(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(
+        op,
+        AddI | MulI | And | Or | Xor | MinI | MaxI | AddF | MulF | MinF | MaxF
+    )
+}
+
+fn key_of(inst: &Inst, single_def: &[bool]) -> Option<Key> {
+    let ok = |v: VReg| single_def[v.index()];
+    match inst {
+        Inst::LoadImm { imm, .. } => Some(match imm {
+            Imm::Int(v) => Key::Imm(0, *v as u64),
+            Imm::Float(v) => Key::Imm(1, v.to_bits()),
+        }),
+        Inst::Un { op, src, .. } if ok(*src) => Some(Key::Un(*op, src.index() as u32)),
+        Inst::Bin { op, lhs, rhs, .. } if ok(*lhs) && ok(*rhs) => {
+            let (tag, cmp) = binop_tag(*op);
+            let (mut a, mut b) = (lhs.index() as u32, rhs.index() as u32);
+            if commutative(*op) && b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            Some(Key::Bin(tag, cmp, a, b))
+        }
+        Inst::FrameAddr { slot, .. } => Some(Key::FrameAddr(slot.index() as u32)),
+        Inst::GlobalAddr { global, .. } => Some(Key::GlobalAddr(global.index() as u32)),
+        _ => None,
+    }
+}
+
+/// Run dominator-scoped CSE. Returns the number of instructions replaced
+/// by copies of a dominating computation.
+pub fn global_cse(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let dom = Dominators::new(func, &cfg);
+
+    // Single-def registers (params are one def; any instruction def adds).
+    let nv = func.num_vregs();
+    let mut def_count = vec![0u32; nv];
+    for &p in func.params() {
+        def_count[p.index()] += 1;
+    }
+    for (_, _, inst) in func.insts() {
+        if let Some(d) = inst.def() {
+            def_count[d.index()] += 1;
+        }
+    }
+    let single_def: Vec<bool> = def_count.iter().map(|&c| c == 1).collect();
+
+    // Dominator-tree children.
+    let nb = func.num_blocks();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for b in func.block_ids() {
+        if let Some(idom) = dom.idom(b) {
+            children[idom.index()].push(b.index() as u32);
+        }
+    }
+
+    // Scoped DFS with an undo log.
+    let mut table: HashMap<Key, VReg> = HashMap::new();
+    let mut replaced = 0usize;
+    // Explicit stack: (block, enter/exit, undo marker).
+    enum Step {
+        Enter(u32),
+        Exit(usize),
+    }
+    let mut undo: Vec<(Key, Option<VReg>)> = Vec::new();
+    let mut stack = vec![Step::Enter(func.entry().index() as u32)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Exit(mark) => {
+                while undo.len() > mark {
+                    let (k, prev) = undo.pop().expect("len checked");
+                    match prev {
+                        Some(v) => {
+                            table.insert(k, v);
+                        }
+                        None => {
+                            table.remove(&k);
+                        }
+                    }
+                }
+            }
+            Step::Enter(bi) => {
+                stack.push(Step::Exit(undo.len()));
+                let b = optimist_ir::BlockId::new(bi);
+                let insts = &mut func.block_mut(b).insts;
+                for inst in insts.iter_mut() {
+                    if !is_pure(inst) || inst.is_copy() {
+                        continue;
+                    }
+                    let Some(dst) = inst.def() else { continue };
+                    if !single_def[dst.index()] {
+                        continue;
+                    }
+                    let Some(key) = key_of(inst, &single_def) else {
+                        continue;
+                    };
+                    match table.get(&key) {
+                        Some(&prev) if prev != dst => {
+                            *inst = Inst::Copy { dst, src: prev };
+                            replaced += 1;
+                        }
+                        Some(_) => {}
+                        None => {
+                            undo.push((key.clone(), None));
+                            table.insert(key, dst);
+                        }
+                    }
+                }
+                for &c in &children[bi as usize] {
+                    stack.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, FunctionBuilder, RegClass};
+
+    #[test]
+    fn value_reused_across_dominated_blocks() {
+        // entry computes x*x; both branch arms recompute it.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let t0 = b.binv(BinOp::MulI, x, x);
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, t0, z);
+        let r = b.new_vreg(RegClass::Int, "r");
+        b.branch(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        let t1 = b.binv(BinOp::MulI, x, x);
+        b.copy(r, t1);
+        b.jump(join);
+        b.switch_to(else_bb);
+        let t2 = b.binv(BinOp::MulI, x, x);
+        b.copy(r, t2);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(global_cse(&mut f), 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share() {
+        // Values computed in one branch arm are NOT available in the other.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        let z = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, z);
+        let r = b.new_vreg(RegClass::Int, "r");
+        b.branch(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        let t1 = b.binv(BinOp::MulI, x, x);
+        b.copy(r, t1);
+        b.jump(join);
+        b.switch_to(else_bb);
+        let t2 = b.binv(BinOp::MulI, x, x);
+        b.copy(r, t2);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(global_cse(&mut f), 0, "arms do not dominate each other");
+    }
+
+    #[test]
+    fn multi_def_operands_excluded() {
+        // i is redefined, so i+1 in a dominated block must not be reused.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let i = b.add_param(RegClass::Int, "i");
+        let one = b.int(1);
+        let t1 = b.binv(BinOp::AddI, i, one);
+        b.bin(BinOp::AddI, i, i, one); // i redefined -> multi-def
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        let t2 = b.binv(BinOp::AddI, i, one);
+        let r = b.binv(BinOp::AddI, t1, t2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert_eq!(global_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn loop_body_reuses_preheader_value() {
+        // A value computed before the loop is reused inside it (the loop
+        // header is dominated by the entry).
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let t0 = b.binv(BinOp::MulI, x, x);
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let t1 = b.binv(BinOp::MulI, x, x); // same as t0
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        let _ = (t0, t1);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        assert_eq!(global_cse(&mut f), 1);
+        verify_function(&f).unwrap();
+    }
+}

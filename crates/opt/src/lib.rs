@@ -1,0 +1,140 @@
+#![warn(missing_docs)]
+
+//! # optimist-opt
+//!
+//! A scalar optimizer for [`optimist_ir`], supplying the context the paper
+//! assumes: its register allocator sat behind an optimizing FORTRAN
+//! front end, and it is *optimized* code — common subexpressions factored
+//! out, loop-invariant values hoisted — that exhibits the long live ranges
+//! and the register pressure the evaluation section measures ("After
+//! optimization, there are about a dozen long live ranges extending from
+//! the initialization portion, through the array copy, and into the large
+//! loop nests", §1.2).
+//!
+//! Three classic passes:
+//!
+//! * [`local_cse`] — per-block value numbering: reuse previously computed
+//!   pure values (and loads, invalidated at stores/calls) instead of
+//!   recomputing them.
+//! * [`licm`] — loop-invariant code motion: hoist pure, single-def
+//!   computations whose operands are loop-invariant into a freshly-made
+//!   preheader.
+//! * [`dce`] — remove pure instructions whose results are never used.
+//!
+//! [`optimize_function`] runs them to a fixed point; [`optimize_module`]
+//! maps it over a module. All passes preserve observable behaviour —
+//! integration tests execute optimized and unoptimized code and require
+//! bit-identical results.
+//!
+//! ```
+//! let mut module = optimist_frontend::compile("
+//! SUBROUTINE SAXPYISH(N, A, X)
+//!   INTEGER N, I
+//!   REAL A, X(*)
+//!   DO I = 1, N
+//!     X(I) = X(I) + (A*2.0)*(A*2.0)
+//!   ENDDO
+//! END
+//! ")?;
+//! let stats = optimist_opt::optimize_module(&mut module);
+//! // The duplicated A*2.0 is value-numbered away and, being loop-
+//! // invariant, hoisted into a preheader.
+//! assert!(stats.cse_replaced >= 1);
+//! assert!(stats.licm_hoisted >= 1);
+//! # Ok::<(), optimist_frontend::CompileError>(())
+//! ```
+
+mod cse;
+mod dce;
+mod fold;
+mod gcse;
+mod licm;
+
+pub use cse::local_cse;
+pub use dce::dce;
+pub use fold::fold_constants;
+pub use gcse::global_cse;
+pub use licm::licm;
+
+use optimist_ir::{Function, Module};
+
+/// Counts of what the optimizer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions simplified by constant folding.
+    pub folded: usize,
+    /// Instructions replaced by copies of an existing value (CSE).
+    pub cse_replaced: usize,
+    /// Instructions hoisted out of loops (LICM).
+    pub licm_hoisted: usize,
+    /// Dead instructions removed (DCE).
+    pub dce_removed: usize,
+}
+
+impl std::ops::AddAssign for OptStats {
+    fn add_assign(&mut self, o: OptStats) {
+        self.folded += o.folded;
+        self.cse_replaced += o.cse_replaced;
+        self.licm_hoisted += o.licm_hoisted;
+        self.dce_removed += o.dce_removed;
+    }
+}
+
+/// Run folding → CSE → LICM → DCE to a fixed point (bounded).
+pub fn optimize_function(func: &mut Function) -> OptStats {
+    let mut total = OptStats::default();
+    // Two rounds catch the common second-order opportunities (hoisting
+    // exposes CSE across the preheader, CSE exposes dead code).
+    for _ in 0..3 {
+        let round = OptStats {
+            folded: fold_constants(func),
+            cse_replaced: local_cse(func) + global_cse(func),
+            licm_hoisted: licm(func),
+            dce_removed: dce(func),
+        };
+        total += round;
+        if round == OptStats::default() {
+            break;
+        }
+    }
+    total
+}
+
+/// [`optimize_function`] over every function of a module.
+pub fn optimize_module(module: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    for f in module.functions_mut() {
+        total += optimize_function(f);
+    }
+    total
+}
+
+/// True if an instruction is pure (no memory, control, or call effects):
+/// safe to deduplicate, hoist, or delete when unused.
+pub(crate) fn is_pure(inst: &optimist_ir::Inst) -> bool {
+    use optimist_ir::Inst;
+    matches!(
+        inst,
+        Inst::Copy { .. }
+            | Inst::LoadImm { .. }
+            | Inst::Un { .. }
+            | Inst::Bin { .. }
+            | Inst::FrameAddr { .. }
+            | Inst::GlobalAddr { .. }
+    )
+}
+
+/// True if a pure instruction may also be *speculated* (executed on paths
+/// where the original would not run). Integer division traps, so it may
+/// not move; everything else pure is safe.
+pub(crate) fn is_speculatable(inst: &optimist_ir::Inst) -> bool {
+    use optimist_ir::{BinOp, Inst};
+    is_pure(inst)
+        && !matches!(
+            inst,
+            Inst::Bin {
+                op: BinOp::DivI | BinOp::RemI,
+                ..
+            }
+        )
+}

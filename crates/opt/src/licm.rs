@@ -1,0 +1,361 @@
+//! Loop-invariant code motion.
+//!
+//! For each natural loop (processed innermost-first by repeated passes),
+//! pure speculatable instructions whose operands are defined only outside
+//! the loop, and whose destination has exactly one definition in the whole
+//! function, are moved to a freshly created *preheader* block. Single-def
+//! destinations are what the FT front end produces for every expression
+//! temporary, so address arithmetic and repeated subexpression values hoist
+//! readily — creating exactly the long live ranges spanning loop nests that
+//! the paper's register-pressure story is about.
+
+use crate::is_speculatable;
+use optimist_analysis::{Cfg, Dominators, LoopInfo};
+use optimist_ir::{BlockId, Function, Inst};
+use std::collections::{HashMap, HashSet};
+
+/// Hoist loop-invariant code. Returns the number of instructions moved.
+pub fn licm(func: &mut Function) -> usize {
+    let mut total = 0;
+    // Hoisting can expose further hoists in outer loops; iterate.
+    loop {
+        let moved = licm_pass(func);
+        if moved == 0 {
+            return total;
+        }
+        total += moved;
+    }
+}
+
+fn licm_pass(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let dom = Dominators::new(func, &cfg);
+    let loops = LoopInfo::new(func, &cfg, &dom);
+    if loops.loops().is_empty() {
+        return 0;
+    }
+
+    // Def counts per vreg over the whole function (params count as defs).
+    let nv = func.num_vregs();
+    let mut def_count = vec![0u32; nv];
+    for &p in func.params() {
+        def_count[p.index()] += 1;
+    }
+    for (_, _, inst) in func.insts() {
+        if let Some(d) = inst.def() {
+            def_count[d.index()] += 1;
+        }
+    }
+
+    // Which block defines each single-def vreg.
+    let mut def_block: HashMap<u32, BlockId> = HashMap::new();
+    for (bid, _, inst) in func.insts() {
+        if let Some(d) = inst.def() {
+            if def_count[d.index()] == 1 {
+                def_block.insert(d.index() as u32, bid);
+            }
+        }
+    }
+
+    // Pick the innermost loops (deepest headers) first; one pass handles
+    // each loop once, and the driver iterates.
+    let mut loop_order: Vec<usize> = (0..loops.loops().len()).collect();
+    loop_order.sort_by_key(|&i| std::cmp::Reverse(loops.depth(loops.loops()[i].header)));
+
+    let mut moved_total = 0;
+    for li in loop_order {
+        let lp = &loops.loops()[li];
+        let body: HashSet<BlockId> = lp.body.iter().copied().collect();
+
+        // Collect hoistable instructions: pure + speculatable, single-def
+        // destination, all operands defined outside the loop (or single-def
+        // inside but already chosen for hoisting — handled by iterating).
+        let mut to_hoist: Vec<(BlockId, usize)> = Vec::new();
+        let mut hoisted_defs: HashSet<u32> = HashSet::new();
+        for &b in &lp.body {
+            for (i, inst) in func.block(b).insts.iter().enumerate() {
+                if !is_speculatable(inst) || inst.is_copy() {
+                    continue;
+                }
+                let Some(d) = inst.def() else { continue };
+                if def_count[d.index()] != 1 {
+                    continue;
+                }
+                let invariant = inst.uses().iter().all(|u| {
+                    let inside = def_block
+                        .get(&(u.index() as u32))
+                        .map(|db| body.contains(db))
+                        // Multi-def or param: treat as inside if any def may
+                        // be inside; conservatively check all defs.
+                        .unwrap_or_else(|| multi_def_inside(func, *u, &body));
+                    !inside || hoisted_defs.contains(&(u.index() as u32))
+                });
+                if invariant {
+                    to_hoist.push((b, i));
+                    hoisted_defs.insert(d.index() as u32);
+                }
+            }
+        }
+
+        if to_hoist.is_empty() {
+            continue;
+        }
+
+        // Build (or reuse) the preheader: a block whose only successor is
+        // the header, receiving all non-back edges into the header.
+        let header = lp.header;
+        let preds: Vec<BlockId> = cfg
+            .preds(header)
+            .iter()
+            .copied()
+            .filter(|p| !body.contains(p))
+            .collect();
+        if preds.is_empty() {
+            continue; // unreachable loop
+        }
+        let preheader = func.new_block();
+        // Redirect entering edges.
+        for p in preds {
+            let insts = &mut func.block_mut(p).insts;
+            if let Some(term) = insts.last_mut() {
+                term.map_successors(|t| if t == header { preheader } else { t });
+            }
+        }
+
+        // Move instructions (preserving their relative order) into the
+        // preheader, then terminate it with a jump to the header.
+        // Collect per block the indices to remove.
+        let mut by_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        for (b, i) in &to_hoist {
+            by_block.entry(*b).or_default().push(*i);
+        }
+        // Deterministic order: blocks in loop-body order, indices ascending.
+        let mut moved_insts: Vec<Inst> = Vec::new();
+        for &b in &lp.body {
+            if let Some(indices) = by_block.get_mut(&b) {
+                indices.sort_unstable();
+                let block_insts = &mut func.block_mut(b).insts;
+                for &i in indices.iter().rev() {
+                    moved_insts.push(block_insts.remove(i));
+                }
+                // removals collected in reverse; fix order below
+                let n = indices.len();
+                let start = moved_insts.len() - n;
+                moved_insts[start..].reverse();
+            }
+        }
+        // The collected order may interleave dependencies across blocks;
+        // topologically order by operand availability (simple repeated
+        // scheduling — the sets are small).
+        let mut scheduled: Vec<Inst> = Vec::with_capacity(moved_insts.len());
+        let mut ready: HashSet<u32> = HashSet::new();
+        let moved_defs: HashSet<u32> = moved_insts
+            .iter()
+            .filter_map(|i| i.def())
+            .map(|d| d.index() as u32)
+            .collect();
+        while scheduled.len() < moved_insts.len() {
+            let before = scheduled.len();
+            for inst in &moved_insts {
+                let d = inst.def().expect("hoisted insts define");
+                if ready.contains(&(d.index() as u32)) {
+                    continue;
+                }
+                let ok = inst.uses().iter().all(|u| {
+                    !moved_defs.contains(&(u.index() as u32))
+                        || ready.contains(&(u.index() as u32))
+                });
+                if ok {
+                    scheduled.push(inst.clone());
+                    ready.insert(d.index() as u32);
+                }
+            }
+            assert!(
+                scheduled.len() > before,
+                "hoisted instructions form a dependence cycle"
+            );
+        }
+        let ph = func.block_mut(preheader);
+        ph.insts = scheduled;
+        ph.insts.push(Inst::Jump { target: header });
+
+        moved_total += to_hoist.len();
+        // The CFG changed; let the driver re-analyze before other loops.
+        break;
+    }
+    moved_total
+}
+
+/// For a multi-def register, true if *any* definition sits inside the loop.
+fn multi_def_inside(
+    func: &Function,
+    v: optimist_ir::VReg,
+    body: &HashSet<BlockId>,
+) -> bool {
+    for &b in body.iter() {
+        for inst in &func.block(b).insts {
+            if inst.def() == Some(v) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, BinOp, Cmp, FunctionBuilder, RegClass};
+
+    /// while (i < n) { t = x*x (invariant); i += 1 }
+    fn loopy() -> (Function, BlockId) {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, optimist_ir::Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let t = b.binv(BinOp::MulI, x, x); // invariant, single def
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        let _ = t;
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        (b.finish(), body)
+    }
+
+    #[test]
+    fn invariant_multiply_is_hoisted() {
+        let (mut f, body) = loopy();
+        let before_in_body = f.block(body).insts.len();
+        let moved = licm(&mut f);
+        assert!(moved >= 1, "x*x should hoist");
+        assert!(f.block(body).insts.len() < before_in_body);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_variant_stays() {
+        let (mut f, body) = loopy();
+        licm(&mut f);
+        // The increment i = i + 1 must remain in the loop.
+        let has_inc = f
+            .block(body)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::AddI, .. }));
+        assert!(has_inc);
+    }
+
+    #[test]
+    fn division_is_not_speculated() {
+        // q = x / y is invariant but may trap; it must not be hoisted out
+        // of a possibly-zero-trip loop.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let x = b.add_param(RegClass::Int, "x");
+        let y = b.add_param(RegClass::Int, "y");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, optimist_ir::Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let q = b.binv(BinOp::DivI, x, y);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        let _ = q;
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let body_len = f.block(body).insts.len();
+        licm(&mut f);
+        let has_div = f
+            .block(body)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::DivI, .. }));
+        assert!(has_div, "division must stay in the loop");
+        let _ = body_len;
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn results_are_preserved() {
+        // Behavioural check via direct interpretation is done in the
+        // integration suite; here, verify structural integrity only.
+        let (mut f, _) = loopy();
+        licm(&mut f);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn dependent_chain_hoists_in_order() {
+        // t1 = x + x ; t2 = t1 * x — both invariant; t2 depends on t1.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, optimist_ir::Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let t1 = b.binv(BinOp::AddI, x, x);
+        let t2 = b.binv(BinOp::MulI, t1, x);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        let _ = t2;
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let moved = licm(&mut f);
+        assert!(moved >= 2);
+        verify_function(&f).unwrap();
+        // Find the preheader (jumps to head, not the entry) and check order.
+        let cfg = Cfg::new(&f);
+        let mut found = false;
+        for (bid, blk) in f.blocks() {
+            if bid != f.entry()
+                && matches!(blk.terminator(), Some(Inst::Jump { target }) if *target == head)
+                && cfg.is_reachable(bid)
+                && blk.insts.len() >= 3
+            {
+                let pos_add = blk
+                    .insts
+                    .iter()
+                    .position(|i| matches!(i, Inst::Bin { op: BinOp::AddI, .. }));
+                let pos_mul = blk
+                    .insts
+                    .iter()
+                    .position(|i| matches!(i, Inst::Bin { op: BinOp::MulI, .. }));
+                if let (Some(a), Some(m)) = (pos_add, pos_mul) {
+                    assert!(a < m, "t1 must be computed before t2");
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "preheader with the hoisted chain exists");
+    }
+}

@@ -1,0 +1,49 @@
+//! Optimizer fixpoint properties over generated routines: a second run of
+//! the full pipeline finds nothing new, and optimized output stays valid.
+
+use optimist_opt::{optimize_function, OptStats};
+use optimist_workloads::{generate_routine, GenConfig};
+
+#[test]
+fn second_optimization_pass_is_a_noop() {
+    let cfg = GenConfig::default();
+    for seed in 700..730u64 {
+        let src = generate_routine("IDEM", seed, &cfg);
+        let m = optimist_frontend::compile(&src).unwrap();
+        let mut f = m.function("IDEM").unwrap().clone();
+        optimize_function(&mut f);
+        let second = optimize_function(&mut f);
+        assert_eq!(
+            second,
+            OptStats::default(),
+            "seed {seed}: second pass found work: {second:?}"
+        );
+        optimist_ir::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn optimizer_never_grows_static_instruction_count_on_corpus() {
+    for p in optimist_workloads::programs() {
+        let m = optimist_frontend::compile(&p.source).unwrap();
+        for f in m.functions() {
+            let mut opt = f.clone();
+            optimize_function(&mut opt);
+            // LICM moves rather than duplicates; CSE/fold replace 1:1; DCE
+            // only removes; preheaders add one jump per loop. Allow that
+            // jump slack but nothing more.
+            let cfg = optimist_analysis::Cfg::new(&opt);
+            let dom = optimist_analysis::Dominators::new(&opt, &cfg);
+            let loops = optimist_analysis::LoopInfo::new(&opt, &cfg, &dom);
+            let slack = loops.loops().len();
+            assert!(
+                opt.num_insts() <= f.num_insts() + slack,
+                "{}/{}: grew {} -> {}",
+                p.name,
+                f.name(),
+                f.num_insts(),
+                opt.num_insts()
+            );
+        }
+    }
+}

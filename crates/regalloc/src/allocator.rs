@@ -1,0 +1,661 @@
+//! The Build–Simplify–Color driver (the paper's Figure 4).
+//!
+//! ```text
+//!            +-------+     +----------+     +-------+
+//!   code --> | build | --> | simplify | --> | color | --> allocated code
+//!            +-------+     +----------+     +-------+
+//!                ^                               |
+//!                |          +-------+            | uncolored nodes
+//!                +----------| spill | <----------+
+//!                           +-------+
+//! ```
+//!
+//! Under the pessimistic heuristic the backward edge leaves *simplify*
+//! (spill decisions are made there and the color phase is skipped for that
+//! pass); under the optimistic heuristic it leaves *color*. Per-phase CPU
+//! times and per-pass spill counts are recorded exactly so Figure 7 can be
+//! regenerated.
+
+use crate::build::build_graph;
+use crate::coalesce::coalesce_with;
+use crate::cost::spill_costs;
+use crate::select::select;
+use crate::simplify::{simplify_with_metric, Heuristic};
+use crate::spill::insert_spill_code_ext;
+use optimist_analysis::{renumber, Cfg, Dominators, Liveness, LoopInfo};
+use optimist_ir::{Function, VReg};
+use optimist_machine::{PhysReg, Target};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration for one allocation run.
+#[derive(Debug, Clone)]
+pub struct AllocatorConfig {
+    /// The register files to color with.
+    pub target: Target,
+    /// Pessimistic (Chaitin) or optimistic (Briggs) spilling.
+    pub heuristic: Heuristic,
+    /// Coalescing policy (the paper used aggressive coalescing; the
+    /// conservative and off settings exist for ablation experiments).
+    pub coalesce: crate::coalesce::CoalesceMode,
+    /// How blocked-phase spill candidates are ranked (the paper uses
+    /// `cost/degree`; alternatives exist for ablation).
+    pub spill_metric: crate::simplify::SpillMetric,
+    /// Rematerialize spilled constants instead of reloading them (Briggs,
+    /// Cooper & Torczon's PLDI 1992 refinement; off in the 1989 paper).
+    pub rematerialize: bool,
+    /// Safety bound on Build–Simplify–Color cycles. The paper never
+    /// observed more than three; we fail loudly rather than loop.
+    pub max_passes: usize,
+}
+
+impl AllocatorConfig {
+    /// The paper's baseline: Chaitin's allocator on `target`.
+    pub fn chaitin(target: Target) -> Self {
+        AllocatorConfig {
+            target,
+            heuristic: Heuristic::ChaitinPessimistic,
+            coalesce: crate::coalesce::CoalesceMode::Aggressive,
+            spill_metric: crate::simplify::SpillMetric::CostOverDegree,
+            rematerialize: false,
+            max_passes: 64,
+        }
+    }
+
+    /// The paper's contribution: the optimistic allocator on `target`.
+    pub fn briggs(target: Target) -> Self {
+        AllocatorConfig {
+            target,
+            heuristic: Heuristic::BriggsOptimistic,
+            coalesce: crate::coalesce::CoalesceMode::Aggressive,
+            spill_metric: crate::simplify::SpillMetric::CostOverDegree,
+            rematerialize: false,
+            max_passes: 64,
+        }
+    }
+}
+
+/// CPU time spent in each phase of one pass (one row group of Figure 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Renumbering, coalescing, graph construction and cost computation.
+    pub build: Duration,
+    /// The simplify phase.
+    pub simplify: Duration,
+    /// The select/color phase (zero when the pessimistic heuristic skips it).
+    pub color: Duration,
+    /// Spill-code insertion.
+    pub spill: Duration,
+}
+
+/// Everything measured during one Build–Simplify–Color pass.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Phase timings.
+    pub times: PhaseTimes,
+    /// Live ranges (interference-graph nodes) in this pass.
+    pub live_ranges: usize,
+    /// Interference edges in this pass.
+    pub edges: usize,
+    /// Number of live ranges spilled in this pass (the parenthesized
+    /// numbers in Figure 7's spill rows).
+    pub spilled: usize,
+    /// Total estimated cost of the ranges spilled this pass.
+    pub spilled_cost: f64,
+    /// Copies coalesced during this pass's build phase.
+    pub coalesced: usize,
+}
+
+/// Summary statistics of a whole allocation.
+#[derive(Debug, Clone)]
+pub struct AllocStats {
+    /// Live ranges in the first pass (the paper's *Live Ranges* column).
+    pub live_ranges: usize,
+    /// Total live ranges spilled across all passes (*Registers Spilled*).
+    pub registers_spilled: usize,
+    /// Total estimated spill cost (*Spill Cost*).
+    pub spill_cost: f64,
+    /// Number of Build–Simplify–Color passes.
+    pub passes: usize,
+    /// Total copies removed by coalescing.
+    pub coalesced_copies: usize,
+}
+
+/// A completed register allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// The function after spill-code insertion and final renumbering; its
+    /// virtual registers are exactly the colored live ranges.
+    pub func: Function,
+    /// Physical register for each virtual register of [`Allocation::func`].
+    pub assignment: Vec<PhysReg>,
+    /// Per-pass records (Figure 7's rows).
+    pub passes: Vec<PassRecord>,
+    /// Summary statistics (Figure 5's columns).
+    pub stats: AllocStats,
+}
+
+impl Allocation {
+    /// Number of distinct physical registers of `class` actually used.
+    pub fn regs_used(&self, class: optimist_ir::RegClass) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &self.assignment {
+            if r.class == class {
+                seen.insert(r.index);
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The Build–Simplify–Color cycle did not converge within
+    /// [`AllocatorConfig::max_passes`].
+    NonConvergence {
+        /// Name of the function being allocated.
+        function: String,
+        /// How many passes ran.
+        passes: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NonConvergence { function, passes } => write!(
+                f,
+                "register allocation of `{function}` did not converge after {passes} passes"
+            ),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// Run graph-coloring register allocation on `func`.
+///
+/// # Errors
+///
+/// Returns [`AllocError::NonConvergence`] if spilling fails to reduce
+/// register pressure within the configured pass bound (this indicates a
+/// pathological input; the paper reports convergence in at most three
+/// passes on real code).
+pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation, AllocError> {
+    let mut f = func.clone();
+    let mut passes: Vec<PassRecord> = Vec::new();
+    let mut total_spilled = 0usize;
+    let mut total_cost = 0f64;
+    let mut total_coalesced = 0usize;
+
+    for _pass in 0..config.max_passes {
+        // ---- build: renumber, coalesce, graph, costs -------------------
+        let t_build = Instant::now();
+        renumber(&mut f);
+        let coalesced = coalesce_with(&mut f, config.coalesce, Some(&config.target));
+        if coalesced > 0 {
+            renumber(&mut f); // compact the register table after merging
+        }
+        total_coalesced += coalesced;
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let dom = Dominators::new(&f, &cfg);
+        let loops = LoopInfo::new(&f, &cfg, &dom);
+        let graph = build_graph(&f, &cfg, &live);
+        let costs = spill_costs(&f, &loops);
+        let build_time = t_build.elapsed();
+
+        // ---- simplify ---------------------------------------------------
+        let t_simplify = Instant::now();
+        let outcome = simplify_with_metric(
+            &graph,
+            &costs,
+            &config.target,
+            config.heuristic,
+            config.spill_metric,
+        );
+        let simplify_time = t_simplify.elapsed();
+
+        // ---- color ------------------------------------------------------
+        // Chaitin's flow: when simplify marked spills, the pass goes
+        // straight to spill-code insertion; coloring runs only on a pass
+        // that marked nothing (Figure 4 / Figure 7's empty Color cells).
+        let skip_color = config.heuristic == Heuristic::ChaitinPessimistic
+            && !outcome.spill_marked.is_empty();
+        let t_color = Instant::now();
+        let coloring = if skip_color {
+            None
+        } else {
+            Some(select(&graph, &outcome.stack, &config.target))
+        };
+        let color_time = if skip_color {
+            Duration::ZERO
+        } else {
+            t_color.elapsed()
+        };
+
+        let uncolored: Vec<u32> = match &coloring {
+            None => outcome.spill_marked.clone(),
+            Some(c) => c.uncolored(),
+        };
+
+        // Spill only spillable ranges. Select can leave an *unspillable*
+        // temporary uncolored (its reload neighbours crowd it out); in that
+        // case fall back to the cheapest spillable blocked candidate so the
+        // pass still makes progress, instead of respilling the temporary
+        // forever.
+        let mut to_spill: Vec<u32> = uncolored
+            .iter()
+            .copied()
+            .filter(|&v| costs[v as usize].is_finite())
+            .collect();
+        if to_spill.is_empty() && !uncolored.is_empty() {
+            let fallback = outcome
+                .blocked
+                .iter()
+                .copied()
+                .filter(|&v| costs[v as usize].is_finite())
+                .min_by(|&a, &b| {
+                    costs[a as usize]
+                        .partial_cmp(&costs[b as usize])
+                        .expect("finite costs compare")
+                });
+            match fallback {
+                Some(v) => to_spill.push(v),
+                None => {
+                    // Every candidate is unspillable: the graph genuinely
+                    // cannot be colored within k registers.
+                    return Err(AllocError::NonConvergence {
+                        function: func.name().to_string(),
+                        passes: passes.len() + 1,
+                    });
+                }
+            }
+        }
+        let uncolored = to_spill;
+
+        if uncolored.is_empty() {
+            let coloring = coloring.expect("no spills implies coloring ran");
+            debug_assert!(coloring.is_valid(&graph));
+            let assignment: Vec<PhysReg> = coloring
+                .color
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    PhysReg::new(graph.class(i as u32), c.expect("complete coloring"))
+                })
+                .collect();
+            passes.push(PassRecord {
+                times: PhaseTimes {
+                    build: build_time,
+                    simplify: simplify_time,
+                    color: color_time,
+                    spill: Duration::ZERO,
+                },
+                live_ranges: graph.num_nodes(),
+                edges: graph.num_edges(),
+                spilled: 0,
+                spilled_cost: 0.0,
+                coalesced,
+            });
+            let stats = AllocStats {
+                live_ranges: passes.first().map_or(0, |p| p.live_ranges),
+                registers_spilled: total_spilled,
+                spill_cost: total_cost,
+                passes: passes.len(),
+                coalesced_copies: total_coalesced,
+            };
+            return Ok(Allocation {
+                func: f,
+                assignment,
+                passes,
+                stats,
+            });
+        }
+
+        // ---- spill ------------------------------------------------------
+        let pass_cost: f64 = uncolored
+            .iter()
+            .map(|&v| {
+                let c = costs[v as usize];
+                if c.is_finite() {
+                    c
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        total_spilled += uncolored.len();
+        total_cost += pass_cost;
+
+        let t_spill = Instant::now();
+        let spill_vregs: Vec<VReg> = uncolored.iter().map(|&v| VReg::new(v)).collect();
+        insert_spill_code_ext(&mut f, &spill_vregs, config.rematerialize);
+        let spill_time = t_spill.elapsed();
+
+        passes.push(PassRecord {
+            times: PhaseTimes {
+                build: build_time,
+                simplify: simplify_time,
+                color: color_time,
+                spill: spill_time,
+            },
+            live_ranges: graph.num_nodes(),
+            edges: graph.num_edges(),
+            spilled: uncolored.len(),
+            spilled_cost: pass_cost,
+            coalesced,
+        });
+    }
+
+    Err(AllocError::NonConvergence {
+        function: func.name().to_string(),
+        passes: config.max_passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{BinOp, Cmp, FunctionBuilder, Imm, RegClass};
+
+    /// A function with `n` integer values all simultaneously live.
+    fn pressure_function(n: usize) -> Function {
+        let mut b = FunctionBuilder::new(format!("pressure{n}"));
+        b.set_ret_class(Some(RegClass::Int));
+        let vals: Vec<_> = (0..n).map(|i| b.int(i as i64)).collect();
+        // Sum them all so every value stays live until consumed.
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn low_pressure_allocates_without_spills() {
+        let f = pressure_function(4);
+        for cfgs in [
+            AllocatorConfig::chaitin(Target::rt_pc()),
+            AllocatorConfig::briggs(Target::rt_pc()),
+        ] {
+            let a = allocate(&f, &cfgs).unwrap();
+            assert_eq!(a.stats.registers_spilled, 0);
+            assert_eq!(a.stats.passes, 1);
+            assert_eq!(a.stats.spill_cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn high_pressure_forces_spills() {
+        let f = pressure_function(24);
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        assert!(a.stats.passes >= 2);
+        assert!(a.regs_used(RegClass::Int) <= 16);
+    }
+
+    #[test]
+    fn briggs_never_spills_more_than_chaitin() {
+        for n in [4, 10, 18, 24, 40] {
+            let f = pressure_function(n);
+            let old = allocate(&f, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
+            let new = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+            assert!(
+                new.stats.registers_spilled <= old.stats.registers_spilled,
+                "n={n}: briggs {} > chaitin {}",
+                new.stats.registers_spilled,
+                old.stats.registers_spilled
+            );
+            assert!(new.stats.spill_cost <= old.stats.spill_cost);
+        }
+    }
+
+    #[test]
+    fn chaitin_skips_color_phase_on_spilling_passes() {
+        let f = pressure_function(24);
+        let a = allocate(&f, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
+        for p in &a.passes {
+            if p.spilled > 0 {
+                assert_eq!(p.times.color, Duration::ZERO);
+            }
+        }
+        // The final pass always colors.
+        assert_eq!(a.passes.last().unwrap().spilled, 0);
+    }
+
+    #[test]
+    fn assignment_covers_every_register_within_k() {
+        let f = pressure_function(20);
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        assert_eq!(a.assignment.len(), a.func.num_vregs());
+        for r in &a.assignment {
+            if r.class == RegClass::Int {
+                assert!(r.index < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_respects_interference() {
+        let f = pressure_function(20);
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        // Rebuild the graph of the final function and check validity.
+        let cfg = Cfg::new(&a.func);
+        let live = Liveness::new(&a.func, &cfg);
+        let g = build_graph(&a.func, &cfg, &live);
+        for v in 0..g.num_nodes() as u32 {
+            for &m in g.neighbors(v) {
+                assert_ne!(
+                    a.assignment[v as usize], a.assignment[m as usize],
+                    "{v} and {m} interfere but share a register"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loops_spill_cheapest_outside_first() {
+        // A value used heavily inside a loop plus many values used outside:
+        // the outside values should spill, not the loop value.
+        let mut b = FunctionBuilder::new("loopy");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let outside: Vec<_> = (0..18).map(|i| b.int(i)).collect();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        let hot = b.int(99);
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        // hot is used in the loop.
+        let t = b.binv(BinOp::AddI, i, hot);
+        let _ = t;
+        b.jump(head);
+        b.switch_to(exit);
+        let mut acc = hot;
+        for &v in &outside {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        // The allocation is valid and converged.
+        assert!(a.stats.passes <= 4);
+    }
+
+    #[test]
+    fn nonconvergence_is_reported_not_hung() {
+        let f = pressure_function(24);
+        let mut cfg = AllocatorConfig::briggs(Target::rt_pc());
+        cfg.max_passes = 1; // too few for this pressure
+        let err = allocate(&f, &cfg).unwrap_err();
+        assert!(matches!(err, AllocError::NonConvergence { .. }));
+        assert!(err.to_string().contains("did not converge"));
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.int(1);
+        let y = b.new_vreg(RegClass::Int, "y");
+        b.copy(y, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        let mut on = AllocatorConfig::briggs(Target::rt_pc());
+        on.coalesce = crate::coalesce::CoalesceMode::Aggressive;
+        let mut off = on.clone();
+        off.coalesce = crate::coalesce::CoalesceMode::Off;
+        let a_on = allocate(&f, &on).unwrap();
+        let a_off = allocate(&f, &off).unwrap();
+        assert!(a_on.stats.coalesced_copies > 0);
+        assert_eq!(a_off.stats.coalesced_copies, 0);
+        assert!(a_on.func.num_insts() < a_off.func.num_insts());
+    }
+
+    #[test]
+    fn spill_metric_variants_all_converge_and_color_validly() {
+        use crate::simplify::SpillMetric;
+        let f = pressure_function(24);
+        for metric in [
+            SpillMetric::CostOverDegree,
+            SpillMetric::Cost,
+            SpillMetric::CostOverDegreeSquared,
+        ] {
+            let mut cfg = AllocatorConfig::briggs(Target::with_int_regs(8));
+            cfg.spill_metric = metric;
+            let a = allocate(&f, &cfg).unwrap_or_else(|e| panic!("{metric:?}: {e}"));
+            assert!(a.stats.registers_spilled > 0, "{metric:?}");
+            // Validate the assignment against a rebuilt graph.
+            let cfg_ = Cfg::new(&a.func);
+            let live = Liveness::new(&a.func, &cfg_);
+            let g = build_graph(&a.func, &cfg_, &live);
+            for v in 0..g.num_nodes() as u32 {
+                for &m in g.neighbors(v) {
+                    assert_ne!(
+                        a.assignment[v as usize], a.assignment[m as usize],
+                        "{metric:?}: {v} vs {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_cost_metric_ignores_degree() {
+        use crate::simplify::{simplify_with_metric, SpillMetric};
+        use crate::InterferenceGraph;
+        // Two candidates: node 0 cheap but low degree, node 1 pricier but
+        // huge degree. cost/degree prefers 1; raw cost prefers 0.
+        let n = 12;
+        let mut g = InterferenceGraph::new(vec![optimist_ir::RegClass::Int; n]);
+        // Node 0 in a triangle (degree 2); node 1 connected to everything.
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(2, 3);
+        for x in 2..n as u32 {
+            g.add_edge(1, x);
+        }
+        // Make nodes 2..n mutually interfere so the graph blocks at k=2.
+        for a in 2..n as u32 {
+            for b in (a + 1)..n as u32 {
+                g.add_edge(a, b);
+            }
+        }
+        let mut costs = vec![1000.0; n];
+        costs[0] = 30.0; // cheap
+        costs[1] = 90.0; // 90 / degree 10 = 9 < 30/2 = 15
+        let t = Target::custom("t", 2, 8);
+
+        let by_ratio = simplify_with_metric(
+            &g,
+            &costs,
+            &t,
+            Heuristic::ChaitinPessimistic,
+            SpillMetric::CostOverDegree,
+        );
+        assert_eq!(by_ratio.spill_marked[0], 1, "ratio prefers the hub");
+
+        let by_cost = simplify_with_metric(
+            &g,
+            &costs,
+            &t,
+            Heuristic::ChaitinPessimistic,
+            SpillMetric::Cost,
+        );
+        assert_eq!(by_cost.spill_marked[0], 0, "raw cost prefers the cheap node");
+    }
+
+    #[test]
+    fn rematerialize_config_reduces_static_spill_slots() {
+        // A function forced to spill constants: with remat on, the final
+        // code contains fewer spill slots.
+        let mut b = FunctionBuilder::new("consts");
+        b.set_ret_class(Some(RegClass::Int));
+        let vals: Vec<_> = (0..12).map(|i| b.int(1000 + i)).collect();
+        // Interleave uses so all constants stay live together.
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        for &v in &vals {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let target = Target::with_int_regs(6);
+
+        let plain = allocate(&f, &AllocatorConfig::briggs(target.clone())).unwrap();
+        let mut cfg = AllocatorConfig::briggs(target);
+        cfg.rematerialize = true;
+        let remat = allocate(&f, &cfg).unwrap();
+        let slots = |a: &Allocation| {
+            (0..a.func.num_slots())
+                .filter(|&s| a.func.slot(optimist_ir::FrameSlot::new(s as u32)).is_spill)
+                .count()
+        };
+        assert!(
+            slots(&remat) < slots(&plain),
+            "remat should eliminate spill slots: {} vs {}",
+            slots(&remat),
+            slots(&plain)
+        );
+    }
+
+    #[test]
+    fn float_and_int_files_allocated_independently() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        // 6 floats live together (fits in 8), 4 ints live together.
+        let fs: Vec<_> = (0..6).map(|i| b.float(i as f64)).collect();
+        let is: Vec<_> = (0..4).map(|i| b.int(i)).collect();
+        let mut facc = fs[0];
+        for &v in &fs[1..] {
+            facc = b.binv(BinOp::AddF, facc, v);
+        }
+        let mut iacc = is[0];
+        for &v in &is[1..] {
+            iacc = b.binv(BinOp::AddI, iacc, v);
+        }
+        let cvt = b.unv(optimist_ir::UnOp::IntToFloat, iacc);
+        let r = b.binv(BinOp::AddF, facc, cvt);
+        b.ret(Some(r));
+        let f = b.finish();
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        assert_eq!(a.stats.registers_spilled, 0);
+        assert!(a.regs_used(RegClass::Float) <= 8);
+        assert!(a.regs_used(RegClass::Int) <= 16);
+    }
+}

@@ -1,0 +1,368 @@
+//! Aggressive copy coalescing, as in Chaitin's build phase.
+//!
+//! Any register-to-register copy whose source and destination do not
+//! interfere is removed by merging the two live ranges. Because merging
+//! changes the graph, the build phase "repeatedly build[s] the graph and
+//! coalesc[es] registers" ([CACC 81]) until no copy can be merged.
+
+use crate::build::build_graph;
+use optimist_analysis::{Cfg, Liveness};
+use optimist_ir::{Function, Inst, VReg};
+use optimist_machine::Target;
+
+/// Which coalescing policy the build phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoalesceMode {
+    /// Chaitin's aggressive coalescing, as the paper used: merge every
+    /// non-interfering copy, no matter how constrained the result.
+    #[default]
+    Aggressive,
+    /// Briggs' later *conservative* rule (1994, exposed here for ablation):
+    /// merge only when the combined node has fewer than `k` neighbors of
+    /// significant degree (≥ `k`), which can never turn a colorable graph
+    /// uncolorable.
+    Conservative,
+    /// No coalescing.
+    Off,
+}
+
+/// One build-and-merge pass. Returns the number of copies coalesced.
+pub fn coalesce_pass(func: &mut Function) -> usize {
+    coalesce_pass_with(func, CoalesceMode::Aggressive, None)
+}
+
+/// One build-and-merge pass with an explicit [`CoalesceMode`]. The target
+/// is required for the conservative rule (it supplies `k` per class).
+pub fn coalesce_pass_with(
+    func: &mut Function,
+    mode: CoalesceMode,
+    target: Option<&Target>,
+) -> usize {
+    if mode == CoalesceMode::Off {
+        return 0;
+    }
+    let cfg = Cfg::new(func);
+    let live = Liveness::new(func, &cfg);
+    let graph = build_graph(func, &cfg, &live);
+
+    let nv = func.num_vregs();
+    let mut root: Vec<u32> = (0..nv as u32).collect();
+    fn find(root: &mut [u32], mut x: u32) -> u32 {
+        while root[x as usize] != x {
+            let p = root[root[x as usize] as usize];
+            root[x as usize] = p;
+            x = p;
+        }
+        x
+    }
+    // Members of each union group (lazily: singleton unless merged).
+    let mut members: Vec<Vec<u32>> = (0..nv as u32).map(|v| vec![v]).collect();
+
+    let mut merged = 0usize;
+    for b in func.block_ids() {
+        for inst in &func.block(b).insts {
+            if let Inst::Copy { dst, src } = inst {
+                let (d, s) = (dst.index() as u32, src.index() as u32);
+                let (rd, rs) = (find(&mut root, d), find(&mut root, s));
+                if rd == rs {
+                    continue; // already merged; copy will collapse
+                }
+                let conflict = members[rd as usize].iter().any(|&x| {
+                    members[rs as usize]
+                        .iter()
+                        .any(|&y| graph.interferes(x, y))
+                });
+                if conflict {
+                    continue;
+                }
+                if mode == CoalesceMode::Conservative {
+                    // Count the combined group's distinct neighbors of
+                    // significant degree (>= k for the group's class).
+                    let target = target.expect("conservative coalescing needs a target");
+                    let k = target.regs(graph.class(d));
+                    let mut heavy = std::collections::HashSet::new();
+                    for &m in members[rd as usize].iter().chain(&members[rs as usize]) {
+                        for &nb in graph.neighbors(m) {
+                            if graph.degree(nb) >= k {
+                                heavy.insert(nb);
+                            }
+                        }
+                    }
+                    if heavy.len() >= k {
+                        continue; // merging could make the graph uncolorable
+                    }
+                }
+                // Union rd into rs.
+                root[rd as usize] = rs;
+                let moved = std::mem::take(&mut members[rd as usize]);
+                members[rs as usize].extend(moved);
+                merged += 1;
+            }
+        }
+    }
+
+    if merged == 0 {
+        return 0;
+    }
+
+    // A merged range is unspillable if any member was (conservative: keeps
+    // spill temporaries protected after they coalesce with something).
+    for v in 0..nv as u32 {
+        let r = find(&mut root, v);
+        if r != v && !func.vreg(VReg::new(v)).spillable {
+            func.set_spillable(VReg::new(r), false);
+        }
+    }
+
+    // Rewrite all occurrences through the union-find and drop self-copies.
+    func.for_each_inst_mut(|_, _, inst| {
+        inst.map_uses(|v| VReg::new(find(&mut root, v.index() as u32)));
+        inst.map_def(|v| VReg::new(find(&mut root, v.index() as u32)));
+    });
+    let params = func
+        .params()
+        .iter()
+        .map(|p| VReg::new(find(&mut root, p.index() as u32)))
+        .collect();
+    func.set_params(params);
+    func.rewrite_blocks(|_, insts| {
+        insts
+            .into_iter()
+            .filter(|i| !matches!(i, Inst::Copy { dst, src } if dst == src))
+            .collect()
+    });
+
+    merged
+}
+
+/// Coalesce aggressively until no copy can be merged. Returns the total
+/// merged count.
+pub fn coalesce(func: &mut Function) -> usize {
+    coalesce_with(func, CoalesceMode::Aggressive, None)
+}
+
+/// Coalesce with an explicit [`CoalesceMode`] until fixpoint.
+pub fn coalesce_with(func: &mut Function, mode: CoalesceMode, target: Option<&Target>) -> usize {
+    let mut total = 0;
+    loop {
+        let merged = coalesce_pass_with(func, mode, target);
+        if merged == 0 {
+            return total;
+        }
+        total += merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_analysis::renumber;
+    use optimist_ir::{verify_function, BinOp, FunctionBuilder, Imm, RegClass};
+
+    #[test]
+    fn simple_copy_is_coalesced() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(1);
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, a);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        renumber(&mut f);
+        let n_before = f.num_insts();
+        assert_eq!(coalesce(&mut f), 1);
+        assert_eq!(f.num_insts(), n_before - 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn interfering_copy_is_kept() {
+        // c = copy a; a = 2; t = a + c  — a is redefined while c lives, so
+        // the new a-range interferes with c. The copy from the *old* a-range
+        // is still coalescable (they don't interfere), but after renumber
+        // the old and new `a` are separate; simulate the interfering case
+        // directly with distinct ranges.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(1);
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, a);
+        let two = b.int(2);
+        // Force c and two to interfere with everything alive, then use a
+        // after the copy so a and c stay simultaneously... use both:
+        let t = b.binv(BinOp::AddI, a, c);
+        let u = b.binv(BinOp::AddI, t, two);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        renumber(&mut f);
+        // a–c copy: a and c hold the same value and never interfere, so it
+        // coalesces. This documents that value-identical overlap is merged.
+        assert_eq!(coalesce(&mut f), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn copy_with_redefined_source_not_coalesced() {
+        // c = copy a; a = 2 (same web via later merge? no: renumber splits);
+        // build the interference explicitly: c = copy a; a2 uses make c and
+        // a2 interfere. Here: x = 1; y = copy x; x2 = 2; r = x2 + y.
+        // After renumber x and x2 are different ranges; the copy (y = x)
+        // coalesces since x dies at the copy. To get a non-coalescable
+        // copy we need dst and src simultaneously live with *different*
+        // values — impossible for a copy pair itself, so Chaitin-style
+        // aggressive coalescing merges every copy unless a previous merge
+        // created interference. Exercise that: two copies from interfering
+        // sources into one destination web.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let arm1 = b.new_block();
+        let arm2 = b.new_block();
+        let join = b.new_block();
+        let x = b.int(1);
+        let y = b.int(2);
+        let m = b.new_vreg(RegClass::Int, "m");
+        let z = b.int(0);
+        let cnd = b.cmp_i(optimist_ir::Cmp::Gt, p, z);
+        b.branch(cnd, arm1, arm2);
+        b.switch_to(arm1);
+        b.copy(m, x);
+        b.jump(join);
+        b.switch_to(arm2);
+        b.copy(m, y);
+        b.jump(join);
+        b.switch_to(join);
+        // Keep x and y live past the copies so merging m with one of them
+        // interferes with the other.
+        let s = b.binv(BinOp::AddI, x, y);
+        let r = b.binv(BinOp::AddI, s, m);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        renumber(&mut f);
+        let merged = coalesce(&mut f);
+        // m can merge with at most one of x, y; the other copy must remain.
+        assert!(merged <= 1);
+        let copies = f
+            .insts()
+            .filter(|(_, _, i)| i.is_copy())
+            .count();
+        assert!(copies >= 1, "one copy must survive");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn coalescing_is_idempotent_at_fixpoint() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(3);
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, a);
+        let d = b.new_vreg(RegClass::Int, "d");
+        b.copy(d, c);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        renumber(&mut f);
+        assert_eq!(coalesce(&mut f), 2);
+        assert_eq!(coalesce(&mut f), 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn params_survive_coalescing() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, p);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        renumber(&mut f);
+        coalesce(&mut f);
+        assert_eq!(f.params().len(), 1);
+        verify_function(&f).unwrap();
+        let _ = (p, c);
+    }
+
+    #[test]
+    fn conservative_mode_declines_risky_merges() {
+        // A copy whose merge would gather >= k heavy neighbors is skipped
+        // under the conservative rule but taken aggressively. Build a
+        // source range interfering with k heavy ranges.
+        use crate::coalesce::{coalesce_with, CoalesceMode};
+        use optimist_machine::Target;
+        let k = 3;
+        let target = Target::custom("t", k, 8);
+
+        let build = || {
+            let mut b = FunctionBuilder::new("f");
+            b.set_ret_class(Some(RegClass::Int));
+            // heavy ranges h1..h3 all mutually live with a and each other
+            let hs: Vec<_> = (0..k as i64).map(|i| b.int(10 + i)).collect();
+            let a = b.int(1);
+            let c = b.new_vreg(RegClass::Int, "c");
+            b.copy(c, a);
+            // Keep a alive past the copy and all heavies live with both.
+            let mut acc = b.binv(BinOp::AddI, a, c);
+            for &h in &hs {
+                acc = b.binv(BinOp::AddI, acc, h);
+            }
+            // Re-use heavies again so they stay live across everything.
+            let mut acc2 = acc;
+            for &h in &hs {
+                acc2 = b.binv(BinOp::AddI, acc2, h);
+            }
+            let mut f = b.finish();
+            // terminate
+            {
+                use optimist_ir::Inst;
+                f.block_mut(f.entry()).insts.push(Inst::Ret { value: Some(acc2) });
+            }
+            renumber(&mut f);
+            f
+        };
+
+        let mut f_aggr = build();
+        let aggressive = coalesce_with(&mut f_aggr, CoalesceMode::Aggressive, None);
+        let mut f_cons = build();
+        let conservative = coalesce_with(&mut f_cons, CoalesceMode::Conservative, Some(&target));
+        assert!(
+            conservative <= aggressive,
+            "conservative ({conservative}) must merge no more than aggressive ({aggressive})"
+        );
+        verify_function(&f_cons).unwrap();
+        verify_function(&f_aggr).unwrap();
+    }
+
+    #[test]
+    fn off_mode_merges_nothing() {
+        use crate::coalesce::{coalesce_with, CoalesceMode};
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(1);
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, a);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        renumber(&mut f);
+        assert_eq!(coalesce_with(&mut f, CoalesceMode::Off, None), 0);
+        assert_eq!(
+            f.insts().filter(|(_, _, i)| i.is_copy()).count(),
+            1,
+            "the copy must survive"
+        );
+    }
+
+    #[test]
+    fn dead_copy_merges_without_changing_semantics() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        let y = b.new_vreg(RegClass::Int, "y");
+        b.copy(y, x);
+        b.ret(None);
+        let mut f = b.finish();
+        renumber(&mut f);
+        coalesce(&mut f);
+        verify_function(&f).unwrap();
+    }
+}

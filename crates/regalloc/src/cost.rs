@@ -1,0 +1,207 @@
+//! Spill-cost estimation.
+//!
+//! Per the paper (§2.1): "we estimate the spill cost as the number of loads
+//! and stores that would have to be inserted, weighted by the loop nesting
+//! depth of each insertion point". Each definition would need a store and
+//! each use a load, and an insertion at depth *d* is weighted `10^d`.
+//!
+//! Chaitin's refinement is also applied: a live range that spill code could
+//! not shorten — every use immediately follows the range's single def — gets
+//! **infinite** cost, so it is never chosen for spilling. The temporaries
+//! created by spill insertion have exactly this shape, which is what
+//! guarantees the Build–Simplify–Color cycle converges.
+
+use optimist_analysis::LoopInfo;
+use optimist_ir::{BlockId, Function, VReg};
+
+/// Cap on the depth exponent so costs stay finite for pathological nests.
+const MAX_DEPTH_WEIGHT: u32 = 6;
+
+/// Weight of one inserted load/store at loop depth `depth`.
+pub fn depth_weight(depth: u32) -> f64 {
+    10f64.powi(depth.min(MAX_DEPTH_WEIGHT) as i32)
+}
+
+/// Per-live-range spill costs for `func`.
+///
+/// Index the result by virtual-register index (run
+/// [`renumber`](optimist_analysis::renumber) first so each register is one
+/// live range).
+pub fn spill_costs(func: &Function, loops: &LoopInfo) -> Vec<f64> {
+    let nv = func.num_vregs();
+    let mut cost = vec![0f64; nv];
+
+    // Occurrence bookkeeping for the never-spill rule.
+    struct Occ {
+        defs: u32,
+        uses: u32,
+        single_def: Option<(BlockId, usize)>,
+        all_uses_adjacent: bool,
+    }
+    let mut occ: Vec<Occ> = (0..nv)
+        .map(|_| Occ {
+            defs: 0,
+            uses: 0,
+            single_def: None,
+            all_uses_adjacent: true,
+        })
+        .collect();
+
+    let mut uses = Vec::new();
+    for (bid, block) in func.blocks() {
+        let w = depth_weight(loops.depth(bid));
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                let o = &mut occ[d.index()];
+                o.defs += 1;
+                o.single_def = if o.defs == 1 { Some((bid, i)) } else { None };
+                cost[d.index()] += w; // the store after this def
+            }
+            uses.clear();
+            inst.uses_into(&mut uses);
+            // One reload per instruction per range, even if used twice.
+            uses.sort_unstable();
+            uses.dedup();
+            for &u in &uses {
+                cost[u.index()] += w; // the load before this use
+                occ[u.index()].uses += 1;
+            }
+        }
+    }
+
+    // Second walk: check adjacency of uses to the single def.
+    for (bid, block) in func.blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            uses.clear();
+            inst.uses_into(&mut uses);
+            for &u in &uses {
+                let o = &occ[u.index()];
+                let adjacent = matches!(o.single_def, Some((db, di)) if db == bid && di + 1 == i);
+                if !adjacent {
+                    occ[u.index()].all_uses_adjacent = false;
+                }
+            }
+        }
+    }
+
+    // Params are defined "before" the entry, so they are never tiny.
+    for (v, c) in cost.iter_mut().enumerate() {
+        let vreg = VReg::new(v as u32);
+        if !func.vreg(vreg).spillable {
+            *c = f64::INFINITY;
+            continue;
+        }
+        let o = &occ[v];
+        let is_param = func.params().contains(&vreg);
+        if !is_param && o.defs == 1 && o.uses > 0 && o.all_uses_adjacent {
+            *c = f64::INFINITY;
+        }
+    }
+
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_analysis::{Cfg, Dominators, LoopInfo};
+    use optimist_ir::{BinOp, Cmp, FunctionBuilder, Imm, RegClass};
+
+    fn analyze(f: &Function) -> LoopInfo {
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(f, &cfg);
+        LoopInfo::new(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn deeper_loops_weigh_more() {
+        assert_eq!(depth_weight(0), 1.0);
+        assert_eq!(depth_weight(1), 10.0);
+        assert_eq!(depth_weight(2), 100.0);
+        // capped
+        assert_eq!(depth_weight(40), depth_weight(6));
+    }
+
+    #[test]
+    fn cost_counts_defs_and_uses_by_depth() {
+        // i defined outside the loop (w=1), used inside the loop (w=10):
+        // cost = 1 (store) + 10 (load at compare) + ... depends on shape.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let n = b.add_param(RegClass::Int, "n");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0)); // def at depth 0: +1
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n); // use at depth 1: +10
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one); // def +10, use +10
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i)); // use at depth 0: +1
+        let f = b.finish();
+        let loops = analyze(&f);
+        let costs = spill_costs(&f, &loops);
+        assert_eq!(costs[i.index()], 1.0 + 10.0 + 10.0 + 10.0 + 1.0);
+    }
+
+    #[test]
+    fn double_use_in_one_instruction_counts_once() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.add_param(RegClass::Int, "x");
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        let t = b.binv(BinOp::AddI, x, x); // one reload despite two uses
+        b.ret(Some(t));
+        let f = b.finish();
+        let costs = spill_costs(&f, &analyze(&f));
+        assert_eq!(costs[x.index()], 1.0);
+    }
+
+    #[test]
+    fn tiny_range_is_never_spill() {
+        // t = imm; use t immediately — the shape of a spill temp.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let t = b.int(5);
+        let r = b.binv(BinOp::AddI, t, t);
+        b.ret(Some(r));
+        let f = b.finish();
+        let costs = spill_costs(&f, &analyze(&f));
+        assert_eq!(costs[t.index()], f64::INFINITY);
+        // r's use (the ret) is adjacent to its def, so it is also tiny.
+        assert_eq!(costs[r.index()], f64::INFINITY);
+    }
+
+    #[test]
+    fn separated_use_is_spillable() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let t = b.int(5);
+        let u = b.int(6); // intervening instruction
+        let r = b.binv(BinOp::AddI, t, u);
+        b.ret(Some(r));
+        let f = b.finish();
+        let costs = spill_costs(&f, &analyze(&f));
+        assert!(costs[t.index()].is_finite());
+        assert_eq!(costs[t.index()], 2.0); // one def + one use at depth 0
+    }
+
+    #[test]
+    fn params_are_spillable() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        b.ret(Some(p));
+        let f = b.finish();
+        let costs = spill_costs(&f, &analyze(&f));
+        assert!(costs[p.index()].is_finite());
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # optimist-regalloc
+//!
+//! Graph-coloring register allocation: Chaitin's pessimistic baseline and
+//! the **optimistic** allocator of Briggs, Cooper, Kennedy & Torczon
+//! (*Coloring Heuristics for Register Allocation*, PLDI 1989).
+//!
+//! ## The two heuristics
+//!
+//! Both allocators run the Build–Simplify–Color cycle of the paper's
+//! Figure 4 ([`allocate`] is the driver). They share the build phase
+//! (renumber → coalesce → interference graph → spill costs) and the
+//! trivial part of simplification (repeatedly remove nodes with
+//! `degree < k`). They differ when simplification *blocks* — every
+//! remaining node has `k` or more neighbors:
+//!
+//! * **Chaitin** ([`Heuristic::ChaitinPessimistic`]) picks the node with
+//!   minimum `spill_cost / degree`, marks it spilled, and ultimately inserts
+//!   spill code for it, even though the coloring phase might have found it a
+//!   color.
+//! * **Briggs** ([`Heuristic::BriggsOptimistic`]) removes the same node but
+//!   pushes it on the coloring stack anyway. The select phase discovers
+//!   whether its neighbors really exhaust all `k` colors; only then is it
+//!   spilled. Optimism never loses: the spilled set is always a subset of
+//!   Chaitin's (paper §2.3) — a property this crate's proptests check.
+//!
+//! ## Example
+//!
+//! Allocate a tiny function for a two-register machine:
+//!
+//! ```
+//! use optimist_ir::{FunctionBuilder, RegClass, BinOp};
+//! use optimist_machine::Target;
+//! use optimist_regalloc::{allocate, AllocatorConfig};
+//!
+//! let mut b = FunctionBuilder::new("demo");
+//! b.set_ret_class(Some(RegClass::Int));
+//! let x = b.add_param(RegClass::Int, "x");
+//! let y = b.add_param(RegClass::Int, "y");
+//! let t = b.binv(BinOp::AddI, x, y);
+//! b.ret(Some(t));
+//!
+//! let alloc = allocate(&b.finish(), &AllocatorConfig::briggs(Target::rt_pc()))?;
+//! assert_eq!(alloc.stats.registers_spilled, 0);
+//! # Ok::<(), optimist_regalloc::AllocError>(())
+//! ```
+//!
+//! Lower-level pieces ([`build_graph`], [`simplify`], [`select`],
+//! [`smallest_last_order`], …) are public so experiments can mix and match —
+//! the benchmark harness uses them to time phases in isolation.
+
+mod allocator;
+mod build;
+mod coalesce;
+mod cost;
+mod graph;
+mod listing;
+mod matula;
+mod select;
+mod simplify;
+mod spill;
+
+pub use allocator::{
+    allocate, AllocError, AllocStats, Allocation, AllocatorConfig, PassRecord, PhaseTimes,
+};
+pub use build::build_graph;
+pub use coalesce::{coalesce, coalesce_pass, coalesce_pass_with, coalesce_with, CoalesceMode};
+pub use cost::{depth_weight, spill_costs};
+pub use graph::InterferenceGraph;
+pub use matula::smallest_last_order;
+pub use select::{select, Coloring};
+pub use simplify::{simplify, simplify_with_metric, Heuristic, SimplifyOutcome, SpillMetric};
+pub use spill::{insert_spill_code, insert_spill_code_ext, SpillStats};

@@ -1,0 +1,170 @@
+//! Assembly-style listing of allocated code: the final function rendered
+//! with *physical* register names (`r0…`, `f0…`), frame slots resolved to
+//! byte offsets, and a small prologue comment — what the code generator
+//! downstream of the paper's allocator would emit.
+
+use crate::allocator::Allocation;
+use optimist_ir::{Addr, Inst, VReg};
+use std::fmt::Write;
+
+impl Allocation {
+    /// Render the allocated function as an assembly-style listing.
+    pub fn listing(&self) -> String {
+        let func = &self.func;
+        let reg = |v: VReg| self.assignment[v.index()].to_string();
+
+        // Frame layout: slot -> byte offset (same rule as the simulator).
+        let mut offsets = Vec::with_capacity(func.num_slots());
+        let mut off = 0u64;
+        for s in 0..func.num_slots() {
+            offsets.push(off);
+            off += (func.slot(optimist_ir::FrameSlot::new(s as u32)).size + 7) & !7;
+        }
+
+        let addr = |a: &Addr| -> String {
+            match a {
+                Addr::Reg { base, offset } => format!("{}({})", offset, reg(*base)),
+                Addr::Frame { slot, offset } => {
+                    format!("{}(fp)", offsets[slot.index()] as i64 + offset)
+                }
+                Addr::Global { global, offset } => format!("{offset}({global})"),
+            }
+        };
+
+        let mut s = String::new();
+        let _ = writeln!(s, "# {}: frame {} bytes, {} spill slot(s)",
+            func.name(),
+            func.frame_size(),
+            (0..func.num_slots())
+                .filter(|&i| func.slot(optimist_ir::FrameSlot::new(i as u32)).is_spill)
+                .count(),
+        );
+        let params: Vec<String> = func.params().iter().map(|&p| reg(p)).collect();
+        let _ = writeln!(s, "{}: # args in {}", func.name(), params.join(", "));
+        for (bid, block) in func.blocks() {
+            let _ = writeln!(s, ".{bid}:");
+            for inst in &block.insts {
+                let line = match inst {
+                    Inst::Copy { dst, src } => format!("mr      {}, {}", reg(*dst), reg(*src)),
+                    Inst::LoadImm { dst, imm } => format!("li      {}, {imm}", reg(*dst)),
+                    Inst::Un { op, dst, src } => {
+                        format!("{:<7} {}, {}", op.to_string(), reg(*dst), reg(*src))
+                    }
+                    Inst::Bin { op, dst, lhs, rhs } => format!(
+                        "{:<7} {}, {}, {}",
+                        op.to_string(),
+                        reg(*dst),
+                        reg(*lhs),
+                        reg(*rhs)
+                    ),
+                    Inst::Load { dst, addr: a } => format!("ld      {}, {}", reg(*dst), addr(a)),
+                    Inst::Store { src, addr: a } => format!("st      {}, {}", reg(*src), addr(a)),
+                    Inst::FrameAddr { dst, slot } => {
+                        format!("la      {}, {}(fp)", reg(*dst), offsets[slot.index()])
+                    }
+                    Inst::GlobalAddr { dst, global } => {
+                        format!("la      {}, {global}", reg(*dst))
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let a: Vec<String> = args.iter().map(|&v| reg(v)).collect();
+                        match dst {
+                            Some(d) => format!("call    {callee}({}) -> {}", a.join(", "), reg(*d)),
+                            None => format!("call    {callee}({})", a.join(", ")),
+                        }
+                    }
+                    Inst::Jump { target } => format!("b       .{target}"),
+                    Inst::Branch {
+                        cond,
+                        if_true,
+                        if_false,
+                    } => format!("bnz     {}, .{if_true}, .{if_false}", reg(*cond)),
+                    Inst::Ret { value } => match value {
+                        Some(v) => format!("ret     {}", reg(*v)),
+                        None => "ret".to_string(),
+                    },
+                };
+                let _ = writeln!(s, "    {line}");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{allocate, AllocatorConfig};
+    use optimist_ir::{BinOp, Cmp, FunctionBuilder, Imm, RegClass};
+    use optimist_machine::Target;
+
+    fn sample() -> optimist_ir::Function {
+        let mut b = FunctionBuilder::new("kernel");
+        b.set_ret_class(Some(RegClass::Float));
+        let n = b.add_param(RegClass::Int, "n");
+        let slot = b.new_slot(64, "buf");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let acc = b.new_vreg(RegClass::Float, "acc");
+        b.load_imm(acc, Imm::Float(0.0));
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let eight = b.int(8);
+        let off = b.binv(BinOp::MulI, i, eight);
+        let base = b.new_vreg(RegClass::Int, "base");
+        b.frame_addr(base, slot);
+        let addr = b.binv(BinOp::AddI, base, off);
+        let x = b.new_vreg(RegClass::Float, "x");
+        b.load(x, optimist_ir::Addr::Reg { base: addr, offset: 0 });
+        b.bin(BinOp::AddF, acc, acc, x);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn listing_uses_physical_names_only() {
+        let a = allocate(&sample(), &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let text = a.listing();
+        assert!(text.contains("kernel:"));
+        assert!(text.contains("li"));
+        assert!(text.contains("(fp)"));
+        // Every register mention is physical (r<N>/f<N>), never v<N>.
+        for tok in text.split(|c: char| !c.is_alphanumeric()) {
+            assert!(
+                !(tok.starts_with('v') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1),
+                "virtual register leaked into listing: {tok}\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn spilled_code_shows_frame_traffic() {
+        // Force spilling with a tiny float file; the listing must show
+        // fp-relative loads/stores.
+        let mut b = FunctionBuilder::new("spilly");
+        b.set_ret_class(Some(RegClass::Float));
+        let vals: Vec<_> = (0..6).map(|i| b.float(i as f64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binv(BinOp::AddF, acc, v);
+        }
+        for &v in &vals {
+            acc = b.binv(BinOp::AddF, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let a = allocate(&f, &AllocatorConfig::briggs(Target::custom("t", 16, 3))).unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        let text = a.listing();
+        assert!(text.contains("st "), "expected a spill store:\n{text}");
+        assert!(text.contains("spill slot(s)"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Matula–Beck *smallest-last* ordering (§2.2 of the paper).
+//!
+//! The degree-bucket structure is implemented exactly as the paper
+//! describes: an array `N` where `N[i]` heads a doubly-linked list of nodes
+//! whose current degree is `i`. Removing a node costs a search bounded by
+//! its degree, so the whole ordering is linear in the size of the graph
+//! (the sum of degrees = twice the edges). The paper's refinement is also
+//! implemented: after removing a node found at `N[i]`, the next search
+//! starts at `N[i-1]`, because removal can only have created nodes of
+//! degree `i-1`, never lower.
+
+use crate::graph::InterferenceGraph;
+
+/// Compute the smallest-last removal order: at each step, remove a node of
+/// minimum current degree. Returns nodes in removal order; feeding the
+/// result to [`select`](crate::select) re-inserts them in reverse
+/// (largest-first) order, which is the classic smallest-last coloring.
+pub fn smallest_last_order(graph: &InterferenceGraph) -> Vec<u32> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Doubly-linked bucket lists over node ids. `head[d]` is the first node
+    // with current degree d; NONE = absent.
+    const NONE: u32 = u32::MAX;
+    let max_deg = (0..n as u32).map(|v| graph.degree(v)).max().unwrap_or(0);
+    let mut head = vec![NONE; max_deg + 1];
+    let mut next = vec![NONE; n];
+    let mut prev = vec![NONE; n];
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let mut removed = vec![false; n];
+
+    let push = |head: &mut [u32], next: &mut [u32], prev: &mut [u32], d: usize, v: u32| {
+        let h = head[d];
+        next[v as usize] = h;
+        prev[v as usize] = NONE;
+        if h != NONE {
+            prev[h as usize] = v;
+        }
+        head[d] = v;
+    };
+    let unlink = |head: &mut [u32], next: &mut [u32], prev: &mut [u32], d: usize, v: u32| {
+        let (p, nx) = (prev[v as usize], next[v as usize]);
+        if p != NONE {
+            next[p as usize] = nx;
+        } else {
+            head[d] = nx;
+        }
+        if nx != NONE {
+            prev[nx as usize] = p;
+        }
+    };
+
+    for v in 0..n as u32 {
+        push(&mut head, &mut next, &mut prev, degree[v as usize], v);
+    }
+
+    let mut order = Vec::with_capacity(n);
+    // The search cursor; the refinement restarts it at i-1 after a removal
+    // at i instead of at 0.
+    let mut search_from = 0usize;
+    while order.len() < n {
+        // Find the first non-empty bucket.
+        let mut i = search_from;
+        while head[i] == NONE {
+            i += 1;
+        }
+        let v = head[i];
+        unlink(&mut head, &mut next, &mut prev, i, v);
+        removed[v as usize] = true;
+        order.push(v);
+        for &m in graph.neighbors(v) {
+            if removed[m as usize] {
+                continue;
+            }
+            let d = degree[m as usize];
+            unlink(&mut head, &mut next, &mut prev, d, m);
+            degree[m as usize] = d - 1;
+            push(&mut head, &mut next, &mut prev, d - 1, m);
+        }
+        search_from = i.saturating_sub(1);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select;
+    use optimist_ir::RegClass;
+    use optimist_machine::Target;
+    use proptest::prelude::*;
+
+    fn int_graph(n: usize, edges: &[(u32, u32)]) -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(vec![RegClass::Int; n]);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Reference: the removed node must have minimum degree among remaining.
+    fn assert_smallest_last(g: &InterferenceGraph, order: &[u32]) {
+        let n = g.num_nodes();
+        let mut removed = vec![false; n];
+        let mut deg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+        for &v in order {
+            let min = (0..n)
+                .filter(|&i| !removed[i])
+                .map(|i| deg[i])
+                .min()
+                .unwrap();
+            assert_eq!(deg[v as usize], min, "node {v} removed out of order");
+            removed[v as usize] = true;
+            for &m in g.neighbors(v) {
+                if !removed[m as usize] {
+                    deg[m as usize] -= 1;
+                }
+            }
+        }
+        assert_eq!(order.len(), n);
+    }
+
+    #[test]
+    fn path_graph_ordering() {
+        // 0-1-2-3: endpoints have degree 1 and go first.
+        let g = int_graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let order = smallest_last_order(&g);
+        assert_smallest_last(&g, &order);
+    }
+
+    #[test]
+    fn figure3_diamond_two_colors_via_smallest_last() {
+        // The 4-cycle colors with 2 registers under smallest-last + select.
+        let g = int_graph(4, &[(0, 1), (1, 3), (3, 2), (2, 0)]);
+        let order = smallest_last_order(&g);
+        assert_smallest_last(&g, &order);
+        let col = select(&g, &order, &Target::custom("t", 2, 8));
+        assert!(col.is_complete());
+        assert!(col.is_valid(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = int_graph(0, &[]);
+        assert!(smallest_last_order(&g).is_empty());
+        let g = int_graph(1, &[]);
+        assert_eq!(smallest_last_order(&g), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = int_graph(6, &[(0, 1), (2, 3), (3, 4), (4, 2)]);
+        let order = smallest_last_order(&g);
+        assert_smallest_last(&g, &order);
+    }
+
+    proptest! {
+        #[test]
+        fn random_graphs_order_is_smallest_last(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 0..200),
+        ) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let g = int_graph(n, &edges);
+            let order = smallest_last_order(&g);
+            assert_smallest_last(&g, &order);
+        }
+
+        #[test]
+        fn coloring_from_order_is_always_valid(
+            n in 1usize..30,
+            edges in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+        ) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let g = int_graph(n, &edges);
+            let order = smallest_last_order(&g);
+            let col = select(&g, &order, &Target::custom("t", 4, 8));
+            prop_assert!(col.is_valid(&g));
+        }
+    }
+}

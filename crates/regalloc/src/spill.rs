@@ -1,0 +1,412 @@
+//! Spill-code insertion.
+//!
+//! A spilled live range lives in a stack slot: "the value is stored to
+//! memory after each definition and restored before each use" (paper §2.1).
+//! The temporaries created here are exactly the tiny def-adjacent ranges the
+//! cost model marks never-spill, which is why the Build–Simplify–Color loop
+//! converges (each spilled range is divided "into several shorter live
+//! ranges, one for each definition or use", §3.3).
+
+use optimist_ir::{Addr, Function, Imm, Inst, RegClass, VReg};
+
+/// Static counts of inserted spill instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Stores inserted after definitions.
+    pub stores: usize,
+    /// Loads inserted before uses.
+    pub loads: usize,
+    /// Ranges handled by rematerialization (recomputed, not reloaded).
+    pub rematerialized: usize,
+}
+
+/// Insert spill code for every register in `spilled`.
+///
+/// Each spilled register gets an 8-byte frame slot. Uses are rewritten to
+/// freshly loaded temporaries (one load per instruction even if the value is
+/// used twice in it); definitions are rewritten to temporaries that are
+/// immediately stored. A spilled *parameter* additionally gets a store at
+/// function entry, since it arrives in a register.
+pub fn insert_spill_code(func: &mut Function, spilled: &[VReg]) -> SpillStats {
+    insert_spill_code_ext(func, spilled, false)
+}
+
+/// [`insert_spill_code`] with optional **rematerialization** (Briggs,
+/// Cooper & Torczon's follow-up refinement, PLDI 1992): a spilled range
+/// whose every definition loads the same immediate constant gets no frame
+/// slot at all — the constant is recomputed in front of each use, which is
+/// never slower than a memory load and frees the slot and the stores.
+pub fn insert_spill_code_ext(
+    func: &mut Function,
+    spilled: &[VReg],
+    rematerialize: bool,
+) -> SpillStats {
+    let mut stats = SpillStats::default();
+    if spilled.is_empty() {
+        return stats;
+    }
+
+    let nv = func.num_vregs();
+
+    // Rematerialization candidates: non-parameter ranges whose defs are all
+    // `LoadImm` of one identical constant.
+    let mut remat_imm: Vec<Option<Imm>> = vec![None; nv];
+    if rematerialize {
+        let mut candidate: Vec<Option<Option<Imm>>> = vec![None; nv]; // None=unseen, Some(None)=disqualified
+        for (_, _, inst) in func.insts() {
+            if let Some(d) = inst.def() {
+                let slot = &mut candidate[d.index()];
+                let imm = match inst {
+                    Inst::LoadImm { imm, .. } => Some(*imm),
+                    _ => None,
+                };
+                *slot = match (&slot, imm) {
+                    (None, Some(i)) => Some(Some(i)),
+                    (Some(Some(prev)), Some(i)) if same_imm(*prev, i) => Some(Some(i)),
+                    _ => Some(None),
+                };
+            }
+        }
+        for &p in func.params() {
+            candidate[p.index()] = Some(None);
+        }
+        for &v in spilled {
+            if let Some(Some(imm)) = candidate[v.index()] {
+                remat_imm[v.index()] = Some(imm);
+                stats.rematerialized += 1;
+            }
+        }
+    }
+
+    let mut slot_of = vec![None; nv];
+    let mut is_spilled = vec![false; nv];
+    for &v in spilled {
+        is_spilled[v.index()] = true;
+        if remat_imm[v.index()].is_none() {
+            let name = format!("spill.{}", func.vreg(v).name);
+            slot_of[v.index()] = Some(func.new_slot(8, name, true));
+        }
+    }
+
+    // Collect fresh-vreg creation outside the rewrite closure.
+    struct Ctx {
+        new_vregs: Vec<(RegClass, String)>,
+        next: u32,
+    }
+    let mut ctx = Ctx {
+        new_vregs: Vec::new(),
+        next: nv as u32,
+    };
+    let fresh = |ctx: &mut Ctx, class: RegClass, name: &str| -> VReg {
+        let v = VReg::new(ctx.next);
+        ctx.next += 1;
+        ctx.new_vregs.push((class, name.to_string()));
+        v
+    };
+
+    let classes: Vec<RegClass> = (0..nv)
+        .map(|i| func.class_of(VReg::new(i as u32)))
+        .collect();
+
+    let param_set: Vec<VReg> = func.params().to_vec();
+    let entry = func.entry();
+
+    func.rewrite_blocks(|bid, insts| {
+        let mut out = Vec::with_capacity(insts.len());
+
+        // A spilled parameter is stored to its slot on function entry.
+        if bid == entry {
+            for &p in &param_set {
+                if is_spilled[p.index()] {
+                    let slot = slot_of[p.index()].expect("spilled has slot");
+                    out.push(Inst::Store {
+                        src: p,
+                        addr: Addr::Frame { slot, offset: 0 },
+                    });
+                    stats.stores += 1;
+                }
+            }
+        }
+
+        for mut inst in insts {
+            // Reload each spilled register this instruction uses.
+            let mut reloaded: Vec<(VReg, VReg)> = Vec::new(); // (old, temp)
+            let uses = inst.uses();
+            for u in uses {
+                if u.index() < nv && is_spilled[u.index()] && !reloaded.iter().any(|(o, _)| *o == u)
+                {
+                    let t = fresh(&mut ctx, classes[u.index()], "rld");
+                    match remat_imm[u.index()] {
+                        // Recompute the constant instead of loading it.
+                        Some(imm) => out.push(Inst::LoadImm { dst: t, imm }),
+                        None => {
+                            let slot = slot_of[u.index()].expect("spilled has slot");
+                            out.push(Inst::Load {
+                                dst: t,
+                                addr: Addr::Frame { slot, offset: 0 },
+                            });
+                            stats.loads += 1;
+                        }
+                    }
+                    reloaded.push((u, t));
+                }
+            }
+            if !reloaded.is_empty() {
+                inst.map_uses(|u| {
+                    reloaded
+                        .iter()
+                        .find(|(o, _)| *o == u)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(u)
+                });
+            }
+
+            // Rewrite a spilled definition to a stored temporary — or, for
+            // a rematerialized constant, drop the (pure) definition: every
+            // use recomputes it in place.
+            let def = inst.def();
+            match def {
+                Some(d) if d.index() < nv && is_spilled[d.index()] => {
+                    if remat_imm[d.index()].is_some() {
+                        debug_assert!(matches!(inst, Inst::LoadImm { .. }));
+                        // deleted
+                    } else {
+                        let t = fresh(&mut ctx, classes[d.index()], "spl");
+                        inst.map_def(|_| t);
+                        let slot = slot_of[d.index()].expect("spilled has slot");
+                        out.push(inst);
+                        out.push(Inst::Store {
+                            src: t,
+                            addr: Addr::Frame { slot, offset: 0 },
+                        });
+                        stats.stores += 1;
+                    }
+                }
+                _ => out.push(inst),
+            }
+        }
+        out
+    });
+
+    for (class, name) in ctx.new_vregs {
+        let v = func.new_vreg(class, name);
+        // Spill temporaries must never themselves be spilled; that is what
+        // makes the Build–Simplify–Color cycle converge.
+        func.set_spillable(v, false);
+    }
+    // A spilled parameter's residual range (arrival in a register, one
+    // store to its slot) cannot be shortened further either.
+    for &p in &param_set {
+        if is_spilled[p.index()] {
+            func.set_spillable(p, false);
+        }
+    }
+
+    stats
+}
+
+/// Bit-exact immediate equality (floats compared by bits so `-0.0 ≠ 0.0`).
+fn same_imm(a: Imm, b: Imm) -> bool {
+    match (a, b) {
+        (Imm::Int(x), Imm::Int(y)) => x == y,
+        (Imm::Float(x), Imm::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{verify_function, BinOp, FunctionBuilder, Imm};
+
+    #[test]
+    fn def_gets_store_use_gets_load() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        let y = b.int(2);
+        let t = b.binv(BinOp::AddI, x, y);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let stats = insert_spill_code(&mut f, &[x]);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.loads, 1);
+        verify_function(&f).unwrap();
+        // x itself no longer appears as a def or use of compute code.
+        let still_defines_x = f
+            .insts()
+            .any(|(_, _, i)| i.def() == Some(x) && !i.is_memory());
+        assert!(!still_defines_x);
+    }
+
+    #[test]
+    fn double_use_in_one_inst_loads_once() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        let filler = b.int(0);
+        let _ = filler;
+        let t = b.binv(BinOp::AddI, x, x);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let stats = insert_spill_code(&mut f, &[x]);
+        assert_eq!(stats.loads, 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn spilled_param_stored_at_entry() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let one = b.int(1);
+        let t = b.binv(BinOp::AddI, p, one);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let stats = insert_spill_code(&mut f, &[p]);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.loads, 1);
+        // First instruction of entry is the parameter store.
+        let first = &f.block(f.entry()).insts[0];
+        assert!(matches!(first, Inst::Store { src, .. } if *src == p));
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn def_and_use_in_same_inst() {
+        // i = i + 1 with i spilled: load before, store after.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let stats = insert_spill_code(&mut f, &[i]);
+        // stores: initial def + increment def; loads: increment use + ret use.
+        assert_eq!(stats.stores, 2);
+        assert_eq!(stats.loads, 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn use_in_terminator_loads_before_it() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        let y = b.int(0);
+        let _ = y;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        insert_spill_code(&mut f, &[x]);
+        verify_function(&f).unwrap();
+        let insts = &f.block(f.entry()).insts;
+        let last = insts.len() - 1;
+        assert!(matches!(insts[last], Inst::Ret { .. }));
+        assert!(matches!(insts[last - 1], Inst::Load { .. }));
+    }
+
+    #[test]
+    fn rematerialized_constant_needs_no_slot_or_stores() {
+        // x = 42 used twice, far from its def.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(42));
+        let y = b.int(7);
+        let t = b.binv(BinOp::AddI, x, y);
+        let u = b.binv(BinOp::AddI, t, x);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        assert_eq!(stats.rematerialized, 1);
+        assert_eq!(stats.loads, 0);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(f.num_slots(), 0, "no frame slot for a remat range");
+        // The original def is gone; each use has a fresh LoadImm.
+        let imm42 = f
+            .insts()
+            .filter(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(42), .. }))
+            .count();
+        assert_eq!(imm42, 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn multi_def_different_constants_not_rematerialized() {
+        // x = 1 … x = 2: values differ, must spill through memory.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        let arm = b.new_block();
+        let join = b.new_block();
+        b.load_imm(x, Imm::Int(1));
+        let z = b.int(0);
+        let c = b.cmp_i(optimist_ir::Cmp::Gt, p, z);
+        b.branch(c, arm, join);
+        b.switch_to(arm);
+        b.load_imm(x, Imm::Int(2));
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        assert_eq!(stats.rematerialized, 0);
+        assert!(stats.stores >= 2);
+        assert_eq!(f.num_slots(), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn computed_value_not_rematerialized() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.binv(BinOp::AddI, p, p);
+        let y = b.int(1);
+        let t = b.binv(BinOp::AddI, x, y);
+        let u = b.binv(BinOp::AddI, t, x);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        assert_eq!(stats.rematerialized, 0);
+        assert!(stats.loads > 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn remat_disabled_by_default() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(42));
+        let y = b.int(7);
+        let t = b.binv(BinOp::AddI, x, y);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let stats = insert_spill_code(&mut f, &[x]);
+        assert_eq!(stats.rematerialized, 0);
+        assert_eq!(f.num_slots(), 1);
+    }
+
+    #[test]
+    fn spill_slot_marked() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(1));
+        let y = b.int(0);
+        let _ = y;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(f.num_slots(), 0);
+        insert_spill_code(&mut f, &[x]);
+        assert_eq!(f.num_slots(), 1);
+        assert!(f.slot(optimist_ir::FrameSlot::new(0)).is_spill);
+    }
+}

@@ -1,0 +1,173 @@
+//! Post-allocation modules: functions plus their register assignments.
+
+use optimist_ir::{Module, RegClass};
+use optimist_machine::{PhysReg, Target};
+use optimist_regalloc::Allocation;
+use std::collections::HashMap;
+
+/// A module whose functions have been register-allocated, paired with the
+/// physical assignment for each. Execute with
+/// [`run_allocated`](crate::run_allocated).
+#[derive(Debug, Clone)]
+pub struct AllocatedModule {
+    module: Module,
+    assignments: HashMap<String, Vec<PhysReg>>,
+    int_regs: usize,
+    float_regs: usize,
+}
+
+/// Borrowed view used by the interpreter's register bank.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FuncAssignment<'a> {
+    pub map: &'a [PhysReg],
+    pub int_regs: usize,
+    pub float_regs: usize,
+}
+
+impl AllocatedModule {
+    /// Combine `original` with per-function [`Allocation`]s (one for every
+    /// function in the module) under `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an allocation is missing for some function, or if an
+    /// assignment uses a register outside the target's files.
+    pub fn new(
+        original: &Module,
+        allocations: &HashMap<String, Allocation>,
+        target: &Target,
+    ) -> Self {
+        let mut module = Module::new();
+        let mut assignments = HashMap::new();
+        for g in original.globals() {
+            module.add_global(g.name.clone(), g.size);
+        }
+        for f in original.functions() {
+            let alloc = allocations
+                .get(f.name())
+                .unwrap_or_else(|| panic!("no allocation for function `{}`", f.name()));
+            for r in &alloc.assignment {
+                assert!(
+                    (r.index as usize) < target.regs(r.class),
+                    "assignment for `{}` uses {} beyond the target files",
+                    f.name(),
+                    r
+                );
+            }
+            module.add_function(alloc.func.clone());
+            assignments.insert(f.name().to_string(), alloc.assignment.clone());
+        }
+        AllocatedModule {
+            module,
+            assignments,
+            int_regs: target.regs(RegClass::Int),
+            float_regs: target.regs(RegClass::Float),
+        }
+    }
+
+    /// The rewritten (spill-code-bearing) module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Option<(&optimist_ir::Function, FuncAssignment<'_>)> {
+        let f = self.module.function(name)?;
+        let map = self.assignments.get(name)?;
+        Some((
+            f,
+            FuncAssignment {
+                map,
+                int_regs: self.int_regs,
+                float_regs: self.float_regs,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_allocated, run_virtual, ExecOptions, Scalar};
+    use optimist_frontend::compile_or_panic;
+    use optimist_regalloc::{allocate, AllocatorConfig};
+
+    fn allocate_module(m: &Module, cfg: &AllocatorConfig) -> AllocatedModule {
+        let allocs: HashMap<String, Allocation> = m
+            .functions()
+            .iter()
+            .map(|f| (f.name().to_string(), allocate(f, cfg).expect("allocates")))
+            .collect();
+        AllocatedModule::new(m, &allocs, &cfg.target)
+    }
+
+    #[test]
+    fn allocated_run_matches_virtual_run() {
+        let src = "
+FUNCTION WORK(N)
+  INTEGER N, I
+  REAL WORK, A(64)
+  DO I = 1, N
+    A(I) = FLOAT(I) * 1.5
+  ENDDO
+  WORK = 0.0
+  DO I = 1, N
+    WORK = WORK + A(I) * A(N + 1 - I)
+  ENDDO
+END
+";
+        let m = compile_or_panic(src);
+        let opts = ExecOptions::default();
+        let vr = run_virtual(&m, "WORK", &[Scalar::Int(20)], &opts).unwrap();
+        for cfg in [
+            AllocatorConfig::chaitin(Target::rt_pc()),
+            AllocatorConfig::briggs(Target::rt_pc()),
+            AllocatorConfig::briggs(Target::with_int_regs(4)),
+        ] {
+            let am = allocate_module(&m, &cfg);
+            let ar = run_allocated(&am, "WORK", &[Scalar::Int(20)], &opts).unwrap();
+            assert_eq!(ar.ret, vr.ret, "target {}", cfg.target.name());
+        }
+    }
+
+    #[test]
+    fn spilled_code_executes_more_memory_ops() {
+        // Enough simultaneously-live values to force spilling at k=4.
+        let src = "
+FUNCTION BUSY(X)
+  REAL BUSY, X
+  REAL A, B, C, D, E, F, G, H
+  A = X + 1.0
+  B = X + 2.0
+  C = X + 3.0
+  D = X + 4.0
+  E = X + 5.0
+  F = X + 6.0
+  G = X + 7.0
+  H = X + 8.0
+  BUSY = A*B + C*D + E*F + G*H + A*H + B*G + C*F + D*E
+END
+";
+        let m = compile_or_panic(src);
+        let opts = ExecOptions::default();
+        let roomy = allocate_module(&m, &AllocatorConfig::briggs(Target::rt_pc()));
+        let tight = allocate_module(
+            &m,
+            &AllocatorConfig::briggs(Target::custom("tiny", 16, 3)),
+        );
+        let r1 = run_allocated(&roomy, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
+        let r2 = run_allocated(&tight, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
+        assert_eq!(r1.ret, r2.ret);
+        assert!(
+            r2.loads + r2.stores > r1.loads + r1.stores,
+            "tight target must execute spill traffic"
+        );
+        assert!(r2.cycles > r1.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "no allocation")]
+    fn missing_allocation_panics() {
+        let m = compile_or_panic("SUBROUTINE S()\nEND\n");
+        AllocatedModule::new(&m, &HashMap::new(), &Target::rt_pc());
+    }
+}

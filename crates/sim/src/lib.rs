@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # optimist-sim
+//!
+//! An interpreter and cycle simulator for [`optimist_ir`] — the stand-in
+//! for the paper's IBM RT/PC. Two execution modes:
+//!
+//! * [`run_virtual`] executes a module over its virtual registers: the
+//!   reference semantics, used to establish expected results.
+//! * [`run_allocated`] executes post-allocation code through its physical
+//!   register assignment: every virtual register access goes through the
+//!   machine's (small) register file, so an incorrect allocation — two
+//!   simultaneously-live ranges sharing a register — produces observably
+//!   wrong answers. Agreement with the virtual run is the end-to-end
+//!   correctness oracle used throughout the test suite.
+//!
+//! Both modes count instructions and cycles under a
+//! [`CycleModel`](optimist_machine::CycleModel); the cycle counts are the
+//! paper's "dynamic" numbers (Figure 5's last column, Figure 6's runtimes).
+//!
+//! ## Example
+//!
+//! ```
+//! use optimist_frontend::compile;
+//! use optimist_sim::{run_virtual, ExecOptions, Scalar};
+//!
+//! let m = compile("
+//! FUNCTION CUBE(N)
+//!   INTEGER CUBE, N
+//!   CUBE = N*N*N
+//! END
+//! ")?;
+//! let r = run_virtual(&m, "CUBE", &[Scalar::Int(5)], &ExecOptions::default())?;
+//! assert_eq!(r.ret, Some(Scalar::Int(125)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod allocated;
+mod machine;
+
+pub use allocated::AllocatedModule;
+pub use machine::{run_allocated, run_virtual, ExecOptions, RunResult, Scalar, Trap};

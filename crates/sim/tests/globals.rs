@@ -1,0 +1,126 @@
+//! Tests for the module-global data path (`GlobalAddr`, `Addr::Global`),
+//! which the FT front end never emits but hand-built IR can.
+
+use optimist_ir::{Addr, BinOp, FunctionBuilder, Imm, Module, RegClass};
+use optimist_sim::{run_virtual, ExecOptions, Scalar};
+
+/// Build a module with a 4-word global; `PUT(i, v)` stores, `GETSUM(n)`
+/// sums the first n words.
+fn module_with_global() -> Module {
+    let mut m = Module::new();
+    let g = m.add_global("table", 32);
+
+    let mut put = FunctionBuilder::new("PUT");
+    let i = put.add_param(RegClass::Int, "i");
+    let v = put.add_param(RegClass::Int, "v");
+    // addr = &g + (i-1)*8
+    let base = put.new_vreg(RegClass::Int, "base");
+    put.global_addr(base, g);
+    let one = put.int(1);
+    let im1 = put.binv(BinOp::SubI, i, one);
+    let eight = put.int(8);
+    let off = put.binv(BinOp::MulI, im1, eight);
+    let addr = put.binv(BinOp::AddI, base, off);
+    put.store(v, Addr::Reg { base: addr, offset: 0 });
+    put.ret(None);
+    m.add_function(put.finish());
+
+    let mut get = FunctionBuilder::new("GETSUM");
+    get.set_ret_class(Some(RegClass::Int));
+    let n = get.add_param(RegClass::Int, "n");
+    let head = get.new_block();
+    let body = get.new_block();
+    let exit = get.new_block();
+    let acc = get.new_vreg(RegClass::Int, "acc");
+    let i = get.new_vreg(RegClass::Int, "i");
+    get.load_imm(acc, Imm::Int(0));
+    get.load_imm(i, Imm::Int(0));
+    get.jump(head);
+    get.switch_to(head);
+    let c = get.cmp_i(optimist_ir::Cmp::Lt, i, n);
+    get.branch(c, body, exit);
+    get.switch_to(body);
+    let eight = get.int(8);
+    let off = get.binv(BinOp::MulI, i, eight);
+    let base = get.new_vreg(RegClass::Int, "base");
+    get.global_addr(base, g);
+    let addr = get.binv(BinOp::AddI, base, off);
+    let x = get.new_vreg(RegClass::Int, "x");
+    get.load(x, Addr::Reg { base: addr, offset: 0 });
+    get.bin(BinOp::AddI, acc, acc, x);
+    let one = get.int(1);
+    get.bin(BinOp::AddI, i, i, one);
+    get.jump(head);
+    get.switch_to(exit);
+    get.ret(Some(acc));
+    m.add_function(get.finish());
+
+    // DRIVER(n): put 10,20,30,40 then sum first n.
+    let mut drv = FunctionBuilder::new("DRIVER");
+    drv.set_ret_class(Some(RegClass::Int));
+    let n = drv.add_param(RegClass::Int, "n");
+    for k in 1..=4i64 {
+        let i = drv.int(k);
+        let v = drv.int(10 * k);
+        drv.call(None, "PUT", vec![i, v]);
+    }
+    let r = drv.new_vreg(RegClass::Int, "r");
+    drv.call(Some(r), "GETSUM", vec![n]);
+    drv.ret(Some(r));
+    m.add_function(drv.finish());
+
+    optimist_ir::verify_module(&m).expect("module verifies");
+    m
+}
+
+#[test]
+fn globals_persist_across_calls() {
+    let m = module_with_global();
+    let r = run_virtual(&m, "DRIVER", &[Scalar::Int(4)], &ExecOptions::default()).unwrap();
+    assert_eq!(r.ret, Some(Scalar::Int(100)));
+    let r = run_virtual(&m, "DRIVER", &[Scalar::Int(2)], &ExecOptions::default()).unwrap();
+    assert_eq!(r.ret, Some(Scalar::Int(30)));
+}
+
+#[test]
+fn globals_survive_register_allocation() {
+    use optimist_machine::Target;
+    use optimist_regalloc::{allocate, AllocatorConfig};
+    use optimist_sim::AllocatedModule;
+    use std::collections::HashMap;
+
+    let m = module_with_global();
+    let cfg = AllocatorConfig::briggs(Target::custom("tiny", 4, 8));
+    let allocs: HashMap<_, _> = m
+        .functions()
+        .iter()
+        .map(|f| (f.name().to_string(), allocate(f, &cfg).expect("allocates")))
+        .collect();
+    let am = AllocatedModule::new(&m, &allocs, &cfg.target);
+    let r = optimist_sim::run_allocated(&am, "DRIVER", &[Scalar::Int(3)], &ExecOptions::default())
+        .unwrap();
+    assert_eq!(r.ret, Some(Scalar::Int(60)));
+}
+
+#[test]
+fn global_out_of_bounds_offset_traps() {
+    let mut m = Module::new();
+    let g = m.add_global("tiny", 8);
+    let mut f = FunctionBuilder::new("BAD");
+    f.set_ret_class(Some(RegClass::Int));
+    let base = f.new_vreg(RegClass::Int, "base");
+    f.global_addr(base, g);
+    let x = f.new_vreg(RegClass::Int, "x");
+    // Address far outside memory.
+    let big = f.int(1 << 40);
+    let addr = f.binv(BinOp::AddI, base, big);
+    f.load(x, Addr::Reg { base: addr, offset: 0 });
+    f.ret(Some(x));
+    m.add_function(f.finish());
+    let opts = ExecOptions {
+        memory_words: 1 << 12,
+        ..ExecOptions::default()
+    };
+    let e = run_virtual(&m, "BAD", &[], &opts).unwrap_err();
+    assert!(matches!(e, optimist_sim::Trap::OutOfBounds { .. }));
+}

@@ -1,0 +1,412 @@
+//! The EULER program: a 1-D simulation of shock-wave propagation. The
+//! paper's source was never published; this is an original reconstruction
+//! of such a code (a Lax–Friedrichs-flavoured solver for the 1-D Euler
+//! equations with Chebyshev smoothing, artificial dissipation, and FFT-
+//! style filtering) with the same eleven routines and the same *relative
+//! sizes* as the paper's Figure 5 rows — in particular `INIT` is "a long
+//! series of assignment statements and simply nested loops" (§3.1), and
+//! `DISSIP` is the biggest, most-improved routine.
+
+/// FT source of the eleven routines plus the `EULRUN` driver.
+pub fn source() -> String {
+    let mut s = String::new();
+    for part in [
+        SHOCK, DERIV, CODE, CHEB, FINDIF, FFTB, BNDRY, INPUT, DIFFR, DISSIP, INIT, DRIVER,
+    ] {
+        s.push_str(part);
+    }
+    s
+}
+
+/// Figure-5 routine names, in the paper's order.
+pub const ROUTINES: &[&str] = &[
+    "SHOCK", "DERIV", "CODE", "CHEB", "FINDIF", "FFTB", "BNDRY", "INPUT", "DIFFR", "DISSIP",
+    "INIT",
+];
+
+/// Driver entry: `EULRUN(NSTEP)` advances the solution and returns a
+/// density checksum.
+pub const DRIVER_NAME: &str = "EULRUN";
+
+const SHOCK: &str = "
+C     Rankine-Hugoniot post-shock density ratio for Mach number XM.
+      DOUBLE PRECISION FUNCTION SHOCK(XM, GAMMA)
+      DOUBLE PRECISION XM, GAMMA, XM2
+      XM2 = XM*XM
+      SHOCK = ((GAMMA + 1.0D0)*XM2)/((GAMMA - 1.0D0)*XM2 + 2.0D0)
+      END
+";
+
+const DERIV: &str = "
+C     Fourth-order central first derivative of U into DU.
+      SUBROUTINE DERIV(N, U, DU, H)
+      INTEGER N, I
+      DOUBLE PRECISION U(*), DU(*), H, C1, C2
+      C1 = 8.0D0/(12.0D0*H)
+      C2 = 1.0D0/(12.0D0*H)
+      DU(1) = (U(2) - U(1))/H
+      DU(2) = (U(3) - U(1))/(2.0D0*H)
+      DO 10 I = 3, N - 2
+        DU(I) = C1*(U(I + 1) - U(I - 1)) - C2*(U(I + 2) - U(I - 2))
+   10 CONTINUE
+      DU(N - 1) = (U(N) - U(N - 2))/(2.0D0*H)
+      DU(N) = (U(N) - U(N - 1))/H
+      END
+";
+
+const CODE: &str = "
+C     One conservative update of (RHO, RU, EN) from fluxes (F1, F2, F3).
+      SUBROUTINE CODE(N, RHO, RU, EN, F1, F2, F3, DT, H)
+      INTEGER N, I
+      DOUBLE PRECISION RHO(*), RU(*), EN(*), F1(*), F2(*), F3(*)
+      DOUBLE PRECISION DT, H, LAM, A1, A2, A3
+      LAM = DT/(2.0D0*H)
+      DO 10 I = 2, N - 1
+        A1 = 0.5D0*(RHO(I + 1) + RHO(I - 1)) - LAM*(F1(I + 1) - F1(I - 1))
+        A2 = 0.5D0*(RU(I + 1) + RU(I - 1)) - LAM*(F2(I + 1) - F2(I - 1))
+        A3 = 0.5D0*(EN(I + 1) + EN(I - 1)) - LAM*(F3(I + 1) - F3(I - 1))
+        RHO(I) = A1
+        RU(I) = A2
+        EN(I) = A3
+   10 CONTINUE
+      END
+";
+
+const CHEB: &str = "
+C     Chebyshev-weighted smoothing of U (three-point, boundary-safe).
+      SUBROUTINE CHEB(N, U, W, THETA)
+      INTEGER N, I
+      DOUBLE PRECISION U(*), W(*), THETA, T0, T1, T2
+      T0 = 1.0D0 - THETA
+      T1 = 0.5D0*THETA
+      W(1) = U(1)
+      W(N) = U(N)
+      DO 10 I = 2, N - 1
+        T2 = T1*(U(I - 1) + U(I + 1))
+        W(I) = T0*U(I) + T2
+   10 CONTINUE
+      DO 20 I = 1, N
+        U(I) = W(I)
+   20 CONTINUE
+      END
+";
+
+const FINDIF: &str = "
+C     Flux construction by finite differences: pressure from the equation
+C     of state, then the three Euler fluxes.
+      SUBROUTINE FINDIF(N, RHO, RU, EN, F1, F2, F3, P, GAMMA)
+      INTEGER N, I
+      DOUBLE PRECISION RHO(*), RU(*), EN(*), F1(*), F2(*), F3(*), P(*)
+      DOUBLE PRECISION GAMMA, V, KE, PI
+      DO 10 I = 1, N
+        V = RU(I)/RHO(I)
+        KE = 0.5D0*RU(I)*V
+        PI = (GAMMA - 1.0D0)*(EN(I) - KE)
+        P(I) = PI
+        F1(I) = RU(I)
+        F2(I) = RU(I)*V + PI
+        F3(I) = (EN(I) + PI)*V
+   10 CONTINUE
+      END
+";
+
+const FFTB: &str = "
+C     One radix-2 butterfly pass over (XR, XI): the kernel of the spectral
+C     filter. STRIDE is the half-size of the current stage.
+      SUBROUTINE FFTB(N, XR, XI, STRIDE, WR, WI)
+      INTEGER N, STRIDE, I, J, K
+      DOUBLE PRECISION XR(*), XI(*), WR, WI
+      DOUBLE PRECISION AR, AI, BR, BI, TR, TI, CR, CI
+      CR = 1.0D0
+      CI = 0.0D0
+      DO 20 J = 1, STRIDE
+        DO 10 I = J, N - STRIDE, 2*STRIDE
+          K = I + STRIDE
+          AR = XR(I)
+          AI = XI(I)
+          BR = XR(K)*CR - XI(K)*CI
+          BI = XR(K)*CI + XI(K)*CR
+          XR(I) = AR + BR
+          XI(I) = AI + BI
+          XR(K) = AR - BR
+          XI(K) = AI - BI
+   10   CONTINUE
+        TR = CR*WR - CI*WI
+        TI = CR*WI + CI*WR
+        CR = TR
+        CI = TI
+   20 CONTINUE
+      END
+";
+
+const BNDRY: &str = "
+C     Reflecting boundary conditions on all three conserved fields.
+      SUBROUTINE BNDRY(N, RHO, RU, EN)
+      INTEGER N
+      DOUBLE PRECISION RHO(*), RU(*), EN(*)
+      RHO(1) = RHO(2)
+      RU(1) = -RU(2)
+      EN(1) = EN(2)
+      RHO(N) = RHO(N - 1)
+      RU(N) = -RU(N - 1)
+      EN(N) = EN(N - 1)
+      END
+";
+
+const INPUT: &str = "
+C     Problem setup: gas constants, grid metrics, time-step control, and
+C     the tabulated initial profile parameters. Long straight-line code
+C     with many simultaneously-live scalars.
+      DOUBLE PRECISION FUNCTION INPUT(N, PARAMS)
+      INTEGER N, I
+      DOUBLE PRECISION PARAMS(*)
+      DOUBLE PRECISION GAMMA, CFL, XL, XR, H, DT, XM, PRATIO
+      DOUBLE PRECISION RHOL, RHOR, PL, PR, UL, UR, CL, CR, SSPEED
+      DOUBLE PRECISION THETA, EPS4, EPS2, TSTOP
+      GAMMA = 1.4D0
+      CFL = 0.45D0
+      XL = 0.0D0
+      XR = 1.0D0
+      H = (XR - XL)/FLOAT(N - 1)
+      XM = 2.0D0
+      PRATIO = (2.0D0*GAMMA*XM*XM - (GAMMA - 1.0D0))/(GAMMA + 1.0D0)
+      RHOL = SHOCK(XM, GAMMA)
+      RHOR = 1.0D0
+      PL = PRATIO
+      PR = 1.0D0
+      CL = SQRT(GAMMA*PL/RHOL)
+      CR = SQRT(GAMMA*PR/RHOR)
+      UL = XM*CR*(RHOR/RHOL)
+      UR = 0.0D0
+      SSPEED = XM*CR
+      DT = CFL*H/(SSPEED + CL)
+      THETA = 0.1D0
+      EPS2 = 0.5D0
+      EPS4 = 0.015D0
+      TSTOP = 0.2D0
+      PARAMS(1) = GAMMA
+      PARAMS(2) = H
+      PARAMS(3) = DT
+      PARAMS(4) = RHOL
+      PARAMS(5) = RHOR
+      PARAMS(6) = PL
+      PARAMS(7) = PR
+      PARAMS(8) = UL
+      PARAMS(9) = UR
+      PARAMS(10) = THETA
+      PARAMS(11) = EPS2
+      PARAMS(12) = EPS4
+      PARAMS(13) = TSTOP
+      PARAMS(14) = SSPEED
+      PARAMS(15) = CL
+      PARAMS(16) = CR
+      DO 10 I = 17, 24
+        PARAMS(I) = 0.0D0
+   10 CONTINUE
+      INPUT = DT
+      END
+";
+
+const DIFFR: &str = "
+C     Flux differencing with characteristic upwinding: switch on the local
+C     signal speed, blending central and one-sided differences.
+      SUBROUTINE DIFFR(N, RHO, RU, EN, P, F1, F2, F3, G1, G2, G3, GAMMA, H)
+      INTEGER N, I
+      DOUBLE PRECISION RHO(*), RU(*), EN(*), P(*)
+      DOUBLE PRECISION F1(*), F2(*), F3(*), G1(*), G2(*), G3(*)
+      DOUBLE PRECISION GAMMA, H, V, C, AP, AM, W, HINV
+      DOUBLE PRECISION D1C, D2C, D3C, D1U, D2U, D3U
+      HINV = 1.0D0/(2.0D0*H)
+      DO 10 I = 2, N - 1
+        V = RU(I)/RHO(I)
+        C = SQRT(GAMMA*P(I)/RHO(I))
+        AP = V + C
+        AM = V - C
+        W = ABS(V)/(ABS(V) + C)
+        D1C = (F1(I + 1) - F1(I - 1))*HINV
+        D2C = (F2(I + 1) - F2(I - 1))*HINV
+        D3C = (F3(I + 1) - F3(I - 1))*HINV
+        IF (V .GE. 0.0D0) THEN
+          D1U = (F1(I) - F1(I - 1))/H
+          D2U = (F2(I) - F2(I - 1))/H
+          D3U = (F3(I) - F3(I - 1))/H
+        ELSE
+          D1U = (F1(I + 1) - F1(I))/H
+          D2U = (F2(I + 1) - F2(I))/H
+          D3U = (F3(I + 1) - F3(I))/H
+        ENDIF
+        G1(I) = (1.0D0 - W)*D1C + W*D1U
+        G2(I) = (1.0D0 - W)*D2C + W*D2U
+        G3(I) = (1.0D0 - W)*D3C + W*D3U
+        IF (AP*AM .LT. 0.0D0) THEN
+          G1(I) = G1(I) + 0.125D0*(AP - AM)*(RHO(I + 1) - 2.0D0*RHO(I) + RHO(I - 1))/H
+          G2(I) = G2(I) + 0.125D0*(AP - AM)*(RU(I + 1) - 2.0D0*RU(I) + RU(I - 1))/H
+          G3(I) = G3(I) + 0.125D0*(AP - AM)*(EN(I + 1) - 2.0D0*EN(I) + EN(I - 1))/H
+        ENDIF
+   10 CONTINUE
+      END
+";
+
+const DISSIP: &str = "
+C     Blended second/fourth-difference artificial dissipation (JST-style):
+C     a pressure sensor switches the second-difference term on near shocks
+C     while the fourth-difference term provides background damping. The
+C     biggest routine of the program; many long-lived scalars coexist with
+C     the per-point temporaries, which is what the optimistic allocator
+C     exploits (69 % fewer spilled ranges in the paper's Figure 5).
+      SUBROUTINE DISSIP(N, RHO, RU, EN, P, D1, D2, D3, EPS2, EPS4, DT, H)
+      INTEGER N, I
+      DOUBLE PRECISION RHO(*), RU(*), EN(*), P(*), D1(*), D2(*), D3(*)
+      DOUBLE PRECISION EPS2, EPS4, DT, H
+      DOUBLE PRECISION NU, NUM, NUP, S2, S4, SCALE
+      DOUBLE PRECISION R2, U2, E2, R4, U4, E4
+      DOUBLE PRECISION PM2, PM1, P0, PP1, PP2
+      SCALE = DT/H
+      DO 10 I = 1, N
+        D1(I) = 0.0D0
+        D2(I) = 0.0D0
+        D3(I) = 0.0D0
+   10 CONTINUE
+      DO 20 I = 3, N - 2
+        PM2 = P(I - 2)
+        PM1 = P(I - 1)
+        P0 = P(I)
+        PP1 = P(I + 1)
+        PP2 = P(I + 2)
+C       pressure sensors at i-1/2 and i+1/2
+        NUM = ABS(PM1 - 2.0D0*P0 + PP1)/(PM1 + 2.0D0*P0 + PP1)
+        NUP = ABS(P0 - 2.0D0*PP1 + PP2)/(P0 + 2.0D0*PP1 + PP2)
+        NU = DMAX1(NUM, NUP)
+        S2 = EPS2*NU
+        S4 = DMAX1(0.0D0, EPS4 - S2)
+C       second differences
+        R2 = RHO(I + 1) - 2.0D0*RHO(I) + RHO(I - 1)
+        U2 = RU(I + 1) - 2.0D0*RU(I) + RU(I - 1)
+        E2 = EN(I + 1) - 2.0D0*EN(I) + EN(I - 1)
+C       fourth differences
+        R4 = RHO(I + 2) - 4.0D0*RHO(I + 1) + 6.0D0*RHO(I) - &
+          4.0D0*RHO(I - 1) + RHO(I - 2)
+        U4 = RU(I + 2) - 4.0D0*RU(I + 1) + 6.0D0*RU(I) - &
+          4.0D0*RU(I - 1) + RU(I - 2)
+        E4 = EN(I + 2) - 4.0D0*EN(I + 1) + 6.0D0*EN(I) - &
+          4.0D0*EN(I - 1) + EN(I - 2)
+        D1(I) = SCALE*(S2*R2 - S4*R4)
+        D2(I) = SCALE*(S2*U2 - S4*U4)
+        D3(I) = SCALE*(S2*E2 - S4*E4)
+   20 CONTINUE
+      DO 30 I = 1, N
+        RHO(I) = RHO(I) + D1(I)
+        RU(I) = RU(I) + D2(I)
+        EN(I) = EN(I) + D3(I)
+   30 CONTINUE
+      END
+";
+
+const INIT: &str = "
+C     Initialize the shock-tube state: left/right constant states with a
+C     smoothed interface. As the paper notes, INIT is a long series of
+C     assignments and simply nested loops with a simple interference graph.
+      SUBROUTINE INIT(N, RHO, RU, EN, P, PARAMS, GAMMA)
+      INTEGER N, I, MID
+      DOUBLE PRECISION RHO(*), RU(*), EN(*), P(*), PARAMS(*)
+      DOUBLE PRECISION GAMMA, RHOL, RHOR, PL, PR, UL, UR, BLEND, X, H
+      RHOL = PARAMS(4)
+      RHOR = PARAMS(5)
+      PL = PARAMS(6)
+      PR = PARAMS(7)
+      UL = PARAMS(8)
+      UR = PARAMS(9)
+      H = PARAMS(2)
+      MID = N/2
+      DO 10 I = 1, MID
+        RHO(I) = RHOL
+        RU(I) = RHOL*UL
+        P(I) = PL
+        EN(I) = PL/(GAMMA - 1.0D0) + 0.5D0*RHOL*UL*UL
+   10 CONTINUE
+      DO 20 I = MID + 1, N
+        RHO(I) = RHOR
+        RU(I) = RHOR*UR
+        P(I) = PR
+        EN(I) = PR/(GAMMA - 1.0D0) + 0.5D0*RHOR*UR*UR
+   20 CONTINUE
+C     smooth the interface over four cells
+      DO 30 I = MID - 2, MID + 2
+        X = FLOAT(I - MID)/2.0D0
+        BLEND = 0.5D0*(1.0D0 - X/(ABS(X) + 1.0D0))
+        RHO(I) = BLEND*RHOL + (1.0D0 - BLEND)*RHOR
+        RU(I) = BLEND*RHOL*UL + (1.0D0 - BLEND)*RHOR*UR
+        P(I) = BLEND*PL + (1.0D0 - BLEND)*PR
+        EN(I) = P(I)/(GAMMA - 1.0D0) + 0.5D0*RU(I)*RU(I)/RHO(I)
+   30 CONTINUE
+      X = H
+      END
+";
+
+const DRIVER: &str = "
+C     Driver: set up, initialize, time-step, return a density checksum.
+      DOUBLE PRECISION FUNCTION EULRUN(NSTEP)
+      INTEGER NSTEP, N, I, STEP
+      DOUBLE PRECISION RHO(200), RU(200), EN(200), P(200)
+      DOUBLE PRECISION F1(200), F2(200), F3(200)
+      DOUBLE PRECISION G1(200), G2(200), G3(200)
+      DOUBLE PRECISION W(200), PARAMS(24)
+      DOUBLE PRECISION GAMMA, H, DT, ACC
+      N = 200
+      DT = INPUT(N, PARAMS)
+      GAMMA = PARAMS(1)
+      H = PARAMS(2)
+      CALL INIT(N, RHO, RU, EN, P, PARAMS, GAMMA)
+      DO 100 STEP = 1, NSTEP
+        CALL FINDIF(N, RHO, RU, EN, F1, F2, F3, P, GAMMA)
+        CALL DIFFR(N, RHO, RU, EN, P, F1, F2, F3, G1, G2, G3, GAMMA, H)
+        CALL CODE(N, RHO, RU, EN, F1, F2, F3, DT, H)
+        CALL DISSIP(N, RHO, RU, EN, P, G1, G2, G3, PARAMS(11), &
+          PARAMS(12), DT, H)
+        CALL BNDRY(N, RHO, RU, EN)
+        CALL CHEB(N, RHO, W, PARAMS(10))
+  100 CONTINUE
+      ACC = 0.0D0
+      DO 200 I = 1, N
+        ACC = ACC + ABS(RHO(I))
+  200 CONTINUE
+      EULRUN = ACC/FLOAT(N)
+      END
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_frontend::compile_or_panic;
+    use optimist_sim::{run_virtual, ExecOptions, Scalar};
+
+    #[test]
+    fn euler_compiles_with_all_routines() {
+        let m = compile_or_panic(&source());
+        for r in ROUTINES {
+            assert!(m.function(r).is_some(), "missing {r}");
+        }
+    }
+
+    #[test]
+    fn shock_tube_advances_without_blowing_up() {
+        let m = compile_or_panic(&source());
+        let r = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(10)], &ExecOptions::default())
+            .expect("runs");
+        match r.ret {
+            Some(Scalar::Float(v)) => {
+                assert!(v.is_finite() && v > 0.0, "mean density {v}");
+                assert!(v < 100.0, "solution blew up: {v}");
+            }
+            other => panic!("unexpected return {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dissip_is_the_biggest_routine() {
+        let m = compile_or_panic(&source());
+        let dissip = m.function("DISSIP").unwrap().num_insts();
+        let shock = m.function("SHOCK").unwrap().num_insts();
+        assert!(dissip > 4 * shock);
+    }
+}

@@ -1,0 +1,168 @@
+#![warn(missing_docs)]
+
+//! # optimist-workloads
+//!
+//! The benchmark corpus of the reproduction: FT source for the five
+//! programs of the paper's Figure 5 (SVD, LINPACK, SIMPLEX, EULER, CEDETA),
+//! the quicksort of Figure 6, and a seeded random-routine generator used to
+//! fuzz the compile → allocate → simulate pipeline.
+//!
+//! Each [`Program`] bundles the FT source of its routines plus a *driver*
+//! function that builds input data, exercises the routines, and returns a
+//! scalar checksum — the reproduction's dynamic measurements run these
+//! drivers under both allocators. Provenance of every routine (faithful
+//! port of a published algorithm vs. reconstruction) is documented in the
+//! per-program modules and in DESIGN.md.
+//!
+//! ```
+//! let programs = optimist_workloads::programs();
+//! assert_eq!(programs.len(), 7);
+//! let linpack = programs.iter().find(|p| p.name == "LINPACK").unwrap();
+//! let module = optimist_frontend::compile(&linpack.source)?;
+//! assert!(module.function("DAXPY").is_some());
+//! # Ok::<(), optimist_frontend::CompileError>(())
+//! ```
+
+pub mod cedeta;
+pub mod euler;
+pub mod generator;
+pub mod intsuite;
+pub mod linpack;
+pub mod quicksort;
+pub mod simplex;
+pub mod svd;
+
+pub use generator::{generate_routine, GenConfig};
+
+/// An argument for a program's driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriverArg {
+    /// Integer argument.
+    Int(i64),
+    /// Float argument.
+    Float(f64),
+}
+
+/// One benchmark program: FT source, its Figure-5/6 routines, and a driver.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// FT source of every routine plus the driver.
+    pub source: String,
+    /// Routine names in the paper's row order (excludes the driver, like
+    /// the paper's footnote 6 excludes theirs).
+    pub routines: Vec<&'static str>,
+    /// Driver entry-point name (a `FUNCTION` returning a checksum).
+    pub driver: &'static str,
+    /// Arguments for a *full-size* driver run (dynamic measurements).
+    pub driver_args: Vec<DriverArg>,
+    /// Arguments for a quick smoke-test run.
+    pub smoke_args: Vec<DriverArg>,
+}
+
+/// All benchmark programs: the paper's five Figure-5 programs, the
+/// Figure-6 quicksort, and the integer suite (the paper's §3.2 proposed
+/// follow-up experiment).
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program {
+            name: "SVD",
+            source: svd::source(),
+            routines: svd::ROUTINES.to_vec(),
+            driver: svd::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(40)],
+            smoke_args: vec![DriverArg::Int(6)],
+        },
+        Program {
+            name: "LINPACK",
+            source: linpack::source(),
+            routines: linpack::ROUTINES.to_vec(),
+            driver: linpack::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(100)],
+            smoke_args: vec![DriverArg::Int(10)],
+        },
+        Program {
+            name: "SIMPLEX",
+            source: simplex::source(),
+            routines: simplex::ROUTINES.to_vec(),
+            driver: simplex::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(16)],
+            smoke_args: vec![DriverArg::Int(4)],
+        },
+        Program {
+            name: "EULER",
+            source: euler::source(),
+            routines: euler::ROUTINES.to_vec(),
+            driver: euler::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(200)],
+            smoke_args: vec![DriverArg::Int(5)],
+        },
+        Program {
+            name: "CEDETA",
+            source: cedeta::source(),
+            routines: cedeta::ROUTINES.to_vec(),
+            driver: cedeta::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(30)],
+            smoke_args: vec![DriverArg::Int(6)],
+        },
+        Program {
+            name: "INTEGER",
+            source: intsuite::source(),
+            routines: intsuite::ROUTINES.to_vec(),
+            driver: intsuite::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(2000)],
+            smoke_args: vec![DriverArg::Int(100)],
+        },
+        Program {
+            name: "QUICKSORT",
+            source: quicksort::source(),
+            routines: quicksort::ROUTINES.to_vec(),
+            driver: quicksort::DRIVER_NAME,
+            driver_args: vec![DriverArg::Int(200_000)],
+            smoke_args: vec![DriverArg::Int(500)],
+        },
+    ]
+}
+
+/// Look up one program by (case-insensitive) name.
+pub fn program(name: &str) -> Option<Program> {
+    programs()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_frontend::compile_or_panic;
+
+    #[test]
+    fn every_program_compiles_with_all_routines() {
+        for p in programs() {
+            let m = compile_or_panic(&p.source);
+            for r in &p.routines {
+                assert!(m.function(r).is_some(), "{}: missing {r}", p.name);
+            }
+            assert!(m.function(p.driver).is_some(), "{}: missing driver", p.name);
+        }
+    }
+
+    #[test]
+    fn figure5_row_count_matches_paper() {
+        // 1 (SVD) + 9 (LINPACK) + 4 (SIMPLEX) + 11 (EULER) + 3 (CEDETA) = 28
+        let total: usize = programs()
+            .iter()
+            .filter(|p| p.name != "QUICKSORT" && p.name != "INTEGER")
+            .map(|p| p.routines.len())
+            .sum();
+        assert_eq!(total, 28);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(program("linpack").is_some());
+        assert!(program("Svd").is_some());
+        assert!(program("nope").is_none());
+    }
+}

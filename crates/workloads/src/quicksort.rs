@@ -1,0 +1,159 @@
+//! The quicksort program used in the paper's Figure 6 register-sweep study:
+//! a non-recursive quicksort over integers, iterative with an explicit
+//! stack of subrange bounds (the paper used Wirth's formulation; this is an
+//! independent implementation of the same classic algorithm). The driver
+//! fills an array from a linear congruential generator, sorts it, and
+//! returns 0 on a verified sort.
+
+/// FT source of `QSORT` plus the `QMAIN` driver.
+pub fn source() -> String {
+    format!("{QSORT}{QMAIN}")
+}
+
+/// Figure-6 routine name.
+pub const ROUTINES: &[&str] = &["QSORT"];
+
+/// Driver entry: `QMAIN(N)` sorts `N` pseudo-random integers
+/// (`N <= 200000`) and returns 0 if the result is sorted, a positive error
+/// code otherwise.
+pub const DRIVER_NAME: &str = "QMAIN";
+
+const QSORT: &str = "
+C     Non-recursive quicksort: an explicit bounds stack, median-of-three
+C     pivot selection, and an insertion-sort finish for short subranges.
+C     The many simultaneously-live scalars (bounds, scan cursors, pivot,
+C     medians, stack pointer) are what make this the paper's register-
+C     pressure study subject.
+      SUBROUTINE QSORT(N, A)
+      INTEGER N, A(*)
+      INTEGER STL(64), STR(64)
+      INTEGER SP, L, R, I, J, PIV, T, M, AL, AM, AR, LEN
+      IF (N .LE. 1) RETURN
+      SP = 1
+      STL(1) = 1
+      STR(1) = N
+   10 CONTINUE
+      L = STL(SP)
+      R = STR(SP)
+      SP = SP - 1
+   20 CONTINUE
+        LEN = R - L + 1
+        IF (LEN .LE. 12) GOTO 80
+C       median-of-three: order A(L), A(M), A(R), pivot from the middle
+        M = (L + R)/2
+        AL = A(L)
+        AM = A(M)
+        AR = A(R)
+        IF (AM .LT. AL) THEN
+          T = AL
+          AL = AM
+          AM = T
+        ENDIF
+        IF (AR .LT. AM) THEN
+          T = AM
+          AM = AR
+          AR = T
+          IF (AM .LT. AL) THEN
+            T = AL
+            AL = AM
+            AM = T
+          ENDIF
+        ENDIF
+        A(L) = AL
+        A(M) = AM
+        A(R) = AR
+        PIV = AM
+C       partition A(L..R) around PIV
+        I = L
+        J = R
+   30   CONTINUE
+   40     IF (A(I) .GE. PIV) GOTO 50
+            I = I + 1
+          GOTO 40
+   50     IF (PIV .GE. A(J)) GOTO 60
+            J = J - 1
+          GOTO 50
+   60     IF (I .GT. J) GOTO 70
+            T = A(I)
+            A(I) = A(J)
+            A(J) = T
+            I = I + 1
+            J = J - 1
+   70     IF (I .LE. J) GOTO 30
+C       push the larger part, loop on the smaller
+        IF ((J - L) .LT. (R - I)) THEN
+          IF (I .LT. R) THEN
+            SP = SP + 1
+            STL(SP) = I
+            STR(SP) = R
+          ENDIF
+          R = J
+        ELSE
+          IF (L .LT. J) THEN
+            SP = SP + 1
+            STL(SP) = L
+            STR(SP) = J
+          ENDIF
+          L = I
+        ENDIF
+      GOTO 20
+C     insertion sort for the short subrange
+   80 CONTINUE
+      DO 95 I = L + 1, R
+        T = A(I)
+        J = I - 1
+   85   IF (J .LT. L) GOTO 90
+        IF (A(J) .LE. T) GOTO 90
+        A(J + 1) = A(J)
+        J = J - 1
+        GOTO 85
+   90   A(J + 1) = T
+   95 CONTINUE
+      IF (SP .GT. 0) GOTO 10
+      END
+";
+
+const QMAIN: &str = "
+C     Driver: fill with an LCG, sort, verify. Returns 0 when sorted.
+      INTEGER FUNCTION QMAIN(N)
+      INTEGER N, I, SEED
+      INTEGER A(200000)
+      SEED = 12345
+      DO 10 I = 1, N
+        SEED = MOD(SEED*1103 + 12849, 65536)
+        A(I) = SEED
+   10 CONTINUE
+      CALL QSORT(N, A)
+      QMAIN = 0
+      DO 20 I = 2, N
+        IF (A(I - 1) .GT. A(I)) QMAIN = QMAIN + 1
+   20 CONTINUE
+      END
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_frontend::compile_or_panic;
+    use optimist_sim::{run_virtual, ExecOptions, Scalar};
+
+    #[test]
+    fn quicksort_sorts_correctly() {
+        let m = compile_or_panic(&source());
+        for n in [1i64, 2, 3, 10, 500, 3000] {
+            let r = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(n)], &ExecOptions::default())
+                .expect("runs");
+            assert_eq!(r.ret, Some(Scalar::Int(0)), "N={n} not sorted");
+        }
+    }
+
+    #[test]
+    fn quicksort_is_n_log_n_ish() {
+        let m = compile_or_panic(&source());
+        let opts = ExecOptions::default();
+        let small = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(1000)], &opts).unwrap();
+        let large = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(4000)], &opts).unwrap();
+        let ratio = large.insts as f64 / small.insts as f64;
+        assert!(ratio > 3.0 && ratio < 8.0, "suspicious scaling {ratio}");
+    }
+}

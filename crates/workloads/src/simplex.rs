@@ -1,0 +1,233 @@
+//! The SIMPLEX program: a parallel multi-directional search along simplex
+//! edges (the paper credits Torczon's thesis code, which was never
+//! published). This is an original reconstruction with the same four
+//! routines and roles as the paper's Figure 5 rows:
+//!
+//! * `VALUE`     — evaluate the objective at one vertex (small).
+//! * `CONVERGE`  — simplex-diameter convergence test (small).
+//! * `CONSTRUCT` — build the reflected/expanded/contracted simplex (small).
+//! * `SIMPLEX`   — the main search loop (large: the row that improves 46 %
+//!   in the paper).
+
+/// FT source of the four routines plus the `SMPLX` driver.
+pub fn source() -> String {
+    format!("{VALUE}{CONVERGE}{CONSTRUCT}{SIMPLEX}{DRIVER}")
+}
+
+/// Figure-5 routine names, in the paper's order.
+pub const ROUTINES: &[&str] = &["VALUE", "CONVERGE", "CONSTRUCT", "SIMPLEX"];
+
+/// Driver entry: `SMPLX(N)` minimizes an `N`-dimensional quadratic test
+/// function and returns the best objective value found.
+pub const DRIVER_NAME: &str = "SMPLX";
+
+const VALUE: &str = "
+C     Objective: a shifted quadratic with a mild cross term.
+      DOUBLE PRECISION FUNCTION VALUE(N, X)
+      INTEGER N, I
+      DOUBLE PRECISION X(*), ACC, D
+      ACC = 0.0D0
+      DO 10 I = 1, N
+        D = X(I) - FLOAT(I)
+        ACC = ACC + D*D
+   10 CONTINUE
+      DO 20 I = 2, N
+        ACC = ACC + 0.25D0*X(I - 1)*X(I)
+   20 CONTINUE
+      VALUE = ACC
+      END
+";
+
+const CONVERGE: &str = "
+C     1 when the simplex edge lengths have all shrunk below TOL.
+      INTEGER FUNCTION CONVERGE(N, S, LDS, TOL)
+      INTEGER N, LDS, I, J
+      DOUBLE PRECISION S(LDS, *), TOL, D, EDGE
+      EDGE = 0.0D0
+      DO 20 J = 2, N + 1
+        DO 10 I = 1, N
+          D = ABS(S(I, J) - S(I, 1))
+          EDGE = DMAX1(EDGE, D)
+   10   CONTINUE
+   20 CONTINUE
+      CONVERGE = 0
+      IF (EDGE .LT. TOL) CONVERGE = 1
+      END
+";
+
+const CONSTRUCT: &str = "
+C     Build the trial simplex T from S: every vertex reflected through the
+C     best vertex and scaled by FACTOR (2 = expand, 0.5 = contract).
+      SUBROUTINE CONSTRUCT(N, S, LDS, T, LDT, FACTOR)
+      INTEGER N, LDS, LDT, I, J
+      DOUBLE PRECISION S(LDS, *), T(LDT, *), FACTOR
+      DO 10 I = 1, N
+        T(I, 1) = S(I, 1)
+   10 CONTINUE
+      DO 30 J = 2, N + 1
+        DO 20 I = 1, N
+          T(I, J) = S(I, 1) + FACTOR*(S(I, 1) - S(I, J))
+   20   CONTINUE
+   30 CONTINUE
+      END
+";
+
+const SIMPLEX: &str = "
+C     Multi-directional search: at each step evaluate the reflected,
+C     expanded and contracted simplexes and keep whichever improves most.
+C     Returns the best objective value; the best point stays in column 1.
+      DOUBLE PRECISION FUNCTION SIMPLEX(N, S, LDS, TOL, MAXIT)
+      INTEGER N, LDS, MAXIT
+      DOUBLE PRECISION S(LDS, *), TOL
+      DOUBLE PRECISION R(20, 21), E(20, 21), C(20, 21)
+      DOUBLE PRECISION FS(21), FR(21), FE(21), FC(21)
+      DOUBLE PRECISION XTMP(20)
+      DOUBLE PRECISION FBEST, FRBEST, FEBEST, FCBEST, FNEW
+      INTEGER I, J, K, ITER, JBEST, WHICH
+C
+C     objective at every starting vertex; find the best column
+      DO 20 J = 1, N + 1
+        DO 10 I = 1, N
+          XTMP(I) = S(I, J)
+   10   CONTINUE
+        FS(J) = VALUE(N, XTMP)
+   20 CONTINUE
+      JBEST = 1
+      DO 30 J = 2, N + 1
+        IF (FS(J) .LT. FS(JBEST)) JBEST = J
+   30 CONTINUE
+C     swap the best vertex into column 1
+      IF (JBEST .NE. 1) THEN
+        DO 40 I = 1, N
+          XTMP(I) = S(I, 1)
+          S(I, 1) = S(I, JBEST)
+          S(I, JBEST) = XTMP(I)
+   40   CONTINUE
+        FNEW = FS(1)
+        FS(1) = FS(JBEST)
+        FS(JBEST) = FNEW
+      ENDIF
+      FBEST = FS(1)
+C
+      DO 300 ITER = 1, MAXIT
+        IF (CONVERGE(N, S, LDS, TOL) .EQ. 1) GO TO 400
+C       rotation (reflection), expansion, contraction simplexes
+        CALL CONSTRUCT(N, S, LDS, R, 20, 1.0D0)
+        CALL CONSTRUCT(N, S, LDS, E, 20, 2.0D0)
+        CALL CONSTRUCT(N, S, LDS, C, 20, -0.5D0)
+C       evaluate all three trial simplexes
+        FRBEST = FBEST
+        FEBEST = FBEST
+        FCBEST = FBEST
+        DO 120 J = 2, N + 1
+          DO 100 I = 1, N
+            XTMP(I) = R(I, J)
+  100     CONTINUE
+          FR(J) = VALUE(N, XTMP)
+          IF (FR(J) .LT. FRBEST) FRBEST = FR(J)
+          DO 105 I = 1, N
+            XTMP(I) = E(I, J)
+  105     CONTINUE
+          FE(J) = VALUE(N, XTMP)
+          IF (FE(J) .LT. FEBEST) FEBEST = FE(J)
+          DO 110 I = 1, N
+            XTMP(I) = C(I, J)
+  110     CONTINUE
+          FC(J) = VALUE(N, XTMP)
+          IF (FC(J) .LT. FCBEST) FCBEST = FC(J)
+  120   CONTINUE
+C       pick the winning simplex
+        WHICH = 0
+        FNEW = FBEST
+        IF (FRBEST .LT. FNEW) THEN
+          WHICH = 1
+          FNEW = FRBEST
+        ENDIF
+        IF (FEBEST .LT. FNEW) THEN
+          WHICH = 2
+          FNEW = FEBEST
+        ENDIF
+        IF (WHICH .EQ. 0 .AND. FCBEST .LT. FNEW) THEN
+          WHICH = 3
+          FNEW = FCBEST
+        ENDIF
+C       no trial improved: contract in place
+        IF (WHICH .EQ. 0) WHICH = 3
+C       adopt the chosen simplex and its best column
+        DO 220 J = 2, N + 1
+          DO 210 I = 1, N
+            IF (WHICH .EQ. 1) S(I, J) = R(I, J)
+            IF (WHICH .EQ. 2) S(I, J) = E(I, J)
+            IF (WHICH .EQ. 3) S(I, J) = C(I, J)
+  210     CONTINUE
+          IF (WHICH .EQ. 1) FS(J) = FR(J)
+          IF (WHICH .EQ. 2) FS(J) = FE(J)
+          IF (WHICH .EQ. 3) FS(J) = FC(J)
+  220   CONTINUE
+C       re-centre on the best vertex
+        JBEST = 1
+        DO 230 J = 2, N + 1
+          IF (FS(J) .LT. FS(JBEST)) JBEST = J
+  230   CONTINUE
+        IF (JBEST .NE. 1) THEN
+          DO 240 I = 1, N
+            FNEW = S(I, 1)
+            S(I, 1) = S(I, JBEST)
+            S(I, JBEST) = FNEW
+  240     CONTINUE
+          FNEW = FS(1)
+          FS(1) = FS(JBEST)
+          FS(JBEST) = FNEW
+        ENDIF
+        FBEST = FS(1)
+  300 CONTINUE
+  400 CONTINUE
+      SIMPLEX = FBEST
+      END
+";
+
+const DRIVER: &str = "
+C     Driver: start from a unit simplex at the origin and search.
+      DOUBLE PRECISION FUNCTION SMPLX(N)
+      INTEGER N, I, J
+      DOUBLE PRECISION S(20, 21)
+      DO 20 J = 1, N + 1
+        DO 10 I = 1, N
+          S(I, J) = 0.0D0
+          IF (I .EQ. J - 1) S(I, J) = 1.0D0
+   10   CONTINUE
+   20 CONTINUE
+      SMPLX = SIMPLEX(N, S, 20, 1.0D-6, 200)
+      END
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_frontend::compile_or_panic;
+    use optimist_sim::{run_virtual, ExecOptions, Scalar};
+
+    #[test]
+    fn simplex_compiles_with_all_routines() {
+        let m = compile_or_panic(&source());
+        for r in ROUTINES {
+            assert!(m.function(r).is_some(), "missing {r}");
+        }
+    }
+
+    #[test]
+    fn search_reduces_the_objective() {
+        let m = compile_or_panic(&source());
+        let r = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(4)], &ExecOptions::default())
+            .expect("runs");
+        match r.ret {
+            Some(Scalar::Float(v)) => {
+                // The objective at the origin is sum i^2 = 30 (plus cross
+                // terms 0); the search must improve on that materially.
+                assert!(v.is_finite());
+                assert!(v < 30.0, "no progress: {v}");
+            }
+            other => panic!("unexpected return {other:?}"),
+        }
+    }
+}

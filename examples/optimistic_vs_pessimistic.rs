@@ -1,0 +1,79 @@
+//! The paper's Figures 2 and 3, replayed on raw interference graphs:
+//! simplification colors the Figure-2 graph with three registers, and the
+//! Figure-3 four-cycle shows Chaitin's heuristic giving up where the
+//! optimistic heuristic finds the 2-coloring.
+//!
+//! Run with: `cargo run --example optimistic_vs_pessimistic`
+
+use optimist::ir::RegClass;
+use optimist::machine::Target;
+use optimist::regalloc::{select, simplify, Heuristic, InterferenceGraph};
+
+fn graph(n: usize, edges: &[(u32, u32)]) -> InterferenceGraph {
+    let mut g = InterferenceGraph::new(vec![RegClass::Int; n]);
+    for &(a, b) in edges {
+        g.add_edge(a, b);
+    }
+    g
+}
+
+fn show(name: &str, g: &InterferenceGraph, k: usize) {
+    let names = ["a", "b", "c", "d", "e"];
+    let costs = vec![1.0; g.num_nodes()];
+    let target = Target::custom("demo", k, 8);
+
+    println!("== {name} (k = {k}) ==");
+    for h in [Heuristic::ChaitinPessimistic, Heuristic::BriggsOptimistic] {
+        let label = match h {
+            Heuristic::ChaitinPessimistic => "Chaitin (pessimistic)",
+            Heuristic::BriggsOptimistic => "Briggs  (optimistic) ",
+        };
+        let out = simplify(g, &costs, &target, h);
+        let coloring = select(g, &out.stack, &target);
+        let spilled: Vec<&str> = match h {
+            Heuristic::ChaitinPessimistic => {
+                out.spill_marked.iter().map(|&v| names[v as usize]).collect()
+            }
+            Heuristic::BriggsOptimistic => coloring
+                .uncolored()
+                .iter()
+                .map(|&v| names[v as usize])
+                .collect(),
+        };
+        let assignment: Vec<String> = coloring
+            .color
+            .iter()
+            .enumerate()
+            .map(|(v, c)| match c {
+                Some(c) => format!("{}:r{c}", names[v]),
+                None => format!("{}:spill", names[v]),
+            })
+            .collect();
+        println!("{label}: {}", assignment.join("  "));
+        if spilled.is_empty() {
+            println!("{label}: no spills");
+        } else {
+            println!("{label}: spills {{{}}}", spilled.join(", "));
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // Figure 2: a five-node graph that simplification 3-colors outright.
+    // Edges: a-b, a-c, b-c, b-d, c-d, d-e.
+    let fig2 = graph(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]);
+    show("Figure 2 — colorable by simplification", &fig2, 3);
+
+    // Figure 3: the four-cycle w-x-y-z. Two colors suffice (opposite
+    // corners share), but every node has degree 2, so Chaitin's
+    // simplification blocks immediately and marks a spill. The optimistic
+    // select discovers the 2-coloring.
+    let names = ["w", "x", "y", "z"];
+    let _ = names;
+    let fig3 = graph(4, &[(0, 1), (1, 3), (3, 2), (2, 0)]);
+    show("Figure 3 — the diamond that defeats pessimism", &fig3, 2);
+
+    println!("The diamond is the paper's whole point in one picture:");
+    println!("pessimism spills a node the coloring phase could have saved.");
+}

@@ -1,0 +1,66 @@
+//! The paper's motivating example (§1.2 and §3): the SVD routine, whose
+//! array-copy loop indices Chaitin's allocator wrongly spilled while
+//! several registers sat free. This example compiles our SVD, runs both
+//! allocators, and reports the paper's headline numbers for this build.
+//!
+//! Run with: `cargo run --release --example svd_study`
+
+use optimist::machine::Target;
+use optimist::workloads;
+use optimist::{compare_module, compare_program, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = workloads::program("SVD").expect("corpus has SVD");
+    let module = optimist::compile_optimized(&program.source)?;
+    let rows = compare_module(&module, &Target::rt_pc())?;
+    let svd = rows.iter().find(|r| r.name == "SVD").expect("row exists");
+
+    println!("== SVD under both allocators (16 int + 8 float registers) ==\n");
+    println!("object size (bytes):     {}", svd.object_size);
+    println!("live ranges:             {}", svd.live_ranges);
+    println!(
+        "registers spilled:       old {:>4}   new {:>4}   ({:.0}% fewer)",
+        svd.old.registers_spilled,
+        svd.new.registers_spilled,
+        svd.spill_pct()
+    );
+    println!(
+        "estimated spill cost:    old {:>10.0}   new {:>10.0}   ({:.0}% lower)",
+        svd.old.spill_cost,
+        svd.new.spill_cost,
+        svd.cost_pct()
+    );
+    println!(
+        "allocation passes:       old {:>4}   new {:>4}",
+        svd.old.passes, svd.new.passes
+    );
+
+    println!("\nPer-pass spill counts (the paper's Figure 7 parentheses):");
+    for (which, passes) in [("old", &svd.old_passes), ("new", &svd.new_passes)] {
+        let counts: Vec<String> = passes.iter().map(|p| format!("({})", p.spilled)).collect();
+        println!("  {which}: {}", counts.join(" "));
+    }
+
+    println!("\nRunning the decomposition under both allocations…");
+    let (_, dynamic) = compare_program(&program, &Target::rt_pc(), true)
+        .map_err(std::io::Error::other)?;
+    println!(
+        "dynamic cycles:          old {:>12}   new {:>12}   ({:.2}% faster)",
+        dynamic.old_cycles,
+        dynamic.new_cycles,
+        dynamic.dynamic_pct()
+    );
+    println!(
+        "dynamic loads+stores:    old {:>12}   new {:>12}   ({:.2}% fewer)",
+        dynamic.old_memops,
+        dynamic.new_memops,
+        pct(dynamic.old_memops as f64, dynamic.new_memops as f64)
+    );
+    println!("checksum (both runs):    {:?}", dynamic.checksum);
+
+    println!("\nThe paper reported 51% fewer spilled registers and a 22% lower");
+    println!("estimated spill cost on its SVD; the improvement here comes from");
+    println!("the same mechanism — select reconsiders the pessimistic spill");
+    println!("decisions in inverse order, rescuing the short loop-index ranges.");
+    Ok(())
+}

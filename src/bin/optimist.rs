@@ -1,0 +1,314 @@
+//! The `optimist` command-line driver: compile, optimize, allocate, and
+//! run FT programs from the shell.
+//!
+//! ```text
+//! optimist compile  FILE.ft [-O] [--routine NAME]       print IR
+//! optimist allocate FILE.ft [options] [--routine NAME]  allocation report
+//! optimist run      FILE.ft ENTRY [ARG...] [options]    execute a driver
+//! optimist compare  FILE.ft [options]                   Chaitin vs Briggs table
+//! optimist asm      FILE.ft [options]                   allocated-code listing
+//!
+//! FILE may be FT source (any extension) or a textual IR dump (`.ir`,
+//! as produced by `optimist compile`).
+//!
+//! options:
+//!   -O                 run the scalar optimizer (default for allocate/
+//!                      run/compare; use --no-opt to disable)
+//!   --no-opt           skip the optimizer
+//!   --heuristic H      chaitin | briggs (default briggs)
+//!   --int-regs N       integer registers (default 16)
+//!   --float-regs N     float registers (default 8)
+//!   --virtual          (run) use virtual registers instead of allocating
+//!   --remat            rematerialize spilled constants
+//!   --coalesce M       aggressive | conservative | off (default aggressive)
+//! ```
+//!
+//! Arguments to `run` are integers or floats; the entry must be an FT
+//! `FUNCTION` or `SUBROUTINE` taking scalars.
+
+use optimist::prelude::*;
+use optimist::sim::AllocatedModule;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("optimist: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    optimize: bool,
+    heuristic: Heuristic,
+    int_regs: usize,
+    float_regs: usize,
+    run_virtual: bool,
+    rematerialize: bool,
+    coalesce: optimist::regalloc::CoalesceMode,
+    routine: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> {
+    let mut o = Options {
+        optimize: default_opt,
+        heuristic: Heuristic::BriggsOptimistic,
+        int_regs: 16,
+        float_regs: 8,
+        run_virtual: false,
+        rematerialize: false,
+        coalesce: optimist::regalloc::CoalesceMode::Aggressive,
+        routine: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-O" => o.optimize = true,
+            "--no-opt" => o.optimize = false,
+            "--virtual" => o.run_virtual = true,
+            "--remat" => o.rematerialize = true,
+            "--coalesce" => {
+                let v = it.next().ok_or("--coalesce needs a value")?;
+                o.coalesce = match v.as_str() {
+                    "aggressive" => optimist::regalloc::CoalesceMode::Aggressive,
+                    "conservative" => optimist::regalloc::CoalesceMode::Conservative,
+                    "off" => optimist::regalloc::CoalesceMode::Off,
+                    other => return Err(format!("unknown coalesce mode `{other}`")),
+                };
+            }
+            "--heuristic" => {
+                let v = it.next().ok_or("--heuristic needs a value")?;
+                o.heuristic = match v.as_str() {
+                    "chaitin" | "old" => Heuristic::ChaitinPessimistic,
+                    "briggs" | "new" | "optimistic" => Heuristic::BriggsOptimistic,
+                    other => return Err(format!("unknown heuristic `{other}`")),
+                };
+            }
+            "--int-regs" => {
+                let v = it.next().ok_or("--int-regs needs a value")?;
+                o.int_regs = v.parse().map_err(|_| format!("bad --int-regs `{v}`"))?;
+            }
+            "--float-regs" => {
+                let v = it.next().ok_or("--float-regs needs a value")?;
+                o.float_regs = v.parse().map_err(|_| format!("bad --float-regs `{v}`"))?;
+            }
+            "--routine" => {
+                o.routine = Some(it.next().ok_or("--routine needs a value")?.clone());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+impl Options {
+    fn target(&self) -> Target {
+        Target::custom("cli", self.int_regs, self.float_regs)
+    }
+
+    fn load(&self) -> Result<optimist::ir::Module, String> {
+        let path = self.positional.first().ok_or("missing FILE.ft/.ir argument")?;
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        // `.ir` files hold the textual IR (e.g. an `optimist compile` dump);
+        // everything else is FT source.
+        let mut module = if path.ends_with(".ir") {
+            optimist::ir::parse_module(&source).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            optimist::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?
+        };
+        if self.optimize {
+            optimist::opt::optimize_module(&mut module);
+        }
+        optimist::ir::verify_module(&module).map_err(|e| e.to_string())?;
+        Ok(module)
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or("usage: optimist <compile|allocate|run|compare> FILE.ft …")?;
+    match cmd.as_str() {
+        "compile" => cmd_compile(rest),
+        "allocate" => cmd_allocate(rest),
+        "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "graph" => cmd_graph(rest),
+        "asm" => cmd_asm(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// `optimist asm FILE.ft [--routine NAME] [options]` — print the allocated
+/// code as an assembly-style listing with physical registers.
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    let module = o.load()?;
+    let mut cfg = AllocatorConfig::briggs(o.target());
+    cfg.heuristic = o.heuristic;
+    cfg.rematerialize = o.rematerialize;
+    cfg.coalesce = o.coalesce;
+    for f in module.functions() {
+        if let Some(name) = &o.routine {
+            if f.name() != name {
+                continue;
+            }
+        }
+        let a = allocate(f, &cfg).map_err(|e| e.to_string())?;
+        println!("{}", a.listing());
+    }
+    Ok(())
+}
+
+/// `optimist graph FILE.ft --routine NAME [options]` — emit the routine's
+/// interference graph (post-allocation: colors and spills annotated) in
+/// Graphviz DOT form on stdout.
+fn cmd_graph(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    let module = o.load()?;
+    let name = o
+        .routine
+        .clone()
+        .or_else(|| module.functions().first().map(|f| f.name().to_string()))
+        .ok_or("empty module")?;
+    let f = module
+        .function(&name)
+        .ok_or_else(|| format!("no routine `{name}`"))?;
+    let mut cfg = AllocatorConfig::briggs(o.target());
+    cfg.heuristic = o.heuristic;
+    let alloc = allocate(f, &cfg).map_err(|e| e.to_string())?;
+
+    // Rebuild the final graph to render it with the assignment.
+    let func = &alloc.func;
+    let g = {
+        let cfg_ = optimist::analysis::Cfg::new(func);
+        let live = optimist::analysis::Liveness::new(func, &cfg_);
+        optimist::regalloc::build_graph(func, &cfg_, &live)
+    };
+    let dot = g.to_dot(
+        |v| func.vreg(optimist::ir::VReg::new(v)).name.clone(),
+        |v| Some(Some(alloc.assignment[v as usize].index)),
+    );
+    print!("{dot}");
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, false)?;
+    let module = o.load()?;
+    match &o.routine {
+        Some(name) => {
+            let f = module
+                .function(name)
+                .ok_or_else(|| format!("no routine `{name}`"))?;
+            println!("{f}");
+        }
+        None => println!("{module}"),
+    }
+    Ok(())
+}
+
+fn cmd_allocate(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    let module = o.load()?;
+    let mut cfg = AllocatorConfig::briggs(o.target());
+    cfg.heuristic = o.heuristic;
+    cfg.rematerialize = o.rematerialize;
+    cfg.coalesce = o.coalesce;
+    for f in module.functions() {
+        if let Some(name) = &o.routine {
+            if f.name() != name {
+                continue;
+            }
+        }
+        let a = allocate(f, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} live ranges {:>5}  spilled {:>4}  cost {:>10.0}  passes {}  coalesced {}",
+            f.name(),
+            a.stats.live_ranges,
+            a.stats.registers_spilled,
+            a.stats.spill_cost,
+            a.stats.passes,
+            a.stats.coalesced_copies,
+        );
+    }
+    Ok(())
+}
+
+fn parse_scalar(s: &str) -> Result<Scalar, String> {
+    if let Ok(v) = s.parse::<i64>() {
+        return Ok(Scalar::Int(v));
+    }
+    s.parse::<f64>()
+        .map(Scalar::Float)
+        .map_err(|_| format!("bad argument `{s}` (expected integer or float)"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    if o.positional.len() < 2 {
+        return Err("usage: optimist run FILE.ft ENTRY [ARG...]".into());
+    }
+    let module = o.load()?;
+    let entry = &o.positional[1];
+    let scalars: Vec<Scalar> = o.positional[2..]
+        .iter()
+        .map(|s| parse_scalar(s))
+        .collect::<Result<_, _>>()?;
+    let opts = ExecOptions::default();
+
+    let result = if o.run_virtual {
+        run_virtual(&module, entry, &scalars, &opts).map_err(|e| e.to_string())?
+    } else {
+        let mut cfg = AllocatorConfig::briggs(o.target());
+        cfg.heuristic = o.heuristic;
+        cfg.rematerialize = o.rematerialize;
+        cfg.coalesce = o.coalesce;
+        let allocs = optimist::allocate_module(&module, &cfg).map_err(|e| e.to_string())?;
+        let am = AllocatedModule::new(&module, &allocs, &cfg.target);
+        run_allocated(&am, entry, &scalars, &opts).map_err(|e| e.to_string())?
+    };
+
+    match result.ret {
+        Some(Scalar::Int(v)) => println!("result: {v}"),
+        Some(Scalar::Float(v)) => println!("result: {v}"),
+        None => println!("result: (none)"),
+    }
+    println!(
+        "cycles: {}   instructions: {}   loads: {}   stores: {}",
+        result.cycles, result.insts, result.loads, result.stores
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    let module = o.load()?;
+    let rows = optimist::compare_module(&module, &o.target()).map_err(|e| e.to_string())?;
+    println!(
+        "{:<12} {:>7} {:>6} | {:>5} {:>5} {:>5} | {:>10} {:>10} {:>5}",
+        "routine", "object", "ranges", "old", "new", "pct", "old cost", "new cost", "pct"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>7} {:>6} | {:>5} {:>5} {:>4.0}% | {:>10.0} {:>10.0} {:>4.0}%",
+            r.name,
+            r.object_size,
+            r.live_ranges,
+            r.old.registers_spilled,
+            r.new.registers_spilled,
+            r.spill_pct(),
+            r.old.spill_cost,
+            r.new.spill_cost,
+            r.cost_pct(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,310 @@
+//! Edge-case tests of the FT front end, beyond the per-module unit tests:
+//! constructs the corpus leans on, tricky interactions, and error paths.
+
+use optimist::prelude::*;
+
+fn run_fn(src: &str, entry: &str, args: &[Scalar]) -> Option<Scalar> {
+    let m = optimist::frontend::compile(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    optimist::ir::verify_module(&m).unwrap();
+    run_virtual(&m, entry, args, &ExecOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .ret
+}
+
+fn compile_err(src: &str) -> String {
+    optimist::frontend::compile(src)
+        .err()
+        .unwrap_or_else(|| panic!("expected a compile error:\n{src}"))
+        .to_string()
+}
+
+#[test]
+fn column_one_comment_vs_variable_named_c() {
+    // `C` in column 1 is a comment; an indented `C = …` is an assignment.
+    let r = run_fn(
+        "
+C this whole line is a comment
+      DOUBLE PRECISION FUNCTION GIVENS(X)
+      DOUBLE PRECISION X, C
+      C = X * 2.0D0
+      GIVENS = C
+      END
+",
+        "GIVENS",
+        &[Scalar::Float(3.0)],
+    );
+    assert_eq!(r, Some(Scalar::Float(6.0)));
+}
+
+#[test]
+fn goto_out_of_nested_loops() {
+    let r = run_fn(
+        "
+      INTEGER FUNCTION FINDIT(N)
+      INTEGER N, I, J, K
+      K = 0
+      DO 20 I = 1, N
+        DO 10 J = 1, N
+          K = K + 1
+          IF (K .GE. 7) GOTO 30
+   10   CONTINUE
+   20 CONTINUE
+   30 FINDIT = K
+      END
+",
+        "FINDIT",
+        &[Scalar::Int(100)],
+    );
+    assert_eq!(r, Some(Scalar::Int(7)));
+}
+
+#[test]
+fn shared_continue_label_terminating_nested_dos_is_rejected_gracefully() {
+    // Classic FORTRAN allows `DO 10 I…/DO 10 J…/10 CONTINUE`; FT requires
+    // distinct terminators and must say something sensible, not crash.
+    let src = "
+      SUBROUTINE S(N)
+      INTEGER N, I, J
+      DO 10 I = 1, N
+      DO 10 J = 1, N
+      X = X + 1.0
+   10 CONTINUE
+      END
+";
+    match optimist::frontend::compile(src) {
+        // Either outcome is acceptable: a clear error, or correct nesting.
+        Err(e) => assert!(!e.to_string().is_empty()),
+        Ok(m) => {
+            optimist::ir::verify_module(&m).unwrap();
+        }
+    }
+}
+
+#[test]
+fn integer_truncation_on_assignment() {
+    let r = run_fn(
+        "
+      INTEGER FUNCTION TRUNC(X)
+      DOUBLE PRECISION X
+      TRUNC = X
+      END
+",
+        "TRUNC",
+        &[Scalar::Float(-2.9)],
+    );
+    // FORTRAN truncates toward zero.
+    assert_eq!(r, Some(Scalar::Int(-2)));
+}
+
+#[test]
+fn deeply_parenthesized_expression() {
+    let r = run_fn(
+        "
+      DOUBLE PRECISION FUNCTION DEEP(X)
+      DOUBLE PRECISION X
+      DEEP = ((((((X + 1.0D0)))))*((2.0D0)))
+      END
+",
+        "DEEP",
+        &[Scalar::Float(4.0)],
+    );
+    assert_eq!(r, Some(Scalar::Float(10.0)));
+}
+
+#[test]
+fn unary_minus_binds_tighter_than_comparison() {
+    let r = run_fn(
+        "
+      INTEGER FUNCTION NEG(X)
+      DOUBLE PRECISION X
+      NEG = 0
+      IF (-X .LT. 0.0D0) NEG = 1
+      END
+",
+        "NEG",
+        &[Scalar::Float(5.0)],
+    );
+    assert_eq!(r, Some(Scalar::Int(1)));
+}
+
+#[test]
+fn do_loop_bounds_evaluated_once() {
+    // Changing N inside the loop must not change the trip count.
+    let r = run_fn(
+        "
+      INTEGER FUNCTION TRIPS(N)
+      INTEGER N, I, K
+      K = 0
+      DO 10 I = 1, N
+        K = K + 1
+        N = 1
+   10 CONTINUE
+      TRIPS = K
+      END
+",
+        "TRIPS",
+        &[Scalar::Int(5)],
+    );
+    assert_eq!(r, Some(Scalar::Int(5)));
+}
+
+#[test]
+fn elseif_chain_falls_through_correctly() {
+    let src = "
+      INTEGER FUNCTION BUCKET(X)
+      DOUBLE PRECISION X
+      IF (X .LT. 1.0D0) THEN
+        BUCKET = 1
+      ELSEIF (X .LT. 2.0D0) THEN
+        BUCKET = 2
+      ELSEIF (X .LT. 3.0D0) THEN
+        BUCKET = 3
+      ELSE
+        BUCKET = 4
+      ENDIF
+      END
+";
+    for (x, want) in [(0.5, 1), (1.5, 2), (2.5, 3), (99.0, 4)] {
+        assert_eq!(
+            run_fn(src, "BUCKET", &[Scalar::Float(x)]),
+            Some(Scalar::Int(want)),
+            "x={x}"
+        );
+    }
+}
+
+#[test]
+fn two_dim_param_with_expression_leading_dimension() {
+    let r = run_fn(
+        "
+      DOUBLE PRECISION FUNCTION PICK(A, LDA, I, J)
+      INTEGER LDA, I, J
+      DOUBLE PRECISION A(LDA, *)
+      PICK = A(I, J)
+      END
+      DOUBLE PRECISION FUNCTION DRV(K)
+      INTEGER K, I, J
+      DOUBLE PRECISION M(8, 8)
+      DO 20 J = 1, 8
+        DO 10 I = 1, 8
+          M(I, J) = FLOAT(10*I + J)
+   10   CONTINUE
+   20 CONTINUE
+      DRV = PICK(M, 8, K, K + 1)
+      END
+",
+        "DRV",
+        &[Scalar::Int(3)],
+    );
+    assert_eq!(r, Some(Scalar::Float(34.0)));
+}
+
+#[test]
+fn mod_negative_operands_match_fortran() {
+    // FORTRAN MOD takes the sign of the first argument.
+    let src = "
+      INTEGER FUNCTION M(A, B)
+      INTEGER A, B
+      M = MOD(A, B)
+      END
+";
+    assert_eq!(
+        run_fn(src, "M", &[Scalar::Int(-7), Scalar::Int(3)]),
+        Some(Scalar::Int(-1))
+    );
+    assert_eq!(
+        run_fn(src, "M", &[Scalar::Int(7), Scalar::Int(-3)]),
+        Some(Scalar::Int(1))
+    );
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let e = compile_err("SUBROUTINE S()\nX = 1.0\nY = @\nEND\n");
+    assert!(e.starts_with("line 3:"), "got: {e}");
+
+    let e = compile_err("SUBROUTINE S()\nGOTO 99\nEND\n");
+    assert!(e.contains("line 2"), "got: {e}");
+}
+
+#[test]
+fn recursion_is_caught_by_depth_limit() {
+    // Direct recursion is impossible in FT (a function's own name is its
+    // result variable, per FORTRAN 77), but mutual recursion parses; the
+    // simulator's depth limit must catch it.
+    let m = optimist::frontend::compile(
+        "
+      INTEGER FUNCTION PING(N)
+      INTEGER N
+      PING = PONG(N)
+      END
+      INTEGER FUNCTION PONG(N)
+      INTEGER N
+      PONG = PING(N)
+      END
+",
+    )
+    .unwrap();
+    let opts = ExecOptions {
+        max_depth: 32,
+        ..ExecOptions::default()
+    };
+    let e = run_virtual(&m, "PING", &[Scalar::Int(1)], &opts).unwrap_err();
+    assert!(matches!(e, optimist::sim::Trap::StackOverflow));
+}
+
+#[test]
+fn huge_frame_is_rejected_not_corrupted() {
+    let m = optimist::frontend::compile(
+        "
+      INTEGER FUNCTION BIG(N)
+      INTEGER N
+      DOUBLE PRECISION A(100000)
+      A(1) = 1.0D0
+      BIG = N
+      END
+",
+    )
+    .unwrap();
+    let opts = ExecOptions {
+        memory_words: 1 << 10, // far too small for the frame
+        ..ExecOptions::default()
+    };
+    let e = run_virtual(&m, "BIG", &[Scalar::Int(1)], &opts).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            optimist::sim::Trap::OutOfMemory | optimist::sim::Trap::OutOfBounds { .. }
+        ),
+        "got {e:?}"
+    );
+}
+
+#[test]
+fn zero_and_negative_trip_counts() {
+    let src = "
+      INTEGER FUNCTION TRIPS(LO, HI, ST)
+      INTEGER LO, HI, ST, I, K
+      K = 0
+      DO 10 I = LO, HI, ST
+        K = K + 1
+   10 CONTINUE
+      TRIPS = K
+      END
+";
+    assert_eq!(
+        run_fn(src, "TRIPS", &[Scalar::Int(5), Scalar::Int(1), Scalar::Int(1)]),
+        Some(Scalar::Int(0)),
+        "empty ascending loop"
+    );
+    assert_eq!(
+        run_fn(src, "TRIPS", &[Scalar::Int(1), Scalar::Int(5), Scalar::Int(-1)]),
+        Some(Scalar::Int(0)),
+        "empty descending loop"
+    );
+    assert_eq!(
+        run_fn(src, "TRIPS", &[Scalar::Int(10), Scalar::Int(2), Scalar::Int(-3)]),
+        Some(Scalar::Int(3)),
+        "10,7,4"
+    );
+}

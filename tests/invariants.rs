@@ -1,0 +1,127 @@
+//! Property-based tests of the paper's central invariants, over random
+//! interference graphs and random generated routines.
+
+use optimist::ir::RegClass;
+use optimist::machine::Target;
+use optimist::regalloc::{select, simplify, Heuristic, InterferenceGraph};
+use proptest::prelude::*;
+
+fn graph_from(n: usize, edges: &[(u32, u32)]) -> InterferenceGraph {
+    let mut g = InterferenceGraph::new(vec![RegClass::Int; n]);
+    for &(a, b) in edges {
+        g.add_edge(a % n as u32, b % n as u32);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// §2.3: "either we spill a subset of the live ranges that Chaitin
+    /// would spill or the same set" — checked per coloring attempt on the
+    /// same graph with the same costs.
+    #[test]
+    fn briggs_spills_subset_of_chaitin(
+        n in 1usize..50,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+        costs in proptest::collection::vec(0.1f64..1000.0, 50),
+        k in 2usize..8,
+    ) {
+        let g = graph_from(n, &edges);
+        let costs = &costs[..n];
+        let target = Target::custom("t", k, 8);
+
+        let old = simplify(&g, costs, &target, Heuristic::ChaitinPessimistic);
+        let new = simplify(&g, costs, &target, Heuristic::BriggsOptimistic);
+        let coloring = select(&g, &new.stack, &target);
+        prop_assert!(coloring.is_valid(&g));
+
+        let old_spills: std::collections::BTreeSet<u32> =
+            old.spill_marked.iter().copied().collect();
+        for v in coloring.uncolored() {
+            prop_assert!(
+                old_spills.contains(&v),
+                "optimistic spilled {v} which Chaitin kept (old = {old_spills:?})"
+            );
+        }
+    }
+
+    /// Chaitin's guarantee: the select phase never fails on what his
+    /// simplify phase pushed.
+    #[test]
+    fn chaitin_coloring_always_succeeds_on_stack(
+        n in 1usize..40,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300),
+        k in 2usize..6,
+    ) {
+        let g = graph_from(n, &edges);
+        let costs = vec![1.0; n];
+        let target = Target::custom("t", k, 8);
+        let old = simplify(&g, &costs, &target, Heuristic::ChaitinPessimistic);
+        let coloring = select(&g, &old.stack, &target);
+        prop_assert!(coloring.is_valid(&g));
+        for &v in &old.stack {
+            prop_assert!(
+                coloring.color[v as usize].is_some(),
+                "stacked node {v} failed to color"
+            );
+        }
+    }
+
+    /// Any coloring the optimistic select produces is a valid k-coloring of
+    /// the colored subgraph.
+    #[test]
+    fn optimistic_coloring_is_always_valid(
+        n in 1usize..40,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300),
+        k in 2usize..6,
+    ) {
+        let g = graph_from(n, &edges);
+        let costs = vec![1.0; n];
+        let target = Target::custom("t", k, 8);
+        let new = simplify(&g, &costs, &target, Heuristic::BriggsOptimistic);
+        let coloring = select(&g, &new.stack, &target);
+        prop_assert!(coloring.is_valid(&g));
+        for (v, c) in coloring.color.iter().enumerate() {
+            if let Some(c) = c {
+                prop_assert!((*c as usize) < target.regs(g.class(v as u32)));
+            }
+        }
+    }
+
+    /// Matula–Beck smallest-last never colors worse than first-fit in
+    /// arbitrary order... we assert the weaker, always-true property that
+    /// its greedy coloring uses at most max_degree + 1 colors.
+    #[test]
+    fn smallest_last_uses_at_most_maxdeg_plus_one_colors(
+        n in 1usize..40,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300),
+    ) {
+        let g = graph_from(n, &edges);
+        let order = optimist::regalloc::smallest_last_order(&g);
+        // Give it an enormous file so nothing is uncolorable.
+        let target = Target::custom("t", 256, 8);
+        let coloring = select(&g, &order, &target);
+        prop_assert!(coloring.is_complete());
+        let maxdeg = (0..n as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        for c in coloring.color.iter().flatten() {
+            prop_assert!((*c as usize) <= maxdeg);
+        }
+    }
+}
+
+/// The Figure-3 diamond, as a deterministic anchor for the proptests.
+#[test]
+fn figure3_diamond_end_to_end() {
+    let g = graph_from(4, &[(0, 1), (1, 3), (3, 2), (2, 0)]);
+    let costs = vec![1.0; 4];
+    let target = Target::custom("t", 2, 8);
+
+    let old = simplify(&g, &costs, &target, Heuristic::ChaitinPessimistic);
+    assert_eq!(old.spill_marked.len(), 1, "Chaitin gives up on the diamond");
+
+    let new = simplify(&g, &costs, &target, Heuristic::BriggsOptimistic);
+    let coloring = select(&g, &new.stack, &target);
+    assert!(coloring.is_complete(), "optimism 2-colors the diamond");
+    assert!(coloring.is_valid(&g));
+}

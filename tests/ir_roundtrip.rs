@@ -1,0 +1,63 @@
+//! IR text round-trip over the whole corpus: printing a module and parsing
+//! it back must produce a module that verifies, prints identically on the
+//! second trip, and computes the same results in the simulator.
+
+use optimist::ir::{parse_module, verify_module};
+use optimist::prelude::*;
+use optimist::workloads::{self, DriverArg};
+
+fn args_of(p: &workloads::Program) -> Vec<Scalar> {
+    p.smoke_args
+        .iter()
+        .map(|a| match a {
+            DriverArg::Int(v) => Scalar::Int(*v),
+            DriverArg::Float(v) => Scalar::Float(*v),
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_round_trips_through_text() {
+    let opts = ExecOptions::default();
+    for p in workloads::programs() {
+        let module = optimist::compile_optimized(&p.source).unwrap();
+        let text = module.to_string();
+        let parsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        verify_module(&parsed).unwrap_or_else(|e| panic!("{}: parsed module invalid: {e}", p.name));
+
+        // Printing is a fixed point after one round trip.
+        let text2 = parsed.to_string();
+        let parsed2 = parse_module(&text2).unwrap();
+        assert_eq!(text2, parsed2.to_string(), "{}: print not stable", p.name);
+
+        // Same observable behaviour.
+        let args = args_of(&p);
+        let a = run_virtual(&module, p.driver, &args, &opts).unwrap();
+        let b = run_virtual(&parsed, p.driver, &args, &opts)
+            .unwrap_or_else(|e| panic!("{}: parsed module trapped: {e}", p.name));
+        match (a.ret, b.ret) {
+            (Some(Scalar::Float(x)), Some(Scalar::Float(y))) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+            }
+            (x, y) => assert_eq!(x, y, "{}", p.name),
+        }
+        assert_eq!(a.insts, b.insts, "{}: instruction counts differ", p.name);
+    }
+}
+
+#[test]
+fn round_trip_survives_allocation() {
+    // Parse-back of the *allocated* (spill-code-bearing) SVD still runs.
+    let p = workloads::program("SVD").unwrap();
+    let module = optimist::compile_optimized(&p.source).unwrap();
+    let cfg = AllocatorConfig::briggs(Target::rt_pc());
+    let allocs = optimist::allocate_module(&module, &cfg).unwrap();
+
+    let svd = &allocs["SVD"];
+    let text = svd.func.to_string();
+    let parsed = optimist::ir::parse_function(&text).unwrap();
+    optimist::ir::verify_function(&parsed).unwrap();
+    assert_eq!(parsed.num_insts(), svd.func.num_insts());
+    assert_eq!(parsed.num_slots(), svd.func.num_slots());
+}

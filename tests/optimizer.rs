@@ -1,0 +1,126 @@
+//! Optimizer soundness across the corpus and fuzz routines: optimized code
+//! must compute bit-identical results to unoptimized code, and the
+//! optimizer must actually raise register pressure (longer live ranges) on
+//! the loop-heavy programs — the precondition for the paper's spill data.
+
+use optimist::opt::optimize_module;
+use optimist::prelude::*;
+use optimist::workloads::{self, generate_routine, DriverArg, GenConfig};
+
+fn args_of(p: &workloads::Program) -> Vec<Scalar> {
+    p.smoke_args
+        .iter()
+        .map(|a| match a {
+            DriverArg::Int(v) => Scalar::Int(*v),
+            DriverArg::Float(v) => Scalar::Float(*v),
+        })
+        .collect()
+}
+
+#[test]
+fn optimized_corpus_results_are_bit_identical() {
+    let opts = ExecOptions::default();
+    for p in workloads::programs() {
+        let plain = optimist::frontend::compile(&p.source).unwrap();
+        let mut optimized = plain.clone();
+        let stats = optimize_module(&mut optimized);
+        optimist::ir::verify_module(&optimized)
+            .unwrap_or_else(|e| panic!("{}: optimizer broke IR: {e}", p.name));
+        assert!(
+            stats.cse_replaced + stats.licm_hoisted + stats.dce_removed > 0,
+            "{}: optimizer found nothing at all (suspicious)",
+            p.name
+        );
+
+        let args = args_of(&p);
+        let a = run_virtual(&plain, p.driver, &args, &opts).unwrap();
+        let b = run_virtual(&optimized, p.driver, &args, &opts)
+            .unwrap_or_else(|e| panic!("{}: optimized run trapped: {e}", p.name));
+        match (a.ret, b.ret) {
+            (Some(Scalar::Float(x)), Some(Scalar::Float(y))) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}: results differ", p.name);
+            }
+            (x, y) => assert_eq!(x, y, "{}: results differ", p.name),
+        }
+        assert!(
+            b.insts <= a.insts,
+            "{}: optimization increased dynamic instructions ({} -> {})",
+            p.name,
+            a.insts,
+            b.insts
+        );
+    }
+}
+
+#[test]
+fn optimized_fuzz_results_are_identical() {
+    let opts = ExecOptions::default();
+    let cfg = GenConfig::default();
+    for seed in 300..340u64 {
+        let src = generate_routine("FUZZ", seed, &cfg);
+        let plain = optimist::frontend::compile(&src).unwrap();
+        let mut optimized = plain.clone();
+        optimize_module(&mut optimized);
+        optimist::ir::verify_module(&optimized)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let args = [Scalar::Int(5), Scalar::Int(3)];
+        let a = run_virtual(&plain, "FUZZ", &args, &opts).unwrap();
+        let b = run_virtual(&optimized, "FUZZ", &args, &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: optimized trapped {e}\n{src}"));
+        assert_eq!(a.ret, b.ret, "seed {seed}\n{src}");
+    }
+}
+
+#[test]
+fn optimization_survives_allocation_end_to_end() {
+    // optimize → allocate (both heuristics) → run: same checksums as the
+    // unoptimized virtual reference.
+    let opts = ExecOptions::default();
+    for p in workloads::programs() {
+        let plain = optimist::frontend::compile(&p.source).unwrap();
+        let args = args_of(&p);
+        let reference = run_virtual(&plain, p.driver, &args, &opts).unwrap();
+
+        let optimized = optimist::compile_optimized(&p.source).unwrap();
+        for cfg in [
+            AllocatorConfig::chaitin(Target::rt_pc()),
+            AllocatorConfig::briggs(Target::rt_pc()),
+        ] {
+            let allocs = optimist::allocate_module(&optimized, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let am = optimist::sim::AllocatedModule::new(&optimized, &allocs, &cfg.target);
+            let run = run_allocated(&am, p.driver, &args, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            match (reference.ret, run.ret) {
+                (Some(Scalar::Float(x)), Some(Scalar::Float(y))) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+                }
+                (x, y) => assert_eq!(x, y, "{}", p.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_raises_register_pressure_on_loopy_code() {
+    // LICM extends live ranges across loops; the loop-nest programs must
+    // show higher interference pressure after optimization. Use DMXPY: its
+    // sixteen hoistable X(J-k) addresses are the paper's §3.1 story.
+    let p = workloads::program("LINPACK").unwrap();
+    let plain = optimist::frontend::compile(&p.source).unwrap();
+    let optimized = optimist::compile_optimized(&p.source).unwrap();
+
+    let pressure = |m: &optimist::ir::Module| {
+        let mut f = m.function("DMXPY").unwrap().clone();
+        optimist::analysis::renumber(&mut f);
+        let cfg = optimist::analysis::Cfg::new(&f);
+        let live = optimist::analysis::Liveness::new(&f, &cfg);
+        live.max_pressure(&f, optimist::ir::RegClass::Int)
+    };
+    let before = pressure(&plain);
+    let after = pressure(&optimized);
+    assert!(
+        after > before,
+        "optimization should raise DMXPY's int pressure ({before} -> {after})"
+    );
+}

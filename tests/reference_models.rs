@@ -1,0 +1,231 @@
+//! Reference-model tests: the production analyses checked against small,
+//! obviously-correct reimplementations on randomly generated programs.
+//!
+//! * liveness   vs. a naive per-program-point backward walk to fixpoint;
+//! * dominators vs. the set definition (v dominates b iff removing v
+//!   disconnects b from the entry);
+//! * interference graph vs. a naive "simultaneously live or defined at the
+//!   same point" pairwise check.
+
+use optimist::analysis::{renumber, Cfg, Dominators, Liveness};
+use optimist::ir::{BlockId, Function, Inst, VReg};
+use optimist::regalloc::build_graph;
+use optimist::workloads::{generate_routine, GenConfig};
+use std::collections::HashSet;
+
+fn test_functions() -> Vec<Function> {
+    let cfg = GenConfig::default();
+    let mut out = Vec::new();
+    for seed in 500..520u64 {
+        let src = generate_routine("REF", seed, &cfg);
+        let m = optimist::frontend::compile(&src).expect("generated code compiles");
+        let mut f = m.function("REF").expect("exists").clone();
+        renumber(&mut f);
+        out.push(f);
+    }
+    // Plus a few real routines for structural variety.
+    for (prog, name) in [("LINPACK", "DGEFA"), ("SVD", "SVD"), ("EULER", "DIFFR")] {
+        let p = optimist::workloads::program(prog).unwrap();
+        let m = optimist::frontend::compile(&p.source).unwrap();
+        let mut f = m.function(name).unwrap().clone();
+        renumber(&mut f);
+        out.push(f);
+    }
+    out
+}
+
+/// Naive liveness: iterate per-instruction live sets to fixpoint.
+struct NaiveLiveness {
+    /// live_before[block][inst_index]
+    live_before: Vec<Vec<HashSet<u32>>>,
+    live_out: Vec<HashSet<u32>>,
+}
+
+fn naive_liveness(f: &Function, cfg: &Cfg) -> NaiveLiveness {
+    let nb = f.num_blocks();
+    let mut live_before: Vec<Vec<HashSet<u32>>> = (0..nb)
+        .map(|b| vec![HashSet::new(); f.block(BlockId::new(b as u32)).insts.len()])
+        .collect();
+    let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in f.block_ids() {
+            let bi = b.index();
+            // live_out = union of successors' live_before[0]
+            let mut out: HashSet<u32> = HashSet::new();
+            for &s in cfg.succs(b) {
+                if let Some(first) = live_before[s.index()].first() {
+                    out.extend(first.iter().copied());
+                }
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out.clone();
+                changed = true;
+            }
+            let insts = &f.block(b).insts;
+            let mut live = out;
+            for (i, inst) in insts.iter().enumerate().rev() {
+                if let Some(d) = inst.def() {
+                    live.remove(&(d.index() as u32));
+                }
+                for u in inst.uses() {
+                    live.insert(u.index() as u32);
+                }
+                if live != live_before[bi][i] {
+                    live_before[bi][i] = live.clone();
+                    changed = true;
+                }
+            }
+        }
+    }
+    NaiveLiveness {
+        live_before,
+        live_out,
+    }
+}
+
+#[test]
+fn liveness_matches_naive_model() {
+    for f in test_functions() {
+        let cfg = Cfg::new(&f);
+        let fast = Liveness::new(&f, &cfg);
+        let naive = naive_liveness(&f, &cfg);
+        for b in f.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let bi = b.index();
+            let fast_out: HashSet<u32> = fast.live_out(b).iter().map(|v| v as u32).collect();
+            assert_eq!(fast_out, naive.live_out[bi], "{}: live_out of {b}", f.name());
+            let fast_in: HashSet<u32> = fast.live_in(b).iter().map(|v| v as u32).collect();
+            let naive_in = naive.live_before[bi]
+                .first()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(fast_in, naive_in, "{}: live_in of {b}", f.name());
+        }
+    }
+}
+
+/// Naive dominance: a dominates b iff every path entry→b passes through a,
+/// i.e. b is unreachable when a is removed (a ≠ entry, a ≠ b).
+fn naive_dominates(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    if !cfg.is_reachable(a) || !cfg.is_reachable(b) {
+        return false;
+    }
+    if a == f.entry() {
+        return true;
+    }
+    // BFS from entry avoiding a.
+    let mut seen = vec![false; f.num_blocks()];
+    let mut work = vec![f.entry()];
+    seen[f.entry().index()] = true;
+    while let Some(x) = work.pop() {
+        if x == a {
+            continue;
+        }
+        for &s in cfg.succs(x) {
+            if s != a && !seen[s.index()] {
+                seen[s.index()] = true;
+                work.push(s);
+            }
+        }
+    }
+    !seen[b.index()]
+}
+
+#[test]
+fn dominators_match_set_definition() {
+    for f in test_functions() {
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        // Quadratic check is fine at these sizes, but cap huge functions.
+        if blocks.len() > 120 {
+            continue;
+        }
+        for &a in &blocks {
+            for &b in &blocks {
+                let fast = dom.dominates(a, b);
+                let slow = cfg.is_reachable(a)
+                    && cfg.is_reachable(b)
+                    && naive_dominates(&f, &cfg, a, b);
+                assert_eq!(fast, slow, "{}: dominates({a}, {b})", f.name());
+            }
+        }
+    }
+}
+
+/// Naive interference: walk every block with explicit live sets and record
+/// def-vs-live conflicts, with the copy exception.
+fn naive_interference(f: &Function, cfg: &Cfg, live: &NaiveLiveness) -> HashSet<(u32, u32)> {
+    let mut edges = HashSet::new();
+    let mut add = |a: u32, b: u32| {
+        if a != b
+            && f.class_of(VReg::new(a)) == f.class_of(VReg::new(b))
+        {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    };
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let bi = b.index();
+        let insts = &f.block(b).insts;
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                // live after = live_before of next inst, or block live_out.
+                let after: &HashSet<u32> = if i + 1 < insts.len() {
+                    &live.live_before[bi][i + 1]
+                } else {
+                    &live.live_out[bi]
+                };
+                let skip = match inst {
+                    Inst::Copy { src, .. } => Some(src.index() as u32),
+                    _ => None,
+                };
+                for &l in after {
+                    if Some(l) != skip && l != d.index() as u32 {
+                        add(d.index() as u32, l);
+                    }
+                }
+            }
+        }
+    }
+    // Entry: everything live-in is simultaneously defined.
+    let entry_in = live.live_before[f.entry().index()]
+        .first()
+        .cloned()
+        .unwrap_or_default();
+    let entry_vec: Vec<u32> = entry_in.into_iter().collect();
+    for (i, &x) in entry_vec.iter().enumerate() {
+        for &y in &entry_vec[i + 1..] {
+            add(x, y);
+        }
+    }
+    edges
+}
+
+#[test]
+fn interference_graph_matches_naive_model() {
+    for f in test_functions() {
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let graph = build_graph(&f, &cfg, &live);
+        let naive = naive_interference(&f, &cfg, &naive_liveness(&f, &cfg));
+
+        let mut fast = HashSet::new();
+        for v in 0..graph.num_nodes() as u32 {
+            for &m in graph.neighbors(v) {
+                fast.insert((v.min(m), v.max(m)));
+            }
+        }
+        assert_eq!(fast, naive, "{}: interference edge sets differ", f.name());
+    }
+}

@@ -57,9 +57,7 @@ impl ReachingDefs {
         // defs in program order.
         let mut sites: Vec<DefSite> = Vec::new();
         let mut sites_of_vreg: Vec<Vec<u32>> = vec![Vec::new(); nv];
-        let push = |sites: &mut Vec<DefSite>,
-                        sites_of_vreg: &mut Vec<Vec<u32>>,
-                        site: DefSite| {
+        let push = |sites: &mut Vec<DefSite>, sites_of_vreg: &mut Vec<Vec<u32>>, site: DefSite| {
             let id = sites.len() as u32;
             sites_of_vreg[site.vreg.index()].push(id);
             sites.push(site);
@@ -104,7 +102,10 @@ impl ReachingDefs {
                         &mut sites_of_vreg,
                         DefSite {
                             vreg: d,
-                            kind: DefSiteKind::Inst { block: bid, inst: i },
+                            kind: DefSiteKind::Inst {
+                                block: bid,
+                                inst: i,
+                            },
                         },
                     );
                 }

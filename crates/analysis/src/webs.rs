@@ -90,7 +90,7 @@ pub fn renumber(func: &mut Function) -> RenumberStats {
     let mut uses = Vec::new();
     for &b in cfg.rpo() {
         let mut local_def: HashMap<u32, u32> = HashMap::new(); // vreg -> site
-        // Group reach-in sites by vreg lazily.
+                                                               // Group reach-in sites by vreg lazily.
         let mut reach_by_vreg: HashMap<u32, Vec<u32>> = HashMap::new();
         for id in rd.reach_in(b).iter() {
             reach_by_vreg
@@ -128,9 +128,9 @@ pub fn renumber(func: &mut Function) -> RenumberStats {
     let mut web_vreg: HashMap<usize, VReg> = HashMap::new();
     let site_owner: Vec<VReg> = sites.iter().map(|s| s.vreg).collect();
     let vreg_for_site = move |uf: &mut UnionFind,
-                                  new_table: &mut Vec<VRegData>,
-                                  web_vreg: &mut HashMap<usize, VReg>,
-                                  site: usize|
+                              new_table: &mut Vec<VRegData>,
+                              web_vreg: &mut HashMap<usize, VReg>,
+                              site: usize|
           -> VReg {
         let root = uf.find(site);
         *web_vreg.entry(root).or_insert_with(|| {
@@ -188,7 +188,9 @@ pub fn renumber(func: &mut Function) -> RenumberStats {
             if let Some(site) = def_site {
                 let old_vreg = tmp.def().expect("def site implies def");
                 local_def.insert(old_vreg.index() as u32, site);
-                tmp.map_def(|_| vreg_for_site(&mut uf, &mut new_table, &mut web_vreg, site as usize));
+                tmp.map_def(|_| {
+                    vreg_for_site(&mut uf, &mut new_table, &mut web_vreg, site as usize)
+                });
             }
             *inst = tmp;
         }

@@ -1,0 +1,60 @@
+//! Module-level allocation throughput: the [`Pipeline`] worker pool at
+//! 1/2/4/8 threads, with the incremental graph rebuild on and off.
+//!
+//! This is the scaling experiment behind the parallel-pipeline PR: with
+//! `threads = 1` the pipeline is the old sequential loop, so the 1-thread
+//! row is the baseline every other row is compared against. On a
+//! single-core container the >1-thread rows measure scheduling overhead
+//! only — read them on multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimist_ir::Module;
+use optimist_machine::Target;
+use optimist_regalloc::Pipeline;
+use std::num::NonZeroUsize;
+
+/// One module holding every routine of the paper's corpus programs — the
+/// realistic "compile a whole program" workload the pipeline exists for.
+fn corpus_module() -> Module {
+    let mut out = Module::new();
+    for prog in ["LINPACK", "SVD", "SIMPLEX", "EULER", "CEDETA"] {
+        let p = optimist_workloads::program(prog).expect("program exists");
+        let m = optimist::compile_optimized(&p.source).expect("compiles");
+        for f in m.functions() {
+            // Program corpora reuse routine names (e.g. MAIN); qualify them.
+            let mut f = f.clone();
+            f.set_name(format!("{prog}.{}", f.name()));
+            out.add_function(f);
+        }
+    }
+    out
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let module = corpus_module();
+    let mut group = c.benchmark_group("pipeline");
+    for incremental in [false, true] {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = optimist_regalloc::AllocatorConfig::briggs(Target::rt_pc())
+                .with_threads(NonZeroUsize::new(threads).expect("non-zero"))
+                .with_incremental(incremental);
+            let pipeline = Pipeline::new(cfg);
+            let label = if incremental { "incremental" } else { "full" };
+            group.bench_function(BenchmarkId::new(label, format!("{threads}t")), |b| {
+                b.iter(|| {
+                    let out = pipeline.allocate_module(&module);
+                    assert!(out.is_ok());
+                    out
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

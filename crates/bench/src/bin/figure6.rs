@@ -84,7 +84,5 @@ fn main() {
             pct_cell(old_cycles as f64, new_cycles as f64),
         );
     }
-    println!(
-        "\n(RT/PC conventions prevented the paper from going below 8 registers; same here.)"
-    );
+    println!("\n(RT/PC conventions prevented the paper from going below 8 registers; same here.)");
 }

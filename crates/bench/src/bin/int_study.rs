@@ -40,12 +40,7 @@ fn main() {
                 let allocs: HashMap<_, _> = module
                     .functions()
                     .iter()
-                    .map(|f| {
-                        (
-                            f.name().to_string(),
-                            allocate(f, &cfg).expect("allocates"),
-                        )
-                    })
+                    .map(|f| (f.name().to_string(), allocate(f, &cfg).expect("allocates")))
                     .collect();
                 let spilled: usize = p
                     .routines

@@ -97,10 +97,9 @@ pub fn lex(source: &str) -> Result<Vec<Line>, CompileError> {
             }
         }
         let trimmed = text.trim_start();
-        if trimmed.is_empty()
-            && pending.is_none() {
-                continue;
-            }
+        if trimmed.is_empty() && pending.is_none() {
+            continue;
+        }
         let continued = trimmed.trim_end().ends_with('&');
         let mut content = trimmed.trim_end().to_string();
         if continued {

@@ -573,10 +573,9 @@ impl<'a> LowerUnit<'a> {
                             self.addr_to_vreg(addr)
                         }
                         _ => {
-                            return Err(self.err(
-                                line,
-                                format!("`{name}` expects an array argument"),
-                            ))
+                            return Err(
+                                self.err(line, format!("`{name}` expects an array argument"))
+                            )
                         }
                     };
                     regs.push(addr_reg);
@@ -743,7 +742,10 @@ impl<'a> LowerUnit<'a> {
             } else {
                 Err(CompileError::new(
                     line,
-                    format!("intrinsic `{name}` takes {n} argument(s), {} given", args.len()),
+                    format!(
+                        "intrinsic `{name}` takes {n} argument(s), {} given",
+                        args.len()
+                    ),
                 ))
             }
         };
@@ -792,7 +794,8 @@ impl<'a> LowerUnit<'a> {
                 if args.len() < 2 {
                     return Err(self.err(line, format!("`{name}` needs at least 2 arguments")));
                 }
-                let is_min = name.starts_with("MIN") || name.starts_with("AMIN") || name.starts_with("DMIN");
+                let is_min =
+                    name.starts_with("MIN") || name.starts_with("AMIN") || name.starts_with("DMIN");
                 let forced = match name {
                     "MIN0" | "MAX0" => Some(Type::Integer),
                     "AMIN1" | "AMAX1" | "DMIN1" | "DMAX1" => Some(Type::Real),
@@ -947,9 +950,15 @@ END
 ");
         let f = m.function("F").unwrap();
         // Constant subscripts become frame-relative addressing: no MulI.
-        let has_mul = f
-            .insts()
-            .any(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::MulI, .. }));
+        let has_mul = f.insts().any(|(_, _, i)| {
+            matches!(
+                i,
+                optimist_ir::Inst::Bin {
+                    op: optimist_ir::BinOp::MulI,
+                    ..
+                }
+            )
+        });
         assert!(!has_mul, "constant index should fold:\n{f}");
     }
 
@@ -1036,9 +1045,15 @@ SUBROUTINE F(I, J)
 END
 ");
         let f = m.function("F").unwrap();
-        let has_idiv = f
-            .insts()
-            .any(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::DivI, .. }));
+        let has_idiv = f.insts().any(|(_, _, i)| {
+            matches!(
+                i,
+                optimist_ir::Inst::Bin {
+                    op: optimist_ir::BinOp::DivI,
+                    ..
+                }
+            )
+        });
         assert!(has_idiv);
     }
 
@@ -1052,7 +1067,13 @@ END
 ");
         let f = m.function("F").unwrap();
         let has_cvt = f.insts().any(|(_, _, i)| {
-            matches!(i, optimist_ir::Inst::Un { op: optimist_ir::UnOp::IntToFloat, .. })
+            matches!(
+                i,
+                optimist_ir::Inst::Un {
+                    op: optimist_ir::UnOp::IntToFloat,
+                    ..
+                }
+            )
         });
         assert!(has_cvt);
     }
@@ -1068,7 +1089,15 @@ END
         let f = m.function("F").unwrap();
         let muls = f
             .insts()
-            .filter(|(_, _, i)| matches!(i, optimist_ir::Inst::Bin { op: optimist_ir::BinOp::MulF, .. }))
+            .filter(|(_, _, i)| {
+                matches!(
+                    i,
+                    optimist_ir::Inst::Bin {
+                        op: optimist_ir::BinOp::MulF,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 2);
     }

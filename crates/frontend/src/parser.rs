@@ -96,7 +96,10 @@ impl<'a> Cur<'a> {
         if self.at_end() {
             Ok(())
         } else {
-            Err(self.err(format!("unexpected trailing tokens: {:?}", &self.toks[self.i..])))
+            Err(self.err(format!(
+                "unexpected trailing tokens: {:?}",
+                &self.toks[self.i..]
+            )))
         }
     }
 
@@ -161,7 +164,8 @@ impl Parser {
                 "DOUBLE" => Some(Type::Real),
                 _ => None,
             };
-            if ty.is_some() && matches!(cur.peek2(), Some(Tok::Ident(w2)) if w2 == "FUNCTION" || w2 == "PRECISION")
+            if ty.is_some()
+                && matches!(cur.peek2(), Some(Tok::Ident(w2)) if w2 == "FUNCTION" || w2 == "PRECISION")
             {
                 cur.next();
                 cur.eat_ident("PRECISION");
@@ -383,8 +387,8 @@ impl Parser {
         };
         // `IF = …`, `DO = …` etc. are assignments to oddly-named variables;
         // only treat keywords as keywords when not followed by `=`.
-        let is_assign = matches!(cur.peek2(), Some(Tok::Assign))
-            && !matches!(cur.peek2(), Some(Tok::LParen));
+        let is_assign =
+            matches!(cur.peek2(), Some(Tok::Assign)) && !matches!(cur.peek2(), Some(Tok::LParen));
         match head.as_str() {
             "IF" if !is_assign => {
                 cur.next();
@@ -413,9 +417,7 @@ impl Parser {
                                 Some(Tok::Comma) => continue,
                                 Some(Tok::RParen) => break,
                                 other => {
-                                    return Err(
-                                        cur.err(format!("expected , or ), found {other:?}"))
-                                    )
+                                    return Err(cur.err(format!("expected , or ), found {other:?}")))
                                 }
                             }
                         }
@@ -816,7 +818,9 @@ mod tests {
                 assert_eq!(*target, LValue::Var("X".into()));
                 // -(A*B) + C/(D**2)
                 match value {
-                    Expr::Bin { op: BinKind::Add, .. } => {}
+                    Expr::Bin {
+                        op: BinKind::Add, ..
+                    } => {}
                     other => panic!("wrong tree: {other:?}"),
                 }
             }
@@ -828,7 +832,9 @@ mod tests {
     fn do_enddo_loop() {
         let u = parse_one("SUBROUTINE F(N)\nINTEGER N,I\nDO I = 1, N\n X = X + 1.0\nENDDO\nEND\n");
         match &u.body[0].kind {
-            StmtKind::Do { var, step, body, .. } => {
+            StmtKind::Do {
+                var, step, body, ..
+            } => {
                 assert_eq!(var, "I");
                 assert!(step.is_none());
                 assert_eq!(body.len(), 1);

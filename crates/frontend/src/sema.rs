@@ -184,10 +184,7 @@ fn analyze_declarations(unit: &Unit) -> Result<UnitInfo, CompileError> {
                             if !is_param && const_int(e).is_none() {
                                 return Err(CompileError::new(
                                     d.line,
-                                    format!(
-                                        "local array `{}` needs constant bounds",
-                                        d.name
-                                    ),
+                                    format!("local array `{}` needs constant bounds", d.name),
                                 ));
                             }
                         }
@@ -303,10 +300,13 @@ impl BodyChecker<'_> {
 
     /// Register an implicit scalar if the name is unknown.
     fn touch_scalar(&mut self, name: &str) {
-        self.info.symbols.entry(name.to_string()).or_insert_with(|| Symbol {
-            ty: implicit_type(name),
-            kind: SymKind::Scalar,
-        });
+        self.info
+            .symbols
+            .entry(name.to_string())
+            .or_insert_with(|| Symbol {
+                ty: implicit_type(name),
+                kind: SymKind::Scalar,
+            });
     }
 
     fn check_expr(&mut self, e: &Expr, line: u32) -> Result<(), CompileError> {
@@ -315,10 +315,9 @@ impl BodyChecker<'_> {
             Expr::Var(name) => {
                 if let Some(sym) = self.info.symbols.get(name) {
                     if matches!(sym.kind, SymKind::Array { .. }) {
-                        return Err(self.err(
-                            line,
-                            format!("array `{name}` used without subscripts"),
-                        ));
+                        return Err(
+                            self.err(line, format!("array `{name}` used without subscripts"))
+                        );
                     }
                 } else {
                     self.touch_scalar(name);
@@ -332,9 +331,7 @@ impl BodyChecker<'_> {
                         ..
                     }) => Some(dims.len()),
                     Some(_) => {
-                        return Err(
-                            self.err(line, format!("`{name}` is not an array or function"))
-                        )
+                        return Err(self.err(line, format!("`{name}` is not an array or function")))
                     }
                     None => None,
                 };
@@ -370,10 +367,9 @@ impl BodyChecker<'_> {
                             Some(sig) if sig.is_function => {
                                 self.check_call_args(name, &sig, args, line)
                             }
-                            Some(_) => Err(self.err(
-                                line,
-                                format!("`{name}` is a SUBROUTINE; use CALL"),
-                            )),
+                            Some(_) => {
+                                Err(self.err(line, format!("`{name}` is a SUBROUTINE; use CALL")))
+                            }
                             None => Err(self.err(line, format!("unknown function `{name}`"))),
                         }
                     }
@@ -504,7 +500,10 @@ impl BodyChecker<'_> {
                 self.touch_scalar(var);
                 let sym = &self.info.symbols[var];
                 if sym.ty != Type::Integer || !matches!(sym.kind, SymKind::Scalar) {
-                    return Err(self.err(s.line, format!("DO variable `{var}` must be an integer scalar")));
+                    return Err(self.err(
+                        s.line,
+                        format!("DO variable `{var}` must be an integer scalar"),
+                    ));
                 }
                 self.check_expr(from, s.line)?;
                 self.check_expr(to, s.line)?;
@@ -520,13 +519,13 @@ impl BodyChecker<'_> {
                     Err(self.err(s.line, format!("GOTO to undefined label {l}")))
                 }
             }
-            StmtKind::Call { name, args } => {
-                match self.sigs.get(name).cloned() {
-                    Some(sig) if !sig.is_function => self.check_call_args(name, &sig, args, s.line),
-                    Some(_) => Err(self.err(s.line, format!("`{name}` is a FUNCTION, not a SUBROUTINE"))),
-                    None => Err(self.err(s.line, format!("unknown subroutine `{name}`"))),
+            StmtKind::Call { name, args } => match self.sigs.get(name).cloned() {
+                Some(sig) if !sig.is_function => self.check_call_args(name, &sig, args, s.line),
+                Some(_) => {
+                    Err(self.err(s.line, format!("`{name}` is a FUNCTION, not a SUBROUTINE")))
                 }
-            }
+                None => Err(self.err(s.line, format!("unknown subroutine `{name}`"))),
+            },
             StmtKind::Return | StmtKind::Continue => Ok(()),
         }
     }
@@ -594,10 +593,8 @@ mod tests {
 
     #[test]
     fn array_param_needs_array_argument() {
-        let e = analyze_src(
-            "SUBROUTINE S(A)\nREAL A(*)\nEND\nSUBROUTINE F()\nCALL S(1.0)\nEND\n",
-        )
-        .unwrap_err();
+        let e = analyze_src("SUBROUTINE S(A)\nREAL A(*)\nEND\nSUBROUTINE F()\nCALL S(1.0)\nEND\n")
+            .unwrap_err();
         assert!(e.message.contains("array"));
     }
 

@@ -117,6 +117,11 @@ impl Function {
         &self.name
     }
 
+    /// Rename the function (e.g. to qualify it when merging modules).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Parameter registers, in order. Implicitly defined at entry.
     pub fn params(&self) -> &[VReg] {
         &self.params
@@ -239,7 +244,10 @@ impl Function {
     /// Iterate over all instructions with their locations.
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
         self.blocks().flat_map(|(bid, b)| {
-            b.insts.iter().enumerate().map(move |(i, inst)| (bid, i, inst))
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (bid, i, inst))
         })
     }
 

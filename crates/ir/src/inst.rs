@@ -447,9 +447,7 @@ impl Inst {
             | Inst::FrameAddr { dst, .. }
             | Inst::GlobalAddr { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } => *dst,
-            Inst::Store { .. } | Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. } => {
-                None
-            }
+            Inst::Store { .. } | Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. } => None,
         }
     }
 
@@ -552,7 +550,10 @@ impl Inst {
 
     /// True if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. }
+        )
     }
 
     /// True if this instruction touches memory.

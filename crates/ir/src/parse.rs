@@ -91,13 +91,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
 /// Returns a [`ParseError`] with the offending line.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let m = parse_module(text)?;
-    m.functions()
-        .first()
-        .cloned()
-        .ok_or(ParseError {
-            line: 0,
-            message: "no function found".into(),
-        })
+    m.functions().first().cloned().ok_or(ParseError {
+        line: 0,
+        message: "no function found".into(),
+    })
 }
 
 fn parse_global(rest: &str, ln: u32) -> Result<(String, u64), ParseError> {
@@ -113,13 +110,10 @@ fn parse_global(rest: &str, ln: u32) -> Result<(String, u64), ParseError> {
             line: ln,
             message: "expected `[N bytes]`".into(),
         })?;
-    let size: u64 = inner
-        .trim()
-        .parse()
-        .map_err(|_| ParseError {
-            line: ln,
-            message: format!("bad global size `{inner}`"),
-        })?;
+    let size: u64 = inner.trim().parse().map_err(|_| ParseError {
+        line: ln,
+        message: format!("bad global size `{inner}`"),
+    })?;
     Ok((name.trim().to_string(), size))
 }
 
@@ -141,12 +135,10 @@ fn parse_function_lines(
 ) -> Result<(Function, usize, Constraints), ParseError> {
     let (ln0, header) = lines[0];
     let header = header.trim();
-    let rest = header
-        .strip_prefix("func ")
-        .ok_or(ParseError {
-            line: ln0,
-            message: format!("expected `func`, found `{header}`"),
-        })?;
+    let rest = header.strip_prefix("func ").ok_or(ParseError {
+        line: ln0,
+        message: format!("expected `func`, found `{header}`"),
+    })?;
     let open = rest.find('(').ok_or(ParseError {
         line: ln0,
         message: "missing `(` in func header".into(),
@@ -564,12 +556,10 @@ fn parse_call(rest: &str, ln: u32) -> Result<(String, Vec<VReg>), ParseError> {
         message: "call needs `name(args)`".into(),
     })?;
     let callee = rest[..open].trim().to_string();
-    let inner = rest[open + 1..]
-        .strip_suffix(')')
-        .ok_or(ParseError {
-            line: ln,
-            message: "call missing `)`".into(),
-        })?;
+    let inner = rest[open + 1..].strip_suffix(')').ok_or(ParseError {
+        line: ln,
+        message: "call missing `)`".into(),
+    })?;
     let args = if inner.trim().is_empty() {
         Vec::new()
     } else {
@@ -583,7 +573,6 @@ fn parse_call(rest: &str, ln: u32) -> Result<(String, Vec<VReg>), ParseError> {
 
 /// Propagate class constraints module-wide and rewrite the vreg tables.
 fn resolve_classes(module: &mut Module, pending: &HashMap<String, Constraints>) {
-
     // Per-function class vectors, seeded by parameters (already typed).
     let mut classes: HashMap<String, Vec<Option<RegClass>>> = HashMap::new();
     for f in module.functions() {
@@ -600,12 +589,18 @@ fn resolve_classes(module: &mut Module, pending: &HashMap<String, Constraints>) 
     }
 
     // Fixpoint over copies, rets, and call edges.
-    let names: Vec<String> = module.functions().iter().map(|f| f.name().to_string()).collect();
+    let names: Vec<String> = module
+        .functions()
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
     let mut changed = true;
     while changed {
         changed = false;
         for name in &names {
-            let Some(cons) = pending.get(name) else { continue };
+            let Some(cons) = pending.get(name) else {
+                continue;
+            };
             let f = module.function(name).expect("exists");
             // copies
             let mut local = classes.remove(name).expect("exists");
@@ -690,7 +685,10 @@ mod tests {
         assert_eq!(parsed.num_insts(), f.num_insts());
         assert_eq!(parsed.num_blocks(), f.num_blocks());
         // Second round trip is exact (names are canonical after one trip).
-        assert_eq!(parsed.to_string(), parse_function(&parsed.to_string()).unwrap().to_string());
+        assert_eq!(
+            parsed.to_string(),
+            parse_function(&parsed.to_string()).unwrap().to_string()
+        );
     }
 
     #[test]
@@ -717,7 +715,13 @@ mod tests {
         b.frame_addr(base, slot);
         let addr = b.binv(BinOp::AddI, base, off);
         let x = b.new_vreg(RegClass::Float, "x");
-        b.load(x, Addr::Reg { base: addr, offset: 0 });
+        b.load(
+            x,
+            Addr::Reg {
+                base: addr,
+                offset: 0,
+            },
+        );
         b.bin(BinOp::AddF, acc, acc, x);
         let one = b.int(1);
         b.bin(BinOp::AddI, i, i, one);
@@ -778,7 +782,10 @@ mod tests {
         // Negative frame offsets are unusual but representable.
         let f = parse_function(text).unwrap();
         match &f.block(BlockId::new(0)).insts[0] {
-            Inst::Load { addr: Addr::Frame { offset, .. }, .. } => assert_eq!(*offset, -8),
+            Inst::Load {
+                addr: Addr::Frame { offset, .. },
+                ..
+            } => assert_eq!(*offset, -8),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -787,7 +794,9 @@ mod tests {
     fn spill_slot_annotation_round_trips() {
         let mut f = Function::new("f");
         f.new_slot(8, "spill.x", true);
-        f.block_mut(BlockId::new(0)).insts.push(Inst::Ret { value: None });
+        f.block_mut(BlockId::new(0))
+            .insts
+            .push(Inst::Ret { value: None });
         let text = f.to_string();
         assert!(text.contains("(spill)"));
         let parsed = parse_function(&text).unwrap();

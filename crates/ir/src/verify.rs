@@ -17,7 +17,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ir verification failed in `{}`: {}", self.function, self.message)
+        write!(
+            f,
+            "ir verification failed in `{}`: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -116,7 +120,9 @@ impl Checker<'_> {
                 }
                 if let Some(m) = self.module {
                     match m.function(callee) {
-                        None => return Err(self.err(format!("call to unknown function `{callee}`"))),
+                        None => {
+                            return Err(self.err(format!("call to unknown function `{callee}`")))
+                        }
                         Some(f) => {
                             if f.params().len() != args.len() {
                                 return Err(self.err(format!(
@@ -157,16 +163,14 @@ impl Checker<'_> {
                 self.check_block(*if_true)?;
                 self.check_block(*if_false)
             }
-            Inst::Ret { value } => {
-                match (value, self.func.ret_class()) {
-                    (Some(v), Some(rc)) => self.check_vreg(*v, Some(rc), "ret value"),
-                    (Some(_), None) => Err(self.err("ret with value in void function".into())),
-                    (None, Some(_)) => {
-                        Err(self.err("ret without value in value-returning function".into()))
-                    }
-                    (None, None) => Ok(()),
+            Inst::Ret { value } => match (value, self.func.ret_class()) {
+                (Some(v), Some(rc)) => self.check_vreg(*v, Some(rc), "ret value"),
+                (Some(_), None) => Err(self.err("ret with value in void function".into())),
+                (None, Some(_)) => {
+                    Err(self.err("ret without value in value-returning function".into()))
                 }
-            }
+                (None, None) => Ok(()),
+            },
         }
     }
 

@@ -68,7 +68,10 @@ impl Target {
     ///
     /// Panics if either file is empty.
     pub fn custom(name: impl Into<String>, int_regs: usize, float_regs: usize) -> Self {
-        assert!(int_regs > 0 && float_regs > 0, "register files must be non-empty");
+        assert!(
+            int_regs > 0 && float_regs > 0,
+            "register files must be non-empty"
+        );
         Target {
             name: name.into(),
             int_regs,

@@ -22,10 +22,7 @@ pub fn dce(func: &mut Function) -> usize {
             insts
                 .into_iter()
                 .filter(|inst| {
-                    let dead = is_pure(inst)
-                        && inst
-                            .def()
-                            .is_some_and(|d| !used[d.index()]);
+                    let dead = is_pure(inst) && inst.def().is_some_and(|d| !used[d.index()]);
                     if dead {
                         removed += 1;
                     }

@@ -21,12 +21,9 @@ pub fn fold_constants(func: &mut Function) -> usize {
         let insts = &mut func.block_mut(b).insts;
         for inst in insts.iter_mut() {
             let new_inst: Option<Inst> = match inst {
-                Inst::Un { op, dst, src } => {
-                    known[src.index()].and_then(|imm| fold_un(*op, imm)).map(|imm| Inst::LoadImm {
-                        dst: *dst,
-                        imm,
-                    })
-                }
+                Inst::Un { op, dst, src } => known[src.index()]
+                    .and_then(|imm| fold_un(*op, imm))
+                    .map(|imm| Inst::LoadImm { dst: *dst, imm }),
                 Inst::Bin { op, dst, lhs, rhs } => {
                     let (kl, kr) = (known[lhs.index()], known[rhs.index()]);
                     match (kl, kr) {
@@ -167,9 +164,15 @@ mod tests {
         b.ret(Some(t));
         let mut f = b.finish();
         assert_eq!(fold_constants(&mut f), 1);
-        let folded = f
-            .insts()
-            .any(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(5), .. }));
+        let folded = f.insts().any(|(_, _, i)| {
+            matches!(
+                i,
+                Inst::LoadImm {
+                    imm: Imm::Int(5),
+                    ..
+                }
+            )
+        });
         assert!(folded);
         verify_function(&f).unwrap();
     }
@@ -187,9 +190,13 @@ mod tests {
         b.ret(Some(s));
         let mut f = b.finish();
         assert_eq!(fold_constants(&mut f), 2);
-        assert!(f
-            .insts()
-            .any(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(10), .. })));
+        assert!(f.insts().any(|(_, _, i)| matches!(
+            i,
+            Inst::LoadImm {
+                imm: Imm::Int(10),
+                ..
+            }
+        )));
     }
 
     #[test]

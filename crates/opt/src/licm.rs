@@ -162,8 +162,7 @@ fn licm_pass(func: &mut Function) -> usize {
                     continue;
                 }
                 let ok = inst.uses().iter().all(|u| {
-                    !moved_defs.contains(&(u.index() as u32))
-                        || ready.contains(&(u.index() as u32))
+                    !moved_defs.contains(&(u.index() as u32)) || ready.contains(&(u.index() as u32))
                 });
                 if ok {
                     scheduled.push(inst.clone());
@@ -187,11 +186,7 @@ fn licm_pass(func: &mut Function) -> usize {
 }
 
 /// For a multi-def register, true if *any* definition sits inside the loop.
-fn multi_def_inside(
-    func: &Function,
-    v: optimist_ir::VReg,
-    body: &HashSet<BlockId>,
-) -> bool {
+fn multi_def_inside(func: &Function, v: optimist_ir::VReg, body: &HashSet<BlockId>) -> bool {
     for &b in body.iter() {
         for inst in &func.block(b).insts {
             if inst.def() == Some(v) {
@@ -248,11 +243,15 @@ mod tests {
         let (mut f, body) = loopy();
         licm(&mut f);
         // The increment i = i + 1 must remain in the loop.
-        let has_inc = f
-            .block(body)
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinOp::AddI, .. }));
+        let has_inc = f.block(body).insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinOp::AddI,
+                    ..
+                }
+            )
+        });
         assert!(has_inc);
     }
 
@@ -285,11 +284,15 @@ mod tests {
         let mut f = b.finish();
         let body_len = f.block(body).insts.len();
         licm(&mut f);
-        let has_div = f
-            .block(body)
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinOp::DivI, .. }));
+        let has_div = f.block(body).insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinOp::DivI,
+                    ..
+                }
+            )
+        });
         assert!(has_div, "division must stay in the loop");
         let _ = body_len;
         verify_function(&f).unwrap();
@@ -342,14 +345,24 @@ mod tests {
                 && cfg.is_reachable(bid)
                 && blk.insts.len() >= 3
             {
-                let pos_add = blk
-                    .insts
-                    .iter()
-                    .position(|i| matches!(i, Inst::Bin { op: BinOp::AddI, .. }));
-                let pos_mul = blk
-                    .insts
-                    .iter()
-                    .position(|i| matches!(i, Inst::Bin { op: BinOp::MulI, .. }));
+                let pos_add = blk.insts.iter().position(|i| {
+                    matches!(
+                        i,
+                        Inst::Bin {
+                            op: BinOp::AddI,
+                            ..
+                        }
+                    )
+                });
+                let pos_mul = blk.insts.iter().position(|i| {
+                    matches!(
+                        i,
+                        Inst::Bin {
+                            op: BinOp::MulI,
+                            ..
+                        }
+                    )
+                });
                 if let (Some(a), Some(m)) = (pos_add, pos_mul) {
                     assert!(a < m, "t1 must be computed before t2");
                     found = true;

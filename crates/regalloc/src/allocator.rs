@@ -15,22 +15,52 @@
 //! pass); under the optimistic heuristic it leaves *color*. Per-phase CPU
 //! times and per-pass spill counts are recorded exactly so Figure 7 can be
 //! regenerated.
+//!
+//! With [`AllocatorConfig::incremental`] set, passes after the first reuse
+//! the previous pass's CFG, loop nesting and interference graph: spill-code
+//! insertion never changes block structure, and only the ranges it rewrote
+//! (plus their fresh temporaries) can gain or lose edges, so the graph is
+//! *repaired* around them ([`update_graph_after_spill`]) instead of rebuilt.
+//! Debug builds cross-check every repaired graph against a full rebuild.
 
-use crate::build::build_graph;
-use crate::coalesce::coalesce_with;
+use crate::build::{build_graph, update_graph_after_spill};
+use crate::coalesce::{coalesce, CoalesceOpts};
 use crate::cost::spill_costs;
 use crate::select::select;
 use crate::simplify::{simplify_with_metric, Heuristic};
-use crate::spill::insert_spill_code_ext;
+use crate::spill::{insert_spill_code, SpillOpts, SpillOutcome};
+use crate::InterferenceGraph;
 use optimist_analysis::{renumber, Cfg, Dominators, Liveness, LoopInfo};
 use optimist_ir::{Function, VReg};
 use optimist_machine::{PhysReg, Target};
 use std::error::Error;
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
-/// Configuration for one allocation run.
+/// Configuration for one allocation run (or a whole
+/// [`Pipeline`](crate::Pipeline) session).
+///
+/// Construct with [`AllocatorConfig::chaitin`] or
+/// [`AllocatorConfig::briggs`] and refine with the `with_*` builder methods:
+///
+/// ```
+/// use optimist_machine::Target;
+/// use optimist_regalloc::{AllocatorConfig, CoalesceMode};
+/// use std::num::NonZeroUsize;
+///
+/// let config = AllocatorConfig::briggs(Target::rt_pc())
+///     .with_coalesce(CoalesceMode::Conservative)
+///     .with_rematerialize(true)
+///     .with_incremental(true)
+///     .with_threads(NonZeroUsize::new(4).unwrap());
+/// assert!(config.incremental);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: new knobs may appear in a minor
+/// release, so downstream code must go through the constructors.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AllocatorConfig {
     /// The register files to color with.
     pub target: Target,
@@ -48,38 +78,95 @@ pub struct AllocatorConfig {
     /// Safety bound on Build–Simplify–Color cycles. The paper never
     /// observed more than three; we fail loudly rather than loop.
     pub max_passes: usize,
+    /// Worker threads for [`Pipeline`](crate::Pipeline) module allocation.
+    /// Defaults to the machine's available parallelism; `1` reproduces the
+    /// sequential behavior exactly. Single-function [`allocate`] calls
+    /// ignore this field.
+    pub threads: NonZeroUsize,
+    /// Repair the interference graph incrementally after spill insertion
+    /// instead of rebuilding it (see the module docs). Off by default: the
+    /// full rebuild is the paper's measured configuration.
+    pub incremental: bool,
 }
 
 impl AllocatorConfig {
-    /// The paper's baseline: Chaitin's allocator on `target`.
-    pub fn chaitin(target: Target) -> Self {
+    fn base(target: Target, heuristic: Heuristic) -> Self {
         AllocatorConfig {
             target,
-            heuristic: Heuristic::ChaitinPessimistic,
+            heuristic,
             coalesce: crate::coalesce::CoalesceMode::Aggressive,
             spill_metric: crate::simplify::SpillMetric::CostOverDegree,
             rematerialize: false,
             max_passes: 64,
+            threads: default_threads(),
+            incremental: false,
         }
+    }
+
+    /// The paper's baseline: Chaitin's allocator on `target`.
+    pub fn chaitin(target: Target) -> Self {
+        Self::base(target, Heuristic::ChaitinPessimistic)
     }
 
     /// The paper's contribution: the optimistic allocator on `target`.
     pub fn briggs(target: Target) -> Self {
-        AllocatorConfig {
-            target,
-            heuristic: Heuristic::BriggsOptimistic,
-            coalesce: crate::coalesce::CoalesceMode::Aggressive,
-            spill_metric: crate::simplify::SpillMetric::CostOverDegree,
-            rematerialize: false,
-            max_passes: 64,
-        }
+        Self::base(target, Heuristic::BriggsOptimistic)
     }
+
+    /// Set the spill heuristic.
+    pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Set the coalescing policy.
+    pub fn with_coalesce(mut self, mode: crate::coalesce::CoalesceMode) -> Self {
+        self.coalesce = mode;
+        self
+    }
+
+    /// Set the blocked-phase spill-candidate ranking.
+    pub fn with_spill_metric(mut self, metric: crate::simplify::SpillMetric) -> Self {
+        self.spill_metric = metric;
+        self
+    }
+
+    /// Enable or disable constant rematerialization.
+    pub fn with_rematerialize(mut self, on: bool) -> Self {
+        self.rematerialize = on;
+        self
+    }
+
+    /// Set the Build–Simplify–Color pass bound.
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Set the [`Pipeline`](crate::Pipeline) worker-thread count.
+    pub fn with_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enable or disable incremental interference-graph repair.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+}
+
+/// The default [`AllocatorConfig::threads`]: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
 /// CPU time spent in each phase of one pass (one row group of Figure 7).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimes {
-    /// Renumbering, coalescing, graph construction and cost computation.
+    /// Renumbering, coalescing, graph construction (full or incremental)
+    /// and cost computation.
     pub build: Duration,
     /// The simplify phase.
     pub simplify: Duration,
@@ -105,6 +192,10 @@ pub struct PassRecord {
     pub spilled_cost: f64,
     /// Copies coalesced during this pass's build phase.
     pub coalesced: usize,
+    /// Whether this pass's build phase repaired the previous graph
+    /// incrementally instead of rebuilding it (always false for the first
+    /// pass and whenever [`AllocatorConfig::incremental`] is off).
+    pub incremental: bool,
 }
 
 /// Summary statistics of a whole allocation.
@@ -120,6 +211,8 @@ pub struct AllocStats {
     pub passes: usize,
     /// Total copies removed by coalescing.
     pub coalesced_copies: usize,
+    /// How many of the passes used the incremental graph repair.
+    pub incremental_passes: usize,
 }
 
 /// A completed register allocation.
@@ -151,6 +244,7 @@ impl Allocation {
 
 /// Allocation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AllocError {
     /// The Build–Simplify–Color cycle did not converge within
     /// [`AllocatorConfig::max_passes`].
@@ -159,6 +253,15 @@ pub enum AllocError {
         function: String,
         /// How many passes ran.
         passes: usize,
+    },
+    /// A [`Pipeline`](crate::Pipeline) worker panicked while allocating a
+    /// function. The panic is contained: other functions of the module are
+    /// unaffected.
+    WorkerPanic {
+        /// Name of the function being allocated.
+        function: String,
+        /// The panic payload, if it was a string.
+        message: String,
     },
 }
 
@@ -169,11 +272,24 @@ impl fmt::Display for AllocError {
                 f,
                 "register allocation of `{function}` did not converge after {passes} passes"
             ),
+            AllocError::WorkerPanic { function, message } => {
+                write!(f, "register allocation of `{function}` panicked: {message}")
+            }
         }
     }
 }
 
 impl Error for AllocError {}
+
+/// State carried from one pass's spill step into the next pass's build
+/// phase when incremental graph repair is enabled.
+struct Carry {
+    cfg: Cfg,
+    loops: LoopInfo,
+    graph: InterferenceGraph,
+    spilled: Vec<u32>,
+    outcome: SpillOutcome,
+}
 
 /// Run graph-coloring register allocation on `func`.
 ///
@@ -189,21 +305,61 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
     let mut total_spilled = 0usize;
     let mut total_cost = 0f64;
     let mut total_coalesced = 0usize;
+    let mut incremental_passes = 0usize;
+    let mut carry: Option<Carry> = None;
 
     for _pass in 0..config.max_passes {
         // ---- build: renumber, coalesce, graph, costs -------------------
+        // (or, on incremental passes: recompute liveness and repair the
+        // carried graph around the ranges the spiller touched)
         let t_build = Instant::now();
-        renumber(&mut f);
-        let coalesced = coalesce_with(&mut f, config.coalesce, Some(&config.target));
-        if coalesced > 0 {
-            renumber(&mut f); // compact the register table after merging
-        }
+        let (cfg, loops, graph, coalesced, is_incremental) = match carry.take() {
+            Some(c) => {
+                // Spill insertion cannot change block structure, so the CFG
+                // and loop nesting are reused as-is. The post-spill function
+                // is already web-correct (spill temporaries are single-def,
+                // single-use by construction), so renumbering is skipped;
+                // spill code introduces no copies, so coalescing is too.
+                let live = Liveness::new(&f, &c.cfg);
+                let mut g = c.graph;
+                update_graph_after_spill(
+                    &f,
+                    &c.cfg,
+                    &live,
+                    &mut g,
+                    &c.spilled,
+                    c.outcome.new_vregs.clone(),
+                    &c.outcome.touched_blocks,
+                );
+                debug_assert!(
+                    g.same_edges(&build_graph(&f, &c.cfg, &live)),
+                    "incremental graph repair diverged from a full rebuild"
+                );
+                incremental_passes += 1;
+                (c.cfg, c.loops, g, 0, true)
+            }
+            None => {
+                renumber(&mut f);
+                let merged = coalesce(
+                    &mut f,
+                    &CoalesceOpts {
+                        mode: config.coalesce,
+                        target: Some(&config.target),
+                        fixpoint: true,
+                    },
+                );
+                if merged > 0 {
+                    renumber(&mut f); // compact the register table after merging
+                }
+                let cfg = Cfg::new(&f);
+                let live = Liveness::new(&f, &cfg);
+                let dom = Dominators::new(&f, &cfg);
+                let loops = LoopInfo::new(&f, &cfg, &dom);
+                let graph = build_graph(&f, &cfg, &live);
+                (cfg, loops, graph, merged, false)
+            }
+        };
         total_coalesced += coalesced;
-        let cfg = Cfg::new(&f);
-        let live = Liveness::new(&f, &cfg);
-        let dom = Dominators::new(&f, &cfg);
-        let loops = LoopInfo::new(&f, &cfg, &dom);
-        let graph = build_graph(&f, &cfg, &live);
         let costs = spill_costs(&f, &loops);
         let build_time = t_build.elapsed();
 
@@ -222,8 +378,8 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
         // Chaitin's flow: when simplify marked spills, the pass goes
         // straight to spill-code insertion; coloring runs only on a pass
         // that marked nothing (Figure 4 / Figure 7's empty Color cells).
-        let skip_color = config.heuristic == Heuristic::ChaitinPessimistic
-            && !outcome.spill_marked.is_empty();
+        let skip_color =
+            config.heuristic == Heuristic::ChaitinPessimistic && !outcome.spill_marked.is_empty();
         let t_color = Instant::now();
         let coloring = if skip_color {
             None
@@ -283,9 +439,7 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
                 .color
                 .iter()
                 .enumerate()
-                .map(|(i, c)| {
-                    PhysReg::new(graph.class(i as u32), c.expect("complete coloring"))
-                })
+                .map(|(i, c)| PhysReg::new(graph.class(i as u32), c.expect("complete coloring")))
                 .collect();
             passes.push(PassRecord {
                 times: PhaseTimes {
@@ -299,6 +453,7 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
                 spilled: 0,
                 spilled_cost: 0.0,
                 coalesced,
+                incremental: is_incremental,
             });
             let stats = AllocStats {
                 live_ranges: passes.first().map_or(0, |p| p.live_ranges),
@@ -306,6 +461,7 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
                 spill_cost: total_cost,
                 passes: passes.len(),
                 coalesced_copies: total_coalesced,
+                incremental_passes,
             };
             return Ok(Allocation {
                 func: f,
@@ -332,7 +488,13 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
 
         let t_spill = Instant::now();
         let spill_vregs: Vec<VReg> = uncolored.iter().map(|&v| VReg::new(v)).collect();
-        insert_spill_code_ext(&mut f, &spill_vregs, config.rematerialize);
+        let spill_outcome = insert_spill_code(
+            &mut f,
+            &spill_vregs,
+            &SpillOpts {
+                rematerialize: config.rematerialize,
+            },
+        );
         let spill_time = t_spill.elapsed();
 
         passes.push(PassRecord {
@@ -347,7 +509,18 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
             spilled: uncolored.len(),
             spilled_cost: pass_cost,
             coalesced,
+            incremental: is_incremental,
         });
+
+        if config.incremental {
+            carry = Some(Carry {
+                cfg,
+                loops,
+                graph,
+                spilled: uncolored,
+                outcome: spill_outcome,
+            });
+        }
     }
 
     Err(AllocError::NonConvergence {
@@ -498,8 +671,7 @@ mod tests {
     #[test]
     fn nonconvergence_is_reported_not_hung() {
         let f = pressure_function(24);
-        let mut cfg = AllocatorConfig::briggs(Target::rt_pc());
-        cfg.max_passes = 1; // too few for this pressure
+        let cfg = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(1); // too few
         let err = allocate(&f, &cfg).unwrap_err();
         assert!(matches!(err, AllocError::NonConvergence { .. }));
         assert!(err.to_string().contains("did not converge"));
@@ -514,10 +686,9 @@ mod tests {
         b.copy(y, x);
         b.ret(Some(y));
         let f = b.finish();
-        let mut on = AllocatorConfig::briggs(Target::rt_pc());
-        on.coalesce = crate::coalesce::CoalesceMode::Aggressive;
-        let mut off = on.clone();
-        off.coalesce = crate::coalesce::CoalesceMode::Off;
+        let on = AllocatorConfig::briggs(Target::rt_pc())
+            .with_coalesce(crate::coalesce::CoalesceMode::Aggressive);
+        let off = on.clone().with_coalesce(crate::coalesce::CoalesceMode::Off);
         let a_on = allocate(&f, &on).unwrap();
         let a_off = allocate(&f, &off).unwrap();
         assert!(a_on.stats.coalesced_copies > 0);
@@ -534,8 +705,7 @@ mod tests {
             SpillMetric::Cost,
             SpillMetric::CostOverDegreeSquared,
         ] {
-            let mut cfg = AllocatorConfig::briggs(Target::with_int_regs(8));
-            cfg.spill_metric = metric;
+            let cfg = AllocatorConfig::briggs(Target::with_int_regs(8)).with_spill_metric(metric);
             let a = allocate(&f, &cfg).unwrap_or_else(|e| panic!("{metric:?}: {e}"));
             assert!(a.stats.registers_spilled > 0, "{metric:?}");
             // Validate the assignment against a rebuilt graph.
@@ -595,7 +765,10 @@ mod tests {
             Heuristic::ChaitinPessimistic,
             SpillMetric::Cost,
         );
-        assert_eq!(by_cost.spill_marked[0], 0, "raw cost prefers the cheap node");
+        assert_eq!(
+            by_cost.spill_marked[0], 0,
+            "raw cost prefers the cheap node"
+        );
     }
 
     #[test]
@@ -618,8 +791,7 @@ mod tests {
         let target = Target::with_int_regs(6);
 
         let plain = allocate(&f, &AllocatorConfig::briggs(target.clone())).unwrap();
-        let mut cfg = AllocatorConfig::briggs(target);
-        cfg.rematerialize = true;
+        let cfg = AllocatorConfig::briggs(target).with_rematerialize(true);
         let remat = allocate(&f, &cfg).unwrap();
         let slots = |a: &Allocation| {
             (0..a.func.num_slots())
@@ -657,5 +829,161 @@ mod tests {
         assert_eq!(a.stats.registers_spilled, 0);
         assert!(a.regs_used(RegClass::Float) <= 8);
         assert!(a.regs_used(RegClass::Int) <= 16);
+    }
+
+    #[test]
+    fn builder_chains_every_knob() {
+        let cfg = AllocatorConfig::chaitin(Target::rt_pc())
+            .with_heuristic(Heuristic::BriggsOptimistic)
+            .with_coalesce(crate::coalesce::CoalesceMode::Off)
+            .with_spill_metric(crate::simplify::SpillMetric::Cost)
+            .with_rematerialize(true)
+            .with_max_passes(7)
+            .with_threads(NonZeroUsize::new(3).unwrap())
+            .with_incremental(true);
+        assert_eq!(cfg.heuristic, Heuristic::BriggsOptimistic);
+        assert_eq!(cfg.coalesce, crate::coalesce::CoalesceMode::Off);
+        assert_eq!(cfg.spill_metric, crate::simplify::SpillMetric::Cost);
+        assert!(cfg.rematerialize);
+        assert_eq!(cfg.max_passes, 7);
+        assert_eq!(cfg.threads.get(), 3);
+        assert!(cfg.incremental);
+        // Defaults.
+        let d = AllocatorConfig::briggs(Target::rt_pc());
+        assert!(!d.incremental);
+        assert_eq!(d.threads, default_threads());
+    }
+
+    #[test]
+    fn incremental_mode_marks_repair_passes_and_colors_validly() {
+        for heuristic in [Heuristic::ChaitinPessimistic, Heuristic::BriggsOptimistic] {
+            let f = pressure_function(24);
+            let cfg = AllocatorConfig::briggs(Target::with_int_regs(8))
+                .with_heuristic(heuristic)
+                .with_incremental(true);
+            let a = allocate(&f, &cfg).unwrap();
+            assert!(a.stats.passes >= 2, "{heuristic:?}");
+            // The first pass always builds fully; every later pass repairs.
+            assert!(!a.passes[0].incremental);
+            for p in &a.passes[1..] {
+                assert!(p.incremental, "{heuristic:?}");
+            }
+            assert_eq!(a.stats.incremental_passes, a.stats.passes - 1);
+            // The repaired-graph coloring is valid on the final function.
+            let cfg_ = Cfg::new(&a.func);
+            let live = Liveness::new(&a.func, &cfg_);
+            let g = build_graph(&a.func, &cfg_, &live);
+            for v in 0..g.num_nodes() as u32 {
+                for &m in g.neighbors(v) {
+                    assert_ne!(
+                        a.assignment[v as usize], a.assignment[m as usize],
+                        "{heuristic:?}: {v} vs {m} share a register"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_mode_spills_like_full_mode_without_copies() {
+        // pressure_function has no copies, so the skipped re-coalescing of
+        // incremental passes cannot cause divergence: spill totals match.
+        for n in [18, 24, 40] {
+            let f = pressure_function(n);
+            let base = AllocatorConfig::briggs(Target::with_int_regs(8));
+            let full = allocate(&f, &base).unwrap();
+            let inc = allocate(&f, &base.clone().with_incremental(true)).unwrap();
+            assert_eq!(
+                inc.stats.registers_spilled, full.stats.registers_spilled,
+                "n={n}"
+            );
+            assert_eq!(inc.stats.passes, full.stats.passes, "n={n}");
+            assert_eq!(inc.stats.spill_cost, full.stats.spill_cost, "n={n}");
+        }
+    }
+
+    #[test]
+    fn incremental_with_rematerialization_converges() {
+        let mut b = FunctionBuilder::new("consts");
+        b.set_ret_class(Some(RegClass::Int));
+        let vals: Vec<_> = (0..12).map(|i| b.int(1000 + i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        for &v in &vals {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let cfg = AllocatorConfig::briggs(Target::with_int_regs(6))
+            .with_rematerialize(true)
+            .with_incremental(true);
+        let a = allocate(&f, &cfg).unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        assert!(a.stats.incremental_passes > 0);
+    }
+
+    #[test]
+    fn incremental_repairs_loops_and_spilled_params() {
+        // Parameters that spill exercise the entry-clique repair path. Four
+        // params (used once, so they are the cheapest candidates) fit k = 4
+        // as residual ranges after spilling; the locals supply the pressure.
+        let mut b = FunctionBuilder::new("params");
+        b.set_ret_class(Some(RegClass::Int));
+        let ps: Vec<_> = (0..4)
+            .map(|i| b.add_param(RegClass::Int, format!("p{i}")))
+            .collect();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let locals: Vec<_> = (0..12).map(|i| b.int(100 + i)).collect();
+        let i = b.new_vreg(RegClass::Int, "i");
+        b.load_imm(i, Imm::Int(0));
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.cmp_i(Cmp::Lt, i, locals[0]);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.int(1);
+        b.bin(BinOp::AddI, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        let mut acc = i;
+        for &l in &locals {
+            acc = b.binv(BinOp::AddI, acc, l);
+        }
+        for &l in &locals {
+            acc = b.binv(BinOp::AddI, acc, l);
+        }
+        for &p in &ps {
+            acc = b.binv(BinOp::AddI, acc, p);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let base = AllocatorConfig::briggs(Target::with_int_regs(4));
+        // Sanity: the workload is allocatable in the classic full mode.
+        let full = allocate(&f, &base).unwrap();
+        assert!(full.stats.registers_spilled > 0);
+        let a = allocate(&f, &base.with_incremental(true)).unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        assert!(a.stats.incremental_passes > 0);
+        let cfg_ = Cfg::new(&a.func);
+        let live = Liveness::new(&a.func, &cfg_);
+        let g = build_graph(&a.func, &cfg_, &live);
+        for v in 0..g.num_nodes() as u32 {
+            for &m in g.neighbors(v) {
+                assert_ne!(a.assignment[v as usize], a.assignment[m as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_error_formats() {
+        let e = AllocError::WorkerPanic {
+            function: "f".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "register allocation of `f` panicked: boom");
     }
 }

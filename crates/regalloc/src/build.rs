@@ -4,10 +4,114 @@
 //! point the defined range interferes with everything currently live — with
 //! Chaitin's copy refinement: for `dst = copy src`, `dst` does **not**
 //! interfere with `src`, which is what later allows the two to coalesce.
+//!
+//! Two entry points share that scan:
+//!
+//! * [`build_graph`] walks every block and produces a fresh graph — the
+//!   classic full rebuild run at the top of each allocation pass.
+//! * [`update_graph_after_spill`] repairs an existing graph in place after
+//!   spill-code insertion, re-scanning only the blocks the spiller touched
+//!   and only the edges with a *dirty* endpoint (a spilled range or a fresh
+//!   spill temporary). Clean–clean interferences cannot change — inserting
+//!   loads and stores never alters where the surviving ranges are live
+//!   relative to one another — and dirty ranges are only ever live inside
+//!   touched blocks, so the filtered rescan restores exactly the edge set a
+//!   full rebuild would compute.
 
 use crate::graph::InterferenceGraph;
 use optimist_analysis::{Cfg, Liveness};
-use optimist_ir::{Function, Inst, VReg};
+use optimist_ir::{BlockId, Function, Inst, VReg};
+use std::ops::Range;
+
+/// Scratch buffers for the backward block scan, reusable across blocks.
+struct ScanState {
+    live_now: Vec<bool>,
+    live_list: Vec<u32>,
+    uses: Vec<VReg>,
+}
+
+impl ScanState {
+    fn new(num_vregs: usize) -> Self {
+        ScanState {
+            live_now: vec![false; num_vregs],
+            live_list: Vec::new(),
+            uses: Vec::new(),
+        }
+    }
+
+    fn add_to_live(&mut self, v: u32) {
+        if !self.live_now[v as usize] {
+            self.live_now[v as usize] = true;
+            self.live_list.push(v);
+        }
+    }
+
+    fn remove_from_live(&mut self, v: u32) {
+        if self.live_now[v as usize] {
+            self.live_now[v as usize] = false;
+            if let Some(pos) = self.live_list.iter().position(|&x| x == v) {
+                self.live_list.swap_remove(pos);
+            }
+        }
+    }
+}
+
+/// Walk `b` backward from its live-out set, reporting each interference pair
+/// `(def, live)` to `edge`. Honors the copy refinement. The same scan serves
+/// the full build (where `edge` inserts unconditionally) and the incremental
+/// repair (where `edge` filters on dirty endpoints).
+fn scan_block(
+    func: &Function,
+    live: &Liveness,
+    b: BlockId,
+    state: &mut ScanState,
+    mut edge: impl FnMut(u32, u32),
+) {
+    state.live_now.fill(false);
+    state.live_list.clear();
+    for v in live.live_out(b).iter() {
+        state.add_to_live(v as u32);
+    }
+
+    for inst in func.block(b).insts.iter().rev() {
+        if let Some(d) = inst.def() {
+            let dv = d.index() as u32;
+            // Copy refinement: dst does not interfere with src.
+            let skip = match inst {
+                Inst::Copy { src, .. } => Some(src.index() as u32),
+                _ => None,
+            };
+            state.remove_from_live(dv);
+            for &l in &state.live_list {
+                if Some(l) != skip {
+                    edge(dv, l);
+                }
+            }
+        }
+        state.uses.clear();
+        inst.uses_into(&mut state.uses);
+        for i in 0..state.uses.len() {
+            let u = state.uses[i].index() as u32;
+            state.add_to_live(u);
+        }
+    }
+}
+
+/// Report the entry-block clique to `edge`: everything live at the top of
+/// the function (parameters, plus any may-be-uninitialized webs) is
+/// simultaneously defined on entry, so those ranges pairwise interfere.
+fn entry_clique(func: &Function, live: &Liveness, mut edge: impl FnMut(u32, u32)) {
+    let entry_live: Vec<u32> = live
+        .live_in(func.entry())
+        .iter()
+        .map(|v| v as u32)
+        .collect();
+    for (i, &x) in entry_live.iter().enumerate() {
+        for &y in &entry_live[i + 1..] {
+            edge(x, y);
+        }
+    }
+}
 
 /// Build the interference graph of `func` (one node per virtual register;
 /// run [`renumber`](optimist_analysis::renumber) first so registers are live
@@ -18,69 +122,83 @@ pub fn build_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> InterferenceG
         .map(|i| func.class_of(VReg::new(i as u32)))
         .collect();
     let mut graph = InterferenceGraph::new(classes);
-
-    let mut live_now: Vec<bool> = vec![false; nv];
-    let mut live_list: Vec<u32> = Vec::new();
-    let mut uses = Vec::new();
-
-    let add_to_live = |live_now: &mut Vec<bool>, live_list: &mut Vec<u32>, v: u32| {
-        if !live_now[v as usize] {
-            live_now[v as usize] = true;
-            live_list.push(v);
-        }
-    };
-    let remove_from_live = |live_now: &mut Vec<bool>, live_list: &mut Vec<u32>, v: u32| {
-        if live_now[v as usize] {
-            live_now[v as usize] = false;
-            if let Some(pos) = live_list.iter().position(|&x| x == v) {
-                live_list.swap_remove(pos);
-            }
-        }
-    };
+    let mut state = ScanState::new(nv);
 
     for &b in cfg.rpo() {
-        live_now.fill(false);
-        live_list.clear();
-        for v in live.live_out(b).iter() {
-            add_to_live(&mut live_now, &mut live_list, v as u32);
-        }
-
-        for inst in func.block(b).insts.iter().rev() {
-            if let Some(d) = inst.def() {
-                let dv = d.index() as u32;
-                // Copy refinement: dst does not interfere with src.
-                let skip = match inst {
-                    Inst::Copy { src, .. } => Some(src.index() as u32),
-                    _ => None,
-                };
-                remove_from_live(&mut live_now, &mut live_list, dv);
-                for &l in &live_list {
-                    if Some(l) != skip {
-                        graph.add_edge(dv, l);
-                    }
-                }
-            }
-            uses.clear();
-            inst.uses_into(&mut uses);
-            for &u in &uses {
-                add_to_live(&mut live_now, &mut live_list, u.index() as u32);
-            }
-        }
-
-        // At the entry block, everything live at the top (parameters, plus
-        // any may-be-uninitialized webs) is simultaneously defined on entry,
-        // so those ranges pairwise interfere.
-        if b == func.entry() {
-            let entry_live: Vec<u32> = live.live_in(b).iter().map(|v| v as u32).collect();
-            for (i, &x) in entry_live.iter().enumerate() {
-                for &y in &entry_live[i + 1..] {
-                    graph.add_edge(x, y);
-                }
-            }
-        }
+        scan_block(func, live, b, &mut state, |a, l| graph.add_edge(a, l));
     }
+    entry_clique(func, live, |a, l| graph.add_edge(a, l));
 
     graph
+}
+
+/// Repair `graph` in place after spill-code insertion, instead of rebuilding
+/// it from scratch.
+///
+/// * `spilled` — the live ranges the spiller rewrote. Their old edges are
+///   retired; whatever short ranges remain (a spilled parameter stays live
+///   from arrival to its entry store) are re-discovered by the rescan.
+/// * `new_vregs` — the contiguous block of temporaries the spiller appended
+///   (`func.num_vregs()` must already include them). Fresh nodes are added
+///   for each.
+/// * `touched` — the blocks where spill code was inserted. Dirty ranges are
+///   only ever live inside these blocks: reload/store temporaries are
+///   block-local by construction, and a spilled parameter's residue lives
+///   only in the entry block, which the spiller marks touched.
+///
+/// `live` must be liveness recomputed for the *post-spill* function. `cfg`
+/// may be cached from before the spill: inserting instructions never changes
+/// block structure.
+///
+/// The result is identical to `build_graph` on the post-spill function
+/// (debug builds in the allocator cross-check exactly that).
+pub fn update_graph_after_spill(
+    func: &Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    graph: &mut InterferenceGraph,
+    spilled: &[u32],
+    new_vregs: Range<u32>,
+    touched: &[BlockId],
+) {
+    let nv = func.num_vregs();
+    debug_assert_eq!(new_vregs.end as usize, nv);
+    debug_assert_eq!(new_vregs.start as usize, graph.num_nodes());
+
+    for v in new_vregs.clone() {
+        graph.add_node(func.class_of(VReg::new(v)));
+    }
+
+    let mut dirty = vec![false; nv];
+    for &s in spilled {
+        dirty[s as usize] = true;
+        graph.remove_node_edges(s);
+    }
+    for v in new_vregs {
+        dirty[v as usize] = true;
+    }
+
+    let mut state = ScanState::new(nv);
+    let entry = func.entry();
+    let mut entry_touched = false;
+    for &b in touched {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        entry_touched |= b == entry;
+        scan_block(func, live, b, &mut state, |a, l| {
+            if dirty[a as usize] || dirty[l as usize] {
+                graph.add_edge(a, l);
+            }
+        });
+    }
+    if entry_touched {
+        entry_clique(func, live, |a, l| {
+            if dirty[a as usize] || dirty[l as usize] {
+                graph.add_edge(a, l);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +330,49 @@ mod tests {
         let g = graph_of(&mut f);
         // n, a, c all pairwise interfere (plus edges to temporaries).
         assert!(g.num_edges() >= 3);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        // Spill one range out of a high-pressure straight-line function and
+        // check the repaired graph equals a from-scratch rebuild.
+        use crate::spill::{insert_spill_code, SpillOpts};
+
+        let mut bld = FunctionBuilder::new("f");
+        bld.set_ret_class(Some(RegClass::Int));
+        let p = bld.add_param(RegClass::Int, "p");
+        let a = bld.int(1);
+        let b = bld.int(2);
+        let c = bld.binv(BinOp::AddI, a, b);
+        let d = bld.binv(BinOp::AddI, c, p);
+        let e = bld.binv(BinOp::AddI, d, a);
+        bld.ret(Some(e));
+        let mut f = bld.finish();
+        renumber(&mut f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let mut graph = build_graph(&f, &cfg, &live);
+
+        // Spill the renumbered web of `a` (find a node with edges).
+        let victim = (0..graph.num_nodes() as u32)
+            .max_by_key(|&v| graph.degree(v))
+            .unwrap();
+        let outcome = insert_spill_code(&mut f, &[VReg::new(victim)], &SpillOpts::default());
+
+        let live2 = Liveness::new(&f, &cfg);
+        update_graph_after_spill(
+            &f,
+            &cfg,
+            &live2,
+            &mut graph,
+            &[victim],
+            outcome.new_vregs.clone(),
+            &outcome.touched_blocks,
+        );
+        let full = build_graph(&f, &cfg, &live2);
+        assert!(
+            graph.same_edges(&full),
+            "incremental repair diverged from full rebuild"
+        );
     }
 }

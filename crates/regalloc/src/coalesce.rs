@@ -26,18 +26,46 @@ pub enum CoalesceMode {
     Off,
 }
 
-/// One build-and-merge pass. Returns the number of copies coalesced.
-pub fn coalesce_pass(func: &mut Function) -> usize {
-    coalesce_pass_with(func, CoalesceMode::Aggressive, None)
+/// Options for [`coalesce`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceOpts<'a> {
+    /// Which merging policy to apply.
+    pub mode: CoalesceMode,
+    /// Target machine, required by [`CoalesceMode::Conservative`] (it
+    /// supplies `k` per register class). Ignored by the other modes.
+    pub target: Option<&'a Target>,
+    /// Repeat build-and-merge passes until no copy can be merged (Chaitin:
+    /// "repeatedly build the graph and coalesce registers"). When false,
+    /// run a single pass.
+    pub fixpoint: bool,
 }
 
-/// One build-and-merge pass with an explicit [`CoalesceMode`]. The target
-/// is required for the conservative rule (it supplies `k` per class).
-pub fn coalesce_pass_with(
-    func: &mut Function,
-    mode: CoalesceMode,
-    target: Option<&Target>,
-) -> usize {
+impl Default for CoalesceOpts<'_> {
+    /// Aggressive coalescing to fixpoint — the paper's configuration.
+    fn default() -> Self {
+        CoalesceOpts {
+            mode: CoalesceMode::Aggressive,
+            target: None,
+            fixpoint: true,
+        }
+    }
+}
+
+/// Coalesce copies in `func` according to `opts`. Returns the number of
+/// copies merged (totalled across passes when `opts.fixpoint` is set).
+pub fn coalesce(func: &mut Function, opts: &CoalesceOpts) -> usize {
+    let mut total = 0;
+    loop {
+        let merged = one_pass(func, opts.mode, opts.target);
+        total += merged;
+        if merged == 0 || !opts.fixpoint {
+            return total;
+        }
+    }
+}
+
+/// One build-and-merge pass. Returns the number of copies coalesced.
+fn one_pass(func: &mut Function, mode: CoalesceMode, target: Option<&Target>) -> usize {
     if mode == CoalesceMode::Off {
         return 0;
     }
@@ -67,11 +95,9 @@ pub fn coalesce_pass_with(
                 if rd == rs {
                     continue; // already merged; copy will collapse
                 }
-                let conflict = members[rd as usize].iter().any(|&x| {
-                    members[rs as usize]
-                        .iter()
-                        .any(|&y| graph.interferes(x, y))
-                });
+                let conflict = members[rd as usize]
+                    .iter()
+                    .any(|&x| members[rs as usize].iter().any(|&y| graph.interferes(x, y)));
                 if conflict {
                     continue;
                 }
@@ -135,22 +161,55 @@ pub fn coalesce_pass_with(
     merged
 }
 
-/// Coalesce aggressively until no copy can be merged. Returns the total
-/// merged count.
-pub fn coalesce(func: &mut Function) -> usize {
-    coalesce_with(func, CoalesceMode::Aggressive, None)
+/// Deprecated spelling of a single aggressive [`coalesce`] pass.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `coalesce(func, &CoalesceOpts { fixpoint: false, ..Default::default() })`"
+)]
+pub fn coalesce_pass(func: &mut Function) -> usize {
+    coalesce(
+        func,
+        &CoalesceOpts {
+            fixpoint: false,
+            ..Default::default()
+        },
+    )
 }
 
-/// Coalesce with an explicit [`CoalesceMode`] until fixpoint.
+/// Deprecated spelling of a single [`coalesce`] pass with an explicit mode.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `coalesce(func, &CoalesceOpts { mode, target, fixpoint: false })`"
+)]
+pub fn coalesce_pass_with(
+    func: &mut Function,
+    mode: CoalesceMode,
+    target: Option<&Target>,
+) -> usize {
+    coalesce(
+        func,
+        &CoalesceOpts {
+            mode,
+            target,
+            fixpoint: false,
+        },
+    )
+}
+
+/// Deprecated spelling of [`coalesce`] to fixpoint with an explicit mode.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `coalesce(func, &CoalesceOpts { mode, target, fixpoint: true })`"
+)]
 pub fn coalesce_with(func: &mut Function, mode: CoalesceMode, target: Option<&Target>) -> usize {
-    let mut total = 0;
-    loop {
-        let merged = coalesce_pass_with(func, mode, target);
-        if merged == 0 {
-            return total;
-        }
-        total += merged;
-    }
+    coalesce(
+        func,
+        &CoalesceOpts {
+            mode,
+            target,
+            fixpoint: true,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -170,7 +229,7 @@ mod tests {
         let mut f = b.finish();
         renumber(&mut f);
         let n_before = f.num_insts();
-        assert_eq!(coalesce(&mut f), 1);
+        assert_eq!(coalesce(&mut f, &CoalesceOpts::default()), 1);
         assert_eq!(f.num_insts(), n_before - 1);
         verify_function(&f).unwrap();
     }
@@ -197,7 +256,7 @@ mod tests {
         renumber(&mut f);
         // a–c copy: a and c hold the same value and never interfere, so it
         // coalesces. This documents that value-identical overlap is merged.
-        assert_eq!(coalesce(&mut f), 1);
+        assert_eq!(coalesce(&mut f, &CoalesceOpts::default()), 1);
         verify_function(&f).unwrap();
     }
 
@@ -239,13 +298,10 @@ mod tests {
         b.ret(Some(r));
         let mut f = b.finish();
         renumber(&mut f);
-        let merged = coalesce(&mut f);
+        let merged = coalesce(&mut f, &CoalesceOpts::default());
         // m can merge with at most one of x, y; the other copy must remain.
         assert!(merged <= 1);
-        let copies = f
-            .insts()
-            .filter(|(_, _, i)| i.is_copy())
-            .count();
+        let copies = f.insts().filter(|(_, _, i)| i.is_copy()).count();
         assert!(copies >= 1, "one copy must survive");
         verify_function(&f).unwrap();
     }
@@ -262,8 +318,8 @@ mod tests {
         b.ret(Some(d));
         let mut f = b.finish();
         renumber(&mut f);
-        assert_eq!(coalesce(&mut f), 2);
-        assert_eq!(coalesce(&mut f), 0);
+        assert_eq!(coalesce(&mut f, &CoalesceOpts::default()), 2);
+        assert_eq!(coalesce(&mut f, &CoalesceOpts::default()), 0);
         verify_function(&f).unwrap();
     }
 
@@ -277,7 +333,7 @@ mod tests {
         b.ret(Some(c));
         let mut f = b.finish();
         renumber(&mut f);
-        coalesce(&mut f);
+        coalesce(&mut f, &CoalesceOpts::default());
         assert_eq!(f.params().len(), 1);
         verify_function(&f).unwrap();
         let _ = (p, c);
@@ -288,7 +344,6 @@ mod tests {
         // A copy whose merge would gather >= k heavy neighbors is skipped
         // under the conservative rule but taken aggressively. Build a
         // source range interfering with k heavy ranges.
-        use crate::coalesce::{coalesce_with, CoalesceMode};
         use optimist_machine::Target;
         let k = 3;
         let target = Target::custom("t", k, 8);
@@ -315,16 +370,25 @@ mod tests {
             // terminate
             {
                 use optimist_ir::Inst;
-                f.block_mut(f.entry()).insts.push(Inst::Ret { value: Some(acc2) });
+                f.block_mut(f.entry())
+                    .insts
+                    .push(Inst::Ret { value: Some(acc2) });
             }
             renumber(&mut f);
             f
         };
 
         let mut f_aggr = build();
-        let aggressive = coalesce_with(&mut f_aggr, CoalesceMode::Aggressive, None);
+        let aggressive = coalesce(&mut f_aggr, &CoalesceOpts::default());
         let mut f_cons = build();
-        let conservative = coalesce_with(&mut f_cons, CoalesceMode::Conservative, Some(&target));
+        let conservative = coalesce(
+            &mut f_cons,
+            &CoalesceOpts {
+                mode: CoalesceMode::Conservative,
+                target: Some(&target),
+                fixpoint: true,
+            },
+        );
         assert!(
             conservative <= aggressive,
             "conservative ({conservative}) must merge no more than aggressive ({aggressive})"
@@ -335,7 +399,6 @@ mod tests {
 
     #[test]
     fn off_mode_merges_nothing() {
-        use crate::coalesce::{coalesce_with, CoalesceMode};
         let mut b = FunctionBuilder::new("f");
         b.set_ret_class(Some(RegClass::Int));
         let a = b.int(1);
@@ -344,12 +407,46 @@ mod tests {
         b.ret(Some(c));
         let mut f = b.finish();
         renumber(&mut f);
-        assert_eq!(coalesce_with(&mut f, CoalesceMode::Off, None), 0);
+        assert_eq!(
+            coalesce(
+                &mut f,
+                &CoalesceOpts {
+                    mode: CoalesceMode::Off,
+                    ..Default::default()
+                }
+            ),
+            0
+        );
         assert_eq!(
             f.insts().filter(|(_, _, i)| i.is_copy()).count(),
             1,
             "the copy must survive"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_coalesce() {
+        let build = || {
+            let mut b = FunctionBuilder::new("f");
+            b.set_ret_class(Some(RegClass::Int));
+            let a = b.int(3);
+            let c = b.new_vreg(RegClass::Int, "c");
+            b.copy(c, a);
+            let d = b.new_vreg(RegClass::Int, "d");
+            b.copy(d, c);
+            b.ret(Some(d));
+            let mut f = b.finish();
+            renumber(&mut f);
+            f
+        };
+        let mut f = build();
+        assert_eq!(coalesce_pass(&mut f), 2);
+        let mut f = build();
+        assert_eq!(coalesce_pass_with(&mut f, CoalesceMode::Off, None), 0);
+        let mut f = build();
+        assert_eq!(coalesce_with(&mut f, CoalesceMode::Aggressive, None), 2);
+        verify_function(&f).unwrap();
     }
 
     #[test]
@@ -362,7 +459,7 @@ mod tests {
         b.ret(None);
         let mut f = b.finish();
         renumber(&mut f);
-        coalesce(&mut f);
+        coalesce(&mut f, &CoalesceOpts::default());
         verify_function(&f).unwrap();
     }
 }

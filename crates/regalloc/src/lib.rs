@@ -57,18 +57,26 @@ mod cost;
 mod graph;
 mod listing;
 mod matula;
+mod pipeline;
 mod select;
 mod simplify;
 mod spill;
 
 pub use allocator::{
-    allocate, AllocError, AllocStats, Allocation, AllocatorConfig, PassRecord, PhaseTimes,
+    allocate, default_threads, AllocError, AllocStats, Allocation, AllocatorConfig, PassRecord,
+    PhaseTimes,
 };
-pub use build::build_graph;
-pub use coalesce::{coalesce, coalesce_pass, coalesce_pass_with, coalesce_with, CoalesceMode};
+pub use build::{build_graph, update_graph_after_spill};
+pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
 pub use cost::{depth_weight, spill_costs};
 pub use graph::InterferenceGraph;
 pub use matula::smallest_last_order;
+pub use pipeline::{ModuleAllocation, Pipeline};
 pub use select::{select, Coloring};
 pub use simplify::{simplify, simplify_with_metric, Heuristic, SimplifyOutcome, SpillMetric};
-pub use spill::{insert_spill_code, insert_spill_code_ext, SpillStats};
+pub use spill::{insert_spill_code, SpillOpts, SpillOutcome, SpillStats};
+
+#[allow(deprecated)]
+pub use coalesce::{coalesce_pass, coalesce_pass_with, coalesce_with};
+#[allow(deprecated)]
+pub use spill::insert_spill_code_ext;

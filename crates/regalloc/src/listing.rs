@@ -32,7 +32,9 @@ impl Allocation {
         };
 
         let mut s = String::new();
-        let _ = writeln!(s, "# {}: frame {} bytes, {} spill slot(s)",
+        let _ = writeln!(
+            s,
+            "# {}: frame {} bytes, {} spill slot(s)",
             func.name(),
             func.frame_size(),
             (0..func.num_slots())
@@ -119,7 +121,13 @@ mod tests {
         b.frame_addr(base, slot);
         let addr = b.binv(BinOp::AddI, base, off);
         let x = b.new_vreg(RegClass::Float, "x");
-        b.load(x, optimist_ir::Addr::Reg { base: addr, offset: 0 });
+        b.load(
+            x,
+            optimist_ir::Addr::Reg {
+                base: addr,
+                offset: 0,
+            },
+        );
         b.bin(BinOp::AddF, acc, acc, x);
         let one = b.int(1);
         b.bin(BinOp::AddI, i, i, one);
@@ -139,7 +147,9 @@ mod tests {
         // Every register mention is physical (r<N>/f<N>), never v<N>.
         for tok in text.split(|c: char| !c.is_alphanumeric()) {
             assert!(
-                !(tok.starts_with('v') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1),
+                !(tok.starts_with('v')
+                    && tok[1..].chars().all(|c| c.is_ascii_digit())
+                    && tok.len() > 1),
                 "virtual register leaked into listing: {tok}\n{text}"
             );
         }

@@ -1,0 +1,279 @@
+//! Parallel module allocation.
+//!
+//! Register allocation is embarrassingly parallel across functions: each
+//! [`allocate`] call reads one [`Function`] and shares nothing with its
+//! siblings. [`Pipeline`] exploits that with a scoped worker pool — workers
+//! pull function indices from an atomic counter, results land in
+//! per-function slots, and the output order is always the module's function
+//! order regardless of which worker finished first. With
+//! [`AllocatorConfig::threads`] = 1 the pipeline degenerates to an inline
+//! sequential loop (no threads are spawned), which is bit-for-bit the
+//! pre-pipeline behavior; with more threads the *per-function results are
+//! identical* because each allocation is a pure function of its input — the
+//! determinism proptests in the workspace root pin this down.
+//!
+//! A panic inside a worker is contained to the function being allocated: it
+//! surfaces as [`AllocError::WorkerPanic`] for that function and the rest of
+//! the module is still allocated.
+
+use crate::allocator::{allocate, AllocError, Allocation, AllocatorConfig};
+use optimist_ir::{Function, Module};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable module-allocation session: one configuration, many functions,
+/// allocated concurrently.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: AllocatorConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline that allocates with `config` on
+    /// [`config.threads`](AllocatorConfig::threads) workers.
+    pub fn new(config: AllocatorConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration this pipeline allocates with.
+    pub fn config(&self) -> &AllocatorConfig {
+        &self.config
+    }
+
+    /// Allocate every function in `funcs`, returning one result per input
+    /// in the same order.
+    pub fn allocate_functions(&self, funcs: &[Function]) -> Vec<Result<Allocation, AllocError>> {
+        let threads = self.config.threads.get().min(funcs.len().max(1));
+        if threads <= 1 {
+            return funcs.iter().map(|f| self.allocate_one(f)).collect();
+        }
+
+        // Work-stealing by atomic index: each worker claims the next
+        // unallocated function. Slots keep results addressable by input
+        // position, so the output order is deterministic no matter how the
+        // OS schedules the workers.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Allocation, AllocError>>>> =
+            funcs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(func) = funcs.get(i) else { break };
+                    let result = self.allocate_one(func);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled by a worker")
+            })
+            .collect()
+    }
+
+    /// Allocate every function of `module`, concurrently, preserving the
+    /// module's function order in the result.
+    pub fn allocate_module(&self, module: &Module) -> ModuleAllocation {
+        let results = self
+            .allocate_functions(module.functions())
+            .into_iter()
+            .zip(module.functions())
+            .map(|(r, f)| (f.name().to_string(), r))
+            .collect();
+        ModuleAllocation { results }
+    }
+
+    /// Allocate one function, converting a panic into
+    /// [`AllocError::WorkerPanic`] so a bad function cannot take down the
+    /// rest of the module.
+    fn allocate_one(&self, func: &Function) -> Result<Allocation, AllocError> {
+        catch_unwind(AssertUnwindSafe(|| allocate(func, &self.config))).unwrap_or_else(|payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(AllocError::WorkerPanic {
+                function: func.name().to_string(),
+                message,
+            })
+        })
+    }
+}
+
+/// The outcome of [`Pipeline::allocate_module`]: one result per function,
+/// in module function order.
+#[derive(Debug)]
+pub struct ModuleAllocation {
+    /// `(function name, allocation result)` pairs in module order.
+    pub results: Vec<(String, Result<Allocation, AllocError>)>,
+}
+
+impl ModuleAllocation {
+    /// True if every function allocated successfully.
+    pub fn is_ok(&self) -> bool {
+        self.results.iter().all(|(_, r)| r.is_ok())
+    }
+
+    /// The successful allocations as a name → allocation map, or the first
+    /// error in module function order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (in module order) function that
+    /// failed to allocate.
+    pub fn into_map(self) -> Result<HashMap<String, Allocation>, AllocError> {
+        let mut map = HashMap::with_capacity(self.results.len());
+        for (name, result) in self.results {
+            map.insert(name, result?);
+        }
+        Ok(map)
+    }
+
+    /// Iterate over `(name, result)` pairs in module function order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Result<Allocation, AllocError>)> {
+        self.results.iter().map(|(n, r)| (n.as_str(), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::{BinOp, FunctionBuilder, RegClass};
+    use optimist_machine::Target;
+    use std::num::NonZeroUsize;
+
+    fn pressure_function(name: &str, n: usize) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        b.set_ret_class(Some(RegClass::Int));
+        let vals: Vec<_> = (0..n).map(|i| b.int(i as i64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binv(BinOp::AddI, acc, v);
+        }
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    fn test_module(k: usize) -> Module {
+        let mut m = Module::new();
+        for i in 0..k {
+            m.add_function(pressure_function(&format!("f{i}"), 4 + i * 3));
+        }
+        m
+    }
+
+    fn config(threads: usize) -> AllocatorConfig {
+        AllocatorConfig::briggs(Target::with_int_regs(8))
+            .with_threads(NonZeroUsize::new(threads).unwrap())
+    }
+
+    /// The per-function facts that must not depend on scheduling.
+    fn fingerprint(a: &Allocation) -> (usize, usize, Vec<(RegClass, u16)>, usize) {
+        (
+            a.stats.registers_spilled,
+            a.stats.passes,
+            a.assignment.iter().map(|r| (r.class, r.index)).collect(),
+            a.func.num_insts(),
+        )
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_in_order() {
+        let m = test_module(7);
+        let seq = Pipeline::new(config(1)).allocate_module(&m);
+        for threads in [2, 4, 8] {
+            let par = Pipeline::new(config(threads)).allocate_module(&m);
+            assert_eq!(par.results.len(), seq.results.len());
+            for ((n1, r1), (n2, r2)) in seq.results.iter().zip(&par.results) {
+                assert_eq!(n1, n2, "function order must be the module's");
+                let (a1, a2) = (r1.as_ref().unwrap(), r2.as_ref().unwrap());
+                assert_eq!(fingerprint(a1), fingerprint(a2), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // threads = 1 must not spawn: allocate from within a context where
+        // results are compared against direct `allocate` calls.
+        let m = test_module(3);
+        let p = Pipeline::new(config(1));
+        let results = p.allocate_functions(m.functions());
+        for (f, r) in m.functions().iter().zip(&results) {
+            let direct = allocate(f, p.config()).unwrap();
+            assert_eq!(fingerprint(r.as_ref().unwrap()), fingerprint(&direct));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_functions_is_fine() {
+        let m = test_module(2);
+        let out = Pipeline::new(config(16)).allocate_module(&m);
+        assert!(out.is_ok());
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn empty_module_allocates_to_empty_map() {
+        let m = Module::new();
+        let out = Pipeline::new(config(4)).allocate_module(&m);
+        assert!(out.is_ok());
+        assert!(out.into_map().unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_panic_is_contained_to_its_function() {
+        // An invalid function (Ret of an out-of-range vreg) makes the
+        // allocator panic; the pipeline must turn that into WorkerPanic and
+        // still allocate the healthy functions.
+        let mut m = Module::new();
+        m.add_function(pressure_function("good0", 6));
+        let mut bad = pressure_function("bad", 4);
+        bad.block_mut(bad.entry())
+            .insts
+            .push(optimist_ir::Inst::Ret {
+                value: Some(optimist_ir::VReg::new(9999)),
+            });
+        m.add_function(bad);
+        m.add_function(pressure_function("good1", 9));
+
+        for threads in [1, 4] {
+            let out = Pipeline::new(config(threads)).allocate_module(&m);
+            assert!(!out.is_ok());
+            let by_name: Vec<_> = out.iter().collect();
+            assert!(by_name[0].1.is_ok());
+            assert!(matches!(
+                by_name[1].1,
+                Err(AllocError::WorkerPanic { ref function, .. }) if function == "bad"
+            ));
+            assert!(by_name[2].1.is_ok());
+            // into_map surfaces the bad function's error.
+            let err = out.into_map().unwrap_err();
+            assert!(matches!(err, AllocError::WorkerPanic { .. }));
+        }
+    }
+
+    #[test]
+    fn into_map_keys_are_function_names() {
+        let m = test_module(4);
+        let map = Pipeline::new(config(2))
+            .allocate_module(&m)
+            .into_map()
+            .unwrap();
+        assert_eq!(map.len(), 4);
+        for i in 0..4 {
+            assert!(map.contains_key(&format!("f{i}")));
+        }
+    }
+}

@@ -118,7 +118,10 @@ mod tests {
         let t = k(2);
         let out = simplify(&g, &costs, &t, Heuristic::BriggsOptimistic);
         let col = select(&g, &out.stack, &t);
-        assert!(col.is_complete(), "optimistic coloring must 2-color the 4-cycle");
+        assert!(
+            col.is_complete(),
+            "optimistic coloring must 2-color the 4-cycle"
+        );
         assert!(col.is_valid(&g));
     }
 

@@ -113,23 +113,21 @@ pub fn simplify_with_metric(
         .collect();
     let mut remaining = n;
 
-    let remove_node = |v: u32,
-                           cur_degree: &mut Vec<usize>,
-                           removed: &mut Vec<bool>,
-                           low: &mut Vec<u32>| {
-        removed[v as usize] = true;
-        for &m in graph.neighbors(v) {
-            if removed[m as usize] {
-                continue;
+    let remove_node =
+        |v: u32, cur_degree: &mut Vec<usize>, removed: &mut Vec<bool>, low: &mut Vec<u32>| {
+            removed[v as usize] = true;
+            for &m in graph.neighbors(v) {
+                if removed[m as usize] {
+                    continue;
+                }
+                let d = &mut cur_degree[m as usize];
+                *d -= 1;
+                if *d + 1 == k_of(m) {
+                    // Crossed the threshold: now trivially colorable.
+                    low.push(m);
+                }
             }
-            let d = &mut cur_degree[m as usize];
-            *d -= 1;
-            if *d + 1 == k_of(m) {
-                // Crossed the threshold: now trivially colorable.
-                low.push(m);
-            }
-        }
-    };
+        };
 
     while remaining > 0 {
         if let Some(v) = low.pop() {
@@ -222,10 +220,7 @@ mod tests {
     #[test]
     fn spill_choice_prefers_cheap_high_degree() {
         // Clique of 4 with k=2: repeatedly blocked. Node 2 is cheapest.
-        let g = int_graph(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let g = int_graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let costs = vec![9.0, 9.0, 1.0, 9.0];
         let old = simplify(&g, &costs, &k(2), Heuristic::ChaitinPessimistic);
         assert_eq!(old.spill_marked[0], 2);
@@ -233,10 +228,7 @@ mod tests {
 
     #[test]
     fn infinite_cost_nodes_avoided_when_possible() {
-        let g = int_graph(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let g = int_graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let costs = vec![f64::INFINITY, f64::INFINITY, f64::INFINITY, 5.0];
         let old = simplify(&g, &costs, &k(2), Heuristic::ChaitinPessimistic);
         assert_eq!(old.spill_marked[0], 3);

@@ -7,7 +7,8 @@
 //! converges (each spilled range is divided "into several shorter live
 //! ranges, one for each definition or use", §3.3).
 
-use optimist_ir::{Addr, Function, Imm, Inst, RegClass, VReg};
+use optimist_ir::{Addr, BlockId, Function, Imm, Inst, RegClass, VReg};
+use std::ops::Range;
 
 /// Static counts of inserted spill instructions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +21,34 @@ pub struct SpillStats {
     pub rematerialized: usize,
 }
 
+/// Options for [`insert_spill_code`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillOpts {
+    /// Enable **rematerialization** (Briggs, Cooper & Torczon's follow-up
+    /// refinement, PLDI 1992): a spilled range whose every definition loads
+    /// the same immediate constant gets no frame slot at all — the constant
+    /// is recomputed in front of each use, which is never slower than a
+    /// memory load and frees the slot and the stores.
+    pub rematerialize: bool,
+}
+
+/// Everything [`insert_spill_code`] did to the function, in the form the
+/// incremental graph repair
+/// ([`update_graph_after_spill`](crate::update_graph_after_spill)) consumes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillOutcome {
+    /// Static counts of inserted spill instructions.
+    pub stats: SpillStats,
+    /// Blocks whose instruction list was modified (deduplicated, in block
+    /// order of the rewrite). Every reload/store temporary is live only
+    /// inside one of these, and a spilled parameter's residual range lives
+    /// only in the entry block, which inserting its store marks touched.
+    pub touched_blocks: Vec<BlockId>,
+    /// The contiguous range of fresh temporary vregs appended to the
+    /// function (empty when nothing was spilled).
+    pub new_vregs: Range<u32>,
+}
+
 /// Insert spill code for every register in `spilled`.
 ///
 /// Each spilled register gets an 8-byte frame slot. Uses are rewritten to
@@ -27,23 +56,17 @@ pub struct SpillStats {
 /// used twice in it); definitions are rewritten to temporaries that are
 /// immediately stored. A spilled *parameter* additionally gets a store at
 /// function entry, since it arrives in a register.
-pub fn insert_spill_code(func: &mut Function, spilled: &[VReg]) -> SpillStats {
-    insert_spill_code_ext(func, spilled, false)
-}
-
-/// [`insert_spill_code`] with optional **rematerialization** (Briggs,
-/// Cooper & Torczon's follow-up refinement, PLDI 1992): a spilled range
-/// whose every definition loads the same immediate constant gets no frame
-/// slot at all — the constant is recomputed in front of each use, which is
-/// never slower than a memory load and frees the slot and the stores.
-pub fn insert_spill_code_ext(
-    func: &mut Function,
-    spilled: &[VReg],
-    rematerialize: bool,
-) -> SpillStats {
+pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts) -> SpillOutcome {
+    let rematerialize = opts.rematerialize;
     let mut stats = SpillStats::default();
+    let mut touched_blocks: Vec<BlockId> = Vec::new();
     if spilled.is_empty() {
-        return stats;
+        let nv = func.num_vregs() as u32;
+        return SpillOutcome {
+            stats,
+            touched_blocks,
+            new_vregs: nv..nv,
+        };
     }
 
     let nv = func.num_vregs();
@@ -113,6 +136,7 @@ pub fn insert_spill_code_ext(
 
     func.rewrite_blocks(|bid, insts| {
         let mut out = Vec::with_capacity(insts.len());
+        let mut modified = false;
 
         // A spilled parameter is stored to its slot on function entry.
         if bid == entry {
@@ -124,6 +148,7 @@ pub fn insert_spill_code_ext(
                         addr: Addr::Frame { slot, offset: 0 },
                     });
                     stats.stores += 1;
+                    modified = true;
                 }
             }
         }
@@ -152,6 +177,7 @@ pub fn insert_spill_code_ext(
                 }
             }
             if !reloaded.is_empty() {
+                modified = true;
                 inst.map_uses(|u| {
                     reloaded
                         .iter()
@@ -167,6 +193,7 @@ pub fn insert_spill_code_ext(
             let def = inst.def();
             match def {
                 Some(d) if d.index() < nv && is_spilled[d.index()] => {
+                    modified = true;
                     if remat_imm[d.index()].is_some() {
                         debug_assert!(matches!(inst, Inst::LoadImm { .. }));
                         // deleted
@@ -185,6 +212,9 @@ pub fn insert_spill_code_ext(
                 _ => out.push(inst),
             }
         }
+        if modified {
+            touched_blocks.push(bid);
+        }
         out
     });
 
@@ -202,7 +232,25 @@ pub fn insert_spill_code_ext(
         }
     }
 
-    stats
+    SpillOutcome {
+        stats,
+        touched_blocks,
+        new_vregs: nv as u32..ctx.next,
+    }
+}
+
+/// Deprecated spelling of [`insert_spill_code`] with a positional
+/// `rematerialize` flag; returns only the instruction counts.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `insert_spill_code(func, spilled, &SpillOpts { rematerialize, ..Default::default() })`"
+)]
+pub fn insert_spill_code_ext(
+    func: &mut Function,
+    spilled: &[VReg],
+    rematerialize: bool,
+) -> SpillStats {
+    insert_spill_code(func, spilled, &SpillOpts { rematerialize }).stats
 }
 
 /// Bit-exact immediate equality (floats compared by bits so `-0.0 ≠ 0.0`).
@@ -229,7 +277,7 @@ mod tests {
         let t = b.binv(BinOp::AddI, x, y);
         b.ret(Some(t));
         let mut f = b.finish();
-        let stats = insert_spill_code(&mut f, &[x]);
+        let stats = insert_spill_code(&mut f, &[x], &SpillOpts::default()).stats;
         assert_eq!(stats.stores, 1);
         assert_eq!(stats.loads, 1);
         verify_function(&f).unwrap();
@@ -251,7 +299,7 @@ mod tests {
         let t = b.binv(BinOp::AddI, x, x);
         b.ret(Some(t));
         let mut f = b.finish();
-        let stats = insert_spill_code(&mut f, &[x]);
+        let stats = insert_spill_code(&mut f, &[x], &SpillOpts::default()).stats;
         assert_eq!(stats.loads, 1);
         verify_function(&f).unwrap();
     }
@@ -265,7 +313,7 @@ mod tests {
         let t = b.binv(BinOp::AddI, p, one);
         b.ret(Some(t));
         let mut f = b.finish();
-        let stats = insert_spill_code(&mut f, &[p]);
+        let stats = insert_spill_code(&mut f, &[p], &SpillOpts::default()).stats;
         assert_eq!(stats.stores, 1);
         assert_eq!(stats.loads, 1);
         // First instruction of entry is the parameter store.
@@ -285,7 +333,7 @@ mod tests {
         b.bin(BinOp::AddI, i, i, one);
         b.ret(Some(i));
         let mut f = b.finish();
-        let stats = insert_spill_code(&mut f, &[i]);
+        let stats = insert_spill_code(&mut f, &[i], &SpillOpts::default()).stats;
         // stores: initial def + increment def; loads: increment use + ret use.
         assert_eq!(stats.stores, 2);
         assert_eq!(stats.loads, 2);
@@ -302,7 +350,7 @@ mod tests {
         let _ = y;
         b.ret(Some(x));
         let mut f = b.finish();
-        insert_spill_code(&mut f, &[x]);
+        insert_spill_code(&mut f, &[x], &SpillOpts::default());
         verify_function(&f).unwrap();
         let insts = &f.block(f.entry()).insts;
         let last = insts.len() - 1;
@@ -322,7 +370,14 @@ mod tests {
         let u = b.binv(BinOp::AddI, t, x);
         b.ret(Some(u));
         let mut f = b.finish();
-        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
         assert_eq!(stats.rematerialized, 1);
         assert_eq!(stats.loads, 0);
         assert_eq!(stats.stores, 0);
@@ -330,7 +385,15 @@ mod tests {
         // The original def is gone; each use has a fresh LoadImm.
         let imm42 = f
             .insts()
-            .filter(|(_, _, i)| matches!(i, Inst::LoadImm { imm: Imm::Int(42), .. }))
+            .filter(|(_, _, i)| {
+                matches!(
+                    i,
+                    Inst::LoadImm {
+                        imm: Imm::Int(42),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(imm42, 2);
         verify_function(&f).unwrap();
@@ -355,7 +418,14 @@ mod tests {
         b.switch_to(join);
         b.ret(Some(x));
         let mut f = b.finish();
-        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
         assert_eq!(stats.rematerialized, 0);
         assert!(stats.stores >= 2);
         assert_eq!(f.num_slots(), 1);
@@ -373,7 +443,14 @@ mod tests {
         let u = b.binv(BinOp::AddI, t, x);
         b.ret(Some(u));
         let mut f = b.finish();
-        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
         assert_eq!(stats.rematerialized, 0);
         assert!(stats.loads > 0);
         verify_function(&f).unwrap();
@@ -389,7 +466,7 @@ mod tests {
         let t = b.binv(BinOp::AddI, x, y);
         b.ret(Some(t));
         let mut f = b.finish();
-        let stats = insert_spill_code(&mut f, &[x]);
+        let stats = insert_spill_code(&mut f, &[x], &SpillOpts::default()).stats;
         assert_eq!(stats.rematerialized, 0);
         assert_eq!(f.num_slots(), 1);
     }
@@ -405,8 +482,71 @@ mod tests {
         b.ret(Some(x));
         let mut f = b.finish();
         assert_eq!(f.num_slots(), 0);
-        insert_spill_code(&mut f, &[x]);
+        insert_spill_code(&mut f, &[x], &SpillOpts::default());
         assert_eq!(f.num_slots(), 1);
         assert!(f.slot(optimist_ir::FrameSlot::new(0)).is_spill);
+    }
+
+    #[test]
+    fn outcome_reports_touched_blocks_and_new_vregs() {
+        // Spill x, used in entry and in a second block; a third block never
+        // mentions it and must not be reported as touched.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let p = b.add_param(RegClass::Int, "p");
+        let x = b.new_vreg(RegClass::Int, "x");
+        let cold = b.new_block();
+        let hot = b.new_block();
+        b.load_imm(x, Imm::Int(1));
+        let z = b.int(0);
+        let c = b.cmp_i(optimist_ir::Cmp::Gt, p, z);
+        b.branch(c, cold, hot);
+        b.switch_to(cold);
+        b.ret(Some(p));
+        b.switch_to(hot);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let nv_before = f.num_vregs() as u32;
+        let out = insert_spill_code(&mut f, &[x], &SpillOpts::default());
+        assert_eq!(out.touched_blocks, vec![f.entry(), hot]);
+        assert_eq!(out.new_vregs, nv_before..f.num_vregs() as u32);
+        assert_eq!(out.new_vregs.len(), 2); // one store temp, one reload temp
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn empty_spill_list_is_a_no_op() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.int(1);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let out = insert_spill_code(
+            &mut f,
+            &[],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        );
+        assert_eq!(out.stats, SpillStats::default());
+        assert!(out.touched_blocks.is_empty());
+        assert!(out.new_vregs.is_empty());
+        assert_eq!(f.num_slots(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_ext_shim_still_works() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load_imm(x, Imm::Int(42));
+        let y = b.int(7);
+        let t = b.binv(BinOp::AddI, x, y);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let stats = insert_spill_code_ext(&mut f, &[x], true);
+        assert_eq!(stats.rematerialized, 1);
+        verify_function(&f).unwrap();
     }
 }

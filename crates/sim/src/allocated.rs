@@ -70,7 +70,10 @@ impl AllocatedModule {
         &self.module
     }
 
-    pub(crate) fn lookup(&self, name: &str) -> Option<(&optimist_ir::Function, FuncAssignment<'_>)> {
+    pub(crate) fn lookup(
+        &self,
+        name: &str,
+    ) -> Option<(&optimist_ir::Function, FuncAssignment<'_>)> {
         let f = self.module.function(name)?;
         let map = self.assignments.get(name)?;
         Some((
@@ -150,10 +153,7 @@ END
         let m = compile_or_panic(src);
         let opts = ExecOptions::default();
         let roomy = allocate_module(&m, &AllocatorConfig::briggs(Target::rt_pc()));
-        let tight = allocate_module(
-            &m,
-            &AllocatorConfig::briggs(Target::custom("tiny", 16, 3)),
-        );
+        let tight = allocate_module(&m, &AllocatorConfig::briggs(Target::custom("tiny", 16, 3)));
         let r1 = run_allocated(&roomy, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
         let r2 = run_allocated(&tight, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
         assert_eq!(r1.ret, r2.ret);

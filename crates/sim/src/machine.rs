@@ -1,9 +1,7 @@
 //! The interpreter core.
 
 use crate::allocated::AllocatedModule;
-use optimist_ir::{
-    Addr, BinOp, BlockId, Cmp, Function, Imm, Inst, Module, RegClass, UnOp, VReg,
-};
+use optimist_ir::{Addr, BinOp, BlockId, Cmp, Function, Imm, Inst, Module, RegClass, UnOp, VReg};
 use optimist_machine::{CycleModel, PhysReg};
 use std::error::Error;
 use std::fmt;
@@ -322,9 +320,7 @@ impl<'m> Machine<'m> {
             Addr::Frame { slot, offset } => {
                 (frame_base as i64 + slot_offsets[slot.index()] as i64 + offset) as u64
             }
-            Addr::Global { global, offset } => {
-                (self.global_addr(global) as i64 + offset) as u64
-            }
+            Addr::Global { global, offset } => (self.global_addr(global) as i64 + offset) as u64,
         }
     }
 
@@ -757,14 +753,10 @@ END
 
     #[test]
     fn out_of_bounds_traps() {
-        let m = compile_or_panic(
-            "SUBROUTINE OOB(A)\nREAL A(*)\nA(1) = 1.0\nEND\n",
-        );
+        let m = compile_or_panic("SUBROUTINE OOB(A)\nREAL A(*)\nA(1) = 1.0\nEND\n");
         // Pass a bogus address via an Int scalar? Not possible through the
         // API — drive it with a huge index instead.
-        let m2 = compile_or_panic(
-            "FUNCTION BAD(I)\nINTEGER I\nREAL BAD, A(4)\nBAD = A(I)\nEND\n",
-        );
+        let m2 = compile_or_panic("FUNCTION BAD(I)\nINTEGER I\nREAL BAD, A(4)\nBAD = A(I)\nEND\n");
         let opts = ExecOptions {
             memory_words: 1 << 12,
             ..ExecOptions::default()

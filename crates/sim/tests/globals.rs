@@ -21,7 +21,13 @@ fn module_with_global() -> Module {
     let eight = put.int(8);
     let off = put.binv(BinOp::MulI, im1, eight);
     let addr = put.binv(BinOp::AddI, base, off);
-    put.store(v, Addr::Reg { base: addr, offset: 0 });
+    put.store(
+        v,
+        Addr::Reg {
+            base: addr,
+            offset: 0,
+        },
+    );
     put.ret(None);
     m.add_function(put.finish());
 
@@ -46,7 +52,13 @@ fn module_with_global() -> Module {
     get.global_addr(base, g);
     let addr = get.binv(BinOp::AddI, base, off);
     let x = get.new_vreg(RegClass::Int, "x");
-    get.load(x, Addr::Reg { base: addr, offset: 0 });
+    get.load(
+        x,
+        Addr::Reg {
+            base: addr,
+            offset: 0,
+        },
+    );
     get.bin(BinOp::AddI, acc, acc, x);
     let one = get.int(1);
     get.bin(BinOp::AddI, i, i, one);
@@ -114,7 +126,13 @@ fn global_out_of_bounds_offset_traps() {
     // Address far outside memory.
     let big = f.int(1 << 40);
     let addr = f.binv(BinOp::AddI, base, big);
-    f.load(x, Addr::Reg { base: addr, offset: 0 });
+    f.load(
+        x,
+        Addr::Reg {
+            base: addr,
+            offset: 0,
+        },
+    );
     f.ret(Some(x));
     m.add_function(f.finish());
     let opts = ExecOptions {

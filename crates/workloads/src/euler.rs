@@ -20,8 +20,7 @@ pub fn source() -> String {
 
 /// Figure-5 routine names, in the paper's order.
 pub const ROUTINES: &[&str] = &[
-    "SHOCK", "DERIV", "CODE", "CHEB", "FINDIF", "FFTB", "BNDRY", "INPUT", "DIFFR", "DISSIP",
-    "INIT",
+    "SHOCK", "DERIV", "CODE", "CHEB", "FINDIF", "FFTB", "BNDRY", "INPUT", "DIFFR", "DISSIP", "INIT",
 ];
 
 /// Driver entry: `EULRUN(NSTEP)` advances the solution and returns a

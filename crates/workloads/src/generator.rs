@@ -68,7 +68,7 @@ impl Gen {
                 0 => format!("({a} + {b})"),
                 1 => format!("({a} - {b})"),
                 2 => format!("({a}*{b})"),
-                3 => format!("MOD({a}, 7) ") ,
+                3 => format!("MOD({a}, 7) "),
                 4 => format!("MAX0({a}, {b})"),
                 _ => format!("IABS({a})"),
             }
@@ -171,10 +171,7 @@ impl Gen {
                 self.active_loop_vars.push(lv);
                 self.block(out, depth - 1, indent + 1);
                 self.active_loop_vars.pop();
-                out.push_str(&format!(
-                    "{}{label} CONTINUE\n",
-                    " ".repeat(3)
-                ));
+                out.push_str(&format!("{}{label} CONTINUE\n", " ".repeat(3)));
             }
         }
     }

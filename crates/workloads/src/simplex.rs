@@ -218,8 +218,8 @@ mod tests {
     #[test]
     fn search_reduces_the_objective() {
         let m = compile_or_panic(&source());
-        let r = run_virtual(&m, DRIVER_NAME, &[Scalar::Int(4)], &ExecOptions::default())
-            .expect("runs");
+        let r =
+            run_virtual(&m, DRIVER_NAME, &[Scalar::Int(4)], &ExecOptions::default()).expect("runs");
         match r.ret {
             Some(Scalar::Float(v)) => {
                 // The objective at the origin is sum i^2 = 30 (plus cross

@@ -31,9 +31,11 @@ fn show(name: &str, g: &InterferenceGraph, k: usize) {
         let out = simplify(g, &costs, &target, h);
         let coloring = select(g, &out.stack, &target);
         let spilled: Vec<&str> = match h {
-            Heuristic::ChaitinPessimistic => {
-                out.spill_marked.iter().map(|&v| names[v as usize]).collect()
-            }
+            Heuristic::ChaitinPessimistic => out
+                .spill_marked
+                .iter()
+                .map(|&v| names[v as usize])
+                .collect(),
             Heuristic::BriggsOptimistic => coloring
                 .uncolored()
                 .iter()

@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nRunning the decomposition under both allocations…");
-    let (_, dynamic) = compare_program(&program, &Target::rt_pc(), true)
-        .map_err(std::io::Error::other)?;
+    let (_, dynamic) =
+        compare_program(&program, &Target::rt_pc(), true).map_err(std::io::Error::other)?;
     println!(
         "dynamic cycles:          old {:>12}   new {:>12}   ({:.2}% faster)",
         dynamic.old_cycles,

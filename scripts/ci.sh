@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass before it lands.
+#
+#   scripts/ci.sh          # full gate: fmt, clippy, build, tests
+#   scripts/ci.sh --quick  # skip the release build (fast inner loop)
+#
+# Keep this in sync with the acceptance criteria in ROADMAP.md: the
+# workspace must build warning-free under clippy and the whole test
+# suite (unit + integration + proptests + doc-tests) must pass.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> benches compile"
+cargo build -q --benches -p optimist-bench
+
+echo "CI gate passed."

@@ -21,6 +21,10 @@
 //!   --virtual          (run) use virtual registers instead of allocating
 //!   --remat            rematerialize spilled constants
 //!   --coalesce M       aggressive | conservative | off (default aggressive)
+//!   --threads N        worker threads for module allocation (default: the
+//!                      machine's available parallelism; 1 = sequential)
+//!   --incremental      repair the interference graph after spilling
+//!                      instead of rebuilding it each pass
 //! ```
 //!
 //! Arguments to `run` are integers or floats; the entry must be an FT
@@ -48,6 +52,8 @@ struct Options {
     run_virtual: bool,
     rematerialize: bool,
     coalesce: optimist::regalloc::CoalesceMode,
+    threads: Option<std::num::NonZeroUsize>,
+    incremental: bool,
     routine: Option<String>,
     positional: Vec<String>,
 }
@@ -61,6 +67,8 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
         run_virtual: false,
         rematerialize: false,
         coalesce: optimist::regalloc::CoalesceMode::Aggressive,
+        threads: None,
+        incremental: false,
         routine: None,
         positional: Vec::new(),
     };
@@ -71,6 +79,14 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
             "--no-opt" => o.optimize = false,
             "--virtual" => o.run_virtual = true,
             "--remat" => o.rematerialize = true,
+            "--incremental" => o.incremental = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                o.threads =
+                    Some(v.parse().map_err(|_| {
+                        format!("bad --threads `{v}` (expected a positive integer)")
+                    })?);
+            }
             "--coalesce" => {
                 let v = it.next().ok_or("--coalesce needs a value")?;
                 o.coalesce = match v.as_str() {
@@ -111,8 +127,24 @@ impl Options {
         Target::custom("cli", self.int_regs, self.float_regs)
     }
 
+    /// Allocator configuration from the parsed flags.
+    fn allocator_config(&self) -> AllocatorConfig {
+        let cfg = AllocatorConfig::briggs(self.target())
+            .with_heuristic(self.heuristic)
+            .with_rematerialize(self.rematerialize)
+            .with_coalesce(self.coalesce)
+            .with_incremental(self.incremental);
+        match self.threads {
+            Some(n) => cfg.with_threads(n),
+            None => cfg,
+        }
+    }
+
     fn load(&self) -> Result<optimist::ir::Module, String> {
-        let path = self.positional.first().ok_or("missing FILE.ft/.ir argument")?;
+        let path = self
+            .positional
+            .first()
+            .ok_or("missing FILE.ft/.ir argument")?;
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         // `.ir` files hold the textual IR (e.g. an `optimist compile` dump);
@@ -151,10 +183,7 @@ fn real_main() -> Result<(), String> {
 fn cmd_asm(args: &[String]) -> Result<(), String> {
     let o = parse_options(args, true)?;
     let module = o.load()?;
-    let mut cfg = AllocatorConfig::briggs(o.target());
-    cfg.heuristic = o.heuristic;
-    cfg.rematerialize = o.rematerialize;
-    cfg.coalesce = o.coalesce;
+    let cfg = o.allocator_config();
     for f in module.functions() {
         if let Some(name) = &o.routine {
             if f.name() != name {
@@ -181,8 +210,7 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     let f = module
         .function(&name)
         .ok_or_else(|| format!("no routine `{name}`"))?;
-    let mut cfg = AllocatorConfig::briggs(o.target());
-    cfg.heuristic = o.heuristic;
+    let cfg = o.allocator_config();
     let alloc = allocate(f, &cfg).map_err(|e| e.to_string())?;
 
     // Rebuild the final graph to render it with the assignment.
@@ -218,20 +246,17 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 fn cmd_allocate(args: &[String]) -> Result<(), String> {
     let o = parse_options(args, true)?;
     let module = o.load()?;
-    let mut cfg = AllocatorConfig::briggs(o.target());
-    cfg.heuristic = o.heuristic;
-    cfg.rematerialize = o.rematerialize;
-    cfg.coalesce = o.coalesce;
-    for f in module.functions() {
-        if let Some(name) = &o.routine {
-            if f.name() != name {
+    let pipeline = optimist::regalloc::Pipeline::new(o.allocator_config());
+    for (name, result) in pipeline.allocate_module(&module).iter() {
+        if let Some(only) = &o.routine {
+            if name != only {
                 continue;
             }
         }
-        let a = allocate(f, &cfg).map_err(|e| e.to_string())?;
+        let a = result.as_ref().map_err(|e| e.to_string())?;
         println!(
             "{:<12} live ranges {:>5}  spilled {:>4}  cost {:>10.0}  passes {}  coalesced {}",
-            f.name(),
+            name,
             a.stats.live_ranges,
             a.stats.registers_spilled,
             a.stats.spill_cost,
@@ -267,10 +292,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let result = if o.run_virtual {
         run_virtual(&module, entry, &scalars, &opts).map_err(|e| e.to_string())?
     } else {
-        let mut cfg = AllocatorConfig::briggs(o.target());
-        cfg.heuristic = o.heuristic;
-        cfg.rematerialize = o.rematerialize;
-        cfg.coalesce = o.coalesce;
+        let cfg = o.allocator_config();
         let allocs = optimist::allocate_module(&module, &cfg).map_err(|e| e.to_string())?;
         let am = AllocatedModule::new(&module, &allocs, &cfg.target);
         run_allocated(&am, entry, &scalars, &opts).map_err(|e| e.to_string())?

@@ -3,7 +3,7 @@
 
 use optimist_ir::Module;
 use optimist_machine::{size, Target};
-use optimist_regalloc::{allocate, AllocError, AllocStats, Allocation, AllocatorConfig};
+use optimist_regalloc::{AllocError, AllocStats, Allocation, AllocatorConfig, Pipeline};
 use optimist_sim::{run_allocated, AllocatedModule, ExecOptions, Scalar, Trap};
 use optimist_workloads::{DriverArg, Program};
 use std::collections::HashMap;
@@ -31,7 +31,10 @@ pub struct RoutineComparison {
 impl RoutineComparison {
     /// Percentage reduction in spilled registers (the paper's `Pct.`).
     pub fn spill_pct(&self) -> f64 {
-        pct(self.old.registers_spilled as f64, self.new.registers_spilled as f64)
+        pct(
+            self.old.registers_spilled as f64,
+            self.new.registers_spilled as f64,
+        )
     }
 
     /// Percentage reduction in estimated spill cost.
@@ -52,18 +55,20 @@ pub fn pct(old: f64, new: f64) -> f64 {
 /// Allocate every function of `module` with `config`; returns allocations
 /// keyed by function name.
 ///
+/// Functions are allocated concurrently on
+/// [`config.threads`](AllocatorConfig::threads) workers (the results do not
+/// depend on the thread count; `threads = 1` runs inline).
+///
 /// # Errors
 ///
-/// Propagates the first [`AllocError`].
+/// Propagates the error of the first function (in module order) that fails.
 pub fn allocate_module(
     module: &Module,
     config: &AllocatorConfig,
 ) -> Result<HashMap<String, Allocation>, AllocError> {
-    module
-        .functions()
-        .iter()
-        .map(|f| Ok((f.name().to_string(), allocate(f, config)?)))
-        .collect()
+    Pipeline::new(config.clone())
+        .allocate_module(module)
+        .into_map()
 }
 
 /// Compare Chaitin vs. Briggs on every function of `module` under `target`.
@@ -77,14 +82,15 @@ pub fn compare_module(
 ) -> Result<Vec<RoutineComparison>, AllocError> {
     let old_cfg = AllocatorConfig::chaitin(target.clone());
     let new_cfg = AllocatorConfig::briggs(target.clone());
-    module
-        .functions()
-        .iter()
-        .map(|f| {
-            let old = allocate(f, &old_cfg)?;
-            let new = allocate(f, &new_cfg)?;
+    let olds = Pipeline::new(old_cfg).allocate_module(module);
+    let news = Pipeline::new(new_cfg).allocate_module(module);
+    olds.results
+        .into_iter()
+        .zip(news.results)
+        .map(|((name, old), (_, new))| {
+            let (old, new) = (old?, new?);
             Ok(RoutineComparison {
-                name: f.name().to_string(),
+                name,
                 object_size: size::function_size(&new.func),
                 live_ranges: new.stats.live_ranges,
                 old: old.stats,
@@ -145,13 +151,17 @@ pub fn compare_program(
     let old_am = AllocatedModule::new(&module, &old_allocs, target);
     let new_am = AllocatedModule::new(&module, &new_allocs, target);
 
-    let args: Vec<Scalar> = if quick { &program.smoke_args } else { &program.driver_args }
-        .iter()
-        .map(|a| match a {
-            DriverArg::Int(v) => Scalar::Int(*v),
-            DriverArg::Float(v) => Scalar::Float(*v),
-        })
-        .collect();
+    let args: Vec<Scalar> = if quick {
+        &program.smoke_args
+    } else {
+        &program.driver_args
+    }
+    .iter()
+    .map(|a| match a {
+        DriverArg::Int(v) => Scalar::Int(*v),
+        DriverArg::Float(v) => Scalar::Float(*v),
+    })
+    .collect();
     let opts = ExecOptions::default();
     let run = |am: &AllocatedModule| -> Result<optimist_sim::RunResult, Trap> {
         run_allocated(am, program.driver, &args, &opts)

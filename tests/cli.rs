@@ -45,7 +45,11 @@ fn unknown_command_is_reported() {
 fn run_evaluates_a_function() {
     let path = write_temp("cube.ft", SAMPLE);
     let out = optimist(&["run", path.to_str().unwrap(), "CUBE", "3.0"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("result: 27"), "stdout: {stdout}");
     assert!(stdout.contains("cycles:"));
@@ -57,12 +61,19 @@ fn compile_prints_ir_that_reloads() {
     let out = optimist(&["compile", path.to_str().unwrap()]);
     assert!(out.status.success());
     let ir_text = String::from_utf8_lossy(&out.stdout).to_string();
-    assert!(ir_text.contains("func CUBE(v0:float) -> float {"), "{ir_text}");
+    assert!(
+        ir_text.contains("func CUBE(v0:float) -> float {"),
+        "{ir_text}"
+    );
 
     // Reload the dump through the `.ir` path and run it.
     let ir_path = write_temp("cube2.ir", &ir_text);
     let out = optimist(&["run", ir_path.to_str().unwrap(), "CUBE", "2.0", "--no-opt"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("result: 8"));
 }
 
@@ -119,7 +130,11 @@ fn heuristic_and_register_options_are_accepted() {
         "--coalesce",
         "conservative",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("CUBE"));
 }
 

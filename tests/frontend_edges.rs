@@ -293,17 +293,29 @@ fn zero_and_negative_trip_counts() {
       END
 ";
     assert_eq!(
-        run_fn(src, "TRIPS", &[Scalar::Int(5), Scalar::Int(1), Scalar::Int(1)]),
+        run_fn(
+            src,
+            "TRIPS",
+            &[Scalar::Int(5), Scalar::Int(1), Scalar::Int(1)]
+        ),
         Some(Scalar::Int(0)),
         "empty ascending loop"
     );
     assert_eq!(
-        run_fn(src, "TRIPS", &[Scalar::Int(1), Scalar::Int(5), Scalar::Int(-1)]),
+        run_fn(
+            src,
+            "TRIPS",
+            &[Scalar::Int(1), Scalar::Int(5), Scalar::Int(-1)]
+        ),
         Some(Scalar::Int(0)),
         "empty descending loop"
     );
     assert_eq!(
-        run_fn(src, "TRIPS", &[Scalar::Int(10), Scalar::Int(2), Scalar::Int(-3)]),
+        run_fn(
+            src,
+            "TRIPS",
+            &[Scalar::Int(10), Scalar::Int(2), Scalar::Int(-3)]
+        ),
         Some(Scalar::Int(3)),
         "10,7,4"
     );

@@ -10,8 +10,8 @@ use optimist::{allocate_module, regalloc::AllocatorConfig};
 
 fn check_seed(seed: u64, cfg: &GenConfig, targets: &[Target]) {
     let src = generate_routine("FUZZ", seed, cfg);
-    let module = optimist::frontend::compile(&src)
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+    let module =
+        optimist::frontend::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
     optimist::ir::verify_module(&module).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
 
     let opts = ExecOptions::default();
@@ -29,7 +29,10 @@ fn check_seed(seed: u64, cfg: &GenConfig, targets: &[Target]) {
                 .unwrap_or_else(|e| panic!("seed {seed} {target:?}: {e}"));
             let am = AllocatedModule::new(&module, &allocs, target);
             let run = run_allocated(&am, "FUZZ", &args, &opts).unwrap_or_else(|e| {
-                panic!("seed {seed} {}/{heuristic:?}: trap {e}\n{src}", target.name())
+                panic!(
+                    "seed {seed} {}/{heuristic:?}: trap {e}\n{src}",
+                    target.name()
+                )
             });
             assert_eq!(
                 run.ret,

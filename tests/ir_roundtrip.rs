@@ -22,8 +22,7 @@ fn corpus_round_trips_through_text() {
     for p in workloads::programs() {
         let module = optimist::compile_optimized(&p.source).unwrap();
         let text = module.to_string();
-        let parsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         verify_module(&parsed).unwrap_or_else(|e| panic!("{}: parsed module invalid: {e}", p.name));
 
         // Printing is a fixed point after one round trip.

@@ -1,0 +1,127 @@
+//! Property-based tests for the parallel allocation pipeline and the
+//! incremental interference-graph rebuild.
+//!
+//! Two invariants carry the whole PR:
+//!
+//! 1. **Scheduling independence** — a [`Pipeline`] with any thread count
+//!    produces exactly the results of the sequential (`threads = 1`) run,
+//!    in the same order. Allocation is a pure function of its input, so
+//!    the worker pool may only change *when* each function is allocated,
+//!    never *what* comes out.
+//! 2. **Incremental rebuild fidelity** — after spill-code insertion,
+//!    [`update_graph_after_spill`] repairs the pre-spill graph into exactly
+//!    the graph a full [`build_graph`] would construct from scratch.
+
+use optimist::analysis::{renumber, Cfg, Liveness};
+use optimist::ir::{Module, VReg};
+use optimist::machine::Target;
+use optimist::regalloc::{
+    build_graph, insert_spill_code, update_graph_after_spill, Allocation, AllocatorConfig,
+    Pipeline, SpillOpts,
+};
+use optimist::workloads::{generate_routine, GenConfig};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// Build a module of generated routines, one per seed, uniquely named.
+fn module_from_seeds(seeds: &[u64]) -> Module {
+    let mut module = Module::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let src = generate_routine("GEN", seed, &GenConfig::default());
+        let sub =
+            optimist::frontend::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        for f in sub.functions() {
+            let mut f = f.clone();
+            f.set_name(format!("GEN{i}"));
+            module.add_function(f);
+        }
+    }
+    module
+}
+
+/// The scheduling-independent facts of one allocation.
+fn fingerprint(a: &Allocation) -> (usize, usize, Vec<(optimist::ir::RegClass, u16)>, usize) {
+    (
+        a.stats.registers_spilled,
+        a.stats.passes,
+        a.assignment.iter().map(|r| (r.class, r.index)).collect(),
+        a.func.num_insts(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_pipeline_matches_sequential(
+        seeds in proptest::collection::vec(0u64..500, 1..6),
+        threads in 2usize..9,
+        incremental in any::<bool>(),
+        regs in 4usize..12,
+    ) {
+        let module = module_from_seeds(&seeds);
+        let base = AllocatorConfig::briggs(Target::with_int_regs(regs))
+            .with_incremental(incremental);
+        let seq = Pipeline::new(base.clone().with_threads(NonZeroUsize::new(1).unwrap()))
+            .allocate_module(&module);
+        let par = Pipeline::new(
+            base.with_threads(NonZeroUsize::new(threads).unwrap()),
+        )
+        .allocate_module(&module);
+
+        prop_assert_eq!(seq.results.len(), par.results.len());
+        for ((n1, r1), (n2, r2)) in seq.results.iter().zip(&par.results) {
+            prop_assert_eq!(n1, n2, "output must keep module function order");
+            match (r1, r2) {
+                (Ok(a1), Ok(a2)) => prop_assert_eq!(fingerprint(a1), fingerprint(a2)),
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1.to_string(), e2.to_string()),
+                other => prop_assert!(false, "ok/err disagreement: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_equals_full_rebuild(
+        seed in 0u64..800,
+        picks in proptest::collection::vec(any::<u32>(), 1..5),
+        rematerialize in any::<bool>(),
+    ) {
+        let src = generate_routine("GEN", seed, &GenConfig::default());
+        let module = optimist::frontend::compile(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let mut f = module.functions()[0].clone();
+        renumber(&mut f);
+
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let mut graph = build_graph(&f, &cfg, &live);
+
+        // Pick a random non-empty set of live ranges to spill.
+        let nv = f.num_vregs() as u32;
+        let mut spilled: Vec<u32> = picks.iter().map(|p| p % nv).collect();
+        spilled.sort_unstable();
+        spilled.dedup();
+        let spill_vregs: Vec<VReg> = spilled.iter().map(|&v| VReg::new(v)).collect();
+
+        let outcome = insert_spill_code(&mut f, &spill_vregs, &SpillOpts { rematerialize });
+
+        // Spill insertion never adds or removes blocks, so the CFG is
+        // reusable; only liveness must be recomputed.
+        let live = Liveness::new(&f, &cfg);
+        update_graph_after_spill(
+            &f,
+            &cfg,
+            &live,
+            &mut graph,
+            &spilled,
+            outcome.new_vregs,
+            &outcome.touched_blocks,
+        );
+
+        let full = build_graph(&f, &cfg, &live);
+        prop_assert!(
+            graph.same_edges(&full),
+            "seed {seed} spilling {spilled:?}: repaired graph diverged from rebuild\n{src}"
+        );
+    }
+}

@@ -98,12 +98,14 @@ fn liveness_matches_naive_model() {
             }
             let bi = b.index();
             let fast_out: HashSet<u32> = fast.live_out(b).iter().map(|v| v as u32).collect();
-            assert_eq!(fast_out, naive.live_out[bi], "{}: live_out of {b}", f.name());
+            assert_eq!(
+                fast_out,
+                naive.live_out[bi],
+                "{}: live_out of {b}",
+                f.name()
+            );
             let fast_in: HashSet<u32> = fast.live_in(b).iter().map(|v| v as u32).collect();
-            let naive_in = naive.live_before[bi]
-                .first()
-                .cloned()
-                .unwrap_or_default();
+            let naive_in = naive.live_before[bi].first().cloned().unwrap_or_default();
             assert_eq!(fast_in, naive_in, "{}: live_in of {b}", f.name());
         }
     }
@@ -152,9 +154,8 @@ fn dominators_match_set_definition() {
         for &a in &blocks {
             for &b in &blocks {
                 let fast = dom.dominates(a, b);
-                let slow = cfg.is_reachable(a)
-                    && cfg.is_reachable(b)
-                    && naive_dominates(&f, &cfg, a, b);
+                let slow =
+                    cfg.is_reachable(a) && cfg.is_reachable(b) && naive_dominates(&f, &cfg, a, b);
                 assert_eq!(fast, slow, "{}: dominates({a}, {b})", f.name());
             }
         }
@@ -166,9 +167,7 @@ fn dominators_match_set_definition() {
 fn naive_interference(f: &Function, cfg: &Cfg, live: &NaiveLiveness) -> HashSet<(u32, u32)> {
     let mut edges = HashSet::new();
     let mut add = |a: u32, b: u32| {
-        if a != b
-            && f.class_of(VReg::new(a)) == f.class_of(VReg::new(b))
-        {
+        if a != b && f.class_of(VReg::new(a)) == f.class_of(VReg::new(b)) {
             edges.insert((a.min(b), a.max(b)));
         }
     };

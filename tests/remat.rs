@@ -38,8 +38,7 @@ fn remat_preserves_results_and_never_adds_memory_traffic() {
             let allocs = optimist::allocate_module(&module, cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             let am = AllocatedModule::new(&module, &allocs, &cfg.target);
-            run_allocated(&am, p.driver, &args, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name))
+            run_allocated(&am, p.driver, &args, &opts).unwrap_or_else(|e| panic!("{}: {e}", p.name))
         };
         let plain = run(&plain_cfg);
         let remat = run(&remat_cfg);

@@ -1,0 +1,146 @@
+//! Replay the workloads suite against an `optimist-serve` daemon, cold
+//! then warm, over real TCP — the serving layer's end-to-end benchmark.
+//!
+//! ```text
+//! serve_replay [--rounds N] [--addr ADDR]
+//! ```
+//!
+//! Without `--addr` a daemon is spun up in-process on a loopback port.
+//! The first round populates the content-addressed cache; every later
+//! round should be answered from it. Prints a per-round latency table and
+//! the server's final `stats` dump as JSON on stdout.
+
+use optimist_serve::{Client, Json, Server};
+use std::process::ExitCode;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+struct Args {
+    rounds: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 3,
+        addr: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                args.rounds = v.parse().map_err(|_| format!("bad --rounds `{v}`"))?;
+            }
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--help" | "-h" => {
+                eprintln!("usage: serve_replay [--rounds N] [--addr ADDR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Compile the whole suite up front; the daemon only sees IR text.
+    let corpus: Vec<(String, String)> = optimist::workloads::programs()
+        .iter()
+        .map(|p| {
+            let module =
+                optimist::frontend::compile(&p.source).map_err(|e| format!("{}: {e}", p.name))?;
+            Ok((p.name.to_string(), module.to_string()))
+        })
+        .collect::<Result<_, String>>()?;
+
+    // Either attach to a running daemon or start one on a loopback port.
+    let (addr, local) = match args.addr {
+        Some(addr) => (addr, None),
+        None => {
+            let server = Arc::new(Server::new(4096, 16));
+            let (tx, rx) = mpsc::channel();
+            let s = Arc::clone(&server);
+            let handle = std::thread::spawn(move || {
+                s.run_listener("127.0.0.1:0", |bound| {
+                    let _ = tx.send(bound);
+                })
+                .expect("listener failed");
+            });
+            let bound = rx
+                .recv()
+                .map_err(|_| "daemon thread died before binding".to_string())?;
+            (bound.to_string(), Some((server, handle)))
+        }
+    };
+
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    println!("replaying {} programs against {addr}", corpus.len());
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "round", "latency_us", "hits", "misses"
+    );
+
+    let mut last_hits = 0;
+    let mut last_misses = 0;
+    for round in 0..args.rounds.max(1) {
+        let started = Instant::now();
+        for (name, ir) in &corpus {
+            let resp = client
+                .alloc(ir, Json::Null)
+                .map_err(|e| format!("{name}: {e}"))?;
+            let ok = resp.get("ok").and_then(Json::as_bool) == Some(true);
+            if !ok {
+                return Err(format!("{name}: server refused: {resp}"));
+            }
+        }
+        let elapsed = started.elapsed().as_micros();
+
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        let counter = |path: [&str; 2]| {
+            stats
+                .get(path[0])
+                .and_then(|c| c.get(path[1]))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let hits = counter(["cache", "hits"]);
+        let misses = counter(["cache", "misses"]);
+        println!(
+            "{:<8} {:>12} {:>10} {:>10}",
+            if round == 0 {
+                "cold".to_string()
+            } else {
+                format!("warm {round}")
+            },
+            elapsed,
+            hits - last_hits,
+            misses - last_misses,
+        );
+        last_hits = hits;
+        last_misses = misses;
+    }
+
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!("{stats}");
+
+    if let Some((_, handle)) = local {
+        client.shutdown().map_err(|e| e.to_string())?;
+        handle
+            .join()
+            .map_err(|_| "daemon thread panicked".to_string())?;
+    }
+    Ok(())
+}

@@ -1,9 +1,34 @@
-//! Textual rendering of IR, for debugging and golden tests.
+//! Textual rendering of IR, for debugging, golden tests, and the wire
+//! format of the serving layer.
+//!
+//! The rendering is **lossless**: every piece of [`Function`] state that
+//! the parser cannot reconstruct from the instructions alone — register
+//! names, register classes that type inference would miss, the
+//! never-spill flag, frame-slot names — is emitted as `reg`/`slot`
+//! metadata lines, so `parse(display(f)) == f` holds exactly. The
+//! `optimist-serve` result cache depends on this round trip; the proptests
+//! in the workspace root pin it down. [`canonical_text`] renders a
+//! function with metadata that does not affect allocation (register and
+//! slot *names*) stripped, which is what content-addressed caching hashes.
 
-use crate::func::Function;
+use crate::func::{Function, VRegData};
 use crate::inst::Inst;
 use crate::module::Module;
+use crate::{FrameSlot, VReg};
 use std::fmt;
+
+/// Write `name` as a double-quoted string, escaping `\` and `"`.
+fn write_quoted(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in name.chars() {
+        match c {
+            '\\' => write!(f, "\\\\")?,
+            '"' => write!(f, "\\\"")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -61,11 +86,52 @@ impl fmt::Display for Function {
         for s in 0..self.num_slots() {
             let slot = crate::FrameSlot::new(s as u32);
             let data = self.slot(slot);
-            if data.is_spill {
-                writeln!(f, "    slot {slot} = {} bytes (spill)", data.size)?;
-            } else {
-                writeln!(f, "    slot {slot} = {} bytes", data.size)?;
+            write!(f, "    slot {slot} = {} bytes", data.size)?;
+            if data.name != format!("s{s}") {
+                write!(f, " ")?;
+                write_quoted(f, &data.name)?;
             }
+            if data.is_spill {
+                write!(f, " (spill)")?;
+            }
+            writeln!(f)?;
+        }
+        // `reg` metadata lines carry everything the instructions don't:
+        // names, the never-spill flag, and any class the parser's type
+        // inference could not recover (float is always spelled out;
+        // unreferenced registers would otherwise vanish entirely).
+        let mut referenced = vec![false; self.num_vregs()];
+        for &p in self.params() {
+            referenced[p.index()] = true;
+        }
+        for (_, _, inst) in self.insts() {
+            if let Some(d) = inst.def() {
+                referenced[d.index()] = true;
+            }
+            for u in inst.uses() {
+                referenced[u.index()] = true;
+            }
+        }
+        for (i, &is_referenced) in referenced.iter().enumerate() {
+            let v = VReg::new(i as u32);
+            let data = self.vreg(v);
+            let canonical = format!("v{i}");
+            if data.name == canonical
+                && data.spillable
+                && data.class == crate::RegClass::Int
+                && is_referenced
+            {
+                continue;
+            }
+            write!(f, "    reg {v}:{}", data.class)?;
+            if data.name != canonical {
+                write!(f, " ")?;
+                write_quoted(f, &data.name)?;
+            }
+            if !data.spillable {
+                write!(f, " nospill")?;
+            }
+            writeln!(f)?;
         }
         for (bid, block) in self.blocks() {
             writeln!(f, "{bid}:")?;
@@ -92,8 +158,34 @@ impl fmt::Display for Module {
     }
 }
 
+/// Render `func` in **canonical text form**: the lossless text format with
+/// every register renamed to `v<N>` and every slot renamed to `s<N>`.
+///
+/// Names are the only function state with no effect on register
+/// allocation, so two functions have equal canonical text exactly when
+/// they are α-equivalent for the allocator: same instructions, classes,
+/// slots, and never-spill flags. The `optimist-serve` result cache hashes
+/// this text (together with a configuration fingerprint) as its
+/// content address.
+pub fn canonical_text(func: &Function) -> String {
+    let mut f = func.clone();
+    let table: Vec<VRegData> = (0..f.num_vregs())
+        .map(|i| VRegData {
+            class: f.class_of(VReg::new(i as u32)),
+            name: format!("v{i}"),
+            spillable: f.vreg(VReg::new(i as u32)).spillable,
+        })
+        .collect();
+    f.set_vreg_table(table);
+    for i in 0..f.num_slots() {
+        f.rename_slot(FrameSlot::new(i as u32), format!("s{i}"));
+    }
+    f.to_string()
+}
+
 #[cfg(test)]
 mod tests {
+    use super::canonical_text;
     use crate::builder::FunctionBuilder;
     use crate::inst::{BinOp, RegClass};
 
@@ -108,5 +200,49 @@ mod tests {
         assert!(s.contains("func f(v0:int) -> int {"));
         assert!(s.contains("v1 = mul.i v0, v0"));
         assert!(s.contains("ret v1"));
+        // The parameter's source name rides along as metadata.
+        assert!(s.contains("reg v0:int \"x\""));
+    }
+
+    #[test]
+    fn canonical_text_ignores_names_but_not_flags() {
+        let build = |names: [&str; 2], spillable: bool| {
+            let mut b = FunctionBuilder::new("f");
+            b.set_ret_class(Some(RegClass::Int));
+            let x = b.add_param(RegClass::Int, names[0]);
+            let t = b.binv(BinOp::MulI, x, x);
+            let mut f = b.finish();
+            f.rename_vreg(t, names[1]);
+            f.set_spillable(t, spillable);
+            f.block_mut(f.entry())
+                .insts
+                .push(crate::Inst::Ret { value: Some(t) });
+            f
+        };
+        let a = build(["x", "t"], true);
+        let b = build(["alpha", "beta"], true);
+        assert_ne!(a.to_string(), b.to_string(), "names are displayed");
+        assert_eq!(canonical_text(&a), canonical_text(&b), "…but not hashed");
+        let c = build(["x", "t"], false);
+        assert_ne!(
+            canonical_text(&a),
+            canonical_text(&c),
+            "never-spill is allocation-relevant and must stay"
+        );
+    }
+
+    #[test]
+    fn unreferenced_and_nospill_registers_are_declared() {
+        let mut f = crate::Function::new("f");
+        let dead = f.new_vreg(RegClass::Float, "v0");
+        let _ = dead;
+        let v = f.new_vreg(RegClass::Int, "v1");
+        f.set_spillable(v, false);
+        f.block_mut(f.entry())
+            .insts
+            .push(crate::Inst::Ret { value: None });
+        let s = f.to_string();
+        assert!(s.contains("reg v0:float"), "{s}");
+        assert!(s.contains("reg v1:int nospill"), "{s}");
     }
 }

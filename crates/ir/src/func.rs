@@ -171,6 +171,16 @@ impl Function {
         s
     }
 
+    /// Rename a frame slot (used by canonical-text rendering).
+    pub fn rename_slot(&mut self, s: FrameSlot, name: impl Into<String>) {
+        self.slots[s.index()].name = name.into();
+    }
+
+    /// Rename a virtual register (used by canonical-text rendering).
+    pub fn rename_vreg(&mut self, v: VReg, name: impl Into<String>) {
+        self.vregs[v.index()].name = name.into();
+    }
+
     /// Create a fresh empty block.
     pub fn new_block(&mut self) -> BlockId {
         let b = BlockId::new(self.blocks.len() as u32);

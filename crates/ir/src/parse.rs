@@ -1,14 +1,19 @@
 //! A text parser for the IR, the inverse of the [`Display`](std::fmt)
-//! rendering: `parse_module(&function.to_string())` reconstructs an
-//! equivalent module. Register *names* are not part of the text format and
-//! come back as `v<N>`; register *classes* are reconstructed by constraint
-//! propagation from operator signatures, parameter annotations, copies,
-//! and call edges (registers touched only by class-agnostic instructions
-//! default to `int`, which preserves semantics — loads, stores and copies
-//! move raw bits).
+//! rendering: `parse_module(&module.to_string())` reconstructs the module
+//! **exactly** (`parse(display(f)) == f` — the serving layer's wire format
+//! relies on this being lossless).
 //!
-//! Useful for golden tests, for re-reading `optimist compile` dumps, and
-//! for writing IR by hand without the builder.
+//! Dumps carry `reg`/`slot` metadata lines for register and slot names,
+//! classes, and never-spill flags. Hand-written IR may omit them: register
+//! classes are then reconstructed by constraint propagation from operator
+//! signatures, parameter annotations, copies, and call edges (registers
+//! touched only by class-agnostic instructions default to `int`, which
+//! preserves semantics — loads, stores and copies move raw bits), names
+//! default to `v<N>`/`s<N>`, and everything is spillable.
+//!
+//! Useful for golden tests, for re-reading `optimist compile` dumps, for
+//! the `optimist-serve` request protocol, and for writing IR by hand
+//! without the builder.
 
 use crate::func::{BlockId, FrameSlot, Function, VReg};
 use crate::inst::{Addr, BinOp, Cmp, Imm, Inst, RegClass, UnOp};
@@ -185,13 +190,14 @@ fn parse_function_lines(
         }
     }
 
-    // Body: slots, block labels, instructions, closing brace.
+    // Body: slots, reg metadata, block labels, instructions, closing brace.
     let mut consumed = 1;
     let mut current: Option<BlockId> = None;
     let mut max_vreg = next_vreg as i64 - 1;
     let mut insts_tmp: Vec<(BlockId, Inst)> = Vec::new();
     let mut max_slot: i64 = -1;
-    let mut declared_slots: Vec<(u64, bool)> = Vec::new();
+    let mut declared_slots: Vec<(u64, bool, Option<String>)> = Vec::new();
+    let mut declared_regs: Vec<(u32, RegClass, Option<String>, bool)> = Vec::new();
     let mut max_block: i64 = -1;
     let mut done = false;
 
@@ -203,7 +209,7 @@ fn parse_function_lines(
             break;
         }
         if let Some(rest) = t.strip_prefix("slot ") {
-            // sN = SIZE bytes [(spill)]
+            // sN = SIZE bytes ["NAME"] [(spill)]
             let Some((sid, tail)) = rest.split_once('=') else {
                 return err(ln, "malformed slot line");
             };
@@ -212,22 +218,61 @@ fn parse_function_lines(
                 return err(ln, "slots must be declared in order s0, s1, …");
             }
             let tail = tail.trim();
-            let spill = tail.ends_with("(spill)");
-            let num = tail
-                .trim_end_matches("(spill)")
-                .trim()
-                .strip_suffix("bytes")
-                .map(str::trim)
-                .ok_or(ParseError {
-                    line: ln,
-                    message: "expected `= N bytes`".into(),
-                })?;
+            let Some((num, mut rest)) = tail.split_once(char::is_whitespace) else {
+                return err(ln, "expected `= N bytes`");
+            };
             let size: u64 = num.parse().map_err(|_| ParseError {
                 line: ln,
                 message: format!("bad slot size `{num}`"),
             })?;
-            declared_slots.push((size, spill));
+            rest = rest
+                .trim_start()
+                .strip_prefix("bytes")
+                .ok_or(ParseError {
+                    line: ln,
+                    message: "expected `= N bytes`".into(),
+                })?
+                .trim_start();
+            let mut name = None;
+            if rest.starts_with('"') {
+                let (n, r) = parse_quoted(rest, ln)?;
+                name = Some(n);
+                rest = r.trim_start();
+            }
+            let spill = match rest.trim() {
+                "" => false,
+                "(spill)" => true,
+                other => return err(ln, format!("trailing `{other}` on slot line")),
+            };
+            declared_slots.push((size, spill, name));
             max_slot = max_slot.max(idx as i64);
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("reg ") {
+            // vN:class ["NAME"] [nospill]
+            let rest = rest.trim();
+            let (head, mut tail) = match rest.split_once(char::is_whitespace) {
+                Some((h, t)) => (h, t.trim_start()),
+                None => (rest, ""),
+            };
+            let Some((v_s, c_s)) = head.split_once(':') else {
+                return err(ln, "reg line needs `v<N>:class`");
+            };
+            let idx = parse_vreg(v_s, ln)?;
+            let class = parse_class(c_s.trim(), ln)?;
+            let mut name = None;
+            if tail.starts_with('"') {
+                let (n, r) = parse_quoted(tail, ln)?;
+                name = Some(n);
+                tail = r.trim_start();
+            }
+            let spillable = match tail.trim() {
+                "" => true,
+                "nospill" => false,
+                other => return err(ln, format!("trailing `{other}` on reg line")),
+            };
+            declared_regs.push((idx, class, name, spillable));
+            max_vreg = max_vreg.max(idx as i64);
             continue;
         }
         if let Some(label) = t.strip_suffix(':') {
@@ -272,9 +317,17 @@ fn parse_function_lines(
         let n = func.num_vregs();
         func.new_vreg(RegClass::Int, format!("v{n}"));
     }
-    for (i, (size, spill)) in declared_slots.iter().enumerate() {
-        let _ = i;
-        func.new_slot(*size, format!("s{i}"), *spill);
+    for &(idx, class, ref name, spillable) in &declared_regs {
+        let v = VReg::new(idx);
+        constraints.known.push((idx, class));
+        if let Some(n) = name {
+            func.rename_vreg(v, n.clone());
+        }
+        func.set_spillable(v, spillable);
+    }
+    for (i, (size, spill, name)) in declared_slots.iter().enumerate() {
+        let name = name.clone().unwrap_or_else(|| format!("s{i}"));
+        func.new_slot(*size, name, *spill);
     }
     while (func.num_slots() as i64) <= max_slot {
         let n = func.num_slots();
@@ -288,6 +341,28 @@ fn parse_function_lines(
     }
 
     Ok((func, consumed, constraints))
+}
+
+/// Parse a leading double-quoted string (with `\"`/`\\` escapes); returns
+/// the unescaped contents and the text after the closing quote.
+fn parse_quoted(s: &str, ln: u32) -> Result<(String, &str), ParseError> {
+    let body = s.strip_prefix('"').ok_or(ParseError {
+        line: ln,
+        message: "expected `\"`".into(),
+    })?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &body[i + c.len_utf8()..])),
+            '\\' => match chars.next() {
+                Some((_, e @ ('"' | '\\'))) => out.push(e),
+                _ => return err(ln, "bad escape in quoted name"),
+            },
+            c => out.push(c),
+        }
+    }
+    err(ln, "unterminated quoted name")
 }
 
 fn parse_class(s: &str, ln: u32) -> Result<RegClass, ParseError> {
@@ -788,6 +863,37 @@ mod tests {
             } => assert_eq!(*offset, -8),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        // Names, classes, spillable flags, slot names: everything equal.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Float));
+        let x = b.add_param(RegClass::Float, "x");
+        let slot = b.new_slot(24, "buf");
+        let t = b.binv(BinOp::MulF, x, x);
+        let base = b.new_vreg(RegClass::Int, "base");
+        b.frame_addr(base, slot);
+        b.store(t, Addr::Reg { base, offset: 0 });
+        b.ret(Some(t));
+        let mut f = b.finish();
+        f.set_spillable(t, false);
+        // An unreferenced register must survive the trip too.
+        f.new_vreg(RegClass::Float, "ghost");
+        let parsed = parse_function(&f.to_string()).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn quoted_names_with_escapes_round_trip() {
+        let mut f = Function::new("f");
+        let v = f.new_vreg(RegClass::Int, "we\\ird \"name\"");
+        f.block_mut(BlockId::new(0))
+            .insts
+            .push(Inst::Ret { value: Some(v) });
+        let parsed = parse_function(&f.to_string()).unwrap();
+        assert_eq!(parsed, f);
     }
 
     #[test]

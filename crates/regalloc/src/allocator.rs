@@ -154,6 +154,46 @@ impl AllocatorConfig {
         self.incremental = on;
         self
     }
+
+    /// A stable 64-bit fingerprint of every knob that can change the
+    /// *result* of an allocation: target register files, heuristic,
+    /// coalescing mode, spill metric, rematerialization, pass bound, and
+    /// incremental repair (it changes [`AllocStats`], so it is
+    /// result-relevant). [`AllocatorConfig::threads`] is deliberately
+    /// excluded — the worker count only changes scheduling, never output
+    /// (the pipeline determinism proptests pin that down).
+    ///
+    /// The hash is FNV-1a over a canonical rendering of the knobs, so it is
+    /// identical across processes and runs — `optimist-serve` folds it into
+    /// its content-addressed cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        use optimist_ir::RegClass;
+        let canonical = format!(
+            "target={}/i{}/f{};heuristic={:?};coalesce={:?};metric={:?};remat={};max_passes={};incremental={}",
+            self.target.name(),
+            self.target.regs(RegClass::Int),
+            self.target.regs(RegClass::Float),
+            self.heuristic,
+            self.coalesce,
+            self.spill_metric,
+            self.rematerialize,
+            self.max_passes,
+            self.incremental,
+        );
+        fnv1a(canonical.as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across processes
+/// (unlike [`std::collections::hash_map::DefaultHasher`], which is
+/// randomly seeded per process).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The default [`AllocatorConfig::threads`]: the machine's available
@@ -976,6 +1016,49 @@ mod tests {
                 assert_ne!(a.assignment[v as usize], a.assignment[m as usize]);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_knobs_only() {
+        let base = AllocatorConfig::briggs(Target::rt_pc());
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        // Threads never change results, so they never change the print.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_threads(NonZeroUsize::new(7).unwrap())
+                .fingerprint()
+        );
+        // Every result-relevant knob moves it.
+        let variants = [
+            base.clone().with_heuristic(Heuristic::ChaitinPessimistic),
+            base.clone()
+                .with_coalesce(crate::coalesce::CoalesceMode::Off),
+            base.clone()
+                .with_spill_metric(crate::simplify::SpillMetric::Cost),
+            base.clone().with_rematerialize(true),
+            base.clone().with_max_passes(3),
+            base.clone().with_incremental(true),
+            AllocatorConfig::briggs(Target::with_int_regs(8)),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(|c| c.fingerprint()).collect();
+        prints.push(base.fingerprint());
+        let distinct: std::collections::BTreeSet<u64> = prints.iter().copied().collect();
+        assert_eq!(distinct.len(), prints.len(), "fingerprint collision");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Pinned value: the cache key must not drift between releases.
+        assert_eq!(super::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(super::fnv1a(b"optimist"), {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in b"optimist" {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        });
     }
 
     #[test]

@@ -161,57 +161,6 @@ fn one_pass(func: &mut Function, mode: CoalesceMode, target: Option<&Target>) ->
     merged
 }
 
-/// Deprecated spelling of a single aggressive [`coalesce`] pass.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `coalesce(func, &CoalesceOpts { fixpoint: false, ..Default::default() })`"
-)]
-pub fn coalesce_pass(func: &mut Function) -> usize {
-    coalesce(
-        func,
-        &CoalesceOpts {
-            fixpoint: false,
-            ..Default::default()
-        },
-    )
-}
-
-/// Deprecated spelling of a single [`coalesce`] pass with an explicit mode.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `coalesce(func, &CoalesceOpts { mode, target, fixpoint: false })`"
-)]
-pub fn coalesce_pass_with(
-    func: &mut Function,
-    mode: CoalesceMode,
-    target: Option<&Target>,
-) -> usize {
-    coalesce(
-        func,
-        &CoalesceOpts {
-            mode,
-            target,
-            fixpoint: false,
-        },
-    )
-}
-
-/// Deprecated spelling of [`coalesce`] to fixpoint with an explicit mode.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `coalesce(func, &CoalesceOpts { mode, target, fixpoint: true })`"
-)]
-pub fn coalesce_with(func: &mut Function, mode: CoalesceMode, target: Option<&Target>) -> usize {
-    coalesce(
-        func,
-        &CoalesceOpts {
-            mode,
-            target,
-            fixpoint: true,
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,31 +371,6 @@ mod tests {
             1,
             "the copy must survive"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_coalesce() {
-        let build = || {
-            let mut b = FunctionBuilder::new("f");
-            b.set_ret_class(Some(RegClass::Int));
-            let a = b.int(3);
-            let c = b.new_vreg(RegClass::Int, "c");
-            b.copy(c, a);
-            let d = b.new_vreg(RegClass::Int, "d");
-            b.copy(d, c);
-            b.ret(Some(d));
-            let mut f = b.finish();
-            renumber(&mut f);
-            f
-        };
-        let mut f = build();
-        assert_eq!(coalesce_pass(&mut f), 2);
-        let mut f = build();
-        assert_eq!(coalesce_pass_with(&mut f, CoalesceMode::Off, None), 0);
-        let mut f = build();
-        assert_eq!(coalesce_with(&mut f, CoalesceMode::Aggressive, None), 2);
-        verify_function(&f).unwrap();
     }
 
     #[test]

@@ -63,8 +63,8 @@ mod simplify;
 mod spill;
 
 pub use allocator::{
-    allocate, default_threads, AllocError, AllocStats, Allocation, AllocatorConfig, PassRecord,
-    PhaseTimes,
+    allocate, default_threads, fnv1a, AllocError, AllocStats, Allocation, AllocatorConfig,
+    PassRecord, PhaseTimes,
 };
 pub use build::{build_graph, update_graph_after_spill};
 pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
@@ -75,8 +75,3 @@ pub use pipeline::{ModuleAllocation, Pipeline};
 pub use select::{select, Coloring};
 pub use simplify::{simplify, simplify_with_metric, Heuristic, SimplifyOutcome, SpillMetric};
 pub use spill::{insert_spill_code, SpillOpts, SpillOutcome, SpillStats};
-
-#[allow(deprecated)]
-pub use coalesce::{coalesce_pass, coalesce_pass_with, coalesce_with};
-#[allow(deprecated)]
-pub use spill::insert_spill_code_ext;

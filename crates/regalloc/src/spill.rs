@@ -239,20 +239,6 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
     }
 }
 
-/// Deprecated spelling of [`insert_spill_code`] with a positional
-/// `rematerialize` flag; returns only the instruction counts.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `insert_spill_code(func, spilled, &SpillOpts { rematerialize, ..Default::default() })`"
-)]
-pub fn insert_spill_code_ext(
-    func: &mut Function,
-    spilled: &[VReg],
-    rematerialize: bool,
-) -> SpillStats {
-    insert_spill_code(func, spilled, &SpillOpts { rematerialize }).stats
-}
-
 /// Bit-exact immediate equality (floats compared by bits so `-0.0 ≠ 0.0`).
 fn same_imm(a: Imm, b: Imm) -> bool {
     match (a, b) {
@@ -532,21 +518,5 @@ mod tests {
         assert!(out.touched_blocks.is_empty());
         assert!(out.new_vregs.is_empty());
         assert_eq!(f.num_slots(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_ext_shim_still_works() {
-        let mut b = FunctionBuilder::new("f");
-        b.set_ret_class(Some(RegClass::Int));
-        let x = b.new_vreg(RegClass::Int, "x");
-        b.load_imm(x, Imm::Int(42));
-        let y = b.int(7);
-        let t = b.binv(BinOp::AddI, x, y);
-        b.ret(Some(t));
-        let mut f = b.finish();
-        let stats = insert_spill_code_ext(&mut f, &[x], true);
-        assert_eq!(stats.rematerialized, 1);
-        verify_function(&f).unwrap();
     }
 }

@@ -1,0 +1,107 @@
+//! The `optimist-serve` daemon binary.
+//!
+//! ```text
+//! optimist-serve --listen 127.0.0.1:7878      # TCP daemon
+//! optimist-serve                              # serve stdin → stdout
+//! optimist-serve --oneshot < request.json     # answer one request, exit
+//! ```
+//!
+//! On shutdown (a `shutdown` request, or EOF in stdio mode) the final
+//! metrics dump is written to stderr as one JSON line.
+
+use optimist_serve::Server;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: optimist-serve [options]
+
+Serve register-allocation requests as newline-delimited JSON.
+
+options:
+  --listen ADDR         accept TCP connections on ADDR (e.g. 127.0.0.1:7878);
+                        without this flag, requests are read from stdin
+  --oneshot             stdio mode: answer the first request and exit
+  --cache-capacity N    cached function results across all shards [default 4096]
+  --shards N            cache lock shards [default 16]
+  --quiet               suppress the final metrics dump on stderr
+  --help                show this help
+";
+
+struct Options {
+    listen: Option<String>,
+    oneshot: bool,
+    cache_capacity: usize,
+    shards: usize,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        listen: None,
+        oneshot: false,
+        cache_capacity: 4096,
+        shards: 16,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--oneshot" => opts.oneshot = true,
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs an integer".to_string())?
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.listen.is_some() && opts.oneshot {
+        return Err("--oneshot is a stdio mode; drop --listen".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("optimist-serve: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = Arc::new(Server::new(opts.cache_capacity, opts.shards));
+    let result = match &opts.listen {
+        Some(addr) => server.run_listener(addr.as_str(), |bound| {
+            eprintln!("optimist-serve: listening on {bound}");
+        }),
+        None => server.run_io(
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+            opts.oneshot,
+        ),
+    };
+
+    if !opts.quiet {
+        eprintln!("{}", server.stats_json());
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("optimist-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

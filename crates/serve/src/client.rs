@@ -1,0 +1,115 @@
+//! A blocking client for the daemon's TCP front-end.
+//!
+//! One [`Client`] wraps one connection; each request writes one JSON line
+//! and reads one JSON line back. Used by the `optimist remote` CLI
+//! subcommand and the bench harness's warm/cold replay.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to an `optimist-serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A failed round trip: transport trouble, unparsable response, or a
+/// well-formed `"ok":false` refusal from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server's response line was not valid JSON.
+    BadResponse(String),
+    /// The server answered `"ok": false`; payload is its `"error"` text.
+    Refused(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::BadResponse(line) => write!(f, "unparsable response: {line}"),
+            ClientError::Refused(msg) => write!(f, "server refused: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a daemon at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Send one raw request object, returning the parsed response. Errors
+    /// with [`ClientError::Refused`] if the server answered `"ok": false`.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        // Serialize first: formatting straight into the socket would issue
+        // one tiny write per JSON token and stall on Nagle's algorithm.
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = crate::json::parse(&line)
+            .map_err(|_| ClientError::BadResponse(line.trim().to_string()))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            let msg = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("(no error text)")
+                .to_string();
+            return Err(ClientError::Refused(msg));
+        }
+        Ok(response)
+    }
+
+    /// Allocate the functions in `ir` (IR text) under `config` (the
+    /// protocol's config object, or `Json::Null` for the default).
+    pub fn alloc(&mut self, ir: &str, config: Json) -> Result<Json, ClientError> {
+        let mut req = Json::obj([("req", Json::from("alloc"))]);
+        req.push("ir", Json::from(ir));
+        if !matches!(config, Json::Null) {
+            req.push("config", config);
+        }
+        self.request(&req)
+    }
+
+    /// Fetch the server's metrics dump (the `"stats"` member).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let resp = self.request(&Json::obj([("req", Json::from("stats"))]))?;
+        resp.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::BadResponse("stats response without stats".into()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj([("req", Json::from("ping"))]))?;
+        Ok(())
+    }
+
+    /// Ask the daemon to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj([("req", Json::from("shutdown"))]))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,37 @@
+//! A batch register-allocation service over the `optimist` pipeline.
+//!
+//! `optimist-serve` is a long-running daemon that accepts allocation
+//! requests — textual IR plus allocator knobs — as newline-delimited JSON
+//! over TCP or stdin, drives them through
+//! [`Pipeline`](optimist_regalloc::Pipeline), and answers with register
+//! assignments, spill sets, and headline statistics.
+//!
+//! Its centerpiece is a **content-addressed result cache**
+//! ([`cache::cache_key`]): allocation is a pure function of the function
+//! text and the configuration, so results are stored under a stable hash
+//! of the α-renamed (canonical) function text combined with the
+//! configuration fingerprint. Re-submitting an unchanged function — even
+//! with different register *names* — skips Build–Simplify–Color entirely.
+//! A [`metrics::Metrics`] registry (counters, worker-occupancy gauge,
+//! per-phase latency histograms) is dumpable as JSON via the `stats`
+//! request and on shutdown.
+//!
+//! Front-ends: the `optimist-serve` binary (TCP `--listen`, stdio, and
+//! `--oneshot` modes), the [`client::Client`] used by `optimist remote`,
+//! and the bench harness's warm/cold corpus replay.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{cache_key, ShardedLru};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use metrics::Metrics;
+pub use protocol::{FnResult, ProtocolError, Request};
+pub use server::{Disposition, Server};

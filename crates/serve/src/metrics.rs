@@ -1,0 +1,302 @@
+//! The server's observability surface.
+//!
+//! A [`Metrics`] registry holds monotonically-increasing [`Counter`]s,
+//! [`Gauge`]s with a high-water mark, and log₂-bucketed latency
+//! [`Histogram`]s. Everything is lock-free atomics so the hot path pays a
+//! handful of relaxed increments; [`Metrics::to_json`] snapshots the whole
+//! registry for the `stats` request and the shutdown dump.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically-increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (e.g. busy workers) that also remembers the
+/// highest level ever held.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Raise the level by `n`, updating the high-water mark.
+    pub fn raise(&self, n: u64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating at zero).
+    pub fn lower(&self, n: u64) {
+        // fetch_update to saturate rather than wrap if callers misbalance.
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket *i* counts samples in
+/// `[2^i, 2^(i+1))` microseconds, with bucket 0 also catching 0 and the
+/// last bucket open-ended.
+const BUCKETS: usize = 32;
+
+/// A latency histogram over microseconds with power-of-two buckets.
+///
+/// Coarse, fixed-size, and mergeable — enough to tell a cache hit
+/// (microseconds) from a cold Build–Simplify–Color pass (milliseconds)
+/// without the server allocating per sample.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count();
+        let total = self.total_us();
+        // Only the occupied prefix matters; print `[lower_bound_us, count]`
+        // pairs for non-empty buckets to keep the dump readable.
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                let lower = if i == 0 { 0u64 } else { 1u64 << i };
+                buckets.push(Json::Arr(vec![Json::from(lower), Json::from(n)]));
+            }
+        }
+        Json::obj([
+            ("count", Json::from(count)),
+            ("total_us", Json::from(total)),
+            (
+                "mean_us",
+                if count == 0 {
+                    Json::from(0u64)
+                } else {
+                    Json::from(total as f64 / count as f64)
+                },
+            ),
+            ("max_us", Json::from(self.max_us())),
+            ("buckets_log2_us", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Every statistic the server exports, dumpable as one JSON object.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Lines received (any request kind).
+    pub requests: Counter,
+    /// `alloc` requests received.
+    pub alloc_requests: Counter,
+    /// Functions allocated or served from cache.
+    pub functions: Counter,
+    /// Functions answered from the result cache.
+    pub cache_hits: Counter,
+    /// Functions that had to run the allocator.
+    pub cache_misses: Counter,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: Counter,
+    /// Requests rejected as unparsable (bad JSON or bad IR text).
+    pub parse_errors: Counter,
+    /// Functions the allocator itself rejected.
+    pub alloc_errors: Counter,
+    /// Worker-pool occupancy: how many requests are inside the allocator
+    /// right now, with a high-water mark.
+    pub workers_busy: Gauge,
+    /// End-to-end latency of `alloc` requests.
+    pub request_latency: Histogram,
+    /// Time spent building interference graphs (cold functions only).
+    pub phase_build: Histogram,
+    /// Time spent simplifying (cold functions only).
+    pub phase_simplify: Histogram,
+    /// Time spent coloring (cold functions only).
+    pub phase_color: Histogram,
+    /// Time spent inserting spill code (cold functions only).
+    pub phase_spill: Histogram,
+}
+
+impl Metrics {
+    /// Snapshot the registry as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "requests",
+                Json::obj([
+                    ("total", Json::from(self.requests.get())),
+                    ("alloc", Json::from(self.alloc_requests.get())),
+                    ("parse_errors", Json::from(self.parse_errors.get())),
+                    ("alloc_errors", Json::from(self.alloc_errors.get())),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(self.cache_hits.get())),
+                    ("misses", Json::from(self.cache_misses.get())),
+                    ("evictions", Json::from(self.cache_evictions.get())),
+                    ("hit_rate", {
+                        let h = self.cache_hits.get();
+                        let m = self.cache_misses.get();
+                        if h + m == 0 {
+                            Json::Null
+                        } else {
+                            Json::from(h as f64 / (h + m) as f64)
+                        }
+                    }),
+                ]),
+            ),
+            (
+                "workers",
+                Json::obj([
+                    ("busy", Json::from(self.workers_busy.get())),
+                    ("high_water", Json::from(self.workers_busy.high_water())),
+                ]),
+            ),
+            ("functions", Json::from(self.functions.get())),
+            ("request_latency", self.request_latency.to_json()),
+            (
+                "phases",
+                Json::obj([
+                    ("build", self.phase_build.to_json()),
+                    ("simplify", self.phase_simplify.to_json()),
+                    ("color", self.phase_color.to_json()),
+                    ("spill", self.phase_spill.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total_us(), 1004);
+        assert_eq!(h.max_us(), 1000);
+        let dump = h.to_json().to_string();
+        // 0 and 1 share bucket 0; 3 lands in [2,4); 1000 in [512,1024).
+        assert!(dump.contains("[0,2]"), "{dump}");
+        assert!(dump.contains("[2,1]"), "{dump}");
+        assert!(dump.contains("[512,1]"), "{dump}");
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_and_saturates() {
+        let g = Gauge::default();
+        g.raise(3);
+        g.lower(1);
+        g.raise(1);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 3);
+        g.lower(10);
+        assert_eq!(g.get(), 0, "lower saturates at zero");
+        assert_eq!(g.high_water(), 3);
+    }
+
+    #[test]
+    fn registry_dump_is_valid_json() {
+        let m = Metrics::default();
+        m.requests.inc();
+        m.alloc_requests.inc();
+        m.cache_hits.add(9);
+        m.cache_misses.add(1);
+        m.request_latency.record(Duration::from_micros(42));
+        let dump = m.to_json().to_string();
+        let back = crate::json::parse(&dump).expect("dump must reparse");
+        assert_eq!(
+            back.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(9)
+        );
+        let rate = back
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((rate - 0.9).abs() < 1e-9);
+    }
+}

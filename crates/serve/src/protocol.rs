@@ -1,0 +1,366 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is a single line holding one JSON object with a `"req"`
+//! discriminator; every response is a single line with an `"ok"` boolean.
+//! The IR travels as the textual format of `optimist_ir::parse` /
+//! `Display`, embedded as a JSON string — the format is lossless, so
+//! clients can ship allocator output back through the daemon verbatim.
+//!
+//! Request kinds:
+//!
+//! ```json
+//! {"req":"alloc","ir":"fn F(v0:int) {...}","config":{"heuristic":"briggs",
+//!  "target":"rt-pc","int_regs":16,"float_regs":8,"coalesce":"aggressive",
+//!  "spill_metric":"cost/degree","rematerialize":false,"max_passes":64,
+//!  "threads":4,"incremental":false}}
+//! {"req":"stats"}
+//! {"req":"ping"}
+//! {"req":"shutdown"}
+//! ```
+//!
+//! Every `config` field is optional; the default is the paper's Briggs
+//! configuration on the RT/PC. The `alloc` response carries one entry per
+//! function with the register assignment (vreg index → `r3`/`f1`/`spill`),
+//! the spilled vregs, and the headline `AllocStats`.
+
+use crate::json::Json;
+use optimist_machine::Target;
+use optimist_regalloc::{
+    AllocStats, Allocation, AllocatorConfig, CoalesceMode, Heuristic, SpillMetric,
+};
+use std::num::NonZeroUsize;
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Allocate every function in the embedded IR text.
+    Alloc {
+        /// The module, in IR text format.
+        ir: String,
+        /// Allocator knobs for this request.
+        config: AllocatorConfig,
+    },
+    /// Dump the metrics registry.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server (after responding).
+    Shutdown,
+}
+
+/// A malformed request line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let v = crate::json::parse(line).map_err(|e| bad(format!("bad JSON: {e}")))?;
+        let kind = v
+            .get("req")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"req\""))?;
+        match kind {
+            "alloc" => {
+                let ir = v
+                    .get("ir")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("alloc request needs a string field \"ir\""))?
+                    .to_string();
+                let config = parse_config(v.get("config"))?;
+                Ok(Request::Alloc { ir, config })
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+/// Build an [`AllocatorConfig`] from the optional `"config"` object.
+/// Unknown fields are rejected so typos fail loudly instead of silently
+/// running the default configuration.
+pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolError> {
+    let spec = match spec {
+        None | Some(Json::Null) => return Ok(AllocatorConfig::briggs(Target::rt_pc())),
+        Some(Json::Obj(pairs)) => pairs,
+        Some(_) => return Err(bad("\"config\" must be an object")),
+    };
+
+    let mut heuristic = Heuristic::BriggsOptimistic;
+    let mut target_name: Option<String> = None;
+    let mut int_regs: Option<u64> = None;
+    let mut float_regs: Option<u64> = None;
+    let mut coalesce = None;
+    let mut spill_metric = None;
+    let mut rematerialize = None;
+    let mut max_passes = None;
+    let mut threads = None;
+    let mut incremental = None;
+
+    for (key, value) in spec {
+        match key.as_str() {
+            "heuristic" => {
+                heuristic = match value.as_str() {
+                    Some("briggs") | Some("optimistic") => Heuristic::BriggsOptimistic,
+                    Some("chaitin") | Some("pessimistic") => Heuristic::ChaitinPessimistic,
+                    _ => return Err(bad("heuristic must be \"briggs\" or \"chaitin\"")),
+                }
+            }
+            "target" => {
+                target_name = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| bad("target must be a string"))?
+                        .to_string(),
+                )
+            }
+            "int_regs" => {
+                int_regs = Some(
+                    value
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("int_regs must be a positive integer"))?,
+                )
+            }
+            "float_regs" => {
+                float_regs = Some(
+                    value
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("float_regs must be a positive integer"))?,
+                )
+            }
+            "coalesce" => {
+                coalesce = Some(match value.as_str() {
+                    Some("aggressive") => CoalesceMode::Aggressive,
+                    Some("conservative") => CoalesceMode::Conservative,
+                    Some("off") => CoalesceMode::Off,
+                    _ => {
+                        return Err(bad(
+                            "coalesce must be \"aggressive\", \"conservative\" or \"off\"",
+                        ))
+                    }
+                })
+            }
+            "spill_metric" => {
+                spill_metric =
+                    Some(match value.as_str() {
+                        Some("cost/degree") => SpillMetric::CostOverDegree,
+                        Some("cost") => SpillMetric::Cost,
+                        Some("cost/degree^2") => SpillMetric::CostOverDegreeSquared,
+                        _ => return Err(bad(
+                            "spill_metric must be \"cost/degree\", \"cost\" or \"cost/degree^2\"",
+                        )),
+                    })
+            }
+            "rematerialize" => {
+                rematerialize = Some(
+                    value
+                        .as_bool()
+                        .ok_or_else(|| bad("rematerialize must be a boolean"))?,
+                )
+            }
+            "max_passes" => {
+                max_passes = Some(
+                    value
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("max_passes must be a positive integer"))?,
+                )
+            }
+            "threads" => {
+                threads = Some(
+                    value
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .and_then(NonZeroUsize::new)
+                        .ok_or_else(|| bad("threads must be a positive integer"))?,
+                )
+            }
+            "incremental" => {
+                incremental = Some(
+                    value
+                        .as_bool()
+                        .ok_or_else(|| bad("incremental must be a boolean"))?,
+                )
+            }
+            other => return Err(bad(format!("unknown config field {other:?}"))),
+        }
+    }
+
+    let target = match (target_name.as_deref(), int_regs, float_regs) {
+        (None | Some("rt-pc"), None, None) => Target::rt_pc(),
+        (name, ints, floats) => Target::custom(
+            name.unwrap_or("custom"),
+            ints.unwrap_or(16) as usize,
+            floats.unwrap_or(8) as usize,
+        ),
+    };
+
+    let mut config = match heuristic {
+        Heuristic::BriggsOptimistic => AllocatorConfig::briggs(target),
+        Heuristic::ChaitinPessimistic => AllocatorConfig::chaitin(target),
+    };
+    if let Some(mode) = coalesce {
+        config = config.with_coalesce(mode);
+    }
+    if let Some(metric) = spill_metric {
+        config = config.with_spill_metric(metric);
+    }
+    if let Some(on) = rematerialize {
+        config = config.with_rematerialize(on);
+    }
+    if let Some(n) = max_passes {
+        config = config.with_max_passes(n as usize);
+    }
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
+    if let Some(on) = incremental {
+        config = config.with_incremental(on);
+    }
+    Ok(config)
+}
+
+/// The cached portion of one function's allocation result: everything the
+/// wire response needs, cheap to clone out of the cache.
+#[derive(Debug, Clone)]
+pub struct FnResult {
+    /// Function name (as submitted — names are not part of the cache key,
+    /// so the stored copy is overwritten per response).
+    pub name: String,
+    /// Physical register per vreg index (`"r3"`, `"f0"`, or `"spill"`).
+    pub assignment: Vec<String>,
+    /// Names of the vregs that were spilled.
+    pub spilled: Vec<String>,
+    /// Headline statistics from the winning run.
+    pub stats: AllocStats,
+}
+
+impl FnResult {
+    /// Capture the cacheable parts of an [`Allocation`].
+    pub fn from_allocation(name: &str, alloc: &Allocation) -> FnResult {
+        // Spilled live ranges survive only as their spill slots, which the
+        // spill inserter names `spill.<vreg name>` and flags `is_spill`.
+        let spilled: Vec<String> = (0..alloc.func.num_slots())
+            .map(|i| alloc.func.slot(optimist_ir::FrameSlot::new(i as u32)))
+            .filter(|s| s.is_spill)
+            .map(|s| s.name.strip_prefix("spill.").unwrap_or(&s.name).to_string())
+            .collect();
+        FnResult {
+            name: name.to_string(),
+            assignment: alloc.assignment.iter().map(|r| r.to_string()).collect(),
+            spilled,
+            stats: alloc.stats.clone(),
+        }
+    }
+
+    /// Render as one entry of the `alloc` response's `"functions"` array.
+    pub fn to_json(&self, cached: bool) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "assignment",
+                Json::Arr(
+                    self.assignment
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "spilled",
+                Json::Arr(
+                    self.spilled
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "stats",
+                Json::obj([
+                    ("live_ranges", Json::from(self.stats.live_ranges)),
+                    (
+                        "registers_spilled",
+                        Json::from(self.stats.registers_spilled),
+                    ),
+                    ("spill_cost", Json::from(self.stats.spill_cost)),
+                    ("passes", Json::from(self.stats.passes)),
+                    ("coalesced_copies", Json::from(self.stats.coalesced_copies)),
+                    (
+                        "incremental_passes",
+                        Json::from(self.stats.incremental_passes),
+                    ),
+                ]),
+            ),
+            ("cached", Json::from(cached)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_ir::RegClass;
+
+    #[test]
+    fn default_config_is_briggs_on_rt_pc() {
+        let req = Request::parse(r#"{"req":"alloc","ir":"fn F() { entry: ret }"}"#).unwrap();
+        let Request::Alloc { config, .. } = req else {
+            panic!("wrong kind")
+        };
+        assert_eq!(config.heuristic, Heuristic::BriggsOptimistic);
+        assert_eq!(config.target.name(), "rt-pc");
+        assert_eq!(config.target.regs(RegClass::Int), 16);
+    }
+
+    #[test]
+    fn config_fields_map_onto_allocator_knobs() {
+        let line = r#"{"req":"alloc","ir":"","config":{
+            "heuristic":"chaitin","target":"tiny","int_regs":4,"float_regs":2,
+            "coalesce":"off","spill_metric":"cost","rematerialize":true,
+            "max_passes":7,"threads":2,"incremental":true}}"#
+            .replace('\n', " ");
+        let Request::Alloc { config, .. } = Request::parse(&line).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(config.heuristic, Heuristic::ChaitinPessimistic);
+        assert_eq!(config.target.name(), "tiny");
+        assert_eq!(config.target.regs(RegClass::Int), 4);
+        assert_eq!(config.target.regs(RegClass::Float), 2);
+        assert_eq!(config.coalesce, CoalesceMode::Off);
+        assert_eq!(config.spill_metric, SpillMetric::Cost);
+        assert!(config.rematerialize);
+        assert_eq!(config.max_passes, 7);
+        assert_eq!(config.threads.get(), 2);
+        assert!(config.incremental);
+    }
+
+    #[test]
+    fn unknown_fields_and_kinds_are_rejected() {
+        assert!(Request::parse(r#"{"req":"frobnicate"}"#).is_err());
+        assert!(
+            Request::parse(r#"{"req":"alloc","ir":"","config":{"heuristc":"briggs"}}"#).is_err()
+        );
+        assert!(Request::parse("not json").is_err());
+        assert!(
+            Request::parse(r#"{"req":"alloc"}"#).is_err(),
+            "ir is required"
+        );
+    }
+}

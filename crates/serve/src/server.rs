@@ -1,0 +1,378 @@
+//! The request engine and the two front-ends (TCP listener, stdio).
+//!
+//! A [`Server`] owns the content-addressed result cache and the metrics
+//! registry; [`Server::handle_line`] turns one request line into one
+//! response line. The front-ends are thin: `run_stdio` reads lines from a
+//! reader, `run_listener` accepts TCP connections and serves each on its
+//! own thread. Both stop when a `shutdown` request arrives.
+
+use crate::cache::{cache_key, ShardedLru};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{FnResult, Request};
+use optimist_ir::parse_module;
+use optimist_regalloc::{AllocatorConfig, Pipeline};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a handled request affects the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Keep serving.
+    Continue,
+    /// The client asked the daemon to stop.
+    Shutdown,
+}
+
+/// The allocation daemon: result cache + metrics + request dispatch.
+///
+/// One `Server` serves any number of connections concurrently; all state
+/// is internally synchronized.
+#[derive(Debug)]
+pub struct Server {
+    cache: ShardedLru<FnResult>,
+    metrics: Metrics,
+    stop: AtomicBool,
+}
+
+impl Server {
+    /// A server whose cache holds `cache_capacity` function results across
+    /// `shards` locks.
+    pub fn new(cache_capacity: usize, shards: usize) -> Self {
+        Server {
+            cache: ShardedLru::new(cache_capacity, shards),
+            metrics: Metrics::default(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ShardedLru<FnResult> {
+        &self.cache
+    }
+
+    /// Handle one request line, returning the response line (no trailing
+    /// newline) and whether the server should keep running.
+    pub fn handle_line(&self, line: &str) -> (String, Disposition) {
+        self.metrics.requests.inc();
+        let response = match Request::parse(line) {
+            Err(e) => {
+                self.metrics.parse_errors.inc();
+                return (
+                    error_response(&e.to_string()).to_string(),
+                    Disposition::Continue,
+                );
+            }
+            Ok(req) => req,
+        };
+        match response {
+            Request::Ping => (
+                Json::obj([("ok", Json::from(true)), ("pong", Json::from(true))]).to_string(),
+                Disposition::Continue,
+            ),
+            Request::Stats => {
+                let mut obj = Json::obj([("ok", Json::from(true))]);
+                obj.push("stats", self.stats_json());
+                (obj.to_string(), Disposition::Continue)
+            }
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                (
+                    Json::obj([("ok", Json::from(true)), ("shutdown", Json::from(true))])
+                        .to_string(),
+                    Disposition::Shutdown,
+                )
+            }
+            Request::Alloc { ir, config } => (
+                self.handle_alloc(&ir, config).to_string(),
+                Disposition::Continue,
+            ),
+        }
+    }
+
+    /// The metrics registry plus cache geometry, as dumped by the `stats`
+    /// request and the shutdown hook.
+    pub fn stats_json(&self) -> Json {
+        let mut stats = self.metrics.to_json();
+        stats.push(
+            "cache_entries",
+            Json::obj([
+                ("len", Json::from(self.cache.len())),
+                ("capacity", Json::from(self.cache.capacity())),
+                ("shards", Json::from(self.cache.num_shards())),
+            ]),
+        );
+        stats
+    }
+
+    fn handle_alloc(&self, ir: &str, config: AllocatorConfig) -> Json {
+        let started = Instant::now();
+        self.metrics.alloc_requests.inc();
+
+        let module = match parse_module(ir) {
+            Ok(m) => m,
+            Err(e) => {
+                self.metrics.parse_errors.inc();
+                return error_response(&format!("bad IR: {e}"));
+            }
+        };
+
+        // Split the module into cache hits and functions that must run.
+        let funcs = module.functions();
+        let mut entries: Vec<Option<(Arc<FnResult>, bool)>> = vec![None; funcs.len()];
+        let mut cold = Vec::new(); // (index into `entries`, function clone)
+        for (i, f) in funcs.iter().enumerate() {
+            let key = cache_key(f, &config);
+            if let Some(hit) = self.cache.get(key) {
+                self.metrics.cache_hits.inc();
+                entries[i] = Some((hit, true));
+            } else {
+                self.metrics.cache_misses.inc();
+                cold.push((i, key, f.clone()));
+            }
+        }
+
+        // Run the allocator over the cold functions only; cache hits never
+        // touch the Build–Simplify–Color machinery.
+        let mut errors = Vec::new();
+        if !cold.is_empty() {
+            self.metrics.workers_busy.raise(1);
+            let pipeline = Pipeline::new(config);
+            let inputs: Vec<_> = cold.iter().map(|(_, _, f)| f.clone()).collect();
+            let results = pipeline.allocate_functions(&inputs);
+            self.metrics.workers_busy.lower(1);
+
+            for ((i, key, f), result) in cold.into_iter().zip(results) {
+                match result {
+                    Ok(alloc) => {
+                        for pass in &alloc.passes {
+                            self.metrics.phase_build.record(pass.times.build);
+                            self.metrics.phase_simplify.record(pass.times.simplify);
+                            self.metrics.phase_color.record(pass.times.color);
+                            self.metrics.phase_spill.record(pass.times.spill);
+                        }
+                        let result = Arc::new(FnResult::from_allocation(f.name(), &alloc));
+                        if self.cache.insert(key, Arc::clone(&result)) {
+                            self.metrics.cache_evictions.inc();
+                        }
+                        entries[i] = Some((result, false));
+                    }
+                    Err(e) => {
+                        self.metrics.alloc_errors.inc();
+                        errors.push(Json::obj([
+                            ("name", Json::from(f.name())),
+                            ("error", Json::from(e.to_string())),
+                        ]));
+                    }
+                }
+            }
+        }
+
+        self.metrics.functions.add(funcs.len() as u64);
+        let mut out = Vec::new();
+        for (entry, f) in entries.into_iter().zip(funcs) {
+            if let Some((result, cached)) = entry {
+                // A cache hit may carry a different submitted name (names
+                // are not part of the key); respond with the caller's.
+                let mut r = result.to_json(cached);
+                if result.name != f.name() {
+                    r.set("name", Json::from(f.name()));
+                }
+                out.push(r);
+            }
+        }
+
+        let latency = started.elapsed();
+        self.metrics.request_latency.record(latency);
+
+        let mut resp = Json::obj([
+            ("ok", Json::from(errors.is_empty())),
+            ("functions", Json::Arr(out)),
+            (
+                "latency_us",
+                Json::from(latency.as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+        ]);
+        if !errors.is_empty() {
+            resp.push("errors", Json::Arr(errors));
+        }
+        resp
+    }
+
+    /// Serve newline-delimited requests from `input`, writing one response
+    /// line each to `output`. Stops at EOF, after a `shutdown` request, or
+    /// after the first request if `oneshot` is set.
+    pub fn run_io(
+        &self,
+        input: impl io::Read,
+        mut output: impl Write,
+        oneshot: bool,
+    ) -> io::Result<()> {
+        for line in BufReader::new(input).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (mut resp, disposition) = self.handle_line(&line);
+            resp.push('\n');
+            // One write per response: a formatted write into a raw socket
+            // would emit a syscall per fragment and stall on Nagle.
+            output.write_all(resp.as_bytes())?;
+            output.flush()?;
+            if oneshot || disposition == Disposition::Shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind `addr` and serve TCP connections, one thread per connection,
+    /// until a `shutdown` request arrives on any of them. Returns the bound
+    /// local address via `on_bound` before entering the accept loop (tests
+    /// bind port 0 and need to learn the real port).
+    pub fn run_listener(
+        self: &Arc<Self>,
+        addr: impl ToSocketAddrs,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        // Poll with a short accept timeout so the loop notices the stop
+        // flag set by a `shutdown` request on another connection.
+        listener.set_nonblocking(true)?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = Arc::clone(self);
+                    workers.push(std::thread::spawn(move || {
+                        stream.set_nonblocking(false).ok();
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        let _ = server.run_io(reader, stream, false);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FUNC: &str = "func double(v0:int) -> int {\nb0:\n    v1 = add.i v0, v0\n    ret v1\n}\n";
+
+    fn alloc_line(ir: &str) -> String {
+        let mut req = Json::obj([("req", Json::from("alloc"))]);
+        req.push("ir", Json::from(ir));
+        req.to_string()
+    }
+
+    #[test]
+    fn alloc_request_returns_assignment() {
+        let server = Server::new(16, 1);
+        let (resp, disposition) = server.handle_line(&alloc_line(FUNC));
+        assert_eq!(disposition, Disposition::Continue);
+        let v = crate::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let funcs = v.get("functions").and_then(Json::as_arr).unwrap();
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(funcs[0].get("name").and_then(Json::as_str), Some("double"));
+        assert_eq!(funcs[0].get("cached").and_then(Json::as_bool), Some(false));
+        let assignment = funcs[0].get("assignment").and_then(Json::as_arr).unwrap();
+        assert_eq!(assignment.len(), 2);
+        for r in assignment {
+            let r = r.as_str().unwrap();
+            assert!(r.starts_with('r'), "integer vreg got {r}");
+        }
+    }
+
+    #[test]
+    fn second_identical_request_is_served_from_cache() {
+        let server = Server::new(16, 1);
+        server.handle_line(&alloc_line(FUNC));
+        let (resp, _) = server.handle_line(&alloc_line(FUNC));
+        let v = crate::json::parse(&resp).unwrap();
+        let funcs = v.get("functions").and_then(Json::as_arr).unwrap();
+        assert_eq!(funcs[0].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(server.metrics().cache_hits.get(), 1);
+        assert_eq!(server.metrics().cache_misses.get(), 1);
+        // The cold run recorded phase samples; the warm one added none.
+        let build_samples = server.metrics().phase_build.count();
+        server.handle_line(&alloc_line(FUNC));
+        assert_eq!(server.metrics().phase_build.count(), build_samples);
+    }
+
+    #[test]
+    fn renamed_function_hits_the_same_cache_entry() {
+        let server = Server::new(16, 1);
+        server.handle_line(&alloc_line(FUNC));
+        // Same function, but the registers carry source names — α-renaming
+        // must not change the content address.
+        let renamed = FUNC.replace("b0:", "    reg v0:int \"lhs\"\n    reg v1:int \"sum\"\nb0:");
+        let (resp, _) = server.handle_line(&alloc_line(&renamed));
+        let v = crate::json::parse(&resp).unwrap();
+        let funcs = v.get("functions").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            funcs[0].get("cached").and_then(Json::as_bool),
+            Some(true),
+            "α-renamed function must hit: {resp}"
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_counted_not_fatal() {
+        let server = Server::new(4, 1);
+        let (resp, d) = server.handle_line("{broken");
+        assert_eq!(d, Disposition::Continue);
+        assert!(resp.contains("\"ok\":false"));
+        let (resp, _) = server.handle_line(&alloc_line("fn oops( {"));
+        assert!(resp.contains("bad IR"));
+        assert_eq!(server.metrics().parse_errors.get(), 2);
+    }
+
+    #[test]
+    fn stdio_oneshot_serves_exactly_one_request() {
+        let server = Server::new(4, 1);
+        let input = format!("{}\n{}\n", alloc_line(FUNC), alloc_line(FUNC));
+        let mut out = Vec::new();
+        server.run_io(input.as_bytes(), &mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "oneshot must answer one line");
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_loop_and_reports() {
+        let server = Server::new(4, 1);
+        let input = "{\"req\":\"shutdown\"}\n{\"req\":\"ping\"}\n";
+        let mut out = Vec::new();
+        server.run_io(input.as_bytes(), &mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"shutdown\":true"));
+    }
+}

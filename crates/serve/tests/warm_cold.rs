@@ -1,0 +1,140 @@
+//! The headline acceptance test: replaying the whole workloads corpus
+//! against a warm cache serves (almost) everything from the content
+//! address — warm requests never enter Build–Simplify–Color — and the
+//! `stats` dump proves it.
+
+use optimist_serve::{Json, Server};
+use optimist_workloads as workloads;
+
+fn corpus_requests() -> Vec<String> {
+    workloads::programs()
+        .iter()
+        .map(|p| {
+            let module =
+                optimist_frontend::compile(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let mut req = Json::obj([("req", Json::from("alloc"))]);
+            req.push("ir", Json::from(module.to_string()));
+            req.to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replay_hits_warm_cache_and_skips_allocator_phases() {
+    let server = Server::new(4096, 16);
+    let requests = corpus_requests();
+    assert!(requests.len() >= 5, "corpus suspiciously small");
+
+    // Cold pass: everything misses and runs the allocator.
+    for line in &requests {
+        let (resp, _) = server.handle_line(line);
+        let v = optimist_serve::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+    let misses_after_cold = server.metrics().cache_misses.get();
+    let functions = server.metrics().functions.get();
+    assert_eq!(server.metrics().cache_hits.get(), 0);
+    assert_eq!(misses_after_cold, functions);
+    let cold_phase_samples = (
+        server.metrics().phase_build.count(),
+        server.metrics().phase_simplify.count(),
+        server.metrics().phase_color.count(),
+        server.metrics().phase_spill.count(),
+    );
+    assert!(cold_phase_samples.0 > 0, "cold pass must run the allocator");
+
+    // Warm pass: identical requests, so every function is a cache hit and
+    // no allocator phase runs at all.
+    for line in &requests {
+        let (resp, _) = server.handle_line(line);
+        let v = optimist_serve::json::parse(&resp).unwrap();
+        for f in v.get("functions").and_then(Json::as_arr).unwrap() {
+            assert_eq!(
+                f.get("cached").and_then(Json::as_bool),
+                Some(true),
+                "warm replay produced a cold allocation: {f}"
+            );
+        }
+    }
+    assert_eq!(server.metrics().cache_misses.get(), misses_after_cold);
+    assert_eq!(server.metrics().cache_hits.get(), functions);
+    assert_eq!(
+        (
+            server.metrics().phase_build.count(),
+            server.metrics().phase_simplify.count(),
+            server.metrics().phase_color.count(),
+            server.metrics().phase_spill.count(),
+        ),
+        cold_phase_samples,
+        "warm requests must skip build/simplify/color/spill entirely"
+    );
+
+    // The acceptance bar: the warm replay's hit rate is ≥ 90%. Hits during
+    // the warm pass are everything the counters gained since the cold pass.
+    let warm_hits = server.metrics().cache_hits.get();
+    let warm_misses = server.metrics().cache_misses.get() - misses_after_cold;
+    let warm_rate = warm_hits as f64 / (warm_hits + warm_misses) as f64;
+    assert!(warm_rate >= 0.9, "warm replay hit rate: {warm_rate}");
+
+    let stats = server.stats_json();
+    let rate = stats
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(rate >= 0.5, "hit rate over cold+warm replay: {rate}");
+
+    // And the stats surface carries what the issue promises: request
+    // counts, hit/miss counters, phase histograms, latency.
+    for path in [
+        &["requests", "alloc"][..],
+        &["cache", "hits"],
+        &["cache", "misses"],
+        &["request_latency", "count"],
+        &["phases", "build", "count"],
+        &["phases", "color", "count"],
+        &["workers", "high_water"],
+    ] {
+        let mut node = &stats;
+        for key in path {
+            node = node
+                .get(key)
+                .unwrap_or_else(|| panic!("stats missing {}", path.join(".")));
+        }
+        assert!(
+            node.as_f64().is_some(),
+            "stats.{} not numeric",
+            path.join(".")
+        );
+    }
+}
+
+#[test]
+fn warm_requests_are_marked_cached_per_function() {
+    // A module where only one function changed: the unchanged ones hit.
+    let p = &workloads::programs()[0];
+    let module = optimist_frontend::compile(&p.source).unwrap();
+    let server = Server::new(1024, 4);
+
+    let mut req = Json::obj([("req", Json::from("alloc"))]);
+    req.push("ir", Json::from(module.to_string()));
+    server.handle_line(&req.to_string());
+
+    // Append a brand-new function to the module text; everything else is
+    // byte-identical and must be served from cache.
+    let extra = "\nfunc fresh(v0:int) -> int {\nb0:\n    v1 = add.i v0, v0\n    ret v1\n}\n";
+    let mut req2 = Json::obj([("req", Json::from("alloc"))]);
+    req2.push("ir", Json::from(format!("{module}{extra}")));
+    let (resp, _) = server.handle_line(&req2.to_string());
+    let v = optimist_serve::json::parse(&resp).unwrap();
+    let funcs = v.get("functions").and_then(Json::as_arr).unwrap();
+    let (mut hits, mut colds) = (0, 0);
+    for f in funcs {
+        match f.get("cached").and_then(Json::as_bool) {
+            Some(true) => hits += 1,
+            _ => colds += 1,
+        }
+    }
+    assert_eq!(colds, 1, "only the new function is cold: {resp}");
+    assert_eq!(hits, funcs.len() - 1);
+}

@@ -25,10 +25,26 @@ if [[ $quick -eq 0 ]]; then
     cargo build --release
 fi
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> benches compile"
 cargo build -q --benches -p optimist-bench
+
+echo "==> server smoke test (oneshot)"
+cargo build -q -p optimist-serve --bin optimist-serve
+smoke_req='{"req":"alloc","ir":"func smoke(v0:int) -> int {\nb0:\n    v1 = add.i v0, v0\n    ret v1\n}\n"}'
+smoke_resp="$(printf '%s\n' "$smoke_req" | ./target/debug/optimist-serve --oneshot --quiet)"
+case "$smoke_resp" in
+    *'"ok":true'*'"assignment":["r'*)
+        ;;
+    *)
+        echo "server smoke test failed; response: $smoke_resp" >&2
+        exit 1
+        ;;
+esac
 
 echo "CI gate passed."

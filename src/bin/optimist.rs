@@ -7,6 +7,8 @@
 //! optimist run      FILE.ft ENTRY [ARG...] [options]    execute a driver
 //! optimist compare  FILE.ft [options]                   Chaitin vs Briggs table
 //! optimist asm      FILE.ft [options]                   allocated-code listing
+//! optimist serve    [--listen ADDR | --oneshot]         allocation daemon
+//! optimist remote   ADDR FILE.ft [options]              allocate via a daemon
 //!
 //! FILE may be FT source (any extension) or a textual IR dump (`.ir`,
 //! as produced by `optimist compile`).
@@ -25,6 +27,10 @@
 //!                      machine's available parallelism; 1 = sequential)
 //!   --incremental      repair the interference graph after spilling
 //!                      instead of rebuilding it each pass
+//!   --listen ADDR      (serve) accept TCP connections on ADDR; without it
+//!                      requests are served from stdin
+//!   --oneshot          (serve) answer the first stdin request and exit
+//!   --cache-capacity N (serve) cached function results (default 4096)
 //! ```
 //!
 //! Arguments to `run` are integers or floats; the entry must be an FT
@@ -55,6 +61,9 @@ struct Options {
     threads: Option<std::num::NonZeroUsize>,
     incremental: bool,
     routine: Option<String>,
+    listen: Option<String>,
+    oneshot: bool,
+    cache_capacity: usize,
     positional: Vec<String>,
 }
 
@@ -70,6 +79,9 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
         threads: None,
         incremental: false,
         routine: None,
+        listen: None,
+        oneshot: false,
+        cache_capacity: 4096,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -114,6 +126,16 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
             }
             "--routine" => {
                 o.routine = Some(it.next().ok_or("--routine needs a value")?.clone());
+            }
+            "--listen" => {
+                o.listen = Some(it.next().ok_or("--listen needs a value")?.clone());
+            }
+            "--oneshot" => o.oneshot = true,
+            "--cache-capacity" => {
+                let v = it.next().ok_or("--cache-capacity needs a value")?;
+                o.cache_capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --cache-capacity `{v}`"))?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
@@ -174,6 +196,8 @@ fn real_main() -> Result<(), String> {
         "compare" => cmd_compare(rest),
         "graph" => cmd_graph(rest),
         "asm" => cmd_asm(rest),
+        "serve" => cmd_serve(rest),
+        "remote" => cmd_remote(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -307,6 +331,102 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "cycles: {}   instructions: {}   loads: {}   stores: {}",
         result.cycles, result.insts, result.loads, result.stores
     );
+    Ok(())
+}
+
+/// `optimist serve [--listen ADDR | --oneshot] [options]` — run the
+/// allocation daemon in-process (same engine as the standalone
+/// `optimist-serve` binary).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    if !o.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let server = std::sync::Arc::new(optimist::serve::Server::new(o.cache_capacity, 16));
+    let result = match &o.listen {
+        Some(addr) => server.run_listener(addr.as_str(), |bound| {
+            eprintln!("optimist serve: listening on {bound}");
+        }),
+        None => server.run_io(std::io::stdin().lock(), std::io::stdout().lock(), o.oneshot),
+    };
+    eprintln!("{}", server.stats_json());
+    result.map_err(|e| e.to_string())
+}
+
+/// `optimist remote ADDR FILE.ft [options]` — compile locally, allocate on
+/// a running daemon, and print the same report as `optimist allocate`.
+fn cmd_remote(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args, true)?;
+    if o.positional.len() != 2 {
+        return Err("usage: optimist remote ADDR FILE.ft [options]".into());
+    }
+    let addr = o.positional[0].clone();
+    // `load` reads the first positional as the file; shift ADDR out.
+    let o = Options {
+        positional: o.positional[1..].to_vec(),
+        ..o
+    };
+    let module = o.load()?;
+
+    use optimist::serve::Json;
+    let mut config = Json::obj([
+        (
+            "heuristic",
+            Json::from(match o.heuristic {
+                Heuristic::ChaitinPessimistic => "chaitin",
+                Heuristic::BriggsOptimistic => "briggs",
+            }),
+        ),
+        ("target", Json::from("cli")),
+        ("int_regs", Json::from(o.int_regs as u64)),
+        ("float_regs", Json::from(o.float_regs as u64)),
+        (
+            "coalesce",
+            Json::from(match o.coalesce {
+                optimist::regalloc::CoalesceMode::Aggressive => "aggressive",
+                optimist::regalloc::CoalesceMode::Conservative => "conservative",
+                optimist::regalloc::CoalesceMode::Off => "off",
+            }),
+        ),
+        ("rematerialize", Json::from(o.rematerialize)),
+        ("incremental", Json::from(o.incremental)),
+    ]);
+    if let Some(n) = o.threads {
+        config.push("threads", Json::from(n.get() as u64));
+    }
+
+    let mut client = optimist::serve::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let resp = client
+        .alloc(&module.to_string(), config)
+        .map_err(|e| e.to_string())?;
+    let funcs = resp
+        .get("functions")
+        .and_then(Json::as_arr)
+        .ok_or("malformed response: no functions array")?;
+    for f in funcs {
+        let name = f.get("name").and_then(Json::as_str).unwrap_or("?");
+        if let Some(only) = &o.routine {
+            if name != only {
+                continue;
+            }
+        }
+        let stats = f.get("stats").ok_or("malformed response: no stats")?;
+        let num = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "{:<12} live ranges {:>5}  spilled {:>4}  cost {:>10.0}  passes {}  coalesced {}{}",
+            name,
+            num("live_ranges"),
+            num("registers_spilled"),
+            num("spill_cost"),
+            num("passes"),
+            num("coalesced_copies"),
+            if f.get("cached").and_then(Json::as_bool) == Some(true) {
+                "  (cached)"
+            } else {
+                ""
+            },
+        );
+    }
     Ok(())
 }
 

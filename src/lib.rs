@@ -54,6 +54,7 @@ pub use optimist_ir as ir;
 pub use optimist_machine as machine;
 pub use optimist_opt as opt;
 pub use optimist_regalloc as regalloc;
+pub use optimist_serve as serve;
 pub use optimist_sim as sim;
 pub use optimist_workloads as workloads;
 

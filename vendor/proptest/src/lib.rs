@@ -2,7 +2,8 @@
 //!
 //! The build container has no network access, so the real `proptest` cannot
 //! be fetched. This crate reimplements the subset the workspace uses: the
-//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], [`any`],
+//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`any`](arbitrary::any),
 //! range/tuple strategies, and [`collection::vec`]/[`collection::btree_set`].
 //!
 //! Semantics: each property runs `ProptestConfig::cases` times (default 64)

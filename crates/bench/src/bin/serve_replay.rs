@@ -3,14 +3,23 @@
 //!
 //! ```text
 //! serve_replay [--rounds N] [--addr ADDR]
+//! serve_replay --restart [--store DIR] [--store-max-bytes N]
 //! ```
 //!
 //! Without `--addr` a daemon is spun up in-process on a loopback port.
 //! The first round populates the content-addressed cache; every later
 //! round should be answered from it. Prints a per-round latency table and
 //! the server's final `stats` dump as JSON on stdout.
+//!
+//! With `--restart` the benchmark measures *persistence*: a cold run
+//! against a store-backed daemon, a full daemon shutdown, then a replay
+//! against a brand-new daemon on the same store. The replay must be
+//! served ≥ 90% from disk; the run fails otherwise. `--store DIR`
+//! defaults to a scratch directory that is cleaned up afterwards.
 
 use optimist_serve::{Client, Json, Server};
+use optimist_store::{Store, StoreOptions};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -18,12 +27,18 @@ use std::time::Instant;
 struct Args {
     rounds: usize,
     addr: Option<String>,
+    restart: bool,
+    store: Option<PathBuf>,
+    store_max_bytes: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         rounds: 3,
         addr: None,
+        restart: false,
+        store: None,
+        store_max_bytes: 64 << 20,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -33,12 +48,26 @@ fn parse_args() -> Result<Args, String> {
                 args.rounds = v.parse().map_err(|_| format!("bad --rounds `{v}`"))?;
             }
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--restart" => args.restart = true,
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?.into()),
+            "--store-max-bytes" => {
+                let v = it.next().ok_or("--store-max-bytes needs a value")?;
+                args.store_max_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad --store-max-bytes `{v}`"))?;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: serve_replay [--rounds N] [--addr ADDR]");
+                eprintln!(
+                    "usage: serve_replay [--rounds N] [--addr ADDR]\n       \
+                     serve_replay --restart [--store DIR] [--store-max-bytes N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if args.restart && args.addr.is_some() {
+        return Err("--restart restarts an in-process daemon; drop --addr".into());
     }
     Ok(args)
 }
@@ -65,6 +94,10 @@ fn real_main() -> Result<(), String> {
             Ok((p.name.to_string(), module.to_string()))
         })
         .collect::<Result<_, String>>()?;
+
+    if args.restart {
+        return run_restart(&corpus, &args);
+    }
 
     // Either attach to a running daemon or start one on a loopback port.
     let (addr, local) = match args.addr {
@@ -141,6 +174,140 @@ fn real_main() -> Result<(), String> {
         handle
             .join()
             .map_err(|_| "daemon thread panicked".to_string())?;
+    }
+    Ok(())
+}
+
+/// Spin up an in-process daemon backed by `dir`, returning a connected
+/// client and the listener thread.
+fn spawn_store_daemon(
+    dir: &Path,
+    max_bytes: u64,
+) -> Result<(Client, Arc<Server>, std::thread::JoinHandle<()>), String> {
+    let store = Store::open(dir, StoreOptions { max_bytes })
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    let server = Arc::new(Server::new(4096, 16).with_store(store));
+    let (tx, rx) = mpsc::channel();
+    let s = Arc::clone(&server);
+    let handle = std::thread::spawn(move || {
+        s.run_listener("127.0.0.1:0", |bound| {
+            let _ = tx.send(bound);
+        })
+        .expect("listener failed");
+    });
+    let bound = rx
+        .recv()
+        .map_err(|_| "daemon thread died before binding".to_string())?;
+    let client = Client::connect(bound.to_string().as_str()).map_err(|e| e.to_string())?;
+    Ok((client, server, handle))
+}
+
+/// Push the whole corpus through `client` once, returning the elapsed
+/// microseconds.
+fn replay_once(client: &mut Client, corpus: &[(String, String)]) -> Result<u128, String> {
+    let started = Instant::now();
+    for (name, ir) in corpus {
+        let resp = client
+            .alloc(ir, Json::Null)
+            .map_err(|e| format!("{name}: {e}"))?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{name}: server refused: {resp}"));
+        }
+    }
+    Ok(started.elapsed().as_micros())
+}
+
+/// The `--restart` benchmark: cold run, daemon restart, disk-warm replay.
+fn run_restart(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
+    // Default to a scratch store we clean up; a user-supplied one is kept.
+    let (dir, scratch) = match &args.store {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let dir =
+                std::env::temp_dir().join(format!("serve-replay-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            (dir, true)
+        }
+    };
+
+    println!(
+        "restart benchmark: {} programs, store at {}",
+        corpus.len(),
+        dir.display()
+    );
+
+    // Phase 1 — cold: every function computed and written through.
+    let (mut client, _server, handle) = spawn_store_daemon(&dir, args.store_max_bytes)?;
+    let cold_us = replay_once(&mut client, corpus)?;
+    let cold_stats = client.stats().map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+
+    // Phase 2 — restart: a brand-new daemon, empty memory, same store.
+    let (mut client, server, handle) = spawn_store_daemon(&dir, args.store_max_bytes)?;
+    let recovered = server.store().map(|s| s.snapshot().recovered_entries);
+    let replay_us = replay_once(&mut client, corpus)?;
+
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let counter = |a: &str, b: &str| {
+        stats
+            .get(a)
+            .and_then(|c| c.get(b))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let hits = counter("cache", "hits");
+    let misses = counter("cache", "misses");
+    let store_hits = counter("store", "hits");
+    let cold_counter = |a: &str, b: &str| {
+        cold_stats
+            .get(a)
+            .and_then(|c| c.get(b))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let speedup = cold_us as f64 / replay_us.max(1) as f64;
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>10} {:>12}",
+        "phase", "latency_us", "hits", "misses", "store_hits"
+    );
+    println!(
+        "{:<22} {cold_us:>12} {:>10} {:>10} {:>12}",
+        "cold",
+        cold_counter("cache", "hits"),
+        cold_counter("cache", "misses"),
+        cold_counter("store", "hits"),
+    );
+    println!(
+        "{:<22} {replay_us:>12} {hits:>10} {misses:>10} {store_hits:>12}",
+        "warm-after-restart"
+    );
+    println!(
+        "recovered {} entries; hit rate {hit_rate:.3}; speedup {speedup:.1}x over cold",
+        recovered.unwrap_or(0)
+    );
+    println!("{stats}");
+
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if hit_rate < 0.9 {
+        return Err(format!(
+            "warm-after-restart hit rate {hit_rate:.3} is below the 0.9 acceptance bar"
+        ));
     }
     Ok(())
 }

@@ -157,19 +157,28 @@ impl AllocatorConfig {
 
     /// A stable 64-bit fingerprint of every knob that can change the
     /// *result* of an allocation: target register files, heuristic,
-    /// coalescing mode, spill metric, rematerialization, pass bound, and
-    /// incremental repair (it changes [`AllocStats`], so it is
-    /// result-relevant). [`AllocatorConfig::threads`] is deliberately
-    /// excluded — the worker count only changes scheduling, never output
-    /// (the pipeline determinism proptests pin that down).
+    /// coalescing mode, spill metric, rematerialization, and incremental
+    /// repair (it changes [`AllocStats`], so it is result-relevant).
+    ///
+    /// Two knobs are deliberately excluded. [`AllocatorConfig::threads`]
+    /// only changes scheduling, never output (the pipeline determinism
+    /// proptests pin that down). [`AllocatorConfig::max_passes`] caps how
+    /// long the Build–Simplify–Color cycle may iterate but never changes a
+    /// *converged* result: any bound ≥ the passes actually taken yields the
+    /// identical allocation, and any smaller bound yields
+    /// [`AllocError::NonConvergence`]. Consumers that cache results under
+    /// this fingerprint must therefore compare the request's bound against
+    /// the cached [`AllocStats::passes`] (`optimist-serve` does exactly
+    /// that, which is what makes its negative cache invalidatable by
+    /// raising `max_passes`).
     ///
     /// The hash is FNV-1a over a canonical rendering of the knobs, so it is
     /// identical across processes and runs — `optimist-serve` folds it into
-    /// its content-addressed cache keys.
+    /// its content-addressed cache keys, in memory and on disk.
     pub fn fingerprint(&self) -> u64 {
         use optimist_ir::RegClass;
         let canonical = format!(
-            "target={}/i{}/f{};heuristic={:?};coalesce={:?};metric={:?};remat={};max_passes={};incremental={}",
+            "target={}/i{}/f{};heuristic={:?};coalesce={:?};metric={:?};remat={};incremental={}",
             self.target.name(),
             self.target.regs(RegClass::Int),
             self.target.regs(RegClass::Float),
@@ -177,7 +186,6 @@ impl AllocatorConfig {
             self.coalesce,
             self.spill_metric,
             self.rematerialize,
-            self.max_passes,
             self.incremental,
         );
         fnv1a(canonical.as_bytes())
@@ -1029,6 +1037,13 @@ mod tests {
                 .with_threads(NonZeroUsize::new(7).unwrap())
                 .fingerprint()
         );
+        // The pass bound never changes a converged result, so it never
+        // changes the print either — a cache warmed under one bound stays
+        // addressable under another (bound sensitivity is the caller's job).
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_max_passes(3).fingerprint()
+        );
         // Every result-relevant knob moves it.
         let variants = [
             base.clone().with_heuristic(Heuristic::ChaitinPessimistic),
@@ -1037,7 +1052,6 @@ mod tests {
             base.clone()
                 .with_spill_metric(crate::simplify::SpillMetric::Cost),
             base.clone().with_rematerialize(true),
-            base.clone().with_max_passes(3),
             base.clone().with_incremental(true),
             AllocatorConfig::briggs(Target::with_int_regs(8)),
         ];

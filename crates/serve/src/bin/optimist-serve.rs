@@ -4,12 +4,14 @@
 //! optimist-serve --listen 127.0.0.1:7878      # TCP daemon
 //! optimist-serve                              # serve stdin → stdout
 //! optimist-serve --oneshot < request.json     # answer one request, exit
+//! optimist-serve --store CACHE_DIR            # results survive restarts
 //! ```
 //!
 //! On shutdown (a `shutdown` request, or EOF in stdio mode) the final
 //! metrics dump is written to stderr as one JSON line.
 
 use optimist_serve::Server;
+use optimist_store::{Store, StoreOptions};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -23,6 +25,11 @@ options:
   --oneshot             stdio mode: answer the first request and exit
   --cache-capacity N    cached function results across all shards [default 4096]
   --shards N            cache lock shards [default 16]
+  --store PATH          persist results in a content-addressed store at PATH;
+                        a restarted daemon pointed at the same PATH serves
+                        previous results (and remembered failures) from disk
+  --store-max-bytes N   compact the store log when it exceeds N bytes
+                        [default 67108864; 0 = never]
   --quiet               suppress the final metrics dump on stderr
   --help                show this help
 ";
@@ -32,6 +39,8 @@ struct Options {
     oneshot: bool,
     cache_capacity: usize,
     shards: usize,
+    store: Option<std::path::PathBuf>,
+    store_max_bytes: u64,
     quiet: bool,
 }
 
@@ -41,6 +50,8 @@ fn parse_args() -> Result<Options, String> {
         oneshot: false,
         cache_capacity: 4096,
         shards: 16,
+        store: None,
+        store_max_bytes: 64 << 20,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -58,6 +69,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.shards = value("--shards")?
                     .parse()
                     .map_err(|_| "--shards needs an integer".to_string())?
+            }
+            "--store" => opts.store = Some(value("--store")?.into()),
+            "--store-max-bytes" => {
+                opts.store_max_bytes = value("--store-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--store-max-bytes needs an integer".to_string())?
             }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
@@ -82,7 +99,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let server = Arc::new(Server::new(opts.cache_capacity, opts.shards));
+    let mut server = Server::new(opts.cache_capacity, opts.shards);
+    if let Some(dir) = &opts.store {
+        let options = StoreOptions {
+            max_bytes: opts.store_max_bytes,
+        };
+        match Store::open(dir, options) {
+            Ok(store) => server = server.with_store(store),
+            Err(e) => {
+                eprintln!("optimist-serve: cannot open store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = Arc::new(server);
     let result = match &opts.listen {
         Some(addr) => server.run_listener(addr.as_str(), |bound| {
             eprintln!("optimist-serve: listening on {bound}");

@@ -12,6 +12,10 @@
 //! of the α-renamed (canonical) function text combined with the
 //! configuration fingerprint. Re-submitting an unchanged function — even
 //! with different register *names* — skips Build–Simplify–Color entirely.
+//! The cache has two tiers: a sharded in-memory LRU, and an optional
+//! persistent [`optimist_store::Store`] behind it
+//! ([`Server::with_store`]) that survives daemon restarts and also
+//! remembers *failures* — the negative cache of [`persist::CacheEntry`].
 //! A [`metrics::Metrics`] registry (counters, worker-occupancy gauge,
 //! per-phase latency histograms) is dumpable as JSON via the `stats`
 //! request and on shutdown.
@@ -26,6 +30,7 @@ pub mod cache;
 pub mod client;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
@@ -33,5 +38,6 @@ pub use cache::{cache_key, ShardedLru};
 pub use client::{Client, ClientError};
 pub use json::Json;
 pub use metrics::Metrics;
+pub use persist::CacheEntry;
 pub use protocol::{FnResult, ProtocolError, Request};
 pub use server::{Disposition, Server};

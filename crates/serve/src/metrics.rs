@@ -126,7 +126,9 @@ impl Histogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
-    fn to_json(&self) -> Json {
+    /// Snapshot as JSON: count, total, mean, max, and the occupied
+    /// `[lower_bound_us, count]` buckets.
+    pub fn to_json(&self) -> Json {
         let count = self.count();
         let total = self.total_us();
         // Only the occupied prefix matters; print `[lower_bound_us, count]`
@@ -171,6 +173,20 @@ pub struct Metrics {
     pub cache_misses: Counter,
     /// Cache entries evicted to make room.
     pub cache_evictions: Counter,
+    /// Functions answered negatively from either tier: a remembered
+    /// `NonConvergence` (or a positive entry whose pass count exceeds the
+    /// request's `max_passes`) failed the request without running the
+    /// allocator.
+    pub negative_hits: Counter,
+    /// Functions served from the persistent store (a memory miss that the
+    /// disk tier answered; also counted in [`Metrics::cache_hits`]).
+    pub store_hits: Counter,
+    /// Disk-tier lookups that found nothing usable.
+    pub store_misses: Counter,
+    /// Store anomalies: undecodable payloads, fingerprint mismatches, and
+    /// failed write-throughs. Each is served as a miss or ignored — never
+    /// fatal.
+    pub store_errors: Counter,
     /// Requests rejected as unparsable (bad JSON or bad IR text).
     pub parse_errors: Counter,
     /// Functions the allocator itself rejected.
@@ -180,6 +196,9 @@ pub struct Metrics {
     pub workers_busy: Gauge,
     /// End-to-end latency of `alloc` requests.
     pub request_latency: Histogram,
+    /// Latency of persistent-store lookups (hit or miss), when a store is
+    /// attached.
+    pub store_read_latency: Histogram,
     /// Time spent building interference graphs (cold functions only).
     pub phase_build: Histogram,
     /// Time spent simplifying (cold functions only).
@@ -209,6 +228,7 @@ impl Metrics {
                     ("hits", Json::from(self.cache_hits.get())),
                     ("misses", Json::from(self.cache_misses.get())),
                     ("evictions", Json::from(self.cache_evictions.get())),
+                    ("negative_hits", Json::from(self.negative_hits.get())),
                     ("hit_rate", {
                         let h = self.cache_hits.get();
                         let m = self.cache_misses.get();

@@ -1,0 +1,135 @@
+//! What the cache actually holds, and how it is serialized for the disk
+//! tier.
+//!
+//! Both cache tiers store [`CacheEntry`] values: a successful allocation
+//! ([`FnResult`]) or a remembered [`NonConvergence`] failure — the
+//! **negative cache**. Spill-everywhere allocation only gets more
+//! expensive as it fails (every extra pass burns a full
+//! Build–Simplify–Color cycle before erroring), so a function known not
+//! to converge under `max_passes = n` is worth remembering at least as
+//! much as a success.
+//!
+//! Because [`AllocatorConfig::fingerprint`] deliberately excludes
+//! `max_passes` (the bound never changes a *converged* result), both
+//! entry kinds answer bound-sensitive questions at lookup time:
+//!
+//! * a positive entry that converged in `p` passes serves any request
+//!   with `max_passes ≥ p`, and proves non-convergence for any request
+//!   with `max_passes < p`;
+//! * a negative entry recorded at bound `n` fails fast for any request
+//!   with `max_passes ≤ n`, and is **invalidated** (recomputed, then
+//!   overwritten) by a request willing to spend more passes.
+//!
+//! The disk encoding reuses the serving layer's hand-rolled [`Json`]
+//! codec — one compact JSON document per payload, carried opaquely by
+//! `optimist-store`'s checksummed records. No new serialization formats,
+//! no new dependencies.
+//!
+//! [`NonConvergence`]: optimist_regalloc::AllocError::NonConvergence
+//! [`AllocatorConfig::fingerprint`]: optimist_regalloc::AllocatorConfig::fingerprint
+
+use crate::json::Json;
+use crate::protocol::FnResult;
+
+/// One cached fact about a content address: either the allocation result,
+/// or proof that allocation fails within a pass bound.
+#[derive(Debug, Clone)]
+pub enum CacheEntry {
+    /// Allocation succeeded; the full wire-ready result.
+    Ok(FnResult),
+    /// Allocation did not converge within `max_passes` passes. Requests
+    /// with a bound ≤ this fail fast; a larger bound invalidates the
+    /// entry.
+    NonConvergence {
+        /// The highest pass bound known to be insufficient.
+        max_passes: usize,
+    },
+}
+
+/// Serialize an entry as the store payload (one compact JSON document).
+pub fn encode_entry(entry: &CacheEntry) -> String {
+    match entry {
+        CacheEntry::Ok(result) => result.to_store_json().to_string(),
+        CacheEntry::NonConvergence { max_passes } => Json::obj([
+            ("nonconvergence", Json::from(true)),
+            ("max_passes", Json::from(*max_passes as u64)),
+        ])
+        .to_string(),
+    }
+}
+
+/// Decode a store payload written by [`encode_entry`]. Returns `None` on
+/// any mismatch — a payload that does not decode is treated as a cache
+/// miss, never served.
+pub fn decode_entry(payload: &str) -> Option<CacheEntry> {
+    let v = crate::json::parse(payload).ok()?;
+    if v.get("nonconvergence").and_then(Json::as_bool) == Some(true) {
+        let max_passes = v.get("max_passes")?.as_u64()?;
+        return Some(CacheEntry::NonConvergence {
+            max_passes: usize::try_from(max_passes).ok()?,
+        });
+    }
+    FnResult::from_json(&v).map(CacheEntry::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimist_regalloc::AllocStats;
+
+    fn sample_result() -> FnResult {
+        FnResult {
+            name: "sample".into(),
+            assignment: vec!["r0".into(), "f1".into(), "spill".into()],
+            spilled: vec!["x".into()],
+            stats: AllocStats {
+                live_ranges: 12,
+                registers_spilled: 1,
+                spill_cost: 20.5,
+                passes: 2,
+                coalesced_copies: 3,
+                incremental_passes: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn positive_entry_round_trips() {
+        let entry = CacheEntry::Ok(sample_result());
+        let decoded = decode_entry(&encode_entry(&entry)).expect("decodes");
+        let CacheEntry::Ok(r) = decoded else {
+            panic!("wrong kind");
+        };
+        let orig = sample_result();
+        assert_eq!(r.name, orig.name);
+        assert_eq!(r.assignment, orig.assignment);
+        assert_eq!(r.spilled, orig.spilled);
+        assert_eq!(r.stats.live_ranges, orig.stats.live_ranges);
+        assert_eq!(r.stats.registers_spilled, orig.stats.registers_spilled);
+        assert_eq!(r.stats.spill_cost, orig.stats.spill_cost);
+        assert_eq!(r.stats.passes, orig.stats.passes);
+        assert_eq!(r.stats.coalesced_copies, orig.stats.coalesced_copies);
+        assert_eq!(r.stats.incremental_passes, orig.stats.incremental_passes);
+    }
+
+    #[test]
+    fn negative_entry_round_trips() {
+        let entry = CacheEntry::NonConvergence { max_passes: 7 };
+        match decode_entry(&encode_entry(&entry)) {
+            Some(CacheEntry::NonConvergence { max_passes: 7 }) => {}
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_payloads_decode_to_none() {
+        assert!(decode_entry("").is_none());
+        assert!(decode_entry("{").is_none());
+        assert!(decode_entry(r#"{"unrelated":true}"#).is_none());
+        assert!(decode_entry(r#"{"nonconvergence":true}"#).is_none());
+        // A positive payload with a missing field is rejected wholesale.
+        let mut good = encode_entry(&CacheEntry::Ok(sample_result()));
+        good = good.replace("\"assignment\"", "\"assignmen7\"");
+        assert!(decode_entry(&good).is_none());
+    }
+}

@@ -271,6 +271,14 @@ impl FnResult {
 
     /// Render as one entry of the `alloc` response's `"functions"` array.
     pub fn to_json(&self, cached: bool) -> Json {
+        let mut obj = self.to_store_json();
+        obj.push("cached", Json::from(cached));
+        obj
+    }
+
+    /// Render the persistable fields (everything except the per-response
+    /// `cached` flag) — the disk tier's payload encoding.
+    pub fn to_store_json(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name.as_str())),
             (
@@ -308,8 +316,41 @@ impl FnResult {
                     ),
                 ]),
             ),
-            ("cached", Json::from(cached)),
         ])
+    }
+
+    /// Rebuild from the JSON produced by [`FnResult::to_store_json`] (a
+    /// trailing `cached` member, if present, is ignored). Returns `None`
+    /// if any field is missing or mistyped — a payload from a foreign or
+    /// damaged source must never be half-decoded into a response.
+    pub fn from_json(v: &Json) -> Option<FnResult> {
+        let strings = |key: &str| -> Option<Vec<String>> {
+            v.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let stats = v.get("stats")?;
+        let count = |key: &str| -> Option<usize> {
+            stats
+                .get(key)?
+                .as_u64()
+                .and_then(|n| usize::try_from(n).ok())
+        };
+        Some(FnResult {
+            name: v.get("name")?.as_str()?.to_string(),
+            assignment: strings("assignment")?,
+            spilled: strings("spilled")?,
+            stats: AllocStats {
+                live_ranges: count("live_ranges")?,
+                registers_spilled: count("registers_spilled")?,
+                spill_cost: stats.get("spill_cost")?.as_f64()?,
+                passes: count("passes")?,
+                coalesced_copies: count("coalesced_copies")?,
+                incremental_passes: count("incremental_passes")?,
+            },
+        })
     }
 }
 

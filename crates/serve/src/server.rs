@@ -1,17 +1,28 @@
 //! The request engine and the two front-ends (TCP listener, stdio).
 //!
-//! A [`Server`] owns the content-addressed result cache and the metrics
-//! registry; [`Server::handle_line`] turns one request line into one
-//! response line. The front-ends are thin: `run_stdio` reads lines from a
-//! reader, `run_listener` accepts TCP connections and serves each on its
-//! own thread. Both stop when a `shutdown` request arrives.
+//! A [`Server`] owns the result cache tiers and the metrics registry;
+//! [`Server::handle_line`] turns one request line into one response line.
+//! The lookup path is **memory → disk → compute**: a sharded in-memory
+//! LRU in front, an optional persistent [`Store`] behind it (attached
+//! with [`Server::with_store`]), and the Build–Simplify–Color pipeline
+//! only for functions neither tier knows. Disk hits are promoted into
+//! memory; computed results (and [`NonConvergence`] failures — the
+//! negative cache) are written through to both tiers.
+//!
+//! The front-ends are thin: `run_stdio` reads lines from a reader,
+//! `run_listener` accepts TCP connections and serves each on its own
+//! thread. Both stop when a `shutdown` request arrives.
+//!
+//! [`NonConvergence`]: optimist_regalloc::AllocError::NonConvergence
 
 use crate::cache::{cache_key, ShardedLru};
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::persist::{self, CacheEntry};
 use crate::protocol::{FnResult, Request};
 use optimist_ir::parse_module;
-use optimist_regalloc::{AllocatorConfig, Pipeline};
+use optimist_regalloc::{AllocError, AllocatorConfig, Pipeline};
+use optimist_store::Store;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,26 +38,36 @@ pub enum Disposition {
     Shutdown,
 }
 
-/// The allocation daemon: result cache + metrics + request dispatch.
+/// The allocation daemon: result cache tiers + metrics + request dispatch.
 ///
 /// One `Server` serves any number of connections concurrently; all state
 /// is internally synchronized.
 #[derive(Debug)]
 pub struct Server {
-    cache: ShardedLru<FnResult>,
+    cache: ShardedLru<CacheEntry>,
+    store: Option<Store>,
     metrics: Metrics,
     stop: AtomicBool,
 }
 
 impl Server {
-    /// A server whose cache holds `cache_capacity` function results across
-    /// `shards` locks.
+    /// A server whose in-memory cache holds `cache_capacity` function
+    /// results across `shards` locks, with no persistent tier.
     pub fn new(cache_capacity: usize, shards: usize) -> Self {
         Server {
             cache: ShardedLru::new(cache_capacity, shards),
+            store: None,
             metrics: Metrics::default(),
             stop: AtomicBool::new(false),
         }
+    }
+
+    /// Attach a persistent [`Store`] as the second cache tier. Lookups
+    /// that miss the in-memory LRU consult the store before computing;
+    /// computed results are written through to it.
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// The metrics registry.
@@ -54,9 +75,14 @@ impl Server {
         &self.metrics
     }
 
-    /// The result cache.
-    pub fn cache(&self) -> &ShardedLru<FnResult> {
+    /// The in-memory result cache.
+    pub fn cache(&self) -> &ShardedLru<CacheEntry> {
         &self.cache
+    }
+
+    /// The persistent store, if one is attached.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// Handle one request line, returning the response line (no trailing
@@ -98,8 +124,9 @@ impl Server {
         }
     }
 
-    /// The metrics registry plus cache geometry, as dumped by the `stats`
-    /// request and the shutdown hook.
+    /// The metrics registry plus cache geometry (and, when a persistent
+    /// store is attached, its health), as dumped by the `stats` request
+    /// and the shutdown hook.
     pub fn stats_json(&self) -> Json {
         let mut stats = self.metrics.to_json();
         stats.push(
@@ -110,7 +137,107 @@ impl Server {
                 ("shards", Json::from(self.cache.num_shards())),
             ]),
         );
+        if let Some(store) = &self.store {
+            let snap = store.snapshot();
+            stats.push(
+                "store",
+                Json::obj([
+                    ("hits", Json::from(self.metrics.store_hits.get())),
+                    ("misses", Json::from(self.metrics.store_misses.get())),
+                    ("errors", Json::from(self.metrics.store_errors.get())),
+                    ("entries", Json::from(snap.entries as u64)),
+                    ("file_bytes", Json::from(snap.file_bytes)),
+                    ("live_bytes", Json::from(snap.live_bytes)),
+                    ("dead_bytes", Json::from(snap.dead_bytes)),
+                    ("recovered_entries", Json::from(snap.recovered_entries)),
+                    ("dropped_corrupt", Json::from(snap.dropped_corrupt)),
+                    ("dropped_torn", Json::from(snap.dropped_torn)),
+                    ("dropped_stale", Json::from(snap.dropped_stale)),
+                    ("superseded", Json::from(snap.superseded)),
+                    ("evicted", Json::from(snap.evicted)),
+                    ("compactions", Json::from(snap.compactions)),
+                    ("last_compaction_us", Json::from(snap.last_compaction_us)),
+                    ("read_errors", Json::from(snap.read_errors)),
+                    ("read_latency", self.metrics.store_read_latency.to_json()),
+                ]),
+            );
+        }
         stats
+    }
+
+    /// Look a key up in the persistent tier, decoding and promoting a hit
+    /// into the in-memory cache. Anything short of a decodable entry with
+    /// the expected fingerprint is a miss (and, where it indicates damage,
+    /// a `store_errors` tick) — corrupt data is never served.
+    fn store_lookup(&self, key: u64, fingerprint: u64) -> Option<Arc<CacheEntry>> {
+        let store = self.store.as_ref()?;
+        let read_started = Instant::now();
+        let found = store.get(key);
+        self.metrics
+            .store_read_latency
+            .record(read_started.elapsed());
+        let entry = match found {
+            Some((fp, payload)) if fp == fingerprint => {
+                let decoded = std::str::from_utf8(&payload)
+                    .ok()
+                    .and_then(persist::decode_entry);
+                if decoded.is_none() {
+                    self.metrics.store_errors.inc();
+                }
+                decoded
+            }
+            // Same content address written under a different allocator
+            // fingerprint: a key collision across configs, not damage —
+            // but not servable either.
+            Some(_) => None,
+            None => None,
+        };
+        match entry {
+            Some(e) => {
+                self.metrics.store_hits.inc();
+                let entry = Arc::new(e);
+                if self.cache.insert(key, Arc::clone(&entry)) {
+                    self.metrics.cache_evictions.inc();
+                }
+                Some(entry)
+            }
+            None => {
+                self.metrics.store_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Count a negative hit and build the error object a cached
+    /// non-convergence produces: the same message a live run would
+    /// report, plus `"cached":true` so callers can tell the fast-fail
+    /// from a fresh failure.
+    fn negative_fail(&self, name: &str, max_passes: usize) -> Json {
+        self.metrics.negative_hits.inc();
+        let err = AllocError::NonConvergence {
+            function: name.to_string(),
+            passes: max_passes,
+        };
+        Json::obj([
+            ("name", Json::from(name)),
+            ("error", Json::from(err.to_string())),
+            ("cached", Json::from(true)),
+        ])
+    }
+
+    /// Insert a computed entry into the in-memory cache and write it
+    /// through to the persistent tier (when attached). Write failures are
+    /// counted, not raised: the response already holds the result.
+    fn insert_both_tiers(&self, key: u64, fingerprint: u64, entry: &Arc<CacheEntry>) {
+        if self.cache.insert(key, Arc::clone(entry)) {
+            self.metrics.cache_evictions.inc();
+        }
+        if let Some(store) = &self.store {
+            let payload = persist::encode_entry(entry);
+            if store.put(key, fingerprint, payload.as_bytes()).is_err() {
+                self.metrics.store_errors.inc();
+            }
+        }
     }
 
     fn handle_alloc(&self, ir: &str, config: AllocatorConfig) -> Json {
@@ -125,24 +252,56 @@ impl Server {
             }
         };
 
-        // Split the module into cache hits and functions that must run.
+        // Split the module into cache hits (either tier), remembered
+        // failures, and functions that must run. The fingerprint excludes
+        // `max_passes`, so both entry kinds answer bound-sensitive
+        // questions here: a positive entry that needed `p` passes serves
+        // only requests with `max_passes ≥ p` (and *proves* failure for
+        // tighter bounds); a negative entry fails fast only for bounds no
+        // larger than the one it recorded.
+        let fingerprint = config.fingerprint();
+        let max_passes = config.max_passes;
         let funcs = module.functions();
-        let mut entries: Vec<Option<(Arc<FnResult>, bool)>> = vec![None; funcs.len()];
-        let mut cold = Vec::new(); // (index into `entries`, function clone)
+        let mut entries: Vec<Option<(Arc<CacheEntry>, bool)>> = vec![None; funcs.len()];
+        let mut cold = Vec::new(); // (index into `entries`, key, function clone)
+        let mut errors = Vec::new();
         for (i, f) in funcs.iter().enumerate() {
             let key = cache_key(f, &config);
-            if let Some(hit) = self.cache.get(key) {
-                self.metrics.cache_hits.inc();
-                entries[i] = Some((hit, true));
-            } else {
-                self.metrics.cache_misses.inc();
-                cold.push((i, key, f.clone()));
+            let found = self
+                .cache
+                .get(key)
+                .or_else(|| self.store_lookup(key, fingerprint));
+            match found {
+                Some(entry) => match &*entry {
+                    CacheEntry::Ok(result) if result.stats.passes <= max_passes => {
+                        self.metrics.cache_hits.inc();
+                        entries[i] = Some((Arc::clone(&entry), true));
+                    }
+                    CacheEntry::Ok(_) => {
+                        // Converged, but only beyond the caller's bound —
+                        // rerunning would burn the full bound and fail.
+                        errors.push(self.negative_fail(f.name(), max_passes));
+                    }
+                    CacheEntry::NonConvergence { max_passes: known } => {
+                        if max_passes <= *known {
+                            errors.push(self.negative_fail(f.name(), max_passes));
+                        } else {
+                            // The caller will spend more passes than the
+                            // recorded failure: invalidate and recompute.
+                            self.metrics.cache_misses.inc();
+                            cold.push((i, key, f.clone()));
+                        }
+                    }
+                },
+                None => {
+                    self.metrics.cache_misses.inc();
+                    cold.push((i, key, f.clone()));
+                }
             }
         }
 
         // Run the allocator over the cold functions only; cache hits never
         // touch the Build–Simplify–Color machinery.
-        let mut errors = Vec::new();
         if !cold.is_empty() {
             self.metrics.workers_busy.raise(1);
             let pipeline = Pipeline::new(config);
@@ -159,14 +318,20 @@ impl Server {
                             self.metrics.phase_color.record(pass.times.color);
                             self.metrics.phase_spill.record(pass.times.spill);
                         }
-                        let result = Arc::new(FnResult::from_allocation(f.name(), &alloc));
-                        if self.cache.insert(key, Arc::clone(&result)) {
-                            self.metrics.cache_evictions.inc();
-                        }
-                        entries[i] = Some((result, false));
+                        let entry =
+                            Arc::new(CacheEntry::Ok(FnResult::from_allocation(f.name(), &alloc)));
+                        self.insert_both_tiers(key, fingerprint, &entry);
+                        entries[i] = Some((entry, false));
                     }
                     Err(e) => {
                         self.metrics.alloc_errors.inc();
+                        // Remember non-convergence in both tiers so the
+                        // next identical request fails fast instead of
+                        // burning the whole pass budget again.
+                        if matches!(e, AllocError::NonConvergence { .. }) {
+                            let entry = Arc::new(CacheEntry::NonConvergence { max_passes });
+                            self.insert_both_tiers(key, fingerprint, &entry);
+                        }
                         errors.push(Json::obj([
                             ("name", Json::from(f.name())),
                             ("error", Json::from(e.to_string())),
@@ -179,7 +344,10 @@ impl Server {
         self.metrics.functions.add(funcs.len() as u64);
         let mut out = Vec::new();
         for (entry, f) in entries.into_iter().zip(funcs) {
-            if let Some((result, cached)) = entry {
+            if let Some((entry, cached)) = entry {
+                let CacheEntry::Ok(result) = &*entry else {
+                    continue; // negative entries never reach `entries`
+                };
                 // A cache hit may carry a different submitted name (names
                 // are not part of the key); respond with the caller's.
                 let mut r = result.to_json(cached);
@@ -353,6 +521,135 @@ mod tests {
         let (resp, _) = server.handle_line(&alloc_line("fn oops( {"));
         assert!(resp.contains("bad IR"));
         assert_eq!(server.metrics().parse_errors.get(), 2);
+    }
+
+    /// IR with `n` simultaneously-live integer values: every `imm` is
+    /// defined before any is consumed, then a reduction chain drains them.
+    /// With `n` above the 16 RT/PC integer registers this spills, so the
+    /// allocator needs a second Build–Simplify–Color pass to converge.
+    fn pressure_ir(n: usize) -> String {
+        let mut ir = String::from("func pressure() -> int {\nb0:\n");
+        for i in 1..=n {
+            ir.push_str(&format!("    v{i} = imm {i}\n"));
+        }
+        ir.push_str(&format!("    v{} = add.i v1, v2\n", n + 1));
+        for i in 3..=n {
+            ir.push_str(&format!(
+                "    v{} = add.i v{}, v{i}\n",
+                n + i - 1,
+                n + i - 2
+            ));
+        }
+        ir.push_str(&format!("    ret v{}\n}}\n", 2 * n - 1));
+        ir
+    }
+
+    fn alloc_line_with_passes(ir: &str, max_passes: usize) -> String {
+        let mut req = Json::obj([("req", Json::from("alloc"))]);
+        req.push("ir", Json::from(ir));
+        req.push(
+            "config",
+            Json::obj([("max_passes", Json::from(max_passes as u64))]),
+        );
+        req.to_string()
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "optimist-serve-server-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn nonconvergence_is_remembered_and_fails_fast() {
+        let server = Server::new(16, 1);
+        let ir = pressure_ir(24);
+
+        // Cold: one pass is not enough, and the failure is fresh.
+        let (resp, _) = server.handle_line(&alloc_line_with_passes(&ir, 1));
+        assert!(resp.contains("did not converge"), "{resp}");
+        assert!(!resp.contains("\"cached\":true"), "{resp}");
+        assert_eq!(server.metrics().negative_hits.get(), 0);
+        assert_eq!(
+            server.metrics().alloc_errors.get(),
+            1,
+            "cold failure ran the allocator"
+        );
+
+        // Same request again: answered from the negative cache without
+        // touching Build–Simplify–Color.
+        let (resp, _) = server.handle_line(&alloc_line_with_passes(&ir, 1));
+        assert!(resp.contains("did not converge"), "{resp}");
+        assert!(resp.contains("\"cached\":true"), "{resp}");
+        assert_eq!(server.metrics().negative_hits.get(), 1);
+        assert_eq!(
+            server.metrics().alloc_errors.get(),
+            1,
+            "fast-fail must not rerun the allocator"
+        );
+
+        // A larger bound invalidates the negative entry and succeeds.
+        let (resp, _) = server.handle_line(&alloc_line_with_passes(&ir, 8));
+        let v = crate::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+
+        // And a positive entry that needed p passes proves failure for a
+        // tighter bound — without rerunning the allocator.
+        let after_success = server.metrics().phase_build.count();
+        let (resp, _) = server.handle_line(&alloc_line_with_passes(&ir, 1));
+        assert!(resp.contains("did not converge"), "{resp}");
+        assert!(resp.contains("\"cached\":true"), "{resp}");
+        assert_eq!(server.metrics().phase_build.count(), after_success);
+        assert_eq!(server.metrics().negative_hits.get(), 2);
+    }
+
+    #[test]
+    fn store_tier_answers_after_a_restart() {
+        let dir = scratch("restart");
+        let first = Server::new(16, 1).with_store(Store::open(&dir, Default::default()).unwrap());
+        let (resp, _) = first.handle_line(&alloc_line(FUNC));
+        assert!(resp.contains("\"cached\":false"), "{resp}");
+        assert_eq!(first.metrics().store_misses.get(), 1);
+        drop(first);
+
+        // A fresh server with an empty memory tier but the same store:
+        // the disk answers, promotes into memory, and no phases run.
+        let second = Server::new(16, 1).with_store(Store::open(&dir, Default::default()).unwrap());
+        assert_eq!(second.store().unwrap().snapshot().recovered_entries, 1);
+        let (resp, _) = second.handle_line(&alloc_line(FUNC));
+        assert!(resp.contains("\"cached\":true"), "{resp}");
+        assert_eq!(second.metrics().store_hits.get(), 1);
+        assert_eq!(second.metrics().cache_hits.get(), 1);
+        assert_eq!(second.metrics().phase_build.count(), 0);
+
+        // Promoted: the next hit comes from memory, not disk.
+        second.handle_line(&alloc_line(FUNC));
+        assert_eq!(second.metrics().store_hits.get(), 1);
+        assert_eq!(second.metrics().cache_hits.get(), 2);
+
+        let stats = second.stats_json().to_string();
+        assert!(stats.contains("\"store\":{\"hits\":1"), "{stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn negative_entries_survive_a_restart() {
+        let dir = scratch("negative");
+        let ir = pressure_ir(24);
+        let first = Server::new(16, 1).with_store(Store::open(&dir, Default::default()).unwrap());
+        first.handle_line(&alloc_line_with_passes(&ir, 1));
+        drop(first);
+
+        let second = Server::new(16, 1).with_store(Store::open(&dir, Default::default()).unwrap());
+        let (resp, _) = second.handle_line(&alloc_line_with_passes(&ir, 1));
+        assert!(resp.contains("did not converge"), "{resp}");
+        assert!(resp.contains("\"cached\":true"), "{resp}");
+        assert_eq!(second.metrics().negative_hits.get(), 1);
+        assert_eq!(second.metrics().phase_build.count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

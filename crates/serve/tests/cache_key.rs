@@ -58,7 +58,6 @@ fn every_result_relevant_knob_changes_the_key() {
         base.clone().with_coalesce(CoalesceMode::Conservative),
         base.clone().with_spill_metric(SpillMetric::Cost),
         base.clone().with_rematerialize(true),
-        base.clone().with_max_passes(3),
         base.clone().with_incremental(true),
     ];
     let base_key = cache_key(f, &base);
@@ -80,6 +79,19 @@ fn thread_count_is_not_part_of_the_key() {
     let eight =
         AllocatorConfig::briggs(Target::rt_pc()).with_threads(NonZeroUsize::new(8).unwrap());
     assert_eq!(cache_key(f, &one), cache_key(f, &eight));
+}
+
+#[test]
+fn max_passes_is_not_part_of_the_key() {
+    // The pass bound caps iteration but never changes a converged result,
+    // so requests that differ only in `max_passes` share an address. The
+    // serving layer answers bound-sensitive questions by comparing the
+    // request's bound against the cached entry's pass count.
+    let module = compile_or_panic(SRC);
+    let f = &module.functions()[0];
+    let tight = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(1);
+    let loose = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(64);
+    assert_eq!(cache_key(f, &tight), cache_key(f, &loose));
 }
 
 #[test]

@@ -1,0 +1,151 @@
+//! The persistence acceptance test: a daemon restart does not cool the
+//! cache. Replaying the whole workloads corpus against a *fresh* server
+//! whose only warmth is the persistent store serves ≥ 90% of functions
+//! from disk — zero allocator-phase samples — and remembered failures
+//! fail fast across the restart too.
+
+use optimist_serve::{Json, Server};
+use optimist_store::{Store, StoreOptions};
+use optimist_workloads as workloads;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "optimist-persistent-warm-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &Path) -> Store {
+    Store::open(dir, StoreOptions::default()).expect("store opens")
+}
+
+fn corpus_requests() -> Vec<String> {
+    workloads::programs()
+        .iter()
+        .map(|p| {
+            let module =
+                optimist_frontend::compile(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let mut req = Json::obj([("req", Json::from("alloc"))]);
+            req.push("ir", Json::from(module.to_string()));
+            req.to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replay_stays_warm_across_a_restart() {
+    let dir = scratch("corpus");
+    let requests = corpus_requests();
+    assert!(requests.len() >= 5, "corpus suspiciously small");
+
+    // Cold generation: compute everything, writing through to the store.
+    let first = Server::new(4096, 16).with_store(open_store(&dir));
+    for line in &requests {
+        let (resp, _) = first.handle_line(line);
+        let v = optimist_serve::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+    let functions = first.metrics().functions.get();
+    assert_eq!(first.metrics().cache_misses.get(), functions);
+    let written = first.store().unwrap().len() as u64;
+    assert_eq!(written, functions, "every result was written through");
+    drop(first); // syncs the log
+
+    // Restart: a brand-new server, empty memory tier, same directory.
+    let second = Server::new(4096, 16).with_store(open_store(&dir));
+    assert_eq!(
+        second.store().unwrap().snapshot().recovered_entries,
+        written,
+        "recovery must rebuild the whole index"
+    );
+
+    for line in &requests {
+        let (resp, _) = second.handle_line(line);
+        let v = optimist_serve::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        for f in v.get("functions").and_then(Json::as_arr).unwrap() {
+            assert_eq!(
+                f.get("cached").and_then(Json::as_bool),
+                Some(true),
+                "post-restart replay recomputed a function: {f}"
+            );
+        }
+    }
+
+    // The acceptance bar: ≥ 90% of the replay served from cache tiers,
+    // and the allocator never ran — zero phase-histogram growth on a
+    // server that has never computed anything.
+    let hits = second.metrics().cache_hits.get();
+    let misses = second.metrics().cache_misses.get();
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(rate >= 0.9, "post-restart hit rate: {rate}");
+    assert_eq!(second.metrics().store_hits.get(), hits, "all hits via disk");
+    assert_eq!(
+        (
+            second.metrics().phase_build.count(),
+            second.metrics().phase_simplify.count(),
+            second.metrics().phase_color.count(),
+            second.metrics().phase_spill.count(),
+        ),
+        (0, 0, 0, 0),
+        "restart replay must not enter Build–Simplify–Color"
+    );
+
+    // The stats surface reports the disk tier.
+    let stats = second.stats_json();
+    let store = stats.get("store").expect("stats carries a store section");
+    for key in [
+        "hits",
+        "misses",
+        "entries",
+        "live_bytes",
+        "dead_bytes",
+        "recovered_entries",
+        "compactions",
+    ] {
+        assert!(
+            store.get(key).and_then(Json::as_f64).is_some(),
+            "stats.store.{key} not numeric: {store}"
+        );
+    }
+    assert_eq!(
+        store.get("hits").and_then(Json::as_u64),
+        Some(hits),
+        "{store}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_replay_is_served_from_memory_not_disk() {
+    // Promotion: after one post-restart replay the LRU is warm again, so
+    // a second replay leaves the disk counters untouched.
+    let dir = scratch("promotion");
+    let requests = corpus_requests();
+
+    let first = Server::new(4096, 16).with_store(open_store(&dir));
+    for line in &requests {
+        first.handle_line(line);
+    }
+    drop(first);
+
+    let second = Server::new(4096, 16).with_store(open_store(&dir));
+    for line in &requests {
+        second.handle_line(line);
+    }
+    let disk_hits_after_first_replay = second.metrics().store_hits.get();
+    for line in &requests {
+        second.handle_line(line);
+    }
+    assert_eq!(
+        second.metrics().store_hits.get(),
+        disk_hits_after_first_replay,
+        "promoted entries must be served from memory"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,624 @@
+//! # optimist-store
+//!
+//! A persistent, content-addressed result store: the disk tier behind
+//! `optimist-serve`'s in-memory LRU. Allocation results are pure functions
+//! of their content address, so a result computed before a daemon restart
+//! is exactly as good as one computed after — this crate makes them
+//! survive the restart.
+//!
+//! ## Shape
+//!
+//! One [`Store`] owns one directory holding a single **append-only,
+//! log-structured file** (`store.log`). Writes append a length-prefixed,
+//! checksummed record of `(key, schema_version, config_fingerprint,
+//! payload)` — see [`mod@format`] for the byte layout; payloads are opaque to
+//! this crate (the serving layer encodes them with its own JSON codec).
+//! An in-memory index maps each key to its newest record's offset, so
+//! reads are one seek. Updating a key appends a superseding record; the
+//! old bytes become *dead* and are reclaimed by compaction.
+//!
+//! ## Crash recovery
+//!
+//! Opening a store scans the log from the top, verifying every record's
+//! checksum. A crash mid-append leaves a **torn tail**, which is truncated
+//! back to the last record boundary; a flipped bit mid-file leaves a
+//! **corrupt record**, which is skipped as dead bytes; a record written by
+//! a different [`format::SCHEMA_VERSION`] is **stale** and ignored rather
+//! than mis-decoded. Every drop is counted and surfaced in
+//! [`StoreSnapshot`] — recovery never panics and never serves bytes that
+//! failed their checksum.
+//!
+//! ## Compaction
+//!
+//! When the log grows past [`StoreOptions::max_bytes`], live records are
+//! rewritten into a fresh file which atomically **renames over** the old
+//! one (write → fsync → rename → fsync directory), so a crash at any
+//! point leaves either the old complete log or the new complete log. If
+//! live data alone exceeds ¾ of the budget, the oldest-written entries
+//! are evicted until it fits — the store is a bounded cache, not an
+//! archive.
+//!
+//! ```
+//! # use optimist_store::{Store, StoreOptions};
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = Store::open(&dir, StoreOptions::default())?;
+//! store.put(0xc0ffee, 42, b"result bytes")?;
+//! assert_eq!(store.get(0xc0ffee), Some((42, b"result bytes".to_vec())));
+//! drop(store);
+//! // A new process sees the same entry.
+//! let reopened = Store::open(&dir, StoreOptions::default())?;
+//! assert_eq!(reopened.get(0xc0ffee), Some((42, b"result bytes".to_vec())));
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;
+
+use format::{ScannedRecord, MAGIC, RECORD_HEADER_LEN, SCHEMA_VERSION};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Name of the log file inside the store directory.
+const LOG_FILE: &str = "store.log";
+/// Name of the compaction scratch file (atomically renamed over the log).
+const TMP_FILE: &str = "store.log.tmp";
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Compaction trigger: when the log file exceeds this many bytes, live
+    /// records are rewritten (and the oldest evicted if live data alone
+    /// exceeds ¾ of the budget). `0` means unbounded — never compact on
+    /// size.
+    pub max_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            max_bytes: 64 << 20, // 64 MiB
+        }
+    }
+}
+
+/// Where one live entry's record sits in the log.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Byte offset of the record header.
+    offset: u64,
+    /// Header + body bytes (distance to the next record).
+    record_len: u32,
+    /// Payload bytes within the record.
+    payload_len: u32,
+    /// The config fingerprint stamped at write time.
+    fingerprint: u64,
+}
+
+/// Monotonic event counts, all surfaced through [`StoreSnapshot`].
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    recovered_entries: u64,
+    dropped_corrupt: u64,
+    dropped_torn: u64,
+    dropped_stale: u64,
+    superseded: u64,
+    evicted: u64,
+    compactions: u64,
+    last_compaction_us: u64,
+    read_errors: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    index: HashMap<u64, IndexEntry>,
+    /// Total log length, header included.
+    file_bytes: u64,
+    /// Bytes of the records currently in the index.
+    live_bytes: u64,
+    counters: Counters,
+}
+
+/// A point-in-time view of the store's size and history, dumped into the
+/// daemon's `stats` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Live entries (distinct keys).
+    pub entries: usize,
+    /// Total log-file size in bytes, header included.
+    pub file_bytes: u64,
+    /// Bytes held by live records.
+    pub live_bytes: u64,
+    /// Bytes held by superseded, corrupt, or stale records (reclaimable).
+    pub dead_bytes: u64,
+    /// Entries rebuilt from the log by the last open.
+    pub recovered_entries: u64,
+    /// Records dropped at recovery for checksum mismatch.
+    pub dropped_corrupt: u64,
+    /// Records dropped at recovery as a torn tail (file truncated).
+    pub dropped_torn: u64,
+    /// Records dropped at recovery for a foreign schema version (plus
+    /// whole files recycled for a foreign magic).
+    pub dropped_stale: u64,
+    /// Updates that overwrote an existing key (the old record died).
+    pub superseded: u64,
+    /// Entries evicted by compaction to respect the size budget.
+    pub evicted: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Wall-clock duration of the most recent compaction, in microseconds.
+    pub last_compaction_us: u64,
+    /// Reads that failed at the I/O layer (served as misses).
+    pub read_errors: u64,
+}
+
+/// The persistent content-addressed store. All methods take `&self`; the
+/// internals are behind one mutex (this is the tier *behind* a sharded
+/// in-memory cache — by the time a request gets here it has already
+/// missed the fast path).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl Store {
+    /// Open (or create) the store in directory `dir`, recovering the index
+    /// from the log: checksums verified, torn tails truncated, corrupt and
+    /// stale records dropped and counted.
+    ///
+    /// One store directory belongs to one process at a time; concurrent
+    /// writers would interleave appends and clobber each other's
+    /// compactions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the directory cannot be created, the
+    /// log cannot be opened or truncated). Data-level damage is *not* an
+    /// error — it is recovered around and reported in the snapshot.
+    pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let log_path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut counters = Counters::default();
+
+        // A missing/foreign header means the file is not ours (or is from
+        // an incompatible container revision): recycle it wholesale.
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            if !bytes.is_empty() {
+                counters.dropped_stale += 1;
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&MAGIC)?;
+            bytes = MAGIC.to_vec();
+        }
+
+        // Recovery scan: walk record to record, indexing the newest record
+        // per key and classifying everything else.
+        let mut index: HashMap<u64, IndexEntry> = HashMap::new();
+        let mut live_bytes: u64 = 0;
+        let mut offset = MAGIC.len();
+        while offset < bytes.len() {
+            match format::scan_record(&bytes, offset) {
+                ScannedRecord::Valid {
+                    key,
+                    schema_version,
+                    fingerprint,
+                    payload,
+                    record_len,
+                } => {
+                    if schema_version == SCHEMA_VERSION {
+                        let entry = IndexEntry {
+                            offset: offset as u64,
+                            record_len: record_len as u32,
+                            payload_len: payload.len() as u32,
+                            fingerprint,
+                        };
+                        if let Some(old) = index.insert(key, entry) {
+                            live_bytes -= u64::from(old.record_len);
+                            counters.superseded += 1;
+                        }
+                        live_bytes += record_len as u64;
+                    } else {
+                        counters.dropped_stale += 1;
+                    }
+                    offset += record_len;
+                }
+                ScannedRecord::Corrupt { record_len } => {
+                    counters.dropped_corrupt += 1;
+                    offset += record_len;
+                }
+                ScannedRecord::Torn => {
+                    counters.dropped_torn += 1;
+                    file.set_len(offset as u64)?;
+                    bytes.truncate(offset);
+                    break;
+                }
+            }
+        }
+        counters.recovered_entries = index.len() as u64;
+
+        file.seek(SeekFrom::End(0))?;
+        Ok(Store {
+            dir,
+            max_bytes: options.max_bytes,
+            inner: Mutex::new(Inner {
+                file,
+                index,
+                file_bytes: bytes.len() as u64,
+                live_bytes,
+                counters,
+            }),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Fetch the payload and write-time config fingerprint stored under
+    /// `key`. I/O failures are served as misses (and counted as
+    /// [`StoreSnapshot::read_errors`]) — a flaky disk degrades the cache,
+    /// it does not take the daemon down.
+    pub fn get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
+        let mut inner = self.lock();
+        let entry = *inner.index.get(&key)?;
+        let payload_at = entry.offset + (RECORD_HEADER_LEN + format::BODY_PREFIX_LEN) as u64;
+        let mut payload = vec![0u8; entry.payload_len as usize];
+        let read = inner
+            .file
+            .seek(SeekFrom::Start(payload_at))
+            .and_then(|_| inner.file.read_exact(&mut payload));
+        // Leave the cursor at the end for the next append either way.
+        let _ = inner.file.seek(SeekFrom::End(0));
+        match read {
+            Ok(()) => Some((entry.fingerprint, payload)),
+            Err(_) => {
+                inner.counters.read_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Append `payload` under `key`, superseding any previous record, and
+    /// compact if the log has outgrown its budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures. The log stays recoverable either way: a
+    /// half-written record is exactly the torn tail the open-time scan
+    /// truncates.
+    pub fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
+        let record = format::encode_record(key, SCHEMA_VERSION, fingerprint, payload);
+        let mut inner = self.lock();
+        let offset = inner.file_bytes;
+        inner.file.seek(SeekFrom::End(0))?;
+        inner.file.write_all(&record)?;
+        inner.file_bytes += record.len() as u64;
+        let entry = IndexEntry {
+            offset,
+            record_len: record.len() as u32,
+            payload_len: payload.len() as u32,
+            fingerprint,
+        };
+        if let Some(old) = inner.index.insert(key, entry) {
+            inner.live_bytes -= u64::from(old.record_len);
+            inner.counters.superseded += 1;
+        }
+        inner.live_bytes += record.len() as u64;
+
+        if self.max_bytes > 0 && inner.file_bytes > self.max_bytes {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite live records into a fresh log, dropping dead bytes, then
+    /// atomically rename it over the old one. Normally triggered by
+    /// [`Store::put`] crossing the size budget; public for tests and
+    /// maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on failure the original log is untouched.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        let started = Instant::now();
+
+        // Oldest-written first: offset order is append order, which makes
+        // budget eviction FIFO over surviving entries.
+        let mut live: Vec<(u64, IndexEntry)> = inner.index.iter().map(|(&k, &e)| (k, e)).collect();
+        live.sort_by_key(|(_, e)| e.offset);
+
+        // If live data alone busts ¾ of the budget, evict the oldest until
+        // it fits. The ¼ hysteresis guarantees real headroom after the
+        // rewrite so back-to-back puts cannot re-trigger immediately.
+        let mut evicted = 0u64;
+        if self.max_bytes > 0 {
+            let budget = self.max_bytes - self.max_bytes / 4;
+            let mut total = MAGIC.len() as u64
+                + live
+                    .iter()
+                    .map(|(_, e)| u64::from(e.record_len))
+                    .sum::<u64>();
+            let mut keep_from = 0;
+            while total > budget && keep_from < live.len() {
+                total -= u64::from(live[keep_from].1.record_len);
+                keep_from += 1;
+                evicted += 1;
+            }
+            live.drain(..keep_from);
+        }
+
+        // Copy survivors into the scratch file.
+        let tmp_path = self.dir.join(TMP_FILE);
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&MAGIC)?;
+        let mut new_offset = MAGIC.len() as u64;
+        let mut new_index: HashMap<u64, IndexEntry> = HashMap::with_capacity(live.len());
+        let mut buf = Vec::new();
+        for (key, entry) in &live {
+            buf.resize(entry.record_len as usize, 0);
+            inner.file.seek(SeekFrom::Start(entry.offset))?;
+            inner.file.read_exact(&mut buf)?;
+            tmp.write_all(&buf)?;
+            new_index.insert(
+                *key,
+                IndexEntry {
+                    offset: new_offset,
+                    ..*entry
+                },
+            );
+            new_offset += u64::from(entry.record_len);
+        }
+
+        // write → fsync → rename → fsync(dir): after any crash, the path
+        // names either the complete old log or the complete new one.
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, self.dir.join(LOG_FILE))?;
+        #[cfg(unix)]
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.dir.join(LOG_FILE))?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
+        inner.index = new_index;
+        inner.file_bytes = new_offset;
+        inner.live_bytes = new_offset - MAGIC.len() as u64;
+        inner.counters.evicted += evicted;
+        inner.counters.compactions += 1;
+        inner.counters.last_compaction_us =
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        Ok(())
+    }
+
+    /// Flush buffered appends to stable storage (`fdatasync`). Called on
+    /// daemon shutdown; recovery handles anything lost before a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock().file.sync_data()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time view of sizes and recovery/compaction history.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.lock();
+        let header = MAGIC.len() as u64;
+        StoreSnapshot {
+            entries: inner.index.len(),
+            file_bytes: inner.file_bytes,
+            live_bytes: inner.live_bytes,
+            dead_bytes: inner.file_bytes - inner.live_bytes - header.min(inner.file_bytes),
+            recovered_entries: inner.counters.recovered_entries,
+            dropped_corrupt: inner.counters.dropped_corrupt,
+            dropped_torn: inner.counters.dropped_torn,
+            dropped_stale: inner.counters.dropped_stale,
+            superseded: inner.counters.superseded,
+            evicted: inner.counters.evicted,
+            compactions: inner.counters.compactions,
+            last_compaction_us: inner.counters.last_compaction_us,
+            read_errors: inner.counters.read_errors,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("store mutex poisoned")
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort durability on clean shutdown; recovery covers the rest.
+        if let Ok(inner) = self.inner.lock() {
+            let _ = inner.file.sync_data();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("optimist-store-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_supersede() {
+        let dir = scratch("basic");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(store.is_empty());
+        store.put(1, 10, b"one").unwrap();
+        store.put(2, 10, b"two").unwrap();
+        assert_eq!(store.get(1), Some((10, b"one".to_vec())));
+        assert_eq!(store.get(3), None);
+        store.put(1, 11, b"one again").unwrap();
+        assert_eq!(store.get(1), Some((11, b"one again".to_vec())));
+        assert_eq!(store.len(), 2);
+        let snap = store.snapshot();
+        assert_eq!(snap.superseded, 1);
+        assert!(snap.dead_bytes > 0, "superseded record must count as dead");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_the_index() {
+        let dir = scratch("reopen");
+        {
+            let store = Store::open(&dir, StoreOptions::default()).unwrap();
+            for k in 0..20u64 {
+                store
+                    .put(k, k * 7, format!("value-{k}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.snapshot().recovered_entries, 20);
+        for k in 0..20u64 {
+            assert_eq!(
+                store.get(k),
+                Some((k * 7, format!("value-{k}").into_bytes()))
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes_and_preserves_entries() {
+        let dir = scratch("compact");
+        let store = Store::open(&dir, StoreOptions { max_bytes: 0 }).unwrap();
+        for round in 0..5 {
+            for k in 0..8u64 {
+                store
+                    .put(k, k, format!("round-{round}-key-{k}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let before = store.snapshot();
+        assert!(before.dead_bytes > 0);
+        store.compact().unwrap();
+        let after = store.snapshot();
+        assert_eq!(after.dead_bytes, 0);
+        assert_eq!(after.entries, 8);
+        assert_eq!(after.compactions, 1);
+        assert!(after.file_bytes < before.file_bytes);
+        for k in 0..8u64 {
+            assert_eq!(
+                store.get(k),
+                Some((k, format!("round-4-key-{k}").into_bytes()))
+            );
+        }
+        // And the compacted log reopens cleanly.
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.len(), 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_budget_triggers_compaction_and_fifo_eviction() {
+        let dir = scratch("budget");
+        let store = Store::open(&dir, StoreOptions { max_bytes: 4096 }).unwrap();
+        let payload = vec![0xabu8; 256];
+        for k in 0..64u64 {
+            store.put(k, 0, &payload).unwrap();
+        }
+        let snap = store.snapshot();
+        assert!(snap.compactions >= 1, "budget must have tripped compaction");
+        assert!(snap.evicted > 0, "live data exceeds budget: must evict");
+        assert!(
+            snap.file_bytes <= 4096,
+            "post-compaction log over budget: {}",
+            snap.file_bytes
+        );
+        // FIFO: the newest keys survive, the oldest are gone.
+        assert!(store.get(63).is_some());
+        assert!(store.get(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_schema_records_are_ignored_not_misread() {
+        let dir = scratch("stale");
+        {
+            let store = Store::open(&dir, StoreOptions::default()).unwrap();
+            store.put(1, 5, b"current").unwrap();
+        }
+        // Append a well-checksummed record from a future schema revision.
+        let log = dir.join(LOG_FILE);
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes.extend_from_slice(&format::encode_record(2, SCHEMA_VERSION + 1, 5, b"future"));
+        std::fs::write(&log, &bytes).unwrap();
+
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.get(1), Some((5, b"current".to_vec())));
+        assert_eq!(store.get(2), None, "stale-schema record must not load");
+        assert_eq!(store.snapshot().dropped_stale, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_recycled_not_trusted() {
+        let dir = scratch("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOG_FILE), b"this is not a store log at all").unwrap();
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.snapshot().dropped_stale, 1);
+        // The recycled file works normally afterwards.
+        store.put(9, 9, b"fresh").unwrap();
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.get(9), Some((9, b"fresh".to_vec())));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

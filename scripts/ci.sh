@@ -47,4 +47,23 @@ case "$smoke_resp" in
         ;;
 esac
 
+echo "==> persistence smoke test (store survives a restart)"
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+# First daemon: computes the result and writes it through to the store.
+printf '%s\n' "$smoke_req" \
+    | ./target/debug/optimist-serve --oneshot --quiet --store "$store_dir" >/dev/null
+# Second daemon, same store, empty memory: the disk tier must answer, and
+# the stats dump must say so.
+persist_resp="$(printf '%s\n%s\n' "$smoke_req" '{"req":"stats"}' \
+    | ./target/debug/optimist-serve --quiet --store "$store_dir")"
+case "$persist_resp" in
+    *'"cached":true'*'"store":{"hits":1'*)
+        ;;
+    *)
+        echo "persistence smoke test failed; response: $persist_resp" >&2
+        exit 1
+        ;;
+esac
+
 echo "CI gate passed."

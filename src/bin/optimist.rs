@@ -31,6 +31,10 @@
 //!                      requests are served from stdin
 //!   --oneshot          (serve) answer the first stdin request and exit
 //!   --cache-capacity N (serve) cached function results (default 4096)
+//!   --store PATH       (serve) persist results at PATH so a restarted
+//!                      daemon answers from disk, failures included
+//!   --store-max-bytes N (serve) compact the store log past N bytes
+//!                      (default 67108864; 0 = never)
 //! ```
 //!
 //! Arguments to `run` are integers or floats; the entry must be an FT
@@ -64,6 +68,8 @@ struct Options {
     listen: Option<String>,
     oneshot: bool,
     cache_capacity: usize,
+    store: Option<std::path::PathBuf>,
+    store_max_bytes: u64,
     positional: Vec<String>,
 }
 
@@ -82,6 +88,8 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
         listen: None,
         oneshot: false,
         cache_capacity: 4096,
+        store: None,
+        store_max_bytes: 64 << 20,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -136,6 +144,15 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
                 o.cache_capacity = v
                     .parse()
                     .map_err(|_| format!("bad --cache-capacity `{v}`"))?;
+            }
+            "--store" => {
+                o.store = Some(it.next().ok_or("--store needs a value")?.into());
+            }
+            "--store-max-bytes" => {
+                let v = it.next().ok_or("--store-max-bytes needs a value")?;
+                o.store_max_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad --store-max-bytes `{v}`"))?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
@@ -342,7 +359,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if !o.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
-    let server = std::sync::Arc::new(optimist::serve::Server::new(o.cache_capacity, 16));
+    let mut server = optimist::serve::Server::new(o.cache_capacity, 16);
+    if let Some(dir) = &o.store {
+        let options = optimist::store::StoreOptions {
+            max_bytes: o.store_max_bytes,
+        };
+        let store = optimist::store::Store::open(dir, options)
+            .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+        server = server.with_store(store);
+    }
+    let server = std::sync::Arc::new(server);
     let result = match &o.listen {
         Some(addr) => server.run_listener(addr.as_str(), |bound| {
             eprintln!("optimist serve: listening on {bound}");

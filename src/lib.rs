@@ -21,6 +21,8 @@
 //! | [`machine`] | `optimist-machine` | RT/PC-class target model |
 //! | [`regalloc`] | `optimist-regalloc` | **the paper's contribution** |
 //! | [`sim`] | `optimist-sim` | cycle simulator (the "hardware") |
+//! | [`serve`] | `optimist-serve` | batch allocation daemon |
+//! | [`store`] | `optimist-store` | persistent content-addressed result store |
 //! | [`workloads`] | `optimist-workloads` | the paper's benchmark programs |
 //!
 //! ## Quick start
@@ -56,6 +58,7 @@ pub use optimist_opt as opt;
 pub use optimist_regalloc as regalloc;
 pub use optimist_serve as serve;
 pub use optimist_sim as sim;
+pub use optimist_store as store;
 pub use optimist_workloads as workloads;
 
 /// Compile FT source and run the scalar optimizer — the configuration the

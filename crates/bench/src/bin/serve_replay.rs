@@ -4,6 +4,7 @@
 //! ```text
 //! serve_replay [--rounds N] [--addr ADDR]
 //! serve_replay --restart [--store DIR] [--store-max-bytes N]
+//! serve_replay --stream [--rounds N]
 //! ```
 //!
 //! Without `--addr` a daemon is spun up in-process on a loopback port.
@@ -16,9 +17,18 @@
 //! against a brand-new daemon on the same store. The replay must be
 //! served ≥ 90% from disk; the run fails otherwise. `--store DIR`
 //! defaults to a scratch directory that is cleaned up afterwards.
+//!
+//! With `--stream` the benchmark compares the two warm-cache transports:
+//! the whole corpus as serial request/response round trips versus one
+//! streaming `batch` request per round. It reports throughput for both,
+//! the completion-order skew of the streamed item records (how far
+//! arrival order drifts from submission order), and fails unless the
+//! stream mode is ≥ 1.3× the serial throughput with byte-identical
+//! `functions` payloads.
 
 use optimist_serve::{Client, Json, Server};
 use optimist_store::{Store, StoreOptions};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{mpsc, Arc};
@@ -28,6 +38,7 @@ struct Args {
     rounds: usize,
     addr: Option<String>,
     restart: bool,
+    stream: bool,
     store: Option<PathBuf>,
     store_max_bytes: u64,
 }
@@ -37,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         rounds: 3,
         addr: None,
         restart: false,
+        stream: false,
         store: None,
         store_max_bytes: 64 << 20,
     };
@@ -49,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
             "--restart" => args.restart = true,
+            "--stream" => args.stream = true,
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?.into()),
             "--store-max-bytes" => {
                 let v = it.next().ok_or("--store-max-bytes needs a value")?;
@@ -59,7 +72,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_replay [--rounds N] [--addr ADDR]\n       \
-                     serve_replay --restart [--store DIR] [--store-max-bytes N]"
+                     serve_replay --restart [--store DIR] [--store-max-bytes N]\n       \
+                     serve_replay --stream [--rounds N]"
                 );
                 std::process::exit(0);
             }
@@ -68,6 +82,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.restart && args.addr.is_some() {
         return Err("--restart restarts an in-process daemon; drop --addr".into());
+    }
+    if args.stream && args.restart {
+        return Err("--stream and --restart are separate benchmarks; pick one".into());
+    }
+    if args.stream && args.addr.is_some() {
+        return Err("--stream compares transports on an in-process daemon; drop --addr".into());
     }
     Ok(args)
 }
@@ -98,24 +118,16 @@ fn real_main() -> Result<(), String> {
     if args.restart {
         return run_restart(&corpus, &args);
     }
+    if args.stream {
+        return run_stream_bench(&corpus, &args);
+    }
 
     // Either attach to a running daemon or start one on a loopback port.
     let (addr, local) = match args.addr {
         Some(addr) => (addr, None),
         None => {
-            let server = Arc::new(Server::new(4096, 16));
-            let (tx, rx) = mpsc::channel();
-            let s = Arc::clone(&server);
-            let handle = std::thread::spawn(move || {
-                s.run_listener("127.0.0.1:0", |bound| {
-                    let _ = tx.send(bound);
-                })
-                .expect("listener failed");
-            });
-            let bound = rx
-                .recv()
-                .map_err(|_| "daemon thread died before binding".to_string())?;
-            (bound.to_string(), Some((server, handle)))
+            let (addr, server, handle) = spawn_plain_daemon()?;
+            (addr, Some((server, handle)))
         }
     };
 
@@ -176,6 +188,23 @@ fn real_main() -> Result<(), String> {
             .map_err(|_| "daemon thread panicked".to_string())?;
     }
     Ok(())
+}
+
+/// Spin up a store-less in-process daemon on a loopback port.
+fn spawn_plain_daemon() -> Result<(String, Arc<Server>, std::thread::JoinHandle<()>), String> {
+    let server = Arc::new(Server::new(4096, 16));
+    let (tx, rx) = mpsc::channel();
+    let s = Arc::clone(&server);
+    let handle = std::thread::spawn(move || {
+        s.run_listener("127.0.0.1:0", |bound| {
+            let _ = tx.send(bound);
+        })
+        .expect("listener failed");
+    });
+    let bound = rx
+        .recv()
+        .map_err(|_| "daemon thread died before binding".to_string())?;
+    Ok((bound.to_string(), server, handle))
 }
 
 /// Spin up an in-process daemon backed by `dir`, returning a connected
@@ -307,6 +336,225 @@ fn run_restart(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
     if hit_rate < 0.9 {
         return Err(format!(
             "warm-after-restart hit rate {hit_rate:.3} is below the 0.9 acceptance bar"
+        ));
+    }
+    Ok(())
+}
+
+/// The `--stream` benchmark: warm the cache once, then push the corpus
+/// through three warm transports — serial request/response, one streamed
+/// `ir` batch per round, and one streamed `key`-reference batch per round
+/// (the batch protocol's warm fast path: the first response taught the
+/// client every function's content address). Reports throughput for each,
+/// the completion-order skew of the streamed records, and fails unless
+/// the key-reference stream is ≥ 1.3× serial with byte-identical records.
+fn run_stream_bench(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
+    let rounds = args.rounds.max(1);
+    let (addr, _server, handle) = spawn_plain_daemon()?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+
+    println!(
+        "stream benchmark: {} programs × {rounds} rounds against {addr}",
+        corpus.len()
+    );
+
+    // Warm: every measured transport must run against the same fully
+    // populated cache, or the first mode measured would pay the compute.
+    // The responses teach us each function's content address.
+    let mut keys: Vec<(String, String)> = Vec::new(); // (program/index, key)
+    for (name, ir) in corpus {
+        let resp = client
+            .alloc(ir, Json::Null)
+            .map_err(|e| format!("{name}: {e}"))?;
+        let funcs = resp
+            .get("functions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: response without functions"))?;
+        for (i, f) in funcs.iter().enumerate() {
+            let key = f
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{name}: function record without key"))?;
+            keys.push((format!("{name}/{i}"), key.to_string()));
+        }
+    }
+
+    // Serial: one request/response round trip per program; the client
+    // waits for each answer before sending the next request. Capture the
+    // payloads as the byte-identity baseline: the whole `functions` array
+    // per program, and each function record individually.
+    let mut serial_arrays: BTreeMap<String, String> = BTreeMap::new();
+    let mut serial_records: BTreeMap<String, String> = BTreeMap::new(); // "prog/i"
+    let serial_started = Instant::now();
+    for _ in 0..rounds {
+        for (name, ir) in corpus {
+            let resp = client
+                .alloc(ir, Json::Null)
+                .map_err(|e| format!("{name}: {e}"))?;
+            let funcs = resp
+                .get("functions")
+                .ok_or_else(|| format!("{name}: response without functions"))?;
+            serial_arrays.insert(name.clone(), funcs.to_string());
+            if let Some(arr) = funcs.as_arr() {
+                for (i, f) in arr.iter().enumerate() {
+                    serial_records.insert(format!("{name}/{i}"), f.to_string());
+                }
+            }
+        }
+    }
+    let serial_us = serial_started.elapsed().as_micros();
+
+    // Stream, ir payloads: the whole corpus as ONE batch request per
+    // round; item records come back in completion order, tagged with the
+    // program name.
+    let ir_items: Vec<(Json, Json)> = corpus
+        .iter()
+        .map(|(name, ir)| {
+            (
+                Json::from(name.as_str()),
+                Json::obj([("ir", Json::from(ir.as_str()))]),
+            )
+        })
+        .collect();
+    let mut arrivals: Vec<String> = Vec::new();
+    let stream_started = Instant::now();
+    for _ in 0..rounds {
+        arrivals.clear();
+        let mut streamed: BTreeMap<String, String> = BTreeMap::new();
+        let done = client
+            .batch(&ir_items, Json::Null, |record| {
+                let id = record
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                if let Some(funcs) = record.get("functions") {
+                    streamed.insert(id.clone(), funcs.to_string());
+                }
+                arrivals.push(id);
+            })
+            .map_err(|e| e.to_string())?;
+        let errors = done.get("errors").and_then(Json::as_u64).unwrap_or(0);
+        if errors != 0 {
+            return Err(format!(
+                "ir batch round finished with {errors} failed items"
+            ));
+        }
+        // Byte-identity, every round: the transport must not change the
+        // result, whatever order the items completed in.
+        for (name, serial_funcs) in &serial_arrays {
+            match streamed.get(name) {
+                Some(s) if s == serial_funcs => {}
+                Some(_) => return Err(format!("{name}: streamed payload differs from serial")),
+                None => return Err(format!("{name}: no streamed item record")),
+            }
+        }
+    }
+    let stream_us = stream_started.elapsed().as_micros();
+
+    // Stream, key references: one batch per round re-fetching every
+    // function by the content address learned during the warm pass. The
+    // server answers without seeing (or parsing) any module text — this
+    // is the protocol's warm fast path.
+    let key_items: Vec<(Json, Json)> = keys
+        .iter()
+        .map(|(id, key)| {
+            (
+                Json::from(id.as_str()),
+                Json::obj([("key", Json::from(key.as_str()))]),
+            )
+        })
+        .collect();
+    let keys_started = Instant::now();
+    for _ in 0..rounds {
+        let mut streamed: BTreeMap<String, String> = BTreeMap::new();
+        let done = client
+            .batch(&key_items, Json::Null, |record| {
+                let id = record
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                if let Some([f]) = record.get("functions").and_then(Json::as_arr) {
+                    streamed.insert(id, f.to_string());
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        let errors = done.get("errors").and_then(Json::as_u64).unwrap_or(0);
+        if errors != 0 {
+            return Err(format!(
+                "key batch round finished with {errors} failed items"
+            ));
+        }
+        for (id, serial_record) in &serial_records {
+            match streamed.get(id) {
+                Some(s) if s == serial_record => {}
+                Some(_) => return Err(format!("{id}: key-fetched record differs from serial")),
+                None => return Err(format!("{id}: no key-fetched record")),
+            }
+        }
+    }
+    let keys_us = keys_started.elapsed().as_micros();
+
+    // Completion-order skew of the last ir round: how far each item
+    // record's arrival position drifted from its submission position.
+    let submitted: BTreeMap<&str, usize> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.as_str(), i))
+        .collect();
+    let mut displaced = 0usize;
+    let mut max_displacement = 0usize;
+    for (arrival_pos, id) in arrivals.iter().enumerate() {
+        let Some(&submit_pos) = submitted.get(id.as_str()) else {
+            continue;
+        };
+        let drift = arrival_pos.abs_diff(submit_pos);
+        if drift > 0 {
+            displaced += 1;
+            max_displacement = max_displacement.max(drift);
+        }
+    }
+
+    let ir_speedup = serial_us as f64 / stream_us.max(1) as f64;
+    let key_speedup = serial_us as f64 / keys_us.max(1) as f64;
+    println!(
+        "{:<12} {:>12} {:>16} {:>9}",
+        "mode", "latency_us", "items_per_sec", "speedup"
+    );
+    let rate = |n: usize, us: u128| (n * rounds) as f64 / (us.max(1) as f64 / 1e6);
+    println!(
+        "{:<12} {serial_us:>12} {:>16.0} {:>9}",
+        "serial",
+        rate(corpus.len(), serial_us),
+        "1.00x"
+    );
+    println!(
+        "{:<12} {stream_us:>12} {:>16.0} {ir_speedup:>8.2}x",
+        "stream-ir",
+        rate(corpus.len(), stream_us),
+    );
+    println!(
+        "{:<12} {keys_us:>12} {:>16.0} {key_speedup:>8.2}x",
+        "stream-keys",
+        rate(keys.len(), keys_us),
+    );
+    println!(
+        "completion-order skew (ir batch): {displaced}/{} items displaced, \
+         max displacement {max_displacement}",
+        corpus.len()
+    );
+
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!("{stats}");
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+
+    if key_speedup < 1.3 {
+        return Err(format!(
+            "key-reference stream speedup {key_speedup:.2}x is below the 1.3x acceptance bar"
         ));
     }
     Ok(())

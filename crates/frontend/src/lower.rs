@@ -129,7 +129,15 @@ impl<'a> LowerUnit<'a> {
 
         // Local arrays: frame slots. Parameter 2-D arrays: evaluate the
         // leading dimension once at entry (it may be a parameter like LDA).
-        for (name, sym) in &info.symbols {
+        // Walk the declarations in source order, not `info.symbols` (a
+        // HashMap): slot numbering and the entry-block stride code must
+        // come out identical on every compile — the serving layer's
+        // content addresses hash the emitted text. Arrays can only be
+        // introduced by an explicit declaration, so `unit.decls` covers
+        // them all.
+        for d in &unit.decls {
+            let name = &d.name;
+            let sym = &info.symbols[name];
             if let SymKind::Array { dims, is_param } = &sym.kind {
                 if *is_param {
                     if dims.len() == 2 {

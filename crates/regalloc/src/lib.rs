@@ -71,7 +71,7 @@ pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
 pub use cost::{depth_weight, spill_costs};
 pub use graph::InterferenceGraph;
 pub use matula::smallest_last_order;
-pub use pipeline::{ModuleAllocation, Pipeline};
+pub use pipeline::{ModuleAllocation, Pipeline, WorkerPool};
 pub use select::{select, Coloring};
 pub use simplify::{simplify, simplify_with_metric, Heuristic, SimplifyOutcome, SpillMetric};
 pub use spill::{insert_spill_code, SpillOpts, SpillOutcome, SpillStats};

@@ -15,26 +15,191 @@
 //! A panic inside a worker is contained to the function being allocated: it
 //! surfaces as [`AllocError::WorkerPanic`] for that function and the rest of
 //! the module is still allocated.
+//!
+//! For serving workloads — many small requests instead of one big module —
+//! per-call thread spawn is wasted work. [`WorkerPool`] keeps the workers
+//! alive across calls: concurrent callers (e.g. the in-flight window of one
+//! `optimist-serve` connection) feed jobs into a shared queue and block only
+//! for their own results. [`Pipeline::with_pool`] routes a session through
+//! such a pool.
 
 use crate::allocator::{allocate, AllocError, Allocation, AllocatorConfig};
 use optimist_ir::{Function, Module};
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// A long-lived allocation worker pool, shared across [`Pipeline`]
+/// sessions and across callers.
+///
+/// [`Pipeline::allocate_functions`] spawns scoped workers per call, which
+/// is fine for one big module but wasteful for a server that allocates a
+/// stream of small requests: every request pays thread spawn/join. A
+/// `WorkerPool` keeps `threads` workers alive for its whole lifetime;
+/// concurrent callers submit jobs into one shared queue and each gets its
+/// own results back in input order. Jobs carry their own
+/// [`AllocatorConfig`], so one pool serves requests with different
+/// configurations.
+///
+/// Panics inside a job are contained exactly as in [`Pipeline`]: the
+/// function's slot gets [`AllocError::WorkerPanic`] and the worker thread
+/// survives to take the next job.
+#[derive(Debug)]
+pub struct WorkerPool {
+    submit: Mutex<Option<mpsc::Sender<Job>>>,
+    pending: Arc<AtomicUsize>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Job {
+    func: Function,
+    config: AllocatorConfig,
+    index: usize,
+    out: mpsc::Sender<(usize, Result<Allocation, AllocError>)>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` long-lived allocation workers.
+    pub fn new(threads: NonZeroUsize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let pending = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads.get())
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let pending = Arc::clone(&pending);
+                std::thread::spawn(move || loop {
+                    // Take the receiver lock only to pull one job; workers
+                    // allocate outside the lock so they run concurrently.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(job) = job else { break };
+                    pending.fetch_sub(1, Ordering::Relaxed);
+                    let result = allocate_caught(&job.func, &job.config);
+                    // The caller may have gone away (its receiver dropped);
+                    // the job's work is simply discarded then.
+                    let _ = job.out.send((job.index, result));
+                })
+            })
+            .collect();
+        WorkerPool {
+            submit: Mutex::new(Some(tx)),
+            pending,
+            threads: threads.get(),
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Jobs submitted but not yet picked up by a worker — the queue depth
+    /// an arriving job sees. Racy by nature; meant for observability.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Allocate every function in `funcs` under `config` on the pool's
+    /// workers, returning one result per input in input order. Blocks until
+    /// every job is done. Safe to call from many threads at once: jobs from
+    /// concurrent callers interleave in the shared queue, but each caller
+    /// only sees its own results.
+    pub fn allocate_functions(
+        &self,
+        config: &AllocatorConfig,
+        funcs: &[Function],
+    ) -> Vec<Result<Allocation, AllocError>> {
+        if funcs.is_empty() {
+            return Vec::new();
+        }
+        let (out_tx, out_rx) = mpsc::channel();
+        {
+            let guard = self.submit.lock().expect("pool submit lock poisoned");
+            let tx = guard.as_ref().expect("pool already shut down");
+            for (index, func) in funcs.iter().enumerate() {
+                self.pending.fetch_add(1, Ordering::Relaxed);
+                tx.send(Job {
+                    func: func.clone(),
+                    config: config.clone(),
+                    index,
+                    out: out_tx.clone(),
+                })
+                .expect("pool workers gone");
+            }
+        }
+        drop(out_tx);
+        let mut slots: Vec<Option<Result<Allocation, AllocError>>> =
+            funcs.iter().map(|_| None).collect();
+        for (index, result) in out_rx {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job produced a result"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the queue so workers drain and exit, then join them.
+        *self.submit.lock().expect("pool submit lock poisoned") = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Allocate one function, converting a panic into
+/// [`AllocError::WorkerPanic`] so a bad function cannot take down the rest
+/// of a module (or a pool worker thread).
+fn allocate_caught(func: &Function, config: &AllocatorConfig) -> Result<Allocation, AllocError> {
+    catch_unwind(AssertUnwindSafe(|| allocate(func, config))).unwrap_or_else(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(AllocError::WorkerPanic {
+            function: func.name().to_string(),
+            message,
+        })
+    })
+}
 
 /// A reusable module-allocation session: one configuration, many functions,
 /// allocated concurrently.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: AllocatorConfig,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Pipeline {
     /// Create a pipeline that allocates with `config` on
     /// [`config.threads`](AllocatorConfig::threads) workers.
     pub fn new(config: AllocatorConfig) -> Self {
-        Pipeline { config }
+        Pipeline { config, pool: None }
+    }
+
+    /// Create a pipeline that routes its work through a shared long-lived
+    /// [`WorkerPool`] instead of spawning scoped workers per call. The
+    /// pool's thread count governs parallelism;
+    /// [`AllocatorConfig::threads`] is ignored on this path.
+    pub fn with_pool(config: AllocatorConfig, pool: Arc<WorkerPool>) -> Self {
+        Pipeline {
+            config,
+            pool: Some(pool),
+        }
     }
 
     /// The configuration this pipeline allocates with.
@@ -45,6 +210,9 @@ impl Pipeline {
     /// Allocate every function in `funcs`, returning one result per input
     /// in the same order.
     pub fn allocate_functions(&self, funcs: &[Function]) -> Vec<Result<Allocation, AllocError>> {
+        if let Some(pool) = &self.pool {
+            return pool.allocate_functions(&self.config, funcs);
+        }
         let threads = self.config.threads.get().min(funcs.len().max(1));
         if threads <= 1 {
             return funcs.iter().map(|f| self.allocate_one(f)).collect();
@@ -91,23 +259,10 @@ impl Pipeline {
         ModuleAllocation { results }
     }
 
-    /// Allocate one function, converting a panic into
-    /// [`AllocError::WorkerPanic`] so a bad function cannot take down the
-    /// rest of the module.
+    /// Allocate one function with panic containment (see
+    /// [`allocate_caught`]).
     fn allocate_one(&self, func: &Function) -> Result<Allocation, AllocError> {
-        catch_unwind(AssertUnwindSafe(|| allocate(func, &self.config))).unwrap_or_else(|payload| {
-            let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            Err(AllocError::WorkerPanic {
-                function: func.name().to_string(),
-                message,
-            })
-        })
+        allocate_caught(func, &self.config)
     }
 }
 
@@ -262,6 +417,74 @@ mod tests {
             let err = out.into_map().unwrap_err();
             assert!(matches!(err, AllocError::WorkerPanic { .. }));
         }
+    }
+
+    #[test]
+    fn pool_results_match_direct_allocation_in_order() {
+        let m = test_module(7);
+        let cfg = config(1);
+        let pool = Arc::new(WorkerPool::new(NonZeroUsize::new(4).unwrap()));
+        let via_pool = pool.allocate_functions(&cfg, m.functions());
+        for (f, r) in m.functions().iter().zip(&via_pool) {
+            let direct = allocate(f, &cfg).unwrap();
+            assert_eq!(fingerprint(r.as_ref().unwrap()), fingerprint(&direct));
+        }
+        // And the Pipeline facade over the same pool agrees.
+        let via_pipeline = Pipeline::with_pool(cfg, pool).allocate_module(&m);
+        for ((_, r1), r2) in via_pipeline.results.iter().zip(&via_pool) {
+            assert_eq!(
+                fingerprint(r1.as_ref().unwrap()),
+                fingerprint(r2.as_ref().unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_shared_by_concurrent_callers() {
+        let pool = Arc::new(WorkerPool::new(NonZeroUsize::new(2).unwrap()));
+        let cfg = config(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|caller| {
+                    let pool = Arc::clone(&pool);
+                    let cfg = cfg.clone();
+                    scope.spawn(move || {
+                        let m = test_module(3 + caller);
+                        let results = pool.allocate_functions(&cfg, m.functions());
+                        assert_eq!(results.len(), 3 + caller);
+                        for (f, r) in m.functions().iter().zip(&results) {
+                            let direct = allocate(f, &cfg).unwrap();
+                            assert_eq!(fingerprint(r.as_ref().unwrap()), fingerprint(&direct));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn pool_worker_survives_a_panicking_function() {
+        let pool = WorkerPool::new(NonZeroUsize::new(1).unwrap());
+        let cfg = config(1);
+        let mut bad = pressure_function("bad", 4);
+        bad.block_mut(bad.entry())
+            .insts
+            .push(optimist_ir::Inst::Ret {
+                value: Some(optimist_ir::VReg::new(9999)),
+            });
+        let results = pool.allocate_functions(&cfg, &[bad]);
+        assert!(matches!(
+            results[0],
+            Err(AllocError::WorkerPanic { ref function, .. }) if function == "bad"
+        ));
+        // The single worker took the panic and must still serve new jobs.
+        let good = pressure_function("good", 6);
+        let results = pool.allocate_functions(&cfg, &[good]);
+        assert!(results[0].is_ok());
+        assert_eq!(pool.pending(), 0);
     }
 
     #[test]

@@ -30,6 +30,10 @@ options:
                         previous results (and remembered failures) from disk
   --store-max-bytes N   compact the store log when it exceeds N bytes
                         [default 67108864; 0 = never]
+  --max-inflight N      concurrently-executing work units (requests or batch
+                        items) allowed per TCP connection [default 8]
+  --pool-threads N      allocation worker threads shared by all connections
+                        [default: the machine]
   --quiet               suppress the final metrics dump on stderr
   --help                show this help
 ";
@@ -41,6 +45,8 @@ struct Options {
     shards: usize,
     store: Option<std::path::PathBuf>,
     store_max_bytes: u64,
+    max_inflight: usize,
+    pool_threads: Option<std::num::NonZeroUsize>,
     quiet: bool,
 }
 
@@ -52,6 +58,8 @@ fn parse_args() -> Result<Options, String> {
         shards: 16,
         store: None,
         store_max_bytes: 64 << 20,
+        max_inflight: optimist_serve::DEFAULT_MAX_INFLIGHT,
+        pool_threads: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -76,6 +84,18 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--store-max-bytes needs an integer".to_string())?
             }
+            "--max-inflight" => {
+                opts.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|_| "--max-inflight needs an integer".to_string())?
+            }
+            "--pool-threads" => {
+                opts.pool_threads = Some(
+                    value("--pool-threads")?
+                        .parse()
+                        .map_err(|_| "--pool-threads needs a positive integer".to_string())?,
+                )
+            }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -99,7 +119,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut server = Server::new(opts.cache_capacity, opts.shards);
+    let mut server =
+        Server::new(opts.cache_capacity, opts.shards).with_max_inflight(opts.max_inflight);
+    if let Some(threads) = opts.pool_threads {
+        server = server.with_pool_threads(threads);
+    }
     if let Some(dir) = &opts.store {
         let options = StoreOptions {
             max_bytes: opts.store_max_bytes,

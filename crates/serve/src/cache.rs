@@ -34,6 +34,31 @@ pub fn cache_key(func: &Function, config: &AllocatorConfig) -> u64 {
     h
 }
 
+/// The memo key of one *raw request text* under a configuration: FNV-1a
+/// over the submitted IR bytes extended with the configuration's
+/// [`fingerprint`](AllocatorConfig::fingerprint) **and** its `max_passes`
+/// bound.
+///
+/// Unlike [`cache_key`] this is not canonical — an α-renamed resubmission
+/// gets a different text key — and it must fold in `max_passes` (which the
+/// fingerprint deliberately excludes) because the bound decides whether a
+/// cached result is servable at all. The payoff is that a byte-identical
+/// resubmission is answered without parsing the IR or canonicalizing any
+/// function: the editor-loop warm path costs one hash of the text.
+pub fn text_key(ir: &str, config: &AllocatorConfig) -> u64 {
+    let mut h = fnv1a(ir.as_bytes());
+    for b in config
+        .fingerprint()
+        .to_le_bytes()
+        .into_iter()
+        .chain((config.max_passes as u64).to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A sharded, bounded, least-recently-used map from [`cache_key`]s to
 /// shared values.
 #[derive(Debug)]

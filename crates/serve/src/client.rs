@@ -49,6 +49,9 @@ impl Client {
     /// Connect to a daemon at `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr)?;
+        // Requests are one buffered write each; never let Nagle hold the
+        // final partial segment hostage to the peer's delayed ACK.
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { writer, reader })
     }
@@ -91,6 +94,65 @@ impl Client {
             req.push("config", config);
         }
         self.request(&req)
+    }
+
+    /// Send one `batch` request and stream the responses. `items` are
+    /// `(id, payload)` pairs where the payload is the item body — an
+    /// `("ir", text)` or `("key", hex)` field. Item records arrive in
+    /// completion order, not submission order; each is handed to
+    /// `on_record` as it is read (with the server's `id` tag attached).
+    /// Returns the terminating `done` record with the aggregate stats.
+    ///
+    /// Note the server only refuses the batch *as a whole* (malformed
+    /// request) — individual item failures come back as `"ok":false`
+    /// records with the item's id, still followed by a done record.
+    pub fn batch(
+        &mut self,
+        items: &[(Json, Json)],
+        config: Json,
+        mut on_record: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        let mut arr = Vec::with_capacity(items.len());
+        for (id, payload) in items {
+            let mut item = payload.clone();
+            item.set("id", id.clone());
+            arr.push(item);
+        }
+        let mut req = Json::obj([("req", Json::from("batch"))]);
+        req.push("items", Json::Arr(arr));
+        if !matches!(config, Json::Null) {
+            req.push("config", config);
+        }
+        let mut line = req.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-batch",
+                )));
+            }
+            let record = crate::json::parse(&line)
+                .map_err(|_| ClientError::BadResponse(line.trim().to_string()))?;
+            if record.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(record);
+            }
+            if record.get("id").is_none() {
+                // Not an item record and not a done record: the server
+                // refused the whole batch (e.g. a parse error).
+                let msg = record
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no error text)")
+                    .to_string();
+                return Err(ClientError::Refused(msg));
+            }
+            on_record(&record);
+        }
     }
 
     /// Fetch the server's metrics dump (the `"stats"` member).

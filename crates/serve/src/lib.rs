@@ -20,6 +20,16 @@
 //! per-phase latency histograms) is dumpable as JSON via the `stats`
 //! request and on shutdown.
 //!
+//! Beyond one-request-one-response, the protocol has a **streaming batch
+//! mode** ([`protocol::BatchItem`]): one `batch` request carries many
+//! modules (or references to already-cached keys), and over TCP the item
+//! records stream back *as each finishes*, out of order, tagged with the
+//! client's ids, terminated by an aggregate `done` record. Inside one
+//! connection, work units execute concurrently under a bounded in-flight
+//! window ([`stream::run_stream`], `--max-inflight`), feeding a worker
+//! pool shared across connections — see the [`stream`] module docs for
+//! the ordering and backpressure rules.
+//!
 //! Front-ends: the `optimist-serve` binary (TCP `--listen`, stdio, and
 //! `--oneshot` modes), the [`client::Client`] used by `optimist remote`,
 //! and the bench harness's warm/cold corpus replay.
@@ -33,11 +43,13 @@ pub mod metrics;
 pub mod persist;
 pub mod protocol;
 pub mod server;
+pub mod stream;
 
 pub use cache::{cache_key, ShardedLru};
 pub use client::{Client, ClientError};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use persist::CacheEntry;
-pub use protocol::{FnResult, ProtocolError, Request};
-pub use server::{Disposition, Server};
+pub use protocol::{BatchItem, BatchPayload, FnResult, ProtocolError, Request};
+pub use server::{Disposition, Server, DEFAULT_MAX_INFLIGHT};
+pub use stream::{run_stream, StreamOpts};

@@ -99,16 +99,22 @@ impl Default for Histogram {
 impl Histogram {
     /// Record one duration.
     pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = if us == 0 {
+        self.record_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one raw sample. Durations land here as microseconds; the
+    /// queue-depth histograms feed plain counts through the same buckets
+    /// (and [`Histogram::to_json_with_unit`] labels them accordingly).
+    pub fn record_value(&self, value: u64) {
+        let bucket = if value == 0 {
             0
         } else {
-            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+            (63 - value.leading_zeros() as usize).min(BUCKETS - 1)
         };
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.total_us.fetch_add(value, Ordering::Relaxed);
+        self.max_us.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
@@ -129,9 +135,16 @@ impl Histogram {
     /// Snapshot as JSON: count, total, mean, max, and the occupied
     /// `[lower_bound_us, count]` buckets.
     pub fn to_json(&self) -> Json {
+        self.to_json_with_unit("us")
+    }
+
+    /// [`Histogram::to_json`] with an explicit sample unit in the key
+    /// names (`total_<unit>`, …) — the queue-depth histograms are counts,
+    /// not microseconds.
+    pub fn to_json_with_unit(&self, unit: &str) -> Json {
         let count = self.count();
         let total = self.total_us();
-        // Only the occupied prefix matters; print `[lower_bound_us, count]`
+        // Only the occupied prefix matters; print `[lower_bound, count]`
         // pairs for non-empty buckets to keep the dump readable.
         let mut buckets = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
@@ -141,20 +154,19 @@ impl Histogram {
                 buckets.push(Json::Arr(vec![Json::from(lower), Json::from(n)]));
             }
         }
-        Json::obj([
-            ("count", Json::from(count)),
-            ("total_us", Json::from(total)),
-            (
-                "mean_us",
-                if count == 0 {
-                    Json::from(0u64)
-                } else {
-                    Json::from(total as f64 / count as f64)
-                },
-            ),
-            ("max_us", Json::from(self.max_us())),
-            ("buckets_log2_us", Json::Arr(buckets)),
-        ])
+        let mut obj = Json::obj([("count", Json::from(count))]);
+        obj.push(format!("total_{unit}"), Json::from(total));
+        obj.push(
+            format!("mean_{unit}"),
+            if count == 0 {
+                Json::from(0u64)
+            } else {
+                Json::from(total as f64 / count as f64)
+            },
+        );
+        obj.push(format!("max_{unit}"), Json::from(self.max_us()));
+        obj.push(format!("buckets_log2_{unit}"), Json::Arr(buckets));
+        obj
     }
 }
 
@@ -178,6 +190,11 @@ pub struct Metrics {
     /// request's `max_passes`) failed the request without running the
     /// allocator.
     pub negative_hits: Counter,
+    /// Whole requests answered from the text memo: the raw request bytes
+    /// were seen before under the same configuration and pass bound, so
+    /// the stored response was served without parsing the IR. Each memo
+    /// hit also counts its functions in [`Metrics::cache_hits`].
+    pub memo_hits: Counter,
     /// Functions served from the persistent store (a memory miss that the
     /// disk tier answered; also counted in [`Metrics::cache_hits`]).
     pub store_hits: Counter,
@@ -191,9 +208,33 @@ pub struct Metrics {
     pub parse_errors: Counter,
     /// Functions the allocator itself rejected.
     pub alloc_errors: Counter,
+    /// `batch` requests received.
+    pub batch_requests: Counter,
+    /// Items carried by `batch` requests.
+    pub batch_items: Counter,
+    /// Work units (plain `alloc` requests and batch items) admitted into a
+    /// connection's in-flight window.
+    pub stream_units: Counter,
+    /// Unit responses emitted by streaming connections. Every admitted
+    /// unit emits exactly one, so after a connection drains this equals
+    /// [`Metrics::stream_units`].
+    pub stream_responses: Counter,
     /// Worker-pool occupancy: how many requests are inside the allocator
     /// right now, with a high-water mark.
     pub workers_busy: Gauge,
+    /// Work units concurrently in flight across all streaming connections
+    /// (admitted but not yet responded), with a high-water mark. Returns
+    /// to zero whenever every connection has drained — including after a
+    /// mid-batch client disconnect.
+    pub inflight: Gauge,
+    /// In-flight window occupancy sampled at each unit admission — how
+    /// full the window was when each unit entered (a count, not a
+    /// duration).
+    pub inflight_depth: Histogram,
+    /// Allocation worker-pool queue depth sampled at each submission to
+    /// the pool — how many jobs were already waiting (a count, not a
+    /// duration).
+    pub pool_queue_depth: Histogram,
     /// End-to-end latency of `alloc` requests.
     pub request_latency: Histogram,
     /// Latency of persistent-store lookups (hit or miss), when a store is
@@ -218,8 +259,30 @@ impl Metrics {
                 Json::obj([
                     ("total", Json::from(self.requests.get())),
                     ("alloc", Json::from(self.alloc_requests.get())),
+                    ("batch", Json::from(self.batch_requests.get())),
+                    ("batch_items", Json::from(self.batch_items.get())),
                     ("parse_errors", Json::from(self.parse_errors.get())),
                     ("alloc_errors", Json::from(self.alloc_errors.get())),
+                ]),
+            ),
+            (
+                "stream",
+                Json::obj([
+                    ("units", Json::from(self.stream_units.get())),
+                    ("responses", Json::from(self.stream_responses.get())),
+                    ("inflight", Json::from(self.inflight.get())),
+                    (
+                        "inflight_high_water",
+                        Json::from(self.inflight.high_water()),
+                    ),
+                    (
+                        "inflight_depth",
+                        self.inflight_depth.to_json_with_unit("units"),
+                    ),
+                    (
+                        "pool_queue_depth",
+                        self.pool_queue_depth.to_json_with_unit("jobs"),
+                    ),
                 ]),
             ),
             (
@@ -228,6 +291,7 @@ impl Metrics {
                     ("hits", Json::from(self.cache_hits.get())),
                     ("misses", Json::from(self.cache_misses.get())),
                     ("evictions", Json::from(self.cache_evictions.get())),
+                    ("memo_hits", Json::from(self.memo_hits.get())),
                     ("negative_hits", Json::from(self.negative_hits.get())),
                     ("hit_rate", {
                         let h = self.cache_hits.get();

@@ -13,6 +13,9 @@
 //!  "target":"rt-pc","int_regs":16,"float_regs":8,"coalesce":"aggressive",
 //!  "spill_metric":"cost/degree","rematerialize":false,"max_passes":64,
 //!  "threads":4,"incremental":false}}
+//! {"req":"batch","config":{...},"items":[
+//!  {"id":"mod-a","ir":"func A() ..."},
+//!  {"id":7,"key":"00baadf00dcafe42"}]}
 //! {"req":"stats"}
 //! {"req":"ping"}
 //! {"req":"shutdown"}
@@ -21,7 +24,22 @@
 //! Every `config` field is optional; the default is the paper's Briggs
 //! configuration on the RT/PC. The `alloc` response carries one entry per
 //! function with the register assignment (vreg index → `r3`/`f1`/`spill`),
-//! the spilled vregs, and the headline `AllocStats`.
+//! the spilled vregs, the headline `AllocStats`, and the function's
+//! 16-hex-digit content address (`"key"`) — the handle a client hands
+//! back in a batch `"key"` item to re-fetch the result without
+//! resubmitting (or the server re-parsing) the module text.
+//!
+//! A `batch` request carries many modules at once. Each item names either
+//! a module (`"ir"`) or a previously computed result by its 16-hex-digit
+//! content address (`"key"`, see [`crate::cache::cache_key`] — a key item
+//! never computes; a miss is an error for that id). Items are answered by
+//! *individual* response lines tagged with the client-supplied `"id"` —
+//! over a streaming connection these arrive **as each item finishes, in
+//! completion order** — followed by one final record
+//! `{"done":true,"ok":…,"items":N,"errors":M,"elapsed_us":…}`. Item
+//! records carry no latency field: the same item always yields a
+//! byte-identical record given the same cache state, regardless of
+//! interleaving.
 
 use crate::json::Json;
 use optimist_machine::Target;
@@ -40,12 +58,85 @@ pub enum Request {
         /// Allocator knobs for this request.
         config: AllocatorConfig,
     },
+    /// Allocate many modules (or fetch many cached results) in one
+    /// request; responses stream back per item, tagged with the item ids.
+    Batch {
+        /// The items, in submission order.
+        items: Vec<BatchItem>,
+        /// Allocator knobs shared by every item.
+        config: AllocatorConfig,
+    },
     /// Dump the metrics registry.
     Stats,
     /// Liveness probe.
     Ping,
     /// Stop the server (after responding).
     Shutdown,
+}
+
+/// One unit of a [`Request::Batch`]: a client-chosen id plus what to
+/// allocate or look up.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The client-supplied tag (a JSON string or number), echoed verbatim
+    /// on the item's response record. Uniqueness is the client's problem.
+    pub id: Json,
+    /// What the item asks for.
+    pub payload: BatchPayload,
+}
+
+/// The body of a [`BatchItem`].
+#[derive(Debug, Clone)]
+pub enum BatchPayload {
+    /// A module in IR text format, allocated like an `alloc` request.
+    Ir(String),
+    /// A content address (the `"key"` field, 16 hex digits): serve the
+    /// cached result under the request's config fingerprint, or fail the
+    /// item — never compute.
+    Key(u64),
+}
+
+impl BatchItem {
+    fn parse(v: &Json) -> Result<BatchItem, ProtocolError> {
+        let Json::Obj(pairs) = v else {
+            return Err(bad("batch items must be objects"));
+        };
+        let mut id = None;
+        let mut payload = None;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "id" => match value {
+                    Json::Str(_) | Json::Num(_) => id = Some(value.clone()),
+                    _ => return Err(bad("item id must be a string or number")),
+                },
+                "ir" => {
+                    let ir = value
+                        .as_str()
+                        .ok_or_else(|| bad("item \"ir\" must be a string"))?;
+                    payload = match payload {
+                        None => Some(BatchPayload::Ir(ir.to_string())),
+                        Some(_) => return Err(bad("item carries both \"ir\" and \"key\"")),
+                    };
+                }
+                "key" => {
+                    let hex = value
+                        .as_str()
+                        .ok_or_else(|| bad("item \"key\" must be a hex string"))?;
+                    let parsed = u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+                        .map_err(|_| bad(format!("bad item key {hex:?}")))?;
+                    payload = match payload {
+                        None => Some(BatchPayload::Key(parsed)),
+                        Some(_) => return Err(bad("item carries both \"ir\" and \"key\"")),
+                    };
+                }
+                other => return Err(bad(format!("unknown item field {other:?}"))),
+            }
+        }
+        Ok(BatchItem {
+            id: id.ok_or_else(|| bad("batch item needs an \"id\""))?,
+            payload: payload.ok_or_else(|| bad("batch item needs \"ir\" or \"key\""))?,
+        })
+    }
 }
 
 /// A malformed request line.
@@ -81,6 +172,17 @@ impl Request {
                     .to_string();
                 let config = parse_config(v.get("config"))?;
                 Ok(Request::Alloc { ir, config })
+            }
+            "batch" => {
+                let items = v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("batch request needs an array field \"items\""))?
+                    .iter()
+                    .map(BatchItem::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let config = parse_config(v.get("config"))?;
+                Ok(Request::Batch { items, config })
             }
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
@@ -390,6 +492,43 @@ mod tests {
         assert_eq!(config.max_passes, 7);
         assert_eq!(config.threads.get(), 2);
         assert!(config.incremental);
+    }
+
+    #[test]
+    fn batch_request_parses_ids_and_payloads() {
+        let line = r#"{"req":"batch","config":{"int_regs":4},"items":[
+            {"id":"a","ir":"func A() { b0: ret }"},
+            {"id":7,"key":"0xdeadbeefcafe0042"},
+            {"id":"c","key":"00000000000000ff"}]}"#
+            .replace('\n', " ");
+        let Request::Batch { items, config } = Request::parse(&line).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(config.target.regs(RegClass::Int), 4);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].id, Json::Str("a".into()));
+        assert!(matches!(&items[0].payload, BatchPayload::Ir(ir) if ir.contains("func A")));
+        assert_eq!(items[1].id, Json::Num(7.0));
+        assert!(matches!(
+            items[1].payload,
+            BatchPayload::Key(0xdead_beef_cafe_0042)
+        ));
+        assert!(matches!(items[2].payload, BatchPayload::Key(0xff)));
+    }
+
+    #[test]
+    fn malformed_batch_items_are_rejected() {
+        for line in [
+            r#"{"req":"batch"}"#,                                          // no items
+            r#"{"req":"batch","items":[{"ir":"x"}]}"#,                     // no id
+            r#"{"req":"batch","items":[{"id":"a"}]}"#,                     // no payload
+            r#"{"req":"batch","items":[{"id":"a","ir":"x","key":"00"}]}"#, // both
+            r#"{"req":"batch","items":[{"id":"a","key":"zz"}]}"#,          // bad hex
+            r#"{"req":"batch","items":[{"id":true,"ir":"x"}]}"#,           // bad id type
+            r#"{"req":"batch","items":[{"id":"a","ir":"x","nope":1}]}"#,   // unknown field
+        ] {
+            assert!(Request::parse(line).is_err(), "accepted: {line}");
+        }
     }
 
     #[test]

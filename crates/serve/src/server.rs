@@ -15,19 +15,26 @@
 //!
 //! [`NonConvergence`]: optimist_regalloc::AllocError::NonConvergence
 
-use crate::cache::{cache_key, ShardedLru};
+use crate::cache::{cache_key, text_key, ShardedLru};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::persist::{self, CacheEntry};
-use crate::protocol::{FnResult, Request};
+use crate::protocol::{BatchItem, BatchPayload, FnResult, Request};
+use crate::stream::StreamOpts;
 use optimist_ir::parse_module;
-use optimist_regalloc::{AllocError, AllocatorConfig, Pipeline};
+use optimist_regalloc::{default_threads, AllocError, AllocatorConfig, WorkerPool};
 use optimist_store::Store;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, ToSocketAddrs};
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default bound on concurrently-executing work units per connection when
+/// the server is not configured otherwise (see
+/// [`Server::with_max_inflight`]).
+pub const DEFAULT_MAX_INFLIGHT: usize = 8;
 
 /// How a handled request affects the serving loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,18 +53,40 @@ pub enum Disposition {
 pub struct Server {
     cache: ShardedLru<CacheEntry>,
     store: Option<Store>,
+    /// Whole-response memo keyed on the *raw request text* (see
+    /// [`text_key`]): a byte-identical resubmission skips IR parsing and
+    /// per-function canonicalization entirely. Entries hold the
+    /// latency-free success response with every function marked cached.
+    memo: ShardedLru<TextMemo>,
     metrics: Metrics,
-    stop: AtomicBool,
+    pool: Arc<WorkerPool>,
+    max_inflight: usize,
+    pub(crate) stop: AtomicBool,
+}
+
+/// One memoized response: the prebuilt reply and how many functions it
+/// answers (so a memo hit keeps the per-function counters honest).
+#[derive(Debug)]
+struct TextMemo {
+    response: Json,
+    funcs: u64,
 }
 
 impl Server {
     /// A server whose in-memory cache holds `cache_capacity` function
-    /// results across `shards` locks, with no persistent tier.
+    /// results across `shards` locks, with no persistent tier. The
+    /// allocation worker pool is sized to the machine
+    /// ([`default_threads`]); see [`Server::with_pool_threads`].
     pub fn new(cache_capacity: usize, shards: usize) -> Self {
         Server {
             cache: ShardedLru::new(cache_capacity, shards),
             store: None,
+            // Memo entries are whole modules, not functions, so a fraction
+            // of the function-cache budget covers a working set of them.
+            memo: ShardedLru::new(cache_capacity.div_ceil(4).max(16), shards),
             metrics: Metrics::default(),
+            pool: Arc::new(WorkerPool::new(default_threads())),
+            max_inflight: DEFAULT_MAX_INFLIGHT,
             stop: AtomicBool::new(false),
         }
     }
@@ -68,6 +97,35 @@ impl Server {
     pub fn with_store(mut self, store: Store) -> Self {
         self.store = Some(store);
         self
+    }
+
+    /// Replace the allocation worker pool with one of `threads` workers.
+    /// The pool is shared by every connection and request for the
+    /// server's lifetime — per-request `config.threads` is ignored on the
+    /// serving path.
+    pub fn with_pool_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.pool = Arc::new(WorkerPool::new(threads));
+        self
+    }
+
+    /// Bound the number of work units (plain `alloc` requests and batch
+    /// items) a single connection may have executing concurrently. The
+    /// window also bounds memory: a unit's slot is returned only once its
+    /// response bytes are written, so a client that stops reading stops
+    /// being served new compute once its window fills.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight.max(1);
+        self
+    }
+
+    /// The per-connection in-flight window size.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// The shared allocation worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// The metrics registry.
@@ -85,8 +143,12 @@ impl Server {
         self.store.as_ref()
     }
 
-    /// Handle one request line, returning the response line (no trailing
-    /// newline) and whether the server should keep running.
+    /// Handle one request line, returning the response text (no trailing
+    /// newline) and whether the server should keep running. A `batch`
+    /// request returns multiple newline-separated response lines — the
+    /// item records **in submission order** (this is the serial mode; the
+    /// streaming front-end answers out of order) followed by the `done`
+    /// record.
     pub fn handle_line(&self, line: &str) -> (String, Disposition) {
         self.metrics.requests.inc();
         let response = match Request::parse(line) {
@@ -118,9 +180,25 @@ impl Server {
                 )
             }
             Request::Alloc { ir, config } => (
-                self.handle_alloc(&ir, config).to_string(),
+                self.alloc_response(&ir, &config, true).to_string(),
                 Disposition::Continue,
             ),
+            Request::Batch { items, config } => {
+                let started = Instant::now();
+                self.metrics.batch_requests.inc();
+                let mut lines = Vec::with_capacity(items.len() + 1);
+                let mut errors = 0usize;
+                for item in &items {
+                    self.metrics.batch_items.inc();
+                    let record = self.item_response(item, &config);
+                    if record.get("ok").and_then(Json::as_bool) != Some(true) {
+                        errors += 1;
+                    }
+                    lines.push(record.to_string());
+                }
+                lines.push(done_record(items.len(), errors, started.elapsed()).to_string());
+                (lines.join("\n"), Disposition::Continue)
+            }
         }
     }
 
@@ -240,9 +318,38 @@ impl Server {
         }
     }
 
-    fn handle_alloc(&self, ir: &str, config: AllocatorConfig) -> Json {
+    /// Answer one IR payload under `config`: the engine behind both the
+    /// plain `alloc` request and IR batch items. Batch item records omit
+    /// `latency_us` (`include_latency = false`) so a batch answered twice
+    /// is byte-identical — the guarantee the stream tests lean on.
+    pub(crate) fn alloc_response(
+        &self,
+        ir: &str,
+        config: &AllocatorConfig,
+        include_latency: bool,
+    ) -> Json {
         let started = Instant::now();
         self.metrics.alloc_requests.inc();
+
+        // Fast path: the exact request bytes were answered before under
+        // this configuration and bound. Serve the memoized response —
+        // no IR parse, no canonicalization, one text hash.
+        let memo_key = text_key(ir, config);
+        if let Some(memo) = self.memo.get(memo_key) {
+            self.metrics.memo_hits.inc();
+            self.metrics.cache_hits.add(memo.funcs);
+            self.metrics.functions.add(memo.funcs);
+            let mut resp = memo.response.clone();
+            let latency = started.elapsed();
+            self.metrics.request_latency.record(latency);
+            if include_latency {
+                resp.push(
+                    "latency_us",
+                    Json::from(latency.as_micros().min(u128::from(u64::MAX)) as u64),
+                );
+            }
+            return resp;
+        }
 
         let module = match parse_module(ir) {
             Ok(m) => m,
@@ -263,10 +370,12 @@ impl Server {
         let max_passes = config.max_passes;
         let funcs = module.functions();
         let mut entries: Vec<Option<(Arc<CacheEntry>, bool)>> = vec![None; funcs.len()];
+        let mut keys = Vec::with_capacity(funcs.len());
         let mut cold = Vec::new(); // (index into `entries`, key, function clone)
         let mut errors = Vec::new();
         for (i, f) in funcs.iter().enumerate() {
-            let key = cache_key(f, &config);
+            let key = cache_key(f, config);
+            keys.push(key);
             let found = self
                 .cache
                 .get(key)
@@ -301,12 +410,16 @@ impl Server {
         }
 
         // Run the allocator over the cold functions only; cache hits never
-        // touch the Build–Simplify–Color machinery.
+        // touch the Build–Simplify–Color machinery. The shared worker pool
+        // executes the jobs, so concurrent requests interleave at function
+        // granularity instead of queueing whole modules.
         if !cold.is_empty() {
+            self.metrics
+                .pool_queue_depth
+                .record_value(self.pool.pending() as u64);
             self.metrics.workers_busy.raise(1);
-            let pipeline = Pipeline::new(config);
             let inputs: Vec<_> = cold.iter().map(|(_, _, f)| f.clone()).collect();
-            let results = pipeline.allocate_functions(&inputs);
+            let results = self.pool.allocate_functions(config, &inputs);
             self.metrics.workers_busy.lower(1);
 
             for ((i, key, f), result) in cold.into_iter().zip(results) {
@@ -343,7 +456,12 @@ impl Server {
 
         self.metrics.functions.add(funcs.len() as u64);
         let mut out = Vec::new();
-        for (entry, f) in entries.into_iter().zip(funcs) {
+        // Built alongside `out` for the text memo: the same response as a
+        // future warm resubmission would get, i.e. every function marked
+        // cached — a freshly computed entry IS a hit the next time this
+        // exact text arrives.
+        let mut memo_out = Vec::new();
+        for ((entry, f), key) in entries.into_iter().zip(funcs).zip(keys) {
             if let Some((entry, cached)) = entry {
                 let CacheEntry::Ok(result) = &*entry else {
                     continue; // negative entries never reach `entries`
@@ -354,8 +472,39 @@ impl Server {
                 if result.name != f.name() {
                     r.set("name", Json::from(f.name()));
                 }
+                // The content address, so the client can re-fetch this
+                // result by reference (a batch `"key"` item) instead of
+                // resubmitting the text.
+                r.push("key", Json::from(format!("{key:016x}")));
+                if errors.is_empty() {
+                    if cached {
+                        memo_out.push(r.clone());
+                    } else {
+                        let mut m = result.to_json(true);
+                        if result.name != f.name() {
+                            m.set("name", Json::from(f.name()));
+                        }
+                        m.push("key", Json::from(format!("{key:016x}")));
+                        memo_out.push(m);
+                    }
+                }
                 out.push(r);
             }
+        }
+
+        // Only fully successful responses are memoized: failures stay on
+        // the slow path, where the bound-sensitive negative-cache logic
+        // can re-examine them.
+        if errors.is_empty() {
+            let response =
+                Json::obj([("ok", Json::from(true)), ("functions", Json::Arr(memo_out))]);
+            self.memo.insert(
+                memo_key,
+                Arc::new(TextMemo {
+                    response,
+                    funcs: out.len() as u64,
+                }),
+            );
         }
 
         let latency = started.elapsed();
@@ -364,15 +513,71 @@ impl Server {
         let mut resp = Json::obj([
             ("ok", Json::from(errors.is_empty())),
             ("functions", Json::Arr(out)),
-            (
+        ]);
+        if include_latency {
+            resp.push(
                 "latency_us",
                 Json::from(latency.as_micros().min(u128::from(u64::MAX)) as u64),
-            ),
-        ]);
+            );
+        }
         if !errors.is_empty() {
             resp.push("errors", Json::Arr(errors));
         }
         resp
+    }
+
+    /// Answer one batch item: allocate its IR, or look up its cache key.
+    /// The record carries the client-supplied `id` so out-of-order stream
+    /// delivery stays attributable.
+    pub(crate) fn item_response(&self, item: &BatchItem, config: &AllocatorConfig) -> Json {
+        let mut record = match &item.payload {
+            BatchPayload::Ir(ir) => self.alloc_response(ir, config, false),
+            BatchPayload::Key(key) => self.key_response(*key, config),
+        };
+        record.push("id", item.id.clone());
+        record
+    }
+
+    /// Answer a by-key batch item from the cache tiers alone. A key only
+    /// the compute path could satisfy is an error: the client referenced a
+    /// result it never submitted (or one that was evicted), and silently
+    /// recomputing is impossible without the IR.
+    fn key_response(&self, key: u64, config: &AllocatorConfig) -> Json {
+        let fingerprint = config.fingerprint();
+        let found = self
+            .cache
+            .get(key)
+            .or_else(|| self.store_lookup(key, fingerprint));
+        match found.as_deref() {
+            Some(CacheEntry::Ok(result)) if result.stats.passes <= config.max_passes => {
+                self.metrics.cache_hits.inc();
+                let mut r = result.to_json(true);
+                r.push("key", Json::from(format!("{key:016x}")));
+                Json::obj([("ok", Json::from(true)), ("functions", Json::Arr(vec![r]))])
+            }
+            Some(CacheEntry::Ok(result)) => {
+                let fail = self.negative_fail(&result.name, config.max_passes);
+                Json::obj([
+                    ("ok", Json::from(false)),
+                    ("functions", Json::Arr(Vec::new())),
+                    ("errors", Json::Arr(vec![fail])),
+                ])
+            }
+            Some(CacheEntry::NonConvergence { max_passes: known })
+                if config.max_passes <= *known =>
+            {
+                let fail = self.negative_fail(&format!("{key:016x}"), config.max_passes);
+                Json::obj([
+                    ("ok", Json::from(false)),
+                    ("functions", Json::Arr(Vec::new())),
+                    ("errors", Json::Arr(vec![fail])),
+                ])
+            }
+            _ => {
+                self.metrics.cache_misses.inc();
+                error_response(&format!("unknown key {key:016x}"))
+            }
+        }
     }
 
     /// Serve newline-delimited requests from `input`, writing one response
@@ -423,11 +628,18 @@ impl Server {
                     let server = Arc::clone(self);
                     workers.push(std::thread::spawn(move || {
                         stream.set_nonblocking(false).ok();
+                        // Streaming emits many small back-to-back writes
+                        // with no interleaved client data; Nagle + delayed
+                        // ACK would stall each one for ~40ms.
+                        stream.set_nodelay(true).ok();
                         let reader = match stream.try_clone() {
                             Ok(r) => r,
                             Err(_) => return,
                         };
-                        let _ = server.run_io(reader, stream, false);
+                        let opts = StreamOpts {
+                            max_inflight: server.max_inflight,
+                        };
+                        let _ = crate::stream::run_stream(&server, reader, stream, opts);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -446,6 +658,21 @@ impl Server {
 
 fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+}
+
+/// The aggregate record that terminates a batch response: item count,
+/// error count, and wall time for the whole batch.
+pub(crate) fn done_record(items: usize, errors: usize, elapsed: Duration) -> Json {
+    Json::obj([
+        ("done", Json::from(true)),
+        ("ok", Json::from(errors == 0)),
+        ("items", Json::from(items as u64)),
+        ("errors", Json::from(errors as u64)),
+        (
+            "latency_us",
+            Json::from(elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+        ),
+    ])
 }
 
 #[cfg(test)]

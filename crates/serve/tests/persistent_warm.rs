@@ -4,35 +4,19 @@
 //! from disk — zero allocator-phase samples — and remembered failures
 //! fail fast across the restart too.
 
+mod serve_test_util;
+
 use optimist_serve::{Json, Server};
 use optimist_store::{Store, StoreOptions};
-use optimist_workloads as workloads;
-use std::path::{Path, PathBuf};
+use serve_test_util::corpus_requests;
+use std::path::Path;
 
-fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "optimist-persistent-warm-{}-{name}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn scratch(name: &str) -> std::path::PathBuf {
+    serve_test_util::scratch("optimist-persistent-warm", name)
 }
 
 fn open_store(dir: &Path) -> Store {
     Store::open(dir, StoreOptions::default()).expect("store opens")
-}
-
-fn corpus_requests() -> Vec<String> {
-    workloads::programs()
-        .iter()
-        .map(|p| {
-            let module =
-                optimist_frontend::compile(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-            let mut req = Json::obj([("req", Json::from("alloc"))]);
-            req.push("ir", Json::from(module.to_string()));
-            req.to_string()
-        })
-        .collect()
 }
 
 #[test]

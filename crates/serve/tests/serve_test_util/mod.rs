@@ -1,0 +1,114 @@
+//! Shared scaffolding for the serve crate's integration tests: corpus
+//! request builders, scratch directories, and an in-process TCP daemon
+//! with ready-wait and shutdown-with-stats.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use optimist_serve::{Client, Json, Server};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The whole workloads corpus compiled to IR, one `(name, ir)` per program.
+pub fn corpus_modules() -> Vec<(String, String)> {
+    optimist_workloads::programs()
+        .iter()
+        .map(|p| {
+            let module =
+                optimist_frontend::compile(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            (p.name.to_string(), module.to_string())
+        })
+        .collect()
+}
+
+/// The corpus as `alloc` request lines, ready for [`Server::handle_line`].
+pub fn corpus_requests() -> Vec<String> {
+    corpus_modules()
+        .into_iter()
+        .map(|(_, ir)| {
+            let mut req = Json::obj([("req", Json::from("alloc"))]);
+            req.push("ir", Json::from(ir));
+            req.to_string()
+        })
+        .collect()
+}
+
+/// A per-process scratch directory (removed first if it exists). The
+/// caller removes it at the end of the test; a crashed test leaves it for
+/// inspection.
+pub fn scratch(prefix: &str, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{prefix}-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An in-process daemon serving TCP on an ephemeral port, plus a handle to
+/// its [`Server`] for metric assertions.
+pub struct TestDaemon {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    thread: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestDaemon {
+    /// Start `server` on `127.0.0.1:0` and wait until the listener is
+    /// bound (the ready-wait every test used to hand-roll).
+    pub fn spawn(server: Server) -> TestDaemon {
+        let server = Arc::new(server);
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let listener = Arc::clone(&server);
+        let thread = std::thread::spawn(move || {
+            listener.run_listener("127.0.0.1:0", move |bound| {
+                ready_tx.send(bound).unwrap();
+            })
+        });
+        let addr = ready_rx.recv().expect("listener binds");
+        TestDaemon {
+            server,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    /// The bound address, for [`Client::connect`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A fresh client connection to this daemon.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr).expect("client connects")
+    }
+
+    /// The daemon's server, for inspecting metrics and caches.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Send a `shutdown` request, join the accept loop, and return the
+    /// final stats dump.
+    pub fn shutdown_with_stats(mut self) -> Json {
+        self.client().shutdown().expect("shutdown acknowledged");
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .expect("listener thread")
+                .expect("listener io");
+        }
+        self.server.stats_json()
+    }
+}
+
+impl Drop for TestDaemon {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // Best effort: ask the daemon to stop so the join terminates.
+            if let Ok(mut c) = Client::connect(self.addr) {
+                let _ = c.shutdown();
+            }
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Stream-mode stress: several concurrent connections each pushing
+//! batched requests through a small in-flight window, with randomized
+//! response-consumption delays on the client side. The assertions are the
+//! tentpole guarantees: no deadlock under a full window, responses
+//! byte-identical to the serial path regardless of completion order, and
+//! a consistent metrics story (every admitted unit answered).
+
+mod serve_test_util;
+
+use optimist_serve::{Json, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve_test_util::{corpus_modules, TestDaemon};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The corpus as batch items `(id, payload)`, ids stable across runs.
+fn corpus_items() -> Vec<(Json, Json)> {
+    corpus_modules()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, ir))| {
+            let id = Json::from(format!("{i}-{name}").as_str());
+            (id, Json::obj([("ir", Json::from(ir.as_str()))]))
+        })
+        .collect()
+}
+
+fn batch_request(items: &[(Json, Json)]) -> String {
+    let mut arr = Vec::with_capacity(items.len());
+    for (id, payload) in items {
+        let mut item = payload.clone();
+        item.set("id", id.clone());
+        arr.push(item);
+    }
+    let mut req = Json::obj([("req", Json::from("batch"))]);
+    req.push("items", Json::Arr(arr));
+    req.to_string()
+}
+
+#[test]
+fn concurrent_batches_match_serial_responses_byte_for_byte() {
+    let items = corpus_items();
+    assert!(items.len() >= 5, "corpus suspiciously small");
+
+    // Warm every function first: the `cached` flags in a warm response are
+    // stable, which is what makes byte-identity well-defined. (Cold flags
+    // depend on which duplicate computes first — content, not bytes, is
+    // the guarantee there.)
+    let server = Server::new(4096, 16).with_max_inflight(2);
+    let line = batch_request(&items);
+    server.handle_line(&line);
+
+    // Serial baseline on the warm server: submission-order item records.
+    let (serial, _) = server.handle_line(&line);
+    let mut expected: HashMap<String, String> = HashMap::new();
+    for record_line in serial.lines() {
+        let record = optimist_serve::json::parse(record_line).unwrap();
+        if record.get("done").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(record.get("errors").and_then(Json::as_u64), Some(0));
+            continue;
+        }
+        let id = record.get("id").and_then(Json::as_str).unwrap().to_string();
+        expected.insert(id, record.to_string());
+    }
+    assert_eq!(expected.len(), items.len());
+
+    let daemon = TestDaemon::spawn(server);
+
+    // Four connections, each streaming the whole corpus twice as batches,
+    // consuming responses with randomized delays so the window regularly
+    // fills and drains at arbitrary points.
+    let mut threads = Vec::new();
+    for conn in 0..4u64 {
+        let items = items.clone();
+        let expected = expected.clone();
+        let addr = daemon.addr();
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xbeef ^ conn);
+            let mut client = optimist_serve::Client::connect(addr).expect("connect");
+            for round in 0..2 {
+                let mut seen: HashMap<String, String> = HashMap::new();
+                let done = client
+                    .batch(&items, Json::Null, |record| {
+                        if rng.gen_bool(0.5) {
+                            std::thread::sleep(Duration::from_millis(rng.gen_range(0..3)));
+                        }
+                        let id = record.get("id").and_then(Json::as_str).unwrap().to_string();
+                        seen.insert(id, record.to_string());
+                    })
+                    .expect("batch round trip");
+                assert_eq!(
+                    done.get("items").and_then(Json::as_u64),
+                    Some(items.len() as u64),
+                    "conn {conn} round {round}: {done}"
+                );
+                assert_eq!(done.get("errors").and_then(Json::as_u64), Some(0));
+                assert_eq!(seen.len(), expected.len(), "conn {conn} round {round}");
+                for (id, line) in &expected {
+                    assert_eq!(
+                        seen.get(id),
+                        Some(line),
+                        "conn {conn} round {round}: stream response for {id} \
+                         differs from the serial response"
+                    );
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("stress connection");
+    }
+
+    // Metrics consistency: every admitted unit produced exactly one
+    // response, and nothing is left in flight.
+    let metrics = daemon.server().metrics();
+    assert_eq!(
+        metrics.stream_units.get(),
+        metrics.stream_responses.get(),
+        "units admitted vs responses written"
+    );
+    assert_eq!(metrics.inflight.get(), 0, "window drained");
+    assert_eq!(
+        metrics.stream_units.get(),
+        4 * 2 * items.len() as u64,
+        "every batch item was admitted as a unit"
+    );
+    assert!(
+        metrics.inflight.high_water() >= 2,
+        "the window actually filled"
+    );
+
+    let stats = daemon.shutdown_with_stats();
+    let stream = stats.get("stream").expect("stats carries a stream section");
+    assert_eq!(
+        stream.get("inflight").and_then(Json::as_u64),
+        Some(0),
+        "{stream}"
+    );
+}
+
+#[test]
+fn plain_and_batch_requests_interleave_on_one_connection() {
+    // A mixed client: plain allocs (strictly ordered responses) and a
+    // batch (unordered item records) on the same streaming connection.
+    let items = corpus_items();
+    let server = Server::new(4096, 16).with_max_inflight(3);
+    server.handle_line(&batch_request(&items)); // warm
+
+    let daemon = TestDaemon::spawn(server);
+    let mut client = daemon.client();
+
+    let (_, first_ir) = corpus_modules().into_iter().next().unwrap();
+    let plain = client.alloc(&first_ir, Json::Null).expect("plain alloc");
+    assert_eq!(plain.get("ok").and_then(Json::as_bool), Some(true));
+
+    let mut n = 0usize;
+    let done = client
+        .batch(&items, Json::Null, |_| n += 1)
+        .expect("batch after plain");
+    assert_eq!(n, items.len());
+    assert_eq!(done.get("ok").and_then(Json::as_bool), Some(true));
+
+    let plain = client
+        .alloc(&first_ir, Json::Null)
+        .expect("plain after batch");
+    assert_eq!(plain.get("ok").and_then(Json::as_bool), Some(true));
+
+    drop(client);
+    daemon.shutdown_with_stats();
+}

@@ -3,21 +3,11 @@
 //! address — warm requests never enter Build–Simplify–Color — and the
 //! `stats` dump proves it.
 
+mod serve_test_util;
+
 use optimist_serve::{Json, Server};
 use optimist_workloads as workloads;
-
-fn corpus_requests() -> Vec<String> {
-    workloads::programs()
-        .iter()
-        .map(|p| {
-            let module =
-                optimist_frontend::compile(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-            let mut req = Json::obj([("req", Json::from("alloc"))]);
-            req.push("ir", Json::from(module.to_string()));
-            req.to_string()
-        })
-        .collect()
-}
+use serve_test_util::corpus_requests;
 
 #[test]
 fn corpus_replay_hits_warm_cache_and_skips_allocator_phases() {

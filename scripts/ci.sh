@@ -31,6 +31,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> cargo test"
 cargo test --workspace -q
 
+if [[ $quick -eq 0 ]]; then
+    # Debug builds shrink the proptest budget to keep `cargo test` fast;
+    # the paper's §2.3 subset invariant only counts at the full case count.
+    echo "==> paper invariants under --release (full proptest case count)"
+    cargo test --release -q --test paper_invariants
+fi
+
 echo "==> benches compile"
 cargo build -q --benches -p optimist-bench
 
@@ -47,9 +54,49 @@ case "$smoke_resp" in
         ;;
 esac
 
+echo "==> stream smoke test (3-module batch over one TCP connection)"
+stream_log="$(mktemp)"
+serve_pid=""
+trap 'rm -f "$stream_log"; [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null; true' EXIT
+./target/debug/optimist-serve --listen 127.0.0.1:0 --quiet 2>"$stream_log" &
+serve_pid=$!
+port=""
+for _ in $(seq 100); do
+    port="$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$stream_log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "stream smoke test failed: daemon never announced its port" >&2
+    exit 1
+fi
+ir_fn() { printf 'func %s(v0:int) -> int {\\nb0:\\n    v1 = add.i v0, v0\\n    ret v1\\n}\\n' "$1"; }
+batch_req="{\"req\":\"batch\",\"items\":[\
+{\"id\":\"a\",\"ir\":\"$(ir_fn fa)\"},\
+{\"id\":\"b\",\"ir\":\"$(ir_fn fb)\"},\
+{\"id\":\"c\",\"ir\":\"$(ir_fn fc)\"}]}"
+# One connection: the batch streams three id-tagged item records back in
+# completion order (not necessarily submission order), then the done
+# record; the shutdown response is sequenced after the batch completes.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf '%s\n%s\n' "$batch_req" '{"req":"shutdown"}' >&3
+stream_resp="$(head -n 5 <&3)"
+exec 3<&- 3>&-
+wait "$serve_pid" || true
+serve_pid=""
+for want in '"id":"a"' '"id":"b"' '"id":"c"' '"done":true,"ok":true,"items":3,"errors":0'; do
+    case "$stream_resp" in
+        *"$want"*) ;;
+        *)
+            echo "stream smoke test failed: missing $want; response: $stream_resp" >&2
+            exit 1
+            ;;
+    esac
+done
+
 echo "==> persistence smoke test (store survives a restart)"
 store_dir="$(mktemp -d)"
-trap 'rm -rf "$store_dir"' EXIT
+trap 'rm -rf "$store_dir" "$stream_log"' EXIT
 # First daemon: computes the result and writes it through to the store.
 printf '%s\n' "$smoke_req" \
     | ./target/debug/optimist-serve --oneshot --quiet --store "$store_dir" >/dev/null

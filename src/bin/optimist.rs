@@ -9,6 +9,9 @@
 //! optimist asm      FILE.ft [options]                   allocated-code listing
 //! optimist serve    [--listen ADDR | --oneshot]         allocation daemon
 //! optimist remote   ADDR FILE.ft [options]              allocate via a daemon
+//! optimist remote   ADDR --batch DIR [options]          stream a directory
+//!                                                       through one daemon
+//!                                                       connection
 //!
 //! FILE may be FT source (any extension) or a textual IR dump (`.ir`,
 //! as produced by `optimist compile`).
@@ -35,6 +38,11 @@
 //!                      daemon answers from disk, failures included
 //!   --store-max-bytes N (serve) compact the store log past N bytes
 //!                      (default 67108864; 0 = never)
+//!   --max-inflight N   (serve) concurrent work units per connection
+//!                      (default 8)
+//!   --batch DIR        (remote) compile every .ft/.ir file in DIR and
+//!                      stream them as one batch request; item reports
+//!                      print in completion order
 //! ```
 //!
 //! Arguments to `run` are integers or floats; the entry must be an FT
@@ -70,6 +78,8 @@ struct Options {
     cache_capacity: usize,
     store: Option<std::path::PathBuf>,
     store_max_bytes: u64,
+    max_inflight: Option<usize>,
+    batch: Option<std::path::PathBuf>,
     positional: Vec<String>,
 }
 
@@ -90,6 +100,8 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
         cache_capacity: 4096,
         store: None,
         store_max_bytes: 64 << 20,
+        max_inflight: None,
+        batch: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -154,6 +166,13 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
                     .parse()
                     .map_err(|_| format!("bad --store-max-bytes `{v}`"))?;
             }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight needs a value")?;
+                o.max_inflight = Some(v.parse().map_err(|_| format!("bad --max-inflight `{v}`"))?);
+            }
+            "--batch" => {
+                o.batch = Some(it.next().ok_or("--batch needs a directory")?.into());
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -184,6 +203,10 @@ impl Options {
             .positional
             .first()
             .ok_or("missing FILE.ft/.ir argument")?;
+        self.load_path(path)
+    }
+
+    fn load_path(&self, path: &str) -> Result<optimist::ir::Module, String> {
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         // `.ir` files hold the textual IR (e.g. an `optimist compile` dump);
@@ -360,6 +383,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("serve takes no positional arguments".into());
     }
     let mut server = optimist::serve::Server::new(o.cache_capacity, 16);
+    if let Some(n) = o.max_inflight {
+        server = server.with_max_inflight(n);
+    }
     if let Some(dir) = &o.store {
         let options = optimist::store::StoreOptions {
             max_bytes: o.store_max_bytes,
@@ -381,8 +407,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// `optimist remote ADDR FILE.ft [options]` — compile locally, allocate on
 /// a running daemon, and print the same report as `optimist allocate`.
+/// With `--batch DIR`, every `.ft`/`.ir` file in DIR is compiled and sent
+/// as one streaming batch request instead.
 fn cmd_remote(args: &[String]) -> Result<(), String> {
     let o = parse_options(args, true)?;
+    if let Some(dir) = o.batch.clone() {
+        if o.positional.len() != 1 {
+            return Err("usage: optimist remote ADDR --batch DIR [options]".into());
+        }
+        let addr = o.positional[0].clone();
+        return cmd_remote_batch(&addr, &dir, &o);
+    }
     if o.positional.len() != 2 {
         return Err("usage: optimist remote ADDR FILE.ft [options]".into());
     }
@@ -394,6 +429,31 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
     };
     let module = o.load()?;
 
+    use optimist::serve::Json;
+    let config = remote_config(&o);
+
+    let mut client = optimist::serve::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let resp = client
+        .alloc(&module.to_string(), config)
+        .map_err(|e| e.to_string())?;
+    let funcs = resp
+        .get("functions")
+        .and_then(Json::as_arr)
+        .ok_or("malformed response: no functions array")?;
+    for f in funcs {
+        let name = f.get("name").and_then(Json::as_str).unwrap_or("?");
+        if let Some(only) = &o.routine {
+            if name != only {
+                continue;
+            }
+        }
+        print_remote_fn(name, f)?;
+    }
+    Ok(())
+}
+
+/// The protocol config object for `optimist remote`'s flags.
+fn remote_config(o: &Options) -> optimist::serve::Json {
     use optimist::serve::Json;
     let mut config = Json::obj([
         (
@@ -420,40 +480,101 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
     if let Some(n) = o.threads {
         config.push("threads", Json::from(n.get() as u64));
     }
+    config
+}
 
-    let mut client = optimist::serve::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
-    let resp = client
-        .alloc(&module.to_string(), config)
-        .map_err(|e| e.to_string())?;
-    let funcs = resp
-        .get("functions")
-        .and_then(Json::as_arr)
-        .ok_or("malformed response: no functions array")?;
-    for f in funcs {
-        let name = f.get("name").and_then(Json::as_str).unwrap_or("?");
-        if let Some(only) = &o.routine {
-            if name != only {
-                continue;
-            }
-        }
-        let stats = f.get("stats").ok_or("malformed response: no stats")?;
-        let num = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
-        println!(
-            "{:<12} live ranges {:>5}  spilled {:>4}  cost {:>10.0}  passes {}  coalesced {}{}",
-            name,
-            num("live_ranges"),
-            num("registers_spilled"),
-            num("spill_cost"),
-            num("passes"),
-            num("coalesced_copies"),
-            if f.get("cached").and_then(Json::as_bool) == Some(true) {
-                "  (cached)"
-            } else {
-                ""
-            },
-        );
-    }
+/// Print one function record from a remote response in the `optimist
+/// allocate` report format.
+fn print_remote_fn(name: &str, f: &optimist::serve::Json) -> Result<(), String> {
+    use optimist::serve::Json;
+    let stats = f.get("stats").ok_or("malformed response: no stats")?;
+    let num = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    println!(
+        "{:<12} live ranges {:>5}  spilled {:>4}  cost {:>10.0}  passes {}  coalesced {}{}",
+        name,
+        num("live_ranges"),
+        num("registers_spilled"),
+        num("spill_cost"),
+        num("passes"),
+        num("coalesced_copies"),
+        if f.get("cached").and_then(Json::as_bool) == Some(true) {
+            "  (cached)"
+        } else {
+            ""
+        },
+    );
     Ok(())
+}
+
+/// `optimist remote ADDR --batch DIR`: one streaming batch request for the
+/// whole directory. Item reports print as they complete (which is not the
+/// submission order), tagged by file name; the daemon's `done` record is
+/// summarized at the end.
+fn cmd_remote_batch(addr: &str, dir: &std::path::Path, o: &Options) -> Result<(), String> {
+    use optimist::serve::Json;
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("ft" | "f" | "ir")
+            )
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .ft/.f/.ir files in `{}`", dir.display()));
+    }
+
+    let mut items = Vec::with_capacity(files.len());
+    for path in &files {
+        let module = o.load_path(&path.display().to_string())?;
+        let id = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let payload = Json::obj([("ir", Json::from(module.to_string()))]);
+        items.push((Json::from(id.as_str()), payload));
+    }
+
+    let config = remote_config(o);
+    let mut client = optimist::serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut item_err: Option<String> = None;
+    let done = client
+        .batch(&items, config, |record| {
+            let id = record.get("id").and_then(Json::as_str).unwrap_or("?");
+            if record.get("ok").and_then(Json::as_bool) == Some(true) {
+                println!("{id}:");
+                if let Some(funcs) = record.get("functions").and_then(Json::as_arr) {
+                    for f in funcs {
+                        let name = f.get("name").and_then(Json::as_str).unwrap_or("?");
+                        if print_remote_fn(name, f).is_err() {
+                            println!("{name:<12} (malformed record)");
+                        }
+                    }
+                }
+            } else {
+                let msg = record
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .or_else(|| record.get("errors").map(|e| e.to_string()))
+                    .unwrap_or_else(|| "(no error text)".into());
+                println!("{id}: FAILED: {msg}");
+                item_err.get_or_insert(format!("item `{id}` failed"));
+            }
+        })
+        .map_err(|e| e.to_string())?;
+
+    let items_n = done.get("items").and_then(Json::as_u64).unwrap_or(0);
+    let errors_n = done.get("errors").and_then(Json::as_u64).unwrap_or(0);
+    let latency = done.get("latency_us").and_then(Json::as_u64).unwrap_or(0);
+    println!("batch done: {items_n} items, {errors_n} failed, {latency} us");
+    match item_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {

@@ -5,6 +5,7 @@
 //! serve_replay [--rounds N] [--addr ADDR]
 //! serve_replay --restart [--store DIR] [--store-max-bytes N]
 //! serve_replay --stream [--rounds N]
+//! serve_replay --chaos [--rounds N]
 //! ```
 //!
 //! Without `--addr` a daemon is spun up in-process on a loopback port.
@@ -25,20 +26,32 @@
 //! arrival order drifts from submission order), and fails unless the
 //! stream mode is ≥ 1.3× the serial throughput with byte-identical
 //! `functions` payloads.
+//!
+//! With `--chaos` the benchmark is a fault-injection drill: a store-backed
+//! daemon is populated, restarted with every store read and write armed to
+//! fail (the `put`/`get` failpoints — the same machinery
+//! `OPTIMIST_FAILPOINTS=put:enospc,get:fail` arms from the environment),
+//! and replayed by a retrying client. The run fails unless **zero**
+//! requests fail end to end, the daemon trips into memory-only degraded
+//! mode, and — once the failpoints are cleared — the periodic probe puts
+//! the store back in the serving path. Per-phase hit rates show what
+//! degraded mode costs.
 
-use optimist_serve::{Client, Json, Server};
+use optimist_serve::{Client, Json, RetryPolicy, Server};
+use optimist_store::failpoint::FailKind;
 use optimist_store::{Store, StoreOptions};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     rounds: usize,
     addr: Option<String>,
     restart: bool,
     stream: bool,
+    chaos: bool,
     store: Option<PathBuf>,
     store_max_bytes: u64,
 }
@@ -49,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         restart: false,
         stream: false,
+        chaos: false,
         store: None,
         store_max_bytes: 64 << 20,
     };
@@ -62,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
             "--restart" => args.restart = true,
             "--stream" => args.stream = true,
+            "--chaos" => args.chaos = true,
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?.into()),
             "--store-max-bytes" => {
                 let v = it.next().ok_or("--store-max-bytes needs a value")?;
@@ -73,7 +88,8 @@ fn parse_args() -> Result<Args, String> {
                 eprintln!(
                     "usage: serve_replay [--rounds N] [--addr ADDR]\n       \
                      serve_replay --restart [--store DIR] [--store-max-bytes N]\n       \
-                     serve_replay --stream [--rounds N]"
+                     serve_replay --stream [--rounds N]\n       \
+                     serve_replay --chaos [--rounds N]"
                 );
                 std::process::exit(0);
             }
@@ -88,6 +104,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.stream && args.addr.is_some() {
         return Err("--stream compares transports on an in-process daemon; drop --addr".into());
+    }
+    if args.chaos && (args.addr.is_some() || args.restart || args.stream) {
+        return Err("--chaos injects faults into its own in-process daemon; run it alone".into());
     }
     Ok(args)
 }
@@ -120,6 +139,9 @@ fn real_main() -> Result<(), String> {
     }
     if args.stream {
         return run_stream_bench(&corpus, &args);
+    }
+    if args.chaos {
+        return run_chaos(&corpus, &args);
     }
 
     // Either attach to a running daemon or start one on a loopback port.
@@ -556,6 +578,165 @@ fn run_stream_bench(corpus: &[(String, String)], args: &Args) -> Result<(), Stri
         return Err(format!(
             "key-reference stream speedup {key_speedup:.2}x is below the 1.3x acceptance bar"
         ));
+    }
+    Ok(())
+}
+
+/// The `--chaos` drill: populate a store, restart the daemon with every
+/// store read and write armed to fail, replay through a retrying client,
+/// then heal the failpoints and watch the probe restore the tier. Fails
+/// unless zero requests fail end to end, the daemon degrades, and it
+/// recovers.
+fn run_chaos(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
+    let rounds = args.rounds.max(1);
+    let dir = std::env::temp_dir().join(format!("serve-replay-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "chaos drill: {} programs × {rounds} rounds, store at {}",
+        corpus.len(),
+        dir.display()
+    );
+
+    // Phase 1 — populate: a healthy store-backed daemon computes the
+    // whole corpus and writes it through to disk.
+    let (mut client, _server, handle) = spawn_store_daemon(&dir, args.store_max_bytes)?;
+    let populate_us = replay_once(&mut client, corpus)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+
+    // Phase 2 — chaos: a fresh daemon on the same store (cold memory, so
+    // the replay actually reads disk) with every `get` failing outright
+    // and every `put` failing with ENOSPC — what
+    // `OPTIMIST_FAILPOINTS=get:fail,put:enospc` would arm from the
+    // environment. The client retries shed responses; degraded mode must
+    // keep every request succeeding from the memory tier.
+    let probe_interval = Duration::from_millis(50);
+    let store = Store::open(
+        &dir,
+        StoreOptions {
+            max_bytes: args.store_max_bytes,
+        },
+    )
+    .map_err(|e| format!("cannot reopen store {}: {e}", dir.display()))?;
+    store.failpoints().arm("get", FailKind::Fail);
+    store.failpoints().arm("put", FailKind::Enospc);
+    let server = Arc::new(
+        Server::new(4096, 16)
+            .with_store(store)
+            .with_store_probe_interval(probe_interval),
+    );
+    let (tx, rx) = mpsc::channel();
+    let s = Arc::clone(&server);
+    let handle = std::thread::spawn(move || {
+        s.run_listener("127.0.0.1:0", |bound| {
+            let _ = tx.send(bound);
+        })
+        .expect("listener failed");
+    });
+    let bound = rx
+        .recv()
+        .map_err(|_| "daemon thread died before binding".to_string())?;
+    let mut client = Client::connect(bound.to_string().as_str())
+        .map_err(|e| e.to_string())?
+        .with_retry(RetryPolicy::standard());
+
+    let mut chaos_us = 0u128;
+    for _ in 0..rounds {
+        // `replay_once` errors on any failed request — the zero-failures
+        // acceptance bar is enforced by construction.
+        chaos_us += replay_once(&mut client, corpus)?;
+    }
+    let chaos_state = client
+        .health()
+        .map_err(|e| e.to_string())?
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let chaos_stats = client.stats().map_err(|e| e.to_string())?;
+
+    // Phase 3 — heal: clear the failpoints and wait out the probe
+    // interval; the next store access probes and restores the tier.
+    server
+        .store()
+        .ok_or("chaos daemon has no store")?
+        .failpoints()
+        .clear_all();
+    std::thread::sleep(probe_interval + Duration::from_millis(30));
+    let heal_us = replay_once(&mut client, corpus)?;
+    let heal_state = client
+        .health()
+        .map_err(|e| e.to_string())?
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let stats = client.stats().map_err(|e| e.to_string())?;
+
+    let counter = |stats: &Json, a: &str, b: &str| {
+        stats
+            .get(a)
+            .and_then(|c| c.get(b))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let chaos_hits = counter(&chaos_stats, "cache", "hits");
+    let chaos_misses = counter(&chaos_stats, "cache", "misses");
+    let chaos_hit_rate = if chaos_hits + chaos_misses == 0 {
+        0.0
+    } else {
+        chaos_hits as f64 / (chaos_hits + chaos_misses) as f64
+    };
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "phase", "latency_us", "hit_rate", "get_errors", "put_errors", "state"
+    );
+    println!(
+        "{:<12} {populate_us:>12} {:>10} {:>12} {:>12} {:>10}",
+        "populate", "-", 0, 0, "ok"
+    );
+    println!(
+        "{:<12} {chaos_us:>12} {chaos_hit_rate:>10.3} {:>12} {:>12} {chaos_state:>10}",
+        "degraded",
+        counter(&chaos_stats, "store_health", "get_errors"),
+        counter(&chaos_stats, "store_health", "put_errors"),
+    );
+    println!(
+        "{:<12} {heal_us:>12} {:>10} {:>12} {:>12} {heal_state:>10}",
+        "recovered",
+        "-",
+        counter(&stats, "store_health", "get_errors"),
+        counter(&stats, "store_health", "put_errors"),
+    );
+    println!(
+        "probes {}  recoveries {}  failed requests 0 (enforced per round)",
+        counter(&stats, "store_health", "probes"),
+        counter(&stats, "store_health", "recoveries"),
+    );
+    println!("{stats}");
+
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if chaos_state != "degraded" {
+        return Err(format!(
+            "daemon never tripped into degraded mode (state stayed `{chaos_state}`)"
+        ));
+    }
+    if heal_state != "ok" {
+        return Err(format!(
+            "daemon did not recover after the failpoints cleared (state `{heal_state}`)"
+        ));
+    }
+    if counter(&stats, "store_health", "recoveries") < 1 {
+        return Err("no recovery probe succeeded".to_string());
     }
     Ok(())
 }

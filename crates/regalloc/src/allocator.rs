@@ -311,6 +311,19 @@ pub enum AllocError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The request's [`Deadline`](crate::Deadline) expired (or was
+    /// cancelled) before the allocation converged. Checked between phases,
+    /// so the result is abandoned at a clean pass boundary — the worker
+    /// that ran it is immediately free for the next job. Unlike
+    /// [`AllocError::NonConvergence`] this is a fact about the wall clock,
+    /// not the function, and must never be negatively cached.
+    DeadlineExceeded {
+        /// Name of the function being allocated.
+        function: String,
+        /// Completed passes when the deadline fired (0 = it expired while
+        /// the job was still queued).
+        passes: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -323,6 +336,10 @@ impl fmt::Display for AllocError {
             AllocError::WorkerPanic { function, message } => {
                 write!(f, "register allocation of `{function}` panicked: {message}")
             }
+            AllocError::DeadlineExceeded { function, passes } => write!(
+                f,
+                "register allocation of `{function}` exceeded its deadline after {passes} passes"
+            ),
         }
     }
 }
@@ -348,6 +365,32 @@ struct Carry {
 /// pathological input; the paper reports convergence in at most three
 /// passes on real code).
 pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation, AllocError> {
+    allocate_with_deadline(func, config, &crate::Deadline::none())
+}
+
+/// [`allocate`] under a cooperative [`Deadline`](crate::Deadline): the
+/// token is checked between the build, simplify, color, and spill phases
+/// of every pass, and an expired token abandons the allocation at that
+/// boundary.
+///
+/// # Errors
+///
+/// Everything [`allocate`] returns, plus
+/// [`AllocError::DeadlineExceeded`] once `deadline` expires (including
+/// before the first pass — a job that waited out its whole budget in a
+/// queue fails immediately instead of burning a worker).
+pub fn allocate_with_deadline(
+    func: &Function,
+    config: &AllocatorConfig,
+    deadline: &crate::Deadline,
+) -> Result<Allocation, AllocError> {
+    let overdue = |passes: usize| AllocError::DeadlineExceeded {
+        function: func.name().to_string(),
+        passes,
+    };
+    if deadline.expired() {
+        return Err(overdue(0));
+    }
     let mut f = func.clone();
     let mut passes: Vec<PassRecord> = Vec::new();
     let mut total_spilled = 0usize;
@@ -410,6 +453,9 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
         total_coalesced += coalesced;
         let costs = spill_costs(&f, &loops);
         let build_time = t_build.elapsed();
+        if deadline.expired() {
+            return Err(overdue(passes.len()));
+        }
 
         // ---- simplify ---------------------------------------------------
         let t_simplify = Instant::now();
@@ -421,6 +467,9 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
             config.spill_metric,
         );
         let simplify_time = t_simplify.elapsed();
+        if deadline.expired() {
+            return Err(overdue(passes.len()));
+        }
 
         // ---- color ------------------------------------------------------
         // Chaitin's flow: when simplify marked spills, the pass goes
@@ -533,6 +582,9 @@ pub fn allocate(func: &Function, config: &AllocatorConfig) -> Result<Allocation,
             .sum();
         total_spilled += uncolored.len();
         total_cost += pass_cost;
+        if deadline.expired() {
+            return Err(overdue(passes.len()));
+        }
 
         let t_spill = Instant::now();
         let spill_vregs: Vec<VReg> = uncolored.iter().map(|&v| VReg::new(v)).collect();

@@ -1,0 +1,130 @@
+//! Cooperative wall-clock deadlines and cancellation.
+//!
+//! Spill-everywhere decisions are NP-hard in general (Bouchez et al.,
+//! RR2007-42), so `max_passes` alone does not bound the wall clock of one
+//! allocation: a single pathological pass can be arbitrarily slow. A
+//! [`Deadline`] is the backstop — a cheap, cloneable token checked
+//! *between* the build/simplify/color/spill phases of
+//! [`allocate_with_deadline`](crate::allocate_with_deadline), so an
+//! over-budget allocation returns
+//! [`AllocError::DeadlineExceeded`](crate::AllocError::DeadlineExceeded)
+//! at the next phase boundary instead of wedging its worker. Phases are
+//! never interrupted mid-flight; the token costs one `Instant::now()` per
+//! check and nothing at all when unbounded.
+//!
+//! A deadline may also carry a shared cancellation flag
+//! ([`Deadline::with_cancel`]): raising the flag expires every clone at
+//! its next check, which is how a draining server abandons queued work.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative deadline/cancellation token.
+///
+/// `Deadline::default()` (or [`Deadline::none`]) never expires. Tokens are
+/// cheap to clone and share one cancellation flag per family, so a server
+/// can hand the same token to every job of a request.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Deadline {
+        Deadline::default()
+    }
+
+    /// Expire `budget` from now. A budget too large to represent behaves
+    /// like [`Deadline::none`].
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+            cancel: None,
+        }
+    }
+
+    /// Expire at the absolute instant `at`.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline {
+            at: Some(at),
+            cancel: None,
+        }
+    }
+
+    /// Attach a shared cancellation flag: once any holder stores `true`,
+    /// every clone of this deadline reports expired.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Deadline {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True if this token can never expire (no instant, no flag).
+    pub fn is_unbounded(&self) -> bool {
+        self.at.is_none() && self.cancel.is_none()
+    }
+
+    /// True once the wall clock has passed the deadline or the
+    /// cancellation flag was raised.
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry: `None` when unbounded by the clock, zero
+    /// once expired (or cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(Duration::ZERO);
+            }
+        }
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unbounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn elapsed_budget_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(!d.is_unbounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn cancellation_flag_expires_every_clone() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::none().with_cancel(Arc::clone(&flag));
+        let clone = d.clone();
+        assert!(!clone.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(d.expired());
+        assert!(clone.expired());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+}

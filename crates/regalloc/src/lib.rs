@@ -54,6 +54,7 @@ mod allocator;
 mod build;
 mod coalesce;
 mod cost;
+mod deadline;
 mod graph;
 mod listing;
 mod matula;
@@ -63,12 +64,13 @@ mod simplify;
 mod spill;
 
 pub use allocator::{
-    allocate, default_threads, fnv1a, AllocError, AllocStats, Allocation, AllocatorConfig,
-    PassRecord, PhaseTimes,
+    allocate, allocate_with_deadline, default_threads, fnv1a, AllocError, AllocStats, Allocation,
+    AllocatorConfig, PassRecord, PhaseTimes,
 };
 pub use build::{build_graph, update_graph_after_spill};
 pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
 pub use cost::{depth_weight, spill_costs};
+pub use deadline::Deadline;
 pub use graph::InterferenceGraph;
 pub use matula::smallest_last_order;
 pub use pipeline::{ModuleAllocation, Pipeline, WorkerPool};

@@ -1,7 +1,7 @@
 //! Parallel module allocation.
 //!
 //! Register allocation is embarrassingly parallel across functions: each
-//! [`allocate`] call reads one [`Function`] and shares nothing with its
+//! [`allocate`](crate::allocate) call reads one [`Function`] and shares nothing with its
 //! siblings. [`Pipeline`] exploits that with a scoped worker pool — workers
 //! pull function indices from an atomic counter, results land in
 //! per-function slots, and the output order is always the module's function
@@ -23,7 +23,8 @@
 //! for their own results. [`Pipeline::with_pool`] routes a session through
 //! such a pool.
 
-use crate::allocator::{allocate, AllocError, Allocation, AllocatorConfig};
+use crate::allocator::{allocate_with_deadline, AllocError, Allocation, AllocatorConfig};
+use crate::deadline::Deadline;
 use optimist_ir::{Function, Module};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -57,6 +58,10 @@ pub struct WorkerPool {
 struct Job {
     func: Function,
     config: AllocatorConfig,
+    /// The submitting request's deadline: a job whose token expired while
+    /// it sat in the queue fails immediately instead of occupying a
+    /// worker.
+    deadline: Deadline,
     index: usize,
     out: mpsc::Sender<(usize, Result<Allocation, AllocError>)>,
 }
@@ -80,7 +85,7 @@ impl WorkerPool {
                     };
                     let Ok(job) = job else { break };
                     pending.fetch_sub(1, Ordering::Relaxed);
-                    let result = allocate_caught(&job.func, &job.config);
+                    let result = allocate_caught(&job.func, &job.config, &job.deadline);
                     // The caller may have gone away (its receiver dropped);
                     // the job's work is simply discarded then.
                     let _ = job.out.send((job.index, result));
@@ -116,6 +121,20 @@ impl WorkerPool {
         config: &AllocatorConfig,
         funcs: &[Function],
     ) -> Vec<Result<Allocation, AllocError>> {
+        self.allocate_functions_with_deadline(config, funcs, &Deadline::none())
+    }
+
+    /// [`WorkerPool::allocate_functions`] under a cooperative [`Deadline`]
+    /// shared by every job of the call: expired jobs fail with
+    /// [`AllocError::DeadlineExceeded`] at their next phase boundary (or
+    /// immediately, if the token expired while they were queued) — a slow
+    /// request cannot wedge a worker past its budget.
+    pub fn allocate_functions_with_deadline(
+        &self,
+        config: &AllocatorConfig,
+        funcs: &[Function],
+        deadline: &Deadline,
+    ) -> Vec<Result<Allocation, AllocError>> {
         if funcs.is_empty() {
             return Vec::new();
         }
@@ -128,6 +147,7 @@ impl WorkerPool {
                 tx.send(Job {
                     func: func.clone(),
                     config: config.clone(),
+                    deadline: deadline.clone(),
                     index,
                     out: out_tx.clone(),
                 })
@@ -157,11 +177,18 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Allocate one function, converting a panic into
+/// Allocate one function under a deadline, converting a panic into
 /// [`AllocError::WorkerPanic`] so a bad function cannot take down the rest
 /// of a module (or a pool worker thread).
-fn allocate_caught(func: &Function, config: &AllocatorConfig) -> Result<Allocation, AllocError> {
-    catch_unwind(AssertUnwindSafe(|| allocate(func, config))).unwrap_or_else(|payload| {
+fn allocate_caught(
+    func: &Function,
+    config: &AllocatorConfig,
+    deadline: &Deadline,
+) -> Result<Allocation, AllocError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        allocate_with_deadline(func, config, deadline)
+    }))
+    .unwrap_or_else(|payload| {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -262,7 +289,7 @@ impl Pipeline {
     /// Allocate one function with panic containment (see
     /// [`allocate_caught`]).
     fn allocate_one(&self, func: &Function) -> Result<Allocation, AllocError> {
-        allocate_caught(func, &self.config)
+        allocate_caught(func, &self.config, &Deadline::none())
     }
 }
 
@@ -304,6 +331,7 @@ impl ModuleAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::allocate;
     use optimist_ir::{BinOp, FunctionBuilder, RegClass};
     use optimist_machine::Target;
     use std::num::NonZeroUsize;
@@ -485,6 +513,35 @@ mod tests {
         let results = pool.allocate_functions(&cfg, &[good]);
         assert!(results[0].is_ok());
         assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_fails_jobs_without_wedging_workers() {
+        let pool = WorkerPool::new(NonZeroUsize::new(1).unwrap());
+        let cfg = config(1);
+        let funcs = [pressure_function("slow", 40)];
+        let results = pool.allocate_functions_with_deadline(
+            &cfg,
+            &funcs,
+            &Deadline::after(std::time::Duration::ZERO),
+        );
+        assert!(matches!(
+            results[0],
+            Err(AllocError::DeadlineExceeded { ref function, passes: 0 }) if function == "slow"
+        ));
+        // The worker shed the job at its first check and is free again.
+        let results = pool.allocate_functions(&cfg, &funcs);
+        assert!(results[0].is_ok());
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn unbounded_deadline_changes_nothing() {
+        let f = pressure_function("f", 12);
+        let cfg = config(1);
+        let timed = allocate_with_deadline(&f, &cfg, &Deadline::none()).unwrap();
+        let plain = allocate(&f, &cfg).unwrap();
+        assert_eq!(fingerprint(&timed), fingerprint(&plain));
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! optimist-serve --store CACHE_DIR            # results survive restarts
 //! ```
 //!
-//! On shutdown (a `shutdown` request, or EOF in stdio mode) the final
-//! metrics dump is written to stderr as one JSON line.
+//! On shutdown — a `shutdown` request, SIGTERM/SIGINT (the daemon drains
+//! in-flight work under `--drain-ms`, flushes the store, and exits 0), or
+//! EOF in stdio mode — the final metrics dump is written to stderr as one
+//! JSON line.
 
-use optimist_serve::Server;
+use optimist_serve::log::{self, Level};
+use optimist_serve::{log_info, log_warn, Server};
 use optimist_store::{Store, StoreOptions};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage: optimist-serve [options]
 
@@ -32,8 +36,19 @@ options:
                         [default 67108864; 0 = never]
   --max-inflight N      concurrently-executing work units (requests or batch
                         items) allowed per TCP connection [default 8]
+  --max-load N          daemon-wide work-unit cap; past it requests are shed
+                        with {\"err\":\"overloaded\"} [default 1024; 0 = unbounded]
+  --deadline-ms N       default compute budget per work unit; a request's own
+                        \"deadline_ms\" overrides it [default: unbounded]
+  --drain-ms N          how long a shutdown waits for in-flight connections
+                        before force-closing them [default 5000]
+  --idle-timeout-ms N   reap a connection whose client sends nothing for N ms
+                        [default 300000; 0 = never]
+  --write-timeout-ms N  reap a connection whose client stops reading responses
+                        for N ms [default 60000; 0 = never]
   --pool-threads N      allocation worker threads shared by all connections
                         [default: the machine]
+  --log-level LEVEL     stderr verbosity: error, warn, info, debug [default info]
   --quiet               suppress the final metrics dump on stderr
   --help                show this help
 ";
@@ -46,7 +61,13 @@ struct Options {
     store: Option<std::path::PathBuf>,
     store_max_bytes: u64,
     max_inflight: usize,
+    max_load: usize,
+    deadline_ms: Option<u64>,
+    drain_ms: u64,
+    idle_timeout_ms: u64,
+    write_timeout_ms: u64,
     pool_threads: Option<std::num::NonZeroUsize>,
+    log_level: Level,
     quiet: bool,
 }
 
@@ -59,7 +80,13 @@ fn parse_args() -> Result<Options, String> {
         store: None,
         store_max_bytes: 64 << 20,
         max_inflight: optimist_serve::DEFAULT_MAX_INFLIGHT,
+        max_load: 1024,
+        deadline_ms: None,
+        drain_ms: 5000,
+        idle_timeout_ms: 300_000,
+        write_timeout_ms: 60_000,
         pool_threads: None,
+        log_level: Level::Info,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -89,12 +116,44 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--max-inflight needs an integer".to_string())?
             }
+            "--max-load" => {
+                opts.max_load = value("--max-load")?
+                    .parse()
+                    .map_err(|_| "--max-load needs an integer".to_string())?
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                )
+            }
+            "--drain-ms" => {
+                opts.drain_ms = value("--drain-ms")?
+                    .parse()
+                    .map_err(|_| "--drain-ms needs an integer".to_string())?
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms needs an integer".to_string())?
+            }
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs an integer".to_string())?
+            }
             "--pool-threads" => {
                 opts.pool_threads = Some(
                     value("--pool-threads")?
                         .parse()
                         .map_err(|_| "--pool-threads needs a positive integer".to_string())?,
                 )
+            }
+            "--log-level" => {
+                let spec = value("--log-level")?;
+                opts.log_level = Level::parse(&spec)
+                    .ok_or_else(|| format!("--log-level: unknown level {spec:?}"))?
             }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
@@ -110,6 +169,50 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// SIGTERM/SIGINT handling without libc: install a minimal handler via the
+/// C `signal(2)` entry point (present in every Unix C runtime Rust links
+/// against) that only sets a flag — the only thing an async-signal-safe
+/// handler may do. A watcher thread polls the flag and turns it into a
+/// graceful [`Server::request_shutdown`].
+#[cfg(unix)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the flag-setting handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+
+    /// True once a termination signal has arrived.
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -118,9 +221,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    log::set_level(opts.log_level);
 
-    let mut server =
-        Server::new(opts.cache_capacity, opts.shards).with_max_inflight(opts.max_inflight);
+    let to_timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let mut server = Server::new(opts.cache_capacity, opts.shards)
+        .with_max_inflight(opts.max_inflight)
+        .with_max_load(opts.max_load)
+        .with_deadline(opts.deadline_ms.map(Duration::from_millis))
+        .with_drain_timeout(Duration::from_millis(opts.drain_ms))
+        .with_socket_timeouts(
+            to_timeout(opts.idle_timeout_ms),
+            to_timeout(opts.write_timeout_ms),
+        );
     if let Some(threads) = opts.pool_threads {
         server = server.with_pool_threads(threads);
     }
@@ -137,9 +249,25 @@ fn main() -> ExitCode {
         }
     }
     let server = Arc::new(server);
+
+    // Turn SIGTERM/SIGINT into a graceful drain: the watcher flips the
+    // stop flag and run_listener finishes its drain phase on its own.
+    signal::install();
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            if signal::received() {
+                log_info!("received termination signal; draining");
+                server.request_shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+    }
+
     let result = match &opts.listen {
         Some(addr) => server.run_listener(addr.as_str(), |bound| {
-            eprintln!("optimist-serve: listening on {bound}");
+            log_info!("listening on {bound}");
         }),
         None => server.run_io(
             std::io::stdin().lock(),
@@ -148,6 +276,13 @@ fn main() -> ExitCode {
         ),
     };
 
+    // Flush the persistent tier before reporting: a drained daemon must
+    // leave nothing for crash recovery to reconstruct.
+    if let Some(store) = server.store() {
+        if let Err(e) = store.sync() {
+            log_warn!("store flush on shutdown failed: {e}");
+        }
+    }
     if !opts.quiet {
         eprintln!("{}", server.stats_json());
     }

@@ -3,16 +3,97 @@
 //! One [`Client`] wraps one connection; each request writes one JSON line
 //! and reads one JSON line back. Used by the `optimist remote` CLI
 //! subcommand and the bench harness's warm/cold replay.
+//!
+//! When the daemon sheds load (`{"err":"overloaded","retry_after_ms":N}`),
+//! a client configured with a [`RetryPolicy`] retries the request after a
+//! jittered exponential backoff, honoring the server's `retry_after_ms`
+//! hint as a floor. Retrying is always safe: requests are
+//! content-addressed and idempotent, so a duplicate submission at worst
+//! hits the cache.
 
 use crate::json::Json;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Retry behavior for shed (`overloaded`) responses.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail immediately on shed).
+    pub retries: u32,
+    /// Backoff before retry `k` (0-based) is `base << k`, capped at
+    /// [`RetryPolicy::cap`], floored at the server's `retry_after_ms`
+    /// hint, plus up to 50% jitter.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first `overloaded` refusal is surfaced.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// A sensible default: 5 retries, 25ms base, 2s cap.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            retries: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// The sleep before 0-based retry `attempt`, given the server's
+    /// `retry_after_ms` hint: jittered exponential backoff floored at the
+    /// hint.
+    fn delay(&self, attempt: u32, retry_after_ms: Option<u64>, jitter: &mut Jitter) -> Duration {
+        let backoff = self
+            .base
+            .checked_mul(1u32 << attempt.min(16))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let floor = Duration::from_millis(retry_after_ms.unwrap_or(0));
+        let chosen = backoff.max(floor);
+        // Up to +50% jitter so a shed burst of clients does not return in
+        // lockstep and shed again.
+        chosen + chosen.mul_f64(jitter.next_fraction() * 0.5)
+    }
+}
+
+/// A tiny xorshift PRNG for backoff jitter — no `rand` dependency, seeded
+/// from the wall clock (quality does not matter, decorrelation does).
+#[derive(Debug)]
+struct Jitter(u64);
+
+impl Jitter {
+    fn seeded() -> Jitter {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Jitter(nanos | 1)
+    }
+
+    fn next_fraction(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// A blocking connection to an `optimist-serve` daemon.
 #[derive(Debug)]
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    retry: RetryPolicy,
+    jitter: Jitter,
 }
 
 /// A failed round trip: transport trouble, unparsable response, or a
@@ -25,6 +106,12 @@ pub enum ClientError {
     BadResponse(String),
     /// The server answered `"ok": false`; payload is its `"error"` text.
     Refused(String),
+    /// The server shed the request (`"err":"overloaded"`) and the retry
+    /// budget is exhausted; payload is the last `retry_after_ms` hint.
+    Overloaded {
+        /// The server's final backoff hint, if it sent one.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -33,6 +120,11 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection failed: {e}"),
             ClientError::BadResponse(line) => write!(f, "unparsable response: {line}"),
             ClientError::Refused(msg) => write!(f, "server refused: {msg}"),
+            ClientError::Overloaded { retry_after_ms } => write!(
+                f,
+                "server overloaded (retry_after_ms={})",
+                retry_after_ms.map_or("?".to_string(), |n| n.to_string())
+            ),
         }
     }
 }
@@ -46,19 +138,31 @@ impl From<io::Error> for ClientError {
 }
 
 impl Client {
-    /// Connect to a daemon at `addr`.
+    /// Connect to a daemon at `addr`. The connection starts with no retry
+    /// policy ([`RetryPolicy::none`]); see [`Client::with_retry`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr)?;
         // Requests are one buffered write each; never let Nagle hold the
         // final partial segment hostage to the peer's delayed ACK.
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Ok(Client {
+            writer,
+            reader,
+            retry: RetryPolicy::none(),
+            jitter: Jitter::seeded(),
+        })
     }
 
-    /// Send one raw request object, returning the parsed response. Errors
-    /// with [`ClientError::Refused`] if the server answered `"ok": false`.
-    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+    /// Retry shed requests under `policy` instead of surfacing the first
+    /// `overloaded` refusal.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// One request/response round trip, no retries.
+    fn round_trip(&mut self, request: &Json) -> Result<Json, ClientError> {
         // Serialize first: formatting straight into the socket would issue
         // one tiny write per JSON token and stall on Nagle's algorithm.
         let mut line = request.to_string();
@@ -75,6 +179,11 @@ impl Client {
         let response = crate::json::parse(&line)
             .map_err(|_| ClientError::BadResponse(line.trim().to_string()))?;
         if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            if response.get("err").and_then(Json::as_str) == Some("overloaded") {
+                return Err(ClientError::Overloaded {
+                    retry_after_ms: response.get("retry_after_ms").and_then(Json::as_u64),
+                });
+            }
             let msg = response
                 .get("error")
                 .and_then(Json::as_str)
@@ -83,6 +192,24 @@ impl Client {
             return Err(ClientError::Refused(msg));
         }
         Ok(response)
+    }
+
+    /// Send one raw request object, returning the parsed response. Errors
+    /// with [`ClientError::Refused`] if the server answered `"ok": false`.
+    /// Shed requests are retried under the connection's [`RetryPolicy`]
+    /// before [`ClientError::Overloaded`] is surfaced.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.round_trip(request) {
+                Err(ClientError::Overloaded { retry_after_ms }) if attempt < self.retry.retries => {
+                    let policy = self.retry;
+                    std::thread::sleep(policy.delay(attempt, retry_after_ms, &mut self.jitter));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Allocate the functions in `ir` (IR text) under `config` (the
@@ -167,6 +294,15 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.request(&Json::obj([("req", Json::from("ping"))]))?;
         Ok(())
+    }
+
+    /// Fetch the server's serving state (the `"health"` member:
+    /// `ok`/`degraded`/`draining` plus the hardening counters).
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        let resp = self.request(&Json::obj([("req", Json::from("health"))]))?;
+        resp.get("health")
+            .cloned()
+            .ok_or_else(|| ClientError::BadResponse("health response without health".into()))
     }
 
     /// Ask the daemon to stop.

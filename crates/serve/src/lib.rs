@@ -39,6 +39,7 @@
 pub mod cache;
 pub mod client;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;
@@ -46,7 +47,7 @@ pub mod server;
 pub mod stream;
 
 pub use cache::{cache_key, ShardedLru};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use persist::CacheEntry;

@@ -248,6 +248,32 @@ pub struct Metrics {
     pub phase_color: Histogram,
     /// Time spent inserting spill code (cold functions only).
     pub phase_spill: Histogram,
+    /// Work units refused with `deadline` because their deadline expired
+    /// before (or while) the allocator ran.
+    pub deadline_exceeded: Counter,
+    /// Work units refused with `overloaded` by admission control.
+    pub shed: Counter,
+    /// Connections reaped by the socket read/write timeouts (dead or
+    /// stalled clients).
+    pub idle_reaps: Counter,
+    /// Work units currently admitted daemon-wide (the load the admission
+    /// gate compares against `--max-load`), with a high-water mark.
+    pub load: Gauge,
+    /// Store write-throughs that failed (each strikes toward degraded
+    /// mode).
+    pub store_put_errors: Counter,
+    /// Store lookups that failed at the I/O layer — distinct from
+    /// [`Metrics::store_misses`], which found nothing but read fine.
+    pub store_get_errors: Counter,
+    /// Degraded-mode recovery probes attempted against the store.
+    pub store_probes: Counter,
+    /// Times the store came back: a probe succeeded and degraded mode
+    /// cleared.
+    pub store_recoveries: Counter,
+    /// 1 while the persistent store is tripped out of the serving path
+    /// (memory-only degraded mode), else 0. The high-water mark records
+    /// whether the daemon was *ever* degraded.
+    pub store_degraded: Gauge,
 }
 
 impl Metrics {
@@ -309,6 +335,33 @@ impl Metrics {
                 Json::obj([
                     ("busy", Json::from(self.workers_busy.get())),
                     ("high_water", Json::from(self.workers_busy.high_water())),
+                ]),
+            ),
+            (
+                "hardening",
+                Json::obj([
+                    (
+                        "deadline_exceeded",
+                        Json::from(self.deadline_exceeded.get()),
+                    ),
+                    ("shed", Json::from(self.shed.get())),
+                    ("idle_reaps", Json::from(self.idle_reaps.get())),
+                    ("load", Json::from(self.load.get())),
+                    ("load_high_water", Json::from(self.load.high_water())),
+                ]),
+            ),
+            (
+                "store_health",
+                Json::obj([
+                    ("degraded", Json::from(self.store_degraded.get())),
+                    (
+                        "ever_degraded",
+                        Json::from(self.store_degraded.high_water() > 0),
+                    ),
+                    ("put_errors", Json::from(self.store_put_errors.get())),
+                    ("get_errors", Json::from(self.store_get_errors.get())),
+                    ("probes", Json::from(self.store_probes.get())),
+                    ("recoveries", Json::from(self.store_recoveries.get())),
                 ]),
             ),
             ("functions", Json::from(self.functions.get())),

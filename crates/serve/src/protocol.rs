@@ -18,8 +18,16 @@
 //!  {"id":7,"key":"00baadf00dcafe42"}]}
 //! {"req":"stats"}
 //! {"req":"ping"}
+//! {"req":"health"}
 //! {"req":"shutdown"}
 //! ```
+//!
+//! `alloc` and `batch` requests may carry a top-level `"deadline_ms"`
+//! budget; past it, unfinished work answers `{"ok":false,"err":"deadline"}`.
+//! When the daemon is over its admission limit it answers
+//! `{"ok":false,"err":"overloaded","retry_after_ms":N}` without queueing;
+//! `health` reports `ok`, `degraded`, or `draining` without touching the
+//! allocation path.
 //!
 //! Every `config` field is optional; the default is the paper's Briggs
 //! configuration on the RT/PC. The `alloc` response carries one entry per
@@ -57,6 +65,10 @@ pub enum Request {
         ir: String,
         /// Allocator knobs for this request.
         config: AllocatorConfig,
+        /// Per-request compute budget in milliseconds (`"deadline_ms"`);
+        /// overrides the daemon-wide default. `0` means already expired —
+        /// only cache hits can answer.
+        deadline_ms: Option<u64>,
     },
     /// Allocate many modules (or fetch many cached results) in one
     /// request; responses stream back per item, tagged with the item ids.
@@ -65,11 +77,18 @@ pub enum Request {
         items: Vec<BatchItem>,
         /// Allocator knobs shared by every item.
         config: AllocatorConfig,
+        /// Compute budget shared by the whole batch (`"deadline_ms"`):
+        /// one absolute deadline is computed at admission and every item
+        /// races it.
+        deadline_ms: Option<u64>,
     },
     /// Dump the metrics registry.
     Stats,
     /// Liveness probe.
     Ping,
+    /// Report serving state: `ok`, `degraded` (persistent store tripped
+    /// out of the path), or `draining` (shutdown in progress).
+    Health,
     /// Stop the server (after responding).
     Shutdown,
 }
@@ -171,7 +190,12 @@ impl Request {
                     .ok_or_else(|| bad("alloc request needs a string field \"ir\""))?
                     .to_string();
                 let config = parse_config(v.get("config"))?;
-                Ok(Request::Alloc { ir, config })
+                let deadline_ms = parse_deadline_ms(&v)?;
+                Ok(Request::Alloc {
+                    ir,
+                    config,
+                    deadline_ms,
+                })
             }
             "batch" => {
                 let items = v
@@ -182,13 +206,32 @@ impl Request {
                     .map(BatchItem::parse)
                     .collect::<Result<Vec<_>, _>>()?;
                 let config = parse_config(v.get("config"))?;
-                Ok(Request::Batch { items, config })
+                let deadline_ms = parse_deadline_ms(&v)?;
+                Ok(Request::Batch {
+                    items,
+                    config,
+                    deadline_ms,
+                })
             }
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown request kind {other:?}"))),
         }
+    }
+}
+
+/// Parse the optional top-level `"deadline_ms"` field. `0` is legal (an
+/// already-expired deadline: serve from cache or answer `deadline`) —
+/// tests use it to exercise the timeout path deterministically.
+fn parse_deadline_ms(v: &Json) -> Result<Option<u64>, ProtocolError> {
+    match v.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad("deadline_ms must be a non-negative integer")),
     }
 }
 
@@ -501,7 +544,7 @@ mod tests {
             {"id":7,"key":"0xdeadbeefcafe0042"},
             {"id":"c","key":"00000000000000ff"}]}"#
             .replace('\n', " ");
-        let Request::Batch { items, config } = Request::parse(&line).unwrap() else {
+        let Request::Batch { items, config, .. } = Request::parse(&line).unwrap() else {
             panic!("wrong kind")
         };
         assert_eq!(config.target.regs(RegClass::Int), 4);
@@ -529,6 +572,34 @@ mod tests {
         ] {
             assert!(Request::parse(line).is_err(), "accepted: {line}");
         }
+    }
+
+    #[test]
+    fn deadline_and_health_parse() {
+        let Request::Alloc { deadline_ms, .. } =
+            Request::parse(r#"{"req":"alloc","ir":"","deadline_ms":250}"#).unwrap()
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(deadline_ms, Some(250));
+        let Request::Alloc { deadline_ms, .. } =
+            Request::parse(r#"{"req":"alloc","ir":""}"#).unwrap()
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(deadline_ms, None);
+        // Zero is legal: already expired, cache-only.
+        let Request::Batch { deadline_ms, .. } =
+            Request::parse(r#"{"req":"batch","items":[],"deadline_ms":0}"#).unwrap()
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(deadline_ms, Some(0));
+        assert!(Request::parse(r#"{"req":"alloc","ir":"","deadline_ms":"soon"}"#).is_err());
+        assert!(matches!(
+            Request::parse(r#"{"req":"health"}"#),
+            Ok(Request::Health)
+        ));
     }
 
     #[test]

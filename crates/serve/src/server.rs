@@ -13,6 +13,22 @@
 //! `run_listener` accepts TCP connections and serves each on its own
 //! thread. Both stop when a `shutdown` request arrives.
 //!
+//! ## Hardening
+//!
+//! Three production concerns live here too (see DESIGN.md §11):
+//!
+//! * **Deadlines** — every work unit races a cooperative
+//!   [`Deadline`] (per-request
+//!   `"deadline_ms"`, daemon default [`Server::with_deadline`]); past it
+//!   the unit answers `{"err":"deadline"}` instead of wedging a worker.
+//! * **Admission control** — a daemon-wide unit cap
+//!   ([`Server::with_max_load`]); over it, requests are shed immediately
+//!   with `{"err":"overloaded","retry_after_ms":N}`.
+//! * **Degraded mode** — persistent-store I/O errors trip the disk tier
+//!   out of the serving path after a few consecutive failures; the daemon
+//!   keeps answering memory-only and re-probes the store periodically.
+//!   The `health` request reports `ok`/`degraded`/`draining`.
+//!
 //! [`NonConvergence`]: optimist_regalloc::AllocError::NonConvergence
 
 use crate::cache::{cache_key, text_key, ShardedLru};
@@ -21,20 +37,36 @@ use crate::metrics::Metrics;
 use crate::persist::{self, CacheEntry};
 use crate::protocol::{BatchItem, BatchPayload, FnResult, Request};
 use crate::stream::StreamOpts;
+use crate::{log_info, log_warn};
 use optimist_ir::parse_module;
-use optimist_regalloc::{default_threads, AllocError, AllocatorConfig, WorkerPool};
+use optimist_regalloc::{default_threads, AllocError, AllocatorConfig, Deadline, WorkerPool};
 use optimist_store::Store;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default bound on concurrently-executing work units per connection when
 /// the server is not configured otherwise (see
 /// [`Server::with_max_inflight`]).
 pub const DEFAULT_MAX_INFLIGHT: usize = 8;
+
+/// Consecutive store I/O failures before the disk tier trips into
+/// memory-only degraded mode.
+const DEGRADE_THRESHOLD: u32 = 3;
+
+/// How long a degraded store waits between recovery probes unless
+/// [`Server::with_store_probe_interval`] says otherwise.
+const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Reserved content address used by degraded-mode recovery probes. A real
+/// key is a 64-bit FNV-1a hash, so colliding with the all-ones sentinel is
+/// no likelier than any other single-key collision the cache already
+/// tolerates.
+const PROBE_KEY: u64 = u64::MAX;
 
 /// How a handled request affects the serving loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +84,7 @@ pub enum Disposition {
 #[derive(Debug)]
 pub struct Server {
     cache: ShardedLru<CacheEntry>,
-    store: Option<Store>,
+    store: Option<StoreTier>,
     /// Whole-response memo keyed on the *raw request text* (see
     /// [`text_key`]): a byte-identical resubmission skips IR parsing and
     /// per-function canonicalization entirely. Entries hold the
@@ -61,7 +93,41 @@ pub struct Server {
     metrics: Metrics,
     pool: Arc<WorkerPool>,
     max_inflight: usize,
+    /// Daemon-wide unit cap for admission control; 0 = unbounded.
+    max_load: usize,
+    /// Units currently admitted daemon-wide (the gauge behind `max_load`).
+    load: AtomicUsize,
+    /// Daemon-default compute budget per work unit; per-request
+    /// `"deadline_ms"` overrides it.
+    deadline: Option<Duration>,
+    /// Read/write timeouts applied to accepted sockets so dead or stalled
+    /// clients are reaped instead of pinning a connection thread forever.
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    /// How long [`Server::run_listener`] waits for in-flight connections
+    /// to finish after the stop flag rises, before force-closing them.
+    drain_timeout: Duration,
+    /// Write halves of the live connections, keyed by connection id —
+    /// what graceful drain half-closes so readers see EOF while in-flight
+    /// responses still go out.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
     pub(crate) stop: AtomicBool,
+}
+
+/// The persistent tier plus its degraded-mode tripwire. The store itself
+/// already survives I/O errors (a failed put rolls back, a failed get is
+/// an `Err`); this wrapper decides when to stop *asking* — after
+/// [`DEGRADE_THRESHOLD`] consecutive failures the tier goes memory-only
+/// and only periodic probes touch the disk until one succeeds.
+#[derive(Debug)]
+struct StoreTier {
+    store: Store,
+    degraded: AtomicBool,
+    consecutive_errors: AtomicU32,
+    /// Earliest instant the next recovery probe may run (degraded only).
+    next_probe: Mutex<Instant>,
+    probe_interval: Duration,
 }
 
 /// One memoized response: the prebuilt reply and how many functions it
@@ -87,6 +153,14 @@ impl Server {
             metrics: Metrics::default(),
             pool: Arc::new(WorkerPool::new(default_threads())),
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            max_load: 0,
+            load: AtomicUsize::new(0),
+            deadline: None,
+            read_timeout: None,
+            write_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         }
     }
@@ -95,7 +169,61 @@ impl Server {
     /// that miss the in-memory LRU consult the store before computing;
     /// computed results are written through to it.
     pub fn with_store(mut self, store: Store) -> Self {
-        self.store = Some(store);
+        self.store = Some(StoreTier {
+            store,
+            degraded: AtomicBool::new(false),
+            consecutive_errors: AtomicU32::new(0),
+            next_probe: Mutex::new(Instant::now()),
+            probe_interval: DEFAULT_PROBE_INTERVAL,
+        });
+        self
+    }
+
+    /// Change how often a degraded store is re-probed for recovery.
+    /// Tests shrink this to exercise the recovery path without waiting
+    /// out the production interval.
+    pub fn with_store_probe_interval(mut self, interval: Duration) -> Self {
+        if let Some(tier) = &mut self.store {
+            tier.probe_interval = interval;
+        }
+        self
+    }
+
+    /// Set the daemon-default compute budget per work unit. A request's
+    /// own `"deadline_ms"` field overrides it; `None` (the default) means
+    /// unbounded.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Cap the number of work units admitted daemon-wide. Past the cap,
+    /// requests are refused immediately with
+    /// `{"err":"overloaded","retry_after_ms":N}` instead of queueing —
+    /// the client retries with backoff ([`crate::client::RetryPolicy`]);
+    /// requests are content-addressed and idempotent, so retrying is
+    /// always safe. `0` (the default) means unbounded.
+    pub fn with_max_load(mut self, max_load: usize) -> Self {
+        self.max_load = max_load;
+        self
+    }
+
+    /// Apply read/write timeouts to accepted TCP connections. A
+    /// connection whose client stops sending (read) or stops consuming
+    /// responses (write) past the timeout is reaped — counted in
+    /// [`Metrics::idle_reaps`] — instead of holding its thread and window
+    /// forever. `None` (the default) leaves the socket blocking
+    /// indefinitely.
+    pub fn with_socket_timeouts(mut self, read: Option<Duration>, write: Option<Duration>) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// How long [`Server::run_listener`] waits for live connections to
+    /// drain after shutdown is requested, before force-closing them.
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
         self
     }
 
@@ -140,7 +268,210 @@ impl Server {
 
     /// The persistent store, if one is attached.
     pub fn store(&self) -> Option<&Store> {
-        self.store.as_ref()
+        self.store.as_ref().map(|tier| &tier.store)
+    }
+
+    /// True while the persistent tier is tripped out of the serving path.
+    pub fn store_degraded(&self) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|tier| tier.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Ask the serving loops to stop: `run_listener` finishes its drain,
+    /// `run_io` stops at its next line. This is the programmatic face of
+    /// the `shutdown` request — the binary's SIGTERM handler calls it.
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested (drain in progress).
+    pub fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The absolute [`Deadline`] for a work unit admitted now:
+    /// per-request `deadline_ms` if present, else the daemon default,
+    /// else unbounded.
+    pub(crate) fn deadline_for(&self, deadline_ms: Option<u64>) -> Deadline {
+        match deadline_ms.map(Duration::from_millis).or(self.deadline) {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::none(),
+        }
+    }
+
+    /// Try to admit one work unit under the daemon-wide load cap. On
+    /// refusal the caller answers [`Server::overloaded_response`]; on
+    /// success it must call [`Server::release_unit`] when the unit's
+    /// response is built.
+    pub(crate) fn try_admit_unit(&self) -> bool {
+        if self.max_load > 0 {
+            let admitted = self
+                .load
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < self.max_load).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                self.metrics.shed.inc();
+                return false;
+            }
+        } else {
+            self.load.fetch_add(1, Ordering::SeqCst);
+        }
+        self.metrics.load.raise(1);
+        true
+    }
+
+    /// Return the slot taken by [`Server::try_admit_unit`].
+    pub(crate) fn release_unit(&self) {
+        self.load.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.load.lower(1);
+    }
+
+    /// The shed response: refused now, retry later. `retry_after_ms`
+    /// scales with the worker pool's backlog so a deep queue pushes
+    /// clients further out instead of having them hammer a busy daemon.
+    pub(crate) fn overloaded_response(&self) -> Json {
+        let retry_after_ms = ((self.pool.pending() as u64 + 1) * 20).clamp(10, 2_000);
+        Json::obj([
+            ("ok", Json::from(false)),
+            ("err", Json::from("overloaded")),
+            ("error", Json::from("overloaded: admission limit reached")),
+            ("retry_after_ms", Json::from(retry_after_ms)),
+        ])
+    }
+
+    /// The `health` response: serving state plus the counters an operator
+    /// (or an orchestrator's probe) needs to decide whether to route here.
+    pub fn health_json(&self) -> Json {
+        // A degraded tier re-probes on store traffic, but a memo-warm
+        // daemon may not touch the store for minutes — so a health poll
+        // counts as traffic too. The probe gate still rate-limits to one
+        // sentinel round trip per probe interval.
+        if let Some(tier) = &self.store {
+            if tier.degraded.load(Ordering::SeqCst) && !self.draining() {
+                self.store_available(tier);
+            }
+        }
+        let state = if self.draining() {
+            "draining"
+        } else if self.store_degraded() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let m = &self.metrics;
+        Json::obj([
+            ("ok", Json::from(true)),
+            (
+                "health",
+                Json::obj([
+                    ("state", Json::from(state)),
+                    ("load", Json::from(m.load.get())),
+                    ("inflight", Json::from(m.inflight.get())),
+                    ("shed", Json::from(m.shed.get())),
+                    ("deadline_exceeded", Json::from(m.deadline_exceeded.get())),
+                    (
+                        "store_degraded",
+                        Json::from(u64::from(self.store_degraded())),
+                    ),
+                    ("store_put_errors", Json::from(m.store_put_errors.get())),
+                    ("store_get_errors", Json::from(m.store_get_errors.get())),
+                    ("store_probes", Json::from(m.store_probes.get())),
+                    ("store_recoveries", Json::from(m.store_recoveries.get())),
+                ]),
+            ),
+        ])
+    }
+
+    /// One store I/O failure: count it toward the degraded-mode tripwire
+    /// and trip if the threshold is reached.
+    fn note_store_error(&self, tier: &StoreTier) {
+        let run = tier.consecutive_errors.fetch_add(1, Ordering::SeqCst) + 1;
+        if run >= DEGRADE_THRESHOLD && !tier.degraded.swap(true, Ordering::SeqCst) {
+            self.metrics.store_degraded.raise(1);
+            *tier.next_probe.lock().expect("probe lock") = Instant::now() + tier.probe_interval;
+            log_warn!(
+                "store: {run} consecutive I/O errors; entering memory-only degraded mode \
+                 (re-probing every {:?})",
+                tier.probe_interval
+            );
+        }
+    }
+
+    /// Whether the disk tier may be used right now. A healthy tier always
+    /// may; a degraded one only probes — at most once per probe interval,
+    /// a sentinel put+get — and recovers if the probe succeeds.
+    fn store_available(&self, tier: &StoreTier) -> bool {
+        if !tier.degraded.load(Ordering::SeqCst) {
+            return true;
+        }
+        {
+            let mut next = tier.next_probe.lock().expect("probe lock");
+            if Instant::now() < *next {
+                return false;
+            }
+            *next = Instant::now() + tier.probe_interval;
+        }
+        self.metrics.store_probes.inc();
+        let recovered = tier
+            .store
+            .put(PROBE_KEY, 0, b"optimist degraded-mode probe")
+            .and_then(|()| tier.store.try_get(PROBE_KEY).map(drop))
+            .is_ok();
+        if recovered {
+            tier.consecutive_errors.store(0, Ordering::SeqCst);
+            tier.degraded.store(false, Ordering::SeqCst);
+            self.metrics.store_degraded.lower(1);
+            self.metrics.store_recoveries.inc();
+            log_info!("store: recovery probe succeeded; leaving degraded mode");
+        }
+        recovered
+    }
+
+    /// Read `key` from the disk tier, feeding the degraded-mode tripwire.
+    /// Degraded or failing reads are served as misses — the caller falls
+    /// through to compute.
+    fn store_get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
+        let tier = self.store.as_ref()?;
+        if !self.store_available(tier) {
+            return None;
+        }
+        match tier.store.try_get(key) {
+            Ok(found) => {
+                tier.consecutive_errors.store(0, Ordering::SeqCst);
+                found
+            }
+            Err(e) => {
+                self.metrics.store_get_errors.inc();
+                self.metrics.store_errors.inc();
+                log_warn!("store: get {key:016x} failed: {e}");
+                self.note_store_error(tier);
+                None
+            }
+        }
+    }
+
+    /// Write through to the disk tier, feeding the degraded-mode
+    /// tripwire. Failures are counted and logged, never raised: the
+    /// response already holds the result.
+    fn store_put(&self, key: u64, fingerprint: u64, payload: &[u8]) {
+        let Some(tier) = self.store.as_ref() else {
+            return;
+        };
+        if !self.store_available(tier) {
+            return;
+        }
+        match tier.store.put(key, fingerprint, payload) {
+            Ok(()) => tier.consecutive_errors.store(0, Ordering::SeqCst),
+            Err(e) => {
+                self.metrics.store_put_errors.inc();
+                self.metrics.store_errors.inc();
+                log_warn!("store: put {key:016x} failed: {e}");
+                self.note_store_error(tier);
+            }
+        }
     }
 
     /// Handle one request line, returning the response text (no trailing
@@ -171,6 +502,7 @@ impl Server {
                 obj.push("stats", self.stats_json());
                 (obj.to_string(), Disposition::Continue)
             }
+            Request::Health => (self.health_json().to_string(), Disposition::Continue),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
                 (
@@ -179,23 +511,52 @@ impl Server {
                     Disposition::Shutdown,
                 )
             }
-            Request::Alloc { ir, config } => (
-                self.alloc_response(&ir, &config, true).to_string(),
-                Disposition::Continue,
-            ),
-            Request::Batch { items, config } => {
+            Request::Alloc {
+                ir,
+                config,
+                deadline_ms,
+            } => {
+                if !self.try_admit_unit() {
+                    return (
+                        self.overloaded_response().to_string(),
+                        Disposition::Continue,
+                    );
+                }
+                let deadline = self.deadline_for(deadline_ms);
+                let resp = self.alloc_response(&ir, &config, true, &deadline);
+                self.release_unit();
+                (resp.to_string(), Disposition::Continue)
+            }
+            Request::Batch {
+                items,
+                config,
+                deadline_ms,
+            } => {
                 let started = Instant::now();
                 self.metrics.batch_requests.inc();
+                // Serial mode admits the whole batch as one unit: items
+                // run one at a time here, so the daemon-wide load the
+                // batch adds is one.
+                if !self.try_admit_unit() {
+                    return (
+                        self.overloaded_response().to_string(),
+                        Disposition::Continue,
+                    );
+                }
+                // One absolute deadline for the whole batch; every item
+                // races it.
+                let deadline = self.deadline_for(deadline_ms);
                 let mut lines = Vec::with_capacity(items.len() + 1);
                 let mut errors = 0usize;
                 for item in &items {
                     self.metrics.batch_items.inc();
-                    let record = self.item_response(item, &config);
+                    let record = self.item_response(item, &config, &deadline);
                     if record.get("ok").and_then(Json::as_bool) != Some(true) {
                         errors += 1;
                     }
                     lines.push(record.to_string());
                 }
+                self.release_unit();
                 lines.push(done_record(items.len(), errors, started.elapsed()).to_string());
                 (lines.join("\n"), Disposition::Continue)
             }
@@ -215,8 +576,8 @@ impl Server {
                 ("shards", Json::from(self.cache.num_shards())),
             ]),
         );
-        if let Some(store) = &self.store {
-            let snap = store.snapshot();
+        if let Some(tier) = &self.store {
+            let snap = tier.store.snapshot();
             stats.push(
                 "store",
                 Json::obj([
@@ -236,6 +597,12 @@ impl Server {
                     ("compactions", Json::from(snap.compactions)),
                     ("last_compaction_us", Json::from(snap.last_compaction_us)),
                     ("read_errors", Json::from(snap.read_errors)),
+                    ("write_errors", Json::from(snap.write_errors)),
+                    ("removed_tmp", Json::from(snap.removed_tmp)),
+                    (
+                        "degraded",
+                        Json::from(tier.degraded.load(Ordering::Relaxed)),
+                    ),
                     ("read_latency", self.metrics.store_read_latency.to_json()),
                 ]),
             );
@@ -248,9 +615,9 @@ impl Server {
     /// the expected fingerprint is a miss (and, where it indicates damage,
     /// a `store_errors` tick) — corrupt data is never served.
     fn store_lookup(&self, key: u64, fingerprint: u64) -> Option<Arc<CacheEntry>> {
-        let store = self.store.as_ref()?;
+        self.store.as_ref()?;
         let read_started = Instant::now();
-        let found = store.get(key);
+        let found = self.store_get(key);
         self.metrics
             .store_read_latency
             .record(read_started.elapsed());
@@ -305,16 +672,16 @@ impl Server {
 
     /// Insert a computed entry into the in-memory cache and write it
     /// through to the persistent tier (when attached). Write failures are
-    /// counted, not raised: the response already holds the result.
+    /// counted, logged, and strike toward degraded mode
+    /// ([`Server::store_put`]) — never raised: the response already holds
+    /// the result.
     fn insert_both_tiers(&self, key: u64, fingerprint: u64, entry: &Arc<CacheEntry>) {
         if self.cache.insert(key, Arc::clone(entry)) {
             self.metrics.cache_evictions.inc();
         }
-        if let Some(store) = &self.store {
+        if self.store.is_some() {
             let payload = persist::encode_entry(entry);
-            if store.put(key, fingerprint, payload.as_bytes()).is_err() {
-                self.metrics.store_errors.inc();
-            }
+            self.store_put(key, fingerprint, payload.as_bytes());
         }
     }
 
@@ -322,11 +689,19 @@ impl Server {
     /// plain `alloc` request and IR batch items. Batch item records omit
     /// `latency_us` (`include_latency = false`) so a batch answered twice
     /// is byte-identical — the guarantee the stream tests lean on.
+    ///
+    /// Cache and memo hits never race `deadline` (they are effectively
+    /// free); only cold functions do, inside the allocator's
+    /// phase-boundary checks. A function that loses the race answers
+    /// per-function `"error"` text plus a top-level `"err":"deadline"`
+    /// marker, and is **never** negatively cached — the same function
+    /// under a laxer deadline must still compute.
     pub(crate) fn alloc_response(
         &self,
         ir: &str,
         config: &AllocatorConfig,
         include_latency: bool,
+        deadline: &Deadline,
     ) -> Json {
         let started = Instant::now();
         self.metrics.alloc_requests.inc();
@@ -413,13 +788,16 @@ impl Server {
         // touch the Build–Simplify–Color machinery. The shared worker pool
         // executes the jobs, so concurrent requests interleave at function
         // granularity instead of queueing whole modules.
+        let mut deadline_hit = false;
         if !cold.is_empty() {
             self.metrics
                 .pool_queue_depth
                 .record_value(self.pool.pending() as u64);
             self.metrics.workers_busy.raise(1);
             let inputs: Vec<_> = cold.iter().map(|(_, _, f)| f.clone()).collect();
-            let results = self.pool.allocate_functions(config, &inputs);
+            let results = self
+                .pool
+                .allocate_functions_with_deadline(config, &inputs, deadline);
             self.metrics.workers_busy.lower(1);
 
             for ((i, key, f), result) in cold.into_iter().zip(results) {
@@ -440,10 +818,16 @@ impl Server {
                         self.metrics.alloc_errors.inc();
                         // Remember non-convergence in both tiers so the
                         // next identical request fails fast instead of
-                        // burning the whole pass budget again.
+                        // burning the whole pass budget again. Deadline
+                        // losses are NOT cached — they say nothing about
+                        // the function, only about this request's budget.
                         if matches!(e, AllocError::NonConvergence { .. }) {
                             let entry = Arc::new(CacheEntry::NonConvergence { max_passes });
                             self.insert_both_tiers(key, fingerprint, &entry);
+                        }
+                        if matches!(e, AllocError::DeadlineExceeded { .. }) {
+                            self.metrics.deadline_exceeded.inc();
+                            deadline_hit = true;
                         }
                         errors.push(Json::obj([
                             ("name", Json::from(f.name())),
@@ -523,15 +907,24 @@ impl Server {
         if !errors.is_empty() {
             resp.push("errors", Json::Arr(errors));
         }
+        if deadline_hit {
+            resp.push("err", Json::from("deadline"));
+        }
         resp
     }
 
     /// Answer one batch item: allocate its IR, or look up its cache key.
     /// The record carries the client-supplied `id` so out-of-order stream
     /// delivery stays attributable.
-    pub(crate) fn item_response(&self, item: &BatchItem, config: &AllocatorConfig) -> Json {
+    pub(crate) fn item_response(
+        &self,
+        item: &BatchItem,
+        config: &AllocatorConfig,
+        deadline: &Deadline,
+    ) -> Json {
         let mut record = match &item.payload {
-            BatchPayload::Ir(ir) => self.alloc_response(ir, config, false),
+            // Key items never compute, so they never race the deadline.
+            BatchPayload::Ir(ir) => self.alloc_response(ir, config, false, deadline),
             BatchPayload::Key(key) => self.key_response(*key, config),
         };
         record.push("id", item.id.clone());
@@ -608,9 +1001,16 @@ impl Server {
     }
 
     /// Bind `addr` and serve TCP connections, one thread per connection,
-    /// until a `shutdown` request arrives on any of them. Returns the bound
-    /// local address via `on_bound` before entering the accept loop (tests
-    /// bind port 0 and need to learn the real port).
+    /// until a `shutdown` request (or [`Server::request_shutdown`] — the
+    /// SIGTERM path) arrives. Returns the bound local address via
+    /// `on_bound` before entering the accept loop (tests bind port 0 and
+    /// need to learn the real port).
+    ///
+    /// Shutdown is a **graceful drain**: the listener stops accepting,
+    /// every live connection's read half is closed (its reader sees EOF;
+    /// responses already in flight still go out), and the connection
+    /// threads are joined under [`Server::with_drain_timeout`].
+    /// Stragglers past the deadline are force-closed.
     pub fn run_listener(
         self: &Arc<Self>,
         addr: impl ToSocketAddrs,
@@ -626,20 +1026,33 @@ impl Server {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let server = Arc::clone(self);
+                    let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+                    // Register a handle to the socket so the drain phase
+                    // can half-close it; the connection thread drops the
+                    // registration when it exits on its own.
+                    if let Ok(handle) = stream.try_clone() {
+                        self.conns
+                            .lock()
+                            .expect("conns lock")
+                            .insert(conn_id, handle);
+                    }
                     workers.push(std::thread::spawn(move || {
                         stream.set_nonblocking(false).ok();
                         // Streaming emits many small back-to-back writes
                         // with no interleaved client data; Nagle + delayed
                         // ACK would stall each one for ~40ms.
                         stream.set_nodelay(true).ok();
-                        let reader = match stream.try_clone() {
-                            Ok(r) => r,
-                            Err(_) => return,
-                        };
-                        let opts = StreamOpts {
-                            max_inflight: server.max_inflight,
-                        };
-                        let _ = crate::stream::run_stream(&server, reader, stream, opts);
+                        // Reap dead/stalled clients instead of pinning
+                        // this thread forever.
+                        stream.set_read_timeout(server.read_timeout).ok();
+                        stream.set_write_timeout(server.write_timeout).ok();
+                        if let Ok(reader) = stream.try_clone() {
+                            let opts = StreamOpts {
+                                max_inflight: server.max_inflight,
+                            };
+                            let _ = crate::stream::run_stream(&server, reader, stream, opts);
+                        }
+                        server.conns.lock().expect("conns lock").remove(&conn_id);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -649,9 +1062,43 @@ impl Server {
             }
             workers.retain(|w| !w.is_finished());
         }
+
+        // Drain: no new connections (the accept loop is done). Half-close
+        // every live connection so its reader sees EOF and stops admitting
+        // units, while the write half keeps delivering in-flight
+        // responses.
+        let live = self.conns.lock().expect("conns lock").len();
+        if live > 0 {
+            log_info!("drain: waiting on {live} live connection(s)");
+        }
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let drain_deadline = Instant::now() + self.drain_timeout;
+        loop {
+            workers.retain(|w| !w.is_finished());
+            if workers.is_empty() {
+                break;
+            }
+            if Instant::now() >= drain_deadline {
+                // Past the drain budget: sever both halves. The abandoned
+                // threads die on their next socket operation.
+                let stragglers = workers.len();
+                log_warn!(
+                    "drain: {stragglers} connection(s) still live after {:?}; force-closing",
+                    self.drain_timeout
+                );
+                for conn in self.conns.lock().expect("conns lock").values() {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
         for w in workers {
             let _ = w.join();
         }
+        log_info!("drain: complete; all connections closed");
         Ok(())
     }
 }

@@ -27,6 +27,7 @@
 //! and no pool capacity leaks.
 
 use crate::json::Json;
+use crate::log_warn;
 use crate::protocol::Request;
 use crate::server::{done_record, Disposition, Server, DEFAULT_MAX_INFLIGHT};
 use std::collections::BTreeMap;
@@ -95,9 +96,14 @@ enum Emit {
         permit: bool,
     },
     /// A batch item record: written immediately, in completion order. The
-    /// embedded `id` is the client's correlation handle. Always returns a
-    /// window slot.
-    Tagged { line: String },
+    /// embedded `id` is the client's correlation handle.
+    Tagged {
+        line: String,
+        /// Whether writing this line returns an in-flight window slot
+        /// (false for records the admission gate refused — those never
+        /// took a slot).
+        permit: bool,
+    },
 }
 
 /// Progress of one in-flight `batch` request, shared by its item units.
@@ -133,7 +139,19 @@ pub fn run_stream(
         for line in BufReader::new(input).lines() {
             let line = match line {
                 Ok(l) => l,
-                Err(_) => break, // client gone; drain and leave
+                Err(e) => {
+                    // A read timeout means the client sat silent past the
+                    // socket's idle budget: reap the connection (in-flight
+                    // responses still drain through the writer below).
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) {
+                        metrics.idle_reaps.inc();
+                        log_warn!("connection idle past its read timeout; reaping");
+                    }
+                    break; // client gone; drain and leave
+                }
             };
             if line.trim().is_empty() {
                 continue;
@@ -147,12 +165,33 @@ pub fn run_stream(
             // serial path (which owns the request/parse-error counters).
             let req = Request::parse(&line);
             match req {
-                Ok(Request::Alloc { ir, config }) => {
+                Ok(Request::Alloc {
+                    ir,
+                    config,
+                    deadline_ms,
+                }) => {
                     metrics.requests.inc();
+                    // Admission control runs in the reader — sequentially,
+                    // *before* the window — so an overloaded daemon sheds
+                    // instantly instead of blocking new requests behind a
+                    // full window.
+                    if !server.try_admit_unit() {
+                        let _ = tx.send(Emit::Ordered {
+                            seq: my_seq,
+                            line: server.overloaded_response().to_string(),
+                            permit: false,
+                        });
+                        continue;
+                    }
+                    // The deadline clock starts at admission: queue time
+                    // inside the daemon counts against the budget.
+                    let deadline = server.deadline_for(deadline_ms);
                     admit(server, &window);
                     let tx = tx.clone();
                     s.spawn(move || {
-                        let resp = unit_guarded(|| server.alloc_response(&ir, &config, true));
+                        let resp =
+                            unit_guarded(|| server.alloc_response(&ir, &config, true, &deadline));
+                        server.release_unit();
                         let _ = tx.send(Emit::Ordered {
                             seq: my_seq,
                             line: resp.to_string(),
@@ -160,7 +199,11 @@ pub fn run_stream(
                         });
                     });
                 }
-                Ok(Request::Batch { items, config }) => {
+                Ok(Request::Batch {
+                    items,
+                    config,
+                    deadline_ms,
+                }) => {
                     metrics.requests.inc();
                     metrics.batch_requests.inc();
                     if items.is_empty() {
@@ -179,32 +222,42 @@ pub fn run_stream(
                         started: Instant::now(),
                     });
                     let config = Arc::new(config);
+                    // One absolute deadline for the whole batch, started
+                    // at admission; every item races it.
+                    let deadline = server.deadline_for(deadline_ms);
                     for item in items {
                         metrics.batch_items.inc();
+                        if !server.try_admit_unit() {
+                            // Shed this item (it never takes a slot) but
+                            // keep the batch's accounting exact: the done
+                            // record still arrives after the last item.
+                            let mut record = server.overloaded_response();
+                            record.push("id", item.id.clone());
+                            progress.errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(Emit::Tagged {
+                                line: record.to_string(),
+                                permit: false,
+                            });
+                            finish_batch_item(&progress, &tx);
+                            continue;
+                        }
                         admit(server, &window);
                         let tx = tx.clone();
                         let progress = Arc::clone(&progress);
                         let config = Arc::clone(&config);
+                        let deadline = deadline.clone();
                         s.spawn(move || {
-                            let record = unit_guarded(|| server.item_response(&item, &config));
+                            let record =
+                                unit_guarded(|| server.item_response(&item, &config, &deadline));
+                            server.release_unit();
                             if record.get("ok").and_then(Json::as_bool) != Some(true) {
                                 progress.errors.fetch_add(1, Ordering::Relaxed);
                             }
                             let _ = tx.send(Emit::Tagged {
                                 line: record.to_string(),
+                                permit: true,
                             });
-                            if progress.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                let done = done_record(
-                                    progress.items,
-                                    progress.errors.load(Ordering::Relaxed),
-                                    progress.started.elapsed(),
-                                );
-                                let _ = tx.send(Emit::Ordered {
-                                    seq: progress.seq,
-                                    line: done.to_string(),
-                                    permit: false,
-                                });
-                            }
+                            finish_batch_item(&progress, &tx);
                         });
                     }
                 }
@@ -230,6 +283,23 @@ pub fn run_stream(
         drop(tx);
         writer.join().unwrap_or(Ok(()))
     })
+}
+
+/// Count one finished (or shed) batch item; the last one emits the `done`
+/// record into the batch's reserved sequence slot.
+fn finish_batch_item(progress: &BatchProgress, tx: &mpsc::Sender<Emit>) {
+    if progress.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let done = done_record(
+            progress.items,
+            progress.errors.load(Ordering::Relaxed),
+            progress.started.elapsed(),
+        );
+        let _ = tx.send(Emit::Ordered {
+            seq: progress.seq,
+            line: done.to_string(),
+            permit: false,
+        });
+    }
 }
 
 /// Take a window slot for one work unit and record the admission metrics.
@@ -295,9 +365,9 @@ fn write_loop(
 
     for emit in rx {
         match emit {
-            Emit::Tagged { line } => {
+            Emit::Tagged { line, permit } => {
                 put(&line, &mut output, &mut broken);
-                settle(true);
+                settle(permit);
             }
             Emit::Ordered { seq, line, permit } => {
                 held.insert(seq, (line, permit));

@@ -87,6 +87,20 @@ impl TestDaemon {
         &self.server
     }
 
+    /// Join the accept loop after an out-of-band shutdown
+    /// ([`Server::request_shutdown`] — the SIGTERM path) and return the
+    /// final stats dump. Unlike [`TestDaemon::shutdown_with_stats`], no
+    /// new connection is made: a draining daemon refuses them.
+    pub fn join_with_stats(mut self) -> Json {
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .expect("listener thread")
+                .expect("listener io");
+        }
+        self.server.stats_json()
+    }
+
     /// Send a `shutdown` request, join the accept loop, and return the
     /// final stats dump.
     pub fn shutdown_with_stats(mut self) -> Json {

@@ -55,8 +55,10 @@
 
 #![warn(missing_docs)]
 
+pub mod failpoint;
 pub mod format;
 
+use failpoint::{FailKind, FailpointRegistry};
 use format::{ScannedRecord, MAGIC, RECORD_HEADER_LEN, SCHEMA_VERSION};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -113,6 +115,8 @@ struct Counters {
     compactions: u64,
     last_compaction_us: u64,
     read_errors: u64,
+    write_errors: u64,
+    removed_tmp: u64,
 }
 
 #[derive(Debug)]
@@ -157,6 +161,13 @@ pub struct StoreSnapshot {
     pub last_compaction_us: u64,
     /// Reads that failed at the I/O layer (served as misses).
     pub read_errors: u64,
+    /// Appends that failed at the I/O layer (rolled back before the
+    /// error was returned).
+    pub write_errors: u64,
+    /// Stale compaction scratch files (`store.log.tmp`, left by a crash
+    /// between the tmp write and the atomic rename) removed by the last
+    /// open.
+    pub removed_tmp: u64,
 }
 
 /// The persistent content-addressed store. All methods take `&self`; the
@@ -168,6 +179,9 @@ pub struct Store {
     dir: PathBuf,
     max_bytes: u64,
     inner: Mutex<Inner>,
+    /// Injected faults for this store's I/O sites (see [`mod@failpoint`]).
+    /// Armed from `OPTIMIST_FAILPOINTS` at open; re-armable at runtime.
+    failpoints: FailpointRegistry,
 }
 
 impl Store {
@@ -187,6 +201,16 @@ impl Store {
     pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> io::Result<Store> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let mut counters = Counters::default();
+
+        // A crash between compaction's tmp write and its atomic rename
+        // leaves a stale scratch file. It was never renamed, so nothing in
+        // it is committed: remove it rather than let a later compaction
+        // trust (or trip over) a file of unknown vintage.
+        if std::fs::remove_file(dir.join(TMP_FILE)).is_ok() {
+            counters.removed_tmp += 1;
+        }
+
         let log_path = dir.join(LOG_FILE);
         let mut file = OpenOptions::new()
             .read(true)
@@ -197,7 +221,6 @@ impl Store {
 
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let mut counters = Counters::default();
 
         // A missing/foreign header means the file is not ours (or is from
         // an incompatible container revision): recycle it wholesale.
@@ -267,7 +290,15 @@ impl Store {
                 live_bytes,
                 counters,
             }),
+            failpoints: FailpointRegistry::from_env(),
         })
+    }
+
+    /// This store's fault-injection registry (see [`mod@failpoint`]).
+    /// Production stores carry an empty registry unless
+    /// `OPTIMIST_FAILPOINTS` armed one at open.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.failpoints
     }
 
     /// The directory this store lives in.
@@ -278,23 +309,50 @@ impl Store {
     /// Fetch the payload and write-time config fingerprint stored under
     /// `key`. I/O failures are served as misses (and counted as
     /// [`StoreSnapshot::read_errors`]) — a flaky disk degrades the cache,
-    /// it does not take the daemon down.
+    /// it does not take the daemon down. Callers that need to distinguish
+    /// a miss from a failing disk use [`Store::try_get`].
     pub fn get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
+        self.try_get(key).ok().flatten()
+    }
+
+    /// [`Store::get`], but surfacing I/O failures instead of flattening
+    /// them into misses — the signal the serving tier's degraded-mode
+    /// tripwire runs on. A missing key is `Ok(None)`; a failed read is
+    /// `Err` (and still counted as [`StoreSnapshot::read_errors`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read failure (real or injected by an armed `get`
+    /// failpoint).
+    pub fn try_get(&self, key: u64) -> io::Result<Option<(u64, Vec<u8>)>> {
         let mut inner = self.lock();
-        let entry = *inner.index.get(&key)?;
+        let Some(entry) = inner.index.get(&key).copied() else {
+            return Ok(None);
+        };
+        let injected = self.failpoints.check("get");
+        if let Some(kind) = injected.filter(|&k| k != FailKind::Corrupt) {
+            inner.counters.read_errors += 1;
+            return Err(kind.to_error());
+        }
         let payload_at = entry.offset + (RECORD_HEADER_LEN + format::BODY_PREFIX_LEN) as u64;
         let mut payload = vec![0u8; entry.payload_len as usize];
         let read = inner
             .file
             .seek(SeekFrom::Start(payload_at))
             .and_then(|_| inner.file.read_exact(&mut payload));
-        // Leave the cursor at the end for the next append either way.
-        let _ = inner.file.seek(SeekFrom::End(0));
+        // Leave the cursor at the tracked end for the next append.
+        let end = inner.file_bytes;
+        let _ = inner.file.seek(SeekFrom::Start(end));
         match read {
-            Ok(()) => Some((entry.fingerprint, payload)),
-            Err(_) => {
+            Ok(()) => {
+                if injected == Some(FailKind::Corrupt) && !payload.is_empty() {
+                    payload[0] ^= 0x01; // simulated bit rot on the read path
+                }
+                Ok(Some((entry.fingerprint, payload)))
+            }
+            Err(e) => {
                 inner.counters.read_errors += 1;
-                None
+                Err(e)
             }
         }
     }
@@ -304,15 +362,28 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// Propagates write failures. The log stays recoverable either way: a
-    /// half-written record is exactly the torn tail the open-time scan
-    /// truncates.
+    /// Propagates write failures. A failed append is rolled back before
+    /// returning: the file is truncated to its pre-write length, so a
+    /// half-written record never lingers for the next append to bury
+    /// mid-log (where the open-time scan would drop every record after
+    /// it, not just the torn one). The in-memory index is only updated
+    /// after the bytes land, so an error leaves the store exactly as it
+    /// was.
     pub fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
         let record = format::encode_record(key, SCHEMA_VERSION, fingerprint, payload);
         let mut inner = self.lock();
+        // Seek to the *tracked* end, not `SeekFrom::End(0)`: if an earlier
+        // failed append left bytes beyond `file_bytes` that truncation
+        // could not reclaim, appending at the physical end would strand a
+        // torn record in the middle of the log.
         let offset = inner.file_bytes;
-        inner.file.seek(SeekFrom::End(0))?;
-        inner.file.write_all(&record)?;
+        if let Err(e) = Self::append_record(&mut inner.file, offset, &record, &self.failpoints) {
+            inner.counters.write_errors += 1;
+            // Roll back: drop whatever prefix of the record landed.
+            let _ = inner.file.set_len(offset);
+            let _ = inner.file.seek(SeekFrom::Start(offset));
+            return Err(e);
+        }
         inner.file_bytes += record.len() as u64;
         let entry = IndexEntry {
             offset,
@@ -332,6 +403,29 @@ impl Store {
         Ok(())
     }
 
+    /// Write `record` at `offset`, consulting the `put` failpoint first.
+    /// On error some prefix of the record may have landed; the caller
+    /// rolls the file back.
+    fn append_record(
+        file: &mut File,
+        offset: u64,
+        record: &[u8],
+        failpoints: &FailpointRegistry,
+    ) -> io::Result<()> {
+        file.seek(SeekFrom::Start(offset))?;
+        match failpoints.check("put") {
+            Some(FailKind::Short) => {
+                // Land half the record, then fail — the torn-append crash
+                // window the rollback (and, after a crash, the open-time
+                // scan) must handle.
+                file.write_all(&record[..record.len() / 2])?;
+                Err(FailKind::Short.to_error())
+            }
+            Some(kind) => Err(kind.to_error()),
+            None => file.write_all(record),
+        }
+    }
+
     /// Rewrite live records into a fresh log, dropping dead bytes, then
     /// atomically rename it over the old one. Normally triggered by
     /// [`Store::put`] crossing the size budget; public for tests and
@@ -346,6 +440,10 @@ impl Store {
     }
 
     fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        if let Some(kind) = self.failpoints.check("compact") {
+            inner.counters.write_errors += 1;
+            return Err(kind.to_error());
+        }
         let started = Instant::now();
 
         // Oldest-written first: offset order is append order, which makes
@@ -401,6 +499,11 @@ impl Store {
 
         // write → fsync → rename → fsync(dir): after any crash, the path
         // names either the complete old log or the complete new one.
+        if let Some(kind) = self.failpoints.check("fsync") {
+            // The scratch file stays behind; the next open removes it.
+            inner.counters.write_errors += 1;
+            return Err(kind.to_error());
+        }
         tmp.sync_all()?;
         drop(tmp);
         std::fs::rename(&tmp_path, self.dir.join(LOG_FILE))?;
@@ -432,7 +535,12 @@ impl Store {
     ///
     /// Propagates the sync failure.
     pub fn sync(&self) -> io::Result<()> {
-        self.lock().file.sync_data()
+        let mut inner = self.lock();
+        if let Some(kind) = self.failpoints.check("fsync") {
+            inner.counters.write_errors += 1;
+            return Err(kind.to_error());
+        }
+        inner.file.sync_data()
     }
 
     /// Number of live entries.
@@ -463,6 +571,8 @@ impl Store {
             compactions: inner.counters.compactions,
             last_compaction_us: inner.counters.last_compaction_us,
             read_errors: inner.counters.read_errors,
+            write_errors: inner.counters.write_errors,
+            removed_tmp: inner.counters.removed_tmp,
         }
     }
 

@@ -135,6 +135,36 @@ fn header_only_and_empty_logs_open_clean() {
 }
 
 #[test]
+fn stale_compaction_scratch_file_is_removed_at_open() {
+    let dir = scratch("staletmp");
+    populated(&dir, 5);
+    // Crash between the compaction's tmp write and the atomic rename: a
+    // stale scratch file sits next to a perfectly good log.
+    let tmp = dir.join("store.log.tmp");
+    std::fs::write(&tmp, b"half-written compaction scratch").unwrap();
+
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert!(!tmp.exists(), "open must remove the stale scratch file");
+    let snap = store.snapshot();
+    assert_eq!(snap.removed_tmp, 1, "the removal is counted");
+    assert_eq!(snap.entries, 5, "the real log is untouched");
+    for k in 0..5u64 {
+        assert_eq!(
+            store.get(k),
+            Some((100 + k, format!("payload-for-key-{k}").into_bytes()))
+        );
+    }
+    // A later compaction reuses the scratch path without tripping over
+    // history.
+    store.compact().unwrap();
+    drop(store);
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(store.len(), 5);
+    assert_eq!(store.snapshot().removed_tmp, 0, "nothing stale this time");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn truncation_inside_the_header_magic_recycles_the_file() {
     let dir = scratch("magic");
     let bytes = populated(&dir, 3);

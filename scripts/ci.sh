@@ -94,9 +94,68 @@ for want in '"id":"a"' '"id":"b"' '"id":"c"' '"done":true,"ok":true,"items":3,"e
     esac
 done
 
+echo "==> drain smoke test (SIGTERM mid-batch drains and exits 0)"
+drain_log="$(mktemp)"
+drain_pid=""
+trap 'rm -f "$stream_log" "$drain_log"; [[ -n "$drain_pid" ]] && kill "$drain_pid" 2>/dev/null; true' EXIT
+./target/debug/optimist-serve --listen 127.0.0.1:0 --quiet --drain-ms 10000 2>"$drain_log" &
+drain_pid=$!
+port=""
+for _ in $(seq 100); do
+    port="$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$drain_log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "drain smoke test failed: daemon never announced its port" >&2
+    exit 1
+fi
+exec 4<>"/dev/tcp/127.0.0.1/$port"
+printf '%s\n' "$batch_req" >&4
+# Wait for the first item record — the batch is now mid-stream — then
+# SIGTERM the daemon. The drain must still deliver the remaining records
+# and the done record before the daemon exits 0.
+IFS= read -r drain_first <&4
+kill -TERM "$drain_pid"
+drain_rest="$(head -n 3 <&4)"
+exec 4<&- 4>&-
+drain_resp="$drain_first
+$drain_rest"
+if ! wait "$drain_pid"; then
+    echo "drain smoke test failed: daemon exited nonzero after SIGTERM" >&2
+    exit 1
+fi
+drain_pid=""
+for want in '"id":"a"' '"id":"b"' '"id":"c"' '"done":true,"ok":true,"items":3,"errors":0'; do
+    case "$drain_resp" in
+        *"$want"*) ;;
+        *)
+            echo "drain smoke test failed: missing $want; response: $drain_resp" >&2
+            exit 1
+            ;;
+    esac
+done
+
+echo "==> failpoint smoke test (store writes fail; requests still answer)"
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$chaos_dir" "$stream_log" "$drain_log"' EXIT
+# Every store put fails with injected ENOSPC; the daemon must still answer
+# the request from the memory tier and count the write error.
+chaos_resp="$(printf '%s\n%s\n' "$smoke_req" '{"req":"stats"}' \
+    | OPTIMIST_FAILPOINTS=put:enospc \
+      ./target/debug/optimist-serve --quiet --store "$chaos_dir" --log-level error)"
+case "$chaos_resp" in
+    *'"ok":true'*'"put_errors":1'*)
+        ;;
+    *)
+        echo "failpoint smoke test failed; response: $chaos_resp" >&2
+        exit 1
+        ;;
+esac
+
 echo "==> persistence smoke test (store survives a restart)"
 store_dir="$(mktemp -d)"
-trap 'rm -rf "$store_dir" "$stream_log"' EXIT
+trap 'rm -rf "$store_dir" "$stream_log" "$drain_log" "$chaos_dir"' EXIT
 # First daemon: computes the result and writes it through to the store.
 printf '%s\n' "$smoke_req" \
     | ./target/debug/optimist-serve --oneshot --quiet --store "$store_dir" >/dev/null

@@ -40,6 +40,16 @@
 //!                      (default 67108864; 0 = never)
 //!   --max-inflight N   (serve) concurrent work units per connection
 //!                      (default 8)
+//!   --max-load N       (serve) daemon-wide work-unit cap; past it requests
+//!                      are shed with {"err":"overloaded"} (default 1024;
+//!                      0 = unbounded)
+//!   --deadline-ms N    (serve) default compute budget per work unit; a
+//!                      request's own "deadline_ms" overrides it
+//!                      (default: unbounded)
+//!   --drain-ms N       (serve) how long shutdown waits for in-flight
+//!                      connections before force-closing them (default 5000)
+//!   --log-level LEVEL  (serve) stderr verbosity: error, warn, info, debug
+//!                      (default info)
 //!   --batch DIR        (remote) compile every .ft/.ir file in DIR and
 //!                      stream them as one batch request; item reports
 //!                      print in completion order
@@ -79,6 +89,10 @@ struct Options {
     store: Option<std::path::PathBuf>,
     store_max_bytes: u64,
     max_inflight: Option<usize>,
+    max_load: Option<usize>,
+    deadline_ms: Option<u64>,
+    drain_ms: Option<u64>,
+    log_level: Option<optimist::serve::log::Level>,
     batch: Option<std::path::PathBuf>,
     positional: Vec<String>,
 }
@@ -101,6 +115,10 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
         store: None,
         store_max_bytes: 64 << 20,
         max_inflight: None,
+        max_load: None,
+        deadline_ms: None,
+        drain_ms: None,
+        log_level: None,
         batch: None,
         positional: Vec::new(),
     };
@@ -169,6 +187,25 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
             "--max-inflight" => {
                 let v = it.next().ok_or("--max-inflight needs a value")?;
                 o.max_inflight = Some(v.parse().map_err(|_| format!("bad --max-inflight `{v}`"))?);
+            }
+            "--max-load" => {
+                let v = it.next().ok_or("--max-load needs a value")?;
+                o.max_load = Some(v.parse().map_err(|_| format!("bad --max-load `{v}`"))?);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                o.deadline_ms = Some(v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?);
+            }
+            "--drain-ms" => {
+                let v = it.next().ok_or("--drain-ms needs a value")?;
+                o.drain_ms = Some(v.parse().map_err(|_| format!("bad --drain-ms `{v}`"))?);
+            }
+            "--log-level" => {
+                let v = it.next().ok_or("--log-level needs a value")?;
+                o.log_level = Some(
+                    optimist::serve::log::Level::parse(v)
+                        .ok_or_else(|| format!("unknown log level `{v}`"))?,
+                );
             }
             "--batch" => {
                 o.batch = Some(it.next().ok_or("--batch needs a directory")?.into());
@@ -382,9 +419,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if !o.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
+    if let Some(level) = o.log_level {
+        optimist::serve::log::set_level(level);
+    }
     let mut server = optimist::serve::Server::new(o.cache_capacity, 16);
     if let Some(n) = o.max_inflight {
         server = server.with_max_inflight(n);
+    }
+    if let Some(n) = o.max_load {
+        server = server.with_max_load(n);
+    }
+    if let Some(ms) = o.deadline_ms {
+        server = server.with_deadline(Some(std::time::Duration::from_millis(ms)));
+    }
+    if let Some(ms) = o.drain_ms {
+        server = server.with_drain_timeout(std::time::Duration::from_millis(ms));
     }
     if let Some(dir) = &o.store {
         let options = optimist::store::StoreOptions {
@@ -432,7 +481,9 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
     use optimist::serve::Json;
     let config = remote_config(&o);
 
-    let mut client = optimist::serve::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let mut client = optimist::serve::Client::connect(addr.as_str())
+        .map_err(|e| e.to_string())?
+        .with_retry(optimist::serve::RetryPolicy::standard());
     let resp = client
         .alloc(&module.to_string(), config)
         .map_err(|e| e.to_string())?;
@@ -539,7 +590,9 @@ fn cmd_remote_batch(addr: &str, dir: &std::path::Path, o: &Options) -> Result<()
     }
 
     let config = remote_config(o);
-    let mut client = optimist::serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = optimist::serve::Client::connect(addr)
+        .map_err(|e| e.to_string())?
+        .with_retry(optimist::serve::RetryPolicy::standard());
     let mut item_err: Option<String> = None;
     let done = client
         .batch(&items, config, |record| {

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optimist_machine::Target;
-use optimist_regalloc::{allocate, AllocatorConfig};
+use optimist_regalloc::{allocate, AllocatorConfig, Strategy};
 
 fn bench_ablation(c: &mut Criterion) {
     let subjects = [("SVD", "SVD"), ("EULER", "DISSIP"), ("LINPACK", "DMXPY")];
@@ -29,13 +29,25 @@ fn bench_ablation(c: &mut Criterion) {
         let f_opt = opt_m.function(name).expect("routine").clone();
         let f_raw = raw_m.function(name).expect("routine").clone();
 
-        let chaitin = allocate(&f_opt, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
-        let briggs = allocate(&f_opt, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
-        let mut nc = AllocatorConfig::briggs(Target::rt_pc());
+        let chaitin = allocate(
+            &f_opt,
+            &AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+        )
+        .unwrap();
+        let briggs = allocate(
+            &f_opt,
+            &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
+        )
+        .unwrap();
+        let mut nc = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
         nc.coalesce = optimist_regalloc::CoalesceMode::Off;
         let no_coalesce = allocate(&f_opt, &nc).unwrap();
-        let no_opt = allocate(&f_raw, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
-        let mut rm = AllocatorConfig::briggs(Target::rt_pc());
+        let no_opt = allocate(
+            &f_raw,
+            &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
+        )
+        .unwrap();
+        let mut rm = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
         rm.rematerialize = true;
         let remat = allocate(&f_opt, &rm).unwrap();
         println!(
@@ -56,7 +68,7 @@ fn bench_ablation(c: &mut Criterion) {
         let m = optimist::compile_optimized(&p.source).expect("compiles");
         let f = m.function(name).expect("routine").clone();
 
-        let briggs = AllocatorConfig::briggs(Target::rt_pc());
+        let briggs = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
         let mut no_coalesce = briggs.clone();
         no_coalesce.coalesce = optimist_regalloc::CoalesceMode::Off;
 

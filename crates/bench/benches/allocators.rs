@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optimist_machine::Target;
-use optimist_regalloc::{allocate, AllocatorConfig};
+use optimist_regalloc::{allocate, AllocatorConfig, Strategy};
 
 fn bench_allocators(c: &mut Criterion) {
     let subjects = [
@@ -22,8 +22,14 @@ fn bench_allocators(c: &mut Criterion) {
         let m = optimist::compile_optimized(&p.source).expect("compiles");
         let f = m.function(name).expect("routine exists").clone();
         for (label, cfg) in [
-            ("chaitin", AllocatorConfig::chaitin(Target::rt_pc())),
-            ("briggs", AllocatorConfig::briggs(Target::rt_pc())),
+            (
+                "chaitin",
+                AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+            ),
+            (
+                "briggs",
+                AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
+            ),
         ] {
             group.bench_function(BenchmarkId::new(label, name), |b| {
                 b.iter(|| allocate(&f, &cfg).expect("allocates"));

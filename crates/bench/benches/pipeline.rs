@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optimist_ir::Module;
 use optimist_machine::Target;
-use optimist_regalloc::Pipeline;
+use optimist_regalloc::{Pipeline, Strategy};
 use std::num::NonZeroUsize;
 
 /// One module holding every routine of the paper's corpus programs — the
@@ -35,7 +35,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     for incremental in [false, true] {
         for threads in [1usize, 2, 4, 8] {
-            let cfg = optimist_regalloc::AllocatorConfig::briggs(Target::rt_pc())
+            let cfg = optimist_regalloc::AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)
                 .with_threads(NonZeroUsize::new(threads).expect("non-zero"))
                 .with_incremental(incremental);
             let pipeline = Pipeline::new(cfg);

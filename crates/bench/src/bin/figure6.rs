@@ -11,7 +11,7 @@
 
 use optimist_bench::{cycles_to_seconds, pct_cell, quick_flag, thousands};
 use optimist_machine::{size, Target};
-use optimist_regalloc::{allocate, AllocatorConfig};
+use optimist_regalloc::{allocate, AllocatorConfig, Strategy};
 use optimist_sim::{run_allocated, AllocatedModule, ExecOptions, Scalar};
 use std::collections::HashMap;
 
@@ -40,8 +40,8 @@ fn main() {
 
     for regs in [16usize, 14, 12, 10, 8] {
         let target = Target::with_int_regs(regs);
-        let old_cfg = AllocatorConfig::chaitin(target.clone());
-        let new_cfg = AllocatorConfig::briggs(target.clone());
+        let old_cfg = AllocatorConfig::new(target.clone(), Strategy::Chaitin);
+        let new_cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
         let old = allocate(qsort, &old_cfg).expect("old allocates");
         let new = allocate(qsort, &new_cfg).expect("new allocates");
 

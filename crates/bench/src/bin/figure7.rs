@@ -12,7 +12,7 @@
 //! Usage: `cargo run --release -p optimist-bench --bin figure7`
 
 use optimist_machine::Target;
-use optimist_regalloc::{allocate, AllocatorConfig, PassRecord};
+use optimist_regalloc::{allocate, AllocatorConfig, PassRecord, Strategy};
 
 const ROUTINES: &[(&str, &str)] = &[
     ("CEDETA", "DQRDC"),
@@ -42,8 +42,10 @@ fn main() {
         let p = optimist_workloads::program(prog).expect("program exists");
         let m = optimist::compile_optimized(&p.source).expect("compiles");
         let f = m.function(routine).expect("routine exists");
-        let old = allocate(f, &AllocatorConfig::chaitin(target.clone())).expect("old");
-        let new = allocate(f, &AllocatorConfig::briggs(target.clone())).expect("new");
+        let old =
+            allocate(f, &AllocatorConfig::new(target.clone(), Strategy::Chaitin)).expect("old");
+        let new =
+            allocate(f, &AllocatorConfig::new(target.clone(), Strategy::Briggs)).expect("new");
         columns.push((routine.to_string(), old.passes, new.passes));
     }
 

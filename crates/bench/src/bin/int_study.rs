@@ -9,7 +9,7 @@
 
 use optimist_bench::{cycles_to_seconds, pct_cell, quick_flag};
 use optimist_machine::Target;
-use optimist_regalloc::{allocate, AllocatorConfig, Heuristic};
+use optimist_regalloc::{allocate, AllocatorConfig, Heuristic, Strategy};
 use optimist_sim::{run_allocated, AllocatedModule, ExecOptions, Scalar};
 use std::collections::HashMap;
 
@@ -35,7 +35,7 @@ fn main() {
             let target = Target::with_int_regs(regs);
             let mut results = Vec::new();
             for heuristic in [Heuristic::ChaitinPessimistic, Heuristic::BriggsOptimistic] {
-                let mut cfg = AllocatorConfig::briggs(target.clone());
+                let mut cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
                 cfg.heuristic = heuristic;
                 let allocs: HashMap<_, _> = module
                     .functions()

@@ -6,6 +6,7 @@
 //! serve_replay --restart [--store DIR] [--store-max-bytes N]
 //! serve_replay --stream [--rounds N]
 //! serve_replay --chaos [--rounds N]
+//! serve_replay --shootout
 //! ```
 //!
 //! Without `--addr` a daemon is spun up in-process on a loopback port.
@@ -36,6 +37,15 @@
 //! mode, and — once the failpoints are cleared — the periodic probe puts
 //! the store back in the serving path. Per-phase hit rates show what
 //! degraded mode costs.
+//!
+//! With `--shootout` the benchmark races the three allocator strategies
+//! (plus conservative-coalescing Briggs as a fourth lane) over the whole
+//! corpus through the wire protocol: each lane sends its own
+//! `{"strategy": ...}` config, the per-function wire stats are summed,
+//! and the allocated code is re-run locally under the simulator for a
+//! cycle count with the usual self-checks. Fails unless IRC removes at
+//! least as many copies as conservative-mode Briggs without spilling
+//! more.
 
 use optimist_serve::{Client, Json, RetryPolicy, Server};
 use optimist_store::failpoint::FailKind;
@@ -52,6 +62,7 @@ struct Args {
     restart: bool,
     stream: bool,
     chaos: bool,
+    shootout: bool,
     store: Option<PathBuf>,
     store_max_bytes: u64,
 }
@@ -63,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         restart: false,
         stream: false,
         chaos: false,
+        shootout: false,
         store: None,
         store_max_bytes: 64 << 20,
     };
@@ -77,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--restart" => args.restart = true,
             "--stream" => args.stream = true,
             "--chaos" => args.chaos = true,
+            "--shootout" => args.shootout = true,
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?.into()),
             "--store-max-bytes" => {
                 let v = it.next().ok_or("--store-max-bytes needs a value")?;
@@ -89,7 +102,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: serve_replay [--rounds N] [--addr ADDR]\n       \
                      serve_replay --restart [--store DIR] [--store-max-bytes N]\n       \
                      serve_replay --stream [--rounds N]\n       \
-                     serve_replay --chaos [--rounds N]"
+                     serve_replay --chaos [--rounds N]\n       \
+                     serve_replay --shootout"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +122,11 @@ fn parse_args() -> Result<Args, String> {
     if args.chaos && (args.addr.is_some() || args.restart || args.stream) {
         return Err("--chaos injects faults into its own in-process daemon; run it alone".into());
     }
+    if args.shootout && (args.addr.is_some() || args.restart || args.stream || args.chaos) {
+        return Err(
+            "--shootout compares strategies on its own in-process daemon; run it alone".into(),
+        );
+    }
     Ok(args)
 }
 
@@ -123,6 +142,10 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let args = parse_args()?;
+
+    if args.shootout {
+        return run_shootout();
+    }
 
     // Compile the whole suite up front; the daemon only sees IR text.
     let corpus: Vec<(String, String)> = optimist::workloads::programs()
@@ -737,6 +760,203 @@ fn run_chaos(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
     }
     if counter(&stats, "store_health", "recoveries") < 1 {
         return Err("no recovery probe succeeded".to_string());
+    }
+    Ok(())
+}
+
+/// The `--shootout` benchmark: every strategy the wire protocol can
+/// select, raced over the whole corpus. Wire stats (spills, copies
+/// removed, passes) are summed from the daemon's per-function records;
+/// cycles come from re-running the allocated code locally under the
+/// simulator, self-checked the same way the paper figures are.
+fn run_shootout() -> Result<(), String> {
+    use optimist_machine::Target;
+    use optimist_regalloc::{allocate, AllocatorConfig, CoalesceMode, Strategy};
+    use optimist_sim::{run_allocated, run_virtual, AllocatedModule, ExecOptions, Scalar};
+    use optimist_workloads::DriverArg;
+    use std::collections::HashMap;
+
+    let target = Target::rt_pc();
+
+    // Compile (and optimize) each program once; the daemon sees the same
+    // module text that the local cycle runs execute. The virtual-machine
+    // run (no allocation, infinite registers) pins the expected result
+    // every lane's allocated code must reproduce.
+    struct Subject {
+        name: String,
+        ir: String,
+        module: optimist::ir::Module,
+        driver: &'static str,
+        run_args: Vec<Scalar>,
+        expected_ret: Option<Scalar>,
+    }
+    let subjects: Vec<Subject> = optimist::workloads::programs()
+        .iter()
+        .map(|p| {
+            let module =
+                optimist::compile_optimized(&p.source).map_err(|e| format!("{}: {e}", p.name))?;
+            let run_args: Vec<Scalar> = p
+                .smoke_args
+                .iter()
+                .map(|a| match a {
+                    DriverArg::Int(v) => Scalar::Int(*v),
+                    DriverArg::Float(v) => Scalar::Float(*v),
+                })
+                .collect();
+            let reference = run_virtual(&module, p.driver, &run_args, &ExecOptions::default())
+                .map_err(|e| format!("{}: virtual run failed: {e}", p.name))?;
+            Ok(Subject {
+                name: p.name.to_string(),
+                ir: module.to_string(),
+                module,
+                driver: p.driver,
+                run_args,
+                expected_ret: reference.ret,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+
+    // The four lanes. Each pairs the wire config the daemon is sent with
+    // the equivalent local config used for the simulator runs — the
+    // daemon and the simulator must be allocating with the same knobs or
+    // the cycle column would describe different code than the spill
+    // column.
+    let lanes: [(&str, Json, AllocatorConfig); 4] = [
+        (
+            "chaitin",
+            Json::obj([("strategy", Json::from("chaitin"))]),
+            AllocatorConfig::new(target.clone(), Strategy::Chaitin),
+        ),
+        (
+            "briggs",
+            Json::obj([("strategy", Json::from("briggs"))]),
+            AllocatorConfig::new(target.clone(), Strategy::Briggs),
+        ),
+        (
+            "briggs-cons",
+            Json::obj([
+                ("strategy", Json::from("briggs")),
+                ("coalesce", Json::from("conservative")),
+            ]),
+            AllocatorConfig::new(target.clone(), Strategy::Briggs)
+                .with_coalesce(CoalesceMode::Conservative),
+        ),
+        (
+            "irc",
+            Json::obj([("strategy", Json::from("irc"))]),
+            AllocatorConfig::new(target.clone(), Strategy::Irc),
+        ),
+    ];
+
+    let (addr, _server, handle) = spawn_plain_daemon()?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    println!(
+        "strategy shootout: {} programs against {addr}",
+        subjects.len()
+    );
+    println!(
+        "{:<12} {:>7} {:>15} {:>7} {:>14}",
+        "strategy", "spills", "copies_removed", "passes", "cycles"
+    );
+
+    let mut table: Vec<(&str, usize, usize, usize, u64)> = Vec::new();
+    for (label, wire_config, local_config) in &lanes {
+        let mut spills = 0usize;
+        let mut copies = 0usize;
+        let mut passes = 0usize;
+        let mut cycles = 0u64;
+        for subject in &subjects {
+            // Wire leg: the daemon allocates under this lane's strategy
+            // and reports per-function stats.
+            let resp = client
+                .alloc(&subject.ir, wire_config.clone())
+                .map_err(|e| format!("{label}/{}: {e}", subject.name))?;
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("{label}/{}: server refused: {resp}", subject.name));
+            }
+            let funcs = resp
+                .get("functions")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{label}/{}: response without functions", subject.name))?;
+            for f in funcs {
+                let stat = |key: &str| {
+                    f.get("stats")
+                        .and_then(|s| s.get(key))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0) as usize
+                };
+                spills += stat("registers_spilled");
+                copies += stat("coalesced_copies");
+                passes += stat("passes");
+            }
+
+            // Cycles leg: rebuild the same allocation locally and run
+            // the program under the simulator with its smoke inputs.
+            let allocs: HashMap<_, _> = subject
+                .module
+                .functions()
+                .iter()
+                .map(|f| {
+                    allocate(f, local_config)
+                        .map(|a| (f.name().to_string(), a))
+                        .map_err(|e| format!("{label}/{}/{}: {e}", subject.name, f.name()))
+                })
+                .collect::<Result<_, String>>()?;
+            let am = AllocatedModule::new(&subject.module, &allocs, &target);
+            let run = run_allocated(
+                &am,
+                subject.driver,
+                &subject.run_args,
+                &ExecOptions::default(),
+            )
+            .map_err(|e| format!("{label}/{}: {e}", subject.name))?;
+            let same = match (&run.ret, &subject.expected_ret) {
+                (Some(Scalar::Float(a)), Some(Scalar::Float(b))) => a.to_bits() == b.to_bits(),
+                (a, b) => a == b,
+            };
+            if !same {
+                return Err(format!(
+                    "{label}/{}: self-check failed (ret {:?}, expected {:?})",
+                    subject.name, run.ret, subject.expected_ret
+                ));
+            }
+            cycles += run.cycles;
+        }
+        println!("{label:<12} {spills:>7} {copies:>15} {passes:>7} {cycles:>14}");
+        table.push((label, spills, copies, passes, cycles));
+    }
+
+    // The final stats dump carries the per-strategy request/hit counters
+    // the daemon kept while the lanes ran.
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!("{stats}");
+    client.shutdown().map_err(|e| e.to_string())?;
+    handle
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?;
+
+    // Acceptance bar: IRC must remove at least as many copies as
+    // conservative-mode Briggs while spilling no more — conservative
+    // coalescing inside the simplify loop has to beat one conservative
+    // pass up front.
+    let lane = |name: &str| {
+        table
+            .iter()
+            .find(|(l, ..)| *l == name)
+            .copied()
+            .ok_or_else(|| format!("lane `{name}` missing from the table"))
+    };
+    let (_, cons_spills, cons_copies, ..) = lane("briggs-cons")?;
+    let (_, irc_spills, irc_copies, ..) = lane("irc")?;
+    if irc_copies < cons_copies {
+        return Err(format!(
+            "irc removed {irc_copies} copies, below conservative Briggs' {cons_copies}"
+        ));
+    }
+    if irc_spills > cons_spills {
+        return Err(format!(
+            "irc spilled {irc_spills} ranges, above conservative Briggs' {cons_spills}"
+        ));
     }
     Ok(())
 }

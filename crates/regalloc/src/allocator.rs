@@ -26,6 +26,7 @@
 use crate::build::{build_graph, update_graph_after_spill};
 use crate::coalesce::{coalesce, CoalesceOpts};
 use crate::cost::spill_costs;
+use crate::irc::{apply_coalesces, collect_moves, irc};
 use crate::select::select;
 use crate::simplify::{simplify_with_metric, Heuristic};
 use crate::spill::{insert_spill_code, SpillOpts, SpillOutcome};
@@ -38,18 +39,54 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
+/// Which allocator family drives the Build–Simplify–Color cycle — the
+/// paper's lineage, one variant per generation.
+///
+/// This is the single selection knob: it travels from `AllocatorConfig`
+/// through [`AllocatorConfig::fingerprint`] into the serve protocol's
+/// `"strategy"` field and both cache tiers. The older
+/// [`Heuristic`] + [`CoalesceMode`](crate::CoalesceMode) pairing survives
+/// as ablation knobs for the first two strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Chaitin's pessimistic allocator: spill decisions are made inside
+    /// simplify, copies are merged aggressively before building the graph.
+    Chaitin,
+    /// Briggs' optimistic allocator (the paper's contribution): blocked
+    /// nodes are pushed anyway and select decides, copies still merged
+    /// aggressively up front.
+    Briggs,
+    /// Iterated register coalescing (George & Appel): no up-front merging;
+    /// copies are coalesced *during* simplification, and only when the
+    /// Briggs or George conservative test proves the merge cannot turn a
+    /// colorable graph uncolorable. Selection is optimistic. The
+    /// [`coalesce`](AllocatorConfig::coalesce) ablation knob is ignored —
+    /// conservative, iterated coalescing *is* the strategy.
+    Irc,
+}
+
+impl Strategy {
+    /// The simplify-phase heuristic this strategy implies.
+    fn heuristic(self) -> Heuristic {
+        match self {
+            Strategy::Chaitin => Heuristic::ChaitinPessimistic,
+            Strategy::Briggs | Strategy::Irc => Heuristic::BriggsOptimistic,
+        }
+    }
+}
+
 /// Configuration for one allocation run (or a whole
 /// [`Pipeline`](crate::Pipeline) session).
 ///
-/// Construct with [`AllocatorConfig::chaitin`] or
-/// [`AllocatorConfig::briggs`] and refine with the `with_*` builder methods:
+/// Construct with [`AllocatorConfig::new`] and refine with the `with_*`
+/// builder methods:
 ///
 /// ```
 /// use optimist_machine::Target;
-/// use optimist_regalloc::{AllocatorConfig, CoalesceMode};
+/// use optimist_regalloc::{AllocatorConfig, CoalesceMode, Strategy};
 /// use std::num::NonZeroUsize;
 ///
-/// let config = AllocatorConfig::briggs(Target::rt_pc())
+/// let config = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)
 ///     .with_coalesce(CoalesceMode::Conservative)
 ///     .with_rematerialize(true)
 ///     .with_incremental(true)
@@ -64,10 +101,21 @@ use std::time::{Duration, Instant};
 pub struct AllocatorConfig {
     /// The register files to color with.
     pub target: Target,
-    /// Pessimistic (Chaitin) or optimistic (Briggs) spilling.
+    /// The allocator family (Chaitin, Briggs, or IRC). The driver branches
+    /// on `Strategy::Irc` only; the classic strategies keep reading the
+    /// [`heuristic`](AllocatorConfig::heuristic) and
+    /// [`coalesce`](AllocatorConfig::coalesce) ablation knobs below, so
+    /// code that pokes those fields directly behaves exactly as before.
+    pub strategy: Strategy,
+    /// Pessimistic (Chaitin) or optimistic (Briggs) spilling. Ignored when
+    /// [`strategy`](AllocatorConfig::strategy) is [`Strategy::Irc`] (IRC is
+    /// always optimistic).
     pub heuristic: Heuristic,
     /// Coalescing policy (the paper used aggressive coalescing; the
     /// conservative and off settings exist for ablation experiments).
+    /// Ignored when [`strategy`](AllocatorConfig::strategy) is
+    /// [`Strategy::Irc`], which performs its own conservative coalescing
+    /// inside the simplify loop.
     pub coalesce: crate::coalesce::CoalesceMode,
     /// How blocked-phase spill candidates are ranked (the paper uses
     /// `cost/degree`; alternatives exist for ablation).
@@ -90,10 +138,15 @@ pub struct AllocatorConfig {
 }
 
 impl AllocatorConfig {
-    fn base(target: Target, heuristic: Heuristic) -> Self {
+    /// An allocator configuration for `strategy` on `target`, with every
+    /// other knob at its default (aggressive coalescing for the classic
+    /// strategies, `cost/degree` spill ranking, no rematerialization, full
+    /// graph rebuilds).
+    pub fn new(target: Target, strategy: Strategy) -> Self {
         AllocatorConfig {
             target,
-            heuristic,
+            strategy,
+            heuristic: strategy.heuristic(),
             coalesce: crate::coalesce::CoalesceMode::Aggressive,
             spill_metric: crate::simplify::SpillMetric::CostOverDegree,
             rematerialize: false,
@@ -104,18 +157,43 @@ impl AllocatorConfig {
     }
 
     /// The paper's baseline: Chaitin's allocator on `target`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllocatorConfig::new(target, Strategy::Chaitin)"
+    )]
     pub fn chaitin(target: Target) -> Self {
-        Self::base(target, Heuristic::ChaitinPessimistic)
+        Self::new(target, Strategy::Chaitin)
     }
 
     /// The paper's contribution: the optimistic allocator on `target`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllocatorConfig::new(target, Strategy::Briggs)"
+    )]
     pub fn briggs(target: Target) -> Self {
-        Self::base(target, Heuristic::BriggsOptimistic)
+        Self::new(target, Strategy::Briggs)
+    }
+
+    /// Set the allocation strategy, also resetting the
+    /// [`heuristic`](AllocatorConfig::heuristic) ablation knob to the one
+    /// the strategy implies.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self.heuristic = strategy.heuristic();
+        self
     }
 
     /// Set the spill heuristic.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AllocatorConfig::with_strategy, or set the `heuristic` field for ablation"
+    )]
     pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
         self.heuristic = heuristic;
+        self.strategy = match heuristic {
+            Heuristic::ChaitinPessimistic => Strategy::Chaitin,
+            Heuristic::BriggsOptimistic => Strategy::Briggs,
+        };
         self
     }
 
@@ -175,19 +253,39 @@ impl AllocatorConfig {
     /// The hash is FNV-1a over a canonical rendering of the knobs, so it is
     /// identical across processes and runs — `optimist-serve` folds it into
     /// its content-addressed cache keys, in memory and on disk.
+    ///
+    /// Canonical spellings (compatibility contract): the classic strategies
+    /// render through their `heuristic`/`coalesce` ablation knobs exactly as
+    /// they did before [`Strategy`] existed, so every chaitin/briggs
+    /// fingerprint — and therefore every warm cache entry persisted by older
+    /// daemons — is byte-identical across the redesign. [`Strategy::Irc`]
+    /// renders as `strategy=Irc` with no `heuristic`/`coalesce` terms (IRC
+    /// ignores both), a spelling no pre-`Strategy` config could produce.
     pub fn fingerprint(&self) -> u64 {
         use optimist_ir::RegClass;
-        let canonical = format!(
-            "target={}/i{}/f{};heuristic={:?};coalesce={:?};metric={:?};remat={};incremental={}",
-            self.target.name(),
-            self.target.regs(RegClass::Int),
-            self.target.regs(RegClass::Float),
-            self.heuristic,
-            self.coalesce,
-            self.spill_metric,
-            self.rematerialize,
-            self.incremental,
-        );
+        let canonical = if self.strategy == Strategy::Irc {
+            format!(
+                "target={}/i{}/f{};strategy=Irc;metric={:?};remat={};incremental={}",
+                self.target.name(),
+                self.target.regs(RegClass::Int),
+                self.target.regs(RegClass::Float),
+                self.spill_metric,
+                self.rematerialize,
+                self.incremental,
+            )
+        } else {
+            format!(
+                "target={}/i{}/f{};heuristic={:?};coalesce={:?};metric={:?};remat={};incremental={}",
+                self.target.name(),
+                self.target.regs(RegClass::Int),
+                self.target.regs(RegClass::Float),
+                self.heuristic,
+                self.coalesce,
+                self.spill_metric,
+                self.rematerialize,
+                self.incremental,
+            )
+        };
         fnv1a(canonical.as_bytes())
     }
 }
@@ -431,14 +529,20 @@ pub fn allocate_with_deadline(
             }
             None => {
                 renumber(&mut f);
-                let merged = coalesce(
-                    &mut f,
-                    &CoalesceOpts {
-                        mode: config.coalesce,
-                        target: Some(&config.target),
-                        fixpoint: true,
-                    },
-                );
+                // IRC does no up-front merging: its conservative coalescing
+                // runs inside the simplify loop below.
+                let merged = if config.strategy == Strategy::Irc {
+                    0
+                } else {
+                    coalesce(
+                        &mut f,
+                        &CoalesceOpts {
+                            mode: config.coalesce,
+                            target: Some(&config.target),
+                            fixpoint: true,
+                        },
+                    )
+                };
                 if merged > 0 {
                     renumber(&mut f); // compact the register table after merging
                 }
@@ -458,14 +562,24 @@ pub fn allocate_with_deadline(
         }
 
         // ---- simplify ---------------------------------------------------
+        // Classic strategies run the stack-building simplify phase; IRC
+        // runs its worklist engine, which interleaves simplification with
+        // conservative coalescing and produces its own stack + alias map.
         let t_simplify = Instant::now();
-        let outcome = simplify_with_metric(
-            &graph,
-            &costs,
-            &config.target,
-            config.heuristic,
-            config.spill_metric,
-        );
+        let (outcome, irc_out) = if config.strategy == Strategy::Irc {
+            let moves = collect_moves(&f, &graph);
+            let out = irc(&graph, &moves, &costs, &config.target, config.spill_metric);
+            (None, Some(out))
+        } else {
+            let out = simplify_with_metric(
+                &graph,
+                &costs,
+                &config.target,
+                config.heuristic,
+                config.spill_metric,
+            );
+            (Some(out), None)
+        };
         let simplify_time = t_simplify.elapsed();
         if deadline.expired() {
             return Err(overdue(passes.len()));
@@ -475,13 +589,28 @@ pub fn allocate_with_deadline(
         // Chaitin's flow: when simplify marked spills, the pass goes
         // straight to spill-code insertion; coloring runs only on a pass
         // that marked nothing (Figure 4 / Figure 7's empty Color cells).
-        let skip_color =
-            config.heuristic == Heuristic::ChaitinPessimistic && !outcome.spill_marked.is_empty();
+        let skip_color = outcome.as_ref().is_some_and(|o| {
+            config.heuristic == Heuristic::ChaitinPessimistic && !o.spill_marked.is_empty()
+        });
         let t_color = Instant::now();
-        let coloring = if skip_color {
-            None
-        } else {
-            Some(select(&graph, &outcome.stack, &config.target))
+        let coloring = match (&outcome, &irc_out) {
+            _ if skip_color => None,
+            (_, Some(out)) => {
+                // Color the merged graph, then propagate each root's color
+                // to the nodes coalesced into it: a member never interferes
+                // with anything its root does not, so the propagated
+                // coloring is valid on the original graph too.
+                let mut c = select(&out.merged_graph, &out.stack, &config.target);
+                for v in 0..out.alias.len() {
+                    let r = out.alias[v] as usize;
+                    if r != v {
+                        c.color[v] = c.color[r];
+                    }
+                }
+                Some(c)
+            }
+            (Some(out), None) => Some(select(&graph, &out.stack, &config.target)),
+            (None, None) => unreachable!("one of the two simplify paths ran"),
         };
         let color_time = if skip_color {
             Duration::ZERO
@@ -489,10 +618,23 @@ pub fn allocate_with_deadline(
             t_color.elapsed()
         };
 
-        let uncolored: Vec<u32> = match &coloring {
-            None => outcome.spill_marked.clone(),
+        let mut uncolored: Vec<u32> = match &coloring {
+            None => outcome
+                .as_ref()
+                .expect("skip_color implies the classic path")
+                .spill_marked
+                .clone(),
             Some(c) => c.uncolored(),
         };
+        // An uncolored IRC web shows up once per member (propagation gave
+        // them all the root's missing color), but the spill decision is
+        // per-web: spill the root's range only, as George–Appel's
+        // RewriteProgram does. The members keep their registers; their
+        // copies to and from the spilled root survive into the next pass.
+        if let Some(out) = &irc_out {
+            uncolored.retain(|&v| out.alias[v as usize] == v);
+        }
+        let uncolored = uncolored;
 
         // Spill only spillable ranges. Select can leave an *unspillable*
         // temporary uncolored (its reload neighbours crowd it out); in that
@@ -505,8 +647,12 @@ pub fn allocate_with_deadline(
             .filter(|&v| costs[v as usize].is_finite())
             .collect();
         if to_spill.is_empty() && !uncolored.is_empty() {
-            let fallback = outcome
-                .blocked
+            let blocked: &[u32] = match (&outcome, &irc_out) {
+                (Some(o), _) => &o.blocked,
+                (None, Some(i)) => &i.blocked,
+                (None, None) => unreachable!("one of the two simplify paths ran"),
+            };
+            let fallback = blocked
                 .iter()
                 .copied()
                 .filter(|&v| costs[v as usize].is_finite())
@@ -538,6 +684,17 @@ pub fn allocate_with_deadline(
                 .enumerate()
                 .map(|(i, c)| PhysReg::new(graph.class(i as u32), c.expect("complete coloring")))
                 .collect();
+            // IRC applies its merges only on the converging pass: spilling
+            // passes leave the copies in place (next pass re-coalesces on
+            // the post-spill graph), so only now do the provisional merges
+            // become actual removed copies. The vreg table keeps its merged
+            // entries, so `assignment` stays index-compatible with `func`.
+            let applied = match &irc_out {
+                Some(out) => apply_coalesces(&mut f, &out.alias),
+                None => 0,
+            };
+            total_coalesced += applied;
+            let coalesced = coalesced + applied;
             passes.push(PassRecord {
                 times: PhaseTimes {
                     build: build_time,
@@ -652,8 +809,8 @@ mod tests {
     fn low_pressure_allocates_without_spills() {
         let f = pressure_function(4);
         for cfgs in [
-            AllocatorConfig::chaitin(Target::rt_pc()),
-            AllocatorConfig::briggs(Target::rt_pc()),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
         ] {
             let a = allocate(&f, &cfgs).unwrap();
             assert_eq!(a.stats.registers_spilled, 0);
@@ -665,7 +822,7 @@ mod tests {
     #[test]
     fn high_pressure_forces_spills() {
         let f = pressure_function(24);
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let a = allocate(&f, &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)).unwrap();
         assert!(a.stats.registers_spilled > 0);
         assert!(a.stats.passes >= 2);
         assert!(a.regs_used(RegClass::Int) <= 16);
@@ -675,8 +832,13 @@ mod tests {
     fn briggs_never_spills_more_than_chaitin() {
         for n in [4, 10, 18, 24, 40] {
             let f = pressure_function(n);
-            let old = allocate(&f, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
-            let new = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+            let old = allocate(
+                &f,
+                &AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+            )
+            .unwrap();
+            let new =
+                allocate(&f, &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)).unwrap();
             assert!(
                 new.stats.registers_spilled <= old.stats.registers_spilled,
                 "n={n}: briggs {} > chaitin {}",
@@ -690,7 +852,11 @@ mod tests {
     #[test]
     fn chaitin_skips_color_phase_on_spilling_passes() {
         let f = pressure_function(24);
-        let a = allocate(&f, &AllocatorConfig::chaitin(Target::rt_pc())).unwrap();
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+        )
+        .unwrap();
         for p in &a.passes {
             if p.spilled > 0 {
                 assert_eq!(p.times.color, Duration::ZERO);
@@ -703,7 +869,11 @@ mod tests {
     #[test]
     fn assignment_covers_every_register_within_k() {
         let f = pressure_function(20);
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs),
+        )
+        .unwrap();
         assert_eq!(a.assignment.len(), a.func.num_vregs());
         for r in &a.assignment {
             if r.class == RegClass::Int {
@@ -715,7 +885,11 @@ mod tests {
     #[test]
     fn assignment_respects_interference() {
         let f = pressure_function(20);
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs),
+        )
+        .unwrap();
         // Rebuild the graph of the final function and check validity.
         let cfg = Cfg::new(&a.func);
         let live = Liveness::new(&a.func, &cfg);
@@ -762,7 +936,11 @@ mod tests {
         }
         b.ret(Some(acc));
         let f = b.finish();
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::with_int_regs(8))).unwrap();
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs),
+        )
+        .unwrap();
         assert!(a.stats.registers_spilled > 0);
         // The allocation is valid and converged.
         assert!(a.stats.passes <= 4);
@@ -771,7 +949,7 @@ mod tests {
     #[test]
     fn nonconvergence_is_reported_not_hung() {
         let f = pressure_function(24);
-        let cfg = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(1); // too few
+        let cfg = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs).with_max_passes(1); // too few
         let err = allocate(&f, &cfg).unwrap_err();
         assert!(matches!(err, AllocError::NonConvergence { .. }));
         assert!(err.to_string().contains("did not converge"));
@@ -786,7 +964,7 @@ mod tests {
         b.copy(y, x);
         b.ret(Some(y));
         let f = b.finish();
-        let on = AllocatorConfig::briggs(Target::rt_pc())
+        let on = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)
             .with_coalesce(crate::coalesce::CoalesceMode::Aggressive);
         let off = on.clone().with_coalesce(crate::coalesce::CoalesceMode::Off);
         let a_on = allocate(&f, &on).unwrap();
@@ -805,7 +983,8 @@ mod tests {
             SpillMetric::Cost,
             SpillMetric::CostOverDegreeSquared,
         ] {
-            let cfg = AllocatorConfig::briggs(Target::with_int_regs(8)).with_spill_metric(metric);
+            let cfg = AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs)
+                .with_spill_metric(metric);
             let a = allocate(&f, &cfg).unwrap_or_else(|e| panic!("{metric:?}: {e}"));
             assert!(a.stats.registers_spilled > 0, "{metric:?}");
             // Validate the assignment against a rebuilt graph.
@@ -890,8 +1069,8 @@ mod tests {
         let f = b.finish();
         let target = Target::with_int_regs(6);
 
-        let plain = allocate(&f, &AllocatorConfig::briggs(target.clone())).unwrap();
-        let cfg = AllocatorConfig::briggs(target).with_rematerialize(true);
+        let plain = allocate(&f, &AllocatorConfig::new(target.clone(), Strategy::Briggs)).unwrap();
+        let cfg = AllocatorConfig::new(target, Strategy::Briggs).with_rematerialize(true);
         let remat = allocate(&f, &cfg).unwrap();
         let slots = |a: &Allocation| {
             (0..a.func.num_slots())
@@ -925,7 +1104,7 @@ mod tests {
         let r = b.binv(BinOp::AddF, facc, cvt);
         b.ret(Some(r));
         let f = b.finish();
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let a = allocate(&f, &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)).unwrap();
         assert_eq!(a.stats.registers_spilled, 0);
         assert!(a.regs_used(RegClass::Float) <= 8);
         assert!(a.regs_used(RegClass::Int) <= 16);
@@ -933,8 +1112,8 @@ mod tests {
 
     #[test]
     fn builder_chains_every_knob() {
-        let cfg = AllocatorConfig::chaitin(Target::rt_pc())
-            .with_heuristic(Heuristic::BriggsOptimistic)
+        let cfg = AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin)
+            .with_strategy(Strategy::Briggs)
             .with_coalesce(crate::coalesce::CoalesceMode::Off)
             .with_spill_metric(crate::simplify::SpillMetric::Cost)
             .with_rematerialize(true)
@@ -949,24 +1128,23 @@ mod tests {
         assert_eq!(cfg.threads.get(), 3);
         assert!(cfg.incremental);
         // Defaults.
-        let d = AllocatorConfig::briggs(Target::rt_pc());
+        let d = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
         assert!(!d.incremental);
         assert_eq!(d.threads, default_threads());
     }
 
     #[test]
     fn incremental_mode_marks_repair_passes_and_colors_validly() {
-        for heuristic in [Heuristic::ChaitinPessimistic, Heuristic::BriggsOptimistic] {
+        for strategy in [Strategy::Chaitin, Strategy::Briggs] {
             let f = pressure_function(24);
-            let cfg = AllocatorConfig::briggs(Target::with_int_regs(8))
-                .with_heuristic(heuristic)
-                .with_incremental(true);
+            let cfg =
+                AllocatorConfig::new(Target::with_int_regs(8), strategy).with_incremental(true);
             let a = allocate(&f, &cfg).unwrap();
-            assert!(a.stats.passes >= 2, "{heuristic:?}");
+            assert!(a.stats.passes >= 2, "{strategy:?}");
             // The first pass always builds fully; every later pass repairs.
             assert!(!a.passes[0].incremental);
             for p in &a.passes[1..] {
-                assert!(p.incremental, "{heuristic:?}");
+                assert!(p.incremental, "{strategy:?}");
             }
             assert_eq!(a.stats.incremental_passes, a.stats.passes - 1);
             // The repaired-graph coloring is valid on the final function.
@@ -977,7 +1155,7 @@ mod tests {
                 for &m in g.neighbors(v) {
                     assert_ne!(
                         a.assignment[v as usize], a.assignment[m as usize],
-                        "{heuristic:?}: {v} vs {m} share a register"
+                        "{strategy:?}: {v} vs {m} share a register"
                     );
                 }
             }
@@ -990,7 +1168,7 @@ mod tests {
         // incremental passes cannot cause divergence: spill totals match.
         for n in [18, 24, 40] {
             let f = pressure_function(n);
-            let base = AllocatorConfig::briggs(Target::with_int_regs(8));
+            let base = AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs);
             let full = allocate(&f, &base).unwrap();
             let inc = allocate(&f, &base.clone().with_incremental(true)).unwrap();
             assert_eq!(
@@ -1016,7 +1194,7 @@ mod tests {
         }
         b.ret(Some(acc));
         let f = b.finish();
-        let cfg = AllocatorConfig::briggs(Target::with_int_regs(6))
+        let cfg = AllocatorConfig::new(Target::with_int_regs(6), Strategy::Briggs)
             .with_rematerialize(true)
             .with_incremental(true);
         let a = allocate(&f, &cfg).unwrap();
@@ -1061,7 +1239,7 @@ mod tests {
         }
         b.ret(Some(acc));
         let f = b.finish();
-        let base = AllocatorConfig::briggs(Target::with_int_regs(4));
+        let base = AllocatorConfig::new(Target::with_int_regs(4), Strategy::Briggs);
         // Sanity: the workload is allocatable in the classic full mode.
         let full = allocate(&f, &base).unwrap();
         assert!(full.stats.registers_spilled > 0);
@@ -1080,7 +1258,7 @@ mod tests {
 
     #[test]
     fn fingerprint_tracks_result_relevant_knobs_only() {
-        let base = AllocatorConfig::briggs(Target::rt_pc());
+        let base = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
         assert_eq!(base.fingerprint(), base.clone().fingerprint());
         // Threads never change results, so they never change the print.
         assert_eq!(
@@ -1098,14 +1276,15 @@ mod tests {
         );
         // Every result-relevant knob moves it.
         let variants = [
-            base.clone().with_heuristic(Heuristic::ChaitinPessimistic),
+            base.clone().with_strategy(Strategy::Chaitin),
+            base.clone().with_strategy(Strategy::Irc),
             base.clone()
                 .with_coalesce(crate::coalesce::CoalesceMode::Off),
             base.clone()
                 .with_spill_metric(crate::simplify::SpillMetric::Cost),
             base.clone().with_rematerialize(true),
             base.clone().with_incremental(true),
-            AllocatorConfig::briggs(Target::with_int_regs(8)),
+            AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs),
         ];
         let mut prints: Vec<u64> = variants.iter().map(|c| c.fingerprint()).collect();
         prints.push(base.fingerprint());
@@ -1125,6 +1304,97 @@ mod tests {
             }
             h
         });
+    }
+
+    #[test]
+    fn classic_fingerprints_are_pinned() {
+        // Byte-compatibility contract with caches persisted by
+        // pre-`Strategy` daemons: these exact values come from the old
+        // heuristic+coalesce canonical rendering and must never drift,
+        // or every warm store goes cold across the upgrade.
+        let chaitin = AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin);
+        let briggs = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
+        assert_eq!(chaitin.fingerprint(), 0xc97b_7a5e_6216_2597);
+        assert_eq!(briggs.fingerprint(), 0x88a6_81b0_8f1c_d059);
+        // IRC is new; it must collide with neither classic print.
+        let irc_ = AllocatorConfig::new(Target::rt_pc(), Strategy::Irc);
+        assert_ne!(irc_.fingerprint(), chaitin.fingerprint());
+        assert_ne!(irc_.fingerprint(), briggs.fingerprint());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_strategy_constructors() {
+        let c = AllocatorConfig::chaitin(Target::rt_pc());
+        assert_eq!(c.strategy, Strategy::Chaitin);
+        let b = AllocatorConfig::briggs(Target::rt_pc());
+        assert_eq!(b.strategy, Strategy::Briggs);
+        // with_heuristic keeps strategy and heuristic in sync, so the shim
+        // produces the same fingerprint as the new spelling.
+        let via_shim = b.with_heuristic(Heuristic::ChaitinPessimistic);
+        assert_eq!(via_shim.strategy, Strategy::Chaitin);
+        assert_eq!(via_shim.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn irc_fingerprint_ignores_the_coalesce_knob() {
+        // IRC does its own conservative coalescing; the ablation knob is
+        // dead weight and deliberately excluded from its canonical print.
+        let base = AllocatorConfig::new(Target::rt_pc(), Strategy::Irc);
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_coalesce(crate::coalesce::CoalesceMode::Off)
+                .fingerprint()
+        );
+        // ...but the other result-relevant knobs still move it.
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_rematerialize(true).fingerprint()
+        );
+    }
+
+    #[test]
+    fn irc_allocates_under_pressure_with_valid_assignment() {
+        let f = pressure_function(24);
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::with_int_regs(8), Strategy::Irc),
+        )
+        .unwrap();
+        assert!(a.stats.registers_spilled > 0);
+        let cfg = Cfg::new(&a.func);
+        let live = Liveness::new(&a.func, &cfg);
+        let g = build_graph(&a.func, &cfg, &live);
+        for v in 0..g.num_nodes() as u32 {
+            for &m in g.neighbors(v) {
+                assert_ne!(
+                    a.assignment[v as usize], a.assignment[m as usize],
+                    "{v} and {m} interfere but share a register"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn irc_coalesces_trivial_copy_chains() {
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let a = b.int(3);
+        let c = b.new_vreg(RegClass::Int, "c");
+        b.copy(c, a);
+        let d = b.new_vreg(RegClass::Int, "d");
+        b.copy(d, c);
+        b.ret(Some(d));
+        let f = b.finish();
+        let alloc = allocate(&f, &AllocatorConfig::new(Target::rt_pc(), Strategy::Irc)).unwrap();
+        assert_eq!(alloc.stats.registers_spilled, 0);
+        assert_eq!(alloc.stats.coalesced_copies, 2);
+        assert_eq!(
+            alloc.func.insts().filter(|(_, _, i)| i.is_copy()).count(),
+            0,
+            "both copies must be merged away"
+        );
     }
 
     #[test]

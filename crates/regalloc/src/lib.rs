@@ -2,28 +2,33 @@
 
 //! # optimist-regalloc
 //!
-//! Graph-coloring register allocation: Chaitin's pessimistic baseline and
-//! the **optimistic** allocator of Briggs, Cooper, Kennedy & Torczon
-//! (*Coloring Heuristics for Register Allocation*, PLDI 1989).
+//! Graph-coloring register allocation: Chaitin's pessimistic baseline, the
+//! **optimistic** allocator of Briggs, Cooper, Kennedy & Torczon
+//! (*Coloring Heuristics for Register Allocation*, PLDI 1989), and
+//! **iterated register coalescing** (George & Appel).
 //!
-//! ## The two heuristics
+//! ## The three strategies
 //!
-//! Both allocators run the Build–Simplify–Color cycle of the paper's
-//! Figure 4 ([`allocate`] is the driver). They share the build phase
-//! (renumber → coalesce → interference graph → spill costs) and the
-//! trivial part of simplification (repeatedly remove nodes with
-//! `degree < k`). They differ when simplification *blocks* — every
-//! remaining node has `k` or more neighbors:
+//! All allocators run the Build–Simplify–Color cycle of the paper's
+//! Figure 4 ([`allocate`] is the driver), selected by [`Strategy`] on
+//! [`AllocatorConfig`]. The classic two share the build phase (renumber →
+//! aggressive coalesce → interference graph → spill costs) and the trivial
+//! part of simplification (repeatedly remove nodes with `degree < k`).
+//! They differ when simplification *blocks* — every remaining node has `k`
+//! or more neighbors:
 //!
-//! * **Chaitin** ([`Heuristic::ChaitinPessimistic`]) picks the node with
-//!   minimum `spill_cost / degree`, marks it spilled, and ultimately inserts
+//! * **Chaitin** ([`Strategy::Chaitin`]) picks the node with minimum
+//!   `spill_cost / degree`, marks it spilled, and ultimately inserts
 //!   spill code for it, even though the coloring phase might have found it a
 //!   color.
-//! * **Briggs** ([`Heuristic::BriggsOptimistic`]) removes the same node but
+//! * **Briggs** ([`Strategy::Briggs`]) removes the same node but
 //!   pushes it on the coloring stack anyway. The select phase discovers
 //!   whether its neighbors really exhaust all `k` colors; only then is it
 //!   spilled. Optimism never loses: the spilled set is always a subset of
 //!   Chaitin's (paper §2.3) — a property this crate's proptests check.
+//! * **IRC** ([`Strategy::Irc`]) skips the aggressive pre-merge entirely
+//!   and coalesces *during* simplification, only when the Briggs or George
+//!   conservative test proves the merge safe — see the [`irc`] phase.
 //!
 //! ## Example
 //!
@@ -41,7 +46,8 @@
 //! let t = b.binv(BinOp::AddI, x, y);
 //! b.ret(Some(t));
 //!
-//! let alloc = allocate(&b.finish(), &AllocatorConfig::briggs(Target::rt_pc()))?;
+//! let config = AllocatorConfig::new(Target::rt_pc(), optimist_regalloc::Strategy::Briggs);
+//! let alloc = allocate(&b.finish(), &config)?;
 //! assert_eq!(alloc.stats.registers_spilled, 0);
 //! # Ok::<(), optimist_regalloc::AllocError>(())
 //! ```
@@ -56,6 +62,7 @@ mod coalesce;
 mod cost;
 mod deadline;
 mod graph;
+pub mod irc;
 mod listing;
 mod matula;
 mod pipeline;
@@ -65,13 +72,14 @@ mod spill;
 
 pub use allocator::{
     allocate, allocate_with_deadline, default_threads, fnv1a, AllocError, AllocStats, Allocation,
-    AllocatorConfig, PassRecord, PhaseTimes,
+    AllocatorConfig, PassRecord, PhaseTimes, Strategy,
 };
 pub use build::{build_graph, update_graph_after_spill};
 pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
 pub use cost::{depth_weight, spill_costs};
 pub use deadline::Deadline;
 pub use graph::InterferenceGraph;
+pub use irc::{ConservativeTest, IrcEvent, IrcOutcome};
 pub use matula::smallest_last_order;
 pub use pipeline::{ModuleAllocation, Pipeline, WorkerPool};
 pub use select::{select, Coloring};

@@ -94,7 +94,7 @@ impl Allocation {
 
 #[cfg(test)]
 mod tests {
-    use crate::{allocate, AllocatorConfig};
+    use crate::{allocate, AllocatorConfig, Strategy};
     use optimist_ir::{BinOp, Cmp, FunctionBuilder, Imm, RegClass};
     use optimist_machine::Target;
 
@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn listing_uses_physical_names_only() {
-        let a = allocate(&sample(), &AllocatorConfig::briggs(Target::rt_pc())).unwrap();
+        let a = allocate(
+            &sample(),
+            &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
+        )
+        .unwrap();
         let text = a.listing();
         assert!(text.contains("kernel:"));
         assert!(text.contains("li"));
@@ -171,7 +175,11 @@ mod tests {
         }
         b.ret(Some(acc));
         let f = b.finish();
-        let a = allocate(&f, &AllocatorConfig::briggs(Target::custom("t", 16, 3))).unwrap();
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::custom("t", 16, 3), Strategy::Briggs),
+        )
+        .unwrap();
         assert!(a.stats.registers_spilled > 0);
         let text = a.listing();
         assert!(text.contains("st "), "expected a spill store:\n{text}");

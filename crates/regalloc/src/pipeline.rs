@@ -85,7 +85,17 @@ impl WorkerPool {
                     };
                     let Ok(job) = job else { break };
                     pending.fetch_sub(1, Ordering::Relaxed);
-                    let result = allocate_caught(&job.func, &job.config, &job.deadline);
+                    // EDF's cheap half: a job whose deadline passed while it
+                    // queued is dropped at dequeue instead of occupying the
+                    // worker for a build phase it cannot finish.
+                    let result = if job.deadline.expired() {
+                        Err(AllocError::DeadlineExceeded {
+                            function: job.func.name().to_string(),
+                            passes: 0,
+                        })
+                    } else {
+                        allocate_caught(&job.func, &job.config, &job.deadline)
+                    };
                     // The caller may have gone away (its receiver dropped);
                     // the job's work is simply discarded then.
                     let _ = job.out.send((job.index, result));
@@ -331,7 +341,7 @@ impl ModuleAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::allocator::allocate;
+    use crate::allocator::{allocate, Strategy};
     use optimist_ir::{BinOp, FunctionBuilder, RegClass};
     use optimist_machine::Target;
     use std::num::NonZeroUsize;
@@ -357,7 +367,7 @@ mod tests {
     }
 
     fn config(threads: usize) -> AllocatorConfig {
-        AllocatorConfig::briggs(Target::with_int_regs(8))
+        AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs)
             .with_threads(NonZeroUsize::new(threads).unwrap())
     }
 

@@ -7,8 +7,72 @@
 //! converges (each spilled range is divided "into several shorter live
 //! ranges, one for each definition or use", §3.3).
 
-use optimist_ir::{Addr, BlockId, Function, Imm, Inst, RegClass, VReg};
+use optimist_ir::{Addr, BlockId, FrameSlot, Function, GlobalId, Imm, Inst, RegClass, VReg};
 use std::ops::Range;
+
+/// How a rematerializable spilled range is recomputed in front of each use
+/// instead of being reloaded from a spill slot.
+///
+/// The classic form (Briggs, Cooper & Torczon, PLDI 1992) covers
+/// "never-killed" constants; this crate extends it to the other
+/// operand-free instructions — address materializations — and to
+/// constant-offset loads from frame slots that are provably read-only
+/// within the function (no store to the slot and no escape of its address,
+/// so no call or indirect store can change the loaded value either).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RematRecipe {
+    /// Recompute `dst = imm c`.
+    Imm(Imm),
+    /// Recompute `dst = frame_addr slot` (pure frame-pointer arithmetic).
+    FrameAddr(FrameSlot),
+    /// Recompute `dst = global_addr g` (pure address arithmetic).
+    GlobalAddr(GlobalId),
+    /// Re-load `dst = load [slot + offset]` from a read-only slot.
+    LoadRo {
+        /// The read-only frame slot.
+        slot: FrameSlot,
+        /// Byte displacement of the original load.
+        offset: i64,
+    },
+}
+
+impl RematRecipe {
+    /// The recipe that recomputes `inst`'s definition, if it is one of the
+    /// cheap recomputable forms. `LoadRo` still needs the read-only check.
+    fn of(inst: &Inst) -> Option<RematRecipe> {
+        match *inst {
+            Inst::LoadImm { imm, .. } => Some(RematRecipe::Imm(imm)),
+            Inst::FrameAddr { slot, .. } => Some(RematRecipe::FrameAddr(slot)),
+            Inst::GlobalAddr { global, .. } => Some(RematRecipe::GlobalAddr(global)),
+            Inst::Load {
+                addr: Addr::Frame { slot, offset },
+                ..
+            } => Some(RematRecipe::LoadRo { slot, offset }),
+            _ => None,
+        }
+    }
+
+    /// Recipe equality; immediates compare bit-exactly so `-0.0 ≠ 0.0`.
+    fn same(self, other: RematRecipe) -> bool {
+        match (self, other) {
+            (RematRecipe::Imm(a), RematRecipe::Imm(b)) => same_imm(a, b),
+            _ => self == other,
+        }
+    }
+
+    /// Emit the recomputation of this value into `dst`.
+    fn emit(self, dst: VReg) -> Inst {
+        match self {
+            RematRecipe::Imm(imm) => Inst::LoadImm { dst, imm },
+            RematRecipe::FrameAddr(slot) => Inst::FrameAddr { dst, slot },
+            RematRecipe::GlobalAddr(global) => Inst::GlobalAddr { dst, global },
+            RematRecipe::LoadRo { slot, offset } => Inst::Load {
+                dst,
+                addr: Addr::Frame { slot, offset },
+            },
+        }
+    }
+}
 
 /// Static counts of inserted spill instructions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,10 +89,13 @@ pub struct SpillStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillOpts {
     /// Enable **rematerialization** (Briggs, Cooper & Torczon's follow-up
-    /// refinement, PLDI 1992): a spilled range whose every definition loads
-    /// the same immediate constant gets no frame slot at all — the constant
-    /// is recomputed in front of each use, which is never slower than a
-    /// memory load and frees the slot and the stores.
+    /// refinement, PLDI 1992): a spilled range whose every definition
+    /// recomputes the same cheap value gets no frame slot at all — the
+    /// value is recomputed in front of each use, which is never slower than
+    /// a memory load and frees the slot and the stores. Covered forms:
+    /// identical immediate constants, frame/global address materializations,
+    /// and constant-offset loads from read-only frame slots (never stored
+    /// to, address never taken).
     pub rematerialize: bool,
 }
 
@@ -71,21 +138,36 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
 
     let nv = func.num_vregs();
 
-    // Rematerialization candidates: non-parameter ranges whose defs are all
-    // `LoadImm` of one identical constant.
-    let mut remat_imm: Vec<Option<Imm>> = vec![None; nv];
+    // Rematerialization candidates: non-parameter ranges whose defs all
+    // recompute one identical cheap value (see [`RematRecipe`]).
+    let mut remat: Vec<Option<RematRecipe>> = vec![None; nv];
     if rematerialize {
-        let mut candidate: Vec<Option<Option<Imm>>> = vec![None; nv]; // None=unseen, Some(None)=disqualified
+        // A frame slot is read-only iff nothing stores to it and its address
+        // is never materialized (an escaped address could be written through
+        // by an `Addr::Reg` store or inside a call).
+        let mut slot_mutable = vec![false; func.num_slots()];
+        for (_, _, inst) in func.insts() {
+            match *inst {
+                Inst::Store {
+                    addr: Addr::Frame { slot, .. },
+                    ..
+                }
+                | Inst::FrameAddr { slot, .. } => slot_mutable[slot.index()] = true,
+                _ => {}
+            }
+        }
+        // None = unseen, Some(None) = disqualified.
+        let mut candidate: Vec<Option<Option<RematRecipe>>> = vec![None; nv];
         for (_, _, inst) in func.insts() {
             if let Some(d) = inst.def() {
-                let slot = &mut candidate[d.index()];
-                let imm = match inst {
-                    Inst::LoadImm { imm, .. } => Some(*imm),
-                    _ => None,
-                };
-                *slot = match (&slot, imm) {
-                    (None, Some(i)) => Some(Some(i)),
-                    (Some(Some(prev)), Some(i)) if same_imm(*prev, i) => Some(Some(i)),
+                let entry = &mut candidate[d.index()];
+                let recipe = RematRecipe::of(inst).filter(|r| match r {
+                    RematRecipe::LoadRo { slot, .. } => !slot_mutable[slot.index()],
+                    _ => true,
+                });
+                *entry = match (&entry, recipe) {
+                    (None, Some(r)) => Some(Some(r)),
+                    (Some(Some(prev)), Some(r)) if prev.same(r) => Some(Some(r)),
                     _ => Some(None),
                 };
             }
@@ -94,8 +176,8 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
             candidate[p.index()] = Some(None);
         }
         for &v in spilled {
-            if let Some(Some(imm)) = candidate[v.index()] {
-                remat_imm[v.index()] = Some(imm);
+            if let Some(Some(recipe)) = candidate[v.index()] {
+                remat[v.index()] = Some(recipe);
                 stats.rematerialized += 1;
             }
         }
@@ -105,7 +187,7 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
     let mut is_spilled = vec![false; nv];
     for &v in spilled {
         is_spilled[v.index()] = true;
-        if remat_imm[v.index()].is_none() {
+        if remat[v.index()].is_none() {
             let name = format!("spill.{}", func.vreg(v).name);
             slot_of[v.index()] = Some(func.new_slot(8, name, true));
         }
@@ -161,9 +243,10 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
                 if u.index() < nv && is_spilled[u.index()] && !reloaded.iter().any(|(o, _)| *o == u)
                 {
                     let t = fresh(&mut ctx, classes[u.index()], "rld");
-                    match remat_imm[u.index()] {
-                        // Recompute the constant instead of loading it.
-                        Some(imm) => out.push(Inst::LoadImm { dst: t, imm }),
+                    match remat[u.index()] {
+                        // Recompute the value instead of loading it from a
+                        // spill slot.
+                        Some(recipe) => out.push(recipe.emit(t)),
                         None => {
                             let slot = slot_of[u.index()].expect("spilled has slot");
                             out.push(Inst::Load {
@@ -188,15 +271,15 @@ pub fn insert_spill_code(func: &mut Function, spilled: &[VReg], opts: &SpillOpts
             }
 
             // Rewrite a spilled definition to a stored temporary — or, for
-            // a rematerialized constant, drop the (pure) definition: every
+            // a rematerialized value, drop the definition entirely: every
             // use recomputes it in place.
             let def = inst.def();
             match def {
                 Some(d) if d.index() < nv && is_spilled[d.index()] => {
                     modified = true;
-                    if remat_imm[d.index()].is_some() {
-                        debug_assert!(matches!(inst, Inst::LoadImm { .. }));
-                        // deleted
+                    if remat[d.index()].is_some() {
+                        debug_assert!(RematRecipe::of(&inst).is_some());
+                        // deleted: every use recomputes the value in place
                     } else {
                         let t = fresh(&mut ctx, classes[d.index()], "spl");
                         inst.map_def(|_| t);
@@ -497,6 +580,148 @@ mod tests {
         assert_eq!(out.touched_blocks, vec![f.entry(), hot]);
         assert_eq!(out.new_vregs, nv_before..f.num_vregs() as u32);
         assert_eq!(out.new_vregs.len(), 2); // one store temp, one reload temp
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn frame_address_is_rematerialized() {
+        // a = frame_addr s0, used far from its def: pure frame-pointer
+        // arithmetic, recomputed at each use with no slot/stores/loads.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let arr = b.new_slot(32, "arr");
+        let a = b.new_vreg(RegClass::Int, "a");
+        b.frame_addr(a, arr);
+        let x = b.int(1);
+        let t = b.binv(BinOp::AddI, x, x);
+        let u = b.binv(BinOp::AddI, a, t);
+        let w = b.binv(BinOp::AddI, u, a);
+        b.ret(Some(w));
+        let mut f = b.finish();
+        let slots_before = f.num_slots();
+        let stats = insert_spill_code(
+            &mut f,
+            &[a],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
+        assert_eq!(stats.rematerialized, 1);
+        assert_eq!(stats.loads, 0);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(f.num_slots(), slots_before, "no spill slot allocated");
+        let addr_insts = f
+            .insts()
+            .filter(|(_, _, i)| matches!(i, Inst::FrameAddr { .. }))
+            .count();
+        assert_eq!(addr_insts, 2, "one recomputation per use");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn read_only_slot_load_is_rematerialized() {
+        // x = load [s0+8] from a slot that is never stored to and whose
+        // address never escapes: the load is repeated at each use instead
+        // of spilling x through a second slot.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let ro = b.new_slot(16, "ro");
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load(
+            x,
+            Addr::Frame {
+                slot: ro,
+                offset: 8,
+            },
+        );
+        let y = b.int(7);
+        let t = b.binv(BinOp::AddI, x, y);
+        let u = b.binv(BinOp::AddI, t, x);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
+        assert_eq!(stats.rematerialized, 1);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(f.num_slots(), 1, "no new spill slot");
+        // One re-load per use, both from the read-only slot at offset 8.
+        let ro_loads = f
+            .insts()
+            .filter(|(_, _, i)| {
+                matches!(
+                    i,
+                    Inst::Load {
+                        addr: Addr::Frame { offset: 8, .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(ro_loads, 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn stored_to_slot_load_not_rematerialized() {
+        // Same shape, but the slot is written between the load and the
+        // second use — repeating the load would read the new value, so the
+        // range must spill through memory.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let s = b.new_slot(16, "s");
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load(x, Addr::Frame { slot: s, offset: 0 });
+        let y = b.int(7);
+        b.store(y, Addr::Frame { slot: s, offset: 0 });
+        let t = b.binv(BinOp::AddI, x, y);
+        let u = b.binv(BinOp::AddI, t, x);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
+        assert_eq!(stats.rematerialized, 0);
+        assert_eq!(f.num_slots(), 2, "a real spill slot was needed");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn escaped_slot_load_not_rematerialized() {
+        // The slot is never stored to directly, but its address escapes via
+        // frame_addr — an indirect store or callee could mutate it, so the
+        // load is not provably repeatable.
+        let mut b = FunctionBuilder::new("f");
+        b.set_ret_class(Some(RegClass::Int));
+        let s = b.new_slot(16, "s");
+        let x = b.new_vreg(RegClass::Int, "x");
+        b.load(x, Addr::Frame { slot: s, offset: 0 });
+        let p = b.new_vreg(RegClass::Int, "p");
+        b.frame_addr(p, s);
+        let t = b.binv(BinOp::AddI, x, p);
+        let u = b.binv(BinOp::AddI, t, x);
+        b.ret(Some(u));
+        let mut f = b.finish();
+        let stats = insert_spill_code(
+            &mut f,
+            &[x],
+            &SpillOpts {
+                rematerialize: true,
+            },
+        )
+        .stats;
+        assert_eq!(stats.rematerialized, 0);
         verify_function(&f).unwrap();
     }
 

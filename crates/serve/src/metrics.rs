@@ -7,6 +7,7 @@
 //! registry for the `stats` request and the shutdown dump.
 
 use crate::json::Json;
+use optimist_regalloc::Strategy;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -170,6 +171,56 @@ impl Histogram {
     }
 }
 
+/// Request/hit counters for one allocation [`Strategy`].
+#[derive(Debug, Default)]
+pub struct StrategyStats {
+    /// Functions requested under this strategy (hit or miss).
+    pub requests: Counter,
+    /// Functions answered from any cache tier under this strategy.
+    pub hits: Counter,
+}
+
+impl StrategyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests.get())),
+            ("hits", Json::from(self.hits.get())),
+        ])
+    }
+}
+
+/// Per-strategy request/hit breakdown, so an A/B comparison between
+/// `chaitin`, `briggs` and `irc` traffic needs nothing beyond the stats
+/// dump.
+#[derive(Debug, Default)]
+pub struct PerStrategy {
+    /// Traffic under [`Strategy::Chaitin`].
+    pub chaitin: StrategyStats,
+    /// Traffic under [`Strategy::Briggs`].
+    pub briggs: StrategyStats,
+    /// Traffic under [`Strategy::Irc`].
+    pub irc: StrategyStats,
+}
+
+impl PerStrategy {
+    /// The counters for `strategy`.
+    pub fn of(&self, strategy: Strategy) -> &StrategyStats {
+        match strategy {
+            Strategy::Chaitin => &self.chaitin,
+            Strategy::Briggs => &self.briggs,
+            Strategy::Irc => &self.irc,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("chaitin", self.chaitin.to_json()),
+            ("briggs", self.briggs.to_json()),
+            ("irc", self.irc.to_json()),
+        ])
+    }
+}
+
 /// Every statistic the server exports, dumpable as one JSON object.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -274,6 +325,8 @@ pub struct Metrics {
     /// (memory-only degraded mode), else 0. The high-water mark records
     /// whether the daemon was *ever* degraded.
     pub store_degraded: Gauge,
+    /// Per-strategy function request/hit counters.
+    pub strategies: PerStrategy,
 }
 
 impl Metrics {
@@ -364,6 +417,7 @@ impl Metrics {
                     ("recoveries", Json::from(self.store_recoveries.get())),
                 ]),
             ),
+            ("strategies", self.strategies.to_json()),
             ("functions", Json::from(self.functions.get())),
             ("request_latency", self.request_latency.to_json()),
             (
@@ -411,6 +465,24 @@ mod tests {
         g.lower(10);
         assert_eq!(g.get(), 0, "lower saturates at zero");
         assert_eq!(g.high_water(), 3);
+    }
+
+    #[test]
+    fn per_strategy_counters_land_in_the_dump() {
+        let m = Metrics::default();
+        m.strategies.of(Strategy::Irc).requests.add(5);
+        m.strategies.of(Strategy::Irc).hits.add(2);
+        m.strategies.of(Strategy::Briggs).requests.inc();
+        let dump = m.to_json().to_string();
+        let back = crate::json::parse(&dump).expect("dump must reparse");
+        let irc = back.get("strategies").and_then(|s| s.get("irc")).unwrap();
+        assert_eq!(irc.get("requests").and_then(Json::as_u64), Some(5));
+        assert_eq!(irc.get("hits").and_then(Json::as_u64), Some(2));
+        let chaitin = back
+            .get("strategies")
+            .and_then(|s| s.get("chaitin"))
+            .unwrap();
+        assert_eq!(chaitin.get("requests").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Request kinds:
 //!
 //! ```json
-//! {"req":"alloc","ir":"fn F(v0:int) {...}","config":{"heuristic":"briggs",
+//! {"req":"alloc","ir":"fn F(v0:int) {...}","config":{"strategy":"briggs",
 //!  "target":"rt-pc","int_regs":16,"float_regs":8,"coalesce":"aggressive",
 //!  "spill_metric":"cost/degree","rematerialize":false,"max_passes":64,
 //!  "threads":4,"incremental":false}}
@@ -52,7 +52,7 @@
 use crate::json::Json;
 use optimist_machine::Target;
 use optimist_regalloc::{
-    AllocStats, Allocation, AllocatorConfig, CoalesceMode, Heuristic, SpillMetric,
+    AllocStats, Allocation, AllocatorConfig, CoalesceMode, SpillMetric, Strategy,
 };
 use std::num::NonZeroUsize;
 
@@ -238,14 +238,22 @@ fn parse_deadline_ms(v: &Json) -> Result<Option<u64>, ProtocolError> {
 /// Build an [`AllocatorConfig`] from the optional `"config"` object.
 /// Unknown fields are rejected so typos fail loudly instead of silently
 /// running the default configuration.
+///
+/// The canonical selector is `"strategy"` (`"chaitin"`, `"briggs"`,
+/// `"irc"`); `"heuristic"` is accepted as an alias for clients predating
+/// the unified [`Strategy`] API, with identical values. Combinations that
+/// cannot mean anything — `"irc"` together with an explicit `"coalesce"`
+/// mode — are rejected rather than silently ignored.
 pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolError> {
     let spec = match spec {
-        None | Some(Json::Null) => return Ok(AllocatorConfig::briggs(Target::rt_pc())),
+        None | Some(Json::Null) => {
+            return Ok(AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs))
+        }
         Some(Json::Obj(pairs)) => pairs,
         Some(_) => return Err(bad("\"config\" must be an object")),
     };
 
-    let mut heuristic = Heuristic::BriggsOptimistic;
+    let mut strategy: Option<Strategy> = None;
     let mut target_name: Option<String> = None;
     let mut int_regs: Option<u64> = None;
     let mut float_regs: Option<u64> = None;
@@ -256,14 +264,31 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
     let mut threads = None;
     let mut incremental = None;
 
+    let parse_strategy = |key: &str, value: &Json| -> Result<Strategy, ProtocolError> {
+        match value.as_str() {
+            Some("briggs") | Some("optimistic") => Ok(Strategy::Briggs),
+            Some("chaitin") | Some("pessimistic") => Ok(Strategy::Chaitin),
+            Some("irc") => Ok(Strategy::Irc),
+            _ => Err(bad(format!(
+                "{key} must be \"chaitin\", \"briggs\" or \"irc\""
+            ))),
+        }
+    };
+
     for (key, value) in spec {
         match key.as_str() {
-            "heuristic" => {
-                heuristic = match value.as_str() {
-                    Some("briggs") | Some("optimistic") => Heuristic::BriggsOptimistic,
-                    Some("chaitin") | Some("pessimistic") => Heuristic::ChaitinPessimistic,
-                    _ => return Err(bad("heuristic must be \"briggs\" or \"chaitin\"")),
+            // "strategy" is the canonical spelling; "heuristic" is the
+            // pre-Strategy alias. Both accept the same values.
+            "strategy" | "heuristic" => {
+                let parsed = parse_strategy(key, value)?;
+                if let Some(prev) = strategy {
+                    if prev != parsed {
+                        return Err(bad(
+                            "\"strategy\" and \"heuristic\" disagree; send one selector",
+                        ));
+                    }
                 }
+                strategy = Some(parsed);
             }
             "target" => {
                 target_name = Some(
@@ -356,10 +381,15 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
         ),
     };
 
-    let mut config = match heuristic {
-        Heuristic::BriggsOptimistic => AllocatorConfig::briggs(target),
-        Heuristic::ChaitinPessimistic => AllocatorConfig::chaitin(target),
-    };
+    let strategy = strategy.unwrap_or(Strategy::Briggs);
+    if strategy == Strategy::Irc && coalesce.is_some() {
+        return Err(bad(
+            "strategy \"irc\" does its own conservative coalescing during \
+             simplification; drop the \"coalesce\" field",
+        ));
+    }
+
+    let mut config = AllocatorConfig::new(target, strategy);
     if let Some(mode) = coalesce {
         config = config.with_coalesce(mode);
     }
@@ -510,7 +540,7 @@ mod tests {
         let Request::Alloc { config, .. } = req else {
             panic!("wrong kind")
         };
-        assert_eq!(config.heuristic, Heuristic::BriggsOptimistic);
+        assert_eq!(config.strategy, Strategy::Briggs);
         assert_eq!(config.target.name(), "rt-pc");
         assert_eq!(config.target.regs(RegClass::Int), 16);
     }
@@ -525,7 +555,7 @@ mod tests {
         let Request::Alloc { config, .. } = Request::parse(&line).unwrap() else {
             panic!("wrong kind")
         };
-        assert_eq!(config.heuristic, Heuristic::ChaitinPessimistic);
+        assert_eq!(config.strategy, Strategy::Chaitin);
         assert_eq!(config.target.name(), "tiny");
         assert_eq!(config.target.regs(RegClass::Int), 4);
         assert_eq!(config.target.regs(RegClass::Float), 2);
@@ -535,6 +565,59 @@ mod tests {
         assert_eq!(config.max_passes, 7);
         assert_eq!(config.threads.get(), 2);
         assert!(config.incremental);
+    }
+
+    #[test]
+    fn strategy_key_selects_each_allocator() {
+        for (spelling, want) in [
+            ("chaitin", Strategy::Chaitin),
+            ("briggs", Strategy::Briggs),
+            ("irc", Strategy::Irc),
+        ] {
+            // Canonical key and legacy alias both work, for every strategy.
+            for key in ["strategy", "heuristic"] {
+                let line =
+                    format!(r#"{{"req":"alloc","ir":"","config":{{"{key}":"{spelling}"}}}}"#);
+                let Request::Alloc { config, .. } = Request::parse(&line).unwrap() else {
+                    panic!("wrong kind")
+                };
+                assert_eq!(config.strategy, want, "{key}={spelling}");
+            }
+        }
+        assert!(
+            Request::parse(r#"{"req":"alloc","ir":"","config":{"strategy":"graphviz"}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn agreeing_selectors_pass_disagreeing_are_rejected() {
+        let line = r#"{"req":"alloc","ir":"","config":{"strategy":"irc","heuristic":"irc"}}"#;
+        let Request::Alloc { config, .. } = Request::parse(line).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(config.strategy, Strategy::Irc);
+
+        let line = r#"{"req":"alloc","ir":"","config":{"strategy":"irc","heuristic":"briggs"}}"#;
+        let err = Request::parse(line).unwrap_err();
+        assert!(err.0.contains("disagree"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn irc_with_explicit_coalesce_is_rejected_precisely() {
+        for mode in ["aggressive", "conservative", "off"] {
+            let line = format!(
+                r#"{{"req":"alloc","ir":"","config":{{"strategy":"irc","coalesce":"{mode}"}}}}"#
+            );
+            let err = Request::parse(&line).unwrap_err();
+            assert!(
+                err.0.contains("irc") && err.0.contains("coalesce"),
+                "error must name the conflicting fields, got: {}",
+                err.0
+            );
+        }
+        // The same coalesce modes remain legal for the classic strategies.
+        let line = r#"{"req":"alloc","ir":"","config":{"strategy":"briggs","coalesce":"off"}}"#;
+        assert!(Request::parse(line).is_ok());
     }
 
     #[test]

@@ -713,6 +713,9 @@ impl Server {
         if let Some(memo) = self.memo.get(memo_key) {
             self.metrics.memo_hits.inc();
             self.metrics.cache_hits.add(memo.funcs);
+            let strat = self.metrics.strategies.of(config.strategy);
+            strat.requests.add(memo.funcs);
+            strat.hits.add(memo.funcs);
             self.metrics.functions.add(memo.funcs);
             let mut resp = memo.response.clone();
             let latency = started.elapsed();
@@ -749,6 +752,7 @@ impl Server {
         let mut cold = Vec::new(); // (index into `entries`, key, function clone)
         let mut errors = Vec::new();
         for (i, f) in funcs.iter().enumerate() {
+            self.metrics.strategies.of(config.strategy).requests.inc();
             let key = cache_key(f, config);
             keys.push(key);
             let found = self
@@ -759,6 +763,7 @@ impl Server {
                 Some(entry) => match &*entry {
                     CacheEntry::Ok(result) if result.stats.passes <= max_passes => {
                         self.metrics.cache_hits.inc();
+                        self.metrics.strategies.of(config.strategy).hits.inc();
                         entries[i] = Some((Arc::clone(&entry), true));
                     }
                     CacheEntry::Ok(_) => {
@@ -937,6 +942,7 @@ impl Server {
     /// recomputing is impossible without the IR.
     fn key_response(&self, key: u64, config: &AllocatorConfig) -> Json {
         let fingerprint = config.fingerprint();
+        self.metrics.strategies.of(config.strategy).requests.inc();
         let found = self
             .cache
             .get(key)
@@ -944,6 +950,7 @@ impl Server {
         match found.as_deref() {
             Some(CacheEntry::Ok(result)) if result.stats.passes <= config.max_passes => {
                 self.metrics.cache_hits.inc();
+                self.metrics.strategies.of(config.strategy).hits.inc();
                 let mut r = result.to_json(true);
                 r.push("key", Json::from(format!("{key:016x}")));
                 Json::obj([("ok", Json::from(true)), ("functions", Json::Arr(vec![r]))])

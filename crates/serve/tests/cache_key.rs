@@ -4,7 +4,7 @@
 use optimist_frontend::compile_or_panic;
 use optimist_ir::{RegClass, VReg};
 use optimist_machine::Target;
-use optimist_regalloc::{AllocatorConfig, CoalesceMode, SpillMetric};
+use optimist_regalloc::{AllocatorConfig, CoalesceMode, SpillMetric, Strategy};
 use optimist_serve::{cache_key, ShardedLru};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -22,7 +22,7 @@ END
 fn alpha_renaming_preserves_the_key() {
     let module = compile_or_panic(SRC);
     let f = &module.functions()[0];
-    let config = AllocatorConfig::briggs(Target::rt_pc());
+    let config = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
     let base = cache_key(f, &config);
 
     let mut renamed = f.clone();
@@ -38,7 +38,7 @@ fn never_spill_flag_changes_the_key() {
     // state is not.
     let module = compile_or_panic(SRC);
     let f = &module.functions()[0];
-    let config = AllocatorConfig::briggs(Target::rt_pc());
+    let config = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
     let mut pinned = f.clone();
     pinned.set_spillable(VReg::new(0), false);
     assert_ne!(cache_key(&pinned, &config), cache_key(f, &config));
@@ -48,12 +48,12 @@ fn never_spill_flag_changes_the_key() {
 fn every_result_relevant_knob_changes_the_key() {
     let module = compile_or_panic(SRC);
     let f = &module.functions()[0];
-    let base = AllocatorConfig::briggs(Target::rt_pc());
+    let base = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
 
     let variants = [
-        AllocatorConfig::chaitin(Target::rt_pc()),
-        AllocatorConfig::briggs(Target::with_int_regs(8)),
-        AllocatorConfig::briggs(Target::custom("odd", 16, 4)),
+        AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+        AllocatorConfig::new(Target::with_int_regs(8), Strategy::Briggs),
+        AllocatorConfig::new(Target::custom("odd", 16, 4), Strategy::Briggs),
         base.clone().with_coalesce(CoalesceMode::Off),
         base.clone().with_coalesce(CoalesceMode::Conservative),
         base.clone().with_spill_metric(SpillMetric::Cost),
@@ -75,9 +75,10 @@ fn thread_count_is_not_part_of_the_key() {
     // different worker count keeps its addresses.
     let module = compile_or_panic(SRC);
     let f = &module.functions()[0];
-    let one = AllocatorConfig::briggs(Target::rt_pc()).with_threads(NonZeroUsize::new(1).unwrap());
-    let eight =
-        AllocatorConfig::briggs(Target::rt_pc()).with_threads(NonZeroUsize::new(8).unwrap());
+    let one = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)
+        .with_threads(NonZeroUsize::new(1).unwrap());
+    let eight = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs)
+        .with_threads(NonZeroUsize::new(8).unwrap());
     assert_eq!(cache_key(f, &one), cache_key(f, &eight));
 }
 
@@ -89,8 +90,8 @@ fn max_passes_is_not_part_of_the_key() {
     // request's bound against the cached entry's pass count.
     let module = compile_or_panic(SRC);
     let f = &module.functions()[0];
-    let tight = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(1);
-    let loose = AllocatorConfig::briggs(Target::rt_pc()).with_max_passes(64);
+    let tight = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs).with_max_passes(1);
+    let loose = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs).with_max_passes(64);
     assert_eq!(cache_key(f, &tight), cache_key(f, &loose));
 }
 
@@ -120,7 +121,7 @@ FUNCTION TWO(A)
 END
 ",
     );
-    let config = AllocatorConfig::briggs(Target::rt_pc());
+    let config = AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs);
     let keys: Vec<u64> = module
         .functions()
         .iter()

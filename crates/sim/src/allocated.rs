@@ -92,7 +92,7 @@ mod tests {
     use super::*;
     use crate::{run_allocated, run_virtual, ExecOptions, Scalar};
     use optimist_frontend::compile_or_panic;
-    use optimist_regalloc::{allocate, AllocatorConfig};
+    use optimist_regalloc::{allocate, AllocatorConfig, Strategy};
 
     fn allocate_module(m: &Module, cfg: &AllocatorConfig) -> AllocatedModule {
         let allocs: HashMap<String, Allocation> = m
@@ -122,9 +122,9 @@ END
         let opts = ExecOptions::default();
         let vr = run_virtual(&m, "WORK", &[Scalar::Int(20)], &opts).unwrap();
         for cfg in [
-            AllocatorConfig::chaitin(Target::rt_pc()),
-            AllocatorConfig::briggs(Target::rt_pc()),
-            AllocatorConfig::briggs(Target::with_int_regs(4)),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
+            AllocatorConfig::new(Target::with_int_regs(4), Strategy::Briggs),
         ] {
             let am = allocate_module(&m, &cfg);
             let ar = run_allocated(&am, "WORK", &[Scalar::Int(20)], &opts).unwrap();
@@ -152,8 +152,11 @@ END
 ";
         let m = compile_or_panic(src);
         let opts = ExecOptions::default();
-        let roomy = allocate_module(&m, &AllocatorConfig::briggs(Target::rt_pc()));
-        let tight = allocate_module(&m, &AllocatorConfig::briggs(Target::custom("tiny", 16, 3)));
+        let roomy = allocate_module(&m, &AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs));
+        let tight = allocate_module(
+            &m,
+            &AllocatorConfig::new(Target::custom("tiny", 16, 3), Strategy::Briggs),
+        );
         let r1 = run_allocated(&roomy, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
         let r2 = run_allocated(&tight, "BUSY", &[Scalar::Float(0.5)], &opts).unwrap();
         assert_eq!(r1.ret, r2.ret);

@@ -97,12 +97,12 @@ fn globals_persist_across_calls() {
 #[test]
 fn globals_survive_register_allocation() {
     use optimist_machine::Target;
-    use optimist_regalloc::{allocate, AllocatorConfig};
+    use optimist_regalloc::{allocate, AllocatorConfig, Strategy};
     use optimist_sim::AllocatedModule;
     use std::collections::HashMap;
 
     let m = module_with_global();
-    let cfg = AllocatorConfig::briggs(Target::custom("tiny", 4, 8));
+    let cfg = AllocatorConfig::new(Target::custom("tiny", 4, 8), Strategy::Briggs);
     let allocs: HashMap<_, _> = m
         .functions()
         .iter()

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Allocate for the paper's machine (16 integer + 8 float registers).
     let target = Target::rt_pc();
-    let alloc = allocate(func, &AllocatorConfig::briggs(target.clone()))?;
+    let alloc = allocate(
+        func,
+        &AllocatorConfig::new(target.clone(), Strategy::Briggs),
+    )?;
     println!("== Allocation ==");
     println!("live ranges:       {}", alloc.stats.live_ranges);
     println!("registers spilled: {}", alloc.stats.registers_spilled);
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Execute through the physical registers and compare with the
     //    virtual-register reference run.
-    let allocs = allocate_module(&module, &AllocatorConfig::briggs(target.clone()))?;
+    let allocs = allocate_module(
+        &module,
+        &AllocatorConfig::new(target.clone(), Strategy::Briggs),
+    )?;
     let am = AllocatedModule::new(&module, &allocs, &target);
     let args = [Scalar::Int(10), Scalar::Float(1.5)];
     let opts = ExecOptions::default();

@@ -172,4 +172,19 @@ case "$persist_resp" in
         ;;
 esac
 
+echo "==> deprecation shims (pre-Strategy constructors compile and match)"
+# The old AllocatorConfig::chaitin/briggs spellings must keep compiling
+# (deprecated, not removed) and must stay fingerprint-identical to the
+# Strategy constructors — existing stores depend on the addresses.
+cargo test -q -p optimist-regalloc deprecated_shims_match_strategy_constructors
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> strategy shootout (chaitin vs briggs vs irc over the corpus)"
+    # Runs all strategies through a live daemon + the cycle simulator and
+    # enforces the IRC acceptance bar: at least as many copies removed as
+    # conservative-mode Briggs, with no more spills.
+    cargo build -q --release -p optimist-bench --bin serve_replay
+    ./target/release/serve_replay --shootout
+fi
+
 echo "CI gate passed."

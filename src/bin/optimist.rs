@@ -20,12 +20,14 @@
 //!   -O                 run the scalar optimizer (default for allocate/
 //!                      run/compare; use --no-opt to disable)
 //!   --no-opt           skip the optimizer
-//!   --heuristic H      chaitin | briggs (default briggs)
+//!   --strategy S       chaitin | briggs | irc (default briggs);
+//!                      --heuristic is accepted as an alias
 //!   --int-regs N       integer registers (default 16)
 //!   --float-regs N     float registers (default 8)
 //!   --virtual          (run) use virtual registers instead of allocating
 //!   --remat            rematerialize spilled constants
-//!   --coalesce M       aggressive | conservative | off (default aggressive)
+//!   --coalesce M       aggressive | conservative | off (default aggressive;
+//!                      chaitin/briggs only — irc coalesces on its own)
 //!   --threads N        worker threads for module allocation (default: the
 //!                      machine's available parallelism; 1 = sequential)
 //!   --incremental      repair the interference graph after spilling
@@ -74,12 +76,12 @@ fn main() -> ExitCode {
 
 struct Options {
     optimize: bool,
-    heuristic: Heuristic,
+    strategy: Strategy,
     int_regs: usize,
     float_regs: usize,
     run_virtual: bool,
     rematerialize: bool,
-    coalesce: optimist::regalloc::CoalesceMode,
+    coalesce: Option<optimist::regalloc::CoalesceMode>,
     threads: Option<std::num::NonZeroUsize>,
     incremental: bool,
     routine: Option<String>,
@@ -100,12 +102,12 @@ struct Options {
 fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> {
     let mut o = Options {
         optimize: default_opt,
-        heuristic: Heuristic::BriggsOptimistic,
+        strategy: Strategy::Briggs,
         int_regs: 16,
         float_regs: 8,
         run_virtual: false,
         rematerialize: false,
-        coalesce: optimist::regalloc::CoalesceMode::Aggressive,
+        coalesce: None,
         threads: None,
         incremental: false,
         routine: None,
@@ -139,19 +141,22 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
             }
             "--coalesce" => {
                 let v = it.next().ok_or("--coalesce needs a value")?;
-                o.coalesce = match v.as_str() {
+                o.coalesce = Some(match v.as_str() {
                     "aggressive" => optimist::regalloc::CoalesceMode::Aggressive,
                     "conservative" => optimist::regalloc::CoalesceMode::Conservative,
                     "off" => optimist::regalloc::CoalesceMode::Off,
                     other => return Err(format!("unknown coalesce mode `{other}`")),
-                };
+                });
             }
-            "--heuristic" => {
-                let v = it.next().ok_or("--heuristic needs a value")?;
-                o.heuristic = match v.as_str() {
-                    "chaitin" | "old" => Heuristic::ChaitinPessimistic,
-                    "briggs" | "new" | "optimistic" => Heuristic::BriggsOptimistic,
-                    other => return Err(format!("unknown heuristic `{other}`")),
+            // "--strategy" is the canonical flag; "--heuristic" survives
+            // as an alias from before IRC made it a three-way choice.
+            "--strategy" | "--heuristic" => {
+                let v = it.next().ok_or("--strategy needs a value")?;
+                o.strategy = match v.as_str() {
+                    "chaitin" | "old" | "pessimistic" => Strategy::Chaitin,
+                    "briggs" | "new" | "optimistic" => Strategy::Briggs,
+                    "irc" => Strategy::Irc,
+                    other => return Err(format!("unknown strategy `{other}`")),
                 };
             }
             "--int-regs" => {
@@ -214,6 +219,14 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
             other => o.positional.push(other.to_string()),
         }
     }
+    // Same rule as the wire protocol: IRC coalesces on its own, so an
+    // explicit mode alongside it would be silently ignored — fail loudly
+    // instead.
+    if o.strategy == Strategy::Irc && o.coalesce.is_some() {
+        return Err("--strategy irc coalesces conservatively on its own; \
+                    --coalesce only applies to chaitin/briggs"
+            .into());
+    }
     Ok(o)
 }
 
@@ -224,11 +237,12 @@ impl Options {
 
     /// Allocator configuration from the parsed flags.
     fn allocator_config(&self) -> AllocatorConfig {
-        let cfg = AllocatorConfig::briggs(self.target())
-            .with_heuristic(self.heuristic)
+        let mut cfg = AllocatorConfig::new(self.target(), self.strategy)
             .with_rematerialize(self.rematerialize)
-            .with_coalesce(self.coalesce)
             .with_incremental(self.incremental);
+        if let Some(mode) = self.coalesce {
+            cfg = cfg.with_coalesce(mode);
+        }
         match self.threads {
             Some(n) => cfg.with_threads(n),
             None => cfg,
@@ -508,26 +522,32 @@ fn remote_config(o: &Options) -> optimist::serve::Json {
     use optimist::serve::Json;
     let mut config = Json::obj([
         (
-            "heuristic",
-            Json::from(match o.heuristic {
-                Heuristic::ChaitinPessimistic => "chaitin",
-                Heuristic::BriggsOptimistic => "briggs",
+            "strategy",
+            Json::from(match o.strategy {
+                Strategy::Chaitin => "chaitin",
+                Strategy::Briggs => "briggs",
+                Strategy::Irc => "irc",
             }),
         ),
         ("target", Json::from("cli")),
         ("int_regs", Json::from(o.int_regs as u64)),
         ("float_regs", Json::from(o.float_regs as u64)),
-        (
+    ]);
+    // IRC coalesces on its own; sending an explicit mode alongside it is a
+    // protocol error (and parse_options already rejects the combination),
+    // so the field is only sent when the flag was actually given.
+    if let Some(mode) = o.coalesce {
+        config.push(
             "coalesce",
-            Json::from(match o.coalesce {
+            Json::from(match mode {
                 optimist::regalloc::CoalesceMode::Aggressive => "aggressive",
                 optimist::regalloc::CoalesceMode::Conservative => "conservative",
                 optimist::regalloc::CoalesceMode::Off => "off",
             }),
-        ),
-        ("rematerialize", Json::from(o.rematerialize)),
-        ("incremental", Json::from(o.incremental)),
-    ]);
+        );
+    }
+    config.push("rematerialize", Json::from(o.rematerialize));
+    config.push("incremental", Json::from(o.incremental));
     if let Some(n) = o.threads {
         config.push("threads", Json::from(n.get() as u64));
     }

@@ -3,7 +3,7 @@
 
 use optimist_ir::Module;
 use optimist_machine::{size, Target};
-use optimist_regalloc::{AllocError, AllocStats, Allocation, AllocatorConfig, Pipeline};
+use optimist_regalloc::{AllocError, AllocStats, Allocation, AllocatorConfig, Pipeline, Strategy};
 use optimist_sim::{run_allocated, AllocatedModule, ExecOptions, Scalar, Trap};
 use optimist_workloads::{DriverArg, Program};
 use std::collections::HashMap;
@@ -80,8 +80,8 @@ pub fn compare_module(
     module: &Module,
     target: &Target,
 ) -> Result<Vec<RoutineComparison>, AllocError> {
-    let old_cfg = AllocatorConfig::chaitin(target.clone());
-    let new_cfg = AllocatorConfig::briggs(target.clone());
+    let old_cfg = AllocatorConfig::new(target.clone(), Strategy::Chaitin);
+    let new_cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
     let olds = Pipeline::new(old_cfg).allocate_module(module);
     let news = Pipeline::new(new_cfg).allocate_module(module);
     olds.results
@@ -144,10 +144,16 @@ pub fn compare_program(
         .map_err(|e| format!("{}: compile failed: {e}", program.name))?;
     let rows = compare_module(&module, target).map_err(|e| e.to_string())?;
 
-    let old_allocs = allocate_module(&module, &AllocatorConfig::chaitin(target.clone()))
-        .map_err(|e| e.to_string())?;
-    let new_allocs = allocate_module(&module, &AllocatorConfig::briggs(target.clone()))
-        .map_err(|e| e.to_string())?;
+    let old_allocs = allocate_module(
+        &module,
+        &AllocatorConfig::new(target.clone(), Strategy::Chaitin),
+    )
+    .map_err(|e| e.to_string())?;
+    let new_allocs = allocate_module(
+        &module,
+        &AllocatorConfig::new(target.clone(), Strategy::Briggs),
+    )
+    .map_err(|e| e.to_string())?;
     let old_am = AllocatedModule::new(&module, &old_allocs, target);
     let new_am = AllocatedModule::new(&module, &new_allocs, target);
 

@@ -6,7 +6,7 @@ use optimist::machine::Target;
 use optimist::prelude::*;
 use optimist::sim::AllocatedModule;
 use optimist::workloads::{generate_routine, GenConfig};
-use optimist::{allocate_module, regalloc::AllocatorConfig};
+use optimist::{allocate_module, regalloc::AllocatorConfig, regalloc::Strategy};
 
 fn check_seed(seed: u64, cfg: &GenConfig, targets: &[Target]) {
     let src = generate_routine("FUZZ", seed, cfg);
@@ -21,8 +21,8 @@ fn check_seed(seed: u64, cfg: &GenConfig, targets: &[Target]) {
 
     for target in targets {
         for alloc_cfg in [
-            AllocatorConfig::chaitin(target.clone()),
-            AllocatorConfig::briggs(target.clone()),
+            AllocatorConfig::new(target.clone(), Strategy::Chaitin),
+            AllocatorConfig::new(target.clone(), Strategy::Briggs),
         ] {
             let heuristic = alloc_cfg.heuristic;
             let allocs = allocate_module(&module, &alloc_cfg)

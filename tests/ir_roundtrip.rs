@@ -53,7 +53,7 @@ fn round_trip_survives_allocation() {
     // Parse-back of the *allocated* (spill-code-bearing) SVD still runs.
     let p = workloads::program("SVD").unwrap();
     let module = optimist::compile_optimized(&p.source).unwrap();
-    let cfg = AllocatorConfig::briggs(Target::rt_pc());
+    let cfg = AllocatorConfig::new(Target::rt_pc(), optimist::regalloc::Strategy::Briggs);
     let allocs = optimist::allocate_module(&module, &cfg).unwrap();
 
     let svd = &allocs["SVD"];

@@ -83,8 +83,8 @@ fn optimization_survives_allocation_end_to_end() {
 
         let optimized = optimist::compile_optimized(&p.source).unwrap();
         for cfg in [
-            AllocatorConfig::chaitin(Target::rt_pc()),
-            AllocatorConfig::briggs(Target::rt_pc()),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Chaitin),
+            AllocatorConfig::new(Target::rt_pc(), Strategy::Briggs),
         ] {
             let allocs = optimist::allocate_module(&optimized, &cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name));

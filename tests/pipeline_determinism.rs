@@ -60,7 +60,7 @@ proptest! {
         regs in 4usize..12,
     ) {
         let module = module_from_seeds(&seeds);
-        let base = AllocatorConfig::briggs(Target::with_int_regs(regs))
+        let base = AllocatorConfig::new(Target::with_int_regs(regs), optimist::regalloc::Strategy::Briggs)
             .with_incremental(incremental);
         let seq = Pipeline::new(base.clone().with_threads(NonZeroUsize::new(1).unwrap()))
             .allocate_module(&module);

@@ -29,7 +29,7 @@ fn remat_preserves_results_and_never_adds_memory_traffic() {
         let module = optimist::compile_optimized(&p.source).unwrap();
         let args = args_of(&p);
 
-        let mut plain_cfg = AllocatorConfig::briggs(target.clone());
+        let mut plain_cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
         plain_cfg.rematerialize = false;
         let mut remat_cfg = plain_cfg.clone();
         remat_cfg.rematerialize = true;
@@ -89,7 +89,7 @@ fn remat_reduces_traffic_on_constant_heavy_code() {
     let opts = ExecOptions::default();
     let args = [Scalar::Int(50)];
 
-    let mut plain_cfg = AllocatorConfig::briggs(target.clone());
+    let mut plain_cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
     plain_cfg.rematerialize = false;
     let mut remat_cfg = plain_cfg.clone();
     remat_cfg.rematerialize = true;
@@ -116,7 +116,7 @@ fn remat_quicksort_under_extreme_pressure() {
     let module = optimist::compile_optimized(&p.source).unwrap();
     let opts = ExecOptions::default();
     let target = Target::with_int_regs(8);
-    let mut cfg = AllocatorConfig::briggs(target.clone());
+    let mut cfg = AllocatorConfig::new(target.clone(), Strategy::Briggs);
     cfg.rematerialize = true;
     let allocs = optimist::allocate_module(&module, &cfg).unwrap();
     let am = AllocatedModule::new(&module, &allocs, &target);

@@ -1,4 +1,6 @@
-//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm),
+//! plus the dominator tree's child lists and dominance frontiers — the
+//! ingredients of SSA construction (Cytron et al.'s phi placement).
 
 use crate::cfg::Cfg;
 use optimist_ir::{BlockId, Function};
@@ -9,6 +11,9 @@ pub struct Dominators {
     /// `idom[b]` = immediate dominator of `b`; the entry maps to itself.
     idom: Vec<Option<BlockId>>,
     rpo_index: Vec<Option<u32>>,
+    /// `children[b]` = reachable blocks whose immediate dominator is `b`,
+    /// in block-index order (deterministic tree walks).
+    children: Vec<Vec<BlockId>>,
 }
 
 impl Dominators {
@@ -59,7 +64,21 @@ impl Dominators {
             }
         }
 
-        Dominators { idom, rpo_index }
+        let mut children = vec![Vec::new(); n];
+        for b in 0..n {
+            let b = BlockId::new(b as u32);
+            if let Some(d) = idom[b.index()] {
+                if d != b {
+                    children[d.index()].push(b);
+                }
+            }
+        }
+
+        Dominators {
+            idom,
+            rpo_index,
+            children,
+        }
     }
 
     /// The immediate dominator of `b` (`None` for the entry and for
@@ -71,6 +90,14 @@ impl Dominators {
         } else {
             Some(d)
         }
+    }
+
+    /// The dominator-tree children of `b`: reachable blocks whose
+    /// [`idom`](Dominators::idom) is `b`, in block-index order. Together
+    /// with [`idom`](Dominators::idom) this makes the dominator tree
+    /// walkable top-down — SSA renaming traverses it in preorder.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
     }
 
     /// True if `a` dominates `b` (reflexive: every block dominates itself).
@@ -90,6 +117,63 @@ impl Dominators {
                 _ => return false,
             }
         }
+    }
+}
+
+/// Dominance frontiers: for each block `b`, the set of blocks where `b`'s
+/// dominance *stops* — `y ∈ DF(b)` iff `b` dominates a predecessor of `y`
+/// but does not strictly dominate `y` itself (Cytron et al. 1991). Phi
+/// placement for SSA construction inserts a phi for a variable at every
+/// block of the iterated frontier of its definition sites.
+///
+/// Computed with the Cooper–Harvey–Kennedy two-finger walk: for every join
+/// (a block with ≥ 2 predecessors), run from each predecessor up the
+/// dominator tree to the join's immediate dominator, adding the join to
+/// the frontier of every block passed.
+#[derive(Debug, Clone)]
+pub struct DominanceFrontiers {
+    df: Vec<Vec<BlockId>>,
+}
+
+impl DominanceFrontiers {
+    /// Compute the dominance frontier of every reachable block of `func`.
+    pub fn new(func: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        let mut df = vec![Vec::new(); func.num_blocks()];
+        for &b in cfg.rpo() {
+            let preds = cfg.preds(b);
+            if preds.len() < 2 {
+                continue;
+            }
+            let stop = dom.idom(b);
+            for &p in preds {
+                if !cfg.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                loop {
+                    if Some(runner) == stop {
+                        break;
+                    }
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    match dom.idom(runner) {
+                        Some(d) => runner = d,
+                        None => break, // reached the entry
+                    }
+                }
+            }
+        }
+        for f in &mut df {
+            f.sort_unstable_by_key(|b| b.index());
+        }
+        DominanceFrontiers { df }
+    }
+
+    /// The dominance frontier of `b`, in block-index order. Empty for
+    /// unreachable blocks.
+    pub fn frontier(&self, b: BlockId) -> &[BlockId] {
+        &self.df[b.index()]
     }
 }
 
@@ -175,5 +259,69 @@ mod tests {
         assert!(dom.dominates(head, body));
         assert!(!dom.dominates(body, head));
         assert_eq!(dom.idom(exit), Some(head));
+    }
+
+    #[test]
+    fn children_mirror_idom() {
+        let (f, bs) = branchy();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let (b1, b2, b3, b4) = (bs[0], bs[1], bs[2], bs[3]);
+        // entry branches to b1 and b3 and is the idom of the join b4.
+        assert_eq!(dom.children(f.entry()), &[b1, b3, b4]);
+        assert_eq!(dom.children(b1), &[b2]);
+        assert!(dom.children(b2).is_empty());
+        assert!(dom.children(b4).is_empty());
+        // Every reachable non-entry block appears under exactly its idom.
+        for (bid, _) in f.blocks() {
+            if let Some(d) = dom.idom(bid) {
+                assert!(dom.children(d).contains(&bid));
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_frontier_is_the_join() {
+        let (f, bs) = branchy();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let df = DominanceFrontiers::new(&f, &cfg, &dom);
+        let (b1, b2, b3, b4) = (bs[0], bs[1], bs[2], bs[3]);
+        // Both arms stop dominating at the join; the branch point and the
+        // join itself dominate everything downstream of themselves.
+        assert_eq!(df.frontier(b1), &[b4]);
+        assert_eq!(df.frontier(b2), &[b4]);
+        assert_eq!(df.frontier(b3), &[b4]);
+        assert!(df.frontier(f.entry()).is_empty());
+        assert!(df.frontier(b4).is_empty());
+    }
+
+    #[test]
+    fn loop_header_is_in_its_own_frontier() {
+        // entry -> head <-> body, head -> exit: the back edge makes head a
+        // join, and head dominates its own predecessor body, so head is in
+        // DF(head) and DF(body) — definitions in the loop need a phi at
+        // the header.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(RegClass::Int, "x");
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        let zero = b.int(0);
+        let c = b.cmp_i(Cmp::Gt, x, zero);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let df = DominanceFrontiers::new(&f, &cfg, &dom);
+        assert_eq!(df.frontier(body), &[head]);
+        assert_eq!(df.frontier(head), &[head]);
+        assert!(df.frontier(exit).is_empty());
     }
 }

@@ -8,7 +8,9 @@
 //! * [`Cfg`] — successor/predecessor lists and a reverse postorder.
 //! * [`Dominators`] — immediate dominators via the Cooper–Harvey–Kennedy
 //!   iterative algorithm (a fitting choice: two of its authors wrote the
-//!   paper this project reproduces).
+//!   paper this project reproduces), with dominator-tree child lists.
+//! * [`DominanceFrontiers`] — per-block dominance frontiers (Cytron et
+//!   al.), the phi-placement oracle of the SSA allocation track.
 //! * [`LoopInfo`] — natural loops and per-block nesting depth, which drives
 //!   the paper's spill-cost weighting (`10^depth` per inserted load/store).
 //! * [`Liveness`] — per-block live-in/live-out virtual-register sets.
@@ -49,7 +51,7 @@ mod webs;
 
 pub use bitset::DenseBitSet;
 pub use cfg::Cfg;
-pub use dom::Dominators;
+pub use dom::{DominanceFrontiers, Dominators};
 pub use liveness::Liveness;
 pub use loops::{Loop, LoopInfo};
 pub use reach::{DefSite, DefSiteKind, ReachingDefs};

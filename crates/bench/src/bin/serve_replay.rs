@@ -38,14 +38,15 @@
 //! the store back in the serving path. Per-phase hit rates show what
 //! degraded mode costs.
 //!
-//! With `--shootout` the benchmark races the three allocator strategies
-//! (plus conservative-coalescing Briggs as a fourth lane) over the whole
+//! With `--shootout` the benchmark races the four allocator strategies
+//! (plus conservative-coalescing Briggs as a fifth lane) over the whole
 //! corpus through the wire protocol: each lane sends its own
 //! `{"strategy": ...}` config, the per-function wire stats are summed,
 //! and the allocated code is re-run locally under the simulator for a
 //! cycle count with the usual self-checks. Fails unless IRC removes at
 //! least as many copies as conservative-mode Briggs without spilling
-//! more.
+//! more, and unless the SSA lane allocates every function in exactly
+//! one pass.
 
 use optimist_serve::{Client, Json, RetryPolicy, Server};
 use optimist_store::failpoint::FailKind;
@@ -816,12 +817,12 @@ fn run_shootout() -> Result<(), String> {
         })
         .collect::<Result<_, String>>()?;
 
-    // The four lanes. Each pairs the wire config the daemon is sent with
+    // The five lanes. Each pairs the wire config the daemon is sent with
     // the equivalent local config used for the simulator runs — the
     // daemon and the simulator must be allocating with the same knobs or
     // the cycle column would describe different code than the spill
     // column.
-    let lanes: [(&str, Json, AllocatorConfig); 4] = [
+    let lanes: [(&str, Json, AllocatorConfig); 5] = [
         (
             "chaitin",
             Json::obj([("strategy", Json::from("chaitin"))]),
@@ -845,6 +846,11 @@ fn run_shootout() -> Result<(), String> {
             "irc",
             Json::obj([("strategy", Json::from("irc"))]),
             AllocatorConfig::new(target.clone(), Strategy::Irc),
+        ),
+        (
+            "ssa",
+            Json::obj([("strategy", Json::from("ssa"))]),
+            AllocatorConfig::new(target.clone(), Strategy::Ssa),
         ),
     ];
 
@@ -956,6 +962,16 @@ fn run_shootout() -> Result<(), String> {
     if irc_spills > cons_spills {
         return Err(format!(
             "irc spilled {irc_spills} ranges, above conservative Briggs' {cons_spills}"
+        ));
+    }
+    // The SSA track decouples spilling from coloring, so it never
+    // iterates: summed passes must equal the number of functions.
+    let total_functions: usize = subjects.iter().map(|s| s.module.functions().len()).sum();
+    let (_, _, _, ssa_passes, _) = lane("ssa")?;
+    if ssa_passes != total_functions {
+        return Err(format!(
+            "ssa took {ssa_passes} passes over {total_functions} functions; \
+             the chordal track must be single-pass"
         ));
     }
     Ok(())

@@ -63,6 +63,14 @@ pub enum Strategy {
     /// [`coalesce`](AllocatorConfig::coalesce) ablation knob is ignored —
     /// conservative, iterated coalescing *is* the strategy.
     Irc,
+    /// The SSA track (see [`ssa`](crate::ssa)): convert to SSA form, run a
+    /// decoupled spill phase that lowers register pressure to ≤ k up
+    /// front, color the chordal SSA interference graph greedily in one
+    /// pass, and lower phis back to copies. No Build–Simplify–Color
+    /// iteration — [`AllocStats::passes`] is always 1. The `heuristic`,
+    /// `coalesce`, `spill_metric`, `rematerialize` and `incremental`
+    /// ablation knobs are all ignored.
+    Ssa,
 }
 
 impl Strategy {
@@ -70,7 +78,7 @@ impl Strategy {
     fn heuristic(self) -> Heuristic {
         match self {
             Strategy::Chaitin => Heuristic::ChaitinPessimistic,
-            Strategy::Briggs | Strategy::Irc => Heuristic::BriggsOptimistic,
+            Strategy::Briggs | Strategy::Irc | Strategy::Ssa => Heuristic::BriggsOptimistic,
         }
     }
 }
@@ -261,9 +269,19 @@ impl AllocatorConfig {
     /// daemons — is byte-identical across the redesign. [`Strategy::Irc`]
     /// renders as `strategy=Irc` with no `heuristic`/`coalesce` terms (IRC
     /// ignores both), a spelling no pre-`Strategy` config could produce.
+    /// [`Strategy::Ssa`] renders as just `strategy=Ssa` after the target:
+    /// the SSA track ignores *every* ablation knob, so none may leak into
+    /// its cache key.
     pub fn fingerprint(&self) -> u64 {
         use optimist_ir::RegClass;
-        let canonical = if self.strategy == Strategy::Irc {
+        let canonical = if self.strategy == Strategy::Ssa {
+            format!(
+                "target={}/i{}/f{};strategy=Ssa",
+                self.target.name(),
+                self.target.regs(RegClass::Int),
+                self.target.regs(RegClass::Float),
+            )
+        } else if self.strategy == Strategy::Irc {
             format!(
                 "target={}/i{}/f{};strategy=Irc;metric={:?};remat={};incremental={}",
                 self.target.name(),
@@ -488,6 +506,11 @@ pub fn allocate_with_deadline(
     };
     if deadline.expired() {
         return Err(overdue(0));
+    }
+    if config.strategy == Strategy::Ssa {
+        // The SSA track has no Build–Simplify–Color loop; it runs its own
+        // construct → spill → color → destruct pipeline.
+        return crate::ssa::allocate_ssa(func, config, deadline);
     }
     let mut f = func.clone();
     let mut passes: Vec<PassRecord> = Vec::new();
@@ -1352,6 +1375,49 @@ mod tests {
             base.fingerprint(),
             base.clone().with_rematerialize(true).fingerprint()
         );
+    }
+
+    #[test]
+    fn ssa_fingerprint_ignores_every_ablation_knob() {
+        // The SSA track has no simplify stack, no coalesce phase and no
+        // rematerialization, so none of the classic ablation knobs can
+        // change its result — the canonical print ignores them all.
+        let base = AllocatorConfig::new(Target::rt_pc(), Strategy::Ssa);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        for variant in [
+            base.clone()
+                .with_coalesce(crate::coalesce::CoalesceMode::Off),
+            base.clone()
+                .with_spill_metric(crate::simplify::SpillMetric::Cost),
+            base.clone().with_rematerialize(true),
+            base.clone().with_incremental(true),
+        ] {
+            assert_eq!(base.fingerprint(), variant.fingerprint());
+        }
+        // The target still moves it, and it collides with no other
+        // strategy's print.
+        let shrunk = AllocatorConfig::new(Target::with_int_regs(8), Strategy::Ssa);
+        assert_ne!(base.fingerprint(), shrunk.fingerprint());
+        for other in [Strategy::Chaitin, Strategy::Briggs, Strategy::Irc] {
+            assert_ne!(
+                base.fingerprint(),
+                AllocatorConfig::new(Target::rt_pc(), other).fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn ssa_allocates_under_pressure_in_one_pass() {
+        let f = pressure_function(24);
+        let a = allocate(
+            &f,
+            &AllocatorConfig::new(Target::with_int_regs(8), Strategy::Ssa),
+        )
+        .unwrap();
+        assert!(a.stats.registers_spilled > 0, "pressure must force spills");
+        assert_eq!(a.stats.passes, 1, "the SSA track is single-pass");
+        assert_eq!(a.passes.len(), 1);
+        assert_eq!(a.func.num_vregs(), a.assignment.len());
     }
 
     #[test]

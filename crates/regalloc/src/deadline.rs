@@ -66,6 +66,14 @@ impl Deadline {
         self.at.is_none() && self.cancel.is_none()
     }
 
+    /// The absolute expiry instant, if the token is clock-bounded.
+    /// Cancellation flags don't register here — they have no schedulable
+    /// time, only a state. Schedulers (the worker pool's EDF queue) order
+    /// by this value.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.at
+    }
+
     /// True once the wall clock has passed the deadline or the
     /// cancellation flag was raised.
     pub fn expired(&self) -> bool {

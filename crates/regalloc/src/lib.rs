@@ -4,12 +4,13 @@
 //!
 //! Graph-coloring register allocation: Chaitin's pessimistic baseline, the
 //! **optimistic** allocator of Briggs, Cooper, Kennedy & Torczon
-//! (*Coloring Heuristics for Register Allocation*, PLDI 1989), and
-//! **iterated register coalescing** (George & Appel).
+//! (*Coloring Heuristics for Register Allocation*, PLDI 1989),
+//! **iterated register coalescing** (George & Appel), and an **SSA track**
+//! that colors the chordal interference graph of SSA form in one pass.
 //!
-//! ## The three strategies
+//! ## The four strategies
 //!
-//! All allocators run the Build–Simplify–Color cycle of the paper's
+//! Three allocators run the Build–Simplify–Color cycle of the paper's
 //! Figure 4 ([`allocate`] is the driver), selected by [`Strategy`] on
 //! [`AllocatorConfig`]. The classic two share the build phase (renumber →
 //! aggressive coalesce → interference graph → spill costs) and the trivial
@@ -29,6 +30,15 @@
 //! * **IRC** ([`Strategy::Irc`]) skips the aggressive pre-merge entirely
 //!   and coalesces *during* simplification, only when the Briggs or George
 //!   conservative test proves the merge safe — see the [`irc`] phase.
+//!
+//! The fourth strategy leaves the cycle altogether. **SSA**
+//! ([`Strategy::Ssa`]) converts the function to SSA form, whose
+//! interference graph is *chordal*: reverse dominance order is a perfect
+//! elimination order, so maxlive registers per class always suffice and
+//! greedy coloring along dominance order never blocks. Spilling becomes a
+//! separate phase that runs *before* coloring (lower pressure to ≤ k,
+//! then color — never iterate), and copy cleanup falls out of SSA
+//! destruction eliding no-op parallel copies — see the [`ssa`] module.
 //!
 //! ## Example
 //!
@@ -69,6 +79,7 @@ mod pipeline;
 mod select;
 mod simplify;
 mod spill;
+pub mod ssa;
 
 pub use allocator::{
     allocate, allocate_with_deadline, default_threads, fnv1a, AllocError, AllocStats, Allocation,

@@ -19,18 +19,19 @@
 //! For serving workloads — many small requests instead of one big module —
 //! per-call thread spawn is wasted work. [`WorkerPool`] keeps the workers
 //! alive across calls: concurrent callers (e.g. the in-flight window of one
-//! `optimist-serve` connection) feed jobs into a shared queue and block only
-//! for their own results. [`Pipeline::with_pool`] routes a session through
-//! such a pool.
+//! `optimist-serve` connection) feed jobs into a shared earliest-deadline-
+//! first queue and block only for their own results. [`Pipeline::with_pool`]
+//! routes a session through such a pool.
 
 use crate::allocator::{allocate_with_deadline, AllocError, Allocation, AllocatorConfig};
 use crate::deadline::Deadline;
 use optimist_ir::{Function, Module};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// A long-lived allocation worker pool, shared across [`Pipeline`]
 /// sessions and across callers.
@@ -44,12 +45,20 @@ use std::sync::{mpsc, Arc, Mutex};
 /// [`AllocatorConfig`], so one pool serves requests with different
 /// configurations.
 ///
+/// Dispatch is **earliest-deadline-first**: workers always take the queued
+/// job whose [`Deadline`] expires soonest, with unbounded jobs after every
+/// bounded one and FIFO order inside a tie. Under backlog that minimizes
+/// missed deadlines — a job with ample budget can afford to wait, one with
+/// little cannot — and it composes with the expired-at-dequeue shed: a job
+/// whose token ran out while queued is failed in O(1) instead of occupying
+/// a worker.
+///
 /// Panics inside a job are contained exactly as in [`Pipeline`]: the
 /// function's slot gets [`AllocError::WorkerPanic`] and the worker thread
 /// survives to take the next job.
 #[derive(Debug)]
 pub struct WorkerPool {
-    submit: Mutex<Option<mpsc::Sender<Job>>>,
+    queue: Arc<EdfQueue>,
     pending: Arc<AtomicUsize>,
     threads: usize,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -58,52 +67,163 @@ pub struct WorkerPool {
 struct Job {
     func: Function,
     config: AllocatorConfig,
-    /// The submitting request's deadline: a job whose token expired while
-    /// it sat in the queue fails immediately instead of occupying a
-    /// worker.
+    /// The submitting request's deadline: orders the job in the EDF queue,
+    /// and a job whose token expired while it sat there fails immediately
+    /// instead of occupying a worker.
     deadline: Deadline,
     index: usize,
     out: mpsc::Sender<(usize, Result<Allocation, AllocError>)>,
 }
 
+/// A queued job plus its EDF sort key. `BinaryHeap` is a max-heap, so the
+/// ordering is inverted: the *greatest* entry is the one a worker should
+/// take next — soonest deadline first, unbounded (`None`) after every
+/// bounded deadline, and lower submission sequence (FIFO) inside a tie.
+struct PrioJob {
+    expires: Option<Instant>,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for PrioJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for PrioJob {}
+
+impl PartialOrd for PrioJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrioJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let by_deadline = match (self.expires, other.expires) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        by_deadline.then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pool's shared submission queue: a deadline-ordered heap behind a
+/// mutex, with a condvar to park idle workers.
+struct EdfQueue {
+    state: Mutex<EdfState>,
+    available: Condvar,
+}
+
+struct EdfState {
+    heap: BinaryHeap<PrioJob>,
+    /// Monotonic submission counter: the FIFO tie-break for equal (or both
+    /// absent) deadlines.
+    seq: u64,
+    closed: bool,
+}
+
+impl std::fmt::Debug for EdfQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("pool queue lock poisoned");
+        f.debug_struct("EdfQueue")
+            .field("queued", &state.heap.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl EdfQueue {
+    fn new() -> Self {
+        EdfQueue {
+            state: Mutex::new(EdfState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one job under EDF order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has been shut down.
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("pool queue lock poisoned");
+        assert!(!state.closed, "pool already shut down");
+        let seq = state.seq;
+        state.seq += 1;
+        state.heap.push(PrioJob {
+            expires: job.deadline.expires_at(),
+            seq,
+            job,
+        });
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Block until a job is available or the queue is closed *and* drained;
+    /// `None` tells the worker to exit.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("pool queue lock poisoned");
+        loop {
+            if let Some(prio) = state.heap.pop() {
+                return Some(prio.job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .expect("pool queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: workers drain what is already queued, then exit.
+    fn close(&self) {
+        self.state.lock().expect("pool queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
 impl WorkerPool {
     /// Spawn a pool of `threads` long-lived allocation workers.
     pub fn new(threads: NonZeroUsize) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(EdfQueue::new());
         let pending = Arc::new(AtomicUsize::new(0));
         let workers = (0..threads.get())
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let pending = Arc::clone(&pending);
-                std::thread::spawn(move || loop {
-                    // Take the receiver lock only to pull one job; workers
-                    // allocate outside the lock so they run concurrently.
-                    let job = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => break,
-                    };
-                    let Ok(job) = job else { break };
-                    pending.fetch_sub(1, Ordering::Relaxed);
-                    // EDF's cheap half: a job whose deadline passed while it
-                    // queued is dropped at dequeue instead of occupying the
-                    // worker for a build phase it cannot finish.
-                    let result = if job.deadline.expired() {
-                        Err(AllocError::DeadlineExceeded {
-                            function: job.func.name().to_string(),
-                            passes: 0,
-                        })
-                    } else {
-                        allocate_caught(&job.func, &job.config, &job.deadline)
-                    };
-                    // The caller may have gone away (its receiver dropped);
-                    // the job's work is simply discarded then.
-                    let _ = job.out.send((job.index, result));
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        pending.fetch_sub(1, Ordering::Relaxed);
+                        // EDF's cheap half: a job whose deadline passed while
+                        // it queued is dropped at dequeue instead of occupying
+                        // the worker for a build phase it cannot finish.
+                        let result = if job.deadline.expired() {
+                            Err(AllocError::DeadlineExceeded {
+                                function: job.func.name().to_string(),
+                                passes: 0,
+                            })
+                        } else {
+                            allocate_caught(&job.func, &job.config, &job.deadline)
+                        };
+                        // The caller may have gone away (its receiver
+                        // dropped); the job's work is simply discarded then.
+                        let _ = job.out.send((job.index, result));
+                    }
                 })
             })
             .collect();
         WorkerPool {
-            submit: Mutex::new(Some(tx)),
+            queue,
             pending,
             threads: threads.get(),
             workers,
@@ -135,7 +255,8 @@ impl WorkerPool {
     }
 
     /// [`WorkerPool::allocate_functions`] under a cooperative [`Deadline`]
-    /// shared by every job of the call: expired jobs fail with
+    /// shared by every job of the call: the deadline orders the jobs in the
+    /// pool's EDF queue, and expired jobs fail with
     /// [`AllocError::DeadlineExceeded`] at their next phase boundary (or
     /// immediately, if the token expired while they were queued) — a slow
     /// request cannot wedge a worker past its budget.
@@ -149,20 +270,15 @@ impl WorkerPool {
             return Vec::new();
         }
         let (out_tx, out_rx) = mpsc::channel();
-        {
-            let guard = self.submit.lock().expect("pool submit lock poisoned");
-            let tx = guard.as_ref().expect("pool already shut down");
-            for (index, func) in funcs.iter().enumerate() {
-                self.pending.fetch_add(1, Ordering::Relaxed);
-                tx.send(Job {
-                    func: func.clone(),
-                    config: config.clone(),
-                    deadline: deadline.clone(),
-                    index,
-                    out: out_tx.clone(),
-                })
-                .expect("pool workers gone");
-            }
+        for (index, func) in funcs.iter().enumerate() {
+            self.pending.fetch_add(1, Ordering::Relaxed);
+            self.queue.push(Job {
+                func: func.clone(),
+                config: config.clone(),
+                deadline: deadline.clone(),
+                index,
+                out: out_tx.clone(),
+            });
         }
         drop(out_tx);
         let mut slots: Vec<Option<Result<Allocation, AllocError>>> =
@@ -180,7 +296,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Close the queue so workers drain and exit, then join them.
-        *self.submit.lock().expect("pool submit lock poisoned") = None;
+        self.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -543,6 +659,73 @@ mod tests {
         let results = pool.allocate_functions(&cfg, &funcs);
         assert!(results[0].is_ok());
         assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn edf_queue_orders_by_deadline_then_fifo() {
+        // Drive the queue directly (no workers) so the order is observable
+        // deterministically: soonest deadline first, unbounded last, FIFO
+        // among equals.
+        let queue = EdfQueue::new();
+        let (out, _keep) = mpsc::channel();
+        let base = Instant::now() + std::time::Duration::from_secs(3600);
+        let mk = |index: usize, deadline: Deadline| Job {
+            func: pressure_function("f", 4),
+            config: config(1),
+            deadline,
+            index,
+            out: out.clone(),
+        };
+        queue.push(mk(0, Deadline::none()));
+        queue.push(mk(
+            1,
+            Deadline::at(base + std::time::Duration::from_secs(20)),
+        ));
+        queue.push(mk(2, Deadline::at(base)));
+        queue.push(mk(3, Deadline::none()));
+        queue.push(mk(4, Deadline::at(base))); // ties with 2 → FIFO after it
+        let order: Vec<usize> = (0..5).map(|_| queue.pop().unwrap().index).collect();
+        assert_eq!(order, [2, 4, 1, 0, 3]);
+        // Closed and drained → workers are told to exit.
+        queue.close();
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn edf_pool_serves_mixed_deadlines_correctly() {
+        // End-to-end smoke over the EDF path: bounded (generous) and
+        // unbounded callers share a pool and all complete correctly.
+        let pool = WorkerPool::new(NonZeroUsize::new(2).unwrap());
+        let cfg = config(1);
+        let m = test_module(5);
+        let bounded = pool.allocate_functions_with_deadline(
+            &cfg,
+            m.functions(),
+            &Deadline::after(std::time::Duration::from_secs(3600)),
+        );
+        let unbounded = pool.allocate_functions(&cfg, m.functions());
+        for (b, u) in bounded.iter().zip(&unbounded) {
+            assert_eq!(
+                fingerprint(b.as_ref().unwrap()),
+                fingerprint(u.as_ref().unwrap())
+            );
+        }
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool already shut down")]
+    fn submitting_to_a_closed_queue_panics() {
+        let queue = EdfQueue::new();
+        queue.close();
+        let (out, _keep) = mpsc::channel();
+        queue.push(Job {
+            func: pressure_function("f", 4),
+            config: config(1),
+            deadline: Deadline::none(),
+            index: 0,
+            out,
+        });
     }
 
     #[test]

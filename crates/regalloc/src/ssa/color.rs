@@ -1,0 +1,158 @@
+//! Chordal coloring along a perfect elimination order — one greedy pass,
+//! no simplify/select iteration, no optimistic push.
+//!
+//! SSA interference graphs are chordal: every live range is a connected
+//! subtree of the dominator tree, and intersection graphs of subtrees of a
+//! tree are exactly the chordal graphs. A chordal graph colored greedily
+//! along the *reverse* of a perfect elimination order (PEO) never needs
+//! more colors than its largest clique — which for SSA equals maxlive, the
+//! quantity the spill phase already lowered to ≤ k. Hence coloring here
+//! cannot fail and never loops.
+//!
+//! Two PEO sources are provided:
+//!
+//! * [`dominance_order`] — definitions in dominator-tree preorder. The
+//!   *reverse* of a dominance order is a PEO (a node's earlier-defined
+//!   neighbors are exactly the values live at its def, a clique), and it
+//!   falls out of SSA form for free: this is what the allocator uses.
+//! * [`mcs_order`] — maximum cardinality search, the textbook O(n²)
+//!   PEO construction for arbitrary chordal graphs. Used by the tests to
+//!   certify chordality independently of how construction ordered things.
+
+use super::construct::SsaForm;
+use crate::graph::InterferenceGraph;
+use crate::select::{select, Coloring};
+use optimist_machine::Target;
+
+/// Definition order of all SSA names: entry-defined values first
+/// (parameters and names with no definition site), then dominator-tree
+/// preorder — within a block, phi destinations before instruction defs.
+pub fn dominance_order(ssa: &SsaForm) -> Vec<u32> {
+    let f = &ssa.func;
+    let nv = f.num_vregs();
+    let mut order = Vec::with_capacity(nv);
+    let mut seen = vec![false; nv];
+
+    let mut has_site = vec![false; nv];
+    for &b in ssa.cfg().rpo() {
+        for phi in &ssa.phis[b.index()] {
+            has_site[phi.dst.index()] = true;
+        }
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.def() {
+                has_site[d.index()] = true;
+            }
+        }
+    }
+    for v in 0..nv {
+        if !has_site[v] {
+            order.push(v as u32);
+            seen[v] = true;
+        }
+    }
+
+    let mut stack = vec![f.entry()];
+    while let Some(b) = stack.pop() {
+        for phi in &ssa.phis[b.index()] {
+            let d = phi.dst.index();
+            if !seen[d] {
+                seen[d] = true;
+                order.push(d as u32);
+            }
+        }
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.def() {
+                if !seen[d.index()] {
+                    seen[d.index()] = true;
+                    order.push(d.index() as u32);
+                }
+            }
+        }
+        for &c in ssa.dom().children(b).iter().rev() {
+            stack.push(c);
+        }
+    }
+
+    // Defs confined to unreachable blocks interfere with nothing; append.
+    for (v, &done) in seen.iter().enumerate().take(nv) {
+        if !done {
+            order.push(v as u32);
+        }
+    }
+    order
+}
+
+/// Greedily color `graph` in `order` (first element colored first), each
+/// node receiving the lowest register of its class not used by an
+/// already-colored neighbor. With `order` the reverse of a PEO and the
+/// graph chordal with cliques ≤ k, this completes — one pass, no retry.
+pub fn chordal_color(graph: &InterferenceGraph, order: &[u32], target: &Target) -> Coloring {
+    // `select` pops its stack back-to-front, so hand it the reversed order.
+    let stack: Vec<u32> = order.iter().rev().copied().collect();
+    select(graph, &stack, target)
+}
+
+/// Maximum cardinality search: repeatedly visit the unvisited node with
+/// the most visited neighbors (ties to the lowest index). For a chordal
+/// graph the **reverse** of the returned visit order is a perfect
+/// elimination order; for a non-chordal graph it is not, which is what
+/// [`is_perfect_elimination_order`] detects.
+pub fn mcs_order(graph: &InterferenceGraph) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if visited[v] {
+                continue;
+            }
+            if best.is_none_or(|b| weight[v] > weight[b]) {
+                best = Some(v);
+            }
+        }
+        let v = best.expect("n nodes yield n picks");
+        visited[v] = true;
+        order.push(v as u32);
+        for &nb in graph.neighbors(v as u32) {
+            if !visited[nb as usize] {
+                weight[nb as usize] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// True if `elim` is a perfect elimination order of `graph`: every node's
+/// neighbors that come *later* in `elim` form a clique. A graph is
+/// chordal iff it admits such an order.
+pub fn is_perfect_elimination_order(graph: &InterferenceGraph, elim: &[u32]) -> bool {
+    let n = graph.num_nodes();
+    if elim.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in elim.iter().enumerate() {
+        if pos[v as usize] != usize::MAX {
+            return false;
+        }
+        pos[v as usize] = i;
+    }
+    for (i, &v) in elim.iter().enumerate() {
+        let later: Vec<u32> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| pos[w as usize] > i)
+            .collect();
+        for (j, &a) in later.iter().enumerate() {
+            for &b in &later[j + 1..] {
+                if !graph.interferes(a, b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,327 @@
+//! SSA construction: critical-edge splitting, pruned phi placement via
+//! dominance frontiers, and variable renaming over the dominator tree
+//! (Cytron et al. 1991).
+//!
+//! The IR deliberately has no phi instruction — the text format, the
+//! verifier and the cycle simulator all predate the SSA track and stay
+//! phi-free. Phi nodes therefore live in a side table ([`SsaForm::phis`])
+//! next to a cloned function whose instructions have been rewritten to SSA
+//! names; [`destruct`](super::destruct::destruct) lowers the table back to
+//! ordinary copies before anything downstream sees the function again.
+//!
+//! Two structural normalizations run before renaming so that later phases
+//! can insert code on edges by appending to predecessor blocks:
+//!
+//! * **Virgin entry** — if any branch targets the entry block, its body is
+//!   moved to a fresh block and the entry reduced to a jump. The entry has
+//!   an implicit edge from the caller, so a phi there would have no
+//!   predecessor slot for it.
+//! * **Critical-edge splitting** — every edge from a multi-successor block
+//!   into a multi-predecessor block gets its own empty block. Afterwards
+//!   every predecessor of a phi-carrying block has exactly one successor,
+//!   so spill code and parallel copies for that edge can sit at the
+//!   predecessor's tail without leaking onto sibling edges.
+
+use optimist_analysis::{Cfg, DenseBitSet, DominanceFrontiers, Dominators, Liveness};
+use optimist_ir::{BlockId, FrameSlot, Function, Inst, VReg};
+
+/// Where a phi argument's value arrives from along its edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhiSrc {
+    /// In a register — the normal case.
+    Reg(VReg),
+    /// From a stack slot: the spill phase demoted the value, and the
+    /// parallel copy on this edge loads it straight into the phi
+    /// destination's register. Keeping the load *inside* the parallel
+    /// copy (instead of reloading into a temporary at the predecessor's
+    /// tail) is what stops spilled phi inputs from stacking reload
+    /// temporaries — and register pressure — on the edge.
+    Slot(FrameSlot),
+}
+
+/// One phi node: `dst = phi(args)`, conceptually executed at the top of its
+/// block, with one argument per CFG predecessor edge.
+#[derive(Debug, Clone)]
+pub struct Phi {
+    /// The SSA name this phi defines.
+    pub dst: VReg,
+    /// `(predecessor, value)` — the value the phi takes when control
+    /// arrives from that predecessor.
+    pub args: Vec<(BlockId, PhiSrc)>,
+}
+
+/// A function in SSA form: the renamed clone, its phi side table, and the
+/// analyses that remain valid for the whole SSA pipeline (the spill phase
+/// adds instructions, virtual registers and frame slots, but never blocks
+/// or edges, so the CFG and dominator tree are computed exactly once).
+pub struct SsaForm {
+    /// The renamed function. Every instruction def introduces a fresh SSA
+    /// name; phi defs live in [`SsaForm::phis`].
+    pub func: Function,
+    /// `phis[b]` = phi nodes at the top of block `b`, in increasing order
+    /// of the original variable they merge.
+    pub phis: Vec<Vec<Phi>>,
+    /// Blocks created by critical-edge splitting; destruction removes the
+    /// ones that end up carrying no copies.
+    pub(crate) split_edges: Vec<BlockId>,
+    cfg: Cfg,
+    dom: Dominators,
+}
+
+impl SsaForm {
+    /// The CFG of the (edge-split) SSA function.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The dominator tree of the (edge-split) SSA function.
+    pub fn dom(&self) -> &Dominators {
+        &self.dom
+    }
+}
+
+/// Convert `func` into SSA form.
+///
+/// Phi placement is *pruned*: a phi for variable `v` is inserted at a
+/// join in the iterated dominance frontier of `v`'s definition sites only
+/// if `v` is live into that join. Renaming then walks the dominator tree
+/// in preorder with a name stack per original variable.
+///
+/// Name stacks are seeded with the original name, so a use on a path that
+/// bypasses every definition keeps reading the original register — such
+/// values behave as if defined at function entry (exactly how the classic
+/// allocator's webs treat may-be-uninitialized uses).
+pub fn construct(func: &Function) -> SsaForm {
+    let mut f = func.clone();
+    ensure_virgin_entry(&mut f);
+    let split_edges = split_critical_edges(&mut f);
+    let cfg = Cfg::new(&f);
+    let live = Liveness::new(&f, &cfg);
+    let dom = Dominators::new(&f, &cfg);
+    let frontiers = DominanceFrontiers::new(&f, &cfg, &dom);
+    let mut phis = place_phis(&f, &cfg, &live, &frontiers);
+    rename(&mut f, &cfg, &dom, &mut phis);
+    SsaForm {
+        func: f,
+        phis,
+        split_edges,
+        cfg,
+        dom,
+    }
+}
+
+/// Guarantee the entry block has no CFG predecessors by moving its body to
+/// a fresh block when some branch targets it.
+fn ensure_virgin_entry(f: &mut Function) {
+    let entry = f.entry();
+    let targets_entry = f.block_ids().any(|b| {
+        f.block(b)
+            .terminator()
+            .is_some_and(|t| t.successors().any(|s| s == entry))
+    });
+    if !targets_entry {
+        return;
+    }
+    let moved = f.new_block();
+    let body = std::mem::take(&mut f.block_mut(entry).insts);
+    f.block_mut(moved).insts = body;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if let Some(t) = f.block_mut(b).insts.last_mut() {
+            if t.is_terminator() {
+                t.map_successors(|s| if s == entry { moved } else { s });
+            }
+        }
+    }
+    f.block_mut(entry).insts.push(Inst::Jump { target: moved });
+}
+
+/// Split every critical edge (multi-successor block → multi-predecessor
+/// block) by routing it through a fresh block holding a single jump.
+/// Returns the created blocks.
+fn split_critical_edges(f: &mut Function) -> Vec<BlockId> {
+    let nb = f.num_blocks();
+    let mut pred_slots = vec![0u32; nb];
+    for b in 0..nb {
+        if let Some(t) = f.block(BlockId::new(b as u32)).terminator() {
+            for s in t.successors() {
+                pred_slots[s.index()] += 1;
+            }
+        }
+    }
+    let mut created = Vec::new();
+    for b in 0..nb {
+        let bid = BlockId::new(b as u32);
+        let succs: Vec<BlockId> = match f.block(bid).terminator() {
+            Some(t) => t.successors().collect(),
+            None => continue,
+        };
+        if succs.len() < 2 {
+            continue;
+        }
+        let mut replacement: Vec<Option<BlockId>> = Vec::with_capacity(succs.len());
+        let mut any = false;
+        for &s in &succs {
+            if pred_slots[s.index()] >= 2 {
+                let e = f.new_block();
+                f.block_mut(e).insts.push(Inst::Jump { target: s });
+                created.push(e);
+                replacement.push(Some(e));
+                any = true;
+            } else {
+                replacement.push(None);
+            }
+        }
+        if !any {
+            continue;
+        }
+        // map_successors visits slots in the same order successors() yields
+        // them, so pair each slot with its precomputed replacement.
+        let mut slot = 0;
+        if let Some(t) = f.block_mut(bid).insts.last_mut() {
+            t.map_successors(|s| {
+                let r = replacement[slot].unwrap_or(s);
+                slot += 1;
+                r
+            });
+        }
+    }
+    created
+}
+
+/// Pruned phi placement: worklist over the iterated dominance frontier of
+/// each variable's definition sites, inserting a phi only where the
+/// variable is live in. Phi arguments are initialized to the original
+/// name; renaming fills in the per-edge SSA names.
+fn place_phis(
+    f: &Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    frontiers: &DominanceFrontiers,
+) -> Vec<Vec<Phi>> {
+    let nv = f.num_vregs();
+    let nb = f.num_blocks();
+    let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); nv];
+    for &b in cfg.rpo() {
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.def() {
+                if def_blocks[d.index()].last() != Some(&b) {
+                    def_blocks[d.index()].push(b);
+                }
+            }
+        }
+    }
+
+    let mut phis: Vec<Vec<Phi>> = vec![Vec::new(); nb];
+    let mut placed = DenseBitSet::new(nb);
+    let mut enqueued = DenseBitSet::new(nb);
+    for (v, defs) in def_blocks.iter().enumerate().take(nv) {
+        if defs.is_empty() {
+            continue;
+        }
+        placed.clear();
+        enqueued.clear();
+        let mut work = defs.clone();
+        for &b in &work {
+            enqueued.insert(b.index());
+        }
+        while let Some(b) = work.pop() {
+            for &y in frontiers.frontier(b) {
+                if placed.contains(y.index()) || !live.live_in(y).contains(v) {
+                    continue;
+                }
+                placed.insert(y.index());
+                let vr = VReg::new(v as u32);
+                phis[y.index()].push(Phi {
+                    dst: vr,
+                    args: cfg.preds(y).iter().map(|&p| (p, PhiSrc::Reg(vr))).collect(),
+                });
+                if enqueued.insert(y.index()) {
+                    work.push(y);
+                }
+            }
+        }
+    }
+    phis
+}
+
+/// Mint a fresh SSA name for `orig`, preserving its class and
+/// spillability.
+fn fresh_name(f: &mut Function, versions: &mut [u32], orig: VReg) -> VReg {
+    versions[orig.index()] += 1;
+    let data = f.vreg(orig);
+    let class = data.class;
+    let spillable = data.spillable;
+    let name = format!("{}.{}", data.name, versions[orig.index()]);
+    let v = f.new_vreg(class, name);
+    if !spillable {
+        f.set_spillable(v, false);
+    }
+    v
+}
+
+/// Rename over the dominator tree (iterative preorder): every definition
+/// gets a fresh name pushed on its original variable's stack, uses read
+/// the stack top, and phi arguments in CFG successors read the stack top
+/// along the corresponding edge. Stacks are popped when the walk leaves a
+/// block's subtree.
+fn rename(f: &mut Function, cfg: &Cfg, dom: &Dominators, phis: &mut [Vec<Phi>]) {
+    let nv = f.num_vregs();
+    let mut stacks: Vec<Vec<VReg>> = (0..nv).map(|v| vec![VReg::new(v as u32)]).collect();
+    let mut versions = vec![0u32; nv];
+
+    enum Step {
+        Enter(BlockId),
+        Exit(Vec<u32>),
+    }
+    let mut steps = vec![Step::Enter(f.entry())];
+    while let Some(step) = steps.pop() {
+        match step {
+            Step::Enter(b) => {
+                let mut pushed: Vec<u32> = Vec::new();
+                for i in 0..phis[b.index()].len() {
+                    let orig = phis[b.index()][i].dst;
+                    let name = fresh_name(f, &mut versions, orig);
+                    phis[b.index()][i].dst = name;
+                    stacks[orig.index()].push(name);
+                    pushed.push(orig.index() as u32);
+                }
+                for i in 0..f.block(b).insts.len() {
+                    let mut inst = f.block(b).insts[i].clone();
+                    inst.map_uses(|u| *stacks[u.index()].last().expect("stack seeded"));
+                    if let Some(d) = inst.def() {
+                        let name = fresh_name(f, &mut versions, d);
+                        inst.map_def(|_| name);
+                        stacks[d.index()].push(name);
+                        pushed.push(d.index() as u32);
+                    }
+                    f.block_mut(b).insts[i] = inst;
+                }
+                // Fill phi arguments along each outgoing edge. Arguments
+                // still hold original names here because each predecessor
+                // is visited exactly once.
+                for &s in cfg.succs(b) {
+                    for phi in &mut phis[s.index()] {
+                        for arg in &mut phi.args {
+                            if arg.0 == b {
+                                let PhiSrc::Reg(v) = arg.1 else {
+                                    unreachable!("no slots before the spill phase")
+                                };
+                                arg.1 =
+                                    PhiSrc::Reg(*stacks[v.index()].last().expect("stack seeded"));
+                            }
+                        }
+                    }
+                }
+                steps.push(Step::Exit(pushed));
+                for &c in dom.children(b).iter().rev() {
+                    steps.push(Step::Enter(c));
+                }
+            }
+            Step::Exit(pushed) => {
+                for o in pushed {
+                    stacks[o as usize].pop();
+                }
+            }
+        }
+    }
+}

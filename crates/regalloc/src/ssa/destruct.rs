@@ -1,0 +1,175 @@
+//! SSA destruction: lower the phi side table back to plain IR by
+//! sequentializing, on every incoming edge, the *parallel copy* that the
+//! edge's phis denote.
+//!
+//! All phis of a block fire simultaneously on entry, so the per-edge copy
+//! set `dst_i ← src_i` must be ordered as if executed in parallel. The
+//! sequentializer is location-aware: when a register assignment is
+//! provided, two SSA names mapped to the same physical register are the
+//! same *location*, so a copy between them is a no-op (free coalescing —
+//! counted and elided) and a copy *into* a location blocks on every
+//! pending copy still reading it. Copies whose destination location
+//! nobody else reads are emitted first; when only cycles remain
+//! (`r1←r2, r2←r1`), one participant is parked in a fresh stack slot and
+//! restored after the rest of its cycle drains — breaking the cycle
+//! without requiring a free register, which after coloring may simply not
+//! exist. Spilled phi inputs arrive as [`PhiSrc::Slot`] sources and lower
+//! to loads straight into the destination's register: they read memory,
+//! so they never block another copy and can never be part of a cycle.
+//!
+//! Finally, critical-edge blocks introduced by construction that ended up
+//! carrying no copies are short-circuited out of the CFG again, so the
+//! jump-per-edge overhead is paid only where a copy actually lands.
+
+use super::construct::{PhiSrc, SsaForm};
+use optimist_ir::{Addr, BlockId, FrameSlot, Function, Inst, VReg};
+use optimist_machine::PhysReg;
+
+/// Lower `ssa` back to phi-free IR.
+///
+/// `assignment` is the register assignment from coloring, used to
+/// recognize copies that post-allocation are location no-ops; pass `None`
+/// for an allocation-free round trip (every SSA name is then its own
+/// location). Returns the plain function and the number of parallel-copy
+/// moves elided as no-ops.
+pub fn destruct(mut ssa: SsaForm, assignment: Option<&[PhysReg]>) -> (Function, usize) {
+    let nb = ssa.func.num_blocks();
+    let mut coalesced = 0usize;
+
+    let mut per_pred: Vec<Vec<(VReg, PhiSrc)>> = vec![Vec::new(); nb];
+    for b in 0..nb {
+        for phi in &ssa.phis[b] {
+            for &(p, a) in &phi.args {
+                per_pred[p.index()].push((phi.dst, a));
+            }
+        }
+    }
+    for (p, copies) in per_pred.into_iter().enumerate() {
+        if copies.is_empty() {
+            continue;
+        }
+        let seq = sequentialize(&mut ssa.func, copies, assignment, &mut coalesced);
+        if seq.is_empty() {
+            continue;
+        }
+        let bid = BlockId::new(p as u32);
+        let at = ssa.func.block(bid).insts.len().saturating_sub(1);
+        ssa.func.block_mut(bid).insts.splice(at..at, seq);
+    }
+    for phis in &mut ssa.phis {
+        phis.clear();
+    }
+
+    // Short-circuit split blocks that carry nothing but their jump.
+    for &e in &ssa.split_edges {
+        if ssa.func.block(e).insts.len() != 1 {
+            continue;
+        }
+        let Inst::Jump { target } = ssa.func.block(e).insts[0] else {
+            continue;
+        };
+        for p in ssa.cfg().preds(e).to_vec() {
+            if let Some(t) = ssa.func.block_mut(p).insts.last_mut() {
+                t.map_successors(|s| if s == e { target } else { s });
+            }
+        }
+    }
+
+    (ssa.func, coalesced)
+}
+
+/// Location that no destination can occupy — slot sources read memory and
+/// therefore never block a pending copy.
+const MEMORY: u64 = u64::MAX;
+
+/// The physical or virtual location of `v` under `assignment`.
+fn loc(assignment: Option<&[PhysReg]>, v: VReg) -> u64 {
+    match assignment {
+        Some(a) => {
+            let r = a[v.index()];
+            (1u64 << 63) | ((r.class.index() as u64) << 32) | r.index as u64
+        }
+        None => v.index() as u64,
+    }
+}
+
+/// The location a copy *reads*.
+fn src_loc(assignment: Option<&[PhysReg]>, src: PhiSrc) -> u64 {
+    match src {
+        PhiSrc::Reg(v) => loc(assignment, v),
+        PhiSrc::Slot(_) => MEMORY,
+    }
+}
+
+/// Order one edge's parallel copy set into a sequence of `Copy`/`Load`
+/// (and, for cycles, `Store`) instructions equivalent to executing all
+/// copies simultaneously.
+fn sequentialize(
+    f: &mut Function,
+    copies: Vec<(VReg, PhiSrc)>,
+    assignment: Option<&[PhysReg]>,
+    coalesced: &mut usize,
+) -> Vec<Inst> {
+    let mut pending: Vec<(VReg, PhiSrc)> = Vec::with_capacity(copies.len());
+    for (dst, src) in copies {
+        if src_loc(assignment, src) == loc(assignment, dst) {
+            *coalesced += 1;
+        } else {
+            pending.push((dst, src));
+        }
+    }
+
+    let emit = |dst: VReg, src: PhiSrc| match src {
+        PhiSrc::Reg(v) => Inst::Copy { dst, src: v },
+        PhiSrc::Slot(slot) => Inst::Load {
+            dst,
+            addr: Addr::Frame { slot, offset: 0 },
+        },
+    };
+
+    let mut out = Vec::with_capacity(pending.len());
+    let mut parked: Vec<(VReg, FrameSlot)> = Vec::new();
+    while !pending.is_empty() {
+        // A copy is safe when no other pending copy still reads its
+        // destination location.
+        let safe = pending.iter().position(|&(dst, _)| {
+            let d = loc(assignment, dst);
+            !pending
+                .iter()
+                .any(|&(dst2, src2)| dst2 != dst && src_loc(assignment, src2) == d)
+        });
+        match safe {
+            Some(i) => {
+                let (dst, src) = pending.remove(i);
+                out.push(emit(dst, src));
+            }
+            None => {
+                // Only register cycles remain (slot sources never block,
+                // so a blocked set must contain a register copy): park one
+                // participant's source in memory and finish its copy from
+                // the slot once the cycle drains.
+                let i = pending
+                    .iter()
+                    .position(|&(_, src)| matches!(src, PhiSrc::Reg(_)))
+                    .expect("a blocked parallel copy contains a register cycle");
+                let (dst, src) = pending.remove(i);
+                let PhiSrc::Reg(src) = src else {
+                    unreachable!()
+                };
+                let slot = f.new_slot(8, "pcopy", true);
+                out.push(Inst::Store {
+                    src,
+                    addr: Addr::Frame { slot, offset: 0 },
+                });
+                parked.push((dst, slot));
+            }
+        }
+    }
+    for (dst, slot) in parked {
+        out.push(Inst::Load {
+            dst,
+            addr: Addr::Frame { slot, offset: 0 },
+        });
+    }
+    out
+}

@@ -1,0 +1,241 @@
+//! Phi-aware liveness and the combined interference/pressure analysis for
+//! SSA form.
+//!
+//! Liveness under SSA needs two conventions beyond the plain dataflow in
+//! `optimist-analysis`:
+//!
+//! * a phi **argument** is a use *on the incoming edge* — live out of the
+//!   predecessor, but not live into the phi's block;
+//! * a phi **destination** is defined *at the top of its block* — live in
+//!   (so it interferes with everything else live there) but defined by no
+//!   instruction.
+//!
+//! [`analyze`] then walks each block backward once, building the
+//! interference graph and tracking per-class register pressure. The
+//! maximum pressure (*maxlive*) is exact for SSA form: every live value
+//! occupies a register between its def and its uses, and because SSA
+//! interference graphs are chordal, maxlive equals the size of the largest
+//! clique — chordal coloring needs exactly that many registers, so the
+//! spill phase can lower maxlive to ≤ k and *know* coloring will succeed.
+
+use super::construct::SsaForm;
+use crate::graph::InterferenceGraph;
+use optimist_analysis::DenseBitSet;
+use optimist_ir::{BlockId, RegClass, VReg};
+
+/// Per-block live-in/live-out sets of an [`SsaForm`], phi-aware.
+pub struct SsaLiveness {
+    live_in: Vec<DenseBitSet>,
+    live_out: Vec<DenseBitSet>,
+}
+
+impl SsaLiveness {
+    /// Compute liveness by backward fixpoint over the reversed RPO.
+    pub fn new(ssa: &SsaForm) -> Self {
+        let f = &ssa.func;
+        let cfg = ssa.cfg();
+        let nb = f.num_blocks();
+        let nv = f.num_vregs();
+
+        // Per-block summaries: upward-exposed uses, kills (instruction
+        // defs), phi defs, and the phi arguments each block feeds into
+        // successors' phis (live at this block's tail).
+        let mut uevar = vec![DenseBitSet::new(nv); nb];
+        let mut kill = vec![DenseBitSet::new(nv); nb];
+        let mut phidefs = vec![DenseBitSet::new(nv); nb];
+        let mut phiout = vec![DenseBitSet::new(nv); nb];
+        let mut uses = Vec::new();
+        for &b in cfg.rpo() {
+            let bi = b.index();
+            for inst in &f.block(b).insts {
+                uses.clear();
+                inst.uses_into(&mut uses);
+                for &u in &uses {
+                    if !kill[bi].contains(u.index()) {
+                        uevar[bi].insert(u.index());
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    kill[bi].insert(d.index());
+                }
+            }
+            for phi in &ssa.phis[bi] {
+                phidefs[bi].insert(phi.dst.index());
+                for &(p, a) in &phi.args {
+                    // Slot arguments live in memory; they put no pressure
+                    // on the predecessor.
+                    if let super::construct::PhiSrc::Reg(v) = a {
+                        phiout[p.index()].insert(v.index());
+                    }
+                }
+            }
+        }
+
+        let mut live_in = vec![DenseBitSet::new(nv); nb];
+        let mut live_out = vec![DenseBitSet::new(nv); nb];
+        let mut tmp = DenseBitSet::new(nv);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().rev() {
+                let bi = b.index();
+                // live_out(b) = ∪_s (live_in(s) \ phidefs(s)) ∪ phiout(b)
+                let mut grew = live_out[bi].union_with(&phiout[bi]);
+                for &s in cfg.succs(b) {
+                    tmp.copy_from(&live_in[s.index()]);
+                    tmp.subtract(&phidefs[s.index()]);
+                    grew |= live_out[bi].union_with(&tmp);
+                }
+                // live_in(b) = phidefs(b) ∪ uevar(b) ∪ (live_out(b) \ kill(b))
+                tmp.copy_from(&live_out[bi]);
+                tmp.subtract(&kill[bi]);
+                tmp.union_with(&uevar[bi]);
+                tmp.union_with(&phidefs[bi]);
+                grew |= live_in[bi].union_with(&tmp);
+                changed |= grew;
+            }
+        }
+        SsaLiveness { live_in, live_out }
+    }
+
+    /// Values live into `b` (including `b`'s phi destinations).
+    pub fn live_in(&self, b: BlockId) -> &DenseBitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Values live out of `b` (including arguments `b` feeds into
+    /// successors' phis).
+    pub fn live_out(&self, b: BlockId) -> &DenseBitSet {
+        &self.live_out[b.index()]
+    }
+}
+
+/// Interference graph plus pressure facts from one backward scan.
+pub struct SsaAnalysis {
+    /// The SSA interference graph (one node per SSA name). Chordal by
+    /// construction — see the proptest in `tests/ssa_invariants.rs`.
+    pub graph: InterferenceGraph,
+    /// Maximum register pressure per class (`[int, float]`).
+    pub maxlive: [usize; 2],
+    /// The live set at the worst-pressure program point of each class —
+    /// the spill phase picks its victims from these.
+    pub worst: [Vec<VReg>; 2],
+}
+
+/// Record the current pressure point, snapshotting the live set whenever a
+/// class reaches a new maximum.
+fn note(
+    maxlive: &mut [usize; 2],
+    worst: &mut [Vec<VReg>; 2],
+    counts: &[usize; 2],
+    cur: &DenseBitSet,
+    classes: &[RegClass],
+) {
+    for ci in 0..2 {
+        if counts[ci] > maxlive[ci] {
+            maxlive[ci] = counts[ci];
+            worst[ci] = cur
+                .iter()
+                .filter(|&x| classes[x].index() == ci)
+                .map(|x| VReg::new(x as u32))
+                .collect();
+        }
+    }
+}
+
+/// Build the interference graph of an [`SsaForm`] and measure maxlive.
+///
+/// Each reachable block is scanned backward from its live-out set; a def
+/// interferes with everything live after it, and each phi destination
+/// interferes with everything live at the block top (minus itself). No
+/// copy special-case: skipping `dst`–`src` edges of copies could break
+/// chordality, and the SSA track coalesces by other means (no-op parallel
+/// copies are elided during destruction). Values live at function entry —
+/// parameters and may-be-uninitialized names — pairwise interfere, exactly
+/// as in the classic build phase.
+pub fn analyze(ssa: &SsaForm, live: &SsaLiveness) -> SsaAnalysis {
+    let f = &ssa.func;
+    let cfg = ssa.cfg();
+    let nv = f.num_vregs();
+    let classes: Vec<RegClass> = (0..nv).map(|v| f.vreg(VReg::new(v as u32)).class).collect();
+    let mut graph = InterferenceGraph::new(classes.clone());
+    let mut maxlive = [0usize; 2];
+    let mut worst: [Vec<VReg>; 2] = [Vec::new(), Vec::new()];
+
+    let mut cur = DenseBitSet::new(nv);
+    let mut uses = Vec::new();
+    for &b in cfg.rpo() {
+        cur.copy_from(live.live_out(b));
+        let mut counts = [0usize; 2];
+        for x in cur.iter() {
+            counts[classes[x].index()] += 1;
+        }
+        note(&mut maxlive, &mut worst, &counts, &cur, &classes);
+
+        for inst in f.block(b).insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                let di = d.index();
+                if cur.insert(di) {
+                    counts[classes[di].index()] += 1;
+                }
+                note(&mut maxlive, &mut worst, &counts, &cur, &classes);
+                cur.remove(di);
+                counts[classes[di].index()] -= 1;
+                for x in cur.iter() {
+                    graph.add_edge(di as u32, x as u32);
+                }
+            }
+            uses.clear();
+            inst.uses_into(&mut uses);
+            for &u in &uses {
+                if cur.insert(u.index()) {
+                    counts[classes[u.index()].index()] += 1;
+                }
+            }
+            note(&mut maxlive, &mut worst, &counts, &cur, &classes);
+        }
+
+        // Block top: phi destinations are defined here, in parallel, on
+        // top of everything else live in.
+        let phis = &ssa.phis[b.index()];
+        if !phis.is_empty() {
+            for phi in phis {
+                let di = phi.dst.index();
+                if cur.insert(di) {
+                    counts[classes[di].index()] += 1;
+                }
+            }
+            note(&mut maxlive, &mut worst, &counts, &cur, &classes);
+            for phi in phis {
+                let di = phi.dst.index() as u32;
+                for x in cur.iter() {
+                    graph.add_edge(di, x as u32);
+                }
+            }
+        }
+    }
+
+    // Entry clique: everything live at the top of the function is
+    // simultaneously defined on entry. Parameters join the clique even
+    // when renaming left the original name dead (unused before its first
+    // redefinition): the calling convention writes *every* parameter's
+    // register on entry, so a dead parameter still clobbers whatever
+    // shares it.
+    let mut entry_live: Vec<u32> = live.live_in(f.entry()).iter().map(|v| v as u32).collect();
+    for &p in f.params() {
+        if !live.live_in(f.entry()).contains(p.index()) {
+            entry_live.push(p.index() as u32);
+        }
+    }
+    for (i, &x) in entry_live.iter().enumerate() {
+        for &y in &entry_live[i + 1..] {
+            graph.add_edge(x, y);
+        }
+    }
+
+    SsaAnalysis {
+        graph,
+        maxlive,
+        worst,
+    }
+}

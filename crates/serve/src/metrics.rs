@@ -190,8 +190,8 @@ impl StrategyStats {
 }
 
 /// Per-strategy request/hit breakdown, so an A/B comparison between
-/// `chaitin`, `briggs` and `irc` traffic needs nothing beyond the stats
-/// dump.
+/// `chaitin`, `briggs`, `irc` and `ssa` traffic needs nothing beyond the
+/// stats dump.
 #[derive(Debug, Default)]
 pub struct PerStrategy {
     /// Traffic under [`Strategy::Chaitin`].
@@ -200,6 +200,8 @@ pub struct PerStrategy {
     pub briggs: StrategyStats,
     /// Traffic under [`Strategy::Irc`].
     pub irc: StrategyStats,
+    /// Traffic under [`Strategy::Ssa`].
+    pub ssa: StrategyStats,
 }
 
 impl PerStrategy {
@@ -209,6 +211,7 @@ impl PerStrategy {
             Strategy::Chaitin => &self.chaitin,
             Strategy::Briggs => &self.briggs,
             Strategy::Irc => &self.irc,
+            Strategy::Ssa => &self.ssa,
         }
     }
 
@@ -217,6 +220,7 @@ impl PerStrategy {
             ("chaitin", self.chaitin.to_json()),
             ("briggs", self.briggs.to_json()),
             ("irc", self.irc.to_json()),
+            ("ssa", self.ssa.to_json()),
         ])
     }
 }

@@ -240,10 +240,11 @@ fn parse_deadline_ms(v: &Json) -> Result<Option<u64>, ProtocolError> {
 /// running the default configuration.
 ///
 /// The canonical selector is `"strategy"` (`"chaitin"`, `"briggs"`,
-/// `"irc"`); `"heuristic"` is accepted as an alias for clients predating
-/// the unified [`Strategy`] API, with identical values. Combinations that
-/// cannot mean anything — `"irc"` together with an explicit `"coalesce"`
-/// mode — are rejected rather than silently ignored.
+/// `"irc"`, `"ssa"`); `"heuristic"` is accepted as an alias for clients
+/// predating the unified [`Strategy`] API, with identical values.
+/// Combinations that cannot mean anything — `"irc"` or `"ssa"` together
+/// with an explicit `"coalesce"` mode — are rejected rather than silently
+/// ignored.
 pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolError> {
     let spec = match spec {
         None | Some(Json::Null) => {
@@ -269,8 +270,9 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
             Some("briggs") | Some("optimistic") => Ok(Strategy::Briggs),
             Some("chaitin") | Some("pessimistic") => Ok(Strategy::Chaitin),
             Some("irc") => Ok(Strategy::Irc),
+            Some("ssa") => Ok(Strategy::Ssa),
             _ => Err(bad(format!(
-                "{key} must be \"chaitin\", \"briggs\" or \"irc\""
+                "{key} must be \"chaitin\", \"briggs\", \"irc\" or \"ssa\""
             ))),
         }
     };
@@ -386,6 +388,12 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
         return Err(bad(
             "strategy \"irc\" does its own conservative coalescing during \
              simplification; drop the \"coalesce\" field",
+        ));
+    }
+    if strategy == Strategy::Ssa && coalesce.is_some() {
+        return Err(bad(
+            "strategy \"ssa\" has no coalesce phase — no-op parallel copies \
+             are elided during SSA destruction; drop the \"coalesce\" field",
         ));
     }
 
@@ -573,6 +581,7 @@ mod tests {
             ("chaitin", Strategy::Chaitin),
             ("briggs", Strategy::Briggs),
             ("irc", Strategy::Irc),
+            ("ssa", Strategy::Ssa),
         ] {
             // Canonical key and legacy alias both work, for every strategy.
             for key in ["strategy", "heuristic"] {
@@ -617,6 +626,24 @@ mod tests {
         }
         // The same coalesce modes remain legal for the classic strategies.
         let line = r#"{"req":"alloc","ir":"","config":{"strategy":"briggs","coalesce":"off"}}"#;
+        assert!(Request::parse(line).is_ok());
+    }
+
+    #[test]
+    fn ssa_with_explicit_coalesce_is_rejected_precisely() {
+        for mode in ["aggressive", "conservative", "off"] {
+            let line = format!(
+                r#"{{"req":"alloc","ir":"","config":{{"strategy":"ssa","coalesce":"{mode}"}}}}"#
+            );
+            let err = Request::parse(&line).unwrap_err();
+            assert!(
+                err.0.contains("ssa") && err.0.contains("coalesce"),
+                "error must name the conflicting fields, got: {}",
+                err.0
+            );
+        }
+        // Plain ssa with no knobs is legal.
+        let line = r#"{"req":"alloc","ir":"","config":{"strategy":"ssa"}}"#;
         assert!(Request::parse(line).is_ok());
     }
 

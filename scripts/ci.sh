@@ -36,6 +36,11 @@ if [[ $quick -eq 0 ]]; then
     # the paper's §2.3 subset invariant only counts at the full case count.
     echo "==> paper invariants under --release (full proptest case count)"
     cargo test --release -q --test paper_invariants
+
+    # Chordality, round-trip behavior preservation and single-pass
+    # allocation of the SSA track, also at the full case count.
+    echo "==> SSA invariants under --release (full proptest case count)"
+    cargo test --release -q --test ssa_invariants
 fi
 
 echo "==> benches compile"
@@ -179,10 +184,11 @@ echo "==> deprecation shims (pre-Strategy constructors compile and match)"
 cargo test -q -p optimist-regalloc deprecated_shims_match_strategy_constructors
 
 if [[ $quick -eq 0 ]]; then
-    echo "==> strategy shootout (chaitin vs briggs vs irc over the corpus)"
-    # Runs all strategies through a live daemon + the cycle simulator and
-    # enforces the IRC acceptance bar: at least as many copies removed as
-    # conservative-mode Briggs, with no more spills.
+    echo "==> strategy shootout (chaitin vs briggs vs irc vs ssa over the corpus)"
+    # Runs all four strategies through a live daemon + the cycle simulator
+    # and enforces two acceptance bars: IRC removes at least as many
+    # copies as conservative-mode Briggs with no more spills, and the SSA
+    # lane allocates every corpus function in exactly one pass.
     cargo build -q --release -p optimist-bench --bin serve_replay
     ./target/release/serve_replay --shootout
 fi

@@ -20,14 +20,15 @@
 //!   -O                 run the scalar optimizer (default for allocate/
 //!                      run/compare; use --no-opt to disable)
 //!   --no-opt           skip the optimizer
-//!   --strategy S       chaitin | briggs | irc (default briggs);
+//!   --strategy S       chaitin | briggs | irc | ssa (default briggs);
 //!                      --heuristic is accepted as an alias
 //!   --int-regs N       integer registers (default 16)
 //!   --float-regs N     float registers (default 8)
 //!   --virtual          (run) use virtual registers instead of allocating
 //!   --remat            rematerialize spilled constants
 //!   --coalesce M       aggressive | conservative | off (default aggressive;
-//!                      chaitin/briggs only — irc coalesces on its own)
+//!                      chaitin/briggs only — irc coalesces on its own and
+//!                      ssa elides no-op phi copies instead)
 //!   --threads N        worker threads for module allocation (default: the
 //!                      machine's available parallelism; 1 = sequential)
 //!   --incremental      repair the interference graph after spilling
@@ -156,6 +157,7 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
                     "chaitin" | "old" | "pessimistic" => Strategy::Chaitin,
                     "briggs" | "new" | "optimistic" => Strategy::Briggs,
                     "irc" => Strategy::Irc,
+                    "ssa" => Strategy::Ssa,
                     other => return Err(format!("unknown strategy `{other}`")),
                 };
             }
@@ -225,6 +227,12 @@ fn parse_options(args: &[String], default_opt: bool) -> Result<Options, String> 
     if o.strategy == Strategy::Irc && o.coalesce.is_some() {
         return Err("--strategy irc coalesces conservatively on its own; \
                     --coalesce only applies to chaitin/briggs"
+            .into());
+    }
+    if o.strategy == Strategy::Ssa && o.coalesce.is_some() {
+        return Err("--strategy ssa has no coalesce phase (no-op parallel \
+                    copies are elided during SSA destruction); --coalesce \
+                    only applies to chaitin/briggs"
             .into());
     }
     Ok(o)
@@ -527,6 +535,7 @@ fn remote_config(o: &Options) -> optimist::serve::Json {
                 Strategy::Chaitin => "chaitin",
                 Strategy::Briggs => "briggs",
                 Strategy::Irc => "irc",
+                Strategy::Ssa => "ssa",
             }),
         ),
         ("target", Json::from("cli")),

@@ -7,6 +7,7 @@
 //! serve_replay --stream [--rounds N]
 //! serve_replay --chaos [--rounds N]
 //! serve_replay --shootout
+//! serve_replay --fleet [--rounds N]
 //! ```
 //!
 //! Without `--addr` a daemon is spun up in-process on a loopback port.
@@ -38,6 +39,19 @@
 //! the store back in the serving path. Per-phase hit rates show what
 //! degraded mode costs.
 //!
+//! With `--fleet` the benchmark stands up a whole fleet in-process: two
+//! networked `optimist-stored` store daemons and three serving daemons
+//! sharing them over consistent-hash routing, each serving daemon
+//! fronted by both the NDJSON listener and the HTTP/1.1 front-end.
+//! Daemon 0 computes the corpus and writes through the ring; every
+//! other daemon starts memory-cold and must answer ≥ 90% of its
+//! functions from the shared store tier, byte-identical to the
+//! single-process path, with a p99 tail-latency bar on the cross-daemon
+//! warm path. One store peer is then killed under traffic — zero
+//! requests may fail while its tripwire trips — and revived on the same
+//! port; the drill fails unless the probe puts the peer back in the
+//! serving path.
+//!
 //! With `--shootout` the benchmark races the four allocator strategies
 //! (plus conservative-coalescing Briggs as a fifth lane) over the whole
 //! corpus through the wire protocol: each lane sends its own
@@ -48,10 +62,12 @@
 //! more, and unless the SSA lane allocates every function in exactly
 //! one pass.
 
-use optimist_serve::{Client, Json, RetryPolicy, Server};
+use optimist_serve::{run_http, Client, Json, RetryPolicy, Server};
 use optimist_store::failpoint::FailKind;
+use optimist_store::net::StoreServer;
 use optimist_store::{Store, StoreOptions};
 use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{mpsc, Arc};
@@ -64,6 +80,7 @@ struct Args {
     stream: bool,
     chaos: bool,
     shootout: bool,
+    fleet: bool,
     store: Option<PathBuf>,
     store_max_bytes: u64,
 }
@@ -76,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         stream: false,
         chaos: false,
         shootout: false,
+        fleet: false,
         store: None,
         store_max_bytes: 64 << 20,
     };
@@ -91,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
             "--stream" => args.stream = true,
             "--chaos" => args.chaos = true,
             "--shootout" => args.shootout = true,
+            "--fleet" => args.fleet = true,
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?.into()),
             "--store-max-bytes" => {
                 let v = it.next().ok_or("--store-max-bytes needs a value")?;
@@ -104,7 +123,8 @@ fn parse_args() -> Result<Args, String> {
                      serve_replay --restart [--store DIR] [--store-max-bytes N]\n       \
                      serve_replay --stream [--rounds N]\n       \
                      serve_replay --chaos [--rounds N]\n       \
-                     serve_replay --shootout"
+                     serve_replay --shootout\n       \
+                     serve_replay --fleet [--rounds N]"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +147,11 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--shootout compares strategies on its own in-process daemon; run it alone".into(),
         );
+    }
+    if args.fleet
+        && (args.addr.is_some() || args.restart || args.stream || args.chaos || args.shootout)
+    {
+        return Err("--fleet orchestrates its own in-process fleet; run it alone".into());
     }
     Ok(args)
 }
@@ -166,6 +191,9 @@ fn real_main() -> Result<(), String> {
     }
     if args.chaos {
         return run_chaos(&corpus, &args);
+    }
+    if args.fleet {
+        return run_fleet(&corpus, &args);
     }
 
     // Either attach to a running daemon or start one on a loopback port.
@@ -761,6 +789,407 @@ fn run_chaos(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
     }
     if counter(&stats, "store_health", "recoveries") < 1 {
         return Err("no recovery probe succeeded".to_string());
+    }
+    Ok(())
+}
+
+/// One in-process `optimist-stored` daemon on a loopback port.
+struct FleetStore {
+    server: Arc<StoreServer>,
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FleetStore {
+    /// Spawn on `addr` (the revive-in-place case) or an ephemeral port.
+    fn spawn(dir: &Path, addr: Option<SocketAddr>) -> Result<FleetStore, String> {
+        let store = Store::open(dir, StoreOptions::default())
+            .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+        let server = Arc::new(StoreServer::new(store).with_drain_timeout(Duration::from_secs(5)));
+        let bind: SocketAddr = addr.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
+        let listener =
+            TcpListener::bind(bind).map_err(|e| format!("store daemon cannot bind {bind}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run_listener(listener).expect("store daemon failed"))
+        };
+        Ok(FleetStore {
+            server,
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stop the daemon, keeping its port free for a successor.
+    fn kill(mut self) -> Result<SocketAddr, String> {
+        self.server.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().map_err(|_| "store daemon panicked".to_string())?;
+        }
+        Ok(self.addr)
+    }
+}
+
+impl Drop for FleetStore {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One serving daemon in the fleet: a sharded remote store tier behind
+/// both the NDJSON listener and the HTTP/1.1 front-end.
+struct FleetServe {
+    addr: String,
+    http_addr: SocketAddr,
+    nd_thread: std::thread::JoinHandle<()>,
+    http_thread: std::thread::JoinHandle<()>,
+}
+
+impl FleetServe {
+    fn spawn(peers: &[String], probe_interval: Duration) -> Result<FleetServe, String> {
+        let server = Arc::new(
+            Server::new(4096, 16)
+                .with_remote_store(peers)
+                .with_store_probe_interval(probe_interval),
+        );
+        let (tx, rx) = mpsc::channel();
+        let s = Arc::clone(&server);
+        let nd_thread = std::thread::spawn(move || {
+            s.run_listener("127.0.0.1:0", |bound| {
+                let _ = tx.send(bound);
+            })
+            .expect("fleet listener failed");
+        });
+        let addr = rx
+            .recv()
+            .map_err(|_| "fleet daemon died before binding".to_string())?
+            .to_string();
+        let (htx, hrx) = mpsc::channel();
+        let s = Arc::clone(&server);
+        let http_thread = std::thread::spawn(move || {
+            run_http(&s, "127.0.0.1:0", |bound| {
+                let _ = htx.send(bound);
+            })
+            .expect("fleet http listener failed");
+        });
+        let http_addr = hrx
+            .recv()
+            .map_err(|_| "fleet http front-end died before binding".to_string())?;
+        Ok(FleetServe {
+            addr,
+            http_addr,
+            nd_thread,
+            http_thread,
+        })
+    }
+
+    /// Drain the daemon over the wire; both listeners watch the same
+    /// stop flag, so one shutdown request stops NDJSON and HTTP alike.
+    fn shutdown(self) -> Result<(), String> {
+        let mut client = Client::connect(self.addr.as_str()).map_err(|e| e.to_string())?;
+        client.shutdown().map_err(|e| e.to_string())?;
+        self.nd_thread
+            .join()
+            .map_err(|_| "fleet daemon panicked".to_string())?;
+        self.http_thread
+            .join()
+            .map_err(|_| "fleet http front-end panicked".to_string())?;
+        Ok(())
+    }
+}
+
+/// One measured corpus replay: per-request latencies, each program's
+/// `functions` payload (the byte-identity evidence), and the total
+/// function count.
+type ReplaySample = (Vec<u128>, BTreeMap<String, String>, u64);
+
+/// Push the corpus through `client` once, collecting per-request
+/// latencies and each program's `functions` payload for the
+/// byte-identity check.
+fn replay_collect(
+    client: &mut Client,
+    corpus: &[(String, String)],
+) -> Result<ReplaySample, String> {
+    let mut latencies = Vec::with_capacity(corpus.len());
+    let mut arrays = BTreeMap::new();
+    let mut functions = 0u64;
+    for (name, ir) in corpus {
+        let started = Instant::now();
+        let resp = client
+            .alloc(ir, Json::Null)
+            .map_err(|e| format!("{name}: {e}"))?;
+        latencies.push(started.elapsed().as_micros());
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{name}: server refused: {resp}"));
+        }
+        let funcs = resp
+            .get("functions")
+            .ok_or_else(|| format!("{name}: response without functions"))?;
+        functions += funcs.as_arr().map(|a| a.len() as u64).unwrap_or(0);
+        arrays.insert(name.clone(), funcs.to_string());
+    }
+    Ok((latencies, arrays, functions))
+}
+
+/// A one-shot HTTP request against a fleet daemon's front-end; returns
+/// the status code and body.
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    conn.read_to_string(&mut text).map_err(|e| e.to_string())?;
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed http response: {text:.60}"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The `--fleet` drill: N serving daemons sharing M networked store
+/// daemons over consistent-hash routing. Fails unless every cold daemon
+/// warms ≥ 90% cross-daemon from the store tier with byte-identical
+/// results and bounded tail latency, and unless a store-peer death under
+/// traffic costs zero requests and heals after the peer revives.
+fn run_fleet(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
+    const STORE_PEERS: usize = 2;
+    const SERVE_DAEMONS: usize = 3;
+    const WARM_HIT_BAR: f64 = 0.9;
+    const TAIL_BAR_US: u128 = 250_000;
+    let rounds = args.rounds.max(1);
+    let probe_interval = Duration::from_millis(50);
+
+    println!(
+        "fleet drill: {} programs, {SERVE_DAEMONS} serve daemons sharing {STORE_PEERS} store peers",
+        corpus.len()
+    );
+
+    // Baseline — the single-process path the fleet must match byte for
+    // byte. The warm (second) replay is the reference: store-warm fleet
+    // records carry `cached:true` exactly like memory-warm ones.
+    let (addr, _baseline_server, baseline_handle) = spawn_plain_daemon()?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    replay_once(&mut client, corpus)?;
+    let (_, baseline, total_functions) = replay_collect(&mut client, corpus)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    baseline_handle
+        .join()
+        .map_err(|_| "baseline daemon panicked".to_string())?;
+
+    // The store tier: M `optimist-stored` daemons on loopback ports.
+    let fleet_dir = std::env::temp_dir().join(format!("serve-replay-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let mut store_daemons: Vec<FleetStore> = (0..STORE_PEERS)
+        .map(|i| FleetStore::spawn(&fleet_dir.join(format!("shard{i}")), None))
+        .collect::<Result<_, _>>()?;
+    let peers: Vec<String> = store_daemons.iter().map(|d| d.addr.to_string()).collect();
+
+    // The serving tier: N sharded daemons over the same ring.
+    let serves: Vec<FleetServe> = (0..SERVE_DAEMONS)
+        .map(|_| FleetServe::spawn(&peers, probe_interval))
+        .collect::<Result<_, _>>()?;
+
+    println!(
+        "{:<16} {:>12} {:>14} {:>9} {:>9} {:>10}",
+        "phase", "latency_us", "store_hit_rate", "p50_us", "p99_us", "state"
+    );
+
+    // Phase 1 — populate: daemon 0 computes the corpus and writes it
+    // through the consistent-hash ring.
+    let mut client = Client::connect(serves[0].addr.as_str()).map_err(|e| e.to_string())?;
+    let populate_us = replay_once(&mut client, corpus)?;
+    drop(client);
+    for (i, daemon) in store_daemons.iter().enumerate() {
+        let len = daemon.server.store().len();
+        if len == 0 {
+            return Err(format!(
+                "store peer {i} holds no records after populate — ring not routing"
+            ));
+        }
+    }
+    println!(
+        "{:<16} {populate_us:>12} {:>14} {:>9} {:>9} {:>10}",
+        "populate", "-", "-", "-", "ok"
+    );
+
+    // Phase 2 — cross-daemon warm: every other daemon has cold memory;
+    // its only warmth is the shared store tier. Byte-identity and the
+    // ≥ 90% bar are checked per daemon; latencies feed the tail bar.
+    let mut warm_latencies: Vec<u128> = Vec::new();
+    for (d, serve) in serves.iter().enumerate().skip(1) {
+        let mut client = Client::connect(serve.addr.as_str()).map_err(|e| e.to_string())?;
+        let (latencies, arrays, _) = replay_collect(&mut client, corpus)?;
+        let warm_us: u128 = latencies.iter().sum();
+        for (name, reference) in &baseline {
+            match arrays.get(name) {
+                Some(a) if a == reference => {}
+                Some(_) => {
+                    return Err(format!(
+                        "{name}: daemon {d} answered differently from the single-process path"
+                    ))
+                }
+                None => return Err(format!("{name}: daemon {d} returned no functions")),
+            }
+        }
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        let store_hits = stats
+            .get("store")
+            .and_then(|s| s.get("hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let hit_rate = store_hits as f64 / total_functions.max(1) as f64;
+        // Extra rounds are memo-warm; they only prove the daemon keeps
+        // answering, so they stay out of the cross-daemon tail sample.
+        for _ in 1..rounds {
+            replay_once(&mut client, corpus)?;
+        }
+        let mut sorted = latencies.clone();
+        sorted.sort_unstable();
+        println!(
+            "{:<16} {warm_us:>12} {hit_rate:>14.3} {:>9} {:>9} {:>10}",
+            format!("warm daemon-{d}"),
+            percentile(&sorted, 0.5),
+            percentile(&sorted, 0.99),
+            "ok"
+        );
+        if hit_rate < WARM_HIT_BAR {
+            return Err(format!(
+                "daemon {d} warmed only {hit_rate:.3} of its functions from the store tier, \
+                 below the {WARM_HIT_BAR} acceptance bar"
+            ));
+        }
+        warm_latencies.extend(latencies);
+    }
+    warm_latencies.sort_unstable();
+    let p99 = percentile(&warm_latencies, 0.99);
+
+    // Every daemon's HTTP front-end must agree it is serving the
+    // sharded tier.
+    for (d, serve) in serves.iter().enumerate() {
+        let (status, body) = http_get(serve.http_addr, "/v1/health")?;
+        if status != 200 || !body.contains(r#""mode":"sharded""#) {
+            return Err(format!(
+                "daemon {d} http health answered {status}: {body:.120}"
+            ));
+        }
+    }
+    println!("http: {SERVE_DAEMONS}/{SERVE_DAEMONS} front-ends report a sharded store tier");
+
+    // Phase 3 — peer death under traffic: kill one store daemon, then
+    // push the corpus through a fresh memory-cold daemon. Zero requests
+    // may fail: the dead peer's share recomputes once its tripwire
+    // trips, the survivor's share stays warm.
+    let dead_addr = store_daemons.remove(1).kill()?;
+    let fresh = FleetServe::spawn(&peers, probe_interval)?;
+    let mut client = Client::connect(fresh.addr.as_str()).map_err(|e| e.to_string())?;
+    let (death_latencies, _, _) = replay_collect(&mut client, corpus)?;
+    let death_us: u128 = death_latencies.iter().sum();
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let survivor_hits = stats
+        .get("store")
+        .and_then(|s| s.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let state = |client: &mut Client| -> Result<String, String> {
+        Ok(client
+            .health()
+            .map_err(|e| e.to_string())?
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string())
+    };
+    let death_state = state(&mut client)?;
+    println!(
+        "{:<16} {death_us:>12} {:>14.3} {:>9} {:>9} {death_state:>10}",
+        "peer-death",
+        survivor_hits as f64 / total_functions.max(1) as f64,
+        "-",
+        "-",
+    );
+    if death_state != "degraded" {
+        return Err(format!(
+            "the dead store peer never tripped its tripwire (state `{death_state}`)"
+        ));
+    }
+    if survivor_hits == 0 {
+        return Err("the surviving peer's share served nothing warm".to_string());
+    }
+
+    // Revive the peer on the same port; the health poll probes it back
+    // into the serving path.
+    store_daemons.push(FleetStore::spawn(
+        &fleet_dir.join("shard1-revived"),
+        Some(dead_addr),
+    )?);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(60));
+        let s = state(&mut client)?;
+        if s == "ok" {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "the revived store peer never recovered (state `{s}`)"
+            ));
+        }
+    }
+    let heal_us = replay_once(&mut client, corpus)?;
+    let health = client.health().map_err(|e| e.to_string())?;
+    let recoveries = health
+        .get("store_recoveries")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "{:<16} {heal_us:>12} {:>14} {:>9} {:>9} {:>10}",
+        "recovered", "-", "-", "-", "ok"
+    );
+    println!(
+        "cross-daemon warm p50 {}us  p99 {p99}us  recoveries {recoveries}  \
+         failed requests 0 (enforced per replay)",
+        percentile(&warm_latencies, 0.5)
+    );
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!("{stats}");
+    drop(client);
+
+    // Tear the fleet down: drain every serving daemon over the wire,
+    // then let the store daemons drop.
+    fresh.shutdown()?;
+    for serve in serves {
+        serve.shutdown()?;
+    }
+    drop(store_daemons);
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+
+    if recoveries < 1 {
+        return Err("no recovery probe succeeded".to_string());
+    }
+    if p99 > TAIL_BAR_US {
+        return Err(format!(
+            "cross-daemon warm p99 {p99}us is above the {TAIL_BAR_US}us acceptance bar"
+        ));
     }
     Ok(())
 }

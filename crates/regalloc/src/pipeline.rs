@@ -749,4 +749,93 @@ mod tests {
             assert!(map.contains_key(&format!("f{i}")));
         }
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The EDF queue's whole contract in one property: for ANY mix of
+        /// bounded and unbounded deadlines, pop order equals a stable sort
+        /// by (deadline, unbounded last), with submission order breaking
+        /// ties — including duplicated deadlines, all-unbounded, and
+        /// single-job inputs.
+        ///
+        /// Deadlines are encoded as `(bounded, offset)` pairs: `bounded =
+        /// false` means `Deadline::none()`; offsets are coarse (0..6 s)
+        /// so duplicates — the FIFO-tie case — are common, and anchored
+        /// an hour out so nothing expires mid-test.
+        #[test]
+        fn edf_pop_order_is_a_stable_deadline_sort(
+            specs in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u64..6), 1..24),
+        ) {
+            let queue = EdfQueue::new();
+            let (out, _keep) = mpsc::channel();
+            let base = Instant::now() + std::time::Duration::from_secs(3600);
+            for (index, &(bounded, offset)) in specs.iter().enumerate() {
+                let deadline = if bounded {
+                    Deadline::at(base + std::time::Duration::from_secs(offset))
+                } else {
+                    Deadline::none()
+                };
+                queue.push(Job {
+                    func: pressure_function("f", 4),
+                    config: config(1),
+                    deadline,
+                    index,
+                    out: out.clone(),
+                });
+            }
+
+            // Reference order: stable sort on (unbounded-last, offset);
+            // stability preserves submission order inside every tie.
+            let mut expected: Vec<usize> = (0..specs.len()).collect();
+            expected.sort_by_key(|&i| match specs[i] {
+                (true, offset) => (0u8, offset),
+                (false, _) => (1u8, 0),
+            });
+
+            let popped: Vec<usize> = (0..specs.len())
+                .map(|_| queue.pop().unwrap().index)
+                .collect();
+            prop_assert_eq!(popped, expected);
+
+            // Drained + closed → workers are told to exit.
+            queue.close();
+            prop_assert!(queue.pop().is_none());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Expired work is shed at dequeue, and only expired work: any
+        /// interleaving of already-expired and generously-bounded jobs
+        /// through a real pool answers `DeadlineExceeded{passes: 0}` for
+        /// exactly the expired ones — never a wedged worker, never a shed
+        /// healthy job. (Few cases: each runs real allocations.)
+        #[test]
+        fn only_expired_jobs_are_shed_at_dequeue(
+            expired in proptest::collection::vec(proptest::prelude::any::<bool>(), 1..6),
+        ) {
+            let pool = WorkerPool::new(NonZeroUsize::new(1).unwrap());
+            let cfg = config(1);
+            let funcs = [pressure_function("p", 8)];
+            for &is_expired in &expired {
+                let deadline = if is_expired {
+                    Deadline::after(std::time::Duration::ZERO)
+                } else {
+                    Deadline::after(std::time::Duration::from_secs(3600))
+                };
+                let results = pool.allocate_functions_with_deadline(&cfg, &funcs, &deadline);
+                if is_expired {
+                    prop_assert!(matches!(
+                        results[0],
+                        Err(AllocError::DeadlineExceeded { passes: 0, .. })
+                    ));
+                } else {
+                    prop_assert!(results[0].is_ok());
+                }
+            }
+            prop_assert_eq!(pool.pending(), 0);
+        }
+    }
 }

@@ -26,12 +26,18 @@ Serve register-allocation requests as newline-delimited JSON.
 options:
   --listen ADDR         accept TCP connections on ADDR (e.g. 127.0.0.1:7878);
                         without this flag, requests are read from stdin
+  --http ADDR           also serve HTTP/1.1 on ADDR: POST /v1/alloc (NDJSON
+                        body), GET /v1/health, GET /v1/stats; may run beside
+                        --listen or alone
   --oneshot             stdio mode: answer the first request and exit
   --cache-capacity N    cached function results across all shards [default 4096]
   --shards N            cache lock shards [default 16]
   --store PATH          persist results in a content-addressed store at PATH;
                         a restarted daemon pointed at the same PATH serves
                         previous results (and remembered failures) from disk
+  --store-peers ADDRS   comma-separated optimist-stored daemon addresses to use
+                        as the persistent tier instead of --store; two or more
+                        are sharded by consistent hash
   --store-max-bytes N   compact the store log when it exceeds N bytes
                         [default 67108864; 0 = never]
   --max-inflight N      concurrently-executing work units (requests or batch
@@ -55,10 +61,12 @@ options:
 
 struct Options {
     listen: Option<String>,
+    http: Option<String>,
     oneshot: bool,
     cache_capacity: usize,
     shards: usize,
     store: Option<std::path::PathBuf>,
+    store_peers: Vec<String>,
     store_max_bytes: u64,
     max_inflight: usize,
     max_load: usize,
@@ -74,10 +82,12 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         listen: None,
+        http: None,
         oneshot: false,
         cache_capacity: 4096,
         shards: 16,
         store: None,
+        store_peers: Vec::new(),
         store_max_bytes: 64 << 20,
         max_inflight: optimist_serve::DEFAULT_MAX_INFLIGHT,
         max_load: 1024,
@@ -94,6 +104,7 @@ fn parse_args() -> Result<Options, String> {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--listen" => opts.listen = Some(value("--listen")?),
+            "--http" => opts.http = Some(value("--http")?),
             "--oneshot" => opts.oneshot = true,
             "--cache-capacity" => {
                 opts.cache_capacity = value("--cache-capacity")?
@@ -106,6 +117,17 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--shards needs an integer".to_string())?
             }
             "--store" => opts.store = Some(value("--store")?.into()),
+            "--store-peers" => {
+                opts.store_peers = value("--store-peers")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if opts.store_peers.is_empty() {
+                    return Err("--store-peers needs at least one address".to_string());
+                }
+            }
             "--store-max-bytes" => {
                 opts.store_max_bytes = value("--store-max-bytes")?
                     .parse()
@@ -165,6 +187,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.listen.is_some() && opts.oneshot {
         return Err("--oneshot is a stdio mode; drop --listen".to_string());
+    }
+    if opts.http.is_some() && opts.oneshot {
+        return Err("--oneshot is a stdio mode; drop --http".to_string());
+    }
+    if opts.store.is_some() && !opts.store_peers.is_empty() {
+        return Err("--store and --store-peers are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -247,6 +275,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    } else if !opts.store_peers.is_empty() {
+        log_info!(
+            "store tier: {} remote peer(s): {}",
+            opts.store_peers.len(),
+            opts.store_peers.join(", ")
+        );
+        server = server.with_remote_store(&opts.store_peers);
     }
     let server = Arc::new(server);
 
@@ -265,15 +300,38 @@ fn main() -> ExitCode {
         });
     }
 
-    let result = match &opts.listen {
-        Some(addr) => server.run_listener(addr.as_str(), |bound| {
+    // The HTTP front-end rides on its own thread beside the NDJSON
+    // listener; given alone, it runs in the foreground. Both watch the
+    // same stop flag and share the drain registry.
+    let http_thread = if let (Some(addr), Some(_)) = (&opts.http, &opts.listen) {
+        let server = Arc::clone(&server);
+        let addr = addr.clone();
+        Some(std::thread::spawn(move || {
+            optimist_serve::run_http(&server, addr.as_str(), |bound| {
+                log_info!("http listening on {bound}");
+            })
+        }))
+    } else {
+        None
+    };
+
+    let result = match (&opts.listen, &opts.http) {
+        (Some(addr), _) => server.run_listener(addr.as_str(), |bound| {
             log_info!("listening on {bound}");
         }),
-        None => server.run_io(
+        (None, Some(addr)) => optimist_serve::run_http(&server, addr.as_str(), |bound| {
+            log_info!("http listening on {bound}");
+        }),
+        (None, None) => server.run_io(
             std::io::stdin().lock(),
             std::io::stdout().lock(),
             opts.oneshot,
         ),
+    };
+    let result = match http_thread.map(|t| t.join()) {
+        Some(Ok(http_result)) => result.and(http_result),
+        Some(Err(_)) => result.and(Err(std::io::Error::other("http front-end panicked"))),
+        None => result,
     };
 
     // Flush the persistent tier before reporting: a drained daemon must

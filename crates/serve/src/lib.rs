@@ -38,19 +38,23 @@
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod stream;
 
 pub use cache::{cache_key, ShardedLru};
 pub use client::{Client, ClientError, RetryPolicy};
+pub use http::run_http;
 pub use json::Json;
 pub use metrics::Metrics;
 pub use persist::CacheEntry;
 pub use protocol::{BatchItem, BatchPayload, FnResult, ProtocolError, Request};
-pub use server::{Disposition, Server, DEFAULT_MAX_INFLIGHT};
+pub use ring::HashRing;
+pub use server::{Disposition, Server, DEFAULT_MAX_INFLIGHT, DEFAULT_PEER_TIMEOUT};
 pub use stream::{run_stream, StreamOpts};

@@ -36,10 +36,12 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::persist::{self, CacheEntry};
 use crate::protocol::{BatchItem, BatchPayload, FnResult, Request};
+use crate::ring::HashRing;
 use crate::stream::StreamOpts;
 use crate::{log_info, log_warn};
 use optimist_ir::parse_module;
 use optimist_regalloc::{default_threads, AllocError, AllocatorConfig, Deadline, WorkerPool};
+use optimist_store::net::{StoreClient, StoreClientError};
 use optimist_store::Store;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -61,6 +63,11 @@ const DEGRADE_THRESHOLD: u32 = 3;
 /// How long a degraded store waits between recovery probes unless
 /// [`Server::with_store_probe_interval`] says otherwise.
 const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Default read/write timeout on remote store-peer sockets: long enough
+/// for a loaded daemon, short enough that a hung one trips the per-peer
+/// degraded tripwire instead of pinning request threads.
+pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Reserved content address used by degraded-mode recovery probes. A real
 /// key is a 64-bit FNV-1a hash, so colliding with the all-ones sentinel is
@@ -115,19 +122,213 @@ pub struct Server {
     pub(crate) stop: AtomicBool,
 }
 
-/// The persistent tier plus its degraded-mode tripwire. The store itself
-/// already survives I/O errors (a failed put rolls back, a failed get is
-/// an `Err`); this wrapper decides when to stop *asking* — after
-/// [`DEGRADE_THRESHOLD`] consecutive failures the tier goes memory-only
-/// and only periodic probes touch the disk until one succeeds.
+/// The persistent tier plus its degraded-mode tripwires. Three backends
+/// share one contract — `get`/`put` keyed records, failures reported as
+/// `io::Error` — so the lookup path never cares where the bytes live:
+///
+/// * **Local** — the embedded [`Store`] log from the single-daemon
+///   deployment; this process owns the directory.
+/// * **Remote** — one shared `optimist-stored` daemon on the network.
+/// * **Sharded** — several daemons, each owning the slice of the key
+///   space a consistent-hash [`HashRing`] assigns it.
+///
+/// Degraded mode is **per peer**: after [`DEGRADE_THRESHOLD`]
+/// consecutive failures a peer drops out of the serving path and only
+/// periodic sentinel probes touch it until one succeeds. In sharded mode
+/// the other peers keep serving their shares — one dead store daemon
+/// costs its ~1/N of the warm tier, not all of it.
 #[derive(Debug)]
 struct StoreTier {
-    store: Store,
+    backend: Backend,
+    probe_interval: Duration,
+}
+
+/// Where the persistent tier's bytes live (see [`StoreTier`]).
+#[derive(Debug)]
+enum Backend {
+    Local {
+        store: Store,
+        state: PeerState,
+    },
+    Remote(RemotePeer),
+    Sharded {
+        ring: HashRing,
+        peers: Vec<RemotePeer>,
+    },
+}
+
+/// One peer's degraded-mode tripwire (PR 5's design, now per peer).
+#[derive(Debug)]
+struct PeerState {
     degraded: AtomicBool,
     consecutive_errors: AtomicU32,
     /// Earliest instant the next recovery probe may run (degraded only).
     next_probe: Mutex<Instant>,
-    probe_interval: Duration,
+}
+
+impl PeerState {
+    fn new() -> PeerState {
+        PeerState {
+            degraded: AtomicBool::new(false),
+            consecutive_errors: AtomicU32::new(0),
+            next_probe: Mutex::new(Instant::now()),
+        }
+    }
+}
+
+/// One network store peer: its address, its single lazily-dialed
+/// connection, its tripwire, and its per-peer counters (surfaced under
+/// `stats.store.peers`).
+#[derive(Debug)]
+struct RemotePeer {
+    addr: String,
+    /// The one blocking connection to this daemon. Dialed on first use,
+    /// dropped on transport error, re-dialed by the next call or probe.
+    /// The mutex serializes this daemon's requests to the peer — the
+    /// same single-channel shape the local log's writer lock imposes.
+    conn: Mutex<Option<StoreClient>>,
+    timeout: Option<Duration>,
+    state: PeerState,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl RemotePeer {
+    fn new(addr: String, timeout: Option<Duration>) -> RemotePeer {
+        RemotePeer {
+            addr,
+            conn: Mutex::new(None),
+            timeout,
+            state: PeerState::new(),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Run one operation over the peer's connection, dialing first if
+    /// needed. Transport failures and protocol garbage drop the cached
+    /// connection so the next call re-dials from scratch; a well-formed
+    /// refusal keeps it — the daemon is up, its store said no.
+    fn with_conn<T>(
+        &self,
+        op: impl FnOnce(&mut StoreClient) -> Result<T, StoreClientError>,
+    ) -> io::Result<T> {
+        let mut slot = self.conn.lock().expect("peer conn lock");
+        if slot.is_none() {
+            let client = StoreClient::connect(self.addr.as_str()).map_err(|e| e.into_io())?;
+            client.set_timeout(self.timeout).map_err(|e| e.into_io())?;
+            *slot = Some(client);
+        }
+        let client = slot.as_mut().expect("connection just established");
+        match op(client) {
+            Ok(value) => Ok(value),
+            Err(e) => {
+                if !matches!(e, StoreClientError::Refused(_)) {
+                    *slot = None;
+                }
+                Err(e.into_io())
+            }
+        }
+    }
+}
+
+/// A borrowed view of the peer a given key routes to — the unit the
+/// tripwire, probe, and I/O paths all operate on.
+enum PeerRef<'a> {
+    Local(&'a Store, &'a PeerState),
+    Remote(&'a RemotePeer),
+}
+
+impl<'a> PeerRef<'a> {
+    fn state(&self) -> &'a PeerState {
+        match self {
+            PeerRef::Local(_, state) => state,
+            PeerRef::Remote(peer) => &peer.state,
+        }
+    }
+
+    /// The peer's name in logs and health topology.
+    fn label(&self) -> &'a str {
+        match self {
+            PeerRef::Local(..) => "local",
+            PeerRef::Remote(peer) => &peer.addr,
+        }
+    }
+
+    fn try_get(&self, key: u64) -> io::Result<Option<(u64, Vec<u8>)>> {
+        match self {
+            PeerRef::Local(store, _) => store.try_get(key),
+            PeerRef::Remote(peer) => {
+                peer.gets.fetch_add(1, Ordering::Relaxed);
+                peer.with_conn(|client| client.get(key))
+            }
+        }
+    }
+
+    fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
+        match self {
+            PeerRef::Local(store, _) => store.put(key, fingerprint, payload),
+            PeerRef::Remote(peer) => {
+                peer.puts.fetch_add(1, Ordering::Relaxed);
+                peer.with_conn(|client| client.put(key, fingerprint, payload))
+            }
+        }
+    }
+
+    fn note_error(&self) {
+        if let PeerRef::Remote(peer) = self {
+            peer.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One recovery round trip: a sentinel put+get exercising the full
+    /// write and read path of this peer (not just liveness).
+    fn probe(&self) -> bool {
+        const PROBE_PAYLOAD: &[u8] = b"optimist degraded-mode probe";
+        match self {
+            PeerRef::Local(store, _) => store
+                .put(PROBE_KEY, 0, PROBE_PAYLOAD)
+                .and_then(|()| store.try_get(PROBE_KEY).map(drop))
+                .is_ok(),
+            PeerRef::Remote(peer) => peer
+                .with_conn(|client| {
+                    client.put(PROBE_KEY, 0, PROBE_PAYLOAD)?;
+                    client.get(PROBE_KEY).map(drop)
+                })
+                .is_ok(),
+        }
+    }
+}
+
+impl StoreTier {
+    /// The peer that owns `key`: the only peer in local/remote mode, the
+    /// ring's pick in sharded mode. Every serving daemon computes the
+    /// same answer, so a key's reads and writes meet at one store.
+    fn peer_for(&self, key: u64) -> PeerRef<'_> {
+        match &self.backend {
+            Backend::Local { store, state } => PeerRef::Local(store, state),
+            Backend::Remote(peer) => PeerRef::Remote(peer),
+            Backend::Sharded { ring, peers } => PeerRef::Remote(&peers[ring.route(key)]),
+        }
+    }
+
+    /// Every peer, for health topology and degraded-mode re-probes.
+    fn peers(&self) -> Vec<PeerRef<'_>> {
+        match &self.backend {
+            Backend::Local { store, state } => vec![PeerRef::Local(store, state)],
+            Backend::Remote(peer) => vec![PeerRef::Remote(peer)],
+            Backend::Sharded { peers, .. } => peers.iter().map(PeerRef::Remote).collect(),
+        }
+    }
+
+    /// True if any peer is tripped out of the serving path.
+    fn degraded(&self) -> bool {
+        self.peers()
+            .iter()
+            .any(|peer| peer.state().degraded.load(Ordering::Relaxed))
+    }
 }
 
 /// One memoized response: the prebuilt reply and how many functions it
@@ -170,12 +371,61 @@ impl Server {
     /// computed results are written through to it.
     pub fn with_store(mut self, store: Store) -> Self {
         self.store = Some(StoreTier {
-            store,
-            degraded: AtomicBool::new(false),
-            consecutive_errors: AtomicU32::new(0),
-            next_probe: Mutex::new(Instant::now()),
+            backend: Backend::Local {
+                store,
+                state: PeerState::new(),
+            },
             probe_interval: DEFAULT_PROBE_INTERVAL,
         });
+        self
+    }
+
+    /// Attach one or more `optimist-stored` daemons as the second cache
+    /// tier instead of an embedded log. One address is a plain remote
+    /// store; several are sharded by consistent hash ([`HashRing`]), so
+    /// every serving daemon sends a given key to the same store peer.
+    /// Connections are dialed lazily and round trips are bounded by
+    /// [`DEFAULT_PEER_TIMEOUT`] (see [`Server::with_store_peer_timeout`]).
+    pub fn with_remote_store<S: AsRef<str>>(mut self, addrs: &[S]) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "remote store tier needs at least one peer"
+        );
+        let timeout = Some(DEFAULT_PEER_TIMEOUT);
+        let backend = if addrs.len() == 1 {
+            Backend::Remote(RemotePeer::new(addrs[0].as_ref().to_string(), timeout))
+        } else {
+            Backend::Sharded {
+                ring: HashRing::new(addrs),
+                peers: addrs
+                    .iter()
+                    .map(|a| RemotePeer::new(a.as_ref().to_string(), timeout))
+                    .collect(),
+            }
+        };
+        self.store = Some(StoreTier {
+            backend,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
+        });
+        self
+    }
+
+    /// Bound each store-peer round trip. A peer that stops answering
+    /// fails fast into the per-peer tripwire instead of wedging request
+    /// threads; `None` leaves the sockets blocking. No effect on a local
+    /// store tier.
+    pub fn with_store_peer_timeout(mut self, timeout: Option<Duration>) -> Self {
+        if let Some(tier) = &mut self.store {
+            match &mut tier.backend {
+                Backend::Local { .. } => {}
+                Backend::Remote(peer) => peer.timeout = timeout,
+                Backend::Sharded { peers, .. } => {
+                    for peer in peers {
+                        peer.timeout = timeout;
+                    }
+                }
+            }
+        }
         self
     }
 
@@ -266,16 +516,19 @@ impl Server {
         &self.cache
     }
 
-    /// The persistent store, if one is attached.
+    /// The persistent store when this daemon embeds one (local tier
+    /// only); a remote or sharded tier lives in other processes and has
+    /// no `Store` to hand out.
     pub fn store(&self) -> Option<&Store> {
-        self.store.as_ref().map(|tier| &tier.store)
+        match self.store.as_ref().map(|tier| &tier.backend) {
+            Some(Backend::Local { store, .. }) => Some(store),
+            _ => None,
+        }
     }
 
-    /// True while the persistent tier is tripped out of the serving path.
+    /// True while any store peer is tripped out of the serving path.
     pub fn store_degraded(&self) -> bool {
-        self.store
-            .as_ref()
-            .is_some_and(|tier| tier.degraded.load(Ordering::Relaxed))
+        self.store.as_ref().is_some_and(StoreTier::degraded)
     }
 
     /// Ask the serving loops to stop: `run_listener` finishes its drain,
@@ -345,13 +598,17 @@ impl Server {
     /// The `health` response: serving state plus the counters an operator
     /// (or an orchestrator's probe) needs to decide whether to route here.
     pub fn health_json(&self) -> Json {
-        // A degraded tier re-probes on store traffic, but a memo-warm
+        // A degraded peer re-probes on store traffic, but a memo-warm
         // daemon may not touch the store for minutes — so a health poll
         // counts as traffic too. The probe gate still rate-limits to one
-        // sentinel round trip per probe interval.
+        // sentinel round trip per peer per probe interval.
         if let Some(tier) = &self.store {
-            if tier.degraded.load(Ordering::SeqCst) && !self.draining() {
-                self.store_available(tier);
+            if !self.draining() {
+                for peer in tier.peers() {
+                    if peer.state().degraded.load(Ordering::SeqCst) {
+                        self.peer_available(tier, &peer);
+                    }
+                }
             }
         }
         let state = if self.draining() {
@@ -362,114 +619,150 @@ impl Server {
             "ok"
         };
         let m = &self.metrics;
-        Json::obj([
-            ("ok", Json::from(true)),
+        let mut health = Json::obj([
+            ("state", Json::from(state)),
+            ("load", Json::from(m.load.get())),
+            ("inflight", Json::from(m.inflight.get())),
+            ("shed", Json::from(m.shed.get())),
+            ("deadline_exceeded", Json::from(m.deadline_exceeded.get())),
             (
-                "health",
-                Json::obj([
-                    ("state", Json::from(state)),
-                    ("load", Json::from(m.load.get())),
-                    ("inflight", Json::from(m.inflight.get())),
-                    ("shed", Json::from(m.shed.get())),
-                    ("deadline_exceeded", Json::from(m.deadline_exceeded.get())),
-                    (
-                        "store_degraded",
-                        Json::from(u64::from(self.store_degraded())),
-                    ),
-                    ("store_put_errors", Json::from(m.store_put_errors.get())),
-                    ("store_get_errors", Json::from(m.store_get_errors.get())),
-                    ("store_probes", Json::from(m.store_probes.get())),
-                    ("store_recoveries", Json::from(m.store_recoveries.get())),
-                ]),
+                "store_degraded",
+                Json::from(u64::from(self.store_degraded())),
             ),
-        ])
+            ("store_put_errors", Json::from(m.store_put_errors.get())),
+            ("store_get_errors", Json::from(m.store_get_errors.get())),
+            ("store_probes", Json::from(m.store_probes.get())),
+            ("store_recoveries", Json::from(m.store_recoveries.get())),
+        ]);
+        health.push("store", self.store_topology_json());
+        Json::obj([("ok", Json::from(true)), ("health", health)])
     }
 
-    /// One store I/O failure: count it toward the degraded-mode tripwire
-    /// and trip if the threshold is reached.
-    fn note_store_error(&self, tier: &StoreTier) {
-        let run = tier.consecutive_errors.fetch_add(1, Ordering::SeqCst) + 1;
-        if run >= DEGRADE_THRESHOLD && !tier.degraded.swap(true, Ordering::SeqCst) {
+    /// The store-tier topology an operator sees in `health`: which mode
+    /// the tier runs in, the consistent-hash ring size, and each peer's
+    /// address and tripwire state.
+    fn store_topology_json(&self) -> Json {
+        let Some(tier) = &self.store else {
+            return Json::obj([("mode", Json::from("none"))]);
+        };
+        let mode = match &tier.backend {
+            Backend::Local { .. } => "local",
+            Backend::Remote(_) => "remote",
+            Backend::Sharded { .. } => "sharded",
+        };
+        let mut obj = Json::obj([("mode", Json::from(mode))]);
+        if let Backend::Sharded { ring, .. } = &tier.backend {
+            obj.push("ring_points", Json::from(ring.point_count() as u64));
+        }
+        let peers: Vec<Json> = tier
+            .peers()
+            .iter()
+            .map(|peer| {
+                let state = if peer.state().degraded.load(Ordering::Relaxed) {
+                    "degraded"
+                } else {
+                    "ok"
+                };
+                Json::obj([
+                    ("addr", Json::from(peer.label())),
+                    ("state", Json::from(state)),
+                ])
+            })
+            .collect();
+        obj.push("peers", Json::Arr(peers));
+        obj
+    }
+
+    /// One store I/O failure on `peer`: count it toward that peer's
+    /// degraded-mode tripwire and trip if the threshold is reached.
+    fn note_peer_error(&self, tier: &StoreTier, peer: &PeerRef<'_>) {
+        peer.note_error();
+        let state = peer.state();
+        let run = state.consecutive_errors.fetch_add(1, Ordering::SeqCst) + 1;
+        if run >= DEGRADE_THRESHOLD && !state.degraded.swap(true, Ordering::SeqCst) {
             self.metrics.store_degraded.raise(1);
-            *tier.next_probe.lock().expect("probe lock") = Instant::now() + tier.probe_interval;
+            *state.next_probe.lock().expect("probe lock") = Instant::now() + tier.probe_interval;
             log_warn!(
-                "store: {run} consecutive I/O errors; entering memory-only degraded mode \
+                "store[{}]: {run} consecutive I/O errors; peer leaves the serving path \
                  (re-probing every {:?})",
+                peer.label(),
                 tier.probe_interval
             );
         }
     }
 
-    /// Whether the disk tier may be used right now. A healthy tier always
-    /// may; a degraded one only probes — at most once per probe interval,
-    /// a sentinel put+get — and recovers if the probe succeeds.
-    fn store_available(&self, tier: &StoreTier) -> bool {
-        if !tier.degraded.load(Ordering::SeqCst) {
+    /// Whether `peer` may be used right now. A healthy peer always may; a
+    /// degraded one only probes — at most once per probe interval, a
+    /// sentinel put+get — and recovers if the probe succeeds.
+    fn peer_available(&self, tier: &StoreTier, peer: &PeerRef<'_>) -> bool {
+        let state = peer.state();
+        if !state.degraded.load(Ordering::SeqCst) {
             return true;
         }
         {
-            let mut next = tier.next_probe.lock().expect("probe lock");
+            let mut next = state.next_probe.lock().expect("probe lock");
             if Instant::now() < *next {
                 return false;
             }
             *next = Instant::now() + tier.probe_interval;
         }
         self.metrics.store_probes.inc();
-        let recovered = tier
-            .store
-            .put(PROBE_KEY, 0, b"optimist degraded-mode probe")
-            .and_then(|()| tier.store.try_get(PROBE_KEY).map(drop))
-            .is_ok();
+        let recovered = peer.probe();
         if recovered {
-            tier.consecutive_errors.store(0, Ordering::SeqCst);
-            tier.degraded.store(false, Ordering::SeqCst);
+            state.consecutive_errors.store(0, Ordering::SeqCst);
+            state.degraded.store(false, Ordering::SeqCst);
             self.metrics.store_degraded.lower(1);
             self.metrics.store_recoveries.inc();
-            log_info!("store: recovery probe succeeded; leaving degraded mode");
+            log_info!(
+                "store[{}]: recovery probe succeeded; peer rejoins the serving path",
+                peer.label()
+            );
         }
         recovered
     }
 
-    /// Read `key` from the disk tier, feeding the degraded-mode tripwire.
-    /// Degraded or failing reads are served as misses — the caller falls
-    /// through to compute.
+    /// Read `key` from the peer that owns it, feeding that peer's
+    /// degraded-mode tripwire. Degraded or failing reads are served as
+    /// misses — the caller falls through to compute.
     fn store_get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
         let tier = self.store.as_ref()?;
-        if !self.store_available(tier) {
+        let peer = tier.peer_for(key);
+        if !self.peer_available(tier, &peer) {
             return None;
         }
-        match tier.store.try_get(key) {
+        match peer.try_get(key) {
             Ok(found) => {
-                tier.consecutive_errors.store(0, Ordering::SeqCst);
+                peer.state().consecutive_errors.store(0, Ordering::SeqCst);
                 found
             }
             Err(e) => {
                 self.metrics.store_get_errors.inc();
                 self.metrics.store_errors.inc();
-                log_warn!("store: get {key:016x} failed: {e}");
-                self.note_store_error(tier);
+                log_warn!("store[{}]: get {key:016x} failed: {e}", peer.label());
+                self.note_peer_error(tier, &peer);
                 None
             }
         }
     }
 
-    /// Write through to the disk tier, feeding the degraded-mode
-    /// tripwire. Failures are counted and logged, never raised: the
-    /// response already holds the result.
+    /// Write through to the peer that owns `key`, feeding that peer's
+    /// degraded-mode tripwire. Failures are counted and logged, never
+    /// raised: the response already holds the result.
     fn store_put(&self, key: u64, fingerprint: u64, payload: &[u8]) {
         let Some(tier) = self.store.as_ref() else {
             return;
         };
-        if !self.store_available(tier) {
+        let peer = tier.peer_for(key);
+        if !self.peer_available(tier, &peer) {
             return;
         }
-        match tier.store.put(key, fingerprint, payload) {
-            Ok(()) => tier.consecutive_errors.store(0, Ordering::SeqCst),
+        match peer.put(key, fingerprint, payload) {
+            Ok(()) => peer.state().consecutive_errors.store(0, Ordering::SeqCst),
             Err(e) => {
                 self.metrics.store_put_errors.inc();
                 self.metrics.store_errors.inc();
-                log_warn!("store: put {key:016x} failed: {e}");
-                self.note_store_error(tier);
+                log_warn!("store[{}]: put {key:016x} failed: {e}", peer.label());
+                self.note_peer_error(tier, &peer);
             }
         }
     }
@@ -577,35 +870,65 @@ impl Server {
             ]),
         );
         if let Some(tier) = &self.store {
-            let snap = tier.store.snapshot();
-            stats.push(
-                "store",
-                Json::obj([
-                    ("hits", Json::from(self.metrics.store_hits.get())),
-                    ("misses", Json::from(self.metrics.store_misses.get())),
-                    ("errors", Json::from(self.metrics.store_errors.get())),
-                    ("entries", Json::from(snap.entries as u64)),
-                    ("file_bytes", Json::from(snap.file_bytes)),
-                    ("live_bytes", Json::from(snap.live_bytes)),
-                    ("dead_bytes", Json::from(snap.dead_bytes)),
-                    ("recovered_entries", Json::from(snap.recovered_entries)),
-                    ("dropped_corrupt", Json::from(snap.dropped_corrupt)),
-                    ("dropped_torn", Json::from(snap.dropped_torn)),
-                    ("dropped_stale", Json::from(snap.dropped_stale)),
-                    ("superseded", Json::from(snap.superseded)),
-                    ("evicted", Json::from(snap.evicted)),
-                    ("compactions", Json::from(snap.compactions)),
-                    ("last_compaction_us", Json::from(snap.last_compaction_us)),
-                    ("read_errors", Json::from(snap.read_errors)),
-                    ("write_errors", Json::from(snap.write_errors)),
-                    ("removed_tmp", Json::from(snap.removed_tmp)),
-                    (
+            let mut store = Json::obj([
+                ("hits", Json::from(self.metrics.store_hits.get())),
+                ("misses", Json::from(self.metrics.store_misses.get())),
+                ("errors", Json::from(self.metrics.store_errors.get())),
+            ]);
+            match &tier.backend {
+                Backend::Local { store: log, state } => {
+                    let snap = log.snapshot();
+                    store.push("entries", Json::from(snap.entries as u64));
+                    store.push("file_bytes", Json::from(snap.file_bytes));
+                    store.push("live_bytes", Json::from(snap.live_bytes));
+                    store.push("dead_bytes", Json::from(snap.dead_bytes));
+                    store.push("recovered_entries", Json::from(snap.recovered_entries));
+                    store.push("dropped_corrupt", Json::from(snap.dropped_corrupt));
+                    store.push("dropped_torn", Json::from(snap.dropped_torn));
+                    store.push("dropped_stale", Json::from(snap.dropped_stale));
+                    store.push("superseded", Json::from(snap.superseded));
+                    store.push("evicted", Json::from(snap.evicted));
+                    store.push("compactions", Json::from(snap.compactions));
+                    store.push("compaction_stalls", Json::from(snap.compaction_stalls));
+                    store.push("last_compaction_us", Json::from(snap.last_compaction_us));
+                    store.push("read_errors", Json::from(snap.read_errors));
+                    store.push("write_errors", Json::from(snap.write_errors));
+                    store.push("removed_tmp", Json::from(snap.removed_tmp));
+                    store.push(
                         "degraded",
-                        Json::from(tier.degraded.load(Ordering::Relaxed)),
-                    ),
-                    ("read_latency", self.metrics.store_read_latency.to_json()),
-                ]),
-            );
+                        Json::from(state.degraded.load(Ordering::Relaxed)),
+                    );
+                }
+                Backend::Remote(_) | Backend::Sharded { .. } => {
+                    let mode = match &tier.backend {
+                        Backend::Remote(_) => "remote",
+                        _ => "sharded",
+                    };
+                    store.push("mode", Json::from(mode));
+                    let peers: Vec<Json> = tier
+                        .peers()
+                        .iter()
+                        .map(|peer| {
+                            let PeerRef::Remote(remote) = peer else {
+                                unreachable!("remote tiers hold remote peers");
+                            };
+                            Json::obj([
+                                ("addr", Json::from(remote.addr.as_str())),
+                                ("gets", Json::from(remote.gets.load(Ordering::Relaxed))),
+                                ("puts", Json::from(remote.puts.load(Ordering::Relaxed))),
+                                ("errors", Json::from(remote.errors.load(Ordering::Relaxed))),
+                                (
+                                    "degraded",
+                                    Json::from(remote.state.degraded.load(Ordering::Relaxed)),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    store.push("peers", Json::Arr(peers));
+                }
+            }
+            store.push("read_latency", self.metrics.store_read_latency.to_json());
+            stats.push("store", store);
         }
         stats
     }
@@ -1107,6 +1430,51 @@ impl Server {
         }
         log_info!("drain: complete; all connections closed");
         Ok(())
+    }
+
+    /// Register an accepted connection in the drain registry, so shutdown
+    /// can half-close it. The HTTP front-end ([`crate::http::run_http`])
+    /// shares this registry with the NDJSON listener: whichever loop
+    /// drains first reaches every connection.
+    pub(crate) fn register_conn(&self, stream: &TcpStream) -> u64 {
+        let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(handle) = stream.try_clone() {
+            self.conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_id, handle);
+        }
+        conn_id
+    }
+
+    /// Drop a connection's drain-registry entry (it exited on its own).
+    pub(crate) fn unregister_conn(&self, conn_id: u64) {
+        self.conns.lock().expect("conns lock").remove(&conn_id);
+    }
+
+    /// The socket timeouts accepted connections get.
+    pub(crate) fn socket_timeouts(&self) -> (Option<Duration>, Option<Duration>) {
+        (self.read_timeout, self.write_timeout)
+    }
+
+    /// The configured drain budget.
+    pub(crate) fn drain_budget(&self) -> Duration {
+        self.drain_timeout
+    }
+
+    /// Half-close every registered connection: readers see EOF, in-flight
+    /// responses still go out.
+    pub(crate) fn half_close_conns(&self) {
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Sever every registered connection outright (drain budget spent).
+    pub(crate) fn force_close_conns(&self) {
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
     }
 }
 

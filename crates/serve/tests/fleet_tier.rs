@@ -1,0 +1,186 @@
+//! Fleet store-tier acceptance: serving daemons sharing warmth through
+//! remote `optimist-stored` daemons — single peer and consistent-hash
+//! sharded — including one peer dying and recovering under traffic.
+
+mod serve_test_util;
+
+use optimist_serve::{Json, Server};
+use optimist_store::net::StoreServer;
+use optimist_store::{Store, StoreOptions};
+use serve_test_util::corpus_requests;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    serve_test_util::scratch("optimist-fleet-tier", name)
+}
+
+/// One in-process store daemon on an ephemeral port.
+struct StoreDaemon {
+    server: Arc<StoreServer>,
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StoreDaemon {
+    fn spawn(dir: PathBuf) -> StoreDaemon {
+        let store = Store::open(dir, StoreOptions::default()).expect("store opens");
+        StoreDaemon::spawn_with_store(store, None)
+    }
+
+    /// Spawn on a specific address (the restart case) or an ephemeral one.
+    fn spawn_with_store(store: Store, addr: Option<SocketAddr>) -> StoreDaemon {
+        let server = Arc::new(StoreServer::new(store).with_drain_timeout(Duration::from_secs(5)));
+        let bind: SocketAddr = addr.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap());
+        let listener = TcpListener::bind(bind).expect("store daemon binds");
+        let addr = listener.local_addr().unwrap();
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run_listener(listener).unwrap())
+        };
+        StoreDaemon {
+            server,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the daemon, keeping its port free for a successor.
+    fn kill(mut self) -> SocketAddr {
+        self.server.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().unwrap();
+        }
+        self.addr
+    }
+}
+
+impl Drop for StoreDaemon {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn assert_all_ok(server: &Server, requests: &[String], all_cached: bool) {
+    for line in requests {
+        let (resp, _) = server.handle_line(line);
+        let v = optimist_serve::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        if all_cached {
+            for f in v.get("functions").and_then(Json::as_arr).unwrap() {
+                assert_eq!(
+                    f.get("cached").and_then(Json::as_bool),
+                    Some(true),
+                    "warm replay recomputed a function: {f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_daemons_share_warmth_through_one_store_peer() {
+    let daemon = StoreDaemon::spawn(scratch("single"));
+    let peer = daemon.addr.to_string();
+    let requests = corpus_requests();
+
+    // Daemon A computes everything and writes through over the network.
+    let a = Server::new(4096, 16).with_remote_store(&[peer.as_str()]);
+    assert_all_ok(&a, &requests, false);
+    let computed = a.metrics().functions.get();
+    assert!(computed > 0);
+    assert!(a.store().is_none(), "remote tiers embed no local store");
+
+    // Daemon B has a cold memory tier; its only warmth is the shared
+    // store daemon. The whole corpus must come back cached.
+    let b = Server::new(4096, 16).with_remote_store(&[peer.as_str()]);
+    assert_all_ok(&b, &requests, true);
+    assert_eq!(
+        b.metrics().store_hits.get(),
+        b.metrics().cache_hits.get(),
+        "every hit on the cold daemon came from the store peer"
+    );
+    assert_eq!(
+        b.metrics().phase_build.count(),
+        0,
+        "warm fleet replay must not enter Build–Simplify–Color"
+    );
+
+    // Topology shows up in health.
+    let health = b.health_json().to_string();
+    assert!(health.contains(r#""mode":"remote""#), "{health}");
+    assert!(health.contains(&format!(r#""addr":"{peer}""#)), "{health}");
+
+    // And per-peer counters in stats.
+    let stats = b.stats_json().to_string();
+    assert!(stats.contains(r#""mode":"remote""#), "{stats}");
+    assert!(stats.contains(r#""degraded":false"#), "{stats}");
+}
+
+#[test]
+fn sharded_tier_spreads_keys_and_survives_a_peer_death() {
+    let d0 = StoreDaemon::spawn(scratch("shard0"));
+    let d1 = StoreDaemon::spawn(scratch("shard1"));
+    let peers = [d0.addr.to_string(), d1.addr.to_string()];
+    let requests = corpus_requests();
+
+    let a = Server::new(4096, 16)
+        .with_remote_store(&peers)
+        .with_store_probe_interval(Duration::from_millis(50));
+    assert_all_ok(&a, &requests, false);
+
+    // The ring actually spread the corpus: both stores hold records.
+    let len0 = d0.server.store().len();
+    let len1 = d1.server.store().len();
+    assert!(
+        len0 > 0 && len1 > 0,
+        "sharding left a peer empty ({len0}/{len1}) — ring not routing"
+    );
+
+    let health = a.health_json().to_string();
+    assert!(health.contains(r#""mode":"sharded""#), "{health}");
+    assert!(health.contains(r#""ring_points""#), "{health}");
+
+    // Kill peer 1. Requests keep succeeding: keys it owned recompute
+    // (its tripwire trips after a few errors), keys on peer 0 stay warm.
+    let dead_addr = d1.kill();
+    let b = Server::new(4096, 16)
+        .with_remote_store(&peers)
+        .with_store_probe_interval(Duration::from_millis(50));
+    assert_all_ok(&b, &requests, false);
+    assert!(
+        b.metrics().store_hits.get() > 0,
+        "the surviving peer's share must still serve warm"
+    );
+    assert!(b.store_degraded(), "the dead peer must trip its tripwire");
+    let health = b.health_json().to_string();
+    assert!(health.contains(r#""state":"degraded""#), "{health}");
+
+    // Resurrect the dead peer on the same address; the next probe heals
+    // it and the fleet reports ok again.
+    let revived = StoreDaemon::spawn_with_store(
+        Store::open(scratch("shard1-revived"), StoreOptions::default()).unwrap(),
+        Some(dead_addr),
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(60));
+        let health = b.health_json().to_string();
+        if health.contains(r#""state":"ok""#) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "peer never recovered: {health}"
+        );
+    }
+    assert!(!b.store_degraded());
+    assert!(b.metrics().store_recoveries.get() >= 1);
+    drop(revived);
+}

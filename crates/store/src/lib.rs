@@ -38,6 +38,14 @@
 //! are evicted until it fits — the store is a bounded cache, not an
 //! archive.
 //!
+//! Compaction runs on a **background thread**, off the request path: the
+//! `put` that crosses the budget just signals the compactor and returns.
+//! The bulk copy of live records runs without the store lock (reads and
+//! writes proceed concurrently); only the final delta-append and atomic
+//! swap hold it. A put stalls only when the log has outgrown *twice* the
+//! budget — the disk is falling behind — and each such wait is counted as
+//! [`StoreSnapshot::compaction_stalls`].
+//!
 //! ```
 //! # use optimist_store::{Store, StoreOptions};
 //! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
@@ -57,6 +65,7 @@
 
 pub mod failpoint;
 pub mod format;
+pub mod net;
 
 use failpoint::{FailKind, FailpointRegistry};
 use format::{ScannedRecord, MAGIC, RECORD_HEADER_LEN, SCHEMA_VERSION};
@@ -64,7 +73,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Name of the log file inside the store directory.
@@ -113,6 +123,7 @@ struct Counters {
     superseded: u64,
     evicted: u64,
     compactions: u64,
+    compaction_stalls: u64,
     last_compaction_us: u64,
     read_errors: u64,
     write_errors: u64,
@@ -128,6 +139,12 @@ struct Inner {
     /// Bytes of the records currently in the index.
     live_bytes: u64,
     counters: Counters,
+    /// A put crossed the size budget; the compactor should run a pass.
+    compact_requested: bool,
+    /// A compaction pass is in flight (background or synchronous).
+    compacting: bool,
+    /// The store is being dropped; the compactor thread should exit.
+    shutdown: bool,
 }
 
 /// A point-in-time view of the store's size and history, dumped into the
@@ -157,12 +174,15 @@ pub struct StoreSnapshot {
     pub evicted: u64,
     /// Completed compaction passes.
     pub compactions: u64,
+    /// Puts that had to wait for the background compactor because the log
+    /// had outgrown twice its budget (the disk is falling behind).
+    pub compaction_stalls: u64,
     /// Wall-clock duration of the most recent compaction, in microseconds.
     pub last_compaction_us: u64,
     /// Reads that failed at the I/O layer (served as misses).
     pub read_errors: u64,
     /// Appends that failed at the I/O layer (rolled back before the
-    /// error was returned).
+    /// error was returned), plus failed compaction passes.
     pub write_errors: u64,
     /// Stale compaction scratch files (`store.log.tmp`, left by a crash
     /// between the tmp write and the atomic rename) removed by the last
@@ -170,18 +190,32 @@ pub struct StoreSnapshot {
     pub removed_tmp: u64,
 }
 
-/// The persistent content-addressed store. All methods take `&self`; the
-/// internals are behind one mutex (this is the tier *behind* a sharded
-/// in-memory cache — by the time a request gets here it has already
-/// missed the fast path).
+/// State shared between the [`Store`] handle and its compactor thread.
 #[derive(Debug)]
-pub struct Store {
+struct Shared {
     dir: PathBuf,
     max_bytes: u64,
     inner: Mutex<Inner>,
     /// Injected faults for this store's I/O sites (see [`mod@failpoint`]).
     /// Armed from `OPTIMIST_FAILPOINTS` at open; re-armable at runtime.
     failpoints: FailpointRegistry,
+    /// Wakes the compactor thread (work requested, or shutdown).
+    work: Condvar,
+    /// Wakes waiters — stalled puts, [`Store::quiesce`], a synchronous
+    /// [`Store::compact`] queued behind a background pass — when a pass
+    /// finishes (successfully or not).
+    done: Condvar,
+}
+
+/// The persistent content-addressed store. All methods take `&self`; the
+/// index and log handle live behind one mutex (this is the tier *behind*
+/// a sharded in-memory cache — by the time a request gets here it has
+/// already missed the fast path). Size-triggered compaction runs on a
+/// dedicated background thread owned by this handle.
+#[derive(Debug)]
+pub struct Store {
+    shared: Arc<Shared>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl Store {
@@ -280,7 +314,7 @@ impl Store {
         counters.recovered_entries = index.len() as u64;
 
         file.seek(SeekFrom::End(0))?;
-        Ok(Store {
+        let shared = Arc::new(Shared {
             dir,
             max_bytes: options.max_bytes,
             inner: Mutex::new(Inner {
@@ -289,8 +323,23 @@ impl Store {
                 file_bytes: bytes.len() as u64,
                 live_bytes,
                 counters,
+                compact_requested: false,
+                compacting: false,
+                shutdown: false,
             }),
             failpoints: FailpointRegistry::from_env(),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let compactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("store-compactor".into())
+                .spawn(move || Shared::compactor_loop(&shared))?
+        };
+        Ok(Store {
+            shared,
+            compactor: Some(compactor),
         })
     }
 
@@ -298,12 +347,12 @@ impl Store {
     /// Production stores carry an empty registry unless
     /// `OPTIMIST_FAILPOINTS` armed one at open.
     pub fn failpoints(&self) -> &FailpointRegistry {
-        &self.failpoints
+        &self.shared.failpoints
     }
 
     /// The directory this store lives in.
     pub fn path(&self) -> &Path {
-        &self.dir
+        &self.shared.dir
     }
 
     /// Fetch the payload and write-time config fingerprint stored under
@@ -325,6 +374,144 @@ impl Store {
     /// Propagates the read failure (real or injected by an armed `get`
     /// failpoint).
     pub fn try_get(&self, key: u64) -> io::Result<Option<(u64, Vec<u8>)>> {
+        self.shared.try_get(key)
+    }
+
+    /// Append `payload` under `key`, superseding any previous record. If
+    /// the log has outgrown its budget the background compactor is
+    /// signaled; the put itself returns immediately unless the log is
+    /// past *twice* the budget, in which case it waits for the compactor
+    /// (counted as [`StoreSnapshot::compaction_stalls`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures. A failed append is rolled back before
+    /// returning: the file is truncated to its pre-write length, so a
+    /// half-written record never lingers for the next append to bury
+    /// mid-log (where the open-time scan would drop every record after
+    /// it, not just the torn one). The in-memory index is only updated
+    /// after the bytes land, so an error leaves the store exactly as it
+    /// was.
+    pub fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
+        self.shared.put(key, fingerprint, payload)
+    }
+
+    /// Rewrite live records into a fresh log, dropping dead bytes, then
+    /// atomically rename it over the old one. Normally run by the
+    /// background compactor when [`Store::put`] crosses the size budget;
+    /// public (and synchronous) for tests and maintenance — queued behind
+    /// any in-flight background pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on failure the original log is untouched.
+    pub fn compact(&self) -> io::Result<()> {
+        self.shared.compact_pass()
+    }
+
+    /// Block until no compaction pass is requested or in flight. Gives
+    /// tests (and orderly shutdown paths) a deterministic point at which
+    /// the log reflects every signaled compaction.
+    pub fn quiesce(&self) {
+        let mut inner = self.shared.lock();
+        while inner.compact_requested || inner.compacting {
+            inner = self.shared.done.wait(inner).expect("store mutex poisoned");
+        }
+    }
+
+    /// Flush buffered appends to stable storage (`fdatasync`). Called on
+    /// daemon shutdown; recovery handles anything lost before a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut inner = self.shared.lock();
+        if let Some(kind) = self.shared.failpoints.check("fsync") {
+            inner.counters.write_errors += 1;
+            return Err(kind.to_error());
+        }
+        inner.file.sync_data()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.shared.lock().index.len()
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time view of sizes and recovery/compaction history.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.shared.lock();
+        let header = MAGIC.len() as u64;
+        StoreSnapshot {
+            entries: inner.index.len(),
+            file_bytes: inner.file_bytes,
+            live_bytes: inner.live_bytes,
+            dead_bytes: inner.file_bytes - inner.live_bytes - header.min(inner.file_bytes),
+            recovered_entries: inner.counters.recovered_entries,
+            dropped_corrupt: inner.counters.dropped_corrupt,
+            dropped_torn: inner.counters.dropped_torn,
+            dropped_stale: inner.counters.dropped_stale,
+            superseded: inner.counters.superseded,
+            evicted: inner.counters.evicted,
+            compactions: inner.counters.compactions,
+            compaction_stalls: inner.counters.compaction_stalls,
+            last_compaction_us: inner.counters.last_compaction_us,
+            read_errors: inner.counters.read_errors,
+            write_errors: inner.counters.write_errors,
+            removed_tmp: inner.counters.removed_tmp,
+        }
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.lock();
+            inner.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
+        // Best-effort durability on clean shutdown; recovery covers the rest.
+        if let Ok(inner) = self.shared.inner.lock() {
+            let _ = inner.file.sync_data();
+        }
+    }
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("store mutex poisoned")
+    }
+
+    /// The background compactor: sleep until a put signals work (or the
+    /// store is dropped), run one pass, repeat. A failed pass is already
+    /// counted and has woken any stalled puts; the store simply keeps
+    /// growing until the disk heals, so the loop just waits for the next
+    /// request.
+    fn compactor_loop(shared: &Shared) {
+        loop {
+            {
+                let mut inner = shared.lock();
+                while !inner.shutdown && !inner.compact_requested {
+                    inner = shared.work.wait(inner).expect("store mutex poisoned");
+                }
+                if inner.shutdown {
+                    return;
+                }
+            }
+            let _ = shared.compact_pass();
+        }
+    }
+
+    fn try_get(&self, key: u64) -> io::Result<Option<(u64, Vec<u8>)>> {
         let mut inner = self.lock();
         let Some(entry) = inner.index.get(&key).copied() else {
             return Ok(None);
@@ -357,19 +544,7 @@ impl Store {
         }
     }
 
-    /// Append `payload` under `key`, superseding any previous record, and
-    /// compact if the log has outgrown its budget.
-    ///
-    /// # Errors
-    ///
-    /// Propagates write failures. A failed append is rolled back before
-    /// returning: the file is truncated to its pre-write length, so a
-    /// half-written record never lingers for the next append to bury
-    /// mid-log (where the open-time scan would drop every record after
-    /// it, not just the torn one). The in-memory index is only updated
-    /// after the bytes land, so an error leaves the store exactly as it
-    /// was.
-    pub fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
+    fn put(&self, key: u64, fingerprint: u64, payload: &[u8]) -> io::Result<()> {
         let record = format::encode_record(key, SCHEMA_VERSION, fingerprint, payload);
         let mut inner = self.lock();
         // Seek to the *tracked* end, not `SeekFrom::End(0)`: if an earlier
@@ -398,7 +573,22 @@ impl Store {
         inner.live_bytes += record.len() as u64;
 
         if self.max_bytes > 0 && inner.file_bytes > self.max_bytes {
-            self.compact_locked(&mut inner)?;
+            if !inner.compact_requested {
+                inner.compact_requested = true;
+                self.work.notify_one();
+            }
+            // Backpressure: only when the log has outgrown twice its
+            // budget does the put wait for the compactor. Below that,
+            // compaction is fully off the request path.
+            let hard_cap = self.max_bytes.saturating_mul(2);
+            if inner.file_bytes > hard_cap {
+                inner.counters.compaction_stalls += 1;
+                // A failed pass clears both flags before signaling, so a
+                // broken disk releases the stall instead of wedging it.
+                while (inner.compact_requested || inner.compacting) && inner.file_bytes > hard_cap {
+                    inner = self.done.wait(inner).expect("store mutex poisoned");
+                }
+            }
         }
         Ok(())
     }
@@ -426,24 +616,22 @@ impl Store {
         }
     }
 
-    /// Rewrite live records into a fresh log, dropping dead bytes, then
-    /// atomically rename it over the old one. Normally triggered by
-    /// [`Store::put`] crossing the size budget; public for tests and
-    /// maintenance.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures; on failure the original log is untouched.
-    pub fn compact(&self) -> io::Result<()> {
+    /// One full compaction pass: claim the compactor slot, snapshot the
+    /// live set and eviction plan under the lock, bulk-copy survivors
+    /// into the scratch file *without* the lock, then re-lock to append
+    /// the delta written during the copy and atomically swap the logs.
+    fn compact_pass(&self) -> io::Result<()> {
         let mut inner = self.lock();
-        self.compact_locked(&mut inner)
-    }
-
-    fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        while inner.compacting {
+            inner = self.done.wait(inner).expect("store mutex poisoned");
+        }
+        inner.compact_requested = false;
         if let Some(kind) = self.failpoints.check("compact") {
             inner.counters.write_errors += 1;
+            self.done.notify_all();
             return Err(kind.to_error());
         }
+        inner.compacting = true;
         let started = Instant::now();
 
         // Oldest-written first: offset order is append order, which makes
@@ -470,8 +658,35 @@ impl Store {
             }
             live.drain(..keep_from);
         }
+        let snapshot_end = inner.file_bytes;
+        drop(inner);
 
-        // Copy survivors into the scratch file.
+        let result = self.copy_and_swap(live, evicted, snapshot_end, started);
+        if result.is_err() {
+            // Release the slot so stalled puts, quiesce, and queued
+            // synchronous compactions move on; the scratch file (if any)
+            // stays behind for the next open to reap.
+            let mut inner = self.lock();
+            inner.counters.write_errors += 1;
+            inner.compacting = false;
+            self.done.notify_all();
+        }
+        result
+    }
+
+    /// The body of a pass after the snapshot: bulk copy (unlocked), delta
+    /// append + atomic swap (locked). The caller owns the `compacting`
+    /// flag on the error path; the success path clears it here, under the
+    /// same lock that publishes the new log.
+    fn copy_and_swap(
+        &self,
+        live: Vec<(u64, IndexEntry)>,
+        evicted: u64,
+        snapshot_end: u64,
+        started: Instant,
+    ) -> io::Result<()> {
+        // Copy survivors into the scratch file through a separate read
+        // handle: the shared cursor stays free for concurrent gets/puts.
         let tmp_path = self.dir.join(TMP_FILE);
         let mut tmp = OpenOptions::new()
             .write(true)
@@ -479,10 +694,40 @@ impl Store {
             .truncate(true)
             .open(&tmp_path)?;
         tmp.write_all(&MAGIC)?;
+        let mut src = File::open(self.dir.join(LOG_FILE))?;
         let mut new_offset = MAGIC.len() as u64;
         let mut new_index: HashMap<u64, IndexEntry> = HashMap::with_capacity(live.len());
         let mut buf = Vec::new();
         for (key, entry) in &live {
+            buf.resize(entry.record_len as usize, 0);
+            src.seek(SeekFrom::Start(entry.offset))?;
+            src.read_exact(&mut buf)?;
+            tmp.write_all(&buf)?;
+            new_index.insert(
+                *key,
+                IndexEntry {
+                    offset: new_offset,
+                    ..*entry
+                },
+            );
+            new_offset += u64::from(entry.record_len);
+        }
+        drop(src);
+
+        // Final phase, locked: records appended while the copy ran sit at
+        // offsets past the snapshot end — replay them into the scratch
+        // file so the swap loses nothing. (A delta record superseding a
+        // copied survivor leaves the survivor as dead bytes in the new
+        // log; the next pass reclaims it.)
+        let mut inner = self.lock();
+        let mut delta: Vec<(u64, IndexEntry)> = inner
+            .index
+            .iter()
+            .filter(|(_, e)| e.offset >= snapshot_end)
+            .map(|(&k, &e)| (k, e))
+            .collect();
+        delta.sort_by_key(|(_, e)| e.offset);
+        for (key, entry) in &delta {
             buf.resize(entry.record_len as usize, 0);
             inner.file.seek(SeekFrom::Start(entry.offset))?;
             inner.file.read_exact(&mut buf)?;
@@ -501,7 +746,6 @@ impl Store {
         // names either the complete old log or the complete new one.
         if let Some(kind) = self.failpoints.check("fsync") {
             // The scratch file stays behind; the next open removes it.
-            inner.counters.write_errors += 1;
             return Err(kind.to_error());
         }
         tmp.sync_all()?;
@@ -518,75 +762,16 @@ impl Store {
             .open(self.dir.join(LOG_FILE))?;
         file.seek(SeekFrom::End(0))?;
         inner.file = file;
+        inner.live_bytes = new_index.values().map(|e| u64::from(e.record_len)).sum();
         inner.index = new_index;
         inner.file_bytes = new_offset;
-        inner.live_bytes = new_offset - MAGIC.len() as u64;
         inner.counters.evicted += evicted;
         inner.counters.compactions += 1;
         inner.counters.last_compaction_us =
             started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        inner.compacting = false;
+        self.done.notify_all();
         Ok(())
-    }
-
-    /// Flush buffered appends to stable storage (`fdatasync`). Called on
-    /// daemon shutdown; recovery handles anything lost before a crash.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the sync failure.
-    pub fn sync(&self) -> io::Result<()> {
-        let mut inner = self.lock();
-        if let Some(kind) = self.failpoints.check("fsync") {
-            inner.counters.write_errors += 1;
-            return Err(kind.to_error());
-        }
-        inner.file.sync_data()
-    }
-
-    /// Number of live entries.
-    pub fn len(&self) -> usize {
-        self.lock().index.len()
-    }
-
-    /// True if no entries are live.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// A point-in-time view of sizes and recovery/compaction history.
-    pub fn snapshot(&self) -> StoreSnapshot {
-        let inner = self.lock();
-        let header = MAGIC.len() as u64;
-        StoreSnapshot {
-            entries: inner.index.len(),
-            file_bytes: inner.file_bytes,
-            live_bytes: inner.live_bytes,
-            dead_bytes: inner.file_bytes - inner.live_bytes - header.min(inner.file_bytes),
-            recovered_entries: inner.counters.recovered_entries,
-            dropped_corrupt: inner.counters.dropped_corrupt,
-            dropped_torn: inner.counters.dropped_torn,
-            dropped_stale: inner.counters.dropped_stale,
-            superseded: inner.counters.superseded,
-            evicted: inner.counters.evicted,
-            compactions: inner.counters.compactions,
-            last_compaction_us: inner.counters.last_compaction_us,
-            read_errors: inner.counters.read_errors,
-            write_errors: inner.counters.write_errors,
-            removed_tmp: inner.counters.removed_tmp,
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("store mutex poisoned")
-    }
-}
-
-impl Drop for Store {
-    fn drop(&mut self) {
-        // Best-effort durability on clean shutdown; recovery covers the rest.
-        if let Ok(inner) = self.inner.lock() {
-            let _ = inner.file.sync_data();
-        }
     }
 }
 
@@ -682,6 +867,9 @@ mod tests {
         for k in 0..64u64 {
             store.put(k, 0, &payload).unwrap();
         }
+        // Compaction is asynchronous: wait for every signaled pass before
+        // asserting on sizes.
+        store.quiesce();
         let snap = store.snapshot();
         assert!(snap.compactions >= 1, "budget must have tripped compaction");
         assert!(snap.evicted > 0, "live data exceeds budget: must evict");
@@ -693,6 +881,75 @@ mod tests {
         // FIFO: the newest keys survive, the oldest are gone.
         assert!(store.get(63).is_some());
         assert!(store.get(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn puts_stall_only_past_the_hard_cap_and_survive_a_broken_compactor() {
+        let dir = scratch("stall");
+        let store = Store::open(&dir, StoreOptions { max_bytes: 1024 }).unwrap();
+        // Every compaction pass refuses: the log can only grow. Puts past
+        // 2× the budget must stall (counted), then proceed once the failed
+        // pass signals — never wedge.
+        store.failpoints().arm("compact", FailKind::Fail);
+        let payload = vec![0x5au8; 256];
+        for k in 0..32u64 {
+            store.put(k, 0, &payload).unwrap();
+        }
+        let snap = store.snapshot();
+        assert!(
+            snap.compaction_stalls >= 1,
+            "puts past the hard cap must count a stall"
+        );
+        assert!(snap.write_errors >= 1, "failed passes are counted");
+        assert!(
+            snap.file_bytes > 2048,
+            "the broken compactor cannot shrink the log"
+        );
+        // Heal the disk: a synchronous pass reclaims everything over
+        // budget and the store is healthy again.
+        store.failpoints().clear_all();
+        store.compact().unwrap();
+        store.quiesce();
+        let snap = store.snapshot();
+        assert!(
+            snap.file_bytes <= 1024,
+            "healed log still over budget: {}",
+            snap.file_bytes
+        );
+        assert!(store.get(31).is_some(), "newest key must survive eviction");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compaction_keeps_concurrent_readers_consistent() {
+        let dir = scratch("concurrent");
+        let store = Arc::new(Store::open(&dir, StoreOptions { max_bytes: 8192 }).unwrap());
+        let payload = vec![0x11u8; 200];
+        // Writer: hammer puts across a fixed key set so compaction passes
+        // overlap live reads and superseding writes.
+        let reader = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for round in 0..200u64 {
+                    let key = round % 16;
+                    if let Some((_, bytes)) = store.get(key) {
+                        assert_eq!(bytes.len(), 200, "torn read under compaction");
+                    }
+                }
+            })
+        };
+        for round in 0..200u64 {
+            store.put(round % 16, round, &payload).unwrap();
+        }
+        reader.join().unwrap();
+        store.quiesce();
+        let snap = store.snapshot();
+        assert_eq!(snap.entries, 16);
+        for key in 0..16u64 {
+            let (_, bytes) = store.get(key).expect("live key lost by compaction");
+            assert_eq!(bytes, payload);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

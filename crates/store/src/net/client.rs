@@ -1,0 +1,230 @@
+//! A blocking client for one `optimist-stored` daemon.
+//!
+//! One [`StoreClient`] wraps one connection; each call writes one NDJSON
+//! line and reads one back. The serving tier holds one per store peer
+//! (plus the consistent-hash ring that picks the peer); the bench and
+//! the CLI use it directly.
+//!
+//! There is no retry layer here: the caller owns failure policy. The
+//! serving tier treats any [`StoreClientError`] as a store I/O error and
+//! feeds it to its per-peer degraded-mode tripwire, exactly as a local
+//! disk error would be.
+
+use crate::net::wire::{self, ObjWriter};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A failed round trip: transport trouble, an unparsable response, or a
+/// well-formed `"ok":false` refusal from the daemon.
+#[derive(Debug)]
+pub enum StoreClientError {
+    /// The socket failed (includes timeouts).
+    Io(io::Error),
+    /// The daemon's response line was not valid wire format.
+    BadResponse(String),
+    /// The daemon answered `"ok":false`; payload is its `error` text.
+    Refused(String),
+}
+
+impl std::fmt::Display for StoreClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreClientError::Io(e) => write!(f, "store connection failed: {e}"),
+            StoreClientError::BadResponse(line) => {
+                write!(f, "unparsable store response: {line}")
+            }
+            StoreClientError::Refused(msg) => write!(f, "store daemon refused: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreClientError {}
+
+impl From<io::Error> for StoreClientError {
+    fn from(e: io::Error) -> Self {
+        StoreClientError::Io(e)
+    }
+}
+
+impl StoreClientError {
+    /// Flatten into an `io::Error` — the shape the serving tier's
+    /// degraded-mode tripwire consumes.
+    pub fn into_io(self) -> io::Error {
+        match self {
+            StoreClientError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+/// A blocking connection to an `optimist-stored` daemon.
+#[derive(Debug)]
+pub struct StoreClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl StoreClient {
+    /// Connect to a daemon at `addr` with no socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<StoreClient, StoreClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(StoreClient { writer, reader })
+    }
+
+    /// Bound each round trip: a peer that stops answering fails fast
+    /// instead of wedging the serving tier's request thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setsockopt failures.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), StoreClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<wire::Message, StoreClientError> {
+        let mut out = String::with_capacity(line.len() + 1);
+        out.push_str(line);
+        out.push('\n');
+        self.writer.write_all(out.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(StoreClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "store daemon closed the connection",
+            )));
+        }
+        let msg = wire::parse(response.trim())
+            .map_err(|_| StoreClientError::BadResponse(response.trim().to_string()))?;
+        if msg.bool_field("ok") == Some(false) {
+            return Err(StoreClientError::Refused(
+                msg.str_field("error")
+                    .unwrap_or("(no error text)")
+                    .to_string(),
+            ));
+        }
+        Ok(msg)
+    }
+
+    /// Fetch the `(fingerprint, payload)` stored under `key`, or `None`
+    /// on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unparsable responses, and daemon refusals.
+    pub fn get(&mut self, key: u64) -> Result<Option<(u64, Vec<u8>)>, StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "get")
+            .str_field("key", &wire::hex16(key));
+        let msg = self.round_trip(&w.finish())?;
+        if msg.bool_field("hit") != Some(true) {
+            return Ok(None);
+        }
+        let fingerprint = msg
+            .str_field("fp")
+            .and_then(wire::parse_hex16)
+            .ok_or_else(|| StoreClientError::BadResponse("hit without fp".into()))?;
+        let payload = msg
+            .str_field("payload")
+            .ok_or_else(|| StoreClientError::BadResponse("hit without payload".into()))?;
+        Ok(Some((fingerprint, payload.as_bytes().to_vec())))
+    }
+
+    /// Store `payload` under `(key, fingerprint)`. The payload must be
+    /// UTF-8 (it travels as a JSON string — in the fleet it is always
+    /// the serving tier's own JSON-encoded cache entry).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for non-UTF-8 payloads; otherwise transport
+    /// failures and daemon refusals.
+    pub fn put(
+        &mut self,
+        key: u64,
+        fingerprint: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreClientError> {
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            StoreClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "store payloads must be UTF-8 on the wire",
+            ))
+        })?;
+        let mut w = ObjWriter::new();
+        w.str_field("req", "put")
+            .str_field("key", &wire::hex16(key))
+            .str_field("fp", &wire::hex16(fingerprint))
+            .str_field("payload", text);
+        self.round_trip(&w.finish())?;
+        Ok(())
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon refusals.
+    pub fn ping(&mut self) -> Result<(), StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "ping");
+        self.round_trip(&w.finish())?;
+        Ok(())
+    }
+
+    /// The daemon's raw `stats` response line (callers parse it with
+    /// whatever JSON tooling they have — the store protocol itself never
+    /// looks inside).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon refusals.
+    pub fn stats_line(&mut self) -> Result<String, StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "stats");
+        let msg = self.round_trip(&w.finish())?;
+        match msg.get("stats") {
+            Some(wire::WireValue::Raw(raw)) => Ok(raw.clone()),
+            _ => Err(StoreClientError::BadResponse(
+                "stats response without stats".into(),
+            )),
+        }
+    }
+
+    /// The daemon's raw `health` response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon refusals.
+    pub fn health_line(&mut self) -> Result<String, StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "health");
+        let msg = self.round_trip(&w.finish())?;
+        match msg.get("health") {
+            Some(wire::WireValue::Raw(raw)) => Ok(raw.clone()),
+            _ => Err(StoreClientError::BadResponse(
+                "health response without health".into(),
+            )),
+        }
+    }
+
+    /// Ask the daemon to stop (it drains live connections first).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon refusals.
+    pub fn shutdown(&mut self) -> Result<(), StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "shutdown");
+        self.round_trip(&w.finish())?;
+        Ok(())
+    }
+}

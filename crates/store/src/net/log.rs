@@ -1,0 +1,118 @@
+//! Leveled stderr logging for the store daemon.
+//!
+//! The same shape as the serving crate's logger — a process-wide atomic
+//! threshold, ISO-8601 UTC timestamps, one line per event on stderr —
+//! reimplemented here because this crate sits below `optimist-serve` in
+//! the dependency graph. The store daemon announces its bound address
+//! through this logger; the fleet smoke test scrapes it, so the
+//! `listening on HOST:PORT` line format is load-bearing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what was asked of it.
+    Error = 0,
+    /// Something unexpected that the daemon worked around.
+    Warn = 1,
+    /// Lifecycle events: startup, bind, drain, shutdown.
+    Info = 2,
+    /// Per-request chatter.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parse a level name (`error`/`warn`/`info`/`debug`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// Default threshold: `Info`.
+static THRESHOLD: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the process-wide threshold; events above it are dropped.
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// True if `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Emit one line to stderr if `level` clears the threshold.
+pub fn log(level: Level, message: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let (date, time) = civil(now.as_secs());
+    eprintln!(
+        "{date}T{time}.{:03}Z {:5} {message}",
+        now.subsec_millis(),
+        level.tag()
+    );
+}
+
+/// Split Unix seconds into `(YYYY-MM-DD, HH:MM:SS)` — Howard Hinnant's
+/// civil-from-days algorithm, the same one the serving logger uses.
+fn civil(secs: u64) -> (String, String) {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    (
+        format!("{y:04}-{m:02}-{d:02}"),
+        format!("{:02}:{:02}:{:02}", rem / 3600, (rem / 60) % 60, rem % 60),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_matches_known_dates() {
+        assert_eq!(civil(0).0, "1970-01-01");
+        assert_eq!(civil(0).1, "00:00:00");
+        // 2000-03-01T12:34:56Z
+        assert_eq!(civil(951_914_096), ("2000-03-01".into(), "12:34:56".into()));
+        // Leap day 2024-02-29.
+        assert_eq!(civil(1_709_164_800).0, "2024-02-29");
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+    }
+}

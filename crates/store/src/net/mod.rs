@@ -1,0 +1,25 @@
+//! The store's network face: the `optimist-stored` daemon and its client.
+//!
+//! PR 3 built the embedded log ([`crate::Store`]); this module puts it on
+//! the wire so a *fleet* of serving daemons can share one warm result
+//! tier instead of each owning a cold private disk. Three pieces:
+//!
+//! - [`wire`] — a minimal flat-object NDJSON codec (this crate sits below
+//!   `optimist-serve`, so it cannot use the serving crate's JSON tree);
+//! - [`server::StoreServer`] — the daemon: `get`/`put`/`ping`/`stats`/
+//!   `health`/`shutdown` over TCP, concurrent reads, single-writer
+//!   appends, graceful drain;
+//! - [`client::StoreClient`] — one blocking connection per store peer,
+//!   held by the serving tier's remote/sharded store backends.
+//!
+//! Records stay opaque blobs keyed by `(key, fingerprint)` end to end:
+//! the daemon never decodes a payload, so the serving tier's cache-entry
+//! encoding can evolve without touching the store fleet.
+
+pub mod client;
+pub mod log;
+pub mod server;
+pub mod wire;
+
+pub use client::{StoreClient, StoreClientError};
+pub use server::{StoreServer, DEFAULT_DRAIN_TIMEOUT};

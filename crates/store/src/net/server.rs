@@ -1,0 +1,525 @@
+//! The `optimist-stored` daemon: a [`Store`] served over NDJSON/TCP.
+//!
+//! One request per line, one response per line, same conventions as the
+//! serving daemon's protocol:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"req":"ping"}` | `{"ok":true}` |
+//! | `{"req":"get","key":"16hex"}` | `{"ok":true,"hit":true,"fp":"16hex","payload":"…"}` or `{"ok":true,"hit":false}` |
+//! | `{"req":"put","key":"16hex","fp":"16hex","payload":"…"}` | `{"ok":true}` |
+//! | `{"req":"stats"}` | `{"ok":true,"stats":{…}}` |
+//! | `{"req":"health"}` | `{"ok":true,"health":{"state":"ok"…}}` |
+//! | `{"req":"shutdown"}` | `{"ok":true,"stopping":true}` |
+//!
+//! Malformed lines and failed operations answer `{"ok":false,"error":…}`
+//! — the connection survives; only EOF or a transport error ends it.
+//!
+//! **Single-writer semantics** are preserved by construction: the one
+//! daemon process owns the log directory, and every `put` from every
+//! connection funnels through the one [`Store`] (whose index lock
+//! serializes appends). Reads run concurrently across connections.
+//!
+//! **Graceful drain** follows the serving daemon's playbook: a
+//! `shutdown` request (or SIGTERM in the binary) stops the accept loop,
+//! half-closes the read side of every live connection so in-flight
+//! requests finish and clients see a clean EOF, waits up to the drain
+//! timeout, then force-closes stragglers.
+
+use crate::net::log::{self, Level};
+use crate::net::wire::{self, ObjWriter};
+use crate::Store;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long [`StoreServer::run_listener`] waits for live connections to
+/// finish after a shutdown request before force-closing them.
+pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Wire-facing event counts, all monotonic.
+#[derive(Debug, Default)]
+struct NetCounters {
+    conns: AtomicU64,
+    requests: AtomicU64,
+    gets: AtomicU64,
+    get_hits: AtomicU64,
+    get_errors: AtomicU64,
+    puts: AtomicU64,
+    put_errors: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl NetCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Store`] behind a TCP front-end. All methods take `&self`; one
+/// server is shared across connection threads via `Arc`.
+#[derive(Debug)]
+pub struct StoreServer {
+    store: Store,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    drain_timeout: Duration,
+    stop: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    counters: NetCounters,
+}
+
+impl StoreServer {
+    /// Wrap `store` in a server with default timeouts.
+    pub fn new(store: Store) -> StoreServer {
+        StoreServer {
+            store,
+            read_timeout: None,
+            write_timeout: None,
+            drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// Set per-connection socket timeouts (`None` = block forever). A
+    /// read timeout makes idle connections re-check the drain flag; it
+    /// does not close them.
+    pub fn with_socket_timeouts(
+        mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> StoreServer {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Set the drain budget for [`StoreServer::run_listener`].
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> StoreServer {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Begin shutdown: stop accepting, drain live connections.
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Serve one request line (no trailing newline), returning the
+    /// response line (no trailing newline). Transport-independent — the
+    /// TCP loop, the stdio loop, and the unit tests all come through
+    /// here.
+    pub fn handle_line(&self, line: &str) -> String {
+        NetCounters::bump(&self.counters.requests);
+        let msg = match wire::parse(line) {
+            Ok(msg) => msg,
+            Err(e) => {
+                NetCounters::bump(&self.counters.malformed);
+                return error_response(&e.to_string());
+            }
+        };
+        match msg.str_field("req") {
+            Some("ping") => {
+                let mut w = ObjWriter::new();
+                w.bool_field("ok", true);
+                w.finish()
+            }
+            Some("get") => self.handle_get(&msg),
+            Some("put") => self.handle_put(&msg),
+            Some("stats") => self.stats_response(),
+            Some("health") => self.health_response(),
+            Some("shutdown") => {
+                self.request_shutdown();
+                let mut w = ObjWriter::new();
+                w.bool_field("ok", true).bool_field("stopping", true);
+                w.finish()
+            }
+            Some(other) => error_response(&format!("unknown request `{other}`")),
+            None => {
+                NetCounters::bump(&self.counters.malformed);
+                error_response("missing `req` field")
+            }
+        }
+    }
+
+    fn handle_get(&self, msg: &wire::Message) -> String {
+        NetCounters::bump(&self.counters.gets);
+        let Some(key) = msg.str_field("key").and_then(wire::parse_hex16) else {
+            return error_response("get needs a hex `key`");
+        };
+        match self.store.try_get(key) {
+            Ok(Some((fingerprint, payload))) => match String::from_utf8(payload) {
+                Ok(text) => {
+                    NetCounters::bump(&self.counters.get_hits);
+                    let mut w = ObjWriter::new();
+                    w.bool_field("ok", true)
+                        .bool_field("hit", true)
+                        .str_field("fp", &wire::hex16(fingerprint))
+                        .str_field("payload", &text);
+                    w.finish()
+                }
+                Err(_) => {
+                    // Payloads are the serving tier's own JSON — never
+                    // non-UTF-8 in practice. Refuse rather than mangle.
+                    NetCounters::bump(&self.counters.get_errors);
+                    error_response("stored payload is not UTF-8")
+                }
+            },
+            Ok(None) => {
+                let mut w = ObjWriter::new();
+                w.bool_field("ok", true).bool_field("hit", false);
+                w.finish()
+            }
+            Err(e) => {
+                NetCounters::bump(&self.counters.get_errors);
+                error_response(&format!("get failed: {e}"))
+            }
+        }
+    }
+
+    fn handle_put(&self, msg: &wire::Message) -> String {
+        NetCounters::bump(&self.counters.puts);
+        let Some(key) = msg.str_field("key").and_then(wire::parse_hex16) else {
+            return error_response("put needs a hex `key`");
+        };
+        let Some(fingerprint) = msg.str_field("fp").and_then(wire::parse_hex16) else {
+            return error_response("put needs a hex `fp`");
+        };
+        let Some(payload) = msg.str_field("payload") else {
+            return error_response("put needs a string `payload`");
+        };
+        match self.store.put(key, fingerprint, payload.as_bytes()) {
+            Ok(()) => {
+                let mut w = ObjWriter::new();
+                w.bool_field("ok", true);
+                w.finish()
+            }
+            Err(e) => {
+                NetCounters::bump(&self.counters.put_errors);
+                error_response(&format!("put failed: {e}"))
+            }
+        }
+    }
+
+    fn stats_response(&self) -> String {
+        let snap = self.store.snapshot();
+        let mut store = ObjWriter::new();
+        store
+            .u64_field("entries", snap.entries as u64)
+            .u64_field("file_bytes", snap.file_bytes)
+            .u64_field("live_bytes", snap.live_bytes)
+            .u64_field("dead_bytes", snap.dead_bytes)
+            .u64_field("superseded", snap.superseded)
+            .u64_field("evicted", snap.evicted)
+            .u64_field("compactions", snap.compactions)
+            .u64_field("compaction_stalls", snap.compaction_stalls)
+            .u64_field("read_errors", snap.read_errors)
+            .u64_field("write_errors", snap.write_errors);
+        let mut net = ObjWriter::new();
+        net.u64_field("conns", NetCounters::read(&self.counters.conns))
+            .u64_field("requests", NetCounters::read(&self.counters.requests))
+            .u64_field("gets", NetCounters::read(&self.counters.gets))
+            .u64_field("get_hits", NetCounters::read(&self.counters.get_hits))
+            .u64_field("get_errors", NetCounters::read(&self.counters.get_errors))
+            .u64_field("puts", NetCounters::read(&self.counters.puts))
+            .u64_field("put_errors", NetCounters::read(&self.counters.put_errors))
+            .u64_field("malformed", NetCounters::read(&self.counters.malformed));
+        let mut stats = ObjWriter::new();
+        stats
+            .raw_field("store", &store.finish())
+            .raw_field("net", &net.finish());
+        let mut w = ObjWriter::new();
+        w.bool_field("ok", true).raw_field("stats", &stats.finish());
+        w.finish()
+    }
+
+    fn health_response(&self) -> String {
+        let snap = self.store.snapshot();
+        let mut health = ObjWriter::new();
+        health
+            .str_field("state", if self.draining() { "draining" } else { "ok" })
+            .u64_field("entries", snap.entries as u64)
+            .u64_field("file_bytes", snap.file_bytes)
+            .u64_field("compaction_stalls", snap.compaction_stalls)
+            .u64_field("write_errors", snap.write_errors);
+        let mut w = ObjWriter::new();
+        w.bool_field("ok", true)
+            .raw_field("health", &health.finish());
+        w.finish()
+    }
+
+    /// Serve NDJSON over stdin/stdout-style streams until EOF or a
+    /// `shutdown` request. The debugging/smoke-test front door; the fleet
+    /// speaks TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn run_io(&self, reader: impl BufRead, mut writer: impl Write) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut response = self.handle_line(line.trim());
+            response.push('\n');
+            writer.write_all(response.as_bytes())?;
+            writer.flush()?;
+            if self.draining() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept and serve connections until shutdown is requested, then
+    /// drain: half-close every live connection's read side, wait up to
+    /// the drain timeout for in-flight requests to finish, force-close
+    /// the rest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures (bind metadata, fatal accept errors).
+    pub fn run_listener(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        log::log(
+            Level::Info,
+            &format!("optimist-stored listening on {local}"),
+        );
+        let mut handles = Vec::new();
+        while !self.draining() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let id = self.next_conn.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(self.read_timeout);
+                    let _ = stream.set_write_timeout(self.write_timeout);
+                    if let Ok(clone) = stream.try_clone() {
+                        self.conns.lock().expect("conns lock").insert(id, clone);
+                    }
+                    log::log(Level::Debug, &format!("conn {id} accepted from {peer}"));
+                    let server = Arc::clone(self);
+                    handles.push(std::thread::spawn(move || server.serve_conn(id, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: no new lines can arrive once the read halves are shut;
+        // responses already in flight still go out on the write halves.
+        let live: Vec<TcpStream> = {
+            let conns = self.conns.lock().expect("conns lock");
+            conns.values().filter_map(|c| c.try_clone().ok()).collect()
+        };
+        log::log(
+            Level::Info,
+            &format!("draining {} connection(s)", live.len()),
+        );
+        for conn in &live {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        while Instant::now() < deadline && handles.iter().any(|h| !h.is_finished()) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (_, conn) in self.conns.lock().expect("conns lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        log::log(Level::Info, "optimist-stored drained; stopping");
+        Ok(())
+    }
+
+    fn serve_conn(&self, id: u64, stream: TcpStream) {
+        NetCounters::bump(&self.counters.conns);
+        let mut writer = stream;
+        let reader = match writer.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(_) => {
+                self.conns.lock().expect("conns lock").remove(&id);
+                return;
+            }
+        };
+        let mut reader = reader;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let mut response = self.handle_line(trimmed);
+                    response.push('\n');
+                    if writer.write_all(response.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Idle past the read timeout: stay open, but let a
+                    // drain in progress reclaim the thread.
+                    if self.draining() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.conns.lock().expect("conns lock").remove(&id);
+        log::log(Level::Debug, &format!("conn {id} closed"));
+    }
+}
+
+fn error_response(message: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.bool_field("ok", false).str_field("error", message);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreOptions;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "optimist-stored-unit-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn server(name: &str) -> StoreServer {
+        StoreServer::new(Store::open(scratch(name), StoreOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn the_protocol_round_trips_through_handle_line() {
+        let server = server("proto");
+        assert_eq!(server.handle_line(r#"{"req":"ping"}"#), r#"{"ok":true}"#);
+
+        let miss = server.handle_line(r#"{"req":"get","key":"00000000000000aa"}"#);
+        assert_eq!(miss, r#"{"ok":true,"hit":false}"#);
+
+        let put = server.handle_line(
+            r#"{"req":"put","key":"00000000000000aa","fp":"000000000000002a","payload":"{\"v\":1}"}"#,
+        );
+        assert_eq!(put, r#"{"ok":true}"#);
+
+        let hit = server.handle_line(r#"{"req":"get","key":"00000000000000aa"}"#);
+        let msg = wire::parse(&hit).unwrap();
+        assert_eq!(msg.bool_field("hit"), Some(true));
+        assert_eq!(msg.str_field("fp"), Some("000000000000002a"));
+        assert_eq!(msg.str_field("payload"), Some(r#"{"v":1}"#));
+
+        let stats = server.handle_line(r#"{"req":"stats"}"#);
+        assert!(
+            stats.contains(r#""ok":true"#) && stats.contains(r#""gets":2"#),
+            "{stats}"
+        );
+
+        let health = server.handle_line(r#"{"req":"health"}"#);
+        assert!(health.contains(r#""state":"ok""#), "{health}");
+
+        let stop = server.handle_line(r#"{"req":"shutdown"}"#);
+        assert!(stop.contains(r#""stopping":true"#));
+        assert!(server.draining());
+        let health = server.handle_line(r#"{"req":"health"}"#);
+        assert!(health.contains(r#""state":"draining""#), "{health}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_answer_ok_false() {
+        let server = server("malformed");
+        for bad in [
+            "not json",
+            r#"{"req":"frobnicate"}"#,
+            r#"{"no_req":true}"#,
+            r#"{"req":"get"}"#,
+            r#"{"req":"get","key":"xyz"}"#,
+            r#"{"req":"put","key":"aa"}"#,
+        ] {
+            let resp = server.handle_line(bad);
+            assert!(resp.starts_with(r#"{"ok":false"#), "{bad} -> {resp}");
+        }
+        // The connection-level counters saw the garbage.
+        let stats = server.handle_line(r#"{"req":"stats"}"#);
+        assert!(stats.contains(r#""malformed":2"#), "{stats}");
+    }
+
+    #[test]
+    fn failed_store_io_is_an_ok_false_response_not_a_crash() {
+        let server = server("io-error");
+        server
+            .store()
+            .failpoints()
+            .arm("put", crate::failpoint::FailKind::Enospc);
+        let resp = server.handle_line(
+            r#"{"req":"put","key":"0000000000000001","fp":"0000000000000001","payload":"x"}"#,
+        );
+        assert!(resp.contains(r#""ok":false"#), "{resp}");
+        let stats = server.handle_line(r#"{"req":"stats"}"#);
+        assert!(stats.contains(r#""put_errors":1"#), "{stats}");
+    }
+
+    #[test]
+    fn run_io_serves_a_script_and_stops_on_shutdown() {
+        let server = server("stdio");
+        let script = concat!(
+            r#"{"req":"put","key":"000000000000000b","fp":"0000000000000001","payload":"hello"}"#,
+            "\n",
+            r#"{"req":"get","key":"000000000000000b"}"#,
+            "\n",
+            r#"{"req":"shutdown"}"#,
+            "\n",
+            r#"{"req":"ping"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        server.run_io(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            3,
+            "the ping after shutdown must not run: {text}"
+        );
+        assert!(lines[1].contains(r#""payload":"hello""#));
+        assert!(lines[2].contains(r#""stopping":true"#));
+    }
+}

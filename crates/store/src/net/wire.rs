@@ -1,0 +1,497 @@
+//! The store daemon's wire codec: a deliberately small JSON subset.
+//!
+//! `optimist-store` sits *below* the serving crate in the dependency
+//! graph, so it cannot borrow `optimist-serve`'s full [`Json`] tree — it
+//! carries its own codec, scoped to exactly what the store protocol
+//! needs. Requests and responses are **flat** NDJSON objects whose values
+//! are strings, booleans, numbers, or null; nested objects/arrays (the
+//! `stats` dump) are *emitted* via [`ObjWriter::raw_field`] and *parsed*
+//! as opaque balanced [`WireValue::Raw`] slices, never interpreted here.
+//!
+//! Keys and fingerprints travel as 16-hex strings (the same spelling the
+//! serving protocol uses for content keys); payloads travel as JSON
+//! strings, which confines them to UTF-8 — fine, because every payload
+//! the fleet stores is the serving tier's own JSON-encoded cache entry.
+//!
+//! [`Json`]: https://docs.rs/optimist-serve
+
+use std::fmt::Write as _;
+
+/// One parsed top-level value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A JSON number (stored as `f64`, like the serving codec).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// A nested object or array, kept as its raw text — the store
+    /// protocol never needs to look inside one.
+    Raw(String),
+}
+
+impl WireValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            WireValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            WireValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            WireValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat object: ordered `(key, value)` pairs.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Message {
+    fields: Vec<(String, WireValue)>,
+}
+
+impl Message {
+    /// Look up a field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&WireValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A string field, or `None` if absent or not a string.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(WireValue::as_str)
+    }
+
+    /// A boolean field, or `None` if absent or not a boolean.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(WireValue::as_bool)
+    }
+}
+
+/// A malformed wire line: byte offset and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset of the trouble.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parse one flat NDJSON object. Nested objects/arrays are captured as
+/// raw balanced slices ([`WireValue::Raw`]); everything else is decoded.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the first malformed byte.
+pub fn parse(line: &str) -> Result<Message, WireError> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    expect(bytes, &mut pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if peek(bytes, pos) == Some(b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(bytes, &mut pos);
+            let key = parse_string(line, bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            expect(bytes, &mut pos, b':')?;
+            skip_ws(bytes, &mut pos);
+            let value = parse_value(line, bytes, &mut pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, &mut pos);
+            match peek(bytes, pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err(pos, "expected `,` or `}`")),
+            }
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing bytes after the object"));
+    }
+    Ok(Message { fields })
+}
+
+fn parse_value(line: &str, bytes: &[u8], pos: &mut usize) -> Result<WireValue, WireError> {
+    match peek(bytes, *pos) {
+        Some(b'"') => Ok(WireValue::Str(parse_string(line, bytes, pos)?)),
+        Some(b't') => lit(bytes, pos, "true", WireValue::Bool(true)),
+        Some(b'f') => lit(bytes, pos, "false", WireValue::Bool(false)),
+        Some(b'n') => lit(bytes, pos, "null", WireValue::Null),
+        Some(b'{') | Some(b'[') => parse_raw(line, bytes, pos),
+        Some(c) if c == b'-' || c.is_ascii_digit() => parse_number(line, bytes, pos),
+        _ => Err(err(*pos, "expected a value")),
+    }
+}
+
+fn parse_number(line: &str, bytes: &[u8], pos: &mut usize) -> Result<WireValue, WireError> {
+    let start = *pos;
+    while let Some(c) = peek(bytes, *pos) {
+        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    line[start..*pos]
+        .parse::<f64>()
+        .map(WireValue::Num)
+        .map_err(|_| err(start, "malformed number"))
+}
+
+/// Capture a nested object/array as its raw text, honoring strings so a
+/// `}` inside a payload does not close the slice early.
+fn parse_raw(line: &str, bytes: &[u8], pos: &mut usize) -> Result<WireValue, WireError> {
+    let start = *pos;
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    while let Some(c) = peek(bytes, *pos) {
+        *pos += 1;
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(WireValue::Raw(line[start..*pos].to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(err(start, "unterminated nested value"))
+}
+
+fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(c) = peek(bytes, *pos) else {
+            return Err(err(*pos, "unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(esc) = peek(bytes, *pos) else {
+                    return Err(err(*pos, "dangling escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(line, bytes, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: the low half must follow.
+                            if peek(bytes, *pos) != Some(b'\\')
+                                || peek(bytes, *pos + 1) != Some(b'u')
+                            {
+                                return Err(err(*pos, "lone high surrogate"));
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(line, bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(err(*pos, "bad low surrogate"));
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp).ok_or_else(|| err(*pos, "bad surrogate pair"))?
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| err(*pos, "bad \\u escape"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(err(*pos - 1, "unknown escape")),
+                }
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let ch_start = *pos - 1;
+                let ch = line[ch_start..]
+                    .chars()
+                    .next()
+                    .ok_or_else(|| err(ch_start, "invalid UTF-8"))?;
+                out.push(ch);
+                *pos = ch_start + ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(line: &str, bytes: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    if *pos + 4 > bytes.len() {
+        return Err(err(*pos, "truncated \\u escape"));
+    }
+    let v = u32::from_str_radix(&line[*pos..*pos + 4], 16)
+        .map_err(|_| err(*pos, "non-hex \\u escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: WireValue,
+) -> Result<WireValue, WireError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word.as_bytes() {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "expected a literal"))
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(peek(bytes, *pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn peek(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes.get(pos).copied()
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), WireError> {
+    if peek(bytes, *pos) == Some(want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", want as char)))
+    }
+}
+
+fn err(offset: usize, message: impl Into<String>) -> WireError {
+    WireError {
+        offset,
+        message: message.into(),
+    }
+}
+
+/// An incremental writer for one flat response object. Field order is
+/// emission order — the protocol pins `ok` first so shell smoke tests
+/// can substring-match reliably.
+#[derive(Debug)]
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    /// Start an empty object.
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field (escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(value, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Append a pre-encoded value verbatim (nested objects, arrays).
+    pub fn raw_field(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return its text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        ObjWriter::new()
+    }
+}
+
+/// Escape `s` into `out` as JSON string *contents* (no surrounding
+/// quotes): `"`, `\`, and control characters are escaped; everything
+/// else passes through as UTF-8.
+pub fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Spell a key or fingerprint the way the serving protocol does: 16 hex
+/// digits, zero-padded.
+pub fn hex16(value: u64) -> String {
+    format!("{value:016x}")
+}
+
+/// Parse a key/fingerprint spelled in hex (1–16 digits).
+pub fn parse_hex16(text: &str) -> Option<u64> {
+    if text.is_empty() || text.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_store_protocol_shapes() {
+        let mut w = ObjWriter::new();
+        w.bool_field("ok", true)
+            .bool_field("hit", true)
+            .str_field("fp", &hex16(0xdead_beef))
+            .str_field("payload", "line with \"quotes\"\nand a newline");
+        let line = w.finish();
+        let msg = parse(&line).unwrap();
+        assert_eq!(msg.bool_field("ok"), Some(true));
+        assert_eq!(msg.bool_field("hit"), Some(true));
+        assert_eq!(parse_hex16(msg.str_field("fp").unwrap()), Some(0xdead_beef));
+        assert_eq!(
+            msg.str_field("payload"),
+            Some("line with \"quotes\"\nand a newline")
+        );
+    }
+
+    #[test]
+    fn nested_values_are_captured_raw_not_rejected() {
+        let line = r#"{"ok":true,"stats":{"entries":3,"tag":"a}b"},"list":[1,2]}"#;
+        let msg = parse(line).unwrap();
+        assert_eq!(msg.bool_field("ok"), Some(true));
+        assert_eq!(
+            msg.get("stats"),
+            Some(&WireValue::Raw(r#"{"entries":3,"tag":"a}b"}"#.to_string()))
+        );
+        assert_eq!(msg.get("list"), Some(&WireValue::Raw("[1,2]".to_string())));
+    }
+
+    #[test]
+    fn unicode_and_escape_fidelity() {
+        let original = "π≈3.14159 \u{1}\u{1F600} tab\there";
+        let mut w = ObjWriter::new();
+        w.str_field("payload", original);
+        let line = w.finish();
+        assert_eq!(parse(&line).unwrap().str_field("payload"), Some(original));
+        // Standard \u escapes (including surrogate pairs) also decode.
+        let msg = parse(r#"{"s":"é😀"}"#).unwrap();
+        assert_eq!(msg.str_field("s"), Some("é\u{1F600}"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_an_offset() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":1} trailing",
+            "{\"a\":tru}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed line: {bad}");
+        }
+    }
+
+    #[test]
+    fn hex_keys_round_trip_and_reject_garbage() {
+        assert_eq!(parse_hex16(&hex16(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_hex16(&hex16(0)), Some(0));
+        assert_eq!(parse_hex16("00000000000000ff"), Some(255));
+        assert_eq!(parse_hex16(""), None);
+        assert_eq!(parse_hex16("00000000000000ff0"), None, "17 digits");
+        assert_eq!(parse_hex16("xyz"), None);
+    }
+}

@@ -177,6 +177,115 @@ case "$persist_resp" in
         ;;
 esac
 
+echo "==> fleet smoke test (2 store daemons + 2 serve daemons, cross-daemon warmth)"
+cargo build -q -p optimist-store --bin optimist-stored
+fleet_dir="$(mktemp -d)"
+fleet_pids=""
+trap 'rm -rf "$fleet_dir" "$store_dir" "$stream_log" "$drain_log" "$chaos_dir"; [[ -n "$fleet_pids" ]] && kill $fleet_pids 2>/dev/null; true' EXIT
+# Scrape the announced port from a daemon's stderr log. The serve daemon
+# announces the HTTP front-end with its own "http listening on" line —
+# drop it so the NDJSON port wins.
+fleet_port() {
+    local log="$1" want_http="${2:-}" port=""
+    for _ in $(seq 100); do
+        if [[ -n "$want_http" ]]; then
+            port="$(sed -n 's/.*http listening on .*:\([0-9][0-9]*\)$/\1/p' "$log" | head -n 1)"
+        else
+            port="$(sed -n -e '/http listening/d' -e 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$log" | head -n 1)"
+        fi
+        [[ -n "$port" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+        echo "fleet smoke test failed: $log never announced a port" >&2
+        exit 1
+    fi
+    echo "$port"
+}
+./target/debug/optimist-stored --dir "$fleet_dir/shard0" 2>"$fleet_dir/stored0.log" &
+stored0_pid=$!
+./target/debug/optimist-stored --dir "$fleet_dir/shard1" 2>"$fleet_dir/stored1.log" &
+stored1_pid=$!
+fleet_pids="$stored0_pid $stored1_pid"
+sp0="$(fleet_port "$fleet_dir/stored0.log")"
+sp1="$(fleet_port "$fleet_dir/stored1.log")"
+fleet_peers="127.0.0.1:$sp0,127.0.0.1:$sp1"
+./target/debug/optimist-serve --listen 127.0.0.1:0 --http 127.0.0.1:0 \
+    --store-peers "$fleet_peers" --quiet 2>"$fleet_dir/serve0.log" &
+serve0_pid=$!
+./target/debug/optimist-serve --listen 127.0.0.1:0 \
+    --store-peers "$fleet_peers" --quiet 2>"$fleet_dir/serve1.log" &
+serve1_pid=$!
+fleet_pids="$fleet_pids $serve0_pid $serve1_pid"
+fp0="$(fleet_port "$fleet_dir/serve0.log")"
+fp1="$(fleet_port "$fleet_dir/serve1.log")"
+# Compute on daemon 0: the result writes through the ring to a store peer.
+exec 5<>"/dev/tcp/127.0.0.1/$fp0"
+printf '%s\n' "$smoke_req" >&5
+IFS= read -r fleet_cold <&5
+exec 5<&- 5>&-
+case "$fleet_cold" in
+    *'"ok":true'*) ;;
+    *)
+        echo "fleet smoke test failed: cold daemon refused; response: $fleet_cold" >&2
+        exit 1
+        ;;
+esac
+# Replay on daemon 1 (cold memory): its only warmth is the shared store
+# tier, so the answer must come back cached with a store hit. Two
+# sequential round trips — a pipelined stats request would snapshot the
+# counters while the alloc is still in flight.
+exec 5<>"/dev/tcp/127.0.0.1/$fp1"
+printf '%s\n' "$smoke_req" >&5
+IFS= read -r fleet_warm <&5
+printf '%s\n' '{"req":"stats"}' >&5
+IFS= read -r fleet_stats <&5
+exec 5<&- 5>&-
+case "$fleet_warm" in
+    *'"cached":true'*) ;;
+    *)
+        echo "fleet smoke test failed: warm daemon recomputed; response: $fleet_warm" >&2
+        exit 1
+        ;;
+esac
+case "$fleet_stats" in
+    *'"store":{"hits":1'*'"mode":"sharded"'*) ;;
+    *)
+        echo "fleet smoke test failed: no cross-daemon store hit; stats: $fleet_stats" >&2
+        exit 1
+        ;;
+esac
+# The HTTP front-end answers health with the same sharded topology.
+hp0="$(fleet_port "$fleet_dir/serve0.log" http)"
+exec 5<>"/dev/tcp/127.0.0.1/$hp0"
+printf 'GET /v1/health HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&5
+fleet_http="$(cat <&5)"
+exec 5<&- 5>&-
+case "$fleet_http" in
+    *' 200 OK'*'"mode":"sharded"'*) ;;
+    *)
+        echo "fleet smoke test failed: http health; response: $fleet_http" >&2
+        exit 1
+        ;;
+esac
+# All four daemons must drain cleanly on SIGTERM: serving tier first,
+# then the store tier it depends on.
+kill -TERM "$serve0_pid" "$serve1_pid"
+for pid in "$serve0_pid" "$serve1_pid"; do
+    if ! wait "$pid"; then
+        echo "fleet smoke test failed: serve daemon exited nonzero after SIGTERM" >&2
+        exit 1
+    fi
+done
+kill -TERM "$stored0_pid" "$stored1_pid"
+for pid in "$stored0_pid" "$stored1_pid"; do
+    if ! wait "$pid"; then
+        echo "fleet smoke test failed: store daemon exited nonzero after SIGTERM" >&2
+        exit 1
+    fi
+done
+fleet_pids=""
+
 echo "==> deprecation shims (pre-Strategy constructors compile and match)"
 # The old AllocatorConfig::chaitin/briggs spellings must keep compiling
 # (deprecated, not removed) and must stay fingerprint-identical to the
@@ -191,6 +300,12 @@ if [[ $quick -eq 0 ]]; then
     # lane allocates every corpus function in exactly one pass.
     cargo build -q --release -p optimist-bench --bin serve_replay
     ./target/release/serve_replay --shootout
+
+    echo "==> fleet drill (3 serve daemons sharing 2 store daemons, release)"
+    # In-process fleet over real TCP: ≥ 90% cross-daemon warm hit rate,
+    # byte-identity with the single-process path, zero failed requests
+    # through a store-peer death and recovery, and a p99 tail bar.
+    ./target/release/serve_replay --fleet
 fi
 
 echo "CI gate passed."

@@ -75,6 +75,7 @@ mod graph;
 pub mod irc;
 mod listing;
 mod matula;
+mod par;
 mod pipeline;
 mod select;
 mod simplify;
@@ -85,14 +86,18 @@ pub use allocator::{
     allocate, allocate_with_deadline, default_threads, fnv1a, AllocError, AllocStats, Allocation,
     AllocatorConfig, PassRecord, PhaseTimes, Strategy,
 };
-pub use build::{build_graph, update_graph_after_spill};
+pub use build::{build_graph, build_graph_par, update_graph_after_spill};
 pub use coalesce::{coalesce, CoalesceMode, CoalesceOpts};
 pub use cost::{depth_weight, spill_costs};
 pub use deadline::Deadline;
 pub use graph::InterferenceGraph;
 pub use irc::{ConservativeTest, IrcEvent, IrcOutcome};
 pub use matula::smallest_last_order;
+pub use par::{par_select, par_stats, ParStats};
 pub use pipeline::{ModuleAllocation, Pipeline, WorkerPool};
-pub use select::{select, Coloring};
-pub use simplify::{simplify, simplify_with_metric, Heuristic, SimplifyOutcome, SpillMetric};
+pub use select::{select, select_with_threads, Coloring};
+pub use simplify::{
+    simplify, simplify_with_metric, simplify_with_metric_threads, Heuristic, SimplifyOutcome,
+    SpillMetric,
+};
 pub use spill::{insert_spill_code, SpillOpts, SpillOutcome, SpillStats};

@@ -1,0 +1,407 @@
+//! Speculative intra-function parallelism.
+//!
+//! The module pipeline parallelizes *across* functions; one giant
+//! machine-generated kernel still serializes a whole worker. This module
+//! parallelizes *inside* a function — the select phase here, the graph
+//! build in [`build_graph_par`](crate::build_graph_par) — following the
+//! speculate / detect-conflicts / re-color recipe of Gebremedhin–Manne
+//! style parallel graph coloring, with one twist: the result is
+//! **bit-identical to the sequential allocator for every thread count**.
+//!
+//! Why that is possible: sequential [`select`](crate::select) assigns
+//! along the reverse removal order `π` the color
+//!
+//! ```text
+//! color[v] = mex { color[u] : u ∈ N(v), π(u) < π(v) }
+//! ```
+//!
+//! — a system whose dependency graph (edges point from earlier to later
+//! stack positions) is acyclic, so the equations have exactly **one**
+//! fixpoint: the sequential coloring. [`par_select`] speculates an initial
+//! coloring on contiguous chunks of the order (each chunk is colored
+//! sequentially, cross-chunk earlier neighbors are optimistically treated
+//! as uncolored), then runs repair rounds: every node whose color no
+//! longer equals the `mex` of its earlier neighbors is re-colored from a
+//! snapshot of the previous round. Nodes are re-colored *by their fixed
+//! stack position*, never by arrival order, so each round is a pure
+//! function of the previous one — no scheduling dependence anywhere. A
+//! node at depth `d` of the dependency DAG is provably correct after `d`
+//! rounds, so the loop terminates at the unique fixpoint regardless of
+//! how the chunks were cut.
+//!
+//! Speculation telemetry (rounds, conflict nodes, shard build times) is
+//! deliberately **not** part of [`AllocStats`](crate::AllocStats): it
+//! varies with the thread count while the allocation result must not, and
+//! serve-layer caches compare results byte-for-byte across configurations
+//! that differ only in threading. Instead the counters live in a global
+//! registry sampled by [`par_stats`], which `optimist-serve` surfaces as
+//! the `"par"` section of its `stats` dump.
+
+use crate::graph::InterferenceGraph;
+use crate::select::Coloring;
+use optimist_machine::Target;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PARALLEL_BUILDS: AtomicU64 = AtomicU64::new(0);
+static SHARDS_BUILT: AtomicU64 = AtomicU64::new(0);
+static SHARD_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_SELECTS: AtomicU64 = AtomicU64::new(0);
+static SPECULATION_ROUNDS: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide intra-function parallelism counters.
+///
+/// These are *observability*, not results: they depend on thread counts
+/// and scheduling, which is exactly why they are kept out of
+/// [`AllocStats`](crate::AllocStats) and the serve layer's cached
+/// responses. Counters only ever increase; sample twice and subtract for
+/// a per-interval view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ParStats {
+    /// Interference graphs built by the sharded parallel path.
+    pub parallel_builds: u64,
+    /// Per-range shards built across all parallel builds.
+    pub shards_built: u64,
+    /// Total CPU time spent inside shard scans, in nanoseconds (the sum
+    /// over shards, not wall clock).
+    pub shard_build_nanos: u64,
+    /// Select phases run by the speculative parallel path.
+    pub parallel_selects: u64,
+    /// Repair rounds that found at least one conflicting node.
+    pub speculation_rounds: u64,
+    /// Total nodes re-colored by repair rounds (cross-chunk conflicts).
+    pub conflict_nodes: u64,
+}
+
+/// Sample the global intra-function parallelism counters.
+pub fn par_stats() -> ParStats {
+    ParStats {
+        parallel_builds: PARALLEL_BUILDS.load(Ordering::Relaxed),
+        shards_built: SHARDS_BUILT.load(Ordering::Relaxed),
+        shard_build_nanos: SHARD_BUILD_NANOS.load(Ordering::Relaxed),
+        parallel_selects: PARALLEL_SELECTS.load(Ordering::Relaxed),
+        speculation_rounds: SPECULATION_ROUNDS.load(Ordering::Relaxed),
+        conflict_nodes: CONFLICT_NODES.load(Ordering::Relaxed),
+    }
+}
+
+/// Record one sharded graph build (called by
+/// [`build_graph_par`](crate::build_graph_par)).
+pub(crate) fn record_parallel_build(shards: usize, shard_nanos: u128) {
+    PARALLEL_BUILDS.fetch_add(1, Ordering::Relaxed);
+    SHARDS_BUILT.fetch_add(shards as u64, Ordering::Relaxed);
+    SHARD_BUILD_NANOS.fetch_add(shard_nanos.min(u64::MAX as u128) as u64, Ordering::Relaxed);
+}
+
+/// Split `0..len` into at most `parts` contiguous ranges whose sizes
+/// differ by at most one. Deterministic in its inputs — the ranges are a
+/// pure function of `(len, parts)`, never of scheduling.
+pub(crate) fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// In-progress color of one stack position: a register index, or this
+/// sentinel for "no color" (either not yet speculated, or genuinely left
+/// uncolored because the neighbors exhaust `k` — both contribute nothing
+/// to a `mex`, which is precisely the optimistic treatment).
+const UNCOLORED: u32 = u32::MAX;
+
+/// [`select`](crate::select) by speculative parallel coloring: identical
+/// output for every `threads` value, including `1` (which falls back to
+/// the sequential routine).
+///
+/// The stack is cut into `threads` contiguous position ranges; each range
+/// is colored sequentially with cross-range earlier neighbors treated as
+/// uncolored; repair rounds then re-color every node whose color
+/// disagrees with the `mex` of its earlier neighbors until none does.
+/// Conflicts resolve in fixed stack-position order from a snapshot of the
+/// previous round, so the fixpoint — and therefore the returned coloring —
+/// is the sequential one, bit for bit (the `par_equivalence` proptests at
+/// the workspace root pin this down).
+pub fn par_select(
+    graph: &InterferenceGraph,
+    stack: &[u32],
+    target: &Target,
+    threads: usize,
+) -> Coloring {
+    if threads <= 1 || stack.len() < 2 {
+        return crate::select::select(graph, stack, target);
+    }
+    let (coloring, rounds, conflicts) =
+        speculative_select(graph, stack, target, threads.min(stack.len()));
+    PARALLEL_SELECTS.fetch_add(1, Ordering::Relaxed);
+    SPECULATION_ROUNDS.fetch_add(rounds, Ordering::Relaxed);
+    CONFLICT_NODES.fetch_add(conflicts, Ordering::Relaxed);
+    coloring
+}
+
+/// The speculate → detect → re-color engine behind [`par_select`].
+/// Returns the coloring plus `(repair rounds that found conflicts, total
+/// conflicting nodes re-colored)` for the telemetry registry and the
+/// adversarial tests below.
+fn speculative_select(
+    graph: &InterferenceGraph,
+    stack: &[u32],
+    target: &Target,
+    chunks: usize,
+) -> (Coloring, u64, u64) {
+    let n = graph.num_nodes();
+    let m = stack.len();
+    // Insertion order (reverse removal order) and each node's position in
+    // it. Nodes off the stack — Chaitin's simplify-time spill marks — have
+    // no position: they are invisible to every mex and stay uncolored,
+    // exactly as in the sequential routine.
+    let order: Vec<u32> = stack.iter().rev().copied().collect();
+    let mut pos: Vec<u32> = vec![u32::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    let ranges = chunk_ranges(m, chunks);
+
+    let mut cur: Vec<u32> = vec![UNCOLORED; m];
+    let mut next: Vec<u32> = vec![UNCOLORED; m];
+    let mut rounds = 0u64;
+    let mut conflicts = 0u64;
+    let mut first = true;
+    loop {
+        let changed = recolor_round(graph, target, &order, &pos, &ranges, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        if first {
+            // The speculative initial pass: every change is expected.
+            first = false;
+            continue;
+        }
+        if changed == 0 {
+            break; // a full clean round: `cur` is the unique fixpoint
+        }
+        rounds += 1;
+        conflicts += changed as u64;
+    }
+
+    let mut color: Vec<Option<u16>> = vec![None; n];
+    for (i, &v) in order.iter().enumerate() {
+        if cur[i] != UNCOLORED {
+            color[v as usize] = Some(cur[i] as u16);
+        }
+    }
+    (Coloring { color }, rounds, conflicts)
+}
+
+/// One round: recompute every position's color as the `mex` of its
+/// earlier neighbors, reading cross-chunk values from the previous
+/// round's snapshot (`cur`) and same-chunk earlier values from this
+/// round (Gauss–Seidel within a chunk, which only accelerates
+/// convergence — with one chunk the round *is* the sequential pass).
+/// Writes into `next` (each worker owns a disjoint slice) and returns how
+/// many positions changed.
+fn recolor_round(
+    graph: &InterferenceGraph,
+    target: &Target,
+    order: &[u32],
+    pos: &[u32],
+    ranges: &[Range<usize>],
+    cur: &[u32],
+    next: &mut [u32],
+) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [u32] = next;
+        let mut consumed = 0usize;
+        for r in ranges {
+            let (mine, tail) = rest.split_at_mut(r.end - consumed);
+            consumed = r.end;
+            rest = tail;
+            let start = r.start;
+            handles.push(scope.spawn(move || {
+                let mut changed = 0usize;
+                let mut used: Vec<bool> = Vec::new();
+                for j in 0..mine.len() {
+                    let i = start + j;
+                    let v = order[i];
+                    let k = target.regs(graph.class(v));
+                    used.clear();
+                    used.resize(k, false);
+                    for &u in graph.neighbors(v) {
+                        let p = pos[u as usize];
+                        if p == u32::MAX || p as usize >= i {
+                            continue; // not on the stack, or inserted later
+                        }
+                        let c = if (p as usize) >= start {
+                            mine[p as usize - start] // same chunk, this round
+                        } else {
+                            cur[p as usize] // earlier chunk: snapshot
+                        };
+                        if c != UNCOLORED && (c as usize) < k {
+                            used[c as usize] = true;
+                        }
+                    }
+                    let c = used
+                        .iter()
+                        .position(|&u| !u)
+                        .map_or(UNCOLORED, |c| c as u32);
+                    if c != cur[i] {
+                        changed += 1;
+                    }
+                    mine[j] = c;
+                }
+                changed
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("re-color worker panicked"))
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select;
+    use crate::simplify::{simplify, Heuristic};
+    use optimist_ir::RegClass;
+
+    fn int_graph(n: usize, edges: &[(u32, u32)]) -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(vec![RegClass::Int; n]);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    fn k(n: usize) -> Target {
+        Target::custom("test", n, 8)
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= parts.max(1));
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "len={len} parts={parts}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "len={len} parts={parts}");
+            }
+        }
+    }
+
+    /// The adversarial boundary: a single edge whose endpoints land in
+    /// different chunks. Naive speculation colors both endpoints 0 (the
+    /// later chunk cannot see the earlier one's choice); the repair round
+    /// must detect the conflict and re-color the *later* position — the
+    /// fixed resolution order — to match the sequential result.
+    #[test]
+    fn shared_edge_across_a_chunk_split_is_repaired() {
+        let g = int_graph(2, &[(0, 1)]);
+        let t = k(4);
+        // Insertion order 0 then 1; two chunks put the edge on the seam.
+        let stack = vec![1, 0]; // select pops from the back: 0 first
+        let seq = select(&g, &stack, &t);
+        let (par, rounds, conflicts) = speculative_select(&g, &stack, &t, 2);
+        assert_eq!(par, seq);
+        assert_eq!(par.color[0], Some(0));
+        assert_eq!(par.color[1], Some(1), "later position re-colors");
+        assert!(rounds >= 1, "the seam conflict must cost a repair round");
+        assert!(conflicts >= 1);
+    }
+
+    /// A conflict chain that crosses every chunk boundary: a path graph
+    /// colored along the path alternates 0/1, but each chunk speculates
+    /// its head as 0. Repairs must ripple forward round by round and
+    /// still land exactly on the sequential coloring.
+    #[test]
+    fn conflict_chain_ripples_across_many_chunks() {
+        let n = 16;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = int_graph(n, &edges);
+        let t = k(3);
+        let stack: Vec<u32> = (0..n as u32).rev().collect(); // insert 0,1,2,…
+        let seq = select(&g, &stack, &t);
+        for chunks in [2, 3, 5, 8, 16] {
+            let (par, _, _) = speculative_select(&g, &stack, &t, chunks);
+            assert_eq!(par, seq, "{chunks} chunks");
+        }
+    }
+
+    /// Nodes left off the stack (Chaitin spill marks) must stay uncolored
+    /// and invisible to every mex, in every chunking.
+    #[test]
+    fn off_stack_nodes_stay_uncolored_and_invisible() {
+        let g = int_graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let t = k(2);
+        let out = simplify(&g, &[1.0; 4], &t, Heuristic::ChaitinPessimistic);
+        assert!(!out.spill_marked.is_empty());
+        let seq = select(&g, &out.stack, &t);
+        for chunks in [2, 3] {
+            let (par, _, _) = speculative_select(&g, &out.stack, &t, chunks);
+            assert_eq!(par, seq, "{chunks} chunks");
+            for &v in &out.spill_marked {
+                assert_eq!(par.color[v as usize], None);
+            }
+        }
+    }
+
+    /// Exhausted colors (the optimistic "actual spill") must be detected
+    /// identically: an uncolored node frees its color for later
+    /// insertions, and speculation must converge on the same choice.
+    #[test]
+    fn exhausted_colors_match_sequential_in_every_chunking() {
+        // K5 at k=2: three nodes end up uncolored; which three depends on
+        // the insertion order, which is exactly what must be preserved.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let g = int_graph(5, &edges);
+        let t = k(2);
+        let stack = vec![4, 2, 0, 3, 1];
+        let seq = select(&g, &stack, &t);
+        assert_eq!(seq.uncolored().len(), 3);
+        for chunks in 1..=5 {
+            let (par, _, _) = speculative_select(&g, &stack, &t, chunks);
+            assert_eq!(par, seq, "{chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn par_select_falls_back_and_matches_on_trivial_inputs() {
+        let g = int_graph(1, &[]);
+        let t = k(2);
+        assert_eq!(par_select(&g, &[0], &t, 8), select(&g, &[0], &t));
+        let empty = int_graph(0, &[]);
+        assert_eq!(par_select(&empty, &[], &t, 4), select(&empty, &[], &t));
+    }
+
+    #[test]
+    fn par_stats_counters_are_monotone() {
+        let before = par_stats();
+        let n = 64;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = int_graph(n, &edges);
+        let stack: Vec<u32> = (0..n as u32).rev().collect();
+        let _ = par_select(&g, &stack, &k(2), 4);
+        let after = par_stats();
+        assert!(after.parallel_selects > before.parallel_selects);
+        assert!(after.speculation_rounds >= before.speculation_rounds);
+        assert!(after.conflict_nodes >= before.conflict_nodes);
+    }
+}

@@ -12,7 +12,7 @@
 //! {"req":"alloc","ir":"fn F(v0:int) {...}","config":{"strategy":"briggs",
 //!  "target":"rt-pc","int_regs":16,"float_regs":8,"coalesce":"aggressive",
 //!  "spill_metric":"cost/degree","rematerialize":false,"max_passes":64,
-//!  "threads":4,"incremental":false}}
+//!  "threads":4,"graph_threads":1,"thread_budget":8,"incremental":false}}
 //! {"req":"batch","config":{...},"items":[
 //!  {"id":"mod-a","ir":"func A() ..."},
 //!  {"id":7,"key":"00baadf00dcafe42"}]}
@@ -263,6 +263,8 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
     let mut rematerialize = None;
     let mut max_passes = None;
     let mut threads = None;
+    let mut graph_threads = None;
+    let mut thread_budget = None;
     let mut incremental = None;
 
     let parse_strategy = |key: &str, value: &Json| -> Result<Strategy, ProtocolError> {
@@ -363,6 +365,24 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
                         .ok_or_else(|| bad("threads must be a positive integer"))?,
                 )
             }
+            "graph_threads" => {
+                graph_threads = Some(
+                    value
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .and_then(NonZeroUsize::new)
+                        .ok_or_else(|| bad("graph_threads must be a positive integer"))?,
+                )
+            }
+            "thread_budget" => {
+                thread_budget = Some(
+                    value
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .and_then(NonZeroUsize::new)
+                        .ok_or_else(|| bad("thread_budget must be a positive integer"))?,
+                )
+            }
             "incremental" => {
                 incremental = Some(
                     value
@@ -412,6 +432,12 @@ pub fn parse_config(spec: Option<&Json>) -> Result<AllocatorConfig, ProtocolErro
     }
     if let Some(n) = threads {
         config = config.with_threads(n);
+    }
+    if let Some(n) = graph_threads {
+        config = config.with_graph_threads(n);
+    }
+    if let Some(n) = thread_budget {
+        config = config.with_thread_budget(n);
     }
     if let Some(on) = incremental {
         config = config.with_incremental(on);
@@ -558,7 +584,8 @@ mod tests {
         let line = r#"{"req":"alloc","ir":"","config":{
             "heuristic":"chaitin","target":"tiny","int_regs":4,"float_regs":2,
             "coalesce":"off","spill_metric":"cost","rematerialize":true,
-            "max_passes":7,"threads":2,"incremental":true}}"#
+            "max_passes":7,"threads":2,"graph_threads":4,"thread_budget":12,
+            "incremental":true}}"#
             .replace('\n', " ");
         let Request::Alloc { config, .. } = Request::parse(&line).unwrap() else {
             panic!("wrong kind")
@@ -572,7 +599,19 @@ mod tests {
         assert!(config.rematerialize);
         assert_eq!(config.max_passes, 7);
         assert_eq!(config.threads.get(), 2);
+        assert_eq!(config.graph_threads.get(), 4);
+        assert_eq!(config.thread_budget.get(), 12);
         assert!(config.incremental);
+    }
+
+    #[test]
+    fn graph_thread_fields_must_be_positive_integers() {
+        for field in ["graph_threads", "thread_budget"] {
+            for bad in ["0", "-1", "\"two\""] {
+                let line = format!(r#"{{"req":"alloc","ir":"","config":{{"{field}":{bad}}}}}"#);
+                assert!(Request::parse(&line).is_err(), "{field}:{bad} accepted");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod cedeta;
 pub mod euler;
 pub mod generator;
+pub mod giant;
 pub mod intsuite;
 pub mod linpack;
 pub mod quicksort;
@@ -33,6 +34,7 @@ pub mod simplex;
 pub mod svd;
 
 pub use generator::{generate_routine, GenConfig};
+pub use giant::{giant_kernel, GiantConfig};
 
 /// An argument for a program's driver.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -41,6 +41,11 @@ if [[ $quick -eq 0 ]]; then
     # allocation of the SSA track, also at the full case count.
     echo "==> SSA invariants under --release (full proptest case count)"
     cargo test --release -q --test ssa_invariants
+
+    # Sequential-vs-parallel differential layer: graph build and full
+    # allocation must be bit-identical at every graph_threads setting.
+    echo "==> parallel-coloring equivalence under --release (full proptest case count)"
+    cargo test --release -q --test par_equivalence
 fi
 
 echo "==> benches compile"
@@ -306,6 +311,12 @@ if [[ $quick -eq 0 ]]; then
     # byte-identity with the single-process path, zero failed requests
     # through a store-peer death and recovery, and a p99 tail bar.
     ./target/release/serve_replay --fleet
+
+    echo "==> giant-kernel lane (sequential vs graph_threads=8, byte-identity)"
+    # Deadline 0 disables the wall-clock bar: CI may be single-core, where
+    # speculative coloring buys nothing. Byte-identity and the engaged-par
+    # counters are still enforced.
+    ./target/release/serve_replay --giant --giant-deadline-ms 0
 fi
 
 echo "CI gate passed."

@@ -78,7 +78,7 @@
 
 use optimist_serve::{run_http, Client, Json, RetryPolicy, Server};
 use optimist_store::failpoint::FailKind;
-use optimist_store::net::StoreServer;
+use optimist_store::net::{StoreClient as StoreNetClient, StoreServer};
 use optimist_store::{Store, StoreOptions};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
@@ -893,6 +893,7 @@ impl FleetServe {
         let server = Arc::new(
             Server::new(4096, 16)
                 .with_remote_store(peers)
+                .with_replicas(2)
                 .with_store_probe_interval(probe_interval),
         );
         let (tx, rx) = mpsc::channel();
@@ -1006,14 +1007,18 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
 }
 
 /// The `--fleet` drill: N serving daemons sharing M networked store
-/// daemons over consistent-hash routing. Fails unless every cold daemon
-/// warms ≥ 90% cross-daemon from the store tier with byte-identical
-/// results and bounded tail latency, and unless a store-peer death under
-/// traffic costs zero requests and heals after the peer revives.
+/// daemons over consistent-hash routing with 2 replicas per key. Fails
+/// unless every cold daemon warms ≥ 90% cross-daemon from the store tier
+/// with byte-identical results and bounded tail latency; unless a store
+/// peer killed mid-replay costs zero requests with the warm-hit bar
+/// still met via replica reads; and unless reviving that peer *empty*
+/// triggers an anti-entropy resync that restores ≥ 90% of its keys
+/// before a final byte-identical warm pass.
 fn run_fleet(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
-    const STORE_PEERS: usize = 2;
+    const STORE_PEERS: usize = 3;
     const SERVE_DAEMONS: usize = 3;
     const WARM_HIT_BAR: f64 = 0.9;
+    const RESYNC_BAR: f64 = 0.9;
     const TAIL_BAR_US: u128 = 250_000;
     let rounds = args.rounds.max(1);
     let probe_interval = Duration::from_millis(50);
@@ -1134,21 +1139,52 @@ fn run_fleet(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
     }
     println!("http: {SERVE_DAEMONS}/{SERVE_DAEMONS} front-ends report a sharded store tier");
 
-    // Phase 3 — peer death under traffic: kill one store daemon, then
-    // push the corpus through a fresh memory-cold daemon. Zero requests
-    // may fail: the dead peer's share recomputes once its tripwire
-    // trips, the survivor's share stays warm.
-    let dead_addr = store_daemons.remove(1).kill()?;
+    // Phase 3 — peer death MID-replay: start pushing the corpus through
+    // a fresh memory-cold daemon, kill a store daemon a third of the way
+    // in, and finish the replay. Zero requests may fail, every response
+    // must stay byte-identical to the single-process path, and the
+    // warm-hit bar must still be met: every key the dead peer owned has
+    // a live replica down its chain.
+    let owner_keys = store_daemons[0]
+        .server
+        .store()
+        .scan_keys(None, usize::MAX)
+        .0;
     let fresh = FleetServe::spawn(&peers, probe_interval)?;
     let mut client = Client::connect(fresh.addr.as_str()).map_err(|e| e.to_string())?;
-    let (death_latencies, _, _) = replay_collect(&mut client, corpus)?;
+    let split = (corpus.len() / 3).max(1).min(corpus.len() - 1);
+    let (mut death_latencies, mut death_arrays, _) = replay_collect(&mut client, &corpus[..split])?;
+    // The kill lands here: the first third of the replay saw three live
+    // peers, the rest runs against two.
+    let dead_addr = store_daemons.remove(0).kill()?;
+    let (rest_latencies, rest_arrays, _) = replay_collect(&mut client, &corpus[split..])?;
+    death_latencies.extend(rest_latencies);
+    death_arrays.extend(rest_arrays);
+    for (name, reference) in &baseline {
+        match death_arrays.get(name) {
+            Some(a) if a == reference => {}
+            Some(_) => {
+                return Err(format!(
+                    "{name}: the mid-replay peer kill changed the answer \
+                     from the single-process path"
+                ))
+            }
+            None => return Err(format!("{name}: lost during the mid-replay peer kill")),
+        }
+    }
     let death_us: u128 = death_latencies.iter().sum();
     let stats = client.stats().map_err(|e| e.to_string())?;
-    let survivor_hits = stats
+    let death_hits = stats
         .get("store")
         .and_then(|s| s.get("hits"))
         .and_then(Json::as_u64)
         .unwrap_or(0);
+    let failovers = stats
+        .get("replication")
+        .and_then(|r| r.get("failovers"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let death_hit_rate = death_hits as f64 / total_functions.max(1) as f64;
     let state = |client: &mut Client| -> Result<String, String> {
         Ok(client
             .health()
@@ -1160,28 +1196,33 @@ fn run_fleet(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
     };
     let death_state = state(&mut client)?;
     println!(
-        "{:<16} {death_us:>12} {:>14.3} {:>9} {:>9} {death_state:>10}",
-        "peer-death",
-        survivor_hits as f64 / total_functions.max(1) as f64,
-        "-",
-        "-",
+        "{:<16} {death_us:>12} {death_hit_rate:>14.3} {:>9} {:>9} {death_state:>10}",
+        "peer-death", "-", "-",
     );
     if death_state != "degraded" {
         return Err(format!(
             "the dead store peer never tripped its tripwire (state `{death_state}`)"
         ));
     }
-    if survivor_hits == 0 {
-        return Err("the surviving peer's share served nothing warm".to_string());
+    if death_hit_rate < WARM_HIT_BAR {
+        return Err(format!(
+            "the mid-replay kill dropped the warm hit rate to {death_hit_rate:.3}, below \
+             {WARM_HIT_BAR} — replica reads are not covering the dead peer's share"
+        ));
+    }
+    if failovers == 0 {
+        return Err("no failover hit was recorded — the replica chain never engaged".to_string());
     }
 
-    // Revive the peer on the same port; the health poll probes it back
-    // into the serving path.
+    // Revive the peer on the same port with an EMPTY store — the
+    // disk-loss case. The health poll probes it back into the serving
+    // path, and the anti-entropy sweep behind the probe repopulates it
+    // from the live replicas before `state` reports ok.
     store_daemons.push(FleetStore::spawn(
-        &fleet_dir.join("shard1-revived"),
+        &fleet_dir.join("shard0-revived"),
         Some(dead_addr),
     )?);
-    let deadline = Instant::now() + Duration::from_secs(5);
+    let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         std::thread::sleep(Duration::from_millis(60));
         let s = state(&mut client)?;
@@ -1194,20 +1235,81 @@ fn run_fleet(corpus: &[(String, String)], args: &Args) -> Result<(), String> {
             ));
         }
     }
+    // The resync bar, measured over the wire with the store protocol's
+    // own paginated `scan`: the revived daemon must hold ≥ 90% of the
+    // keys its predecessor held before the kill.
+    let mut revived_keys = std::collections::BTreeSet::new();
+    {
+        let mut scanner =
+            StoreNetClient::connect(dead_addr).map_err(|e| format!("resync scan: {e}"))?;
+        let mut cursor = None;
+        loop {
+            let page = scanner
+                .scan(cursor, None)
+                .map_err(|e| format!("resync scan: {e}"))?;
+            cursor = page.keys.last().copied();
+            revived_keys.extend(page.keys);
+            if page.done {
+                break;
+            }
+        }
+    }
+    let restored = owner_keys
+        .iter()
+        .filter(|k| revived_keys.contains(k))
+        .count();
+    let resync_rate = restored as f64 / owner_keys.len().max(1) as f64;
+    if resync_rate < RESYNC_BAR {
+        return Err(format!(
+            "anti-entropy restored only {restored}/{} of the dead peer's keys \
+             ({resync_rate:.3}), below the {RESYNC_BAR} bar",
+            owner_keys.len()
+        ));
+    }
+
+    // Final pass — a brand-new memory-cold daemon over the healed fleet:
+    // byte-identical and warm, proving the revived peer is a full
+    // replica again.
     let heal_us = replay_once(&mut client, corpus)?;
     let health = client.health().map_err(|e| e.to_string())?;
     let recoveries = health
         .get("store_recoveries")
         .and_then(Json::as_u64)
         .unwrap_or(0);
+    let last = FleetServe::spawn(&peers, probe_interval)?;
+    let mut last_client = Client::connect(last.addr.as_str()).map_err(|e| e.to_string())?;
+    let (_, final_arrays, _) = replay_collect(&mut last_client, corpus)?;
+    for (name, reference) in &baseline {
+        if final_arrays.get(name) != Some(reference) {
+            return Err(format!(
+                "{name}: the healed fleet answered differently from the single-process path"
+            ));
+        }
+    }
+    let stats = last_client.stats().map_err(|e| e.to_string())?;
+    let final_hits = stats
+        .get("store")
+        .and_then(|s| s.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let final_rate = final_hits as f64 / total_functions.max(1) as f64;
+    if final_rate < WARM_HIT_BAR {
+        return Err(format!(
+            "the healed fleet warmed only {final_rate:.3} of the corpus, below {WARM_HIT_BAR}"
+        ));
+    }
+    drop(last_client);
+    last.shutdown()?;
     println!(
-        "{:<16} {heal_us:>12} {:>14} {:>9} {:>9} {:>10}",
-        "recovered", "-", "-", "-", "ok"
+        "{:<16} {heal_us:>12} {final_rate:>14.3} {:>9} {:>9} {:>10}",
+        "recovered", "-", "-", "ok"
     );
     println!(
         "cross-daemon warm p50 {}us  p99 {p99}us  recoveries {recoveries}  \
+         failovers {failovers}  resync {restored}/{} keys  \
          failed requests 0 (enforced per replay)",
-        percentile(&warm_latencies, 0.5)
+        percentile(&warm_latencies, 0.5),
+        owner_keys.len()
     );
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!("{stats}");

@@ -38,6 +38,9 @@ options:
   --store-peers ADDRS   comma-separated optimist-stored daemon addresses to use
                         as the persistent tier instead of --store; two or more
                         are sharded by consistent hash
+  --replicas N          store peers holding each key when --store-peers shards
+                        (clamped to the peer count); N>=2 keeps every key warm
+                        through any single store-daemon death [default 2]
   --store-max-bytes N   compact the store log when it exceeds N bytes
                         [default 67108864; 0 = never]
   --max-inflight N      concurrently-executing work units (requests or batch
@@ -67,6 +70,7 @@ struct Options {
     shards: usize,
     store: Option<std::path::PathBuf>,
     store_peers: Vec<String>,
+    replicas: usize,
     store_max_bytes: u64,
     max_inflight: usize,
     max_load: usize,
@@ -88,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         shards: 16,
         store: None,
         store_peers: Vec::new(),
+        replicas: optimist_serve::DEFAULT_REPLICAS,
         store_max_bytes: 64 << 20,
         max_inflight: optimist_serve::DEFAULT_MAX_INFLIGHT,
         max_load: 1024,
@@ -126,6 +131,14 @@ fn parse_args() -> Result<Options, String> {
                     .collect();
                 if opts.store_peers.is_empty() {
                     return Err("--store-peers needs at least one address".to_string());
+                }
+            }
+            "--replicas" => {
+                opts.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas needs an integer".to_string())?;
+                if opts.replicas == 0 {
+                    return Err("--replicas needs at least 1".to_string());
                 }
             }
             "--store-max-bytes" => {
@@ -276,12 +289,16 @@ fn main() -> ExitCode {
             }
         }
     } else if !opts.store_peers.is_empty() {
+        let replicas = opts.replicas.min(opts.store_peers.len());
         log_info!(
-            "store tier: {} remote peer(s): {}",
+            "store tier: {} remote peer(s), {} replica(s) per key: {}",
             opts.store_peers.len(),
+            replicas,
             opts.store_peers.join(", ")
         );
-        server = server.with_remote_store(&opts.store_peers);
+        server = server
+            .with_remote_store(&opts.store_peers)
+            .with_replicas(opts.replicas);
     }
     let server = Arc::new(server);
 

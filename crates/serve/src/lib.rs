@@ -56,5 +56,7 @@ pub use metrics::Metrics;
 pub use persist::CacheEntry;
 pub use protocol::{BatchItem, BatchPayload, FnResult, ProtocolError, Request};
 pub use ring::HashRing;
-pub use server::{Disposition, Server, DEFAULT_MAX_INFLIGHT, DEFAULT_PEER_TIMEOUT};
+pub use server::{
+    Disposition, Server, DEFAULT_MAX_INFLIGHT, DEFAULT_PEER_TIMEOUT, DEFAULT_REPLICAS,
+};
 pub use stream::{run_stream, StreamOpts};

@@ -329,6 +329,24 @@ pub struct Metrics {
     /// (memory-only degraded mode), else 0. The high-water mark records
     /// whether the daemon was *ever* degraded.
     pub store_degraded: Gauge,
+    /// Reads served by a replica further down the chain because an
+    /// earlier replica was unavailable or missing the key.
+    pub store_failovers: Counter,
+    /// Keys written back to an earlier replica after a failover hit
+    /// found it alive but missing the entry.
+    pub store_read_repairs: Counter,
+    /// Writes queued as hinted handoff because their replica was
+    /// tripwired (or the write to it failed).
+    pub store_hints_queued: Counter,
+    /// Hints discarded oldest-first because a peer's queue hit its
+    /// entry or byte cap.
+    pub store_hints_dropped: Counter,
+    /// Hints delivered to their peer after it recovered.
+    pub store_hints_drained: Counter,
+    /// Anti-entropy sweeps run against peers that revived empty.
+    pub store_resyncs: Counter,
+    /// Keys copied from live replicas during anti-entropy sweeps.
+    pub store_resync_keys: Counter,
     /// Per-strategy function request/hit counters.
     pub strategies: PerStrategy,
 }
@@ -419,6 +437,18 @@ impl Metrics {
                     ("get_errors", Json::from(self.store_get_errors.get())),
                     ("probes", Json::from(self.store_probes.get())),
                     ("recoveries", Json::from(self.store_recoveries.get())),
+                ]),
+            ),
+            (
+                "replication",
+                Json::obj([
+                    ("failovers", Json::from(self.store_failovers.get())),
+                    ("read_repairs", Json::from(self.store_read_repairs.get())),
+                    ("hints_queued", Json::from(self.store_hints_queued.get())),
+                    ("hints_dropped", Json::from(self.store_hints_dropped.get())),
+                    ("hints_drained", Json::from(self.store_hints_drained.get())),
+                    ("resyncs", Json::from(self.store_resyncs.get())),
+                    ("resync_keys", Json::from(self.store_resync_keys.get())),
                 ]),
             ),
             ("strategies", self.strategies.to_json()),

@@ -1,20 +1,26 @@
 //! Consistent-hash routing of content keys across store peers.
 //!
-//! The fleet shards its store tier by key: each 16-hex content key is
-//! owned by exactly one `optimist-stored` daemon, so every serving
-//! daemon routes a given key's reads *and writes* to the same peer —
-//! preserving the log's single-writer invariant fleet-wide — and all
-//! serving daemons agree on the owner without coordination.
+//! The fleet shards its store tier by key: each 16-hex content key has
+//! one *owning* `optimist-stored` daemon ([`HashRing::route`]) plus an
+//! ordered **successor list** of replicas ([`HashRing::route_n`]), so
+//! every serving daemon routes a given key's reads *and writes* to the
+//! same replica chain — writes fan out in chain order, reads try the
+//! owner first and fail over clockwise — and all serving daemons agree
+//! on that chain without coordination.
 //!
 //! The structure is a classic **hash ring with virtual nodes**: each
 //! peer label is hashed at [`HashRing::DEFAULT_VNODES`] points on a
 //! `u64` circle; a key routes to the peer owning the first point at or
-//! after the key's hash (wrapping). Virtual nodes smooth the load
+//! after the key's hash (wrapping), and its replicas are the next
+//! *distinct* peers clockwise. Virtual nodes smooth the load
 //! (tested: ±⅓ of fair share at 3 peers), and ring geometry makes
 //! membership changes cheap: removing one of N peers remaps only the
 //! keys that peer owned — ~1/N of the space — instead of reshuffling
 //! everything, so a store-daemon death does not flush the whole fleet's
-//! warm tier (also tested).
+//! warm tier. The same geometry extends to replica sets: a surviving
+//! peer's vnode points are byte-identical in the reduced ring, so every
+//! key keeps all of its *surviving* replicas — only the dead peer's
+//! slots move (both pinned by tests and proptests below).
 //!
 //! Everything is deterministic from the label list alone: same labels,
 //! same routing, on every daemon, every process, every architecture.
@@ -87,6 +93,40 @@ impl HashRing {
         let at = self.points.partition_point(|&(p, _)| p < position);
         let (_, index) = self.points[at % self.points.len()];
         index
+    }
+
+    /// The first `r` *distinct* peers clockwise from `key`'s position:
+    /// the key's replica chain, owner first. `r` is clamped to the peer
+    /// count, so `route_n(key, 1)[0] == route(key)` and asking for more
+    /// replicas than peers returns every peer exactly once.
+    ///
+    /// Chain order is the clockwise walk order, which is what makes the
+    /// chain stable under membership changes: a departed peer's vnode
+    /// points vanish but every other point is unchanged, so survivors
+    /// keep their relative order in every chain — a key never trades
+    /// one surviving replica for another.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring or `r == 0` — both are construction
+    /// bugs, not runtime states.
+    pub fn route_n(&self, key: u64, r: usize) -> Vec<usize> {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        assert!(r > 0, "a replica chain needs at least one peer");
+        let want = r.min(self.labels.len());
+        let position = ring_hash(format!("{key:016x}").as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < position);
+        let mut chain = Vec::with_capacity(want);
+        for offset in 0..self.points.len() {
+            let (_, index) = self.points[(start + offset) % self.points.len()];
+            if !chain.contains(&index) {
+                chain.push(index);
+                if chain.len() == want {
+                    break;
+                }
+            }
+        }
+        chain
     }
 
     /// The peer labels, in index order.
@@ -186,6 +226,128 @@ mod tests {
             orphaned > fair / 2 && orphaned < fair * 2,
             "dead peer owned {orphaned}, expected near {fair}"
         );
+    }
+
+    #[test]
+    fn replica_chains_start_at_the_owner_and_stay_distinct() {
+        let ring = HashRing::new(&["s0", "s1", "s2", "s3"]);
+        for key in keys(1000) {
+            let chain = ring.route_n(key, 2);
+            assert_eq!(chain.len(), 2);
+            assert_eq!(chain[0], ring.route(key));
+            assert_ne!(chain[0], chain[1]);
+        }
+    }
+
+    #[test]
+    fn replica_count_clamps_to_the_peer_count() {
+        let ring = HashRing::new(&["s0", "s1"]);
+        for key in keys(100) {
+            let chain = ring.route_n(key, 3);
+            assert_eq!(chain.len(), 2, "two peers can hold at most two replicas");
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1], "a clamped chain covers every peer once");
+        }
+        let solo = HashRing::new(&["only"]);
+        assert_eq!(solo.route_n(7, 3), vec![0]);
+    }
+
+    #[test]
+    fn removing_one_peer_keeps_every_surviving_replica() {
+        // The replica-set analogue of the zero-remap test above: drop
+        // s4 and require that every key's chain keeps its surviving
+        // members, in order — only slots held by the dead peer move.
+        let full = HashRing::new(&["s0", "s1", "s2", "s3", "s4"]);
+        let reduced = HashRing::new(&["s0", "s1", "s2", "s3"]);
+        for key in keys(10_000) {
+            let before = full.route_n(key, 2);
+            let after = reduced.route_n(key, 2);
+            let survivors: Vec<usize> = before.iter().copied().filter(|&p| p != 4).collect();
+            assert_eq!(
+                &after[..survivors.len()],
+                &survivors[..],
+                "key {key:016x} traded a surviving replica when s4 left"
+            );
+            for &p in &after[survivors.len()..] {
+                assert!(
+                    !before.contains(&p),
+                    "replacement replicas must be new peers"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+        /// Satellite invariant, generalized: for any ring size, any
+        /// replication factor r ∈ {1,2,3}, any vnode count, and any
+        /// departed peer, every key's chain keeps its surviving
+        /// replicas in order; only the dead peer's slots are refilled,
+        /// and always by peers that were not already in the chain.
+        #[test]
+        fn route_n_preserves_surviving_replicas_under_any_peer_death(
+            n in 2usize..=6,
+            r in 1usize..=3,
+            dead_seed in proptest::arbitrary::any::<u64>(),
+            vnodes in 8usize..=96,
+        ) {
+            let dead = (dead_seed % n as u64) as usize;
+            let labels: Vec<String> = (0..n).map(|i| format!("10.0.0.{i}:7000")).collect();
+            let surviving: Vec<String> = labels
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != dead)
+                .map(|(_, l)| l.clone())
+                .collect();
+            let full = HashRing::with_vnodes(&labels, vnodes);
+            let reduced = HashRing::with_vnodes(&surviving, vnodes);
+            for key in keys(400) {
+                let before = full.route_n(key, r);
+                // Map reduced-ring indices back into the full index space.
+                let after: Vec<usize> = reduced
+                    .route_n(key, r)
+                    .into_iter()
+                    .map(|j| if j < dead { j } else { j + 1 })
+                    .collect();
+                proptest::prop_assert_eq!(after.len(), r.min(n - 1));
+                let survivors: Vec<usize> =
+                    before.iter().copied().filter(|&p| p != dead).collect();
+                let keep = survivors.len().min(after.len());
+                proptest::prop_assert_eq!(
+                    &after[..keep],
+                    &survivors[..keep],
+                    "ring of {} (vnodes {}), r {}, dead peer {}: chain swapped a survivor",
+                    n, vnodes, r, dead
+                );
+                for &p in &after[keep..] {
+                    proptest::prop_assert!(
+                        !before.contains(&p),
+                        "refilled slot reused a peer already in the chain"
+                    );
+                }
+            }
+        }
+
+        /// Chain shape invariants for arbitrary keys: owner-first,
+        /// all-distinct, length clamped to the peer count.
+        #[test]
+        fn route_n_chains_are_owner_first_distinct_and_clamped(
+            n in 1usize..=6,
+            r in 1usize..=3,
+            key in proptest::arbitrary::any::<u64>(),
+        ) {
+            let labels: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+            let ring = HashRing::with_vnodes(&labels, 32);
+            let chain = ring.route_n(key, r);
+            proptest::prop_assert_eq!(chain.len(), r.min(n));
+            proptest::prop_assert_eq!(chain[0], ring.route(key));
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            proptest::prop_assert_eq!(sorted.len(), chain.len(), "chain repeats a peer");
+        }
     }
 
     #[test]

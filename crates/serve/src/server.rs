@@ -28,6 +28,15 @@
 //!   out of the serving path after a few consecutive failures; the daemon
 //!   keeps answering memory-only and re-probes the store periodically.
 //!   The `health` request reports `ok`/`degraded`/`draining`.
+//! * **Replication** — in sharded mode every key lives on
+//!   [`Server::with_replicas`] peers (the ring's successor list): puts
+//!   fan out to all live replicas, gets fail over down the chain (and
+//!   read-repair an earlier replica that was up but missing the key),
+//!   writes owed to a tripwired peer queue as bounded hinted handoff,
+//!   and a peer that revives *empty* is repopulated by an anti-entropy
+//!   sweep over a live replica's `scan` pages. Results are
+//!   content-addressed and immutable, so replication needs no version
+//!   vectors — any replica's answer is the answer. See DESIGN.md §16.
 //!
 //! [`NonConvergence`]: optimist_regalloc::AllocError::NonConvergence
 
@@ -68,6 +77,17 @@ const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_secs(5);
 /// for a loaded daemon, short enough that a hung one trips the per-peer
 /// degraded tripwire instead of pinning request threads.
 pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How many peers hold each key in sharded mode unless
+/// [`Server::with_replicas`] says otherwise. Two replicas survive any
+/// single store-daemon death — the fleet's availability target.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// Default cap on hinted-handoff queue length per tripwired peer.
+pub const DEFAULT_HINT_MAX_ENTRIES: usize = 4096;
+
+/// Default cap on hinted-handoff queue payload bytes per tripwired peer.
+pub const DEFAULT_HINT_MAX_BYTES: usize = 16 << 20;
 
 /// Reserved content address used by degraded-mode recovery probes. A real
 /// key is a 64-bit FNV-1a hash, so colliding with the all-ones sentinel is
@@ -135,12 +155,21 @@ pub struct Server {
 /// Degraded mode is **per peer**: after [`DEGRADE_THRESHOLD`]
 /// consecutive failures a peer drops out of the serving path and only
 /// periodic sentinel probes touch it until one succeeds. In sharded mode
-/// the other peers keep serving their shares — one dead store daemon
-/// costs its ~1/N of the warm tier, not all of it.
+/// the other peers keep serving their shares — and with `replicas ≥ 2`
+/// a dead store daemon costs nothing warm at all: every key it owned
+/// still has a live replica down its chain, writes owed to it queue as
+/// hinted handoff, and revival (drained hints, or an anti-entropy sweep
+/// when it comes back empty) restores it to full membership.
 #[derive(Debug)]
 struct StoreTier {
     backend: Backend,
     probe_interval: Duration,
+    /// Peers per key in sharded mode (clamped to the peer count when
+    /// routing); local/remote backends always have exactly one.
+    replicas: usize,
+    /// Per-peer hinted-handoff caps (entries / payload bytes).
+    hint_max_entries: usize,
+    hint_max_bytes: usize,
 }
 
 /// Where the persistent tier's bytes live (see [`StoreTier`]).
@@ -176,9 +205,68 @@ impl PeerState {
     }
 }
 
+/// One write owed to a tripwired replica, parked in its hint queue.
+#[derive(Debug)]
+struct Hint {
+    key: u64,
+    fingerprint: u64,
+    payload: Vec<u8>,
+}
+
+/// A bounded FIFO of writes owed to one tripwired peer (hinted
+/// handoff). Values are content-addressed and immutable, so a re-queued
+/// key *replaces* its older hint instead of duplicating it, and
+/// overflow past either cap discards oldest-first — the dropped keys
+/// are exactly what the anti-entropy sweep exists to repair.
+#[derive(Debug, Default)]
+struct HintQueue {
+    hints: std::collections::VecDeque<Hint>,
+    bytes: usize,
+}
+
+impl HintQueue {
+    /// Queue `hint` under the given caps. Returns how many older hints
+    /// were discarded to make room (0 when the queue had space).
+    fn push(&mut self, hint: Hint, max_entries: usize, max_bytes: usize) -> u64 {
+        if let Some(at) = self.hints.iter().position(|h| h.key == hint.key) {
+            let old = self.hints.remove(at).expect("indexed hint exists");
+            self.bytes -= old.payload.len();
+        }
+        self.bytes += hint.payload.len();
+        self.hints.push_back(hint);
+        let mut dropped = 0;
+        while self.hints.len() > max_entries || self.bytes > max_bytes {
+            let Some(old) = self.hints.pop_front() else {
+                break;
+            };
+            self.bytes -= old.payload.len();
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Pop the oldest hint, keeping the byte total honest.
+    fn pop_adjusting(&mut self) -> Option<Hint> {
+        let hint = self.hints.pop_front()?;
+        self.bytes -= hint.payload.len();
+        Some(hint)
+    }
+
+    /// Re-park a hint whose delivery failed, at the front so the drain
+    /// resumes where it stopped.
+    fn push_front_adjusting(&mut self, hint: Hint) {
+        self.bytes += hint.payload.len();
+        self.hints.push_front(hint);
+    }
+
+    fn len(&self) -> usize {
+        self.hints.len()
+    }
+}
+
 /// One network store peer: its address, its single lazily-dialed
-/// connection, its tripwire, and its per-peer counters (surfaced under
-/// `stats.store.peers`).
+/// connection, its tripwire, its hinted-handoff queue, and its per-peer
+/// counters (surfaced under `stats.store.peers`).
 #[derive(Debug)]
 struct RemotePeer {
     addr: String,
@@ -189,9 +277,23 @@ struct RemotePeer {
     conn: Mutex<Option<StoreClient>>,
     timeout: Option<Duration>,
     state: PeerState,
+    /// Writes owed to this peer while it is tripwired.
+    hints: Mutex<HintQueue>,
+    /// True while an anti-entropy sweep is repopulating this peer.
+    resyncing: AtomicBool,
     gets: AtomicU64,
     puts: AtomicU64,
     errors: AtomicU64,
+    /// Transport errors absorbed by the one-shot reconnect-and-retry on
+    /// idempotent verbs (each would otherwise have been a tripwire
+    /// strike).
+    retries: AtomicU64,
+    /// Reads this peer served for keys whose earlier replicas could not
+    /// (the failover hits, counted at the peer that answered).
+    failovers: AtomicU64,
+    hints_queued: AtomicU64,
+    hints_dropped: AtomicU64,
+    hints_drained: AtomicU64,
 }
 
 impl RemotePeer {
@@ -201,9 +303,16 @@ impl RemotePeer {
             conn: Mutex::new(None),
             timeout,
             state: PeerState::new(),
+            hints: Mutex::new(HintQueue::default()),
+            resyncing: AtomicBool::new(false),
             gets: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hints_queued: AtomicU64::new(0),
+            hints_dropped: AtomicU64::new(0),
+            hints_drained: AtomicU64::new(0),
         }
     }
 
@@ -211,25 +320,73 @@ impl RemotePeer {
     /// needed. Transport failures and protocol garbage drop the cached
     /// connection so the next call re-dials from scratch; a well-formed
     /// refusal keeps it — the daemon is up, its store said no.
-    fn with_conn<T>(
+    fn run_op<T>(
         &self,
-        op: impl FnOnce(&mut StoreClient) -> Result<T, StoreClientError>,
-    ) -> io::Result<T> {
+        op: &mut impl FnMut(&mut StoreClient) -> Result<T, StoreClientError>,
+    ) -> Result<T, StoreClientError> {
         let mut slot = self.conn.lock().expect("peer conn lock");
         if slot.is_none() {
-            let client = StoreClient::connect(self.addr.as_str()).map_err(|e| e.into_io())?;
-            client.set_timeout(self.timeout).map_err(|e| e.into_io())?;
+            let client = StoreClient::connect(self.addr.as_str())?;
+            client.set_timeout(self.timeout)?;
             *slot = Some(client);
         }
         let client = slot.as_mut().expect("connection just established");
         match op(client) {
             Ok(value) => Ok(value),
             Err(e) => {
-                if !matches!(e, StoreClientError::Refused(_)) {
+                if e.is_transport() {
                     *slot = None;
                 }
-                Err(e.into_io())
+                Err(e)
             }
+        }
+    }
+
+    /// [`RemotePeer::run_op`] flattened into `io::Result` — the shape
+    /// the tripwire consumes. No retry: used for non-idempotent traffic
+    /// (puts) and probes, where the caller owns failure policy.
+    fn with_conn<T>(
+        &self,
+        mut op: impl FnMut(&mut StoreClient) -> Result<T, StoreClientError>,
+    ) -> io::Result<T> {
+        self.run_op(&mut op).map_err(StoreClientError::into_io)
+    }
+
+    /// [`RemotePeer::with_conn`] with one immediate reconnect-and-retry
+    /// on transport failure, for idempotent verbs (get/scan/ping): a
+    /// single dropped connection — an idle-timeout reap, a daemon
+    /// restart between requests — costs one extra round trip instead of
+    /// a third of the way to degraded mode. The retry is counted per
+    /// peer; a refusal (the daemon answered `"ok":false`) is never
+    /// retried, it would refuse identically again.
+    fn with_conn_retry<T>(
+        &self,
+        mut op: impl FnMut(&mut StoreClient) -> Result<T, StoreClientError>,
+    ) -> io::Result<T> {
+        match self.run_op(&mut op) {
+            Err(e) if e.is_transport() => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.run_op(&mut op).map_err(StoreClientError::into_io)
+            }
+            other => other.map_err(StoreClientError::into_io),
+        }
+    }
+
+    /// The queued-hint depth (for stats/health).
+    fn hint_depth(&self) -> usize {
+        self.hints.lock().expect("hint lock").len()
+    }
+
+    /// The peer's replica-sync state as shown in stats/health:
+    /// `resyncing` while an anti-entropy sweep runs, `hinted` while
+    /// handoff hints are parked for it, else `in_sync`.
+    fn sync_state(&self) -> &'static str {
+        if self.resyncing.load(Ordering::Relaxed) {
+            "resyncing"
+        } else if self.hint_depth() > 0 {
+            "hinted"
+        } else {
+            "in_sync"
         }
     }
 }
@@ -262,7 +419,7 @@ impl<'a> PeerRef<'a> {
             PeerRef::Local(store, _) => store.try_get(key),
             PeerRef::Remote(peer) => {
                 peer.gets.fetch_add(1, Ordering::Relaxed);
-                peer.with_conn(|client| client.get(key))
+                peer.with_conn_retry(|client| client.get(key))
             }
         }
     }
@@ -303,14 +460,28 @@ impl<'a> PeerRef<'a> {
 }
 
 impl StoreTier {
-    /// The peer that owns `key`: the only peer in local/remote mode, the
-    /// ring's pick in sharded mode. Every serving daemon computes the
-    /// same answer, so a key's reads and writes meet at one store.
-    fn peer_for(&self, key: u64) -> PeerRef<'_> {
+    /// The peers that hold `key`, owner first: the only peer in
+    /// local/remote mode, the ring's successor list in sharded mode.
+    /// Every serving daemon computes the same chain, so a key's reads
+    /// and writes meet at the same stores in the same order.
+    fn replica_chain(&self, key: u64) -> Vec<PeerRef<'_>> {
         match &self.backend {
-            Backend::Local { store, state } => PeerRef::Local(store, state),
-            Backend::Remote(peer) => PeerRef::Remote(peer),
-            Backend::Sharded { ring, peers } => PeerRef::Remote(&peers[ring.route(key)]),
+            Backend::Local { store, state } => vec![PeerRef::Local(store, state)],
+            Backend::Remote(peer) => vec![PeerRef::Remote(peer)],
+            Backend::Sharded { ring, peers } => ring
+                .route_n(key, self.replicas)
+                .into_iter()
+                .map(|i| PeerRef::Remote(&peers[i]))
+                .collect(),
+        }
+    }
+
+    /// The replication factor actually in effect: `replicas` clamped to
+    /// the peer count in sharded mode, 1 everywhere else.
+    fn effective_replicas(&self) -> usize {
+        match &self.backend {
+            Backend::Sharded { peers, .. } => self.replicas.min(peers.len()).max(1),
+            _ => 1,
         }
     }
 
@@ -376,6 +547,9 @@ impl Server {
                 state: PeerState::new(),
             },
             probe_interval: DEFAULT_PROBE_INTERVAL,
+            replicas: DEFAULT_REPLICAS,
+            hint_max_entries: DEFAULT_HINT_MAX_ENTRIES,
+            hint_max_bytes: DEFAULT_HINT_MAX_BYTES,
         });
         self
     }
@@ -406,7 +580,34 @@ impl Server {
         self.store = Some(StoreTier {
             backend,
             probe_interval: DEFAULT_PROBE_INTERVAL,
+            replicas: DEFAULT_REPLICAS,
+            hint_max_entries: DEFAULT_HINT_MAX_ENTRIES,
+            hint_max_bytes: DEFAULT_HINT_MAX_BYTES,
         });
+        self
+    }
+
+    /// How many store peers hold each key in sharded mode (default
+    /// [`DEFAULT_REPLICAS`], clamped to at least 1 and at most the peer
+    /// count when routing). A deployment knob, not a request field: the
+    /// result fingerprint never sees it, so responses are byte-identical
+    /// across replication factors. No effect on local or single-remote
+    /// tiers, which always have exactly one copy.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        if let Some(tier) = &mut self.store {
+            tier.replicas = replicas.max(1);
+        }
+        self
+    }
+
+    /// Bound each tripwired peer's hinted-handoff queue (entries and
+    /// payload bytes). Overflow discards oldest-first and counts the
+    /// drops; the anti-entropy sweep repairs whatever the caps lost.
+    pub fn with_hint_limits(mut self, max_entries: usize, max_bytes: usize) -> Self {
+        if let Some(tier) = &mut self.store {
+            tier.hint_max_entries = max_entries.max(1);
+            tier.hint_max_bytes = max_bytes.max(1);
+        }
         self
     }
 
@@ -653,6 +854,7 @@ impl Server {
         let mut obj = Json::obj([("mode", Json::from(mode))]);
         if let Backend::Sharded { ring, .. } = &tier.backend {
             obj.push("ring_points", Json::from(ring.point_count() as u64));
+            obj.push("replicas", Json::from(tier.effective_replicas() as u64));
         }
         let peers: Vec<Json> = tier
             .peers()
@@ -663,10 +865,15 @@ impl Server {
                 } else {
                     "ok"
                 };
-                Json::obj([
+                let mut entry = Json::obj([
                     ("addr", Json::from(peer.label())),
                     ("state", Json::from(state)),
-                ])
+                ]);
+                if let PeerRef::Remote(remote) = peer {
+                    entry.push("sync", Json::from(remote.sync_state()));
+                    entry.push("hint_depth", Json::from(remote.hint_depth() as u64));
+                }
+                entry
             })
             .collect();
         obj.push("peers", Json::Arr(peers));
@@ -717,54 +924,280 @@ impl Server {
                 "store[{}]: recovery probe succeeded; peer rejoins the serving path",
                 peer.label()
             );
+            if let PeerRef::Remote(remote) = peer {
+                // Drain first: a peer that revived with its log intact
+                // (or is refilled by its own hints) then fails the
+                // resync emptiness gate, suppressing a pointless sweep.
+                self.drain_hints(tier, remote);
+                self.resync_peer(tier, remote);
+            }
         }
         recovered
     }
 
-    /// Read `key` from the peer that owns it, feeding that peer's
-    /// degraded-mode tripwire. Degraded or failing reads are served as
-    /// misses — the caller falls through to compute.
+    /// Read `key` from its replica chain, owner first, feeding each
+    /// peer's degraded-mode tripwire. A hit past the owner counts as a
+    /// failover and **read-repairs** every earlier replica that was up
+    /// but answered a clean miss (a recovered owner gets its warmth back
+    /// on the first read, not only via the anti-entropy sweep). Degraded
+    /// or failing reads down the whole chain are served as misses — the
+    /// caller falls through to compute.
     fn store_get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
         let tier = self.store.as_ref()?;
-        let peer = tier.peer_for(key);
-        if !self.peer_available(tier, &peer) {
-            return None;
-        }
-        match peer.try_get(key) {
-            Ok(found) => {
-                peer.state().consecutive_errors.store(0, Ordering::SeqCst);
-                found
+        // Earlier replicas that answered a clean miss: read-repair
+        // targets if a later replica hits. Peers that were tripwired or
+        // errored don't get repaired inline (the write would fail too) —
+        // hinted handoff and the anti-entropy sweep cover them.
+        let mut missed: Vec<PeerRef<'_>> = Vec::new();
+        let mut passed_over = false;
+        for peer in tier.replica_chain(key) {
+            if !self.peer_available(tier, &peer) {
+                passed_over = true;
+                continue;
             }
-            Err(e) => {
-                self.metrics.store_get_errors.inc();
-                self.metrics.store_errors.inc();
-                log_warn!("store[{}]: get {key:016x} failed: {e}", peer.label());
-                self.note_peer_error(tier, &peer);
-                None
+            match peer.try_get(key) {
+                Ok(Some(found)) => {
+                    peer.state().consecutive_errors.store(0, Ordering::SeqCst);
+                    if passed_over || !missed.is_empty() {
+                        self.metrics.store_failovers.inc();
+                        if let PeerRef::Remote(remote) = &peer {
+                            remote.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.read_repair(tier, key, &found, &missed);
+                    }
+                    return Some(found);
+                }
+                Ok(None) => {
+                    peer.state().consecutive_errors.store(0, Ordering::SeqCst);
+                    missed.push(peer);
+                }
+                Err(e) => {
+                    self.metrics.store_get_errors.inc();
+                    self.metrics.store_errors.inc();
+                    log_warn!("store[{}]: get {key:016x} failed: {e}", peer.label());
+                    self.note_peer_error(tier, &peer);
+                    passed_over = true;
+                }
+            }
+        }
+        None
+    }
+
+    /// Copy a value a later replica served back to the earlier replicas
+    /// that missed it. Values are immutable, so repair is a plain put.
+    fn read_repair(
+        &self,
+        tier: &StoreTier,
+        key: u64,
+        found: &(u64, Vec<u8>),
+        missed: &[PeerRef<'_>],
+    ) {
+        let (fingerprint, payload) = found;
+        for peer in missed {
+            match peer.put(key, *fingerprint, payload) {
+                Ok(()) => {
+                    peer.state().consecutive_errors.store(0, Ordering::SeqCst);
+                    self.metrics.store_read_repairs.inc();
+                }
+                Err(e) => {
+                    self.metrics.store_put_errors.inc();
+                    self.metrics.store_errors.inc();
+                    log_warn!(
+                        "store[{}]: read-repair {key:016x} failed: {e}",
+                        peer.label()
+                    );
+                    self.note_peer_error(tier, peer);
+                }
             }
         }
     }
 
-    /// Write through to the peer that owns `key`, feeding that peer's
-    /// degraded-mode tripwire. Failures are counted and logged, never
-    /// raised: the response already holds the result.
+    /// Write through to every replica of `key`, feeding each peer's
+    /// degraded-mode tripwire. A replica that is tripwired (or fails the
+    /// write) gets the record parked in its bounded hinted-handoff queue
+    /// instead, to be drained when its recovery probe succeeds. Failures
+    /// are counted and logged, never raised: the response already holds
+    /// the result.
     fn store_put(&self, key: u64, fingerprint: u64, payload: &[u8]) {
         let Some(tier) = self.store.as_ref() else {
             return;
         };
-        let peer = tier.peer_for(key);
-        if !self.peer_available(tier, &peer) {
-            return;
-        }
-        match peer.put(key, fingerprint, payload) {
-            Ok(()) => peer.state().consecutive_errors.store(0, Ordering::SeqCst),
-            Err(e) => {
-                self.metrics.store_put_errors.inc();
-                self.metrics.store_errors.inc();
-                log_warn!("store[{}]: put {key:016x} failed: {e}", peer.label());
-                self.note_peer_error(tier, &peer);
+        for peer in tier.replica_chain(key) {
+            if !self.peer_available(tier, &peer) {
+                self.queue_hint(tier, &peer, key, fingerprint, payload);
+                continue;
+            }
+            match peer.put(key, fingerprint, payload) {
+                Ok(()) => peer.state().consecutive_errors.store(0, Ordering::SeqCst),
+                Err(e) => {
+                    self.metrics.store_put_errors.inc();
+                    self.metrics.store_errors.inc();
+                    log_warn!("store[{}]: put {key:016x} failed: {e}", peer.label());
+                    self.note_peer_error(tier, &peer);
+                    self.queue_hint(tier, &peer, key, fingerprint, payload);
+                }
             }
         }
+    }
+
+    /// Park a write owed to an unavailable replica in its hint queue
+    /// (bounded by the tier's caps; overflow drops oldest-first and is
+    /// counted). Local peers have no queue — the local backend has no
+    /// other replica to drain from, so degraded-mode misses there are
+    /// simply recomputed.
+    fn queue_hint(
+        &self,
+        tier: &StoreTier,
+        peer: &PeerRef<'_>,
+        key: u64,
+        fingerprint: u64,
+        payload: &[u8],
+    ) {
+        let PeerRef::Remote(remote) = peer else {
+            return;
+        };
+        let dropped = remote.hints.lock().expect("hint lock").push(
+            Hint {
+                key,
+                fingerprint,
+                payload: payload.to_vec(),
+            },
+            tier.hint_max_entries,
+            tier.hint_max_bytes,
+        );
+        remote.hints_queued.fetch_add(1, Ordering::Relaxed);
+        self.metrics.store_hints_queued.inc();
+        if dropped > 0 {
+            remote.hints_dropped.fetch_add(dropped, Ordering::Relaxed);
+            self.metrics.store_hints_dropped.add(dropped);
+        }
+    }
+
+    /// Deliver a freshly-recovered peer the writes parked for it. Hints
+    /// pop before they send, so each retained hint is delivered at most
+    /// once; a delivery failure re-parks the hint and stops the drain
+    /// (the tripwire decides when to try again). Values are immutable,
+    /// so even a hint that *was* sent but whose ack was lost would
+    /// supersede identical bytes.
+    fn drain_hints(&self, tier: &StoreTier, remote: &RemotePeer) {
+        loop {
+            let Some(hint) = remote.hints.lock().expect("hint lock").pop_adjusting() else {
+                return;
+            };
+            remote.puts.fetch_add(1, Ordering::Relaxed);
+            let sent =
+                remote.with_conn(|client| client.put(hint.key, hint.fingerprint, &hint.payload));
+            match sent {
+                Ok(()) => {
+                    remote.hints_drained.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.store_hints_drained.inc();
+                }
+                Err(e) => {
+                    log_warn!(
+                        "store[{}]: hint drain {:016x} failed: {e}",
+                        remote.addr,
+                        hint.key
+                    );
+                    remote
+                        .hints
+                        .lock()
+                        .expect("hint lock")
+                        .push_front_adjusting(hint);
+                    self.metrics.store_put_errors.inc();
+                    self.metrics.store_errors.inc();
+                    self.note_peer_error(tier, &PeerRef::Remote(remote));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Repopulate a replica that revived **empty** (disk loss) by
+    /// walking every live peer's key space via paginated `scan` and
+    /// copying over the keys whose replica chain includes the revived
+    /// peer. Gated on sharded mode with replication (otherwise there is
+    /// no second copy to sweep from) and on the revived store actually
+    /// being empty — a peer that came back with its log intact (or was
+    /// just refilled by its hint drain) needs nothing. Runs
+    /// synchronously in the recovery path; fleet peers are loopback or
+    /// LAN, and the sweep is one-time per revival.
+    fn resync_peer(&self, tier: &StoreTier, revived: &RemotePeer) {
+        let Backend::Sharded { ring, peers } = &tier.backend else {
+            return;
+        };
+        let replicas = tier.effective_replicas();
+        if replicas < 2 {
+            return;
+        }
+        let Some(revived_idx) = peers.iter().position(|p| p.addr == revived.addr) else {
+            return;
+        };
+        // Emptiness gate: the recovery probe already wrote its sentinel,
+        // so a store holding only that (or nothing) is "empty".
+        match revived.with_conn_retry(|client| client.scan(None, Some(2))) {
+            Ok(page) if page.total <= 1 => {}
+            _ => return,
+        }
+        revived.resyncing.store(true, Ordering::SeqCst);
+        self.metrics.store_resyncs.inc();
+        let mut copied = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        'sweep: for (idx, source) in peers.iter().enumerate() {
+            if idx == revived_idx || source.state.degraded.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut cursor = None;
+            loop {
+                let page = match source.with_conn_retry(|c| c.scan(cursor, None)) {
+                    Ok(page) => page,
+                    Err(e) => {
+                        log_warn!("store[{}]: resync scan failed: {e}", source.addr);
+                        self.note_peer_error(tier, &PeerRef::Remote(source));
+                        break;
+                    }
+                };
+                cursor = page.keys.last().copied();
+                for key in page.keys {
+                    if key == PROBE_KEY
+                        || !seen.insert(key)
+                        || !ring.route_n(key, replicas).contains(&revived_idx)
+                    {
+                        continue;
+                    }
+                    source.gets.fetch_add(1, Ordering::Relaxed);
+                    let found = match source.with_conn_retry(|c| c.get(key)) {
+                        Ok(found) => found,
+                        Err(e) => {
+                            log_warn!("store[{}]: resync get {key:016x} failed: {e}", source.addr);
+                            self.note_peer_error(tier, &PeerRef::Remote(source));
+                            break;
+                        }
+                    };
+                    let Some((fp, payload)) = found else {
+                        continue; // evicted between scan and get
+                    };
+                    revived.puts.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = revived.with_conn(|c| c.put(key, fp, &payload)) {
+                        log_warn!(
+                            "store[{}]: resync put {key:016x} failed: {e}; sweep aborted",
+                            revived.addr
+                        );
+                        self.note_peer_error(tier, &PeerRef::Remote(revived));
+                        break 'sweep;
+                    }
+                    copied += 1;
+                }
+                if page.done {
+                    break;
+                }
+            }
+        }
+        self.metrics.store_resync_keys.add(copied);
+        revived.resyncing.store(false, Ordering::SeqCst);
+        log_info!(
+            "store[{}]: anti-entropy sweep restored {copied} keys",
+            revived.addr
+        );
     }
 
     /// Handle one request line, returning the response text (no trailing
@@ -921,6 +1354,7 @@ impl Server {
                         _ => "sharded",
                     };
                     store.push("mode", Json::from(mode));
+                    store.push("replicas", Json::from(tier.effective_replicas() as u64));
                     let peers: Vec<Json> = tier
                         .peers()
                         .iter()
@@ -937,6 +1371,37 @@ impl Server {
                                     "degraded",
                                     Json::from(remote.state.degraded.load(Ordering::Relaxed)),
                                 ),
+                                (
+                                    "retries",
+                                    Json::from(remote.retries.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "failovers",
+                                    Json::from(remote.failovers.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "hints",
+                                    Json::obj([
+                                        (
+                                            "queued",
+                                            Json::from(remote.hints_queued.load(Ordering::Relaxed)),
+                                        ),
+                                        (
+                                            "dropped",
+                                            Json::from(
+                                                remote.hints_dropped.load(Ordering::Relaxed),
+                                            ),
+                                        ),
+                                        (
+                                            "drained",
+                                            Json::from(
+                                                remote.hints_drained.load(Ordering::Relaxed),
+                                            ),
+                                        ),
+                                        ("depth", Json::from(remote.hint_depth() as u64)),
+                                    ]),
+                                ),
+                                ("sync", Json::from(remote.sync_state())),
                             ])
                         })
                         .collect();
@@ -1518,6 +1983,39 @@ mod tests {
     use super::*;
 
     const FUNC: &str = "func double(v0:int) -> int {\nb0:\n    v1 = add.i v0, v0\n    ret v1\n}\n";
+
+    #[test]
+    fn hint_queue_dedups_and_enforces_both_caps() {
+        let hint = |key: u64, len: usize| Hint {
+            key,
+            fingerprint: 1,
+            payload: vec![b'x'; len],
+        };
+        let mut q = HintQueue::default();
+        // Entry cap: four pushes under a cap of 3 drop the oldest.
+        for k in 0..4 {
+            let dropped = q.push(hint(k, 10), 3, 1000);
+            assert_eq!(dropped, u64::from(k == 3));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bytes, 30);
+        assert_eq!(q.hints.front().unwrap().key, 1, "oldest dropped first");
+        // Dedup: re-queueing a key replaces its hint (moving it to the
+        // back) instead of growing the queue.
+        assert_eq!(q.push(hint(2, 20), 3, 1000), 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bytes, 40);
+        assert_eq!(q.hints.back().unwrap().key, 2);
+        // Byte cap: one oversized push evicts until it fits.
+        assert_eq!(q.push(hint(9, 35), 10, 60), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.bytes <= 60);
+        // Pop/push-front keep the byte total honest.
+        let h = q.pop_adjusting().unwrap();
+        let bytes = q.bytes;
+        q.push_front_adjusting(h);
+        assert_eq!(q.bytes, bytes + 20);
+    }
 
     fn alloc_line(ir: &str) -> String {
         let mut req = Json::obj([("req", Json::from("alloc"))]);

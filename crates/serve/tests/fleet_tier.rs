@@ -123,8 +123,26 @@ fn two_daemons_share_warmth_through_one_store_peer() {
     assert!(stats.contains(r#""degraded":false"#), "{stats}");
 }
 
+/// Poll `server`'s health until it reports `ok` (the recovery probe —
+/// and, synchronously behind it, the hint drain and anti-entropy sweep —
+/// runs inside the health request).
+fn wait_until_ok(server: &Server) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(60));
+        let health = server.health_json().to_string();
+        if health.contains(r#""state":"ok""#) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "peer never recovered: {health}"
+        );
+    }
+}
+
 #[test]
-fn sharded_tier_spreads_keys_and_survives_a_peer_death() {
+fn replicated_tier_stays_warm_through_a_peer_death_and_resyncs_an_empty_revival() {
     let d0 = StoreDaemon::spawn(scratch("shard0"));
     let d1 = StoreDaemon::spawn(scratch("shard1"));
     let peers = [d0.addr.to_string(), d1.addr.to_string()];
@@ -135,52 +153,164 @@ fn sharded_tier_spreads_keys_and_survives_a_peer_death() {
         .with_store_probe_interval(Duration::from_millis(50));
     assert_all_ok(&a, &requests, false);
 
-    // The ring actually spread the corpus: both stores hold records.
+    // With the default replication factor of 2, every put fanned out to
+    // both peers: each store holds the whole corpus.
     let len0 = d0.server.store().len();
     let len1 = d1.server.store().len();
-    assert!(
-        len0 > 0 && len1 > 0,
-        "sharding left a peer empty ({len0}/{len1}) — ring not routing"
-    );
+    assert!(len0 > 0, "stores must hold the corpus");
+    assert_eq!(len0, len1, "replicas=2 over 2 peers fans every key out");
 
     let health = a.health_json().to_string();
     assert!(health.contains(r#""mode":"sharded""#), "{health}");
     assert!(health.contains(r#""ring_points""#), "{health}");
+    assert!(health.contains(r#""replicas":2"#), "{health}");
 
-    // Kill peer 1. Requests keep succeeding: keys it owned recompute
-    // (its tripwire trips after a few errors), keys on peer 0 stay warm.
+    // Kill peer 1. Nothing goes cold: keys it owned fail over to their
+    // replica on peer 0, and its tripwire trips after a few errors.
     let dead_addr = d1.kill();
     let b = Server::new(4096, 16)
         .with_remote_store(&peers)
         .with_store_probe_interval(Duration::from_millis(50));
-    assert_all_ok(&b, &requests, false);
+    assert_all_ok(&b, &requests, true);
     assert!(
-        b.metrics().store_hits.get() > 0,
-        "the surviving peer's share must still serve warm"
+        b.metrics().store_failovers.get() > 0,
+        "the dead peer's share must have been served by its replica"
+    );
+    assert_eq!(
+        b.metrics().phase_build.count(),
+        0,
+        "a replicated fleet must not recompute for one dead peer"
     );
     assert!(b.store_degraded(), "the dead peer must trip its tripwire");
     let health = b.health_json().to_string();
     assert!(health.contains(r#""state":"degraded""#), "{health}");
 
-    // Resurrect the dead peer on the same address; the next probe heals
-    // it and the fleet reports ok again.
+    // Resurrect the dead peer on the same address with an EMPTY store —
+    // the disk-loss case. The next probe heals it, and the anti-entropy
+    // sweep behind the probe repopulates it from its live replica.
     let revived = StoreDaemon::spawn_with_store(
         Store::open(scratch("shard1-revived"), StoreOptions::default()).unwrap(),
         Some(dead_addr),
     );
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    loop {
-        std::thread::sleep(Duration::from_millis(60));
-        let health = b.health_json().to_string();
-        if health.contains(r#""state":"ok""#) {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "peer never recovered: {health}"
-        );
-    }
+    wait_until_ok(&b);
     assert!(!b.store_degraded());
     assert!(b.metrics().store_recoveries.get() >= 1);
+    assert_eq!(b.metrics().store_resyncs.get(), 1, "one sweep, once");
+    assert!(b.metrics().store_resync_keys.get() > 0);
+    let revived_len = revived.server.store().len();
+    assert!(
+        revived_len >= len0,
+        "anti-entropy must restore the revived peer's share \
+         ({revived_len} < {len0})"
+    );
+    drop(revived);
+}
+
+#[test]
+fn failover_hits_read_repair_an_owner_that_lost_its_disk() {
+    let d0 = StoreDaemon::spawn(scratch("repair0"));
+    let d1 = StoreDaemon::spawn(scratch("repair1"));
+    let peers = [d0.addr.to_string(), d1.addr.to_string()];
+    let requests = corpus_requests();
+
+    let a = Server::new(4096, 16).with_remote_store(&peers);
+    assert_all_ok(&a, &requests, false);
+    let full = d0.server.store().len();
+
+    // Peer 0 loses its disk but comes back immediately: alive, healthy,
+    // empty. No tripwire ever trips — its misses are clean.
+    let dead_addr = d0.kill();
+    let revived = StoreDaemon::spawn_with_store(
+        Store::open(scratch("repair0-revived"), StoreOptions::default()).unwrap(),
+        Some(dead_addr),
+    );
+
+    // A cold daemon replays the corpus: keys the wiped peer owns miss
+    // there, fail over to peer 1, and each failover hit writes the value
+    // back to the wiped owner (read repair).
+    let c = Server::new(4096, 16).with_remote_store(&peers);
+    assert_all_ok(&c, &requests, true);
+    let failovers = c.metrics().store_failovers.get();
+    let repairs = c.metrics().store_read_repairs.get();
+    assert!(failovers > 0, "the wiped owner's share must fail over");
+    assert_eq!(
+        failovers, repairs,
+        "every failover past a clean miss must repair it"
+    );
+    assert!(!c.store_degraded(), "clean misses are not tripwire strikes");
+    let repaired = revived.server.store().len();
+    assert_eq!(
+        repaired as u64, repairs,
+        "read repair refills exactly the keys that failed over"
+    );
+    assert!(repaired > 0 && repaired <= full);
+    drop(revived);
+}
+
+/// `n` distinct one-function modules as `alloc` request lines — small
+/// enough to overflow a tiny hint queue predictably.
+fn distinct_requests(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let ir = format!(
+                "func f{i}(v0:int) -> int {{\nb0:\n    v1 = imm {i}\n    \
+                 v2 = add.i v0, v1\n    ret v2\n}}\n"
+            );
+            let mut req = Json::obj([("req", Json::from("alloc"))]);
+            req.push("ir", Json::from(ir));
+            req.to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn hinted_handoff_is_bounded_and_drains_exactly_once() {
+    let d0 = StoreDaemon::spawn(scratch("hints0"));
+    let dead_addr = StoreDaemon::spawn(scratch("hints1")).kill();
+    let peers = [d0.addr.to_string(), dead_addr.to_string()];
+    let requests = distinct_requests(12);
+
+    // Every put fans out to both replicas; the dead peer's copies queue
+    // as hints, bounded at 4 entries — 8 of the 12 overflow and drop.
+    let a = Server::new(4096, 16)
+        .with_remote_store(&peers)
+        .with_hint_limits(4, 1 << 20)
+        .with_store_probe_interval(Duration::from_millis(50));
+    assert_all_ok(&a, &requests, false);
+    assert!(a.store_degraded(), "the dead peer must trip its tripwire");
+    assert_eq!(a.metrics().store_hints_queued.get(), 12);
+    assert_eq!(a.metrics().store_hints_dropped.get(), 8);
+    let stats = a.stats_json().to_string();
+    assert!(
+        stats.contains(r#""queued":12,"dropped":8,"drained":0,"depth":4"#),
+        "{stats}"
+    );
+    assert!(stats.contains(r#""sync":"hinted""#), "{stats}");
+
+    // Revive the peer empty. The drain behind the recovery probe
+    // delivers the 4 retained hints — exactly once each: the revived
+    // store ends with 4 entries plus the probe sentinel and zero
+    // superseded records (a duplicate put would supersede).
+    let revived = StoreDaemon::spawn_with_store(
+        Store::open(scratch("hints1-revived"), StoreOptions::default()).unwrap(),
+        Some(dead_addr),
+    );
+    wait_until_ok(&a);
+    assert_eq!(a.metrics().store_hints_drained.get(), 4);
+    assert_eq!(
+        revived.server.store().len(),
+        4 + 1,
+        "retained hints plus the probe sentinel"
+    );
+    assert_eq!(
+        revived.server.store().snapshot().superseded,
+        0,
+        "drain must deliver each hint exactly once"
+    );
+    // The drained hints refilled the store past the emptiness gate, so
+    // no anti-entropy sweep ran on top of them.
+    assert_eq!(a.metrics().store_resyncs.get(), 0);
+    let stats = a.stats_json().to_string();
+    assert!(stats.contains(r#""sync":"in_sync""#), "{stats}");
     drop(revived);
 }

@@ -6,9 +6,11 @@
 //! the CLI use it directly.
 //!
 //! There is no retry layer here: the caller owns failure policy. The
-//! serving tier treats any [`StoreClientError`] as a store I/O error and
-//! feeds it to its per-peer degraded-mode tripwire, exactly as a local
-//! disk error would be.
+//! serving tier reconnects and retries idempotent verbs once at its own
+//! layer (where it can also count the retry per peer), then treats any
+//! remaining [`StoreClientError`] as a store I/O error and feeds it to
+//! its per-peer degraded-mode tripwire, exactly as a local disk error
+//! would be.
 
 use crate::net::wire::{self, ObjWriter};
 use std::io::{self, BufRead, BufReader, Write};
@@ -56,6 +58,26 @@ impl StoreClientError {
             other => io::Error::other(other.to_string()),
         }
     }
+
+    /// True for failures of the *connection* (socket errors, truncated
+    /// or garbled response lines) as opposed to a healthy daemon saying
+    /// no. Transport failures are worth one reconnect-and-retry for
+    /// idempotent verbs; a [`StoreClientError::Refused`] would refuse
+    /// identically on a fresh connection.
+    pub fn is_transport(&self) -> bool {
+        !matches!(self, StoreClientError::Refused(_))
+    }
+}
+
+/// One page of a key-space walk returned by [`StoreClient::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPage {
+    /// Sorted keys strictly after the request's cursor.
+    pub keys: Vec<u64>,
+    /// Live entries in the whole store at scan time.
+    pub total: u64,
+    /// True once the page provably exhausted the key space.
+    pub done: bool,
 }
 
 /// A blocking connection to an `optimist-stored` daemon.
@@ -168,6 +190,50 @@ impl StoreClient {
         Ok(())
     }
 
+    /// One page of the daemon's key space: sorted keys strictly after
+    /// `after` (from the bottom when `None`), at most `limit` long
+    /// (`None` = the daemon's default page size). Feed the last key of
+    /// each page back in as the next cursor until
+    /// [`ScanPage::done`] — the walk the serving tier's anti-entropy
+    /// sweep uses to repopulate a replica that revived empty.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unparsable responses, and daemon refusals.
+    pub fn scan(
+        &mut self,
+        after: Option<u64>,
+        limit: Option<usize>,
+    ) -> Result<ScanPage, StoreClientError> {
+        let mut w = ObjWriter::new();
+        w.str_field("req", "scan");
+        if let Some(cursor) = after {
+            w.str_field("after", &wire::hex16(cursor));
+        }
+        if let Some(limit) = limit {
+            w.u64_field("limit", limit as u64);
+        }
+        let msg = self.round_trip(&w.finish())?;
+        let keys = match msg.get("keys") {
+            Some(wire::WireValue::Raw(raw)) => parse_key_array(raw).ok_or_else(|| {
+                StoreClientError::BadResponse(format!("unparsable scan keys: {raw}"))
+            })?,
+            _ => {
+                return Err(StoreClientError::BadResponse(
+                    "scan response without keys".into(),
+                ))
+            }
+        };
+        let total = msg
+            .get("total")
+            .and_then(wire::WireValue::as_u64)
+            .ok_or_else(|| StoreClientError::BadResponse("scan response without total".into()))?;
+        let done = msg
+            .bool_field("done")
+            .ok_or_else(|| StoreClientError::BadResponse("scan response without done".into()))?;
+        Ok(ScanPage { keys, total, done })
+    }
+
     /// Liveness probe.
     ///
     /// # Errors
@@ -226,5 +292,42 @@ impl StoreClient {
         w.str_field("req", "shutdown");
         self.round_trip(&w.finish())?;
         Ok(())
+    }
+}
+
+/// Parse a `scan` response's `["16hex",…]` array. Keys are bare hex —
+/// no escapes can occur — so splitting on commas inside the brackets is
+/// exact, not approximate.
+fn parse_key_array(raw: &str) -> Option<Vec<u64>> {
+    let inner = raw.trim().strip_prefix('[')?.strip_suffix(']')?.trim();
+    let mut keys = Vec::new();
+    if inner.is_empty() {
+        return Some(keys);
+    }
+    for part in inner.split(',') {
+        let hex = part.trim().strip_prefix('"')?.strip_suffix('"')?;
+        keys.push(wire::parse_hex16(hex)?);
+    }
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_key_array;
+
+    #[test]
+    fn key_arrays_parse_exactly() {
+        assert_eq!(parse_key_array("[]"), Some(vec![]));
+        assert_eq!(
+            parse_key_array(r#"["0000000000000001","00000000000000aa"]"#),
+            Some(vec![1, 0xaa])
+        );
+        assert_eq!(
+            parse_key_array(r#"["ffffffffffffffff"]"#),
+            Some(vec![u64::MAX])
+        );
+        for bad in ["", "[", r#"["zz"]"#, r#"[123]"#, r#"["01" "02"]"#] {
+            assert_eq!(parse_key_array(bad), None, "{bad}");
+        }
     }
 }

@@ -6,9 +6,9 @@
 //!
 //! - [`wire`] — a minimal flat-object NDJSON codec (this crate sits below
 //!   `optimist-serve`, so it cannot use the serving crate's JSON tree);
-//! - [`server::StoreServer`] — the daemon: `get`/`put`/`ping`/`stats`/
-//!   `health`/`shutdown` over TCP, concurrent reads, single-writer
-//!   appends, graceful drain;
+//! - [`server::StoreServer`] — the daemon: `get`/`put`/`scan`/`ping`/
+//!   `stats`/`health`/`shutdown` over TCP, concurrent reads,
+//!   single-writer appends, graceful drain;
 //! - [`client::StoreClient`] — one blocking connection per store peer,
 //!   held by the serving tier's remote/sharded store backends.
 //!
@@ -21,5 +21,5 @@ pub mod log;
 pub mod server;
 pub mod wire;
 
-pub use client::{StoreClient, StoreClientError};
+pub use client::{ScanPage, StoreClient, StoreClientError};
 pub use server::{StoreServer, DEFAULT_DRAIN_TIMEOUT};

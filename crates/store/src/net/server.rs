@@ -8,6 +8,7 @@
 //! | `{"req":"ping"}` | `{"ok":true}` |
 //! | `{"req":"get","key":"16hex"}` | `{"ok":true,"hit":true,"fp":"16hex","payload":"…"}` or `{"ok":true,"hit":false}` |
 //! | `{"req":"put","key":"16hex","fp":"16hex","payload":"…"}` | `{"ok":true}` |
+//! | `{"req":"scan","after":"16hex"?,"limit":N?}` | `{"ok":true,"keys":["16hex",…],"total":N,"done":bool}` |
 //! | `{"req":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"req":"health"}` | `{"ok":true,"health":{"state":"ok"…}}` |
 //! | `{"req":"shutdown"}` | `{"ok":true,"stopping":true}` |
@@ -50,6 +51,7 @@ struct NetCounters {
     get_errors: AtomicU64,
     puts: AtomicU64,
     put_errors: AtomicU64,
+    scans: AtomicU64,
     malformed: AtomicU64,
 }
 
@@ -78,6 +80,13 @@ pub struct StoreServer {
 }
 
 impl StoreServer {
+    /// Page size a `scan` uses when the request names no `limit`.
+    pub const DEFAULT_SCAN_LIMIT: usize = 512;
+
+    /// Hard ceiling on one `scan` page, whatever the request asks for —
+    /// keeps a single response line (and the index lock hold) bounded.
+    pub const MAX_SCAN_LIMIT: usize = 4096;
+
     /// Wrap `store` in a server with default timeouts.
     pub fn new(store: Store) -> StoreServer {
         StoreServer {
@@ -147,6 +156,7 @@ impl StoreServer {
             }
             Some("get") => self.handle_get(&msg),
             Some("put") => self.handle_put(&msg),
+            Some("scan") => self.handle_scan(&msg),
             Some("stats") => self.stats_response(),
             Some("health") => self.health_response(),
             Some("shutdown") => {
@@ -222,6 +232,47 @@ impl StoreServer {
         }
     }
 
+    /// One page of the key space, for replica anti-entropy sweeps:
+    /// sorted keys strictly after the optional `after` cursor, at most
+    /// `limit` (default [`StoreServer::DEFAULT_SCAN_LIMIT`], capped at
+    /// [`StoreServer::MAX_SCAN_LIMIT`]) long. `done` is `true` once the
+    /// page provably exhausts the space; a full page answers `false`
+    /// and the caller feeds the last key back in as the next cursor.
+    fn handle_scan(&self, msg: &wire::Message) -> String {
+        NetCounters::bump(&self.counters.scans);
+        let after = match msg.str_field("after") {
+            Some(text) => match wire::parse_hex16(text) {
+                Some(cursor) => Some(cursor),
+                None => return error_response("scan `after` must be a hex key"),
+            },
+            None => None,
+        };
+        let limit = msg
+            .get("limit")
+            .and_then(wire::WireValue::as_u64)
+            .map_or(Self::DEFAULT_SCAN_LIMIT, |n| n as usize)
+            .clamp(1, Self::MAX_SCAN_LIMIT);
+        let (keys, total) = self.store.scan_keys(after, limit);
+        let done = keys.len() < limit;
+        let mut array = String::with_capacity(keys.len() * 19 + 2);
+        array.push('[');
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                array.push(',');
+            }
+            array.push('"');
+            array.push_str(&wire::hex16(*key));
+            array.push('"');
+        }
+        array.push(']');
+        let mut w = ObjWriter::new();
+        w.bool_field("ok", true)
+            .raw_field("keys", &array)
+            .u64_field("total", total as u64)
+            .bool_field("done", done);
+        w.finish()
+    }
+
     fn stats_response(&self) -> String {
         let snap = self.store.snapshot();
         let mut store = ObjWriter::new();
@@ -244,6 +295,7 @@ impl StoreServer {
             .u64_field("get_errors", NetCounters::read(&self.counters.get_errors))
             .u64_field("puts", NetCounters::read(&self.counters.puts))
             .u64_field("put_errors", NetCounters::read(&self.counters.put_errors))
+            .u64_field("scans", NetCounters::read(&self.counters.scans))
             .u64_field("malformed", NetCounters::read(&self.counters.malformed));
         let mut stats = ObjWriter::new();
         stats
@@ -461,6 +513,44 @@ mod tests {
         assert!(server.draining());
         let health = server.handle_line(r#"{"req":"health"}"#);
         assert!(health.contains(r#""state":"draining""#), "{health}");
+    }
+
+    #[test]
+    fn scan_pages_walk_the_key_space_with_a_cursor() {
+        let server = server("scan");
+        for k in [3u64, 1, 2, 0xaa] {
+            let line = format!(
+                r#"{{"req":"put","key":"{}","fp":"0000000000000001","payload":"v"}}"#,
+                wire::hex16(k)
+            );
+            assert_eq!(server.handle_line(&line), r#"{"ok":true}"#);
+        }
+
+        let page = server.handle_line(r#"{"req":"scan","limit":3}"#);
+        assert_eq!(
+            page,
+            concat!(
+                r#"{"ok":true,"keys":["0000000000000001","0000000000000002","#,
+                r#""0000000000000003"],"total":4,"done":false}"#
+            )
+        );
+
+        let rest = server.handle_line(r#"{"req":"scan","after":"0000000000000003","limit":3}"#);
+        assert_eq!(
+            rest,
+            r#"{"ok":true,"keys":["00000000000000aa"],"total":4,"done":true}"#
+        );
+
+        let empty = server.handle_line(r#"{"req":"scan","after":"00000000000000aa","limit":3}"#);
+        assert_eq!(empty, r#"{"ok":true,"keys":[],"total":4,"done":true}"#);
+
+        let bad = server.handle_line(r#"{"req":"scan","after":"zz"}"#);
+        assert!(bad.starts_with(r#"{"ok":false"#), "{bad}");
+
+        // Attempts are counted like gets/puts: the rejected cursor above
+        // still bumped the counter.
+        let stats = server.handle_line(r#"{"req":"stats"}"#);
+        assert!(stats.contains(r#""scans":4"#), "{stats}");
     }
 
     #[test]

@@ -291,6 +291,79 @@ for pid in "$stored0_pid" "$stored1_pid"; do
 done
 fleet_pids=""
 
+echo "==> replication smoke test (3 store daemons + 2 serve daemons, --replicas 2, peer SIGKILL)"
+rep_dir="$(mktemp -d)"
+rep_pids=""
+trap 'rm -rf "$rep_dir" "$fleet_dir" "$store_dir" "$stream_log" "$drain_log" "$chaos_dir"; [[ -n "$fleet_pids" ]] && kill $fleet_pids 2>/dev/null; [[ -n "$rep_pids" ]] && kill -9 $rep_pids 2>/dev/null; true' EXIT
+./target/debug/optimist-stored --dir "$rep_dir/shard0" 2>"$rep_dir/stored0.log" &
+rep_stored0_pid=$!
+./target/debug/optimist-stored --dir "$rep_dir/shard1" 2>"$rep_dir/stored1.log" &
+rep_stored1_pid=$!
+./target/debug/optimist-stored --dir "$rep_dir/shard2" 2>"$rep_dir/stored2.log" &
+rep_stored2_pid=$!
+rep_pids="$rep_stored0_pid $rep_stored1_pid $rep_stored2_pid"
+rp0="$(fleet_port "$rep_dir/stored0.log")"
+rp1="$(fleet_port "$rep_dir/stored1.log")"
+rp2="$(fleet_port "$rep_dir/stored2.log")"
+rep_peers="127.0.0.1:$rp0,127.0.0.1:$rp1,127.0.0.1:$rp2"
+./target/debug/optimist-serve --listen 127.0.0.1:0 --store-peers "$rep_peers" \
+    --replicas 2 --quiet 2>"$rep_dir/serve0.log" &
+rep_serve0_pid=$!
+./target/debug/optimist-serve --listen 127.0.0.1:0 --store-peers "$rep_peers" \
+    --replicas 2 --quiet 2>"$rep_dir/serve1.log" &
+rep_serve1_pid=$!
+rep_pids="$rep_pids $rep_serve0_pid $rep_serve1_pid"
+rs0="$(fleet_port "$rep_dir/serve0.log")"
+rs1="$(fleet_port "$rep_dir/serve1.log")"
+# Warm the key through daemon 0: the put fans out to both of its replicas.
+exec 6<>"/dev/tcp/127.0.0.1/$rs0"
+printf '%s\n' "$smoke_req" >&6
+IFS= read -r rep_cold <&6
+exec 6<&- 6>&-
+case "$rep_cold" in
+    *'"ok":true'*) ;;
+    *)
+        echo "replication smoke test failed: cold daemon refused; response: $rep_cold" >&2
+        exit 1
+        ;;
+esac
+# SIGKILL one store daemon — no drain, no flush: the crash case. With
+# --replicas 2 over 3 peers, any single death leaves every key at least
+# one live replica.
+kill -9 "$rep_stored0_pid"
+wait "$rep_stored0_pid" 2>/dev/null || true
+# The other serving daemon has cold memory; its only warmth is the store
+# tier, now down a peer. The key must still come back cached — served by
+# its surviving replica (directly, or via read failover past the corpse).
+exec 6<>"/dev/tcp/127.0.0.1/$rs1"
+printf '%s\n' "$smoke_req" >&6
+IFS= read -r rep_warm <&6
+exec 6<&- 6>&-
+case "$rep_warm" in
+    *'"cached":true'*) ;;
+    *)
+        echo "replication smoke test failed: key went cold after one peer SIGKILL; response: $rep_warm" >&2
+        exit 1
+        ;;
+esac
+# The four surviving processes must still drain cleanly on SIGTERM:
+# serving tier first, then the store tier it depends on.
+kill -TERM "$rep_serve0_pid" "$rep_serve1_pid"
+for pid in "$rep_serve0_pid" "$rep_serve1_pid"; do
+    if ! wait "$pid"; then
+        echo "replication smoke test failed: serve daemon exited nonzero after SIGTERM" >&2
+        exit 1
+    fi
+done
+kill -TERM "$rep_stored1_pid" "$rep_stored2_pid"
+for pid in "$rep_stored1_pid" "$rep_stored2_pid"; do
+    if ! wait "$pid"; then
+        echo "replication smoke test failed: store daemon exited nonzero after SIGTERM" >&2
+        exit 1
+    fi
+done
+rep_pids=""
+
 echo "==> deprecation shims (pre-Strategy constructors compile and match)"
 # The old AllocatorConfig::chaitin/briggs spellings must keep compiling
 # (deprecated, not removed) and must stay fingerprint-identical to the
@@ -306,10 +379,12 @@ if [[ $quick -eq 0 ]]; then
     cargo build -q --release -p optimist-bench --bin serve_replay
     ./target/release/serve_replay --shootout
 
-    echo "==> fleet drill (3 serve daemons sharing 2 store daemons, release)"
-    # In-process fleet over real TCP: ≥ 90% cross-daemon warm hit rate,
-    # byte-identity with the single-process path, zero failed requests
-    # through a store-peer death and recovery, and a p99 tail bar.
+    echo "==> fleet drill (3 serve daemons sharing 3 replicated store daemons, release)"
+    # In-process fleet over real TCP with 2 replicas per key: ≥ 90%
+    # cross-daemon warm hit rate, byte-identity with the single-process
+    # path, zero failed requests through a mid-replay store-peer kill
+    # (replica reads keep the warm bar), an empty-disk revival resynced
+    # ≥ 90% by anti-entropy, and a p99 tail bar.
     ./target/release/serve_replay --fleet
 
     echo "==> giant-kernel lane (sequential vs graph_threads=8, byte-identity)"
